@@ -1,0 +1,108 @@
+"""Ablation — check strength (DESIGN.md §5).
+
+The robustness wrapper installs the *weakest robust type*'s check for
+each parameter.  Two alternatives bracket that choice:
+
+* weaker (pointer-validity only): cheaper, but misses the failures that
+  need termination/capacity knowledge;
+* maximal (strictest rung of every chain, regardless of derivation):
+  same coverage on this library, but pays for checks the experiments
+  proved unnecessary.
+
+This is the coverage/overhead trade-off behind "the method should have
+low overhead … an application should only pay the overhead for the
+protection it actually needs".
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import pytest
+
+from repro.ftypes.chains import CHAINS
+from repro.injection import Campaign
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.robust import RobustAPIDocument
+from repro.runtime import SimProcess
+from repro.wrappers import ROBUSTNESS, WrapperFactory
+
+STRATEGIES = ["validity-only", "derived", "maximal"]
+
+
+def variant_document(api_document, strategy):
+    document = copy.deepcopy(api_document)
+    for decl in document.functions.values():
+        for param in decl.params:
+            if not param.chain:
+                continue
+            chain = CHAINS[param.chain]
+            if strategy == "validity-only":
+                # rank-1 check when the chain has one (pointer validity)
+                param.check = chain[1].check if len(chain) > 1 else ""
+            elif strategy == "maximal":
+                param.check = chain[-1].check
+            # "derived" keeps what the campaign produced
+    return document
+
+
+def deployed_campaign(registry, manpages, document):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    built = WrapperFactory(registry, document).preload(linker, ROBUSTNESS)
+
+    def interpose(function):
+        symbol = built.library.lookup(function.name)
+        return symbol.impl if symbol else function.impl
+
+    return Campaign(registry, manpages=manpages, interposer=interpose), linker
+
+
+FUNCTIONS = ["strcpy", "strlen", "strcat", "memcpy", "toupper", "free",
+             "sprintf", "strtol"]
+
+
+def test_ablation_check_strength(registry, manpages, api_document,
+                                 artifact, benchmark):
+    """Residual failure rate and check cost per strategy."""
+    rows = ["check-strength ablation",
+            f"{'strategy':<16} {'residual':>9} {'strlen cost':>12}"]
+    residuals = {}
+    costs = {}
+    for strategy in STRATEGIES:
+        document = variant_document(api_document, strategy)
+        campaign, linker = deployed_campaign(registry, manpages, document)
+        result = campaign.run(FUNCTIONS)
+        residuals[strategy] = result.failure_rate
+        symbol = linker.resolve("strlen").symbol
+        proc = SimProcess()
+        text = proc.alloc_cstring(b"cost probe string")
+        start = time.perf_counter_ns()
+        for _ in range(3000):
+            symbol(proc, text)
+        costs[strategy] = (time.perf_counter_ns() - start) / 3000
+        rows.append(f"{strategy:<16} {residuals[strategy]:>9.1%} "
+                    f"{costs[strategy]:>10.0f}ns")
+    artifact("ablation_check_strength", "\n".join(rows))
+
+    # weaker checks leave real failures on the table
+    assert residuals["validity-only"] > residuals["derived"]
+    # derived and maximal coincide in coverage on this library
+    assert abs(residuals["derived"] - residuals["maximal"]) < 0.02
+    # but validity-only is the cheapest per call
+    assert costs["validity-only"] <= costs["maximal"] * 1.2
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_check_cost(benchmark, registry, manpages, api_document,
+                             strategy):
+    """Benchmark series: wrapped strcpy under each check strategy."""
+    document = variant_document(api_document, strategy)
+    _, linker = deployed_campaign(registry, manpages, document)
+    symbol = linker.resolve("strcpy").symbol
+    proc = SimProcess()
+    dest = proc.alloc_buffer(64)
+    src = proc.alloc_cstring(b"payload")
+    result = benchmark(lambda: symbol(proc, dest, src))
+    assert result == dest

@@ -1,0 +1,79 @@
+"""Ablation — hang-detection fuel threshold (DESIGN.md §5).
+
+Fuel is the deterministic stand-in for the native harness's watchdog
+timeout.  Too small a budget misclassifies legitimate work as hangs
+(false HANGs on qsort's honest n·log n); too large just slows the sweep.
+This ablation measures classification quality and sweep time across
+budgets, validating the default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import Outcome
+from repro.injection import Campaign
+from repro.runtime.sandbox import DEFAULT_PROBE_FUEL
+
+BUDGETS = [2_000, 20_000, DEFAULT_PROBE_FUEL, 400_000]
+
+#: probes that are *legitimate* heavy work (must not classify as HANG)
+HEAVY_VALID = [("qsort", "nmemb", "bound_x1"),
+               ("strcpy", "src", "long_string")]
+#: probes that are *true* hangs at any reasonable budget
+TRUE_HANGS = [("strlen", "s", "unterminated_huge"),
+              ("strcpy", "src", "unterminated_huge")]
+
+FUNCTIONS = sorted({f for f, _, _ in HEAVY_VALID + TRUE_HANGS})
+
+
+def classify(registry, manpages, fuel):
+    campaign = Campaign(registry, manpages=manpages, fuel=fuel)
+    start = time.perf_counter()
+    result = campaign.run(FUNCTIONS)
+    elapsed = time.perf_counter() - start
+    outcomes = {}
+    for name, report in result.reports.items():
+        for record in report.records:
+            outcomes[(name, record.probe.param_name,
+                      record.probe.value_label)] = record.outcome
+    return outcomes, elapsed
+
+
+def test_ablation_fuel_thresholds(registry, manpages, artifact, benchmark):
+    rows = ["fuel-threshold ablation",
+            f"{'budget':>9} {'false hangs':>12} {'missed hangs':>13} "
+            f"{'sweep s':>8}"]
+    stats = {}
+    for budget in BUDGETS:
+        outcomes, elapsed = classify(registry, manpages, budget)
+        false_hangs = sum(
+            1 for key in HEAVY_VALID if outcomes[key] == Outcome.HANG
+        )
+        missed_hangs = sum(
+            1 for key in TRUE_HANGS
+            if outcomes[key] not in (Outcome.HANG, Outcome.CRASH)
+        )
+        stats[budget] = (false_hangs, missed_hangs)
+        rows.append(f"{budget:>9} {false_hangs:>12} {missed_hangs:>13} "
+                    f"{elapsed:>8.2f}")
+    artifact("ablation_fuel", "\n".join(rows))
+
+    # tiny budgets misclassify honest work as hangs
+    assert stats[2_000][0] > 0
+    # the default budget has neither false nor missed hangs
+    assert stats[DEFAULT_PROBE_FUEL] == (0, 0)
+    # and a 4x budget agrees (the classification has converged)
+    assert stats[400_000] == (0, 0)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_ablation_fuel_sweep_time(benchmark, registry, manpages, budget):
+    """Sweep time for one hang-heavy function at each budget."""
+    campaign = Campaign(registry, manpages=manpages, fuel=budget)
+    report = benchmark.pedantic(
+        lambda: campaign.probe_function("strlen"), rounds=3, iterations=1
+    )
+    assert report.total_probes > 0

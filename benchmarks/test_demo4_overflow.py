@@ -1,0 +1,117 @@
+"""D4 — demo 3.4: buffer-overflow prevention.
+
+"It first shows that an attacker can hijack the control flow of a root
+privileged program by overflowing a buffer allocated on the heap.  This
+results in a root shell for the attacker.  … Then we show that our
+security wrapper can detect such buffer overflows and terminate the
+attacker's program."
+
+Reproduced exactly: the heap-smash exploit yields a root shell on the
+unprotected daemon and a SecurityViolation termination under the
+security wrapper; the rest of the corpus rounds out the picture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_app, standard_system
+from repro.errors import SecurityViolation
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.security.attacks import (
+    ALL_ATTACKS,
+    BENIGN_INPUTS,
+    HEAP_SMASH,
+)
+from repro.wrappers import SECURITY, WrapperFactory
+
+
+def undefended_linker(registry):
+    return standard_system(registry)[1]
+
+
+def defended_linker(registry, api_document):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    WrapperFactory(registry, api_document).preload(linker, SECURITY)
+    return linker
+
+
+def test_demo4_narrative(registry, api_document, artifact, benchmark):
+    """The two halves of the demo, end to end."""
+    lines = ["demo 3.4 — heap smashing against authd (root daemon)"]
+    payload = HEAP_SMASH.payload()
+    lines.append(f"payload: {len(payload)} bytes "
+                 f"(fill + little-endian gadget address)")
+
+    result = run_app(HEAP_SMASH.app, undefended_linker(registry),
+                     stdin=payload)
+    assert result.process.root_shell, "exploit must succeed unprotected"
+    lines.append("[unprotected] control flow hijacked -> ROOT SHELL")
+    lines.append(f"  stdout: {result.stdout.strip().splitlines()[-1]}")
+
+    result = run_app(HEAP_SMASH.app,
+                     defended_linker(registry, api_document),
+                     stdin=payload)
+    assert not result.process.root_shell
+    assert isinstance(result.exception, SecurityViolation)
+    lines.append("[security wrapper] overflow detected, program terminated")
+    lines.append(f"  reason: {result.exception}")
+    artifact("d4_overflow_demo", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_demo4_full_corpus(registry, api_document, artifact, benchmark):
+    """Every attack succeeds undefended; heap-class attacks are contained."""
+    undefended = undefended_linker(registry)
+    defended = defended_linker(registry, api_document)
+    rows = ["attack            undefended   security-wrapper"]
+    for attack in ALL_ATTACKS:
+        raw = run_app(attack.app, undefended, stdin=attack.payload())
+        wrapped = run_app(attack.app, defended, stdin=attack.payload())
+        raw_hit = attack.hijacked(raw)
+        wrapped_hit = attack.hijacked(wrapped)
+        rows.append(f"{attack.name:<17} "
+                    f"{'HIJACKED' if raw_hit else 'blocked':<12} "
+                    f"{'HIJACKED' if wrapped_hit else 'contained'}")
+        assert raw_hit, f"{attack.name} must succeed undefended"
+        if attack.name != "stack-smash":
+            assert not wrapped_hit, f"{attack.name} must be contained"
+    artifact("d4_attack_corpus", "\n".join(rows))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_demo4_no_false_positives(registry, api_document, benchmark):
+    """Benign traffic is identical with and without the wrapper."""
+    from repro.apps import app_by_name
+
+    undefended = undefended_linker(registry)
+    defended = defended_linker(registry, api_document)
+    for app_name, stdin in BENIGN_INPUTS.items():
+        app = app_by_name(app_name)
+        raw = run_app(app, undefended, stdin=stdin)
+        wrapped = run_app(app, defended, stdin=stdin)
+        assert wrapped.stdout == raw.stdout
+        assert wrapped.status == raw.status == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_demo4_exploit_speed(benchmark, registry):
+    """How fast the unprotected exploit lands (payload -> root shell)."""
+    linker = undefended_linker(registry)
+    payload = HEAP_SMASH.payload()
+
+    def attack():
+        return run_app(HEAP_SMASH.app, linker, stdin=payload)
+
+    result = benchmark(attack)
+    assert result.process.root_shell
+
+
+def test_demo4_containment_speed(benchmark, registry, api_document):
+    """Cost of the contained run (detection + termination)."""
+    linker = defended_linker(registry, api_document)
+    payload = HEAP_SMASH.payload()
+
+    def attack():
+        return run_app(HEAP_SMASH.app, linker, stdin=payload)
+
+    result = benchmark(attack)
+    assert isinstance(result.exception, SecurityViolation)

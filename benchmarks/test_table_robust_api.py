@@ -1,0 +1,81 @@
+"""T4 — the derived robust API, quantified (Fig. 2's output as a table).
+
+Per function: probes used, the weakest robust type of each parameter,
+and whether fault injection strengthened the declared type.  Includes
+the paper's worked example — strcpy's first argument "actually has to be
+a pointer to a writable buffer with enough space to accommodate the
+source string" — as a hard assertion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.robust import RobustAPIDocument
+
+
+def test_t4_robust_api_table(campaign_result, derivations, registry,
+                             manpages, artifact, benchmark):
+    rows = [
+        "T4 — derived robust API (weakest robust argument types)",
+        f"{'function':<12} {'param':<8} {'declared':<16} "
+        f"{'robust type':<22} {'rank':>4}",
+    ]
+    strengthened = 0
+    total = 0
+    for name in sorted(derivations):
+        derivation = derivations[name]
+        for param in derivation.params:
+            total += 1
+            if param.strengthened:
+                strengthened += 1
+            rank = param.robust_type.rank if param.robust_type else -1
+            robust = param.robust_type.name if param.robust_type else "UNSAT"
+            rows.append(f"{name:<12} {param.param:<8} "
+                        f"{param.declared:<16} {robust:<22} {rank:>4}")
+    rows.append(f"strengthened: {strengthened}/{total} parameters")
+    artifact("t4_robust_api_table", "\n".join(rows))
+
+    # the paper's worked example
+    strcpy = derivations["strcpy"]
+    assert strcpy.param("dest").robust_type.name == "writable_capacity"
+    assert strcpy.param("src").robust_type.name == "terminated_string"
+
+    # no parameter may be unsatisfiable on this library
+    assert all(
+        p.robust_type is not None
+        for d in derivations.values() for p in d.params
+    )
+    # a majority of pointer-taking parameters get strengthened
+    assert strengthened / total > 0.4
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_t4_distribution_by_type(derivations, artifact, benchmark):
+    """How often each robust type is the answer (the API's shape)."""
+    counts = Counter(
+        p.robust_type.name
+        for d in derivations.values() for p in d.params if p.robust_type
+    )
+    rows = ["T4b — robust-type frequency"]
+    for name, count in counts.most_common():
+        rows.append(f"  {name:<24} {count}")
+    artifact("t4_type_distribution", "\n".join(rows))
+    assert counts["terminated_string"] >= 3
+    assert counts["uchar_or_eof"] >= 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_t4_declaration_document_speed(benchmark, registry, manpages,
+                                       derivations):
+    """Building + serialising the full declaration document."""
+    def build():
+        return RobustAPIDocument.build(registry, manpages, derivations).to_xml()
+
+    xml = benchmark(build)
+    assert "robust-type" in xml
+
+
+def test_t4_xml_parse_speed(benchmark, registry, manpages, derivations):
+    """Parsing the declaration file back (a consumer's cost)."""
+    xml = RobustAPIDocument.build(registry, manpages, derivations).to_xml()
+    document = benchmark(lambda: RobustAPIDocument.from_xml(xml))
+    assert len(document.functions) == 106

@@ -1,0 +1,107 @@
+"""T1 — robustness table ([4]-style): failure rates before/after wrappers.
+
+The claim under test (Section 2.2, via [4]): fault-containment wrappers
+generated from the derived robust API "automatically … correct a large
+set of such problems".  Shape expectation: the unprotected library shows
+Ballista-scale failure rates; the robustness wrapper eliminates
+essentially all crash/hang/abort outcomes (the one principled exception
+is ``gets``, which cannot be validated by argument inspection — the
+hardened wrapper, which bounds it, reaches zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection import Campaign
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.wrappers import HARDENED, ROBUSTNESS, WrapperFactory
+
+
+def wrapped_campaign(registry, manpages, api_document, spec):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    built = WrapperFactory(registry, api_document).preload(linker, spec)
+
+    def interpose(function):
+        symbol = built.library.lookup(function.name)
+        return symbol.impl if symbol else function.impl
+
+    return Campaign(registry, manpages=manpages, interposer=interpose)
+
+
+@pytest.fixture(scope="module")
+def after_robustness(registry, manpages, api_document, campaign_result):
+    campaign = wrapped_campaign(registry, manpages, api_document, ROBUSTNESS)
+    return campaign.run(list(campaign_result.reports))
+
+
+@pytest.fixture(scope="module")
+def after_hardened(registry, manpages, api_document, campaign_result):
+    campaign = wrapped_campaign(registry, manpages, api_document, HARDENED)
+    return campaign.run(list(campaign_result.reports))
+
+
+def test_t1_failure_rate_table(campaign_result, after_robustness,
+                               after_hardened, artifact, benchmark):
+    """The headline table: per-function before/after failure rates."""
+    rows = [
+        "T1 — robustness failures before/after fault-containment wrappers",
+        f"{'function':<12} {'probes':>6} {'raw':>8} {'robustness':>11} "
+        f"{'hardened':>9}",
+    ]
+    for name in sorted(campaign_result.reports):
+        raw = campaign_result.reports[name]
+        rob = after_robustness.reports[name]
+        hard = after_hardened.reports[name]
+        rows.append(
+            f"{name:<12} {raw.total_probes:>6} {raw.failure_rate:>8.1%} "
+            f"{rob.failure_rate:>11.1%} {hard.failure_rate:>9.1%}"
+        )
+    rows.append(
+        f"{'TOTAL':<12} {campaign_result.total_probes:>6} "
+        f"{campaign_result.failure_rate:>8.1%} "
+        f"{after_robustness.failure_rate:>11.1%} "
+        f"{after_hardened.failure_rate:>9.1%}"
+    )
+    artifact("t1_robustness_table", "\n".join(rows))
+
+    # shape assertions (who wins, by what kind of factor)
+    assert campaign_result.failure_rate > 0.20
+    assert after_robustness.failure_rate < 0.03
+    assert after_hardened.failure_rate == 0.0
+    assert after_robustness.failure_rate < campaign_result.failure_rate / 10
+
+    # the only functions allowed to retain failures under pure checking
+    residual = set(after_robustness.functions_with_failures())
+    assert residual <= {"gets"}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_t1_no_new_failures_on_valid_inputs(campaign_result,
+                                            after_robustness, benchmark):
+    """Containment must not break valid calls: every probe that passed
+    raw also passes (or error-returns) under the wrapper."""
+    from repro.errors import Outcome
+
+    for name, raw_report in campaign_result.reports.items():
+        wrapped_report = after_robustness.reports[name]
+        raw_by_key = {
+            (r.probe.param_name, r.probe.value_label): r.outcome
+            for r in raw_report.records
+        }
+        for record in wrapped_report.records:
+            key = (record.probe.param_name, record.probe.value_label)
+            if raw_by_key.get(key) == Outcome.PASS:
+                assert record.outcome in (Outcome.PASS, Outcome.ERROR), (
+                    f"{name}{key}: wrapper regressed a passing probe to "
+                    f"{record.outcome}"
+                )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_t1_wrapped_sweep_speed(benchmark, registry, manpages,
+                                api_document):
+    """Probe throughput through the robustness wrapper (one function)."""
+    campaign = wrapped_campaign(registry, manpages, api_document,
+                                ROBUSTNESS)
+    report = benchmark(lambda: campaign.probe_function("strcpy"))
+    assert report.failure_rate == 0.0

@@ -1,0 +1,118 @@
+"""T3 — security table ([3]-style): attack detection matrix.
+
+Rows: the attack corpus.  Columns: defence configurations (none, heap
+size-table only, full security wrapper, security + stack protector).
+Cells: whether the attack achieved its goal.  Plus the false-positive
+check over the benign corpus — [3]'s evaluation reported zero false
+positives for the heap-containment wrappers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import app_by_name, run_app, standard_system
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.security.attacks import (
+    ALL_ATTACKS,
+    BENIGN_INPUTS,
+    craft_stack_smash_protected,
+)
+from repro.security.policy import SecurityPolicy
+from repro.wrappers import SECURITY, WrapperFactory
+from repro.wrappers.presets import default_generator_registry
+
+DEFENCES = ["none", "sizetable-only", "security", "security+stackguard"]
+
+
+def make_linker(registry, api_document, defence):
+    if defence == "none":
+        return standard_system(registry)[1]
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    if defence == "sizetable-only":
+        policy = SecurityPolicy(reject_percent_n=False, safe_gets=False,
+                                verify_heap="never")
+    else:
+        policy = SecurityPolicy()
+    factory = WrapperFactory(registry, api_document,
+                             generators=default_generator_registry(policy))
+    factory.preload(linker, SECURITY)
+    return linker
+
+
+def run_attack(attack, linker, defence):
+    stack_protect = defence == "security+stackguard"
+    if attack.name == "stack-smash" and stack_protect:
+        payload = craft_stack_smash_protected()
+    else:
+        payload = attack.payload()
+    return run_app(attack.app, linker, stdin=payload,
+                   stack_protect=stack_protect)
+
+
+def test_t3_detection_matrix(registry, api_document, artifact, benchmark):
+    """Attack × defence matrix with the expected containment pattern."""
+    rows = [
+        "T3 — attack containment matrix (H = hijacked/disrupted, "
+        "c = contained)",
+        f"{'attack':<18}" + "".join(f"{d:>22}" for d in DEFENCES),
+    ]
+    outcome = {}
+    for attack in ALL_ATTACKS:
+        cells = []
+        for defence in DEFENCES:
+            linker = make_linker(registry, api_document, defence)
+            result = run_attack(attack, linker, defence)
+            hijacked = attack.hijacked(result)
+            outcome[(attack.name, defence)] = hijacked
+            cells.append(f"{'H' if hijacked else 'c':>22}")
+        rows.append(f"{attack.name:<18}" + "".join(cells))
+    artifact("t3_security_matrix", "\n".join(rows))
+
+    # every attack lands with no defence
+    for attack in ALL_ATTACKS:
+        assert outcome[(attack.name, "none")], attack.name
+    # the bounds check (size table) alone stops the interception-visible
+    # write overflows
+    assert not outcome[("heap-smash", "sizetable-only")]
+    # the full wrapper also stops the gets flood and stealth corruption
+    assert not outcome[("gets-flood", "security")]
+    assert not outcome[("stealth-corrupt", "security")]
+    # stack smashing needs the stack protector, not the heap wrapper
+    assert outcome[("stack-smash", "security")]
+    assert not outcome[("stack-smash", "security+stackguard")]
+    # with everything on, the whole corpus is contained
+    for attack in ALL_ATTACKS:
+        assert not outcome[(attack.name, "security+stackguard")], attack.name
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+def test_t3_false_positive_rate(registry, api_document, artifact, benchmark):
+    """Benign corpus under the full wrapper: zero behaviour changes."""
+    plain = make_linker(registry, api_document, "none")
+    defended = make_linker(registry, api_document, "security")
+    rows = ["T3b — benign corpus under the security wrapper"]
+    false_positives = 0
+    for app_name, stdin in sorted(BENIGN_INPUTS.items()):
+        app = app_by_name(app_name)
+        raw = run_app(app, plain, stdin=stdin)
+        wrapped = run_app(app, defended, stdin=stdin)
+        identical = (raw.stdout == wrapped.stdout
+                     and raw.status == wrapped.status
+                     and not wrapped.crashed)
+        false_positives += 0 if identical else 1
+        rows.append(f"  {app_name:<12} "
+                    f"{'identical' if identical else 'CHANGED'}")
+    rows.append(f"false positives: {false_positives}/{len(BENIGN_INPUTS)}")
+    artifact("t3_false_positives", "\n".join(rows))
+    assert false_positives == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # artifact test: run once under --benchmark-only
+
+@pytest.mark.parametrize("defence", DEFENCES)
+def test_t3_heap_smash_speed(benchmark, registry, api_document, defence):
+    """Time of the heap-smash attempt under each defence."""
+    linker = make_linker(registry, api_document, defence)
+    attack = ALL_ATTACKS[0]
+    assert attack.name == "heap-smash"
+    result = benchmark(lambda: run_attack(attack, linker, defence))
+    assert attack.hijacked(result) == (defence == "none")

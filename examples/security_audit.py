@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: demo 3.4 as a security audit of a root daemon.
+
+Reproduces the paper's overflow-prevention demonstration in full: the
+published-exploit-style heap smash against the root-privileged authd,
+first landing a root shell, then being detected and terminated by the
+preloaded security wrapper — plus the rest of the attack corpus and the
+benign-traffic false-positive check.
+
+Run with::
+
+    python examples/security_audit.py
+"""
+
+from repro.apps import app_by_name, run_app
+from repro.core import Healers
+from repro.security.attacks import ALL_ATTACKS, BENIGN_INPUTS, HEAP_SMASH
+
+
+def main() -> int:
+    toolkit = Healers()
+
+    print("=== demo 3.4: heap smashing against authd (runs as root) ===\n")
+    payload = HEAP_SMASH.payload()
+    print(f"exploit payload ({len(payload)} bytes): fill bytes up to the")
+    print("adjacent heap chunk, then the shell gadget's address,")
+    print(f"  {payload[:16]!r} … {payload[-12:]!r}\n")
+
+    print("[phase 1] unprotected run:")
+    result = run_app(HEAP_SMASH.app, toolkit.linker, stdin=payload)
+    print("  " + result.stdout.strip().replace("\n", "\n  "))
+    print(f"  root shell obtained: {result.process.root_shell}\n")
+    assert result.process.root_shell
+
+    print("[phase 2] LD_PRELOAD the security wrapper, same payload:")
+    built = toolkit.preload("security")
+    result = run_app(HEAP_SMASH.app, toolkit.linker, stdin=payload)
+    print(f"  daemon terminated: {result.exception}")
+    for event in built.state.security_events:
+        print(f"  event: {event.function}: {event.reason}")
+    print(f"  root shell obtained: "
+          f"{getattr(result.process, 'root_shell', False)}\n")
+    assert not result.process.root_shell
+
+    print("[phase 3] the rest of the corpus under the wrapper:")
+    for attack in ALL_ATTACKS[1:]:
+        hit = attack.hijacked(
+            run_app(attack.app, toolkit.linker, stdin=attack.payload())
+        )
+        note = ""
+        if attack.name == "stack-smash":
+            protected = run_app(attack.app, toolkit.linker,
+                                stdin=attack.payload(), stack_protect=True)
+            note = (" (stack protector: "
+                    f"{'contained' if not attack.hijacked(protected) else 'hit'})")
+        print(f"  {attack.name:<16} "
+              f"{'HIJACKED' if hit else 'contained'}{note}")
+
+    print("\n[phase 4] benign traffic (false-positive check):")
+    for name, stdin in sorted(BENIGN_INPUTS.items()):
+        result = run_app(app_by_name(name), toolkit.linker, stdin=stdin)
+        print(f"  {name:<12} status={result.status} "
+              f"crashed={result.crashed}")
+        assert result.status == 0 and not result.crashed
+    toolkit.clear_preloads()
+    print("\naudit complete: corpus contained, zero false positives.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

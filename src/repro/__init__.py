@@ -1,0 +1,13 @@
+"""HEALERS reproduction: fault-injection-derived fault-containment wrappers.
+
+This package reproduces *HEALERS: A Toolkit for Enhancing the Robustness
+and Security of Existing Applications* (Fetzer & Xiao, DSN 2003) on top of
+a simulated C runtime.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-versus-measured record.
+
+The top-level facade is :class:`repro.core.Healers`; the substrates are
+importable individually (``repro.memory``, ``repro.libc``,
+``repro.linker``, ``repro.injection``, ``repro.wrappers``, …).
+"""
+
+__version__ = "1.0.0"

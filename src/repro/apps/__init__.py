@@ -1,0 +1,108 @@
+"""Sample simulated applications and the standard system image."""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.authd import AUTHD
+from repro.apps.base import AppResult, EntryPoint, SimApp, run_app
+from repro.apps.csvstat import CSVSTAT
+from repro.apps.msgformat import MSGFORMAT
+from repro.apps.stacksmash import STACKD
+from repro.apps.statcalc import STATCALC
+from repro.apps.wordcount import WORDCOUNT
+from repro.libc import LibcRegistry, math_registry, standard_registry
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.objfile import SimELF, SimSystem, TYPE_EXEC, build_shared_object
+
+ALL_APPS: List[SimApp] = [WORDCOUNT, CSVSTAT, STATCALC, MSGFORMAT, AUTHD,
+                          STACKD]
+
+#: sample input used by examples/benchmarks for the text workloads
+SAMPLE_TEXT = (
+    b"the quick brown fox jumps over the lazy dog\n"
+    b"pack my box with five dozen liquor jugs\n"
+    b"how vexingly quick daft zebras jump\n"
+    b"the five boxing wizards jump quickly\n"
+) * 4
+
+SAMPLE_CSV = b"\n".join(
+    b",".join(str((i * 37 + j * 11) % 201 - 100).encode() for j in range(8))
+    for i in range(24)
+) + b"\n"
+
+
+def app_by_name(name: str) -> SimApp:
+    """Look up a bundled application by name."""
+    for app in ALL_APPS:
+        if app.name == name:
+            return app
+    raise KeyError(f"unknown application {name!r}")
+
+
+def standard_system(
+    registry: Optional[LibcRegistry] = None,
+) -> Tuple[SimSystem, DynamicLinker]:
+    """Build the standard system image: libc + all bundled applications.
+
+    Returns the browsable :class:`SimSystem` (what the scanners read) and
+    a :class:`DynamicLinker` with libc installed (what programs run on).
+    """
+    registry = registry or standard_registry()
+    libc = SharedLibrary.from_registry(registry)
+    linker = DynamicLinker()
+    linker.add_library(libc)
+
+    system = SimSystem()
+    system.install_library(
+        build_shared_object(
+            path="/lib/libc.so.6",
+            soname=registry.library_name,
+            defined=registry.names(),
+        ),
+        library=libc,
+    )
+    # the math library: a second fully wrappable shared object
+    libm_registry = math_registry()
+    libm = SharedLibrary.from_registry(libm_registry)
+    linker.add_library(libm)
+    system.install_library(
+        build_shared_object(path="/lib/libm.so.6", soname="libm.so.6",
+                            defined=libm_registry.names()),
+        library=libm,
+    )
+    for app in ALL_APPS:
+        system.install_executable(app.image(), entry=app.main)
+    # a static binary and a data file exercise the scanner's edge cases
+    system.install_executable(
+        SimELF(path="/bin/staticd", type=TYPE_EXEC, interp="", needed=[],
+               undefined=[])
+    )
+    system.install_plain_file("/etc/motd", b"welcome to the HEALERS system\n")
+    return system, linker
+
+
+def standard_files() -> Dict[str, bytes]:
+    """Input files the sample apps expect."""
+    return {
+        "/data/sample.txt": SAMPLE_TEXT,
+        "/data/values.csv": SAMPLE_CSV,
+    }
+
+
+__all__ = [
+    "ALL_APPS",
+    "AUTHD",
+    "AppResult",
+    "CSVSTAT",
+    "EntryPoint",
+    "MSGFORMAT",
+    "SAMPLE_CSV",
+    "SAMPLE_TEXT",
+    "STACKD",
+    "STATCALC",
+    "SimApp",
+    "WORDCOUNT",
+    "app_by_name",
+    "run_app",
+    "standard_files",
+    "standard_system",
+]

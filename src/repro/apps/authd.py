@@ -1,0 +1,118 @@
+"""authd: the root-privileged victim of demo 3.4 (heap smashing, [3]).
+
+"It first shows that an attacker can hijack the control flow of a root
+privileged program by overflowing a buffer allocated on the heap.  This
+results in a root shell for the attacker."
+
+Layout: the daemon mallocs a *username buffer* and then a *handler
+record* holding a function pointer; with a boundary-tag allocator the two
+are adjacent, so an over-long username ``strcpy``'d into the buffer runs
+over the allocator metadata and into the handler's function pointer.
+After "authentication" the daemon dispatches through that pointer — a
+crafted username redirects the call to the shell gadget, and because the
+daemon runs as root the attacker gets a root shell
+(``process.root_shell`` in the simulation).
+
+The security wrapper's bounds check refuses the overflowing ``strcpy``
+and terminates the program instead (SecurityViolation), which is the
+demo's second half.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+from repro.runtime import SimProcess
+
+NAME_BUFFER = 24
+HANDLER_RECORD = 16  # function pointer + flags word
+
+IMPORTS = ["malloc", "free", "strcpy", "strlen", "sprintf", "puts", "gets"]
+
+
+def _deny_handler(proc: SimProcess, *args) -> int:
+    """The legitimate post-auth action: report denial."""
+    proc.auth_outcome = "denied"
+    return 0
+
+
+def _shell_gadget(proc: SimProcess, *args) -> int:
+    """The dangerous code an attacker wants to reach (execve("/bin/sh")).
+
+    In the simulation "getting a root shell" is recorded as a process
+    flag the demo and tests assert on.
+    """
+    proc.root_shell = True
+    proc.auth_outcome = "root shell"
+    return 0
+
+
+def gadget_addresses(proc: SimProcess) -> dict:
+    """Register the daemon's code and return its address table.
+
+    A real exploit learns such addresses from the binary; the attack
+    corpus reads them from here (white-box attacker).
+    """
+    if not hasattr(proc, "_authd_gadgets"):
+        proc._authd_gadgets = {
+            "deny": proc.register_callback(_deny_handler),
+            "shell": proc.register_callback(_shell_gadget),
+        }
+    return proc._authd_gadgets
+
+
+def authd_main(image: LinkedImage, argv: List[str]) -> int:
+    """Process one login attempt: the username arrives on stdin."""
+    proc = image.process
+    proc.root_shell = False
+    proc.auth_outcome = "none"
+    gadgets = gadget_addresses(proc)
+
+    # the two adjacent heap objects of the published exploit
+    name_buffer = image.call("malloc", NAME_BUFFER)
+    handler_record = image.call("malloc", HANDLER_RECORD)
+    proc.space.write_u64(handler_record, gadgets["deny"])
+    proc.space.write_u64(handler_record + 8, 0)
+
+    # read the username (bounded here — the overflow is the strcpy below)
+    staging = image.call("malloc", 512)
+    if image.call("gets", staging) == 0:
+        image.call("puts", proc.alloc_cstring(b"authd: no input"))
+        return 1
+
+    # the bug: username copied with no length check into the 24-byte
+    # buffer that sits right below the handler record
+    image.call("strcpy", name_buffer, staging)
+
+    image.call("puts", proc.alloc_cstring(b"authd: authenticating"))
+
+    # dispatch through the (possibly clobbered) function pointer
+    handler_ptr = proc.space.read_u64(handler_record)
+    handler = proc.resolve_callback(handler_ptr)
+    handler(proc)
+
+    image.call("free", staging)
+    outcome = proc.auth_outcome.encode()
+    report = image.call("malloc", 64)
+    fmt = proc.alloc_cstring(b"authd: outcome=%s")
+    image.call("sprintf", report, fmt, proc.alloc_cstring(outcome))
+    image.call("puts", report)
+    return 0
+
+
+AUTHD = SimApp(
+    name="authd",
+    path="/sbin/authd",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=authd_main,
+    description="root-privileged daemon with the [3] heap-smash bug",
+)
+
+
+def overflow_distance(proc: SimProcess, name_buffer: int,
+                      handler_record: int) -> int:
+    """Bytes from the name buffer to the handler's function pointer."""
+    return handler_record - name_buffer

@@ -1,0 +1,96 @@
+"""Application model for the simulated system.
+
+A :class:`SimApp` bundles an executable's SimELF metadata (what the
+scanners read) with its entry point (what actually runs).  Entry points
+receive a :class:`~repro.linker.LinkedImage` and call libc exclusively
+through ``image.call(...)`` — the dynamic-linking boundary where HEALERS
+wrappers interpose — so preloading a wrapper changes an app's behaviour
+without touching its code, exactly as with a native binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProcessExit, SimulatorError
+from repro.linker import DynamicLinker, LinkedImage
+from repro.objfile import SimELF, build_executable
+from repro.runtime import SimProcess
+
+#: an application entry point: (image, argv) -> exit status
+EntryPoint = Callable[[LinkedImage, List[str]], int]
+
+
+@dataclass
+class SimApp:
+    """One installable simulated application."""
+
+    name: str
+    path: str
+    needed: List[str]
+    imports: List[str]
+    main: EntryPoint
+    description: str = ""
+
+    def image(self) -> SimELF:
+        """The SimELF container for this application."""
+        return build_executable(self.path, needed=self.needed,
+                                undefined=self.imports)
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    app: str
+    status: Optional[int]
+    stdout: str
+    process: SimProcess
+    exception: Optional[BaseException] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.exception is not None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == 0 and not self.crashed
+
+
+def run_app(
+    app: SimApp,
+    linker: DynamicLinker,
+    argv: Optional[List[str]] = None,
+    stdin: bytes = b"",
+    files: Optional[Dict[str, bytes]] = None,
+    process: Optional[SimProcess] = None,
+    **process_kwargs,
+) -> AppResult:
+    """Load and run an application under the given linker configuration.
+
+    Simulator faults (segfaults, aborts, security terminations) are
+    captured into the result rather than propagated, mirroring how a
+    shell reports a child's death by signal.
+    """
+    process = process if process is not None else SimProcess(**process_kwargs)
+    if stdin:
+        process.fs.feed_stdin(stdin)
+    for path, content in (files or {}).items():
+        process.fs.add_file(path, content)
+    image = linker.load(app.needed, app.imports, process)
+    status: Optional[int] = None
+    exception: Optional[BaseException] = None
+    try:
+        status = app.main(image, list(argv or []))
+    except ProcessExit as exit_call:
+        status = exit_call.status
+    except SimulatorError as fault:
+        exception = fault
+    return AppResult(
+        app=app.name,
+        status=status,
+        stdout=process.fs.stdout_text(),
+        process=process,
+        exception=exception,
+    )

@@ -1,0 +1,99 @@
+"""csvstat: numeric-column statistics over a CSV file.
+
+Exercises the conversion and algorithm families (atoi/strtol, qsort via a
+registered comparator, bsearch) on realistic input.  Used by the overhead
+benchmarks as a compute-heavier workload than wordcount.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+
+LINE_BUFFER = 512
+MAX_VALUES = 4096
+INT_SIZE = 8  # values stored as i64 words
+
+IMPORTS = [
+    "fopen", "fgets", "fclose", "strtok", "atoi", "malloc", "free",
+    "qsort", "bsearch", "sprintf", "puts", "memcpy", "strlen",
+]
+
+
+def csvstat_main(image: LinkedImage, argv: List[str]) -> int:
+    """Parse integers from argv[0] (CSV), sort, report min/median/max."""
+    proc = image.process
+    path = argv[0] if argv else "/data/values.csv"
+    stream = image.call("fopen", proc.alloc_cstring(path.encode()),
+                        proc.alloc_cstring(b"r"))
+    if stream == 0:
+        image.call("puts",
+                   proc.alloc_cstring(f"csvstat: cannot open {path}".encode()))
+        return 1
+
+    values = image.call("malloc", MAX_VALUES * INT_SIZE)
+    line_buf = image.call("malloc", LINE_BUFFER)
+    delim = proc.alloc_cstring(b",\n ")
+    count = 0
+    while image.call("fgets", line_buf, LINE_BUFFER, stream) != 0:
+        token = image.call("strtok", line_buf, delim)
+        while token != 0 and count < MAX_VALUES:
+            number = image.call("atoi", token)
+            proc.space.write_u64(values + count * INT_SIZE,
+                                 number & 0xFFFFFFFFFFFFFFFF)
+            count += 1
+            token = image.call("strtok", 0, delim)
+    image.call("fclose", stream)
+    image.call("free", line_buf)
+
+    if count == 0:
+        image.call("puts", proc.alloc_cstring(b"csvstat: no values"))
+        image.call("free", values)
+        return 1
+
+    comparator = proc.register_callback(_compare_i64)
+    image.call("qsort", values, count, INT_SIZE, comparator)
+
+    def read(index: int) -> int:
+        raw = proc.space.read_u64(values + index * INT_SIZE)
+        return raw - (1 << 64) if raw >= (1 << 63) else raw
+
+    minimum = read(0)
+    maximum = read(count - 1)
+    median = read(count // 2)
+    # bsearch for the median as a self-check of sortedness
+    key = image.call("malloc", INT_SIZE)
+    proc.space.write_u64(key, median & 0xFFFFFFFFFFFFFFFF)
+    found = image.call("bsearch", key, values, count, INT_SIZE, comparator)
+    image.call("free", key)
+
+    report = image.call("malloc", 128)
+    fmt = proc.alloc_cstring(
+        b"n=%d min=%d median=%d max=%d bsearch=%s"
+    )
+    image.call("sprintf", report, fmt, count, minimum, median, maximum,
+               proc.alloc_cstring(b"ok" if found else b"MISSING"))
+    image.call("puts", report)
+    image.call("free", report)
+    image.call("free", values)
+    return 0
+
+
+def _compare_i64(proc, left: int, right: int) -> int:
+    a = proc.space.read_u64(left)
+    b = proc.space.read_u64(right)
+    a = a - (1 << 64) if a >= (1 << 63) else a
+    b = b - (1 << 64) if b >= (1 << 63) else b
+    return (a > b) - (a < b)
+
+
+CSVSTAT = SimApp(
+    name="csvstat",
+    path="/bin/csvstat",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=csvstat_main,
+    description="CSV numeric statistics (qsort/bsearch workload)",
+)

@@ -1,0 +1,78 @@
+"""msgformat: a small request/response service with classic C bugs.
+
+Stands in for the "certain network services" the paper preloads wrappers
+into: it reads request lines from stdin with ``gets()`` into a fixed
+64-byte heap buffer and builds responses with unbounded ``sprintf``.
+Well-formed requests work; an over-long request overflows the request
+buffer (and a hostile request can carry format directives).  The
+robustness and security wrappers must turn those failures into contained
+errors — without them the service crashes or corrupts its heap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+
+REQUEST_BUFFER = 64
+RESPONSE_BUFFER = 160
+
+IMPORTS = [
+    "gets", "sprintf", "puts", "malloc", "free", "strlen", "strcmp",
+    "atoi", "strtok",
+]
+
+
+def msgformat_main(image: LinkedImage, argv: List[str]) -> int:
+    """Serve requests from stdin until EOF; 'QUIT' stops the service.
+
+    Protocol: ``ECHO <text>``, ``ADD <a> <b>``, ``QUIT``.
+    """
+    proc = image.process
+    request = image.call("malloc", REQUEST_BUFFER)
+    response = image.call("malloc", RESPONSE_BUFFER)
+    served = 0
+    while True:
+        if image.call("gets", request) == 0:
+            break
+        if image.call("strlen", request) == 0:
+            continue
+        first = proc.read_cstring(request, limit=REQUEST_BUFFER)
+        served += 1
+        if first.startswith(b"QUIT"):
+            break
+        if first.startswith(b"ADD "):
+            delim = proc.alloc_cstring(b" ")
+            image.call("strtok", request, delim)  # skip the verb
+            a_tok = image.call("strtok", 0, delim)
+            b_tok = image.call("strtok", 0, delim)
+            a = image.call("atoi", a_tok) if a_tok else 0
+            b = image.call("atoi", b_tok) if b_tok else 0
+            fmt = proc.alloc_cstring(b"sum=%d")
+            image.call("sprintf", response, fmt, a + b)
+        else:
+            # ECHO (or unknown): reflect the request into the response —
+            # note the unbounded sprintf through a %s of attacker text
+            fmt = proc.alloc_cstring(b"reply[%d]: %s")
+            image.call("sprintf", response, fmt, served, request)
+        image.call("puts", response)
+    image.call("free", request)
+    image.call("free", response)
+    fmt = proc.alloc_cstring(b"served %d requests")
+    summary = image.call("malloc", 64)
+    image.call("sprintf", summary, fmt, served)
+    image.call("puts", summary)
+    image.call("free", summary)
+    return 0
+
+
+MSGFORMAT = SimApp(
+    name="msgformat",
+    path="/sbin/msgformat",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=msgformat_main,
+    description="request/response service with gets()/sprintf bugs",
+)

@@ -1,0 +1,87 @@
+"""stackd: a service with the classic *stack* smashing bug [1].
+
+The request handler reads input with ``gets()`` into a fixed stack
+buffer; the saved return address lives a short distance above it, so an
+over-long request overwrites it and the function "returns" to an
+attacker-chosen address.  This complements the heap attack of demo 3.4:
+HEALERS' heap size-table cannot bound a stack destination precisely, so
+the effective defence is the stack-protector canary
+(``stack_protect=True``), mirroring the division of labour between heap
+containment wrappers [3] and libsafe/StackGuard-style protection [1].
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+from repro.runtime import SimProcess
+
+REQUEST_BUFFER = 64
+
+IMPORTS = ["gets", "strlen", "puts", "sprintf", "malloc", "free"]
+
+
+def _normal_return(proc: SimProcess, *args) -> int:
+    """The legitimate continuation after the handler returns."""
+    proc.handler_outcome = "returned"
+    return 0
+
+
+def _shell_gadget(proc: SimProcess, *args) -> int:
+    """Attacker-desired code (see authd)."""
+    proc.root_shell = True
+    proc.handler_outcome = "root shell"
+    return 0
+
+
+def gadget_addresses(proc: SimProcess) -> dict:
+    """Code addresses of this binary (read by the attack corpus)."""
+    if not hasattr(proc, "_stackd_gadgets"):
+        proc._stackd_gadgets = {
+            "return": proc.register_callback(_normal_return),
+            "shell": proc.register_callback(_shell_gadget),
+        }
+    return proc._stackd_gadgets
+
+
+def stackd_main(image: LinkedImage, argv: List[str]) -> int:
+    """Handle one request with an on-stack buffer and an unbounded read."""
+    proc = image.process
+    proc.root_shell = False
+    proc.handler_outcome = "none"
+    gadgets = gadget_addresses(proc)
+
+    frame = proc.stack.push_frame("handle_request",
+                                  return_address=gadgets["return"])
+    buffer = proc.stack.alloca(REQUEST_BUFFER)
+    del frame
+
+    if image.call("gets", buffer) == 0:
+        proc.stack.pop_frame()
+        image.call("puts", proc.alloc_cstring(b"stackd: no input"))
+        return 1
+    length = image.call("strlen", buffer)
+
+    # "return": the canary (when enabled) is verified inside pop_frame,
+    # then control transfers to whatever the return slot now holds
+    return_to = proc.stack.pop_frame()
+    proc.resolve_callback(return_to)(proc)
+
+    report = image.call("malloc", 64)
+    fmt = proc.alloc_cstring(b"stackd: handled %d bytes, outcome=%s")
+    image.call("sprintf", report, fmt, length,
+               proc.alloc_cstring(proc.handler_outcome.encode()))
+    image.call("puts", report)
+    return 0
+
+
+STACKD = SimApp(
+    name="stackd",
+    path="/sbin/stackd",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=stackd_main,
+    description="service with a stack-smashing bug (return-address overwrite)",
+)

@@ -1,0 +1,85 @@
+"""statcalc: descriptive statistics over a CSV column — links two libraries.
+
+The only bundled application with *two* NEEDED entries (libc.so.6 and
+libm.so.6), so the application-scanning demo shows multi-library
+resolution and wrapper interposition covers calls into both libraries in
+one process.  Computes count / mean / stddev / geometric mean over the
+positive values of its input using sqrt/log/exp from libm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+
+LINE_BUFFER = 256
+
+IMPORTS = [
+    # libc
+    "fopen", "fgets", "fclose", "strtok", "strtod", "malloc", "free",
+    "sprintf", "puts",
+    # libm
+    "sqrt", "log", "exp", "fabs",
+]
+
+
+def statcalc_main(image: LinkedImage, argv: List[str]) -> int:
+    """Read doubles from argv[0]; print count/mean/stddev/geomean."""
+    proc = image.process
+    path = argv[0] if argv else "/data/values.csv"
+    stream = image.call("fopen", proc.alloc_cstring(path.encode()),
+                        proc.alloc_cstring(b"r"))
+    if stream == 0:
+        image.call("puts",
+                   proc.alloc_cstring(f"statcalc: cannot open {path}".encode()))
+        return 1
+
+    line_buf = image.call("malloc", LINE_BUFFER)
+    delim = proc.alloc_cstring(b",\n ")
+    values: List[float] = []
+    while image.call("fgets", line_buf, LINE_BUFFER, stream) != 0:
+        token = image.call("strtok", line_buf, delim)
+        while token != 0:
+            values.append(image.call("strtod", token, 0))
+            token = image.call("strtok", 0, delim)
+    image.call("fclose", stream)
+    image.call("free", line_buf)
+
+    if not values:
+        image.call("puts", proc.alloc_cstring(b"statcalc: no values"))
+        return 1
+
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    stddev = image.call("sqrt", variance)
+    positives = [v for v in values if v > 0]
+    if positives:
+        log_sum = 0.0
+        for value in positives:
+            log_sum += image.call("log", value)
+        geomean = image.call("exp", log_sum / len(positives))
+    else:
+        geomean = 0.0
+    spread = image.call("fabs", max(values) - min(values))
+
+    report = image.call("malloc", 160)
+    fmt = proc.alloc_cstring(
+        b"n=%d mean=%.3f stddev=%.3f geomean=%.3f spread=%.1f"
+    )
+    image.call("sprintf", report, fmt, count, mean, stddev, geomean, spread)
+    image.call("puts", report)
+    image.call("free", report)
+    return 0
+
+
+STATCALC = SimApp(
+    name="statcalc",
+    path="/bin/statcalc",
+    needed=["libc.so.6", "libm.so.6"],
+    imports=IMPORTS,
+    main=statcalc_main,
+    description="descriptive statistics (links libc and libm)",
+)

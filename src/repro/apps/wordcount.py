@@ -1,0 +1,102 @@
+"""wordcount: a well-behaved text-statistics utility.
+
+The "user application that desires high availability" of Fig. 1: it opens
+a file, reads it line by line, tokenises words, tracks the longest word
+and a small most-frequent table, and prints a report.  It exercises a
+broad slice of the wrapped API (stdio, string, stdlib) and is the
+standard workload for the profiling demo and the overhead benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+
+LINE_BUFFER = 256
+WORD_BUFFER = 64
+TABLE_SLOTS = 16
+
+IMPORTS = [
+    "fopen", "fgets", "fclose", "strtok", "strlen", "strcmp", "strcpy",
+    "malloc", "free", "sprintf", "puts", "tolower", "isalpha", "strdup",
+]
+
+
+def wordcount_main(image: LinkedImage, argv: List[str]) -> int:
+    """Count lines/words/chars of argv[0]; print a frequency table."""
+    proc = image.process
+    path = argv[0] if argv else "/data/sample.txt"
+    path_ptr = proc.alloc_cstring(path.encode())
+    mode_ptr = proc.alloc_cstring(b"r")
+    stream = image.call("fopen", path_ptr, mode_ptr)
+    if stream == 0:
+        message = proc.alloc_cstring(f"wordcount: cannot open {path}".encode())
+        image.call("puts", message)
+        return 1
+
+    line_buf = image.call("malloc", LINE_BUFFER)
+    delim = proc.alloc_cstring(b" \t\n")
+    # tiny open-addressing table of strdup'ed words + counts
+    words: List[int] = [0] * TABLE_SLOTS
+    counts: List[int] = [0] * TABLE_SLOTS
+
+    lines = 0
+    total_words = 0
+    total_chars = 0
+    longest = 0
+    while image.call("fgets", line_buf, LINE_BUFFER, stream) != 0:
+        lines += 1
+        total_chars += image.call("strlen", line_buf)
+        token = image.call("strtok", line_buf, delim)
+        while token != 0:
+            total_words += 1
+            length = image.call("strlen", token)
+            longest = max(longest, length)
+            _tally(image, words, counts, token)
+            token = image.call("strtok", 0, delim)
+
+    image.call("fclose", stream)
+    image.call("free", line_buf)
+
+    report = image.call("malloc", 160)
+    fmt = proc.alloc_cstring(
+        b"%s: %d lines, %d words, %d chars, longest word %d"
+    )
+    image.call("sprintf", report, fmt, path_ptr, lines, total_words,
+               total_chars, longest)
+    image.call("puts", report)
+    top_fmt = proc.alloc_cstring(b"top word: %s (%d)")
+    best = max(range(TABLE_SLOTS), key=lambda i: counts[i], default=0)
+    if counts[best]:
+        image.call("sprintf", report, top_fmt, words[best], counts[best])
+        image.call("puts", report)
+    image.call("free", report)
+    for slot in words:
+        if slot:
+            image.call("free", slot)
+    return 0
+
+
+def _tally(image: LinkedImage, words: List[int], counts: List[int],
+           token: int) -> None:
+    """Bump the count for token in the fixed-size table (lossy on full)."""
+    for index in range(TABLE_SLOTS):
+        if words[index] == 0:
+            words[index] = image.call("strdup", token)
+            counts[index] = 1
+            return
+        if image.call("strcmp", words[index], token) == 0:
+            counts[index] += 1
+            return
+
+
+WORDCOUNT = SimApp(
+    name="wordcount",
+    path="/bin/wordcount",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=wordcount_main,
+    description="text statistics utility (profiling/overhead workload)",
+)

@@ -1,0 +1,346 @@
+"""``healers`` — the command-line face of the toolkit.
+
+Mirrors the demonstrations of Section 3 (the paper shows them through a
+Web interface; a CLI is the headless equivalent):
+
+* ``healers list-libs``                 — demo 3.1, library browser
+* ``healers scan-lib /lib/libc.so.6``   — demo 3.1, function list / XML
+* ``healers scan-app /bin/wordcount``   — demo 3.2, application scan
+* ``healers inject [--functions …]``    — Fig. 2, fault injection
+* ``healers derive``                    — Fig. 2, robust API XML
+* ``healers generate security --c``     — Fig. 3, wrapper source
+* ``healers profile wordcount``         — demo 3.3, profiling report
+* ``healers attack-demo``               — demo 3.4, overflow prevention
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import app_by_name, run_app, standard_files
+from repro.core import Healers
+from repro.profiling import render_full_report
+from repro.wrappers import PRESETS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="healers",
+        description="HEALERS toolkit (DSN'03 reproduction) over a "
+                    "simulated C runtime",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-libs", help="list all libraries on the system")
+    sub.add_parser("list-apps", help="list all applications on the system")
+
+    scan_lib = sub.add_parser("scan-lib", help="scan one shared library")
+    scan_lib.add_argument("path")
+    scan_lib.add_argument("--xml", action="store_true",
+                          help="emit the XML declaration file")
+
+    scan_app = sub.add_parser("scan-app", help="scan one application")
+    scan_app.add_argument("path")
+    scan_app.add_argument("--html", default="",
+                          help="also write the Fig. 4 style HTML page here")
+
+    inject = sub.add_parser("inject", help="run fault-injection experiments")
+    inject.add_argument("--functions",
+                        help="comma-separated subset (default: all)")
+    inject.add_argument("--save", default="",
+                        help="store the experiment verdicts as XML here")
+
+    derive = sub.add_parser("derive",
+                            help="derive the robust API (runs injection)")
+    derive.add_argument("--functions",
+                        help="comma-separated subset (default: all)")
+    derive.add_argument("--load", default="",
+                        help="derive from stored experiments instead of "
+                             "running injection")
+    derive.add_argument("--xml", action="store_true",
+                        help="emit the full XML declaration document")
+
+    generate = sub.add_parser("generate", help="generate a wrapper library")
+    generate.add_argument("preset", choices=sorted(PRESETS))
+    generate.add_argument("--functions",
+                          help="comma-separated subset (default: all)")
+    generate.add_argument("--c", action="store_true",
+                          help="print the generated C source (Fig. 3)")
+
+    profile = sub.add_parser("profile",
+                             help="run a bundled app under the profiling "
+                                  "wrapper and print the report")
+    profile.add_argument("app")
+    profile.add_argument("--arg", action="append", default=[],
+                         dest="app_args", help="argv entry for the app")
+    profile.add_argument("--stdin", default="",
+                         help="text fed to the app's stdin")
+    profile.add_argument("--html", default="",
+                         help="also write the Fig. 5 style HTML page here")
+
+    run = sub.add_parser("run", help="run a bundled app, optionally wrapped")
+    run.add_argument("app")
+    run.add_argument("--wrap", action="append", default=[],
+                     choices=sorted(PRESETS),
+                     help="preload this wrapper type (repeatable)")
+    run.add_argument("--config", default="",
+                     help="XML deployment file selecting wrappers per app")
+    run.add_argument("--arg", action="append", default=[], dest="app_args")
+    run.add_argument("--stdin", default="")
+
+    sub.add_parser("attack-demo",
+                   help="demo 3.4: heap smash with and without the "
+                        "security wrapper")
+
+    collector = sub.add_parser(
+        "serve-collector",
+        help="run the central collection server for profile documents",
+    )
+    collector.add_argument("--port", type=int, default=0)
+    collector.add_argument("--expect", type=int, default=0,
+                           help="exit after receiving this many documents "
+                                "(0 = run until interrupted)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    toolkit = Healers()
+    handler = _HANDLERS[args.command]
+    return handler(toolkit, args)
+
+
+# ----------------------------------------------------------------------
+# subcommand bodies
+# ----------------------------------------------------------------------
+
+def _cmd_list_libs(toolkit: Healers, args) -> int:
+    print(f"{'PATH':<24} {'SONAME':<16} {'FUNCS':>6} {'PROTOTYPED':>10}")
+    for scan in toolkit.list_libraries():
+        print(f"{scan.path:<24} {scan.soname:<16} "
+              f"{scan.function_count:>6} {scan.prototyped:>10}")
+    return 0
+
+
+def _cmd_list_apps(toolkit: Healers, args) -> int:
+    for path in toolkit.list_applications():
+        print(path)
+    return 0
+
+
+def _cmd_scan_lib(toolkit: Healers, args) -> int:
+    if args.xml:
+        print(toolkit.declaration_file(args.path))
+        return 0
+    scan = toolkit.scan_library(args.path)
+    print(f"{scan.path} (soname {scan.soname}): "
+          f"{scan.function_count} functions, "
+          f"{scan.prototyped} with prototypes")
+    for name in scan.functions:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_scan_app(toolkit: Healers, args) -> int:
+    scan = toolkit.scan_application(args.path)
+    if args.html:
+        from repro.reporting import render_application_scan_html
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_application_scan_html(scan))
+        print(f"wrote {args.html}")
+    print(f"{scan.path}:")
+    if not scan.dynamically_linked:
+        print("  statically linked — HEALERS cannot protect this binary")
+        return 1
+    print("  linked libraries:")
+    for soname, path in scan.resolved_libraries.items():
+        print(f"    {soname} => {path}")
+    for soname in scan.missing_libraries:
+        print(f"    {soname} => NOT FOUND")
+    print(f"  undefined functions ({len(scan.undefined_functions)}, "
+          f"{scan.coverage:.0%} wrappable):")
+    for name in scan.undefined_functions:
+        marker = "" if name in scan.wrappable else "   [no wrapper]"
+        print(f"    {name}{marker}")
+    return 0
+
+
+def _functions_arg(args) -> Optional[List[str]]:
+    if getattr(args, "functions", None):
+        return [name.strip() for name in args.functions.split(",")]
+    return None
+
+
+def _cmd_inject(toolkit: Healers, args) -> int:
+    result = toolkit.run_fault_injection(_functions_arg(args))
+    if args.save:
+        from repro.injection import campaign_to_xml
+
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(campaign_to_xml(result))
+        print(f"experiments stored in {args.save}")
+    print(f"library {result.library}: {result.total_probes} probes, "
+          f"{result.total_failures} robustness failures "
+          f"({result.failure_rate:.1%})")
+    for key, value in sorted(result.outcome_counts().items()):
+        print(f"  {key:<8} {value}")
+    worst = sorted(result.reports.values(),
+                   key=lambda r: -r.failure_rate)[:10]
+    print("most brittle functions:")
+    for report in worst:
+        print(f"  {report.function:<12} {report.failure_rate:.1%} "
+              f"({len(report.failures)}/{report.total_probes})")
+    return 0
+
+
+def _cmd_derive(toolkit: Healers, args) -> int:
+    if args.load:
+        from repro.injection import campaign_from_xml
+
+        with open(args.load, encoding="utf-8") as handle:
+            result = campaign_from_xml(handle.read())
+    else:
+        result = toolkit.run_fault_injection(_functions_arg(args))
+    document = toolkit.derive_robust_api(result)
+    if args.xml:
+        print(document.to_xml())
+        return 0
+    for name in sorted(toolkit.derivations):
+        derivation = toolkit.derivations[name]
+        strengthened = [p for p in derivation.params if p.strengthened]
+        if not strengthened:
+            continue
+        print(name)
+        for param in strengthened:
+            print(f"  {param.describe()}")
+    return 0
+
+
+def _cmd_generate(toolkit: Healers, args) -> int:
+    functions = _functions_arg(args)
+    if args.c:
+        print(toolkit.wrapper_source(args.preset, functions))
+        return 0
+    built = toolkit.generate_wrapper(args.preset, functions)
+    print(f"built {built.library.soname}: {len(built.functions)} wrappers "
+          f"({', '.join(built.spec.generators)})")
+    return 0
+
+
+def _cmd_profile(toolkit: Healers, args) -> int:
+    app = app_by_name(args.app)
+    result, document = toolkit.profile_run(
+        app,
+        argv=args.app_args or _default_argv(app.name),
+        stdin=args.stdin.encode(),
+        files=standard_files(),
+    )
+    if args.html:
+        from repro.reporting import render_profile_html
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_profile_html(document))
+        print(f"wrote {args.html}")
+    print(render_full_report(document))
+    return 0 if result.succeeded else 1
+
+
+def _cmd_run(toolkit: Healers, args) -> int:
+    app = app_by_name(args.app)
+    if args.config:
+        from repro.core.config import DeploymentConfig
+
+        with open(args.config, encoding="utf-8") as handle:
+            config = DeploymentConfig.from_xml(handle.read())
+        toolkit.apply_deployment(config, app.path)
+    for preset in args.wrap:
+        toolkit.preload(preset)
+    result = run_app(app, toolkit.linker,
+                     argv=args.app_args or _default_argv(app.name),
+                     stdin=args.stdin.encode(),
+                     files=standard_files())
+    sys.stdout.write(result.stdout)
+    if result.crashed:
+        print(f"[{app.name} died: {result.exception}]")
+        return 139
+    return result.status or 0
+
+
+def _cmd_attack_demo(toolkit: Healers, args) -> int:
+    from repro.security.attacks import HEAP_SMASH
+
+    print("demo 3.4 — heap buffer overflow against the root daemon authd")
+    print(f"payload: {len(HEAP_SMASH.payload())} bytes\n")
+
+    print("[1/2] without protection:")
+    result = run_app(HEAP_SMASH.app, toolkit.linker,
+                     stdin=HEAP_SMASH.payload())
+    print(result.stdout.rstrip())
+    if HEAP_SMASH.hijacked(result):
+        print("  => control flow hijacked: attacker has a ROOT SHELL\n")
+    else:
+        print("  => exploit failed (unexpected)\n")
+
+    print("[2/2] with the security wrapper preloaded:")
+    built = toolkit.preload("security")
+    result = run_app(HEAP_SMASH.app, toolkit.linker,
+                     stdin=HEAP_SMASH.payload())
+    print(result.stdout.rstrip() or "  (no output)")
+    if result.crashed and not HEAP_SMASH.hijacked(result):
+        print(f"  => overflow detected, program terminated: "
+              f"{result.exception}")
+        for event in built.state.security_events:
+            print(f"     security event: {event.function}: {event.reason}")
+        return 0
+    print("  => exploit was NOT contained (unexpected)")
+    return 1
+
+
+def _cmd_serve_collector(toolkit: Healers, args) -> int:
+    import time
+
+    from repro.collection import CollectionServer
+
+    with CollectionServer(port=args.port) as server:
+        print(f"collection server listening on "
+              f"{server.address[0]}:{server.address[1]}")
+        try:
+            while True:
+                time.sleep(0.1)
+                if args.expect and len(server.store) >= args.expect:
+                    break
+        except KeyboardInterrupt:
+            pass
+        print(f"received {len(server.store)} documents from "
+              f"{', '.join(server.store.applications()) or 'nobody'}")
+    return 0
+
+
+def _default_argv(app_name: str) -> List[str]:
+    defaults = {
+        "wordcount": ["/data/sample.txt"],
+        "csvstat": ["/data/values.csv"],
+    }
+    return defaults.get(app_name, [])
+
+
+_HANDLERS = {
+    "list-libs": _cmd_list_libs,
+    "list-apps": _cmd_list_apps,
+    "scan-lib": _cmd_scan_lib,
+    "scan-app": _cmd_scan_app,
+    "inject": _cmd_inject,
+    "derive": _cmd_derive,
+    "generate": _cmd_generate,
+    "profile": _cmd_profile,
+    "run": _cmd_run,
+    "attack-demo": _cmd_attack_demo,
+    "serve-collector": _cmd_serve_collector,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Central collection of wrapper-emitted XML documents."""
+
+from repro.collection.server import (
+    CollectionServer,
+    CollectionStore,
+    StoredDocument,
+    submit_document,
+)
+
+__all__ = [
+    "CollectionServer",
+    "CollectionStore",
+    "StoredDocument",
+    "submit_document",
+]

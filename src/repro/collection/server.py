@@ -1,0 +1,173 @@
+"""Central collection server for wrapper-emitted XML documents.
+
+"Just before the application terminates, the collection code is called to
+send the gathered information to a central server. … Such information is
+then stored for later processing."
+
+The server speaks a minimal length-prefixed protocol over TCP (4-byte
+big-endian length, then the UTF-8 XML document) and files every document
+into a :class:`CollectionStore`, extracting — as the paper describes —
+which functions were wrapped and what kinds of information were
+collected.  An in-process store is also usable directly for tests and
+single-machine runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.profiling.xmllog import ProfileDocument
+
+MAX_DOCUMENT_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class StoredDocument:
+    """One received document plus the extracted index entries."""
+
+    raw_xml: str
+    document: ProfileDocument
+    wrapped_functions: List[str]
+    kinds: List[str]
+
+
+@dataclass
+class CollectionStore:
+    """Store + index of received profile documents."""
+
+    documents: List[StoredDocument] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def submit(self, xml_text: str) -> StoredDocument:
+        """Parse, index and keep one document (raises on malformed XML)."""
+        document = ProfileDocument.from_xml(xml_text)
+        stored = StoredDocument(
+            raw_xml=xml_text,
+            document=document,
+            wrapped_functions=sorted(document.functions),
+            kinds=document.collected_kinds(),
+        )
+        with self._lock:
+            self.documents.append(stored)
+        return stored
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.documents)
+
+    def by_application(self, application: str) -> List[StoredDocument]:
+        with self._lock:
+            return [
+                d for d in self.documents
+                if d.document.application == application
+            ]
+
+    def by_kind(self, kind: str) -> List[StoredDocument]:
+        with self._lock:
+            return [d for d in self.documents if kind in d.kinds]
+
+    def applications(self) -> List[str]:
+        with self._lock:
+            return sorted({d.document.application for d in self.documents})
+
+    def aggregate_calls(self) -> Dict[str, int]:
+        """Total call counts per function across every stored document."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            for stored in self.documents:
+                for name, profile in stored.document.functions.items():
+                    totals[name] = totals.get(name, 0) + profile.calls
+        return totals
+
+
+class CollectionServer:
+    """Threaded TCP acceptor feeding a :class:`CollectionStore`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store: Optional[CollectionStore] = None):
+        self.store = store if store is not None else CollectionStore()
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind((host, port))
+        self._socket.listen(8)
+        self._socket.settimeout(0.2)
+        self.address: Tuple[str, int] = self._socket.getsockname()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.errors: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "CollectionServer":
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._socket.close()
+
+    def __enter__(self) -> "CollectionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._socket.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                self._handle(connection)
+            except Exception as exc:  # a bad client must not kill the server
+                self.errors.append(str(exc))
+            finally:
+                connection.close()
+
+    def _handle(self, connection: socket.socket) -> None:
+        connection.settimeout(5)
+        header = self._read_exactly(connection, 4)
+        (length,) = struct.unpack(">I", header)
+        if length > MAX_DOCUMENT_BYTES:
+            connection.sendall(b"ERR too large\n")
+            raise ValueError(f"document of {length} bytes rejected")
+        payload = self._read_exactly(connection, length)
+        try:
+            self.store.submit(payload.decode("utf-8"))
+        except Exception as exc:
+            connection.sendall(b"ERR malformed\n")
+            raise ValueError(f"malformed document: {exc}") from exc
+        connection.sendall(b"OK\n")
+
+    @staticmethod
+    def _read_exactly(connection: socket.socket, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            data = connection.recv(count - len(chunks))
+            if not data:
+                raise ConnectionError("peer closed mid-message")
+            chunks.extend(data)
+        return bytes(chunks)
+
+
+def submit_document(address: Tuple[str, int], xml_text: str,
+                    timeout: float = 5.0) -> bool:
+    """Client side: send one document; True on server acknowledgement."""
+    payload = xml_text.encode("utf-8")
+    with socket.create_connection(address, timeout=timeout) as connection:
+        connection.sendall(struct.pack(">I", len(payload)))
+        connection.sendall(payload)
+        reply = connection.recv(16)
+    return reply.startswith(b"OK")

@@ -1,0 +1,12 @@
+"""The HEALERS toolkit facade."""
+
+from repro.core.config import AppPolicy, DeploymentConfig
+from repro.core.toolkit import ApplicationScan, Healers, LibraryScan
+
+__all__ = [
+    "AppPolicy",
+    "ApplicationScan",
+    "DeploymentConfig",
+    "Healers",
+    "LibraryScan",
+]

@@ -1,0 +1,111 @@
+"""Per-application wrapper deployment configuration.
+
+The flexibility requirement from Section 1: "Different applications may
+have different reliability and security requirements and need different
+levels of protection.  An one size fits all approach would not work."
+Fig. 1 realises it by giving each application its own wrapper selection;
+this module makes that selection declarative — an XML deployment file a
+system administrator maintains, the moral equivalent of per-service
+``LD_PRELOAD`` settings:
+
+.. code-block:: xml
+
+    <healers-deployment>
+      <application path="/sbin/authd" wrappers="security"/>
+      <application path="/bin/wordcount" wrappers="robustness"
+                   functions="strcpy,strcat,sprintf"/>
+      <default wrappers="logging"/>
+    </healers-deployment>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.wrappers import PRESETS
+
+
+@dataclass
+class AppPolicy:
+    """Wrapper selection for one application (or the default)."""
+
+    path: str
+    wrappers: List[str] = field(default_factory=list)
+    #: restrict wrapping to these functions (empty = whole library)
+    functions: List[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for name in self.wrappers:
+            if name not in PRESETS:
+                raise ValueError(
+                    f"unknown wrapper {name!r} for {self.path or 'default'}; "
+                    f"known: {', '.join(sorted(PRESETS))}"
+                )
+
+
+@dataclass
+class DeploymentConfig:
+    """The whole deployment file."""
+
+    policies: Dict[str, AppPolicy] = field(default_factory=dict)
+    default: Optional[AppPolicy] = None
+
+    def policy_for(self, path: str) -> Optional[AppPolicy]:
+        """The policy governing an application path (explicit or default)."""
+        return self.policies.get(path, self.default)
+
+    # ------------------------------------------------------------------
+    # XML round trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str) -> "DeploymentConfig":
+        root = ET.fromstring(text)
+        if root.tag != "healers-deployment":
+            raise ValueError(
+                f"not a deployment file (root {root.tag!r})"
+            )
+        config = cls()
+        for node in root.findall("application"):
+            policy = _policy_from_node(node, require_path=True)
+            config.policies[policy.path] = policy
+        default_node = root.find("default")
+        if default_node is not None:
+            config.default = _policy_from_node(default_node,
+                                               require_path=False)
+        return config
+
+    def to_xml(self) -> str:
+        root = ET.Element("healers-deployment")
+        for path in sorted(self.policies):
+            policy = self.policies[path]
+            node = ET.SubElement(root, "application", path=path,
+                                 wrappers=",".join(policy.wrappers))
+            if policy.functions:
+                node.set("functions", ",".join(policy.functions))
+        if self.default is not None:
+            node = ET.SubElement(root, "default",
+                                 wrappers=",".join(self.default.wrappers))
+            if self.default.functions:
+                node.set("functions", ",".join(self.default.functions))
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _policy_from_node(node: ET.Element, require_path: bool) -> AppPolicy:
+    path = node.get("path", "")
+    if require_path and not path:
+        raise ValueError("<application> requires a path attribute")
+    wrappers = [
+        name.strip() for name in node.get("wrappers", "").split(",")
+        if name.strip()
+    ]
+    functions = [
+        name.strip() for name in node.get("functions", "").split(",")
+        if name.strip()
+    ]
+    policy = AppPolicy(path=path, wrappers=wrappers, functions=functions)
+    policy.validate()
+    return policy

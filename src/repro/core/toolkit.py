@@ -1,0 +1,351 @@
+"""The HEALERS toolkit facade.
+
+One object wiring the whole pipeline together, in the order the paper's
+demonstrations walk it:
+
+* **demo 3.1** — :meth:`list_libraries`, :meth:`scan_library`,
+  :meth:`declaration_file`;
+* **demo 3.2** — :meth:`scan_application`;
+* **Fig. 2**   — :meth:`extract_prototypes`, :meth:`run_fault_injection`,
+  :meth:`derive_robust_api`;
+* **Fig. 1/3** — :meth:`generate_wrapper`, :meth:`wrapper_source`,
+  :meth:`preload`;
+* **demo 3.3** — :meth:`profile_run`, :meth:`collect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps import SimApp, standard_system
+from repro.apps.base import AppResult, run_app
+from repro.headers.corpus import parse_include_tree, render_include_tree
+from repro.headers.model import Prototype
+from repro.injection import Campaign, CampaignResult
+from repro.libc import LibcRegistry, math_registry, standard_registry
+from repro.linker import DynamicLinker
+from repro.manpages import load_corpus
+from repro.manpages.model import ManPage
+from repro.objfile import ObjFormatError, SimELF, SimSystem
+from repro.profiling import ProfileDocument
+from repro.robust import RobustAPIDocument, derive_api
+from repro.robust.derivation import FunctionDerivation
+from repro.security.policy import SecurityPolicy
+from repro.wrappers import (
+    BuiltWrapper,
+    PRESETS,
+    WrapperFactory,
+    WrapperSpec,
+    default_generator_registry,
+    render_library,
+    units_for,
+)
+
+
+@dataclass
+class LibraryScan:
+    """Demo 3.1 output: one library's function inventory."""
+
+    path: str
+    soname: str
+    functions: List[str]
+    prototyped: int
+
+    @property
+    def function_count(self) -> int:
+        return len(self.functions)
+
+
+@dataclass
+class ApplicationScan:
+    """Demo 3.2 output: an application's linkage inventory."""
+
+    path: str
+    dynamically_linked: bool
+    needed: List[str] = field(default_factory=list)
+    resolved_libraries: Dict[str, str] = field(default_factory=dict)
+    missing_libraries: List[str] = field(default_factory=list)
+    undefined_functions: List[str] = field(default_factory=list)
+    wrappable: List[str] = field(default_factory=list)
+    unwrappable: List[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Share of imported functions the toolkit can wrap."""
+        if not self.undefined_functions:
+            return 1.0
+        return len(self.wrappable) / len(self.undefined_functions)
+
+
+class Healers:
+    """The toolkit: scanning, injection, derivation, generation."""
+
+    def __init__(
+        self,
+        system: Optional[SimSystem] = None,
+        linker: Optional[DynamicLinker] = None,
+        registry: Optional[LibcRegistry] = None,
+        manpages: Optional[Dict[str, ManPage]] = None,
+        security_policy: Optional[SecurityPolicy] = None,
+    ):
+        self.registry = registry or standard_registry()
+        #: secondary wrappable libraries by soname (libm out of the box)
+        self.extra_registries: Dict[str, LibcRegistry] = {}
+        math = math_registry()
+        self.extra_registries[math.library_name] = math
+        if system is None or linker is None:
+            system_, linker_ = standard_system(self.registry)
+            system = system if system is not None else system_
+            linker = linker if linker is not None else linker_
+        self.system = system
+        self.linker = linker
+        self.manpages = manpages if manpages is not None else load_corpus()
+        self.security_policy = security_policy or SecurityPolicy()
+        self._generator_registry = default_generator_registry(
+            self.security_policy
+        )
+        #: populated by derive_robust_api / build_declaration_document
+        self.api_document: Optional[RobustAPIDocument] = None
+        self.derivations: Dict[str, FunctionDerivation] = {}
+        self.campaign_result: Optional[CampaignResult] = None
+
+    # ------------------------------------------------------------------
+    # demo 3.1: library scanning
+    # ------------------------------------------------------------------
+
+    def list_libraries(self) -> List[LibraryScan]:
+        """All shared objects on the system with their function lists."""
+        return [self.scan_library(image.path)
+                for image in self.system.list_libraries()]
+
+    def scan_library(self, path: str) -> LibraryScan:
+        """Parse one shared object and list the functions it defines."""
+        image = SimELF.parse(self.system.read(path), path=path)
+        if not image.is_shared_object:
+            raise ObjFormatError(f"{path} is not a shared object")
+        prototyped = sum(
+            1 for name in image.defined if self._registry_with(name)
+        )
+        return LibraryScan(
+            path=path,
+            soname=image.soname,
+            functions=list(image.defined),
+            prototyped=prototyped,
+        )
+
+    def declaration_file(self, path: str) -> str:
+        """The XML declaration file for a library (demo 3.1's artifact)."""
+        scan = self.scan_library(path)
+        if scan.soname == self.registry.library_name:
+            document = self.build_declaration_document()
+        elif scan.soname in self.extra_registries:
+            document = RobustAPIDocument.build(
+                self.extra_registries[scan.soname], self.manpages
+            )
+        else:
+            # a library we have no implementations for: names only
+            document = RobustAPIDocument(library=scan.soname)
+        return document.to_xml()
+
+    def _registry_with(self, name: str) -> Optional[LibcRegistry]:
+        """The registry (primary or extra) defining ``name``, if any."""
+        if name in self.registry:
+            return self.registry
+        for registry in self.extra_registries.values():
+            if name in registry:
+                return registry
+        return None
+
+    # ------------------------------------------------------------------
+    # demo 3.2: application scanning
+    # ------------------------------------------------------------------
+
+    def list_applications(self) -> List[str]:
+        return [image.path for image in self.system.list_applications()]
+
+    def scan_application(self, path: str) -> ApplicationScan:
+        """Extract linked libraries and undefined functions of a binary."""
+        image = SimELF.parse(self.system.read(path), path=path)
+        if not image.is_executable:
+            raise ObjFormatError(f"{path} is not an executable")
+        scan = ApplicationScan(
+            path=path,
+            dynamically_linked=image.is_dynamically_linked,
+            needed=list(image.needed),
+            undefined_functions=sorted(image.undefined),
+        )
+        for soname in image.needed:
+            found = self.system.find_by_soname(soname)
+            if found is None:
+                scan.missing_libraries.append(soname)
+            else:
+                scan.resolved_libraries[soname] = found.path
+        for name in scan.undefined_functions:
+            if self._registry_with(name) is not None:
+                scan.wrappable.append(name)
+            else:
+                scan.unwrappable.append(name)
+        return scan
+
+    # ------------------------------------------------------------------
+    # Fig. 2: prototypes → injection → robust API
+    # ------------------------------------------------------------------
+
+    def extract_prototypes(self) -> List[Prototype]:
+        """Parse the simulated /usr/include tree (the pipeline's stage 1).
+
+        The headers are rendered from all wrappable libraries'
+        declarations (libc + libm out of the box) and then *parsed back*
+        with the C declaration parser, so this stage runs the same code a
+        native deployment would run over /usr/include.
+        """
+        prototypes = list(self.registry.prototypes())
+        for registry in self.extra_registries.values():
+            prototypes.extend(registry.prototypes())
+        tree = render_include_tree(prototypes)
+        return parse_include_tree(tree)
+
+    def run_fault_injection(
+        self,
+        functions: Optional[Iterable[str]] = None,
+        fuel: Optional[int] = None,
+    ) -> CampaignResult:
+        """Run the automated fault-injection experiments."""
+        kwargs = {}
+        if fuel is not None:
+            kwargs["fuel"] = fuel
+        campaign = Campaign(self.registry, manpages=self.manpages, **kwargs)
+        self.campaign_result = campaign.run(functions)
+        return self.campaign_result
+
+    def derive_robust_api(
+        self, result: Optional[CampaignResult] = None
+    ) -> RobustAPIDocument:
+        """Derive weakest robust types and build the declaration document."""
+        result = result or self.campaign_result
+        if result is None:
+            result = self.run_fault_injection()
+        self.derivations = derive_api(result, self.registry, self.manpages)
+        self.api_document = RobustAPIDocument.build(
+            self.registry, self.manpages, self.derivations
+        )
+        return self.api_document
+
+    def build_declaration_document(self) -> RobustAPIDocument:
+        """The declaration document, with derivations when available."""
+        if self.api_document is None:
+            self.api_document = RobustAPIDocument.build(
+                self.registry, self.manpages, self.derivations or None
+            )
+        return self.api_document
+
+    # ------------------------------------------------------------------
+    # wrapper generation (Fig. 1 / Fig. 3)
+    # ------------------------------------------------------------------
+
+    def _factory(self) -> WrapperFactory:
+        return WrapperFactory(
+            self.registry,
+            self.build_declaration_document(),
+            generators=self._generator_registry,
+        )
+
+    def resolve_spec(self, wrapper: "str | WrapperSpec") -> WrapperSpec:
+        if isinstance(wrapper, WrapperSpec):
+            return wrapper
+        try:
+            return PRESETS[wrapper]
+        except KeyError:
+            raise KeyError(
+                f"unknown wrapper preset {wrapper!r}; "
+                f"known: {', '.join(sorted(PRESETS))}"
+            ) from None
+
+    def generate_wrapper(
+        self,
+        wrapper: "str | WrapperSpec",
+        functions: Optional[Sequence[str]] = None,
+    ) -> BuiltWrapper:
+        """Build a wrapper library (not yet preloaded)."""
+        return self._factory().build_library(
+            self.linker, self.resolve_spec(wrapper), functions=functions
+        )
+
+    def preload(
+        self,
+        wrapper: "str | WrapperSpec",
+        functions: Optional[Sequence[str]] = None,
+    ) -> BuiltWrapper:
+        """Build a wrapper library and LD_PRELOAD it into the linker."""
+        built = self.generate_wrapper(wrapper, functions)
+        self.linker.preload(built.library)
+        return built
+
+    def clear_preloads(self) -> None:
+        self.linker.clear_preloads()
+
+    def wrapper_source(
+        self,
+        wrapper: "str | WrapperSpec",
+        functions: Optional[Sequence[str]] = None,
+    ) -> str:
+        """The generated C source of a wrapper library (Fig. 3 text)."""
+        spec = self.resolve_spec(wrapper)
+        factory = self._factory()
+        names = list(functions) if functions else self.registry.names()
+        units, _ = units_for(factory, names)
+        generators = factory.resolve_spec(spec)
+        return render_library(units, generators,
+                              soname=f"libhealers_{spec.name}.so")
+
+    # ------------------------------------------------------------------
+    # demo 3.3: profiling runs
+    # ------------------------------------------------------------------
+
+    def profile_run(
+        self,
+        app: SimApp,
+        argv: Optional[List[str]] = None,
+        stdin: bytes = b"",
+        files: Optional[Dict[str, bytes]] = None,
+        wrapper: "str | WrapperSpec" = "profiling",
+    ) -> Tuple[AppResult, ProfileDocument]:
+        """Run an app under a fresh wrapper; return run + XML document."""
+        built = self.preload(wrapper)
+        try:
+            result = run_app(app, self.linker, argv=argv, stdin=stdin,
+                             files=files)
+        finally:
+            self.linker.clear_preloads()
+        document = ProfileDocument.from_state(
+            built.state, application=app.name,
+            wrapper_type=built.spec.name,
+            library=self.registry.library_name,
+        )
+        return result, document
+
+    def run(self, app: SimApp, **kwargs) -> AppResult:
+        """Run an app under the current linker configuration."""
+        return run_app(app, self.linker, **kwargs)
+
+    # ------------------------------------------------------------------
+    # declarative deployment (the Fig. 1 per-app wrapper selection)
+    # ------------------------------------------------------------------
+
+    def apply_deployment(self, config, app_path: str) -> List[BuiltWrapper]:
+        """Preload the wrappers a deployment file assigns to one app.
+
+        Returns the built wrappers (empty when no policy applies);
+        callers pair this with :meth:`clear_preloads` between apps.
+        """
+        from repro.core.config import DeploymentConfig
+
+        assert isinstance(config, DeploymentConfig)
+        policy = config.policy_for(app_path)
+        if policy is None:
+            return []
+        return [
+            self.preload(preset, policy.functions or None)
+            for preset in policy.wrappers
+        ]

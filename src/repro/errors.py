@@ -1,0 +1,219 @@
+"""Fault taxonomy for the simulated C runtime.
+
+The HEALERS fault-injection engine classifies the behaviour of a library
+function under a given argument vector.  The taxonomy follows the CRASH
+severity scale used by Ballista (Koopman & DeVale [6]), which is the
+methodology HEALERS adopts for its automated robustness experiments:
+
+* ``CRASH``  -- the process took a fatal signal (segmentation fault, bus
+  error) and would have been killed by the operating system.
+* ``HANG``   -- the call never returned (simulated by exhausting the
+  process's instruction fuel).
+* ``ABORT``  -- the process terminated itself (``abort()``, heap-consistency
+  failure, stack-smashing detection).
+* ``ERROR``  -- the function returned an error indication (error return
+  value and/or ``errno``); this is *robust* behaviour.
+* ``PASS``   -- the function returned normally.
+
+Exceptions raised by the simulator map onto these outcomes; the sandbox in
+:mod:`repro.runtime.sandbox` performs the classification.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(enum.Enum):
+    """Classification of one fault-injection probe (CRASH scale)."""
+
+    PASS = "pass"
+    ERROR = "error"
+    SILENT = "silent"
+    ABORT = "abort"
+    HANG = "hang"
+    CRASH = "crash"
+
+    @property
+    def is_robustness_failure(self) -> bool:
+        """True for outcomes that count as robustness failures.
+
+        Returning an error code for an invalid argument is the *desired*
+        behaviour; crashing, hanging, aborting — or silently corrupting
+        state (the Ballista "Silent" class, detected by post-probe heap
+        validation) — is a robustness failure.
+        """
+        return self in (Outcome.CRASH, Outcome.HANG, Outcome.ABORT,
+                        Outcome.SILENT)
+
+    @property
+    def severity(self) -> int:
+        """Rank outcomes from benign (0) to catastrophic (5)."""
+        order = {
+            Outcome.PASS: 0,
+            Outcome.ERROR: 1,
+            Outcome.SILENT: 2,
+            Outcome.ABORT: 3,
+            Outcome.HANG: 4,
+            Outcome.CRASH: 5,
+        }
+        return order[self]
+
+
+class SimulatorError(Exception):
+    """Base class for all faults raised by the simulated runtime."""
+
+    outcome = Outcome.CRASH
+
+
+class MemoryFault(SimulatorError):
+    """Base class for memory-access faults."""
+
+
+class SegmentationFault(MemoryFault):
+    """Access to an unmapped address or one lacking the needed permission.
+
+    Mirrors SIGSEGV delivery in a native process.
+    """
+
+    outcome = Outcome.CRASH
+
+    def __init__(self, address: int, access: str = "read", detail: str = ""):
+        self.address = address
+        self.access = access
+        self.detail = detail
+        message = f"segmentation fault: {access} at {address:#x}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class BusError(MemoryFault):
+    """Misaligned access where alignment is required (SIGBUS)."""
+
+    outcome = Outcome.CRASH
+
+    def __init__(self, address: int, alignment: int):
+        self.address = address
+        self.alignment = alignment
+        super().__init__(
+            f"bus error: address {address:#x} not aligned to {alignment}"
+        )
+
+
+class HeapCorruption(SimulatorError):
+    """The allocator found inconsistent chunk metadata.
+
+    glibc calls ``abort()`` when it detects heap corruption, so this is an
+    ABORT-class fault rather than a crash.
+    """
+
+    outcome = Outcome.ABORT
+
+    def __init__(self, address: int, reason: str):
+        self.address = address
+        self.reason = reason
+        super().__init__(f"heap corruption at {address:#x}: {reason}")
+
+
+class DoubleFree(HeapCorruption):
+    """``free()`` called on a chunk that is not currently allocated."""
+
+    def __init__(self, address: int):
+        super().__init__(address, "double free or invalid free")
+
+
+class InvalidFree(HeapCorruption):
+    """``free()`` called on a pointer that was never returned by malloc."""
+
+    def __init__(self, address: int):
+        super().__init__(address, "invalid pointer passed to free")
+
+
+class OutOfFuel(SimulatorError):
+    """The process exhausted its instruction budget: a simulated hang.
+
+    Native fault-injection harnesses kill a probe after a watchdog timeout
+    and classify it as a hang; fuel exhaustion is the deterministic
+    equivalent.
+    """
+
+    outcome = Outcome.HANG
+
+    def __init__(self, consumed: int):
+        self.consumed = consumed
+        super().__init__(f"out of fuel after {consumed} simulated steps")
+
+
+class Aborted(SimulatorError):
+    """The process called ``abort()`` or an assertion failed."""
+
+    outcome = Outcome.ABORT
+
+    def __init__(self, reason: str = "abort() called"):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class StackSmashingDetected(Aborted):
+    """A stack canary was found clobbered (stack-protector behaviour)."""
+
+    def __init__(self, frame: str = "?"):
+        super().__init__(f"stack smashing detected in frame {frame!r}")
+
+
+class CanaryViolation(Aborted):
+    """A heap canary was found clobbered by the security wrapper."""
+
+    def __init__(self, address: int):
+        self.address = address
+        super().__init__(f"heap canary clobbered for chunk at {address:#x}")
+
+
+class SecurityViolation(Aborted):
+    """The security wrapper blocked an operation (e.g. overflowing write).
+
+    HEALERS' security wrapper terminates the attacked program; termination
+    is an ABORT-class event from the process's point of view, but — unlike a
+    successful exploit — it is a *contained* failure.
+    """
+
+    def __init__(self, function: str, reason: str):
+        self.function = function
+        self.reason = reason
+        super().__init__(f"security wrapper blocked {function}: {reason}")
+
+
+class ProcessExit(SimulatorError):
+    """Control-flow signal used to implement ``exit()`` in simulated apps."""
+
+    outcome = Outcome.PASS
+
+    def __init__(self, status: int = 0):
+        self.status = status
+        super().__init__(f"process exited with status {status}")
+
+
+class AllocationFailure(SimulatorError):
+    """The simulated heap is exhausted; ``malloc`` reports this by
+    returning ``NULL`` instead of raising, so this escapes only on internal
+    allocator misuse."""
+
+    outcome = Outcome.ERROR
+
+    def __init__(self, size: int):
+        self.size = size
+        super().__init__(f"cannot allocate {size} bytes")
+
+
+def classify_exception(exc: BaseException) -> Outcome:
+    """Map an exception raised during a probe onto the CRASH scale.
+
+    Unknown exceptions are conservatively classified as CRASH: in a native
+    harness any unexpected signal kills the probe process.
+    """
+    if isinstance(exc, SimulatorError):
+        return exc.outcome
+    if isinstance(exc, (RecursionError, ZeroDivisionError, OverflowError)):
+        return Outcome.CRASH
+    return Outcome.CRASH

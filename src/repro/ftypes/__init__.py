@@ -1,0 +1,33 @@
+"""Robust-type chains, probe contexts and test-value dictionaries."""
+
+from repro.ftypes.chains import (
+    CHAINS,
+    ROLE_CHAINS,
+    RobustType,
+    chain_for_ctype,
+    chain_for_role,
+    type_by_name,
+)
+from repro.ftypes.context import (
+    DEFAULT_EXTENT,
+    GOLDEN_STDIN,
+    GOLDEN_TEXT,
+    ProbeContext,
+)
+from repro.ftypes.values import TestValue, chain_id_for, test_values_for
+
+__all__ = [
+    "CHAINS",
+    "DEFAULT_EXTENT",
+    "GOLDEN_STDIN",
+    "GOLDEN_TEXT",
+    "ProbeContext",
+    "ROLE_CHAINS",
+    "RobustType",
+    "TestValue",
+    "chain_for_ctype",
+    "chain_for_role",
+    "chain_id_for",
+    "test_values_for",
+    "type_by_name",
+]

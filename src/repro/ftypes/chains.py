@@ -1,0 +1,232 @@
+"""Robust-type chains: the hierarchy the fault injector searches.
+
+Section 2.2: "Our system searches for the weakest robust argument types
+for a function by repeatedly probing the function with a hierarchy of
+function types until it finds one that does not result in robustness
+failures."
+
+Each parameter role maps to a *chain* of argument types ordered from the
+weakest (rank 0: the declared C type, any bit pattern) to the strictest.
+Type satisfaction is upward closed: a value of a strict type also
+satisfies every weaker type in its chain.  The **weakest robust type** of
+a parameter is the lowest-ranked type T such that no test value
+satisfying T provokes a robustness failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.headers.model import CType
+
+
+@dataclass(frozen=True)
+class RobustType:
+    """One rung in a robust-type chain."""
+
+    chain: str
+    rank: int
+    name: str
+    description: str
+    #: check template used by the wrapper generator when this is the
+    #: derived robust type (see repro.robust.checks)
+    check: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _chain(chain_id: str, *rungs) -> List[RobustType]:
+    return [
+        RobustType(chain=chain_id, rank=rank, name=name,
+                   description=description, check=check)
+        for rank, (name, description, check) in enumerate(rungs)
+    ]
+
+
+#: chain id → ordered rungs (weakest first)
+CHAINS: Dict[str, List[RobustType]] = {
+    "cstring_in": _chain(
+        "cstring_in",
+        ("any_pointer", "any bit pattern (the declared char *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("readable_area", "pointer to readable mapped memory", "ptr_readable"),
+        ("terminated_string", "readable, NUL-terminated string", "string_terminated"),
+    ),
+    "cstring_out": _chain(
+        "cstring_out",
+        ("any_pointer", "any bit pattern (the declared char *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("writable_area", "pointer to writable mapped memory", "ptr_writable"),
+        ("writable_capacity", "writable buffer with capacity for the result",
+         "buffer_capacity"),
+    ),
+    "buffer_in": _chain(
+        "buffer_in",
+        ("any_pointer", "any bit pattern (the declared void *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("readable_area", "pointer to readable mapped memory", "ptr_readable"),
+        ("readable_extent", "readable for the full declared extent",
+         "buffer_readable_extent"),
+    ),
+    "buffer_out": _chain(
+        "buffer_out",
+        ("any_pointer", "any bit pattern (the declared void *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("writable_area", "pointer to writable mapped memory", "ptr_writable"),
+        ("writable_extent", "writable for the full declared extent",
+         "buffer_capacity"),
+    ),
+    "out_ptr": _chain(
+        "out_ptr",
+        ("any_pointer", "any bit pattern", ""),
+        ("writable_word_or_null", "NULL or a writable pointer-sized slot",
+         "word_writable_or_null"),
+        ("writable_word", "writable pointer-sized slot", "word_writable"),
+    ),
+    "heap_ptr": _chain(
+        "heap_ptr",
+        ("any_pointer", "any bit pattern (the declared void *)", ""),
+        ("heap_region_ptr", "NULL or a pointer into the heap region",
+         "ptr_in_heap_or_null"),
+        ("live_heap_or_null", "NULL or the start of a live allocation",
+         "heap_live_or_null"),
+    ),
+    "file": _chain(
+        "file",
+        ("any_pointer", "any bit pattern (the declared FILE *)", ""),
+        ("readable_struct", "pointer to a readable FILE-sized object",
+         "ptr_readable_file"),
+        ("open_stream", "FILE * for a currently open stream", "file_open"),
+    ),
+    "callback": _chain(
+        "callback",
+        ("any_pointer", "any bit pattern (the declared function pointer)", ""),
+        ("code_pointer", "address of an executable function", "fn_pointer"),
+    ),
+    "int_any": _chain(
+        "int_any",
+        ("any_int", "any machine integer", ""),
+    ),
+    "int_uchar_eof": _chain(
+        "int_uchar_eof",
+        ("any_int", "any machine integer", ""),
+        ("uchar_or_eof", "0..255 or EOF (-1): the ctype domain", "int_uchar_eof"),
+    ),
+    "int_nonzero": _chain(
+        "int_nonzero",
+        ("any_int", "any machine integer", ""),
+        ("nonzero", "any integer except zero", "int_nonzero"),
+    ),
+    "size": _chain(
+        "size",
+        ("any_size", "any size_t value (including SIZE_MAX)", ""),
+        ("object_bounded", "count bounded by the referenced object's size",
+         "size_bounded"),
+    ),
+    "base": _chain(
+        "base",
+        ("any_int", "any machine integer", ""),
+        ("valid_base", "0 or 2..36 (the strtol base domain)", "int_base"),
+    ),
+    "format_string": _chain(
+        "format_string",
+        ("any_pointer", "any bit pattern (the declared char *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("readable_area", "pointer to readable mapped memory", "ptr_readable"),
+        ("terminated_string", "readable, NUL-terminated string", "string_terminated"),
+        ("matching_directives", "directives matched by the supplied arguments",
+         "format_safe"),
+    ),
+    "wstring_in": _chain(
+        "wstring_in",
+        ("any_pointer", "any bit pattern (the declared wchar_t *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("readable_area", "pointer to readable mapped memory", "ptr_readable"),
+        ("terminated_wstring", "readable, L'\\0'-terminated wide string",
+         "wstring_terminated"),
+    ),
+    "float_any": _chain(
+        "float_any",
+        ("any_double", "any IEEE-754 double (NaN, infinities, subnormals)",
+         ""),
+    ),
+    "wstring_out": _chain(
+        "wstring_out",
+        ("any_pointer", "any bit pattern (the declared wchar_t *)", ""),
+        ("valid_or_null", "NULL or a pointer into mapped memory", "ptr_valid_or_null"),
+        ("writable_area", "pointer to writable mapped memory", "ptr_writable"),
+        ("writable_wcapacity", "writable buffer with capacity for the result",
+         "wbuffer_capacity"),
+    ),
+}
+
+#: parameter role → chain id
+ROLE_CHAINS: Dict[str, str] = {
+    "in_string": "cstring_in",
+    "opt_in_string": "cstring_in",
+    "out_string": "cstring_out",
+    "inout_string": "cstring_out",
+    "in_buffer": "buffer_in",
+    "out_buffer": "buffer_out",
+    "opt_out_ptr": "out_ptr",
+    "out_ptr": "out_ptr",
+    "uchar_or_eof": "int_uchar_eof",
+    "wide_char": "int_any",
+    "size": "size",
+    "any_int": "int_any",
+    "nonzero_int": "int_nonzero",
+    "errnum": "int_any",
+    "base": "base",
+    "callback": "callback",
+    "file": "file",
+    "path": "cstring_in",
+    "mode": "cstring_in",
+    "format": "format_string",
+    "heap_ptr": "heap_ptr",
+    "desc": "int_any",
+    "in_wstring": "wstring_in",
+    "out_wstring": "wstring_out",
+    "out_wbuffer": "wstring_out",
+    "real": "float_any",
+}
+
+
+def chain_for_role(role: str) -> List[RobustType]:
+    """The robust-type chain for a manual-page role."""
+    chain_id = ROLE_CHAINS.get(role)
+    if chain_id is None:
+        raise KeyError(f"no chain for role {role!r}")
+    return CHAINS[chain_id]
+
+
+def chain_for_ctype(ctype: CType) -> List[RobustType]:
+    """Fallback chain inferred from the declared type alone.
+
+    Used when no manual page annotates the parameter — the automated
+    pipeline degrades gracefully to declared-type information.
+    """
+    if ctype.function_pointer:
+        return CHAINS["callback"]
+    if ctype.is_char_pointer:
+        return CHAINS["cstring_in" if ctype.const else "cstring_out"]
+    if ctype.is_wide_char_pointer:
+        return CHAINS["wstring_in" if ctype.const else "wstring_out"]
+    if ctype.pointer_depth >= 2:
+        return CHAINS["out_ptr"]
+    if ctype.is_pointer:
+        return CHAINS["buffer_in" if ctype.const else "buffer_out"]
+    if ctype.base == "size_t":
+        return CHAINS["size"]
+    if ctype.is_float:
+        return CHAINS["float_any"]
+    return CHAINS["int_any"]
+
+
+def type_by_name(chain_id: str, name: str) -> Optional[RobustType]:
+    """Look up one rung by chain and name."""
+    for rung in CHAINS[chain_id]:
+        if rung.name == name:
+            return rung
+    return None

@@ -1,0 +1,22 @@
+"""C header parsing: prototype extraction for the HEALERS pipeline."""
+
+from repro.headers.model import CType, Parameter, Prototype, pointer_to, scalar, void
+from repro.headers.parser import (
+    HeaderParser,
+    ParseError,
+    parse_header,
+    parse_prototype,
+)
+
+__all__ = [
+    "CType",
+    "HeaderParser",
+    "Parameter",
+    "ParseError",
+    "Prototype",
+    "parse_header",
+    "parse_prototype",
+    "pointer_to",
+    "scalar",
+    "void",
+]

@@ -1,0 +1,89 @@
+"""The simulated /usr/include tree.
+
+Renders the standard headers (string.h, stdlib.h, …) as genuine C header
+text — include guards, typedefs, comments, declarations — grouped the way
+the real tree groups them.  The toolkit's prototype-extraction step
+(Fig. 2's first box) *parses this text* with
+:class:`~repro.headers.parser.HeaderParser`; nothing downstream consumes
+the renderer's intermediate state, so header parsing is a real stage with
+real failure modes, not a fiction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.headers.model import Prototype
+from repro.headers.parser import HeaderParser
+
+_GUARD_NAMES = {
+    "string.h": "_STRING_H",
+    "strings.h": "_STRINGS_H",
+    "stdlib.h": "_STDLIB_H",
+    "stdio.h": "_STDIO_H",
+    "ctype.h": "_CTYPE_H",
+    "wchar.h": "_WCHAR_H",
+    "wctype.h": "_WCTYPE_H",
+}
+
+_PREAMBLE = {
+    "string.h": "typedef unsigned long size_t;\n",
+    "stdlib.h": (
+        "typedef unsigned long size_t;\n"
+        "typedef struct { int quot; int rem; } div_t;\n"
+    ),
+    "stdio.h": (
+        "typedef unsigned long size_t;\n"
+        "typedef struct _IO_FILE FILE;\n"
+    ),
+    "wchar.h": (
+        "typedef unsigned long size_t;\n"
+        "typedef int wchar_t;\n"
+        "typedef unsigned int wint_t;\n"
+    ),
+    "wctype.h": (
+        "typedef unsigned int wint_t;\n"
+        "typedef unsigned long wctrans_t;\n"
+        "typedef unsigned long wctype_t;\n"
+    ),
+}
+
+
+def render_header(name: str, prototypes: Iterable[Prototype]) -> str:
+    """One header file's text from its declarations."""
+    guard = _GUARD_NAMES.get(name, "_" + name.upper().replace(".", "_"))
+    lines: List[str] = [
+        f"/* {name} — simulated system header (HEALERS reproduction) */",
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+    ]
+    preamble = _PREAMBLE.get(name)
+    if preamble:
+        lines.append(preamble.rstrip("\n"))
+        lines.append("")
+    for proto in sorted(prototypes, key=lambda p: p.name):
+        lines.append(f"extern {proto.declare()}")
+    lines += ["", f"#endif /* {guard} */", ""]
+    return "\n".join(lines)
+
+
+def render_include_tree(prototypes: Iterable[Prototype]) -> Dict[str, str]:
+    """header name → header text, grouping declarations by header."""
+    grouped: Dict[str, List[Prototype]] = {}
+    for proto in prototypes:
+        grouped.setdefault(proto.header or "misc.h", []).append(proto)
+    return {
+        name: render_header(name, protos)
+        for name, protos in sorted(grouped.items())
+    }
+
+
+def parse_include_tree(tree: Dict[str, str]) -> List[Prototype]:
+    """Parse a rendered tree back to prototypes (one parser, shared
+    typedef scope, as a compiler front end would accumulate them)."""
+    parser = HeaderParser()
+    prototypes: List[Prototype] = []
+    for name, text in sorted(tree.items()):
+        prototypes.extend(parser.parse(text, header=name))
+    return prototypes

@@ -1,0 +1,164 @@
+"""Tokenizer for C header declarations.
+
+Handles the subset of C that appears in library headers: identifiers,
+keywords, integer literals, punctuation, comments (both styles), and
+preprocessor lines (skipped wholesale — the corpus headers are already
+self-contained, so conditional compilation is not evaluated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+PUNCTUATION = {
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    "*",
+    "...",
+    "=",
+}
+
+#: operator characters that can appear inside skipped inline bodies or
+#: constant expressions; lexed as generic 'op' tokens
+OPERATOR_CHARS = set("+-/%<>!&|^~?:.")
+
+KEYWORDS = {
+    "extern",
+    "static",
+    "inline",
+    "const",
+    "volatile",
+    "restrict",
+    "unsigned",
+    "signed",
+    "struct",
+    "union",
+    "enum",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "typedef",
+}
+
+
+class LexError(ValueError):
+    """Raised on input the lexer cannot tokenize."""
+
+    def __init__(self, message: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'punct', 'eof'
+    text: str
+    line: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize header source into a token list ending with an EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        # preprocessor line: skip to end of line (honouring continuations)
+        if char == "#" and _at_line_start(source, index):
+            while index < length and source[index] != "\n":
+                if source[index] == "\\" and index + 1 < length and source[index + 1] == "\n":
+                    index += 2
+                    line += 1
+                    continue
+                index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if source.startswith("...", index):
+            yield Token("punct", "...", line)
+            index += 3
+            continue
+        if char in PUNCTUATION:
+            yield Token("punct", char, line)
+            index += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (source[index].isalnum() or source[index] in "xX"):
+                index += 1
+            yield Token("number", source[start:index], line)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            yield Token("keyword" if text in KEYWORDS else "ident", text, line)
+            continue
+        if char in "\"'":
+            # string/char literal: scan to the matching quote
+            quote = char
+            index += 1
+            while index < length and source[index] != quote:
+                if source[index] == "\\":
+                    index += 1
+                if index < length and source[index] == "\n":
+                    line += 1
+                index += 1
+            if index >= length:
+                raise LexError("unterminated literal", line)
+            index += 1
+            yield Token("literal", quote, line)
+            continue
+        if char in OPERATOR_CHARS:
+            yield Token("op", char, line)
+            index += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", line)
+    yield Token("eof", "", line)
+
+
+def _at_line_start(source: str, index: int) -> bool:
+    cursor = index - 1
+    while cursor >= 0 and source[cursor] in " \t":
+        cursor -= 1
+    return cursor < 0 or source[cursor] == "\n"

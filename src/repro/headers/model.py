@@ -1,0 +1,209 @@
+"""C type and prototype model used across the toolkit.
+
+HEALERS "parses the header files and manual pages from C libraries to
+generate the prototype information for all global functions" (Section 2.2).
+These classes are the output of that parsing step and the input to both the
+fault-injection engine (which picks test values by C type) and the wrapper
+generators (which need exact spellings to emit the Fig. 3 style C code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: base types with known integer-ness (used to pick test-value generators)
+INTEGER_BASES = {
+    "char",
+    "signed char",
+    "unsigned char",
+    "short",
+    "unsigned short",
+    "int",
+    "unsigned int",
+    "long",
+    "unsigned long",
+    "long long",
+    "unsigned long long",
+    "size_t",
+    "ssize_t",
+    "wchar_t",
+    "wint_t",
+    "wctrans_t",
+    "wctype_t",
+    "time_t",
+    "clock_t",
+    "intptr_t",
+    "uintptr_t",
+    "ptrdiff_t",
+    "mode_t",
+    "off_t",
+    "pid_t",
+    "uid_t",
+    "gid_t",
+}
+
+FLOAT_BASES = {"float", "double", "long double"}
+
+UNSIGNED_BASES = {
+    "unsigned char",
+    "unsigned short",
+    "unsigned int",
+    "unsigned long",
+    "unsigned long long",
+    "size_t",
+    "wctrans_t",
+    "wctype_t",
+    "uintptr_t",
+    "mode_t",
+    "uid_t",
+    "gid_t",
+}
+
+
+@dataclass(frozen=True)
+class CType:
+    """A (simplified) C type: base spelling + pointer depth + qualifiers.
+
+    ``const`` records constness of the *pointee* for pointer types and of
+    the value for scalars; deeper qualifier structure (``char * const *``)
+    is flattened, which suffices for the C-library API surface.
+    ``function_pointer`` marks callback parameters such as ``qsort``'s
+    comparator; their inner signature is kept as an opaque spelling.
+    """
+
+    base: str
+    pointer_depth: int = 0
+    const: bool = False
+    function_pointer: bool = False
+    inner_spelling: str = ""
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0 or self.function_pointer
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointer_depth == 0
+
+    @property
+    def is_void_pointer(self) -> bool:
+        return self.base == "void" and self.pointer_depth >= 1
+
+    @property
+    def is_char_pointer(self) -> bool:
+        return self.base in ("char",) and self.pointer_depth == 1
+
+    @property
+    def is_wide_char_pointer(self) -> bool:
+        return self.base == "wchar_t" and self.pointer_depth == 1
+
+    @property
+    def is_integer(self) -> bool:
+        return self.pointer_depth == 0 and self.base in INTEGER_BASES
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.pointer_depth == 0 and self.base in UNSIGNED_BASES
+
+    @property
+    def is_float(self) -> bool:
+        return self.pointer_depth == 0 and self.base in FLOAT_BASES
+
+    def pointee(self) -> "CType":
+        """The type pointed to (depth reduced by one)."""
+        if self.pointer_depth == 0:
+            raise ValueError(f"{self.spelling} is not a pointer")
+        return CType(self.base, self.pointer_depth - 1, const=self.const)
+
+    @property
+    def spelling(self) -> str:
+        """Canonical C spelling, e.g. ``const char *``."""
+        if self.function_pointer:
+            return self.inner_spelling or "void (*)(void)"
+        parts = []
+        if self.const:
+            parts.append("const")
+        parts.append(self.base)
+        text = " ".join(parts)
+        if self.pointer_depth:
+            text += " " + "*" * self.pointer_depth
+        return text
+
+    def __str__(self) -> str:
+        return self.spelling
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One formal parameter of a prototype."""
+
+    name: str
+    ctype: CType
+
+    def declare(self) -> str:
+        """C declaration fragment, e.g. ``const char* a1``."""
+        if self.ctype.function_pointer:
+            spelling = self.ctype.inner_spelling
+            if "(*)" in spelling:
+                return spelling.replace("(*)", f"(*{self.name})", 1)
+            return f"{spelling} {self.name}"
+        return f"{self.ctype.spelling} {self.name}"
+
+
+@dataclass
+class Prototype:
+    """A global function's declared interface.
+
+    This is the "prototype information" of Fig. 2: the declared API, which
+    is generally *weaker* than the robust API the fault-injection
+    experiments derive (the paper's strcpy example).
+    """
+
+    name: str
+    return_type: CType
+    params: List[Parameter] = field(default_factory=list)
+    variadic: bool = False
+    header: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def declare(self) -> str:
+        """Full C declaration, e.g. ``char * strcpy(char * dest, const char * src);``."""
+        args: List[str] = [p.declare() for p in self.params]
+        if self.variadic:
+            args.append("...")
+        if not args:
+            args = ["void"]
+        return f"{self.return_type.spelling} {self.name}({', '.join(args)});"
+
+    def signature_key(self) -> Tuple[str, ...]:
+        """Hashable shape key (return + param spellings) for grouping."""
+        return tuple(
+            [self.return_type.spelling] + [p.ctype.spelling for p in self.params]
+        )
+
+
+def void() -> CType:
+    """The ``void`` type."""
+    return CType("void")
+
+
+def pointer_to(base: str, const: bool = False, depth: int = 1) -> CType:
+    """Convenience constructor for pointer types."""
+    return CType(base, pointer_depth=depth, const=const)
+
+
+def scalar(base: str) -> CType:
+    """Convenience constructor for non-pointer types."""
+    return CType(base)
+
+
+def find_parameter(proto: Prototype, name: str) -> Optional[Parameter]:
+    """Look up a parameter of ``proto`` by name."""
+    for param in proto.params:
+        if param.name == name:
+            return param
+    return None

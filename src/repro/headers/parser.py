@@ -1,0 +1,358 @@
+"""Recursive-descent parser for C header declarations.
+
+Produces :class:`~repro.headers.model.Prototype` objects for every global
+function declared in a header.  The grammar subset covers what C library
+headers actually contain: storage classes, qualified scalar and pointer
+types, typedef names, array parameters (decayed to pointers), function
+pointer parameters (qsort-style comparators), and varargs.
+
+Unnamed parameters are assigned positional names ``a1``, ``a2``, … — the
+same convention visible in the paper's Fig. 3 generated code
+(``wctrans_t wctrans(const char* a1)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.headers.lexer import Token, tokenize
+from repro.headers.model import CType, Parameter, Prototype
+
+#: typedef names assumed known, as a real parser would learn them from
+#: included system headers
+DEFAULT_TYPEDEFS = {
+    "size_t",
+    "ssize_t",
+    "wchar_t",
+    "wint_t",
+    "wctrans_t",
+    "wctype_t",
+    "FILE",
+    "va_list",
+    "time_t",
+    "clock_t",
+    "div_t",
+    "ldiv_t",
+    "lldiv_t",
+    "intptr_t",
+    "uintptr_t",
+    "ptrdiff_t",
+    "off_t",
+    "pid_t",
+    "mode_t",
+    "uid_t",
+    "gid_t",
+    "sig_atomic_t",
+    "jmp_buf",
+    "fpos_t",
+    "locale_t",
+}
+
+_TYPE_KEYWORDS = {
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "unsigned",
+    "signed",
+}
+
+_QUALIFIERS = {"const", "volatile", "restrict"}
+_STORAGE = {"extern", "static", "inline"}
+
+
+class ParseError(ValueError):
+    """Raised when a declaration cannot be parsed."""
+
+    def __init__(self, message: str, token: Token):
+        self.token = token
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+
+
+class HeaderParser:
+    """Parses one header's text into prototypes (and learns typedefs)."""
+
+    def __init__(self, typedefs: Optional[Set[str]] = None):
+        self.typedefs: Set[str] = set(DEFAULT_TYPEDEFS)
+        if typedefs:
+            self.typedefs |= typedefs
+        self._tokens: List[Token] = []
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def parse(self, source: str, header: str = "") -> List[Prototype]:
+        """Parse ``source`` and return all function prototypes found."""
+        self._tokens = tokenize(source)
+        self._pos = 0
+        prototypes: List[Prototype] = []
+        while not self._peek().kind == "eof":
+            if self._peek().is_keyword("typedef"):
+                self._parse_typedef()
+                continue
+            proto = self._parse_declaration(header)
+            if proto is not None:
+                prototypes.append(proto)
+        return prototypes
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_punct(text):
+            raise ParseError(f"expected {text!r}", token)
+        return token
+
+    def _skip_past(self, text: str) -> None:
+        depth = 0
+        while True:
+            token = self._advance()
+            if token.kind == "eof":
+                return
+            if token.is_punct("(") or token.is_punct("{") or token.is_punct("["):
+                depth += 1
+            elif token.is_punct(")") or token.is_punct("}") or token.is_punct("]"):
+                depth -= 1
+            elif token.is_punct(text) and depth <= 0:
+                return
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def _parse_typedef(self) -> None:
+        """Register the typedef'd name; the aliased type is not tracked."""
+        self._advance()  # 'typedef'
+        name: Optional[str] = None
+        while True:
+            token = self._advance()
+            if token.kind == "eof" or token.is_punct(";"):
+                break
+            if token.kind == "ident":
+                name = token.text
+        if name:
+            self.typedefs.add(name)
+
+    def _parse_declaration(self, header: str) -> Optional[Prototype]:
+        base, const = self._parse_declspecs()
+        if base is None:
+            # not a declaration we understand; resynchronise at ';'
+            self._skip_past(";")
+            return None
+        name, ctype, params = self._parse_declarator(base, const, allow_abstract=False)
+        if params is None:
+            # object declaration (e.g. `extern char **environ;`) — skip
+            self._skip_past(";")
+            return None
+        token = self._advance()
+        if token.is_punct("{"):
+            # inline definition: skip the body
+            depth = 1
+            while depth and token.kind != "eof":
+                token = self._advance()
+                if token.is_punct("{"):
+                    depth += 1
+                elif token.is_punct("}"):
+                    depth -= 1
+        elif not token.is_punct(";"):
+            raise ParseError("expected ';' after declaration", token)
+        param_list, variadic = params
+        return Prototype(
+            name=name,
+            return_type=ctype,
+            params=param_list,
+            variadic=variadic,
+            header=header,
+        )
+
+    def _parse_declspecs(self) -> Tuple[Optional[str], bool]:
+        """Parse type specifiers; returns (base spelling, const) or (None, _)."""
+        const = False
+        words: List[str] = []
+        while True:
+            token = self._peek()
+            if token.kind == "keyword":
+                if token.text in _STORAGE:
+                    self._advance()
+                    continue
+                if token.text in _QUALIFIERS:
+                    const = const or token.text == "const"
+                    self._advance()
+                    continue
+                if token.text in ("struct", "union", "enum"):
+                    self._advance()
+                    tag = self._advance()
+                    if tag.kind != "ident":
+                        raise ParseError("expected tag name", tag)
+                    words.append(f"{token.text} {tag.text}")
+                    continue
+                if token.text in _TYPE_KEYWORDS:
+                    words.append(token.text)
+                    self._advance()
+                    continue
+                return (None, const)
+            if token.kind == "ident" and token.text in self.typedefs and not words:
+                words.append(token.text)
+                self._advance()
+                continue
+            break
+        if not words:
+            return (None, const)
+        return (_normalise_base(words), const)
+
+    def _parse_declarator(
+        self, base: str, const: bool, allow_abstract: bool
+    ) -> Tuple[str, CType, Optional[Tuple[List[Parameter], bool]]]:
+        """Parse ``'*'* name suffix*``.
+
+        Returns (name, type, params) where params is None for object
+        declarators and (param_list, variadic) for function declarators.
+        """
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.is_punct("*"):
+                depth += 1
+                self._advance()
+                while self._peek().kind == "keyword" and self._peek().text in _QUALIFIERS:
+                    self._advance()
+                continue
+            break
+        # function pointer declarator: ( * name? ) ( params )
+        if self._peek().is_punct("(") and self._peek(1).is_punct("*"):
+            return self._parse_function_pointer(base, const, depth)
+        name = ""
+        if self._peek().kind in ("ident", "keyword") and not self._peek().is_punct("("):
+            token = self._peek()
+            if token.kind == "ident" and token.text not in self.typedefs:
+                name = self._advance().text
+        params: Optional[Tuple[List[Parameter], bool]] = None
+        while True:
+            token = self._peek()
+            if token.is_punct("(") and params is None:
+                self._advance()
+                params = self._parse_params()
+            elif token.is_punct("["):
+                self._advance()
+                while not self._peek().is_punct("]"):
+                    if self._peek().kind == "eof":
+                        raise ParseError("unterminated array suffix", self._peek())
+                    self._advance()
+                self._expect_punct("]")
+                depth += 1  # array parameter decays to pointer
+            else:
+                break
+        if not name and not allow_abstract and params is not None:
+            raise ParseError("missing function name", self._peek())
+        return (name, CType(base, pointer_depth=depth, const=const), params)
+
+    def _parse_function_pointer(
+        self, base: str, const: bool, depth: int
+    ) -> Tuple[str, CType, None]:
+        self._expect_punct("(")
+        self._expect_punct("*")
+        name = ""
+        if self._peek().kind == "ident":
+            name = self._advance().text
+        self._expect_punct(")")
+        self._expect_punct("(")
+        inner_params, variadic = self._parse_params()
+        args = ", ".join(p.ctype.spelling for p in inner_params) or "void"
+        if variadic:
+            args += ", ..."
+        ret = CType(base, pointer_depth=depth, const=const)
+        spelling = f"{ret.spelling} (*)({args})"
+        ctype = CType(base, pointer_depth=depth, const=const,
+                      function_pointer=True, inner_spelling=spelling)
+        return (name, ctype, None)
+
+    def _parse_params(self) -> Tuple[List[Parameter], bool]:
+        """Parse a parenthesised parameter list (the '(' is consumed)."""
+        params: List[Parameter] = []
+        variadic = False
+        if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+            self._advance()
+            self._advance()
+            return (params, variadic)
+        if self._peek().is_punct(")"):
+            self._advance()
+            return (params, variadic)
+        while True:
+            if self._peek().is_punct("..."):
+                self._advance()
+                variadic = True
+            else:
+                base, const = self._parse_declspecs()
+                if base is None:
+                    raise ParseError("expected parameter type", self._peek())
+                name, ctype, inner = self._parse_declarator(
+                    base, const, allow_abstract=True
+                )
+                if inner is not None:
+                    # a parameter declared with function-declarator syntax
+                    # (callback without (*)): treat as function pointer
+                    args = ", ".join(p.ctype.spelling for p in inner[0]) or "void"
+                    spelling = f"{ctype.spelling} (*)({args})"
+                    ctype = CType(
+                        ctype.base,
+                        ctype.pointer_depth,
+                        const=ctype.const,
+                        function_pointer=True,
+                        inner_spelling=spelling,
+                    )
+                params.append(Parameter(name=name or f"a{len(params) + 1}", ctype=ctype))
+            token = self._advance()
+            if token.is_punct(")"):
+                break
+            if not token.is_punct(","):
+                raise ParseError("expected ',' or ')' in parameter list", token)
+        named = [
+            Parameter(p.name or f"a{i + 1}", p.ctype) for i, p in enumerate(params)
+        ]
+        return (named, variadic)
+
+
+def _normalise_base(words: List[str]) -> str:
+    """Canonicalise multi-word bases: 'long unsigned' -> 'unsigned long'."""
+    if words == ["signed"]:
+        return "int"
+    if words == ["unsigned"]:
+        return "unsigned int"
+    if "unsigned" in words and words[0] != "unsigned":
+        words = ["unsigned"] + [w for w in words if w != "unsigned"]
+    if words and words[0] == "signed" and len(words) > 1 and words[1] != "char":
+        words = words[1:]
+    return " ".join(words)
+
+
+def parse_header(source: str, header: str = "") -> List[Prototype]:
+    """Parse one header's text (convenience wrapper)."""
+    return HeaderParser().parse(source, header)
+
+
+def parse_prototype(declaration: str) -> Prototype:
+    """Parse a single declaration string into a Prototype."""
+    text = declaration.strip()
+    if not text.endswith(";"):
+        text += ";"
+    protos = HeaderParser().parse(text)
+    if len(protos) != 1:
+        raise ValueError(f"expected exactly one declaration in {declaration!r}")
+    return protos[0]

@@ -1,0 +1,30 @@
+"""Automated fault-injection experiments (the engine of Fig. 2)."""
+
+from repro.injection.campaign import (
+    Campaign,
+    CampaignResult,
+    FunctionReport,
+    Probe,
+    ProbeRecord,
+)
+from repro.injection.pairwise import (
+    PairProbe,
+    PairRecord,
+    PairwiseCampaign,
+    PairwiseReport,
+)
+from repro.injection.store import campaign_from_xml, campaign_to_xml
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "FunctionReport",
+    "PairProbe",
+    "PairRecord",
+    "PairwiseCampaign",
+    "PairwiseReport",
+    "Probe",
+    "ProbeRecord",
+    "campaign_from_xml",
+    "campaign_to_xml",
+]

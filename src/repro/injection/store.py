@@ -1,0 +1,85 @@
+"""Persistence for fault-injection results: the experiments database.
+
+"The results of such experiments can be used to generate various
+wrappers" — in a production deployment the expensive injection sweep
+runs once per library release and its results are stored; wrapper
+generation (possibly on other hosts) consumes the stored verdicts.  This
+module serialises a :class:`CampaignResult` to a self-describing XML
+document and back, preserving everything derivation needs: probe
+identity (parameter, chain, value label, max satisfied rank) and the
+classified outcome.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import Outcome
+from repro.injection.campaign import (
+    CampaignResult,
+    FunctionReport,
+    Probe,
+    ProbeRecord,
+)
+from repro.runtime import ProbeResult
+
+
+def campaign_to_xml(result: CampaignResult) -> str:
+    """Serialise a campaign's verdicts."""
+    root = ET.Element("healers-experiments", library=result.library,
+                      probes=str(result.total_probes),
+                      failures=str(result.total_failures))
+    for name in sorted(result.reports):
+        report = result.reports[name]
+        fn = ET.SubElement(root, "function", name=name)
+        for record in report.records:
+            ET.SubElement(
+                fn, "probe",
+                {"param": record.probe.param_name,
+                 "index": str(record.probe.param_index),
+                 "chain": record.probe.chain,
+                 "value": record.probe.value_label,
+                 "rank": str(record.probe.max_rank),
+                 "outcome": record.outcome.value,
+                 "errno": str(record.result.errno)},
+            )
+        for error in report.setup_errors:
+            ET.SubElement(fn, "setup-error", detail=error)
+    if result.skipped:
+        ET.SubElement(root, "skipped", names=" ".join(result.skipped))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def campaign_from_xml(text: str) -> CampaignResult:
+    """Reconstruct a campaign result for offline derivation."""
+    root = ET.fromstring(text)
+    if root.tag != "healers-experiments":
+        raise ValueError(f"not an experiments file (root {root.tag!r})")
+    result = CampaignResult(library=root.get("library", ""))
+    for fn in root.findall("function"):
+        report = FunctionReport(function=fn.get("name", ""))
+        for node in fn.findall("probe"):
+            probe = Probe(
+                function=report.function,
+                param_index=int(node.get("index", "0")),
+                param_name=node.get("param", ""),
+                chain=node.get("chain", ""),
+                value_label=node.get("value", ""),
+                max_rank=int(node.get("rank", "0")),
+            )
+            outcome = Outcome(node.get("outcome", "pass"))
+            report.records.append(
+                ProbeRecord(
+                    probe=probe,
+                    result=ProbeResult(outcome=outcome,
+                                       errno=int(node.get("errno", "0"))),
+                )
+            )
+        for node in fn.findall("setup-error"):
+            report.setup_errors.append(node.get("detail", ""))
+        result.reports[report.function] = report
+    skipped = root.find("skipped")
+    if skipped is not None:
+        result.skipped = skipped.get("names", "").split()
+    return result

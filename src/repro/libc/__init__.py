@@ -1,0 +1,47 @@
+"""The simulated C library.
+
+``standard_registry()`` builds the full simulated libc — the shared
+library that HEALERS wraps.  Its functions are registered with parsed C
+prototypes and implementations that operate on a
+:class:`~repro.runtime.SimProcess`, reproducing the C standard library's
+documented behaviour *and* its undocumented fragility (the raw material
+for the fault-injection experiments).
+"""
+
+from repro.libc.registry import (
+    ErrorDetector,
+    LibcRegistry,
+    LibFunction,
+    libc_function,
+    negative_on_error,
+    null_on_error,
+)
+from repro.libc import ctype_, math_, stdio_, stdlib_, string_, time_, wchar_
+
+__all__ = [
+    "ErrorDetector",
+    "LibFunction",
+    "LibcRegistry",
+    "libc_function",
+    "math_registry",
+    "negative_on_error",
+    "null_on_error",
+    "standard_registry",
+]
+
+_FAMILIES = (string_, ctype_, stdlib_, stdio_, wchar_, time_)
+
+
+def standard_registry(library_name: str = "libc.so.6") -> LibcRegistry:
+    """Build a fresh registry containing the whole simulated libc."""
+    registry = LibcRegistry(library_name)
+    for family in _FAMILIES:
+        family.register(registry)
+    return registry
+
+
+def math_registry(library_name: str = "libm.so.6") -> LibcRegistry:
+    """Build the simulated math library (a second wrappable library)."""
+    registry = LibcRegistry(library_name)
+    math_.register(registry)
+    return registry

@@ -1,0 +1,123 @@
+"""Simulated <ctype.h> family.
+
+Classification functions take an ``int`` that must be representable as an
+``unsigned char`` or ``EOF``; like glibc's table-driven implementation,
+values far outside that range index off the classification table.  glibc
+historically tolerated this by over-allocating the table; we reproduce the
+*standard's* contract instead: out-of-domain values are undefined and read
+the table out of bounds, which gives the fault injector an integer-domain
+robustness failure to find (Ballista reported exactly these for ctype).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SegmentationFault
+from repro.libc.registry import LibcRegistry, libc_function
+from repro.runtime.process import SimProcess
+
+EOF = -1
+
+_ALPHA = set(range(0x41, 0x5B)) | set(range(0x61, 0x7B))
+_DIGIT = set(range(0x30, 0x3A))
+_XDIGIT = _DIGIT | set(range(0x41, 0x47)) | set(range(0x61, 0x67))
+_SPACE = {0x20, 0x09, 0x0A, 0x0B, 0x0C, 0x0D}
+_UPPER = set(range(0x41, 0x5B))
+_LOWER = set(range(0x61, 0x7B))
+_CNTRL = set(range(0x00, 0x20)) | {0x7F}
+_PRINT = set(range(0x20, 0x7F))
+_GRAPH = set(range(0x21, 0x7F))
+_PUNCT = _GRAPH - _ALPHA - _DIGIT
+
+
+def _classify(proc: SimProcess, c: int, members: set) -> int:
+    """Table lookup with the C domain rule: c must be uchar or EOF."""
+    proc.consume()
+    if c == EOF:
+        return 0
+    if not (0 <= c <= 0xFF):
+        # undefined behaviour: indexing the classification table out of
+        # bounds; far-out values walk off the table's mapping
+        raise SegmentationFault(c & 0xFFFFFFFF, "read",
+                                "ctype table index out of range")
+    return 1 if c in members else 0
+
+
+def register(reg: LibcRegistry) -> None:
+    """Register the ctype family into ``reg``."""
+
+    @libc_function(reg, "int isalpha(int c)", header="ctype.h", category="ctype")
+    def isalpha(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is an alphabetic character."""
+        return _classify(proc, c, _ALPHA)
+
+    @libc_function(reg, "int isdigit(int c)", header="ctype.h", category="ctype")
+    def isdigit(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is a decimal digit."""
+        return _classify(proc, c, _DIGIT)
+
+    @libc_function(reg, "int isalnum(int c)", header="ctype.h", category="ctype")
+    def isalnum(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is alphanumeric."""
+        return _classify(proc, c, _ALPHA | _DIGIT)
+
+    @libc_function(reg, "int isxdigit(int c)", header="ctype.h", category="ctype")
+    def isxdigit(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is a hexadecimal digit."""
+        return _classify(proc, c, _XDIGIT)
+
+    @libc_function(reg, "int isspace(int c)", header="ctype.h", category="ctype")
+    def isspace(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is whitespace."""
+        return _classify(proc, c, _SPACE)
+
+    @libc_function(reg, "int isupper(int c)", header="ctype.h", category="ctype")
+    def isupper(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is an uppercase letter."""
+        return _classify(proc, c, _UPPER)
+
+    @libc_function(reg, "int islower(int c)", header="ctype.h", category="ctype")
+    def islower(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is a lowercase letter."""
+        return _classify(proc, c, _LOWER)
+
+    @libc_function(reg, "int iscntrl(int c)", header="ctype.h", category="ctype")
+    def iscntrl(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is a control character."""
+        return _classify(proc, c, _CNTRL)
+
+    @libc_function(reg, "int isprint(int c)", header="ctype.h", category="ctype")
+    def isprint(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is printable (including space)."""
+        return _classify(proc, c, _PRINT)
+
+    @libc_function(reg, "int isgraph(int c)", header="ctype.h", category="ctype")
+    def isgraph(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is printable and not space."""
+        return _classify(proc, c, _GRAPH)
+
+    @libc_function(reg, "int ispunct(int c)", header="ctype.h", category="ctype")
+    def ispunct(proc: SimProcess, c: int) -> int:
+        """Nonzero when c is punctuation."""
+        return _classify(proc, c, _PUNCT)
+
+    @libc_function(reg, "int toupper(int c)", header="ctype.h", category="ctype")
+    def toupper(proc: SimProcess, c: int) -> int:
+        """Uppercase conversion (same domain rule as the predicates)."""
+        proc.consume()
+        if c == EOF:
+            return EOF
+        if not (0 <= c <= 0xFF):
+            raise SegmentationFault(c & 0xFFFFFFFF, "read",
+                                    "ctype table index out of range")
+        return c - 0x20 if c in _LOWER else c
+
+    @libc_function(reg, "int tolower(int c)", header="ctype.h", category="ctype")
+    def tolower(proc: SimProcess, c: int) -> int:
+        """Lowercase conversion (same domain rule as the predicates)."""
+        proc.consume()
+        if c == EOF:
+            return EOF
+        if not (0 <= c <= 0xFF):
+            raise SegmentationFault(c & 0xFFFFFFFF, "read",
+                                    "ctype table index out of range")
+        return c + 0x20 if c in _UPPER else c

@@ -1,0 +1,98 @@
+"""Shared low-level primitives for the simulated libc.
+
+These helpers are intentionally *naive*: they mimic the tight byte loops of
+a real C library with no argument validation.  Every byte touched consumes
+one unit of process fuel, so an unterminated scan either faults at a
+mapping boundary (CRASH) or exhausts its fuel (HANG) — the two failure
+modes fault injection must provoke and the wrappers must prevent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.process import SimProcess
+
+
+def scan_string_length(proc: SimProcess, address: int) -> int:
+    """strlen-style scan; faults/hangs exactly like the C loop would."""
+    length = 0
+    cursor = address
+    while True:
+        proc.consume()
+        if proc.space.read(cursor, 1)[0] == 0:
+            return length
+        length += 1
+        cursor += 1
+
+
+def copy_string(proc: SimProcess, dest: int, src: int) -> int:
+    """strcpy-style byte loop; returns bytes copied excluding the NUL."""
+    copied = 0
+    while True:
+        proc.consume()
+        byte = proc.space.read(src + copied, 1)[0]
+        proc.space.write(dest + copied, bytes([byte]))
+        if byte == 0:
+            return copied
+        copied += 1
+
+
+def copy_bytes_forward(proc: SimProcess, dest: int, src: int, count: int) -> None:
+    """memcpy-style loop (forward, byte-at-a-time, fuel-metered)."""
+    for offset in range(count):
+        proc.consume()
+        byte = proc.space.read(src + offset, 1)
+        proc.space.write(dest + offset, byte)
+
+
+def copy_bytes_backward(proc: SimProcess, dest: int, src: int, count: int) -> None:
+    """memmove tail-first loop for overlapping dest > src."""
+    for offset in range(count - 1, -1, -1):
+        proc.consume()
+        byte = proc.space.read(src + offset, 1)
+        proc.space.write(dest + offset, byte)
+
+
+def compare_strings(proc: SimProcess, left: int, right: int,
+                    limit: Optional[int] = None, fold_case: bool = False) -> int:
+    """strcmp/strncmp/strcasecmp core; returns the C-style difference."""
+    offset = 0
+    while True:
+        if limit is not None and offset >= limit:
+            return 0
+        proc.consume()
+        a = proc.space.read(left + offset, 1)[0]
+        b = proc.space.read(right + offset, 1)[0]
+        if fold_case:
+            a = _fold(a)
+            b = _fold(b)
+        if a != b:
+            return a - b
+        if a == 0:
+            return 0
+        offset += 1
+
+
+def _fold(byte: int) -> int:
+    if 0x41 <= byte <= 0x5A:
+        return byte + 0x20
+    return byte
+
+
+def to_signed(value: int, bits: int = 32) -> int:
+    """Interpret an unsigned machine word as a signed integer."""
+    sign = 1 << (bits - 1)
+    mask = (1 << bits) - 1
+    value &= mask
+    return value - (1 << bits) if value & sign else value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Truncate a Python int to an unsigned machine word."""
+    return value & ((1 << bits) - 1)
+
+
+def int_result(value: int, bits: int = 32) -> int:
+    """Wrap a computed integer the way a C int return would."""
+    return to_signed(to_unsigned(value, bits), bits)

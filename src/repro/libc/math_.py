@@ -1,0 +1,248 @@
+"""Simulated <math.h> — the second shared library, libm.so.6.
+
+Math functions follow C99 error reporting: a *domain error* (sqrt of a
+negative, log of a non-positive) sets ``errno = EDOM`` and returns NaN;
+a *range error* (overflowing exp, pow) sets ``errno = ERANGE`` and
+returns ±HUGE_VAL; pole errors (fmod by zero) are domain errors.  Unlike
+the string family, this library is *robust by construction* — every
+argument is a scalar, every failure is an errno — which gives the fault
+injector the contrast Ballista also observed: brittleness concentrates
+in the pointer-taking API, not the numeric one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.libc.registry import LibcRegistry, libc_function
+from repro.runtime.process import Errno, SimProcess
+
+HUGE_VAL = float("inf")
+NAN = float("nan")
+
+
+def _domain_error(proc: SimProcess) -> float:
+    proc.errno = Errno.EDOM
+    return NAN
+
+
+def _range_error(proc: SimProcess, sign: float = 1.0) -> float:
+    proc.errno = Errno.ERANGE
+    return math.copysign(HUGE_VAL, sign)
+
+
+def _is_bad(value: float) -> bool:
+    return isinstance(value, float) and (math.isnan(value))
+
+
+def register(reg: LibcRegistry) -> None:
+    """Register the math family into ``reg`` (normally libm's registry)."""
+
+    @libc_function(reg, "double sqrt(double x)", header="math.h",
+                   category="math")
+    def sqrt(proc: SimProcess, x: float) -> float:
+        """Square root; EDOM for negative arguments."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if x < 0:
+            return _domain_error(proc)
+        return math.sqrt(x)
+
+    @libc_function(reg, "double cbrt(double x)", header="math.h",
+                   category="math")
+    def cbrt(proc: SimProcess, x: float) -> float:
+        """Cube root (defined for all reals)."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return math.copysign(abs(x) ** (1.0 / 3.0), x)
+
+    @libc_function(reg, "double pow(double x, double y)", header="math.h",
+                   category="math")
+    def pow_(proc: SimProcess, x: float, y: float) -> float:
+        """x**y with C99 domain/range errno reporting."""
+        proc.consume()
+        x, y = float(x), float(y)
+        try:
+            result = math.pow(x, y)
+        except ValueError:
+            return _domain_error(proc)
+        except OverflowError:
+            return _range_error(proc, 1.0 if x >= 0 else -1.0)
+        if math.isinf(result) and not (math.isinf(x) or math.isinf(y)):
+            return _range_error(proc, result)
+        return result
+
+    @libc_function(reg, "double exp(double x)", header="math.h",
+                   category="math")
+    def exp(proc: SimProcess, x: float) -> float:
+        """e**x; ERANGE on overflow."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        try:
+            return math.exp(x)
+        except OverflowError:
+            return _range_error(proc)
+
+    @libc_function(reg, "double log(double x)", header="math.h",
+                   category="math")
+    def log(proc: SimProcess, x: float) -> float:
+        """Natural logarithm; EDOM for x<0, ERANGE (pole) for x==0."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if x < 0:
+            return _domain_error(proc)
+        if x == 0:
+            proc.errno = Errno.ERANGE
+            return -HUGE_VAL
+        return math.log(x)
+
+    @libc_function(reg, "double log10(double x)", header="math.h",
+                   category="math")
+    def log10(proc: SimProcess, x: float) -> float:
+        """Base-10 logarithm, same error contract as log."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if x < 0:
+            return _domain_error(proc)
+        if x == 0:
+            proc.errno = Errno.ERANGE
+            return -HUGE_VAL
+        return math.log10(x)
+
+    @libc_function(reg, "double sin(double x)", header="math.h",
+                   category="math")
+    def sin(proc: SimProcess, x: float) -> float:
+        """Sine; EDOM for infinite arguments."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if math.isinf(x):
+            return _domain_error(proc)
+        return math.sin(x)
+
+    @libc_function(reg, "double cos(double x)", header="math.h",
+                   category="math")
+    def cos(proc: SimProcess, x: float) -> float:
+        """Cosine; EDOM for infinite arguments."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if math.isinf(x):
+            return _domain_error(proc)
+        return math.cos(x)
+
+    @libc_function(reg, "double tan(double x)", header="math.h",
+                   category="math")
+    def tan(proc: SimProcess, x: float) -> float:
+        """Tangent; EDOM for infinite arguments."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if math.isinf(x):
+            return _domain_error(proc)
+        return math.tan(x)
+
+    @libc_function(reg, "double atan2(double y, double x)", header="math.h",
+                   category="math")
+    def atan2(proc: SimProcess, y: float, x: float) -> float:
+        """Two-argument arctangent (total over the reals)."""
+        proc.consume()
+        y, x = float(y), float(x)
+        if math.isnan(y) or math.isnan(x):
+            return NAN
+        return math.atan2(y, x)
+
+    @libc_function(reg, "double asin(double x)", header="math.h",
+                   category="math")
+    def asin(proc: SimProcess, x: float) -> float:
+        """Arcsine; EDOM outside [-1, 1]."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if x < -1 or x > 1:
+            return _domain_error(proc)
+        return math.asin(x)
+
+    @libc_function(reg, "double acos(double x)", header="math.h",
+                   category="math")
+    def acos(proc: SimProcess, x: float) -> float:
+        """Arccosine; EDOM outside [-1, 1]."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x):
+            return NAN
+        if x < -1 or x > 1:
+            return _domain_error(proc)
+        return math.acos(x)
+
+    @libc_function(reg, "double fmod(double x, double y)", header="math.h",
+                   category="math")
+    def fmod(proc: SimProcess, x: float, y: float) -> float:
+        """Floating remainder; EDOM for y == 0 or infinite x."""
+        proc.consume()
+        x, y = float(x), float(y)
+        if math.isnan(x) or math.isnan(y):
+            return NAN
+        if y == 0 or math.isinf(x):
+            return _domain_error(proc)
+        return math.fmod(x, y)
+
+    @libc_function(reg, "double floor(double x)", header="math.h",
+                   category="math")
+    def floor(proc: SimProcess, x: float) -> float:
+        """Round toward -inf (total)."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.floor(x))
+
+    @libc_function(reg, "double ceil(double x)", header="math.h",
+                   category="math")
+    def ceil(proc: SimProcess, x: float) -> float:
+        """Round toward +inf (total)."""
+        proc.consume()
+        x = float(x)
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.ceil(x))
+
+    @libc_function(reg, "double fabs(double x)", header="math.h",
+                   category="math")
+    def fabs(proc: SimProcess, x: float) -> float:
+        """Absolute value (total)."""
+        proc.consume()
+        return abs(float(x))
+
+    @libc_function(reg, "double hypot(double x, double y)", header="math.h",
+                   category="math")
+    def hypot(proc: SimProcess, x: float, y: float) -> float:
+        """sqrt(x²+y²) without intermediate overflow; ERANGE if the
+        result itself overflows."""
+        proc.consume()
+        x, y = float(x), float(y)
+        if math.isinf(x) or math.isinf(y):
+            return HUGE_VAL
+        if math.isnan(x) or math.isnan(y):
+            return NAN
+        try:
+            result = math.hypot(x, y)
+        except OverflowError:
+            return _range_error(proc)
+        if math.isinf(result):
+            return _range_error(proc)
+        return result

@@ -1,0 +1,139 @@
+"""Registry of simulated C library functions.
+
+Every libc function is registered with its C declaration (parsed into a
+:class:`~repro.headers.model.Prototype`), an implementation operating on a
+:class:`~repro.runtime.SimProcess`, and an optional *error detector* that
+tells the sandbox which return values signal an error (e.g. NULL from
+``malloc`` with errno set).
+
+The registry is what the HEALERS toolkit enumerates when it "finds all
+functions defined in that library" — it plays the role of the shared
+object's dynamic symbol table plus the parsed prototype information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.headers.model import Prototype
+from repro.headers.parser import parse_prototype
+from repro.runtime.process import SimProcess
+
+#: implementation signature: (process, *argument values) -> return value
+Impl = Callable[..., Any]
+#: (return value, errno) -> True when the return signals an error
+ErrorDetector = Callable[[Any, int], bool]
+
+
+def null_on_error(value: Any, errno: int) -> bool:
+    """Error convention: NULL return (optionally with errno)."""
+    return value == 0
+
+
+def negative_on_error(value: Any, errno: int) -> bool:
+    """Error convention: negative return value."""
+    return isinstance(value, int) and value < 0
+
+
+def errno_only(value: Any, errno: int) -> bool:
+    """Error convention: any nonzero errno after the call."""
+    return errno != 0
+
+
+@dataclass
+class LibFunction:
+    """One simulated C library function."""
+
+    prototype: Prototype
+    impl: Impl
+    error_detector: Optional[ErrorDetector] = None
+    category: str = "misc"
+    #: short description used in generated XML declaration files
+    summary: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.prototype.name
+
+    @property
+    def header(self) -> str:
+        return self.prototype.header
+
+    def __call__(self, process: SimProcess, *args: Any) -> Any:
+        return self.impl(process, *args)
+
+
+class LibcRegistry:
+    """Name → :class:`LibFunction` mapping for one simulated library."""
+
+    def __init__(self, library_name: str = "libc.so.6"):
+        self.library_name = library_name
+        self._functions: Dict[str, LibFunction] = {}
+
+    def register(self, function: LibFunction) -> None:
+        if function.name in self._functions:
+            raise ValueError(f"duplicate libc function {function.name!r}")
+        self._functions[function.name] = function
+
+    def get(self, name: str) -> Optional[LibFunction]:
+        return self._functions.get(name)
+
+    def __getitem__(self, name: str) -> LibFunction:
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __iter__(self) -> Iterator[LibFunction]:
+        return iter(self._functions.values())
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def names(self) -> List[str]:
+        return sorted(self._functions)
+
+    def by_category(self, category: str) -> List[LibFunction]:
+        return [f for f in self if f.category == category]
+
+    def prototypes(self) -> List[Prototype]:
+        return [f.prototype for f in self]
+
+
+def libc_function(
+    registry: LibcRegistry,
+    declaration: str,
+    header: str,
+    category: str,
+    error_detector: Optional[ErrorDetector] = None,
+    summary: str = "",
+) -> Callable[[Impl], Impl]:
+    """Decorator registering ``impl`` under its C declaration.
+
+    Example::
+
+        @libc_function(reg, "size_t strlen(const char *s)",
+                       header="string.h", category="string")
+        def strlen(proc, s):
+            ...
+    """
+
+    prototype = parse_prototype(declaration)
+    prototype.header = header
+
+    def decorate(impl: Impl) -> Impl:
+        registry.register(
+            LibFunction(
+                prototype=prototype,
+                impl=impl,
+                error_detector=error_detector,
+                category=category,
+                summary=summary or (impl.__doc__ or "").strip().splitlines()[0]
+                if impl.__doc__
+                else summary,
+            )
+        )
+        return impl
+
+    return decorate

@@ -1,0 +1,388 @@
+"""Simulated <string.h> (plus <strings.h>) family.
+
+Implementations follow the C standard's *documented* behaviour and inherit
+the C standard's *undocumented* fragility: NULL or garbage pointers are
+dereferenced, unterminated strings are scanned off the end of their
+buffer, and destination bounds are never checked.  The HEALERS pipeline
+exists to discover and contain exactly these behaviours, so hardening them
+here would invalidate the reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.libc import helpers
+from repro.libc.registry import LibcRegistry, libc_function, null_on_error
+from repro.runtime.process import Errno, SimProcess
+
+_ERRNO_MESSAGES = {
+    0: b"Success",
+    Errno.EPERM: b"Operation not permitted",
+    Errno.ENOENT: b"No such file or directory",
+    Errno.EIO: b"Input/output error",
+    Errno.EBADF: b"Bad file descriptor",
+    Errno.ENOMEM: b"Cannot allocate memory",
+    Errno.EACCES: b"Permission denied",
+    Errno.EFAULT: b"Bad address",
+    Errno.EINVAL: b"Invalid argument",
+    Errno.ERANGE: b"Numerical result out of range",
+    Errno.EDOM: b"Numerical argument out of domain",
+}
+
+
+def register(reg: LibcRegistry) -> None:
+    """Register the string family into ``reg``."""
+
+    @libc_function(reg, "size_t strlen(const char *s)",
+                   header="string.h", category="string")
+    def strlen(proc: SimProcess, s: int) -> int:
+        """Length of the NUL-terminated string at s."""
+        return helpers.scan_string_length(proc, s)
+
+    @libc_function(reg, "size_t strnlen(const char *s, size_t maxlen)",
+                   header="string.h", category="string")
+    def strnlen(proc: SimProcess, s: int, maxlen: int) -> int:
+        """Length of s, scanning at most maxlen bytes."""
+        length = 0
+        while length < maxlen:
+            proc.consume()
+            if proc.space.read(s + length, 1)[0] == 0:
+                return length
+            length += 1
+        return maxlen
+
+    @libc_function(reg, "char *strcpy(char *dest, const char *src)",
+                   header="string.h", category="string")
+    def strcpy(proc: SimProcess, dest: int, src: int) -> int:
+        """Copy src (including NUL) into dest; no bounds check."""
+        helpers.copy_string(proc, dest, src)
+        return dest
+
+    @libc_function(reg, "char *stpcpy(char *dest, const char *src)",
+                   header="string.h", category="string")
+    def stpcpy(proc: SimProcess, dest: int, src: int) -> int:
+        """Like strcpy but returns a pointer to dest's terminating NUL."""
+        copied = helpers.copy_string(proc, dest, src)
+        return dest + copied
+
+    @libc_function(reg, "char *strncpy(char *dest, const char *src, size_t n)",
+                   header="string.h", category="string")
+    def strncpy(proc: SimProcess, dest: int, src: int, n: int) -> int:
+        """Copy at most n bytes; pads dest with NULs to length n."""
+        offset = 0
+        terminated = False
+        while offset < n:
+            proc.consume()
+            if terminated:
+                proc.space.write(dest + offset, b"\x00")
+            else:
+                byte = proc.space.read(src + offset, 1)[0]
+                proc.space.write(dest + offset, bytes([byte]))
+                if byte == 0:
+                    terminated = True
+            offset += 1
+        return dest
+
+    @libc_function(reg, "char *strcat(char *dest, const char *src)",
+                   header="string.h", category="string")
+    def strcat(proc: SimProcess, dest: int, src: int) -> int:
+        """Append src to dest; no bounds check."""
+        end = dest + helpers.scan_string_length(proc, dest)
+        helpers.copy_string(proc, end, src)
+        return dest
+
+    @libc_function(reg, "char *strncat(char *dest, const char *src, size_t n)",
+                   header="string.h", category="string")
+    def strncat(proc: SimProcess, dest: int, src: int, n: int) -> int:
+        """Append at most n bytes of src to dest, then a NUL."""
+        end = dest + helpers.scan_string_length(proc, dest)
+        offset = 0
+        while offset < n:
+            proc.consume()
+            byte = proc.space.read(src + offset, 1)[0]
+            if byte == 0:
+                break
+            proc.space.write(end + offset, bytes([byte]))
+            offset += 1
+        proc.space.write(end + offset, b"\x00")
+        return dest
+
+    @libc_function(reg, "int strcmp(const char *s1, const char *s2)",
+                   header="string.h", category="string")
+    def strcmp(proc: SimProcess, s1: int, s2: int) -> int:
+        """Lexicographic comparison."""
+        return helpers.compare_strings(proc, s1, s2)
+
+    @libc_function(reg, "int strncmp(const char *s1, const char *s2, size_t n)",
+                   header="string.h", category="string")
+    def strncmp(proc: SimProcess, s1: int, s2: int, n: int) -> int:
+        """Comparison over at most n bytes."""
+        return helpers.compare_strings(proc, s1, s2, limit=n)
+
+    @libc_function(reg, "int strcasecmp(const char *s1, const char *s2)",
+                   header="strings.h", category="string")
+    def strcasecmp(proc: SimProcess, s1: int, s2: int) -> int:
+        """Case-insensitive comparison."""
+        return helpers.compare_strings(proc, s1, s2, fold_case=True)
+
+    @libc_function(reg,
+                   "int strncasecmp(const char *s1, const char *s2, size_t n)",
+                   header="strings.h", category="string")
+    def strncasecmp(proc: SimProcess, s1: int, s2: int, n: int) -> int:
+        """Case-insensitive comparison over at most n bytes."""
+        return helpers.compare_strings(proc, s1, s2, limit=n, fold_case=True)
+
+    @libc_function(reg, "int strcoll(const char *s1, const char *s2)",
+                   header="string.h", category="string")
+    def strcoll(proc: SimProcess, s1: int, s2: int) -> int:
+        """Locale-aware comparison (C locale: same as strcmp)."""
+        return helpers.compare_strings(proc, s1, s2)
+
+    @libc_function(reg, "char *strchr(const char *s, int c)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strchr(proc: SimProcess, s: int, c: int) -> int:
+        """First occurrence of (char)c in s, or NULL."""
+        target = c & 0xFF
+        cursor = s
+        while True:
+            proc.consume()
+            byte = proc.space.read(cursor, 1)[0]
+            if byte == target:
+                return cursor
+            if byte == 0:
+                return 0
+            cursor += 1
+
+    @libc_function(reg, "char *strrchr(const char *s, int c)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strrchr(proc: SimProcess, s: int, c: int) -> int:
+        """Last occurrence of (char)c in s, or NULL."""
+        target = c & 0xFF
+        found = 0
+        cursor = s
+        while True:
+            proc.consume()
+            byte = proc.space.read(cursor, 1)[0]
+            if byte == target:
+                found = cursor
+            if byte == 0:
+                return found
+            cursor += 1
+
+    @libc_function(reg, "char *strstr(const char *haystack, const char *needle)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strstr(proc: SimProcess, haystack: int, needle: int) -> int:
+        """First occurrence of needle in haystack, or NULL."""
+        needle_len = helpers.scan_string_length(proc, needle)
+        if needle_len == 0:
+            return haystack
+        needle_bytes = proc.space.read(needle, needle_len)
+        cursor = haystack
+        while True:
+            proc.consume()
+            byte = proc.space.read(cursor, 1)[0]
+            if byte == 0:
+                return 0
+            if byte == needle_bytes[0]:
+                if proc.space.read(cursor, needle_len) == needle_bytes:
+                    return cursor
+            cursor += 1
+
+    @libc_function(reg, "size_t strspn(const char *s, const char *accept)",
+                   header="string.h", category="string")
+    def strspn(proc: SimProcess, s: int, accept: int) -> int:
+        """Length of the initial segment of s made of accept's bytes."""
+        accept_len = helpers.scan_string_length(proc, accept)
+        accept_set = set(proc.space.read(accept, accept_len))
+        length = 0
+        while True:
+            proc.consume()
+            byte = proc.space.read(s + length, 1)[0]
+            if byte == 0 or byte not in accept_set:
+                return length
+            length += 1
+
+    @libc_function(reg, "size_t strcspn(const char *s, const char *reject)",
+                   header="string.h", category="string")
+    def strcspn(proc: SimProcess, s: int, reject: int) -> int:
+        """Length of the initial segment of s free of reject's bytes."""
+        reject_len = helpers.scan_string_length(proc, reject)
+        reject_set = set(proc.space.read(reject, reject_len))
+        length = 0
+        while True:
+            proc.consume()
+            byte = proc.space.read(s + length, 1)[0]
+            if byte == 0 or byte in reject_set:
+                return length
+            length += 1
+
+    @libc_function(reg, "char *strpbrk(const char *s, const char *accept)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strpbrk(proc: SimProcess, s: int, accept: int) -> int:
+        """First byte of s that is in accept, or NULL."""
+        accept_len = helpers.scan_string_length(proc, accept)
+        accept_set = set(proc.space.read(accept, accept_len))
+        cursor = s
+        while True:
+            proc.consume()
+            byte = proc.space.read(cursor, 1)[0]
+            if byte == 0:
+                return 0
+            if byte in accept_set:
+                return cursor
+            cursor += 1
+
+    @libc_function(reg, "char *strdup(const char *s)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strdup(proc: SimProcess, s: int) -> int:
+        """malloc'd copy of s; NULL with ENOMEM on exhaustion."""
+        length = helpers.scan_string_length(proc, s)
+        copy = proc.heap.malloc(length + 1)
+        if copy == 0:
+            proc.errno = Errno.ENOMEM
+            return 0
+        helpers.copy_string(proc, copy, s)
+        return copy
+
+    @libc_function(reg, "char *strndup(const char *s, size_t n)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strndup(proc: SimProcess, s: int, n: int) -> int:
+        """malloc'd copy of at most n bytes of s, always terminated."""
+        length = 0
+        while length < n:
+            proc.consume()
+            if proc.space.read(s + length, 1)[0] == 0:
+                break
+            length += 1
+        copy = proc.heap.malloc(length + 1)
+        if copy == 0:
+            proc.errno = Errno.ENOMEM
+            return 0
+        proc.space.write(copy, proc.space.read(s, length))
+        proc.space.write(copy + length, b"\x00")
+        return copy
+
+    @libc_function(reg, "char *strtok(char *str, const char *delim)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strtok(proc: SimProcess, str_: int, delim: int) -> int:
+        """Stateful tokeniser (state lives in the process, like libc's)."""
+        return _strtok_impl(proc, str_, delim, save_ptr=None)
+
+    @libc_function(reg,
+                   "char *strtok_r(char *str, const char *delim, char **saveptr)",
+                   header="string.h", category="string",
+                   error_detector=null_on_error)
+    def strtok_r(proc: SimProcess, str_: int, delim: int, saveptr: int) -> int:
+        """Re-entrant tokeniser; saveptr is dereferenced unconditionally."""
+        return _strtok_impl(proc, str_, delim, save_ptr=saveptr)
+
+    @libc_function(reg, "void *memcpy(void *dest, const void *src, size_t n)",
+                   header="string.h", category="memory")
+    def memcpy(proc: SimProcess, dest: int, src: int, n: int) -> int:
+        """Copy n bytes; overlap is undefined (we copy forward)."""
+        helpers.copy_bytes_forward(proc, dest, src, n)
+        return dest
+
+    @libc_function(reg, "void *memmove(void *dest, const void *src, size_t n)",
+                   header="string.h", category="memory")
+    def memmove(proc: SimProcess, dest: int, src: int, n: int) -> int:
+        """Overlap-safe copy of n bytes."""
+        if dest > src:
+            helpers.copy_bytes_backward(proc, dest, src, n)
+        else:
+            helpers.copy_bytes_forward(proc, dest, src, n)
+        return dest
+
+    @libc_function(reg, "void *memset(void *s, int c, size_t n)",
+                   header="string.h", category="memory")
+    def memset(proc: SimProcess, s: int, c: int, n: int) -> int:
+        """Fill n bytes with (unsigned char)c."""
+        for offset in range(n):
+            proc.consume()
+            proc.space.write(s + offset, bytes([c & 0xFF]))
+        return s
+
+    @libc_function(reg, "int memcmp(const void *s1, const void *s2, size_t n)",
+                   header="string.h", category="memory")
+    def memcmp(proc: SimProcess, s1: int, s2: int, n: int) -> int:
+        """Compare n bytes."""
+        for offset in range(n):
+            proc.consume()
+            a = proc.space.read(s1 + offset, 1)[0]
+            b = proc.space.read(s2 + offset, 1)[0]
+            if a != b:
+                return a - b
+        return 0
+
+    @libc_function(reg, "void *memchr(const void *s, int c, size_t n)",
+                   header="string.h", category="memory",
+                   error_detector=null_on_error)
+    def memchr(proc: SimProcess, s: int, c: int, n: int) -> int:
+        """First occurrence of (unsigned char)c in the first n bytes."""
+        target = c & 0xFF
+        for offset in range(n):
+            proc.consume()
+            if proc.space.read(s + offset, 1)[0] == target:
+                return s + offset
+        return 0
+
+    @libc_function(reg, "char *strerror(int errnum)",
+                   header="string.h", category="string")
+    def strerror(proc: SimProcess, errnum: int) -> int:
+        """Message string for an errno value (interned, read-only)."""
+        message = _ERRNO_MESSAGES.get(errnum)
+        if message is None:
+            message = b"Unknown error %d" % errnum
+        return proc.intern_cstring(message)
+
+
+def _strtok_impl(proc: SimProcess, str_: int, delim: int, save_ptr) -> int:
+    """Common strtok/strtok_r body.
+
+    For plain strtok the continuation pointer is stored on the process
+    object (global state, like libc's hidden static); for strtok_r it is
+    read from and written through ``save_ptr`` with no validation.
+    """
+    if save_ptr is None:
+        cursor = str_ if str_ != 0 else getattr(proc, "_strtok_state", 0)
+    else:
+        cursor = str_ if str_ != 0 else proc.space.read_ptr(save_ptr)
+    if cursor == 0:
+        return 0
+    delim_len = helpers.scan_string_length(proc, delim)
+    delim_set = set(proc.space.read(delim, delim_len))
+    # skip leading delimiters
+    while True:
+        proc.consume()
+        byte = proc.space.read(cursor, 1)[0]
+        if byte == 0:
+            _store_strtok_state(proc, save_ptr, 0)
+            return 0
+        if byte not in delim_set:
+            break
+        cursor += 1
+    token = cursor
+    while True:
+        proc.consume()
+        byte = proc.space.read(cursor, 1)[0]
+        if byte == 0:
+            _store_strtok_state(proc, save_ptr, 0)
+            return token
+        if byte in delim_set:
+            proc.space.write(cursor, b"\x00")
+            _store_strtok_state(proc, save_ptr, cursor + 1)
+            return token
+        cursor += 1
+
+
+def _store_strtok_state(proc: SimProcess, save_ptr, value: int) -> None:
+    if save_ptr is None:
+        proc._strtok_state = value
+    else:
+        proc.space.write_ptr(save_ptr, value)

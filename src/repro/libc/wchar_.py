@@ -1,0 +1,199 @@
+"""Simulated <wchar.h> / <wctype.h> family.
+
+Wide characters are 4 bytes (glibc's ``wchar_t``).  ``wctrans`` is the
+function the paper's Fig. 3 wraps, so it is reproduced carefully: it maps
+a *name string* to a transformation descriptor, returning 0 for unknown
+names — and dereferences its argument without checking, so ``wctrans(NULL)``
+is a crash the fault injector finds.
+"""
+
+from __future__ import annotations
+
+from repro.libc import helpers
+from repro.libc.registry import LibcRegistry, libc_function, null_on_error
+from repro.runtime.process import SimProcess
+
+WCHAR_SIZE = 4
+
+#: transformation descriptors returned by wctrans()
+TRANS_TOLOWER = 1
+TRANS_TOUPPER = 2
+
+#: classification descriptors returned by wctype()
+_WCTYPE_NAMES = {
+    b"alnum": 1,
+    b"alpha": 2,
+    b"blank": 3,
+    b"cntrl": 4,
+    b"digit": 5,
+    b"graph": 6,
+    b"lower": 7,
+    b"print": 8,
+    b"punct": 9,
+    b"space": 10,
+    b"upper": 11,
+    b"xdigit": 12,
+}
+
+
+def read_wchar(proc: SimProcess, address: int) -> int:
+    """Read one wchar_t (consumes fuel like the byte loops do)."""
+    proc.consume()
+    return proc.space.read_u32(address)
+
+
+def register(reg: LibcRegistry) -> None:
+    """Register the wide-character family into ``reg``."""
+
+    @libc_function(reg, "size_t wcslen(const wchar_t *s)",
+                   header="wchar.h", category="wide")
+    def wcslen(proc: SimProcess, s: int) -> int:
+        """Length of a wide string in characters."""
+        length = 0
+        while read_wchar(proc, s + length * WCHAR_SIZE) != 0:
+            length += 1
+        return length
+
+    @libc_function(reg, "wchar_t *wcscpy(wchar_t *dest, const wchar_t *src)",
+                   header="wchar.h", category="wide")
+    def wcscpy(proc: SimProcess, dest: int, src: int) -> int:
+        """Copy a wide string including its terminator; no bounds check."""
+        offset = 0
+        while True:
+            value = read_wchar(proc, src + offset)
+            proc.space.write_u32(dest + offset, value)
+            if value == 0:
+                return dest
+            offset += WCHAR_SIZE
+
+    @libc_function(reg,
+                   "wchar_t *wcsncpy(wchar_t *dest, const wchar_t *src, size_t n)",
+                   header="wchar.h", category="wide")
+    def wcsncpy(proc: SimProcess, dest: int, src: int, n: int) -> int:
+        """Copy at most n wide characters, padding with L'\\0'."""
+        terminated = False
+        for index in range(n):
+            if terminated:
+                proc.consume()
+                proc.space.write_u32(dest + index * WCHAR_SIZE, 0)
+            else:
+                value = read_wchar(proc, src + index * WCHAR_SIZE)
+                proc.space.write_u32(dest + index * WCHAR_SIZE, value)
+                if value == 0:
+                    terminated = True
+        return dest
+
+    @libc_function(reg, "int wcscmp(const wchar_t *s1, const wchar_t *s2)",
+                   header="wchar.h", category="wide")
+    def wcscmp(proc: SimProcess, s1: int, s2: int) -> int:
+        """Lexicographic wide-string comparison."""
+        offset = 0
+        while True:
+            a = read_wchar(proc, s1 + offset)
+            b = read_wchar(proc, s2 + offset)
+            if a != b:
+                return helpers.int_result(a - b, 32)
+            if a == 0:
+                return 0
+            offset += WCHAR_SIZE
+
+    @libc_function(reg, "wchar_t *wcschr(const wchar_t *s, wchar_t c)",
+                   header="wchar.h", category="wide",
+                   error_detector=null_on_error)
+    def wcschr(proc: SimProcess, s: int, c: int) -> int:
+        """First occurrence of c in the wide string s, or NULL."""
+        cursor = s
+        while True:
+            value = read_wchar(proc, cursor)
+            if value == (c & 0xFFFFFFFF):
+                return cursor
+            if value == 0:
+                return 0
+            cursor += WCHAR_SIZE
+
+    @libc_function(reg, "wctrans_t wctrans(const char *name)",
+                   header="wctype.h", category="wide",
+                   error_detector=null_on_error)
+    def wctrans(proc: SimProcess, name: int) -> int:
+        """Descriptor for a named transformation; 0 for unknown names.
+
+        This is the function shown wrapped in the paper's Fig. 3.
+        """
+        length = helpers.scan_string_length(proc, name)
+        text = proc.space.read(name, length)
+        if text == b"tolower":
+            return TRANS_TOLOWER
+        if text == b"toupper":
+            return TRANS_TOUPPER
+        return 0
+
+    @libc_function(reg, "wint_t towctrans(wint_t wc, wctrans_t desc)",
+                   header="wctype.h", category="wide")
+    def towctrans(proc: SimProcess, wc: int, desc: int) -> int:
+        """Apply a transformation descriptor from wctrans()."""
+        proc.consume()
+        if desc == TRANS_TOLOWER:
+            return wc + 0x20 if 0x41 <= wc <= 0x5A else wc
+        if desc == TRANS_TOUPPER:
+            return wc - 0x20 if 0x61 <= wc <= 0x7A else wc
+        return wc
+
+    @libc_function(reg, "wctype_t wctype(const char *name)",
+                   header="wctype.h", category="wide",
+                   error_detector=null_on_error)
+    def wctype(proc: SimProcess, name: int) -> int:
+        """Descriptor for a named character class; 0 for unknown names."""
+        length = helpers.scan_string_length(proc, name)
+        return _WCTYPE_NAMES.get(proc.space.read(name, length), 0)
+
+    @libc_function(reg, "int iswctype(wint_t wc, wctype_t desc)",
+                   header="wctype.h", category="wide")
+    def iswctype(proc: SimProcess, wc: int, desc: int) -> int:
+        """Test wc against a class descriptor from wctype()."""
+        proc.consume()
+        if not (0 <= wc <= 0x10FFFF):
+            return 0
+        char = chr(wc)
+        tests = {
+            1: char.isalnum(),
+            2: char.isalpha(),
+            3: char in " \t",
+            4: wc < 0x20 or wc == 0x7F,
+            5: char.isdigit(),
+            6: char.isprintable() and char != " ",
+            7: char.islower(),
+            8: char.isprintable(),
+            9: not char.isalnum() and char.isprintable() and char != " ",
+            10: char.isspace(),
+            11: char.isupper(),
+            12: char in "0123456789abcdefABCDEF",
+        }
+        return 1 if tests.get(desc, False) else 0
+
+    @libc_function(reg, "wint_t towupper(wint_t wc)",
+                   header="wctype.h", category="wide")
+    def towupper(proc: SimProcess, wc: int) -> int:
+        """Wide uppercase conversion (ASCII range)."""
+        proc.consume()
+        return wc - 0x20 if 0x61 <= wc <= 0x7A else wc
+
+    @libc_function(reg, "wint_t towlower(wint_t wc)",
+                   header="wctype.h", category="wide")
+    def towlower(proc: SimProcess, wc: int) -> int:
+        """Wide lowercase conversion (ASCII range)."""
+        proc.consume()
+        return wc + 0x20 if 0x41 <= wc <= 0x5A else wc
+
+    @libc_function(reg, "int iswalpha(wint_t wc)",
+                   header="wctype.h", category="wide")
+    def iswalpha(proc: SimProcess, wc: int) -> int:
+        """Nonzero when wc is alphabetic."""
+        proc.consume()
+        return 1 if 0 <= wc <= 0x10FFFF and chr(wc).isalpha() else 0
+
+    @libc_function(reg, "int iswdigit(wint_t wc)",
+                   header="wctype.h", category="wide")
+    def iswdigit(proc: SimProcess, wc: int) -> int:
+        """Nonzero when wc is a decimal digit."""
+        proc.consume()
+        return 1 if 0x30 <= wc <= 0x39 else 0

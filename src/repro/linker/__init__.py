@@ -1,0 +1,13 @@
+"""Simulated dynamic linking: shared libraries, LD_PRELOAD, RTLD_NEXT."""
+
+from repro.linker.library import ResolutionRecord, SharedLibrary, Symbol
+from repro.linker.linker import DynamicLinker, LinkedImage, UnresolvedSymbolError
+
+__all__ = [
+    "DynamicLinker",
+    "LinkedImage",
+    "ResolutionRecord",
+    "SharedLibrary",
+    "Symbol",
+    "UnresolvedSymbolError",
+]

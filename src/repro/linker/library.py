@@ -1,0 +1,106 @@
+"""Shared-library objects for the simulated dynamic linker.
+
+A :class:`SharedLibrary` is the unit the HEALERS toolkit operates on: a
+named bag of symbols (callables over a :class:`~repro.runtime.SimProcess`)
+plus their prototypes.  The simulated libc becomes one of these via
+:func:`SharedLibrary.from_registry`; generated wrapper libraries are built
+as :class:`SharedLibrary` instances whose symbols shadow libc's when
+preloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.headers.model import Prototype
+
+#: a symbol implementation: (process, *args) -> value
+SymbolImpl = Callable[..., Any]
+
+
+@dataclass
+class Symbol:
+    """One defined symbol in a shared library."""
+
+    name: str
+    impl: SymbolImpl
+    library: "SharedLibrary"
+    prototype: Optional[Prototype] = None
+
+    def __call__(self, process, *args):
+        return self.impl(process, *args)
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r} in {self.library.soname!r})"
+
+
+class SharedLibrary:
+    """A dynamically loadable library: soname + defined symbols."""
+
+    def __init__(self, soname: str, needed: Optional[List[str]] = None):
+        self.soname = soname
+        self.needed: List[str] = list(needed or [])
+        self._symbols: Dict[str, Symbol] = {}
+        self._prototypes: Dict[str, Prototype] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_registry(cls, registry) -> "SharedLibrary":
+        """Wrap a :class:`~repro.libc.LibcRegistry` as a shared library."""
+        library = cls(registry.library_name)
+        for function in registry:
+            library.define(function.name, function.impl,
+                           prototype=function.prototype)
+        return library
+
+    def define(self, name: str, impl: SymbolImpl,
+               prototype: Optional[Prototype] = None) -> Symbol:
+        """Add (or replace) a defined symbol."""
+        symbol = Symbol(name=name, impl=impl, library=self,
+                        prototype=prototype)
+        self._symbols[name] = symbol
+        if prototype is not None:
+            self._prototypes[name] = prototype
+        return symbol
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """Find a defined symbol by name."""
+        return self._symbols.get(name)
+
+    def defines(self, name: str) -> bool:
+        return name in self._symbols
+
+    def prototype(self, name: str) -> Optional[Prototype]:
+        return self._prototypes.get(name)
+
+    def exported_names(self) -> List[str]:
+        """All defined symbol names, sorted (the dynsym view)."""
+        return sorted(self._symbols)
+
+    def symbols(self) -> Iterator[Symbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"SharedLibrary({self.soname!r}, {len(self)} symbols)"
+
+
+@dataclass
+class ResolutionRecord:
+    """Where a symbol reference was bound (for diagnostics and tests)."""
+
+    name: str
+    symbol: Symbol
+    interposed: bool = False
+    #: sonames of preloaded libraries that shadowed the base definition
+    shadowed: List[str] = field(default_factory=list)

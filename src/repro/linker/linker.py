@@ -1,0 +1,182 @@
+"""The simulated dynamic linker: search order, LD_PRELOAD, RTLD_NEXT.
+
+Reproduces the interposition mechanism of Section 2.1: "a user interested
+in using a wrapper can preload it by defining the LD_PRELOAD environment
+variable".  Preloaded libraries are searched before the needed libraries,
+so a wrapper's ``strcpy`` shadows libc's; the wrapper reaches the original
+through :meth:`DynamicLinker.resolve_next` — the moral equivalent of the
+``addr_wctrans`` pointer obtained with ``dlsym(RTLD_NEXT, ...)`` in the
+paper's generated code (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.linker.library import ResolutionRecord, SharedLibrary, Symbol
+from repro.runtime.process import SimProcess
+
+
+class UnresolvedSymbolError(LookupError):
+    """A referenced symbol has no definition in the search scope."""
+
+    def __init__(self, name: str, searched: List[str]):
+        self.name = name
+        self.searched = searched
+        super().__init__(
+            f"undefined symbol {name!r} (searched: {', '.join(searched) or 'nothing'})"
+        )
+
+
+class DynamicLinker:
+    """Resolves symbols across preloaded and needed libraries."""
+
+    def __init__(self) -> None:
+        self._libraries: Dict[str, SharedLibrary] = {}
+        self._preload: List[SharedLibrary] = []
+
+    # ------------------------------------------------------------------
+    # library management
+    # ------------------------------------------------------------------
+
+    def add_library(self, library: SharedLibrary) -> None:
+        """Install a library into the system search path."""
+        self._libraries[library.soname] = library
+
+    def preload(self, library: SharedLibrary) -> None:
+        """LD_PRELOAD: search this library before all needed libraries."""
+        self.add_library(library)
+        self._preload.append(library)
+
+    def clear_preloads(self) -> None:
+        """Drop all preloads (unset LD_PRELOAD)."""
+        self._preload.clear()
+
+    def library(self, soname: str) -> Optional[SharedLibrary]:
+        return self._libraries.get(soname)
+
+    def libraries(self) -> List[SharedLibrary]:
+        """All installed libraries (preloads first, then the rest)."""
+        rest = [
+            lib for lib in self._libraries.values() if lib not in self._preload
+        ]
+        return list(self._preload) + rest
+
+    @property
+    def preloads(self) -> List[SharedLibrary]:
+        return list(self._preload)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def _search_order(self, needed: Optional[List[str]] = None) -> List[SharedLibrary]:
+        scope: List[SharedLibrary] = list(self._preload)
+        if needed is None:
+            scope += [
+                lib for lib in self._libraries.values()
+                if lib not in self._preload
+            ]
+            return scope
+        seen = {lib.soname for lib in scope}
+        queue = list(needed)
+        while queue:
+            soname = queue.pop(0)
+            if soname in seen:
+                continue
+            seen.add(soname)
+            library = self._libraries.get(soname)
+            if library is None:
+                continue
+            scope.append(library)
+            queue.extend(library.needed)
+        return scope
+
+    def resolve(self, name: str,
+                needed: Optional[List[str]] = None) -> ResolutionRecord:
+        """Bind a symbol reference, honouring preload interposition.
+
+        ``needed`` restricts the search to an executable's dependency
+        closure; None searches everything (the toolkit's own view).
+        """
+        scope = self._search_order(needed)
+        shadowed: List[str] = []
+        found: Optional[Symbol] = None
+        for library in scope:
+            symbol = library.lookup(name)
+            if symbol is None:
+                continue
+            if found is None:
+                found = symbol
+            else:
+                shadowed.append(library.soname)
+        if found is None:
+            raise UnresolvedSymbolError(name, [lib.soname for lib in scope])
+        return ResolutionRecord(
+            name=name,
+            symbol=found,
+            interposed=found.library in self._preload and bool(shadowed),
+            shadowed=shadowed,
+        )
+
+    def resolve_next(self, name: str, after: SharedLibrary,
+                     needed: Optional[List[str]] = None) -> Symbol:
+        """dlsym(RTLD_NEXT): the next definition after ``after`` in order."""
+        scope = self._search_order(needed)
+        try:
+            start = scope.index(after) + 1
+        except ValueError:
+            start = 0
+        for library in scope[start:]:
+            symbol = library.lookup(name)
+            if symbol is not None:
+                return symbol
+        raise UnresolvedSymbolError(
+            name, [lib.soname for lib in scope[start:]]
+        )
+
+    # ------------------------------------------------------------------
+    # program loading
+    # ------------------------------------------------------------------
+
+    def load(self, needed: List[str], undefined: List[str],
+             process: SimProcess) -> "LinkedImage":
+        """Eagerly bind an executable's undefined symbols (BIND_NOW).
+
+        Raises :class:`UnresolvedSymbolError` when any reference cannot be
+        satisfied — the same failure ld.so reports at startup.
+        """
+        table: Dict[str, ResolutionRecord] = {}
+        for name in undefined:
+            table[name] = self.resolve(name, needed=needed)
+        return LinkedImage(process=process, bindings=table, linker=self,
+                           needed=list(needed))
+
+
+class LinkedImage:
+    """A loaded program: its process plus the resolved PLT."""
+
+    def __init__(self, process: SimProcess,
+                 bindings: Dict[str, ResolutionRecord],
+                 linker: DynamicLinker, needed: List[str]):
+        self.process = process
+        self.bindings = bindings
+        self.linker = linker
+        self.needed = needed
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Call through the PLT (lazily binding unseen names)."""
+        record = self.bindings.get(name)
+        if record is None:
+            record = self.linker.resolve(name, needed=self.needed)
+            self.bindings[name] = record
+        return record.symbol(self.process, *args)
+
+    def binding(self, name: str) -> Optional[ResolutionRecord]:
+        return self.bindings.get(name)
+
+    def interposed_symbols(self) -> List[str]:
+        """Names bound to a preloaded (wrapper) definition."""
+        return sorted(
+            name for name, record in self.bindings.items() if record.interposed
+        )

@@ -1,0 +1,17 @@
+"""Simulated manual pages: role annotations mined per function."""
+
+from repro.manpages.corpus import corpus_documents, load_corpus, manpage_for
+from repro.manpages.model import ROLES, ManPage, ParamRole
+from repro.manpages.parser import ManParseError, parse_corpus, parse_manpage
+
+__all__ = [
+    "ManPage",
+    "ManParseError",
+    "ParamRole",
+    "ROLES",
+    "corpus_documents",
+    "load_corpus",
+    "manpage_for",
+    "parse_corpus",
+    "parse_manpage",
+]

@@ -1,0 +1,434 @@
+"""The simulated manual-page corpus.
+
+One man(7)-formatted document per simulated libc function, each carrying a
+``.SH HEALERS`` annotation section (see :mod:`repro.manpages.parser` for
+the grammar and for why the annotations are structured rather than mined
+from prose).  ``load_corpus()`` parses the whole tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.manpages.model import ManPage
+from repro.manpages.parser import parse_corpus
+
+
+def _man(name: str, brief: str, synopsis: str, annotations: List[str],
+         description: str = "", section: int = 3) -> str:
+    body = description or f"The {name}() function: {brief}."
+    lines = "\n".join(annotations)
+    return (
+        f'.TH {name.upper()} {section} "2002-11-01" "HEALERS simulated corpus"\n'
+        f".SH NAME\n{name} \\- {brief}\n"
+        f".SH SYNOPSIS\n{synopsis}\n"
+        f'.SH HEALERS\n.\\" machine-readable annotations\n{lines}\n'
+        f".SH DESCRIPTION\n{body}\n"
+    )
+
+
+def _build_documents() -> Dict[str, str]:
+    docs: Dict[str, str] = {}
+
+    def add(name: str, brief: str, synopsis: str, annotations: List[str],
+            description: str = "") -> None:
+        docs[f"/usr/share/man/man3/{name}.3"] = _man(
+            name, brief, synopsis, annotations, description
+        )
+
+    # ------------------------------------------------------------ string
+    add("strlen", "calculate the length of a string",
+        "size_t strlen(const char *s);",
+        ["param s in_string"])
+    add("strnlen", "length of a fixed-size string",
+        "size_t strnlen(const char *s, size_t maxlen);",
+        ["param s in_buffer size_param=maxlen", "param maxlen size"])
+    add("strcpy", "copy a string",
+        "char *strcpy(char *dest, const char *src);",
+        ["param dest out_string size_from=src", "param src in_string"],
+        "Copies the string pointed to by src, including the terminating "
+        "null byte, to the buffer pointed to by dest.  The strings may not "
+        "overlap, and the destination string dest must be large enough to "
+        "receive the copy.")
+    add("stpcpy", "copy a string, returning its end",
+        "char *stpcpy(char *dest, const char *src);",
+        ["param dest out_string size_from=src", "param src in_string"])
+    add("strncpy", "copy a fixed-size string",
+        "char *strncpy(char *dest, const char *src, size_t n);",
+        ["param dest out_buffer size_param=n", "param src in_string",
+         "param n size"])
+    add("strcat", "concatenate two strings",
+        "char *strcat(char *dest, const char *src);",
+        ["param dest inout_string size_from=src", "param src in_string"])
+    add("strncat", "concatenate a fixed-size string",
+        "char *strncat(char *dest, const char *src, size_t n);",
+        ["param dest inout_string size_param=n", "param src in_string",
+         "param n size"])
+    add("strcmp", "compare two strings",
+        "int strcmp(const char *s1, const char *s2);",
+        ["param s1 in_string", "param s2 in_string"])
+    add("strncmp", "compare fixed-size strings",
+        "int strncmp(const char *s1, const char *s2, size_t n);",
+        ["param s1 in_string", "param s2 in_string", "param n size"])
+    add("strcasecmp", "compare strings ignoring case",
+        "int strcasecmp(const char *s1, const char *s2);",
+        ["param s1 in_string", "param s2 in_string"])
+    add("strncasecmp", "compare fixed-size strings ignoring case",
+        "int strncasecmp(const char *s1, const char *s2, size_t n);",
+        ["param s1 in_string", "param s2 in_string", "param n size"])
+    add("strcoll", "compare strings using the current locale",
+        "int strcoll(const char *s1, const char *s2);",
+        ["param s1 in_string", "param s2 in_string"])
+    add("strchr", "locate a character in a string",
+        "char *strchr(const char *s, int c);",
+        ["param s in_string", "param c any_int", "return null"])
+    add("strrchr", "locate the last occurrence of a character",
+        "char *strrchr(const char *s, int c);",
+        ["param s in_string", "param c any_int", "return null"])
+    add("strstr", "locate a substring",
+        "char *strstr(const char *haystack, const char *needle);",
+        ["param haystack in_string", "param needle in_string", "return null"])
+    add("strspn", "span of accepted characters",
+        "size_t strspn(const char *s, const char *accept);",
+        ["param s in_string", "param accept in_string"])
+    add("strcspn", "span of rejected characters",
+        "size_t strcspn(const char *s, const char *reject);",
+        ["param s in_string", "param reject in_string"])
+    add("strpbrk", "search a string for any of a set of bytes",
+        "char *strpbrk(const char *s, const char *accept);",
+        ["param s in_string", "param accept in_string", "return null"])
+    add("strdup", "duplicate a string",
+        "char *strdup(const char *s);",
+        ["param s in_string", "errno ENOMEM", "return null"])
+    add("strndup", "duplicate at most n bytes of a string",
+        "char *strndup(const char *s, size_t n);",
+        ["param s in_string", "param n size", "errno ENOMEM", "return null"])
+    add("strtok", "extract tokens from a string",
+        "char *strtok(char *str, const char *delim);",
+        ["param str inout_string nullable", "param delim in_string",
+         "return null"])
+    add("strtok_r", "extract tokens from a string (re-entrant)",
+        "char *strtok_r(char *str, const char *delim, char **saveptr);",
+        ["param str inout_string nullable", "param delim in_string",
+         "param saveptr out_ptr", "return null"])
+    add("memcpy", "copy a memory area",
+        "void *memcpy(void *dest, const void *src, size_t n);",
+        ["param dest out_buffer size_param=n",
+         "param src in_buffer size_param=n", "param n size"])
+    add("memmove", "copy a possibly overlapping memory area",
+        "void *memmove(void *dest, const void *src, size_t n);",
+        ["param dest out_buffer size_param=n",
+         "param src in_buffer size_param=n", "param n size"])
+    add("memset", "fill memory with a constant byte",
+        "void *memset(void *s, int c, size_t n);",
+        ["param s out_buffer size_param=n", "param c any_int",
+         "param n size"])
+    add("memcmp", "compare memory areas",
+        "int memcmp(const void *s1, const void *s2, size_t n);",
+        ["param s1 in_buffer size_param=n",
+         "param s2 in_buffer size_param=n", "param n size"])
+    add("memchr", "scan memory for a byte",
+        "void *memchr(const void *s, int c, size_t n);",
+        ["param s in_buffer size_param=n", "param c any_int",
+         "param n size", "return null"])
+    add("strerror", "describe an errno value",
+        "char *strerror(int errnum);",
+        ["param errnum errnum"])
+
+    # ------------------------------------------------------------- ctype
+    for fn, brief in (
+        ("isalpha", "alphabetic character predicate"),
+        ("isdigit", "decimal digit predicate"),
+        ("isalnum", "alphanumeric character predicate"),
+        ("isxdigit", "hexadecimal digit predicate"),
+        ("isspace", "whitespace predicate"),
+        ("isupper", "uppercase predicate"),
+        ("islower", "lowercase predicate"),
+        ("iscntrl", "control character predicate"),
+        ("isprint", "printable character predicate"),
+        ("isgraph", "graphic character predicate"),
+        ("ispunct", "punctuation predicate"),
+        ("toupper", "convert to uppercase"),
+        ("tolower", "convert to lowercase"),
+    ):
+        add(fn, brief, f"int {fn}(int c);",
+            ["param c uchar_or_eof"],
+            "The argument must be representable as an unsigned char or "
+            "equal to EOF; other values give undefined behaviour.")
+
+    # ------------------------------------------------------------ stdlib
+    add("malloc", "allocate dynamic memory",
+        "void *malloc(size_t size);",
+        ["param size size", "errno ENOMEM", "return null"])
+    add("calloc", "allocate zeroed dynamic memory",
+        "void *calloc(size_t nmemb, size_t size);",
+        ["param nmemb size", "param size size", "errno ENOMEM",
+         "return null"])
+    add("realloc", "resize dynamic memory",
+        "void *realloc(void *ptr, size_t size);",
+        ["param ptr heap_ptr nullable", "param size size", "errno ENOMEM",
+         "return null"])
+    add("free", "free dynamic memory",
+        "void free(void *ptr);",
+        ["param ptr heap_ptr nullable"],
+        "The ptr argument must have been returned by a previous call to "
+        "malloc(), calloc() or realloc(); otherwise, or if free(ptr) has "
+        "already been called, undefined behaviour occurs.")
+    add("abs", "absolute value of an integer",
+        "int abs(int j);", ["param j any_int"])
+    add("labs", "absolute value of a long",
+        "long labs(long j);", ["param j any_int"])
+    add("llabs", "absolute value of a long long",
+        "long long llabs(long long j);", ["param j any_int"])
+    add("div_quot", "quotient of an integer division",
+        "int div_quot(int numer, int denom);",
+        ["param numer any_int", "param denom nonzero_int"],
+        "Simulated scalar projection of div(3)'s quot field; division by "
+        "zero raises SIGFPE as on real hardware.")
+    add("div_rem", "remainder of an integer division",
+        "int div_rem(int numer, int denom);",
+        ["param numer any_int", "param denom nonzero_int"])
+    add("atoi", "convert a string to an int",
+        "int atoi(const char *nptr);", ["param nptr in_string"])
+    add("atol", "convert a string to a long",
+        "long atol(const char *nptr);", ["param nptr in_string"])
+    add("atoll", "convert a string to a long long",
+        "long long atoll(const char *nptr);", ["param nptr in_string"])
+    add("atof", "convert a string to a double",
+        "double atof(const char *nptr);", ["param nptr in_string"])
+    add("strtol", "convert a string to a long with error checking",
+        "long strtol(const char *nptr, char **endptr, int base);",
+        ["param nptr in_string", "param endptr opt_out_ptr nullable",
+         "param base base", "errno EINVAL ERANGE"])
+    add("strtoul", "convert a string to an unsigned long",
+        "unsigned long strtoul(const char *nptr, char **endptr, int base);",
+        ["param nptr in_string", "param endptr opt_out_ptr nullable",
+         "param base base", "errno EINVAL ERANGE"])
+    add("strtod", "convert a string to a double with error checking",
+        "double strtod(const char *nptr, char **endptr);",
+        ["param nptr in_string", "param endptr opt_out_ptr nullable",
+         "errno ERANGE"])
+    add("qsort", "sort an array",
+        "void qsort(void *base, size_t nmemb, size_t size, "
+        "int (*compar)(const void *, const void *));",
+        ["param base out_buffer size_param=nmemb size_mul=size",
+         "param nmemb size", "param size size", "param compar callback"])
+    add("bsearch", "binary search of a sorted array",
+        "void *bsearch(const void *key, const void *base, size_t nmemb, "
+        "size_t size, int (*compar)(const void *, const void *));",
+        ["param key in_buffer size_param=size",
+         "param base in_buffer size_param=nmemb size_mul=size",
+         "param nmemb size", "param size size", "param compar callback",
+         "return null"])
+    add("rand", "pseudo-random number generator",
+        "int rand(void);", [])
+    add("srand", "seed the pseudo-random number generator",
+        "void srand(unsigned int seed);", ["param seed any_int"])
+    add("getenv", "get an environment variable",
+        "char *getenv(const char *name);",
+        ["param name in_string", "return null"])
+    add("setenv", "set an environment variable",
+        "int setenv(const char *name, const char *value, int overwrite);",
+        ["param name in_string", "param value in_string",
+         "param overwrite any_int", "errno EINVAL ENOMEM",
+         "return negative"])
+    add("exit", "terminate the calling process",
+        "void exit(int status);", ["param status any_int"])
+    add("abort", "abort the calling process",
+        "void abort(void);", [])
+
+    # ------------------------------------------------------------- stdio
+    add("sprintf", "formatted output to a string",
+        "int sprintf(char *str, const char *format, ...);",
+        ["param str out_string size_from=format", "param format format"],
+        "Writes formatted output to str with no bound; callers must "
+        "guarantee the buffer is large enough for the expansion.")
+    add("snprintf", "bounded formatted output to a string",
+        "int snprintf(char *str, size_t size, const char *format, ...);",
+        ["param str out_buffer size_param=size nullable",
+         "param size size", "param format format"])
+    add("printf", "formatted output to stdout",
+        "int printf(const char *format, ...);",
+        ["param format format"])
+    add("fprintf", "formatted output to a stream",
+        "int fprintf(FILE *stream, const char *format, ...);",
+        ["param stream file", "param format format"])
+    add("puts", "write a string and a newline to stdout",
+        "int puts(const char *s);",
+        ["param s in_string", "return eof"])
+    add("putchar", "write a character to stdout",
+        "int putchar(int c);", ["param c any_int"])
+    add("gets", "read a line from stdin (never bounds-checked)",
+        "char *gets(char *s);",
+        ["param s out_string", "return null"],
+        "Never use gets().  It performs no bounds checking and a long "
+        "input line overflows the destination buffer.")
+    add("fgets", "read a bounded line from a stream",
+        "char *fgets(char *s, int size, FILE *stream);",
+        ["param s out_buffer size_param=size", "param size size",
+         "param stream file", "return null"])
+    add("fopen", "open a stream",
+        "FILE *fopen(const char *path, const char *mode);",
+        ["param path path", "param mode mode", "errno ENOENT EINVAL ENOMEM",
+         "return null"])
+    add("fclose", "close a stream",
+        "int fclose(FILE *stream);",
+        ["param stream file", "errno EBADF", "return eof"])
+    add("fread", "binary input from a stream",
+        "size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);",
+        ["param ptr out_buffer size_param=nmemb size_mul=size",
+         "param size size", "param nmemb size", "param stream file"])
+    add("fwrite", "binary output to a stream",
+        "size_t fwrite(const void *ptr, size_t size, size_t nmemb, "
+        "FILE *stream);",
+        ["param ptr in_buffer size_param=nmemb size_mul=size",
+         "param size size", "param nmemb size", "param stream file"])
+    add("fputs", "write a string to a stream",
+        "int fputs(const char *s, FILE *stream);",
+        ["param s in_string", "param stream file", "return eof"])
+    add("fgetc", "read a character from a stream",
+        "int fgetc(FILE *stream);",
+        ["param stream file", "return eof"])
+    add("fputc", "write a character to a stream",
+        "int fputc(int c, FILE *stream);",
+        ["param c any_int", "param stream file", "return eof"])
+    add("feof", "end-of-file indicator",
+        "int feof(FILE *stream);", ["param stream file"])
+    add("ferror", "stream error indicator",
+        "int ferror(FILE *stream);", ["param stream file"])
+    add("remove", "delete a file",
+        "int remove(const char *path);",
+        ["param path path", "errno ENOENT", "return negative"])
+    add("rename", "rename a file",
+        "int rename(const char *old, const char *new);",
+        ["param old path", "param new path", "errno ENOENT",
+         "return negative"])
+
+    # -------------------------------------------------------------- time
+    add("time", "calendar time in seconds since the Epoch",
+        "time_t time(time_t *tloc);",
+        ["param tloc opt_out_ptr nullable"])
+    add("difftime", "difference between two calendar times",
+        "double difftime(time_t time1, time_t time0);",
+        ["param time1 any_int", "param time0 any_int"])
+    add("gmtime", "broken-down UTC time",
+        "struct tm *gmtime(const time_t *timep);",
+        ["param timep in_buffer min_size=8", "return null"],
+        "The result points to a statically allocated struct tm that is "
+        "overwritten by subsequent calls to gmtime(), localtime() or "
+        "ctime().")
+    add("localtime", "broken-down local time",
+        "struct tm *localtime(const time_t *timep);",
+        ["param timep in_buffer min_size=8", "return null"])
+    add("mktime", "calendar time from broken-down time",
+        "time_t mktime(struct tm *tm);",
+        ["param tm out_buffer min_size=36"],
+        "The fields of tm are normalised in place.")
+    add("asctime", "textual representation of broken-down time",
+        "char *asctime(const struct tm *tm);",
+        ["param tm in_buffer min_size=36", "return null"],
+        "Formats into a statically allocated 26-byte buffer; the result "
+        "is undefined (and the buffer overflows) when the year does not "
+        "fit in four digits.")
+    add("ctime", "textual representation of calendar time",
+        "char *ctime(const time_t *timep);",
+        ["param timep in_buffer min_size=8", "return null"])
+    add("strftime", "formatted time to a bounded buffer",
+        "size_t strftime(char *s, size_t max, const char *format, "
+        "const struct tm *tm);",
+        ["param s out_buffer size_param=max", "param max size",
+         "param format in_string", "param tm in_buffer min_size=36"])
+    add("clock", "processor time consumed by the program",
+        "clock_t clock(void);", [])
+
+    # -------------------------------------------------------------- math
+    for fn, brief, params, errnos in (
+        ("sqrt", "square root", ["x"], "EDOM"),
+        ("cbrt", "cube root", ["x"], ""),
+        ("pow", "power function", ["x", "y"], "EDOM ERANGE"),
+        ("exp", "exponential function", ["x"], "ERANGE"),
+        ("log", "natural logarithm", ["x"], "EDOM ERANGE"),
+        ("log10", "base-10 logarithm", ["x"], "EDOM ERANGE"),
+        ("sin", "sine", ["x"], "EDOM"),
+        ("cos", "cosine", ["x"], "EDOM"),
+        ("tan", "tangent", ["x"], "EDOM"),
+        ("atan2", "two-argument arctangent", ["y", "x"], ""),
+        ("asin", "arcsine", ["x"], "EDOM"),
+        ("acos", "arccosine", ["x"], "EDOM"),
+        ("fmod", "floating-point remainder", ["x", "y"], "EDOM"),
+        ("floor", "round down", ["x"], ""),
+        ("ceil", "round up", ["x"], ""),
+        ("fabs", "absolute value", ["x"], ""),
+        ("hypot", "Euclidean distance", ["x", "y"], "ERANGE"),
+    ):
+        synopsis = f"double {fn}({', '.join('double ' + p for p in params)});"
+        annotations = [f"param {p} real" for p in params]
+        if errnos:
+            annotations.append(f"errno {errnos}")
+        add(fn, brief, synopsis, annotations,
+            "C99 error reporting: domain errors set errno to EDOM and "
+            "return NaN; range errors set ERANGE and return HUGE_VAL.")
+
+    # -------------------------------------------------------------- wide
+    add("wcslen", "length of a wide string",
+        "size_t wcslen(const wchar_t *s);", ["param s in_wstring"])
+    add("wcscpy", "copy a wide string",
+        "wchar_t *wcscpy(wchar_t *dest, const wchar_t *src);",
+        ["param dest out_wstring size_from=src", "param src in_wstring"])
+    add("wcsncpy", "copy a fixed-size wide string",
+        "wchar_t *wcsncpy(wchar_t *dest, const wchar_t *src, size_t n);",
+        ["param dest out_wbuffer size_param=n", "param src in_wstring",
+         "param n size"])
+    add("wcscmp", "compare wide strings",
+        "int wcscmp(const wchar_t *s1, const wchar_t *s2);",
+        ["param s1 in_wstring", "param s2 in_wstring"])
+    add("wcschr", "locate a wide character",
+        "wchar_t *wcschr(const wchar_t *s, wchar_t c);",
+        ["param s in_wstring", "param c wide_char", "return null"])
+    add("wctrans", "name a wide-character transformation",
+        "wctrans_t wctrans(const char *name);",
+        ["param name in_string", "return zero"],
+        "Returns a transformation descriptor for the named mapping, valid "
+        "names being \"tolower\" and \"toupper\"; returns zero for an "
+        "invalid name.  This is the function wrapped in the HEALERS "
+        "paper's Figure 3.")
+    add("towctrans", "apply a wide-character transformation",
+        "wint_t towctrans(wint_t wc, wctrans_t desc);",
+        ["param wc wide_char", "param desc desc"])
+    add("wctype", "name a wide-character class",
+        "wctype_t wctype(const char *name);",
+        ["param name in_string", "return zero"])
+    add("iswctype", "test a wide character against a class",
+        "int iswctype(wint_t wc, wctype_t desc);",
+        ["param wc wide_char", "param desc desc"])
+    add("towupper", "convert a wide character to uppercase",
+        "wint_t towupper(wint_t wc);", ["param wc wide_char"])
+    add("towlower", "convert a wide character to lowercase",
+        "wint_t towlower(wint_t wc);", ["param wc wide_char"])
+    add("iswalpha", "wide alphabetic predicate",
+        "int iswalpha(wint_t wc);", ["param wc wide_char"])
+    add("iswdigit", "wide digit predicate",
+        "int iswdigit(wint_t wc);", ["param wc wide_char"])
+
+    return docs
+
+
+_CACHE: Optional[Dict[str, ManPage]] = None
+
+
+def corpus_documents() -> Dict[str, str]:
+    """The raw man-page tree (path → man source text)."""
+    return _build_documents()
+
+
+def load_corpus() -> Dict[str, ManPage]:
+    """Parse (and cache) the whole corpus: function name → ManPage."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = parse_corpus(_build_documents())
+    return _CACHE
+
+
+def manpage_for(function: str) -> Optional[ManPage]:
+    """The parsed manual page for one function, or None."""
+    return load_corpus().get(function)

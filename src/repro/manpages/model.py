@@ -1,0 +1,85 @@
+"""Model of the metadata HEALERS mines from manual pages.
+
+Header files give declared types, but the *robust* API needs more: which
+pointer parameters are outputs, how big a destination buffer must be
+relative to other arguments, which integer parameters have restricted
+domains.  The paper's strcpy example — the prototype says ``char *`` but
+the argument "actually has to be a pointer to a writable buffer with
+enough space to accommodate the source string" — is precisely a
+:class:`ParamRole` with ``role='out_string'`` and ``size_from='src'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: the role vocabulary; each maps to a robust-type chain in repro.ftypes
+ROLES = {
+    "in_string",      # readable NUL-terminated string
+    "opt_in_string",  # NULL allowed, else readable string
+    "out_string",     # writable buffer receiving a string
+    "in_buffer",      # readable raw buffer, extent given by a size param
+    "out_buffer",     # writable raw buffer, extent given by a size param
+    "inout_string",   # writable buffer already holding a string (strcat dest)
+    "opt_out_ptr",    # nullable pointer to a pointer-sized out slot (endptr)
+    "out_ptr",        # non-null pointer-sized out slot
+    "uchar_or_eof",   # ctype domain: 0..255 or EOF
+    "wide_char",      # wint_t
+    "size",           # size_t count governing a buffer
+    "any_int",        # unrestricted integer
+    "nonzero_int",    # divisor-style integer (zero traps)
+    "errnum",         # errno value
+    "base",           # strtol base: 0 or 2..36
+    "callback",       # function pointer
+    "file",           # FILE* obtained from fopen/std streams
+    "path",           # readable string naming a file
+    "mode",           # fopen mode string
+    "format",         # printf format string
+    "heap_ptr",       # pointer previously returned by malloc (free/realloc)
+    "desc",           # descriptor from wctrans()/wctype()
+    "in_wstring",     # readable NUL-terminated wide string (wchar_t)
+    "out_wstring",    # writable buffer receiving a wide string
+    "out_wbuffer",    # writable wide buffer, extent in wide chars
+    "real",           # floating-point scalar (double)
+}
+
+
+@dataclass
+class ParamRole:
+    """Semantic role of one parameter, refined beyond its declared type."""
+
+    name: str
+    role: str
+    #: buffer extent must cover strlen(<param>)+1
+    size_from: Optional[str] = None
+    #: buffer extent must cover the value of integer parameter <param>
+    size_param: Optional[str] = None
+    #: buffer extent must cover at least this many bytes
+    min_size: int = 0
+    #: element size multiplier parameter (fread: size * nmemb)
+    size_mul: Optional[str] = None
+    #: NULL is an accepted value even where the role implies a pointer
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown role {self.role!r} for {self.name!r}")
+
+
+@dataclass
+class ManPage:
+    """Parsed manual page for one function."""
+
+    function: str
+    section: int = 3
+    brief: str = ""
+    synopsis: str = ""
+    roles: Dict[str, ParamRole] = field(default_factory=dict)
+    errnos: List[str] = field(default_factory=list)
+    #: error-return convention: "", "null", "negative", "eof", "zero"
+    error_return: str = ""
+    description: str = ""
+
+    def role_of(self, param: str) -> Optional[ParamRole]:
+        return self.roles.get(param)

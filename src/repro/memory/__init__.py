@@ -1,0 +1,56 @@
+"""Simulated process memory: address space, heap allocator, call stack.
+
+This package is the substrate substituting for real virtual memory in the
+HEALERS reproduction (see DESIGN.md section 2).  The public surface:
+
+* :class:`~repro.memory.model.AddressSpace` — paged mappings with
+  permissions; invalid access raises
+  :class:`~repro.errors.SegmentationFault`.
+* :class:`~repro.memory.heap.HeapAllocator` — boundary-tag allocator with
+  in-band, corruptible chunk metadata and optional canaries.
+* :class:`~repro.memory.stack.CallStack` — downward-growing stack with
+  return-address slots and optional stack-protector canaries.
+"""
+
+from repro.memory.heap import (
+    ALLOC_MAGIC,
+    CANARY_SIZE,
+    CANARY_VALUE,
+    FREE_MAGIC,
+    HEADER_SIZE,
+    ChunkInfo,
+    HeapAllocator,
+    HeapStats,
+)
+from repro.memory.model import (
+    MAX_ADDRESS,
+    MIN_ADDRESS,
+    NULL,
+    PAGE_SIZE,
+    AddressSpace,
+    Mapping,
+    Perm,
+    page_align,
+)
+from repro.memory.stack import CallStack, Frame
+
+__all__ = [
+    "ALLOC_MAGIC",
+    "CANARY_SIZE",
+    "CANARY_VALUE",
+    "FREE_MAGIC",
+    "HEADER_SIZE",
+    "MAX_ADDRESS",
+    "MIN_ADDRESS",
+    "NULL",
+    "PAGE_SIZE",
+    "AddressSpace",
+    "CallStack",
+    "ChunkInfo",
+    "Frame",
+    "HeapAllocator",
+    "HeapStats",
+    "Mapping",
+    "Perm",
+    "page_align",
+]

@@ -1,0 +1,344 @@
+"""Boundary-tag heap allocator over the simulated address space.
+
+The allocator is deliberately glibc-like in the one respect that matters to
+HEALERS: chunk metadata lives *in band*, directly in front of the user data,
+so a buffer overflow from one allocation silently corrupts the header of the
+next chunk.  ``free()`` and the heap-consistency walk detect such corruption
+and abort, mirroring glibc's ``malloc(): corrupted top size`` behaviour —
+and an attacker who overwrites a function pointer stored in the adjacent
+chunk hijacks control flow before any check runs, which is exactly the heap
+smashing attack of Fetzer & Xiao [3] that the HEALERS security wrapper must
+stop.
+
+Chunk layout (all fields little endian)::
+
+    +0   u32  magic          ALLOC_MAGIC or FREE_MAGIC
+    +4   u32  user_size      bytes requested by the caller
+    +8   u32  total_size     header + payload area, 16-byte aligned
+    +12  u32  flags          bit 0: canary present
+    +16  ...  user data      (user_size bytes)
+    [+16+user_size  u64 canary, when enabled]
+
+Canaries are optional because they are a *protection policy* layered on by
+the HEALERS security wrapper, not a property of the brittle base libc; see
+the ablation benchmark for the two protection variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    CanaryViolation,
+    DoubleFree,
+    HeapCorruption,
+    InvalidFree,
+)
+from repro.memory.model import AddressSpace, Mapping, Perm
+
+HEADER_SIZE = 16
+CHUNK_ALIGN = 16
+MIN_SPLIT = 32
+
+ALLOC_MAGIC = 0xA110CA7E
+FREE_MAGIC = 0xF4EEF4EE
+CANARY_VALUE = 0xDEADC0DEDEADC0DE
+CANARY_SIZE = 8
+
+FLAG_CANARY = 0x1
+
+
+def _align(value: int, alignment: int = CHUNK_ALIGN) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass
+class HeapStats:
+    """Running counters maintained by the allocator."""
+
+    malloc_calls: int = 0
+    free_calls: int = 0
+    realloc_calls: int = 0
+    failed_allocations: int = 0
+    bytes_in_use: int = 0
+    peak_bytes_in_use: int = 0
+    live_chunks: int = 0
+
+
+@dataclass
+class ChunkInfo:
+    """Decoded view of one chunk header (diagnostics / integrity walk)."""
+
+    header_address: int
+    user_address: int
+    user_size: int
+    total_size: int
+    allocated: bool
+    has_canary: bool
+
+
+class HeapAllocator:
+    """First-fit free-list allocator with in-band corruptible metadata."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        size: int = 1 << 20,
+        canaries: bool = False,
+        name: str = "[heap]",
+    ):
+        self.space = space
+        self.mapping: Mapping = space.map_region(size, Perm.RW, name)
+        self.canaries = canaries
+        self.stats = HeapStats()
+        #: top of the allocated area; everything above is wilderness
+        self._brk = self.mapping.start
+        #: free chunks by header address -> total size (mirror of in-memory
+        #: state, used for first-fit search; the in-memory magic remains the
+        #: source of truth for corruption detection)
+        self._free: Dict[int, int] = {}
+        #: live allocations user_address -> user_size (the allocator's own
+        #: view; HEALERS' wrapper keeps an equivalent external size table)
+        self._live: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the user address or 0 (NULL).
+
+        ``malloc(0)`` returns a unique minimal allocation, as glibc does.
+        """
+        self.stats.malloc_calls += 1
+        if size < 0:
+            self.stats.failed_allocations += 1
+            return 0
+        payload = size + (CANARY_SIZE if self.canaries else 0)
+        total = _align(HEADER_SIZE + max(payload, 1))
+        taken = self._take_free_chunk(total)
+        if taken is None:
+            header = self._extend_brk(total)
+            if header is None:
+                self.stats.failed_allocations += 1
+                return 0
+        else:
+            header, total = taken
+        self._write_header(header, size, total, allocated=True)
+        user = header + HEADER_SIZE
+        if self.canaries:
+            self.space.write_u64(user + size, CANARY_VALUE)
+        self._live[user] = size
+        self.stats.live_chunks += 1
+        self.stats.bytes_in_use += size
+        self.stats.peak_bytes_in_use = max(
+            self.stats.peak_bytes_in_use, self.stats.bytes_in_use
+        )
+        return user
+
+    def calloc(self, count: int, size: int) -> int:
+        """Allocate and zero ``count * size`` bytes (with overflow check)."""
+        if count < 0 or size < 0:
+            return 0
+        total = count * size
+        if total > self.mapping.size:
+            return 0
+        user = self.malloc(total)
+        if user:
+            self.space.fill(user, 0, total)
+        return user
+
+    def realloc(self, address: int, size: int) -> int:
+        """Resize an allocation, moving it when necessary."""
+        self.stats.realloc_calls += 1
+        if address == 0:
+            return self.malloc(size)
+        if size == 0:
+            self.free(address)
+            return 0
+        old_size = self._validated_user_size(address)
+        new = self.malloc(size)
+        if new == 0:
+            return 0
+        data = self.space.read(address, min(old_size, size))
+        self.space.write(new, data)
+        self.free(address)
+        return new
+
+    def free(self, address: int) -> None:
+        """Release an allocation; detects double/invalid free and corruption."""
+        self.stats.free_calls += 1
+        if address == 0:
+            return
+        header = address - HEADER_SIZE
+        if not self.mapping.contains(header, HEADER_SIZE):
+            raise InvalidFree(address)
+        magic = self.space.read_u32(header)
+        if magic == FREE_MAGIC:
+            raise DoubleFree(address)
+        if magic != ALLOC_MAGIC:
+            raise HeapCorruption(address, "chunk header magic clobbered")
+        user_size = self.space.read_u32(header + 4)
+        total = self.space.read_u32(header + 8)
+        flags = self.space.read_u32(header + 12)
+        if header + total > self._brk or total < HEADER_SIZE:
+            raise HeapCorruption(address, "chunk size field clobbered")
+        if flags & FLAG_CANARY:
+            if self.space.read_u64(address + user_size) != CANARY_VALUE:
+                raise CanaryViolation(address)
+        self.space.write_u32(header, FREE_MAGIC)
+        self._free[header] = total
+        self._coalesce(header)
+        actual = self._live.pop(address, None)
+        if actual is not None:
+            self.stats.bytes_in_use -= actual
+            self.stats.live_chunks -= 1
+
+    # ------------------------------------------------------------------
+    # introspection (used by the HEALERS security wrapper)
+    # ------------------------------------------------------------------
+
+    def allocation_size(self, address: int) -> Optional[int]:
+        """User size of the allocation starting at ``address``, or None."""
+        return self._live.get(address)
+
+    def allocation_containing(self, address: int) -> Optional[Tuple[int, int]]:
+        """(user_address, user_size) of the live chunk containing ``address``.
+
+        Returns None when ``address`` does not fall inside any live
+        allocation's user area.  This is the query the security wrapper
+        uses to bound writes through interior pointers.
+        """
+        for user, size in self._live.items():
+            if user <= address < user + max(size, 1):
+                return (user, size)
+        return None
+
+    def writable_bytes_from(self, address: int) -> Optional[int]:
+        """Bytes from ``address`` to the end of its live allocation."""
+        found = self.allocation_containing(address)
+        if found is None:
+            return None
+        user, size = found
+        return user + size - address
+
+    def live_allocations(self) -> Dict[int, int]:
+        """Snapshot of user_address -> user_size for live chunks."""
+        return dict(self._live)
+
+    def walk(self) -> List[ChunkInfo]:
+        """Walk the chunk chain from the heap base using in-band headers.
+
+        Raises :class:`HeapCorruption` when a header is unreadable as a
+        chunk, mirroring a failed glibc consistency assertion.
+        """
+        chunks: List[ChunkInfo] = []
+        cursor = self.mapping.start
+        while cursor < self._brk:
+            magic = self.space.read_u32(cursor)
+            if magic not in (ALLOC_MAGIC, FREE_MAGIC):
+                raise HeapCorruption(cursor, "walk found clobbered magic")
+            user_size = self.space.read_u32(cursor + 4)
+            total = self.space.read_u32(cursor + 8)
+            flags = self.space.read_u32(cursor + 12)
+            if total < HEADER_SIZE or cursor + total > self._brk:
+                raise HeapCorruption(cursor, "walk found clobbered size")
+            chunks.append(
+                ChunkInfo(
+                    header_address=cursor,
+                    user_address=cursor + HEADER_SIZE,
+                    user_size=user_size,
+                    total_size=total,
+                    allocated=magic == ALLOC_MAGIC,
+                    has_canary=bool(flags & FLAG_CANARY),
+                )
+            )
+            cursor += total
+        return chunks
+
+    def check_integrity(self) -> List[str]:
+        """Non-raising integrity check: list of corruption descriptions."""
+        problems: List[str] = []
+        try:
+            chunks = self.walk()
+        except HeapCorruption as exc:
+            return [str(exc)]
+        for chunk in chunks:
+            if chunk.allocated and chunk.has_canary:
+                canary = self.space.read_u64(chunk.user_address + chunk.user_size)
+                if canary != CANARY_VALUE:
+                    problems.append(
+                        f"canary clobbered for chunk at {chunk.user_address:#x}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _validated_user_size(self, address: int) -> int:
+        header = address - HEADER_SIZE
+        if not self.mapping.contains(header, HEADER_SIZE):
+            raise InvalidFree(address)
+        if self.space.read_u32(header) != ALLOC_MAGIC:
+            raise HeapCorruption(address, "realloc of invalid chunk")
+        return self.space.read_u32(header + 4)
+
+    def _take_free_chunk(self, total: int) -> Optional[Tuple[int, int]]:
+        """First-fit search; returns (header, actual_total) or None.
+
+        Oversized free chunks are split when the remainder is big enough to
+        hold a future allocation; otherwise the whole chunk is handed out.
+        """
+        for header in sorted(self._free):
+            available = self._free[header]
+            if available >= total:
+                del self._free[header]
+                if available - total >= MIN_SPLIT:
+                    remainder = header + total
+                    self._write_header(
+                        remainder, 0, available - total, allocated=False
+                    )
+                    self._free[remainder] = available - total
+                    return (header, total)
+                return (header, available)
+        return None
+
+    def _extend_brk(self, total: int) -> Optional[int]:
+        if self._brk + total > self.mapping.end:
+            return None
+        header = self._brk
+        self._brk += total
+        return header
+
+    def _write_header(
+        self, header: int, user_size: int, total: int, allocated: bool
+    ) -> None:
+        flags = FLAG_CANARY if (allocated and self.canaries) else 0
+        self.space.write_u32(header, ALLOC_MAGIC if allocated else FREE_MAGIC)
+        self.space.write_u32(header + 4, user_size)
+        self.space.write_u32(header + 8, total)
+        self.space.write_u32(header + 12, flags)
+
+    def _coalesce(self, header: int) -> None:
+        """Merge the freed chunk with adjacent free chunks; if the merged
+        chunk abuts the wilderness, give it back to the wilderness."""
+        total = self._free.pop(header)
+        # merge backward: a free chunk ending exactly at this header
+        for other, other_total in list(self._free.items()):
+            if other + other_total == header:
+                del self._free[other]
+                header = other
+                total += other_total
+                break
+        # merge forward
+        follower = header + total
+        while follower in self._free:
+            total += self._free.pop(follower)
+            follower = header + total
+        if header + total == self._brk:
+            self._brk = header
+        else:
+            self._free[header] = total
+            self._write_header(header, 0, total, allocated=False)

@@ -1,0 +1,321 @@
+"""Flat paged address space with mapping permissions.
+
+This is the substrate on which the simulated C library operates.  It
+reproduces the memory-protection behaviour that makes native C libraries
+brittle: dereferencing an unmapped or permission-violating address raises
+:class:`~repro.errors.SegmentationFault`, while in-bounds writes past the end
+of an *allocation* (but inside the heap mapping) silently corrupt adjacent
+data — exactly the behaviour heap-smashing attacks rely on.
+
+Addresses are plain Python integers.  Page zero is never mappable, so any
+NULL (or near-NULL) dereference faults, as on a real OS.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import struct
+from typing import Iterator, List, Optional
+
+from repro.errors import BusError, SegmentationFault
+
+PAGE_SIZE = 4096
+#: Lowest mappable address; the zero page is reserved to catch NULL derefs.
+MIN_ADDRESS = PAGE_SIZE
+#: 32-bit style address-space ceiling (keeps addresses readable in dumps).
+MAX_ADDRESS = 2 ** 32
+
+NULL = 0
+
+
+class Perm(enum.IntFlag):
+    """Access permissions of a mapping (a subset of PROT_READ/WRITE/EXEC)."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+    RW = READ | WRITE
+    RX = READ | EXEC
+
+
+def page_align(value: int) -> int:
+    """Round ``value`` up to the next page boundary."""
+    return (value + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+class Mapping:
+    """A contiguous mapped region with uniform permissions."""
+
+    __slots__ = ("start", "size", "perm", "name", "data")
+
+    def __init__(self, start: int, size: int, perm: Perm, name: str):
+        self.start = start
+        self.size = size
+        self.perm = perm
+        self.name = name
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address of the mapping."""
+        return self.start + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True when ``[address, address+length)`` lies inside the mapping."""
+        return self.start <= address and address + length <= self.end
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping({self.name!r}, {self.start:#x}-{self.end:#x}, "
+            f"{self.perm!r})"
+        )
+
+
+class AddressSpace:
+    """The virtual memory of one simulated process.
+
+    Mappings are non-overlapping and kept sorted by start address.  All
+    access methods raise :class:`SegmentationFault` on invalid access; a
+    contiguous access must lie entirely within one mapping (crossing into an
+    unmapped hole faults, as the MMU would at the page boundary).
+    """
+
+    def __init__(self) -> None:
+        self._mappings: List[Mapping] = []
+        self._starts: List[int] = []
+
+    # ------------------------------------------------------------------
+    # mapping management
+    # ------------------------------------------------------------------
+
+    def map_region(
+        self,
+        size: int,
+        perm: Perm = Perm.RW,
+        name: str = "anon",
+        at: Optional[int] = None,
+    ) -> Mapping:
+        """Create a new mapping of ``size`` bytes (rounded up to pages).
+
+        When ``at`` is None the region is placed after the highest existing
+        mapping, separated by one unmapped guard page so that runaway writes
+        fault rather than silently spilling into an unrelated region.
+        """
+        if size <= 0:
+            raise ValueError("mapping size must be positive")
+        size = page_align(size)
+        if at is None:
+            if self._mappings:
+                at = page_align(self._mappings[-1].end) + PAGE_SIZE
+            else:
+                at = MIN_ADDRESS
+        if at % PAGE_SIZE != 0:
+            raise ValueError(f"mapping address {at:#x} is not page aligned")
+        if at < MIN_ADDRESS or at + size > MAX_ADDRESS:
+            raise ValueError(f"mapping {at:#x}+{size:#x} out of address space")
+        mapping = Mapping(at, size, perm, name)
+        index = bisect.bisect_left(self._starts, at)
+        if index > 0 and self._mappings[index - 1].end > at:
+            raise ValueError(f"mapping at {at:#x} overlaps {self._mappings[index - 1]}")
+        if index < len(self._mappings) and mapping.end > self._mappings[index].start:
+            raise ValueError(f"mapping at {at:#x} overlaps {self._mappings[index]}")
+        self._mappings.insert(index, mapping)
+        self._starts.insert(index, at)
+        return mapping
+
+    def unmap(self, mapping: Mapping) -> None:
+        """Remove ``mapping``; subsequent accesses to it fault."""
+        index = bisect.bisect_left(self._starts, mapping.start)
+        if index >= len(self._mappings) or self._mappings[index] is not mapping:
+            raise ValueError(f"{mapping!r} is not mapped")
+        del self._mappings[index]
+        del self._starts[index]
+
+    def protect(self, mapping: Mapping, perm: Perm) -> None:
+        """Change the permissions of an existing mapping (mprotect)."""
+        mapping.perm = perm
+
+    def mappings(self) -> Iterator[Mapping]:
+        """Iterate over mappings in address order."""
+        return iter(self._mappings)
+
+    def find_mapping(self, address: int) -> Optional[Mapping]:
+        """Return the mapping containing ``address``, or None."""
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index < 0:
+            return None
+        mapping = self._mappings[index]
+        return mapping if mapping.contains(address) else None
+
+    # ------------------------------------------------------------------
+    # access checks
+    # ------------------------------------------------------------------
+
+    def _resolve(self, address: int, length: int, perm: Perm, access: str) -> Mapping:
+        if length < 0:
+            raise ValueError("negative access length")
+        mapping = self.find_mapping(address)
+        if mapping is None:
+            raise SegmentationFault(address, access, "unmapped address")
+        if not mapping.contains(address, length):
+            raise SegmentationFault(
+                address + (mapping.end - address),
+                access,
+                f"access runs off the end of {mapping.name}",
+            )
+        if perm and not (mapping.perm & perm):
+            raise SegmentationFault(
+                address, access, f"{mapping.name} lacks {perm.name} permission"
+            )
+        return mapping
+
+    def is_readable(self, address: int, length: int = 1) -> bool:
+        """True when ``length`` bytes at ``address`` can be read."""
+        try:
+            self._resolve(address, length, Perm.READ, "read")
+        except SegmentationFault:
+            return False
+        return True
+
+    def is_writable(self, address: int, length: int = 1) -> bool:
+        """True when ``length`` bytes at ``address`` can be written."""
+        try:
+            self._resolve(address, length, Perm.WRITE, "write")
+        except SegmentationFault:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # raw access
+    # ------------------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes; faults on an invalid or unreadable range."""
+        if length == 0:
+            return b""
+        mapping = self._resolve(address, length, Perm.READ, "read")
+        offset = address - mapping.start
+        return bytes(mapping.data[offset : offset + length])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data``; faults on an invalid or unwritable range."""
+        if not data:
+            return
+        mapping = self._resolve(address, len(data), Perm.WRITE, "write")
+        offset = address - mapping.start
+        mapping.data[offset : offset + len(data)] = data
+
+    def fill(self, address: int, value: int, length: int) -> None:
+        """memset-style fill of ``length`` bytes with ``value``."""
+        if length == 0:
+            return
+        mapping = self._resolve(address, length, Perm.WRITE, "write")
+        offset = address - mapping.start
+        mapping.data[offset : offset + length] = bytes([value & 0xFF]) * length
+
+    # ------------------------------------------------------------------
+    # scalar access (little endian, like x86)
+    # ------------------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        return self.read(address, 1)[0]
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write(address, bytes([value & 0xFF]))
+
+    def read_u16(self, address: int) -> int:
+        return struct.unpack("<H", self.read(address, 2))[0]
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<H", value & 0xFFFF))
+
+    def read_u32(self, address: int) -> int:
+        return struct.unpack("<I", self.read(address, 4))[0]
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def read_u64(self, address: int) -> int:
+        return struct.unpack("<Q", self.read(address, 8))[0]
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def read_i32(self, address: int) -> int:
+        return struct.unpack("<i", self.read(address, 4))[0]
+
+    def write_i32(self, address: int, value: int) -> None:
+        # C stores truncate: keep the low 32 bits, reinterpret as signed
+        value = ((value + (1 << 31)) & 0xFFFFFFFF) - (1 << 31)
+        self.write(address, struct.pack("<i", value))
+
+    def read_ptr(self, address: int) -> int:
+        """Pointers in the simulated ABI are 8 bytes."""
+        return self.read_u64(address)
+
+    def write_ptr(self, address: int, value: int) -> None:
+        self.write_u64(address, value)
+
+    def read_aligned_u64(self, address: int) -> int:
+        """Read requiring 8-byte alignment (raises BusError otherwise)."""
+        if address % 8:
+            raise BusError(address, 8)
+        return self.read_u64(address)
+
+    # ------------------------------------------------------------------
+    # C string helpers
+    # ------------------------------------------------------------------
+
+    def read_cstring(self, address: int, limit: Optional[int] = None) -> bytes:
+        """Read a NUL-terminated string starting at ``address``.
+
+        Scans byte by byte exactly like a naive C ``strlen``: if the string
+        is not terminated before the mapping ends the scan faults at the
+        boundary.  ``limit`` bounds the scan length (used by wrappers to
+        avoid unbounded scans, not by the fragile libc itself).
+        """
+        out = bytearray()
+        cursor = address
+        while True:
+            if limit is not None and len(out) >= limit:
+                return bytes(out)
+            byte = self.read(cursor, 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+
+    def write_cstring(self, address: int, value: bytes) -> None:
+        """Write ``value`` plus a terminating NUL at ``address``."""
+        self.write(address, value + b"\x00")
+
+    def cstring_length(self, address: int, limit: Optional[int] = None) -> int:
+        """strlen without copying (same fault behaviour as read_cstring)."""
+        length = 0
+        cursor = address
+        while True:
+            if limit is not None and length >= limit:
+                return length
+            if self.read(cursor, 1)[0] == 0:
+                return length
+            length += 1
+            cursor += 1
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable map, in the style of /proc/<pid>/maps."""
+        lines = []
+        for mapping in self._mappings:
+            perm = "".join(
+                flag if mapping.perm & bit else "-"
+                for flag, bit in (("r", Perm.READ), ("w", Perm.WRITE), ("x", Perm.EXEC))
+            )
+            lines.append(
+                f"{mapping.start:08x}-{mapping.end:08x} {perm} {mapping.name}"
+            )
+        return "\n".join(lines)

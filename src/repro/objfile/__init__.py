@@ -1,0 +1,24 @@
+"""SimELF object format and the simulated system image."""
+
+from repro.objfile.format import (
+    MAGIC,
+    TYPE_DYN,
+    TYPE_EXEC,
+    ObjFormatError,
+    SimELF,
+    build_executable,
+    build_shared_object,
+)
+from repro.objfile.system import InstalledObject, SimSystem
+
+__all__ = [
+    "InstalledObject",
+    "MAGIC",
+    "ObjFormatError",
+    "SimELF",
+    "SimSystem",
+    "TYPE_DYN",
+    "TYPE_EXEC",
+    "build_executable",
+    "build_shared_object",
+]

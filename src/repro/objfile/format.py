@@ -1,0 +1,183 @@
+"""SimELF: a minimal dynamic-object container format.
+
+Stands in for ELF in the library/application scanning demos (Section 3.1,
+3.2, Fig. 4): the toolkit's scanner reads these containers to extract
+ * the libraries an application is linked against (DT_NEEDED),
+ * the undefined functions the application imports (the dynsym UND
+   entries), and
+ * the functions a shared library defines (the dynsym export view).
+
+The format is deliberately binary — length-prefixed sections behind a
+magic/version header — so the parsing side is a real parser with real
+failure modes, not a pickle.
+
+Layout (little endian)::
+
+    0   4s   magic   b"SELF"
+    4   H    version (1)
+    6   H    type    (1 = executable, 2 = shared object)
+    8   —    five string tables: soname, interp, needed, defined, undefined
+             each: u32 count, then per entry u16 length + utf-8 bytes
+             (soname and interp are tables of 0 or 1 entries)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+MAGIC = b"SELF"
+VERSION = 1
+
+TYPE_EXEC = 1
+TYPE_DYN = 2
+
+_TYPE_NAMES = {TYPE_EXEC: "EXEC (executable)", TYPE_DYN: "DYN (shared object)"}
+
+
+class ObjFormatError(ValueError):
+    """The byte stream is not a valid SimELF container."""
+
+
+@dataclass
+class SimELF:
+    """Parsed (or to-be-serialised) dynamic object."""
+
+    path: str
+    type: int = TYPE_EXEC
+    soname: str = ""
+    interp: str = ""
+    needed: List[str] = field(default_factory=list)
+    defined: List[str] = field(default_factory=list)
+    undefined: List[str] = field(default_factory=list)
+
+    @property
+    def is_executable(self) -> bool:
+        return self.type == TYPE_EXEC
+
+    @property
+    def is_shared_object(self) -> bool:
+        return self.type == TYPE_DYN
+
+    @property
+    def is_dynamically_linked(self) -> bool:
+        """Static executables have no interpreter and no NEEDED entries.
+
+        HEALERS "only works for applications that are dynamically linked"
+        — the scanner uses this to warn about unprotectable binaries.
+        """
+        return bool(self.interp) or bool(self.needed)
+
+    def type_name(self) -> str:
+        return _TYPE_NAMES.get(self.type, f"unknown ({self.type})")
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Encode to the SimELF byte format."""
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack("<HH", VERSION, self.type)
+        for table in (
+            [self.soname] if self.soname else [],
+            [self.interp] if self.interp else [],
+            self.needed,
+            self.defined,
+            self.undefined,
+        ):
+            out += struct.pack("<I", len(table))
+            for entry in table:
+                data = entry.encode("utf-8")
+                if len(data) > 0xFFFF:
+                    raise ObjFormatError(f"string too long: {entry[:32]!r}…")
+                out += struct.pack("<H", len(data))
+                out += data
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes, path: str = "") -> "SimELF":
+        """Decode a SimELF container; raises ObjFormatError on bad input."""
+        if len(data) < 8:
+            raise ObjFormatError("truncated header")
+        if data[:4] != MAGIC:
+            raise ObjFormatError(f"bad magic {data[:4]!r} (not a SimELF object)")
+        version, obj_type = struct.unpack_from("<HH", data, 4)
+        if version != VERSION:
+            raise ObjFormatError(f"unsupported version {version}")
+        if obj_type not in (TYPE_EXEC, TYPE_DYN):
+            raise ObjFormatError(f"unknown object type {obj_type}")
+        offset = 8
+        tables: List[List[str]] = []
+        for _ in range(5):
+            table, offset = cls._read_table(data, offset)
+            tables.append(table)
+        soname_tab, interp_tab, needed, defined, undefined = tables
+        if len(soname_tab) > 1 or len(interp_tab) > 1:
+            raise ObjFormatError("soname/interp tables must have 0 or 1 entries")
+        return cls(
+            path=path,
+            type=obj_type,
+            soname=soname_tab[0] if soname_tab else "",
+            interp=interp_tab[0] if interp_tab else "",
+            needed=needed,
+            defined=defined,
+            undefined=undefined,
+        )
+
+    @staticmethod
+    def _read_table(data: bytes, offset: int) -> Tuple[List[str], int]:
+        if offset + 4 > len(data):
+            raise ObjFormatError("truncated table header")
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        if count > 1_000_000:
+            raise ObjFormatError(f"implausible table size {count}")
+        entries: List[str] = []
+        for _ in range(count):
+            if offset + 2 > len(data):
+                raise ObjFormatError("truncated string length")
+            (length,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+            if offset + length > len(data):
+                raise ObjFormatError("truncated string data")
+            try:
+                entries.append(data[offset : offset + length].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise ObjFormatError(f"invalid utf-8 in string table: {exc}") from exc
+            offset += length
+        return entries, offset
+
+
+def build_executable(
+    path: str,
+    needed: List[str],
+    undefined: List[str],
+    interp: str = "/lib/sim-ld.so.1",
+) -> SimELF:
+    """Convenience constructor for an application binary."""
+    return SimELF(
+        path=path,
+        type=TYPE_EXEC,
+        interp=interp,
+        needed=list(needed),
+        undefined=sorted(set(undefined)),
+    )
+
+
+def build_shared_object(
+    path: str,
+    soname: str,
+    defined: List[str],
+    needed: Optional[List[str]] = None,
+) -> SimELF:
+    """Convenience constructor for a library binary."""
+    return SimELF(
+        path=path,
+        type=TYPE_DYN,
+        soname=soname,
+        needed=list(needed or []),
+        defined=sorted(set(defined)),
+    )

@@ -1,0 +1,117 @@
+"""The simulated system image: a file tree of SimELF binaries.
+
+Demo 3.1 lets a user "list all libraries in the system" and demo 3.2 lets
+them "browse through the list of files in the current system and select an
+application program".  :class:`SimSystem` is that system: a path-indexed
+store of serialized SimELF containers, with the runtime artefacts
+(:class:`~repro.linker.SharedLibrary` objects for libraries, program
+callables for executables) registered alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.linker.library import SharedLibrary
+from repro.objfile.format import SimELF
+
+
+@dataclass
+class InstalledObject:
+    """One binary on the simulated system."""
+
+    path: str
+    image: SimELF
+    raw: bytes
+    #: runtime artefact: the SharedLibrary for DYN objects, or the program
+    #: entry callable for EXEC objects (None for opaque/data files)
+    runtime: object = None
+
+
+class SimSystem:
+    """Path → binary store with library/application views."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, InstalledObject] = {}
+        self._plain_files: Dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def install_library(self, image: SimELF,
+                        library: Optional[SharedLibrary] = None) -> None:
+        """Install a shared object (optionally with its runtime symbols)."""
+        if not image.is_shared_object:
+            raise ValueError(f"{image.path} is not a shared object")
+        self._objects[image.path] = InstalledObject(
+            path=image.path, image=image, raw=image.serialize(),
+            runtime=library,
+        )
+
+    def install_executable(self, image: SimELF,
+                           entry: Optional[Callable] = None) -> None:
+        """Install an application binary (optionally with its entry point)."""
+        if not image.is_executable:
+            raise ValueError(f"{image.path} is not an executable")
+        self._objects[image.path] = InstalledObject(
+            path=image.path, image=image, raw=image.serialize(),
+            runtime=entry,
+        )
+
+    def install_plain_file(self, path: str, content: bytes) -> None:
+        """Install a non-SimELF file (scanners must reject these cleanly)."""
+        self._plain_files[path] = content
+
+    # ------------------------------------------------------------------
+    # browsing (the Fig. 4 web-interface views)
+    # ------------------------------------------------------------------
+
+    def list_paths(self) -> List[str]:
+        """Every file on the system, like a directory walk."""
+        return sorted(list(self._objects) + list(self._plain_files))
+
+    def list_libraries(self) -> List[SimELF]:
+        """All shared objects (demo 3.1's library list)."""
+        return sorted(
+            (o.image for o in self._objects.values() if o.image.is_shared_object),
+            key=lambda image: image.path,
+        )
+
+    def list_applications(self) -> List[SimELF]:
+        """All executables (demo 3.2's application list)."""
+        return sorted(
+            (o.image for o in self._objects.values() if o.image.is_executable),
+            key=lambda image: image.path,
+        )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def read(self, path: str) -> bytes:
+        """Raw bytes of any file (object or plain)."""
+        if path in self._objects:
+            return self._objects[path].raw
+        if path in self._plain_files:
+            return self._plain_files[path]
+        raise FileNotFoundError(path)
+
+    def object_at(self, path: str) -> Optional[InstalledObject]:
+        return self._objects.get(path)
+
+    def library_runtime(self, soname: str) -> Optional[SharedLibrary]:
+        """Find an installed library's runtime symbols by soname."""
+        for installed in self._objects.values():
+            if (installed.image.is_shared_object
+                    and installed.image.soname == soname
+                    and isinstance(installed.runtime, SharedLibrary)):
+                return installed.runtime
+        return None
+
+    def find_by_soname(self, soname: str) -> Optional[SimELF]:
+        for installed in self._objects.values():
+            if installed.image.soname == soname:
+                return installed.image
+        return None

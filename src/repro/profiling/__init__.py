@@ -1,0 +1,20 @@
+"""Profiling wrapper output: XML documents and Fig. 5-style reports."""
+
+from repro.profiling.report import (
+    render_call_frequency,
+    render_containment,
+    render_errno_distribution,
+    render_full_report,
+    render_time_shares,
+)
+from repro.profiling.xmllog import FunctionProfile, ProfileDocument
+
+__all__ = [
+    "FunctionProfile",
+    "ProfileDocument",
+    "render_call_frequency",
+    "render_containment",
+    "render_errno_distribution",
+    "render_full_report",
+    "render_time_shares",
+]

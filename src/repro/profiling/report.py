@@ -1,0 +1,103 @@
+"""Text rendering of profile documents (the Fig. 5 graphics, in ASCII).
+
+The demo shows "the frequency of function calls in this program, the
+percentage of execution time in each function, the distribution of
+function errors, the causes of such errors (classified by errnos)".
+These renderers produce the same four views as aligned tables with bar
+charts, suitable for terminals and for the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.profiling.xmllog import ProfileDocument
+
+BAR_WIDTH = 32
+
+
+def _bar(share: float, width: int = BAR_WIDTH) -> str:
+    filled = round(share * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_call_frequency(document: ProfileDocument,
+                          limit: int = 20) -> str:
+    """Call-count table with share bars."""
+    lines = [f"Call frequency — {document.application} "
+             f"({document.total_calls} calls total)"]
+    for name, calls, share in document.call_frequencies()[:limit]:
+        lines.append(
+            f"  {name:<16} {calls:>8}  {share:>6.1%}  {_bar(share)}"
+        )
+    if not document.call_frequencies():
+        lines.append("  (no calls recorded)")
+    return "\n".join(lines)
+
+
+def render_time_shares(document: ProfileDocument, limit: int = 20) -> str:
+    """Execution-time table with share bars."""
+    total_ms = document.total_exectime_ns / 1e6
+    lines = [f"Execution time — {document.application} "
+             f"({total_ms:.3f} ms in wrapped functions)"]
+    for name, nanos, share in document.time_shares()[:limit]:
+        lines.append(
+            f"  {name:<16} {nanos / 1e6:>9.3f}ms {share:>6.1%}  {_bar(share)}"
+        )
+    if not document.time_shares():
+        lines.append("  (no execution time recorded)")
+    return "\n".join(lines)
+
+
+def render_errno_distribution(document: ProfileDocument) -> str:
+    """Errno distribution (the causes of function errors)."""
+    rows = document.errno_distribution()
+    total = sum(count for _, _, count in rows) or 1
+    lines = ["Error causes (by errno)"]
+    for value, name, count in rows:
+        share = count / total
+        lines.append(
+            f"  {name:<16} ({value:>3}) {count:>6}  {_bar(share)}"
+        )
+    if not rows:
+        lines.append("  (no errors recorded)")
+    return "\n".join(lines)
+
+
+def render_containment(document: ProfileDocument, limit: int = 10) -> str:
+    """Robustness violations and security events, if any were contained."""
+    lines: List[str] = []
+    if document.violations:
+        lines.append(f"Contained robustness violations "
+                     f"({len(document.violations)})")
+        for violation in document.violations[:limit]:
+            lines.append(
+                f"  {violation.function}({violation.param}): "
+                f"{violation.detail}"
+            )
+    if document.security_events:
+        lines.append(f"Security events ({len(document.security_events)})")
+        for event in document.security_events[:limit]:
+            action = "terminated" if event.terminated else "blocked"
+            lines.append(f"  {event.function}: {event.reason} [{action}]")
+    if not lines:
+        lines.append("No violations or security events.")
+    return "\n".join(lines)
+
+
+def render_full_report(document: ProfileDocument) -> str:
+    """The complete Fig. 5-style report."""
+    sections = [
+        f"HEALERS profile report — application {document.application!r}, "
+        f"wrapper {document.wrapper_type!r}",
+        f"collected: {', '.join(document.collected_kinds()) or 'nothing'}",
+        "",
+        render_call_frequency(document),
+        "",
+        render_time_shares(document),
+        "",
+        render_errno_distribution(document),
+        "",
+        render_containment(document),
+    ]
+    return "\n".join(sections)

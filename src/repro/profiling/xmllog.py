@@ -1,0 +1,239 @@
+"""Self-describing XML profile documents.
+
+"Just before the application terminates, the collection code is called to
+send the gathered information to a central server.  Since different types
+of wrappers can be used in a distributed environment, the gathered
+information sent to the server is in form of a self-describing XML
+document.  The server can extract from the document which functions were
+wrapped and what kind of information was collected."
+
+A :class:`ProfileDocument` renders a wrapper library's
+:class:`~repro.wrappers.WrapperState` and round-trips through XML, so
+the collection server can reconstruct every counter without knowing in
+advance which wrapper type produced it.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.process import Errno
+from repro.wrappers.state import SecurityEvent, ViolationRecord, WrapperState
+
+
+@dataclass
+class FunctionProfile:
+    """Collected data for one wrapped function."""
+
+    name: str
+    calls: int = 0
+    exectime_ns: int = 0
+    errnos: Counter = field(default_factory=Counter)
+
+
+@dataclass
+class ProfileDocument:
+    """One application run's collected wrapper data."""
+
+    application: str
+    wrapper_type: str
+    library: str = "libc.so.6"
+    functions: Dict[str, FunctionProfile] = field(default_factory=dict)
+    global_errnos: Counter = field(default_factory=Counter)
+    violations: List[ViolationRecord] = field(default_factory=list)
+    security_events: List[SecurityEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_state(cls, state: WrapperState, application: str,
+                   wrapper_type: str,
+                   library: str = "libc.so.6") -> "ProfileDocument":
+        """Snapshot a wrapper library's counters at process termination."""
+        document = cls(application=application, wrapper_type=wrapper_type,
+                       library=library)
+        names = (set(state.calls) | set(state.exectime_ns)
+                 | set(state.func_errnos))
+        for name in sorted(names):
+            document.functions[name] = FunctionProfile(
+                name=name,
+                calls=state.calls.get(name, 0),
+                exectime_ns=state.exectime_ns.get(name, 0),
+                errnos=Counter(state.errnos_for(name)),
+            )
+        document.global_errnos = Counter(state.global_errnos)
+        document.violations = list(state.violations)
+        document.security_events = list(state.security_events)
+        return document
+
+    # ------------------------------------------------------------------
+    # derived views (what the Fig. 5 report shows)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_calls(self) -> int:
+        return sum(f.calls for f in self.functions.values())
+
+    @property
+    def total_exectime_ns(self) -> int:
+        return sum(f.exectime_ns for f in self.functions.values())
+
+    def call_frequencies(self) -> List[tuple]:
+        """(function, calls, share) sorted by descending call count."""
+        total = self.total_calls or 1
+        rows = [
+            (f.name, f.calls, f.calls / total)
+            for f in self.functions.values() if f.calls
+        ]
+        return sorted(rows, key=lambda row: (-row[1], row[0]))
+
+    def time_shares(self) -> List[tuple]:
+        """(function, exectime_ns, share) sorted by descending time."""
+        total = self.total_exectime_ns or 1
+        rows = [
+            (f.name, f.exectime_ns, f.exectime_ns / total)
+            for f in self.functions.values() if f.exectime_ns
+        ]
+        return sorted(rows, key=lambda row: (-row[1], row[0]))
+
+    def errno_distribution(self) -> List[tuple]:
+        """(errno value, symbolic name, count) sorted by count."""
+        return sorted(
+            ((value, Errno.name(value), count)
+             for value, count in self.global_errnos.items()),
+            key=lambda row: (-row[2], row[0]),
+        )
+
+    def collected_kinds(self) -> List[str]:
+        """What kinds of information this document carries."""
+        kinds = []
+        if any(f.calls for f in self.functions.values()):
+            kinds.append("call-counts")
+        if any(f.exectime_ns for f in self.functions.values()):
+            kinds.append("execution-time")
+        if self.global_errnos or any(
+            f.errnos for f in self.functions.values()
+        ):
+            kinds.append("errno-distribution")
+        if self.violations:
+            kinds.append("robustness-violations")
+        if self.security_events:
+            kinds.append("security-events")
+        return kinds
+
+    # ------------------------------------------------------------------
+    # XML round trip
+    # ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element(
+            "healers-profile",
+            application=self.application,
+            wrapper=self.wrapper_type,
+            library=self.library,
+        )
+        ET.SubElement(
+            root, "summary",
+            {"total-calls": str(self.total_calls),
+             "total-exectime-ns": str(self.total_exectime_ns),
+             "collected": " ".join(self.collected_kinds())},
+        )
+        for name in sorted(self.functions):
+            profile = self.functions[name]
+            fn = ET.SubElement(
+                root, "function",
+                {"name": name,
+                 "calls": str(profile.calls),
+                 "exectime-ns": str(profile.exectime_ns)},
+            )
+            for value, count in sorted(profile.errnos.items()):
+                ET.SubElement(
+                    fn, "errno",
+                    {"value": str(value), "name": Errno.name(value),
+                     "count": str(count)},
+                )
+        if self.global_errnos:
+            dist = ET.SubElement(root, "errno-distribution")
+            for value, count in sorted(self.global_errnos.items()):
+                ET.SubElement(
+                    dist, "errno",
+                    {"value": str(value), "name": Errno.name(value),
+                     "count": str(count)},
+                )
+        if self.violations:
+            block = ET.SubElement(root, "violations")
+            for violation in self.violations:
+                ET.SubElement(
+                    block, "violation",
+                    {"function": violation.function,
+                     "param": violation.param,
+                     "check": violation.check,
+                     "detail": violation.detail},
+                )
+        if self.security_events:
+            block = ET.SubElement(root, "security-events")
+            for event in self.security_events:
+                ET.SubElement(
+                    block, "event",
+                    {"function": event.function,
+                     "reason": event.reason,
+                     "terminated": "true" if event.terminated else "false"},
+                )
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode",
+                           xml_declaration=True)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ProfileDocument":
+        root = ET.fromstring(text)
+        if root.tag != "healers-profile":
+            raise ValueError(f"not a profile document (root {root.tag!r})")
+        document = cls(
+            application=root.get("application", ""),
+            wrapper_type=root.get("wrapper", ""),
+            library=root.get("library", ""),
+        )
+        for fn in root.findall("function"):
+            profile = FunctionProfile(
+                name=fn.get("name", ""),
+                calls=int(fn.get("calls", "0")),
+                exectime_ns=int(fn.get("exectime-ns", "0")),
+            )
+            for node in fn.findall("errno"):
+                profile.errnos[int(node.get("value", "0"))] = int(
+                    node.get("count", "0")
+                )
+            document.functions[profile.name] = profile
+        dist = root.find("errno-distribution")
+        if dist is not None:
+            for node in dist.findall("errno"):
+                document.global_errnos[int(node.get("value", "0"))] = int(
+                    node.get("count", "0")
+                )
+        block = root.find("violations")
+        if block is not None:
+            for node in block.findall("violation"):
+                document.violations.append(
+                    ViolationRecord(
+                        function=node.get("function", ""),
+                        param=node.get("param", ""),
+                        check=node.get("check", ""),
+                        detail=node.get("detail", ""),
+                    )
+                )
+        block = root.find("security-events")
+        if block is not None:
+            for node in block.findall("event"):
+                document.security_events.append(
+                    SecurityEvent(
+                        function=node.get("function", ""),
+                        reason=node.get("reason", ""),
+                        terminated=node.get("terminated") == "true",
+                    )
+                )
+        return document

@@ -1,0 +1,15 @@
+"""HTML report rendering (the paper's Web interface, headless)."""
+
+from repro.reporting.html import (
+    render_application_scan_html,
+    render_library_list_html,
+    render_profile_html,
+    render_robust_api_html,
+)
+
+__all__ = [
+    "render_application_scan_html",
+    "render_library_list_html",
+    "render_profile_html",
+    "render_robust_api_html",
+]

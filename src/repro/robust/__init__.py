@@ -1,0 +1,37 @@
+"""Robust-API derivation, declaration documents and check synthesis."""
+
+from repro.robust.api import FunctionDecl, ParamDecl, RobustAPIDocument
+from repro.robust.checks import (
+    ArgumentChecker,
+    CheckViolation,
+    analyse_format,
+    readable_extent,
+    terminated_length,
+    writable_extent,
+)
+from repro.robust.derivation import (
+    FunctionDerivation,
+    ParamDerivation,
+    RankVerdict,
+    derive_api,
+    derive_function,
+    derive_parameter,
+)
+
+__all__ = [
+    "ArgumentChecker",
+    "CheckViolation",
+    "FunctionDecl",
+    "FunctionDerivation",
+    "ParamDecl",
+    "ParamDerivation",
+    "RankVerdict",
+    "RobustAPIDocument",
+    "analyse_format",
+    "derive_api",
+    "derive_function",
+    "derive_parameter",
+    "readable_extent",
+    "terminated_length",
+    "writable_extent",
+]

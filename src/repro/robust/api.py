@@ -1,0 +1,198 @@
+"""Robust-API documents: the XML declaration files of demo 3.1.
+
+"Our system will create a XML-style declaration file that describes the
+prototype of each function in the library."  The document records, per
+function, the declared prototype, the per-parameter role metadata mined
+from manual pages, and — when a fault-injection campaign has run — the
+derived weakest robust argument types.  Round-trips through
+``xml.etree`` so downstream tools (wrapper generators on another host,
+the collection server) can consume it.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.libc.registry import LibcRegistry
+from repro.manpages.model import ManPage
+from repro.robust.derivation import FunctionDerivation
+
+
+@dataclass
+class ParamDecl:
+    """One parameter's declaration entry."""
+
+    name: str
+    ctype: str
+    role: str = ""
+    robust_type: str = ""
+    chain: str = ""
+    check: str = ""
+    size_from: str = ""
+    size_param: str = ""
+    size_mul: str = ""
+    min_size: int = 0
+    nullable: bool = False
+
+
+@dataclass
+class FunctionDecl:
+    """One function's declaration entry."""
+
+    name: str
+    returns: str
+    header: str = ""
+    variadic: bool = False
+    brief: str = ""
+    error_return: str = ""
+    params: List[ParamDecl] = field(default_factory=list)
+    probes: int = 0
+    failures: int = 0
+
+    @property
+    def strengthened_params(self) -> List[ParamDecl]:
+        return [p for p in self.params if p.robust_type and p.chain]
+
+
+@dataclass
+class RobustAPIDocument:
+    """The whole library's declaration document."""
+
+    library: str
+    functions: Dict[str, FunctionDecl] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        registry: LibcRegistry,
+        manpages: Dict[str, ManPage],
+        derivations: Optional[Dict[str, FunctionDerivation]] = None,
+    ) -> "RobustAPIDocument":
+        """Assemble the document from prototypes, roles and derivations."""
+        document = cls(library=registry.library_name)
+        for function in registry:
+            proto = function.prototype
+            manpage = manpages.get(function.name)
+            derivation = (derivations or {}).get(function.name)
+            decl = FunctionDecl(
+                name=function.name,
+                returns=proto.return_type.spelling,
+                header=proto.header,
+                variadic=proto.variadic,
+                brief=manpage.brief if manpage else function.summary,
+                error_return=manpage.error_return if manpage else "",
+                probes=derivation.total_probes if derivation else 0,
+                failures=derivation.total_failures if derivation else 0,
+            )
+            for param in proto.params:
+                entry = ParamDecl(name=param.name,
+                                  ctype=param.ctype.spelling)
+                role = manpage.role_of(param.name) if manpage else None
+                if role is not None:
+                    entry.role = role.role
+                    entry.size_from = role.size_from or ""
+                    entry.size_param = role.size_param or ""
+                    entry.size_mul = role.size_mul or ""
+                    entry.min_size = role.min_size
+                    entry.nullable = role.nullable
+                if derivation is not None:
+                    pd = derivation.param(param.name)
+                    if pd is not None:
+                        entry.chain = pd.chain
+                        if pd.robust_type is not None:
+                            entry.robust_type = pd.robust_type.name
+                            entry.check = pd.robust_type.check
+                        else:
+                            entry.robust_type = "unsatisfied"
+                decl.params.append(entry)
+            document.functions[function.name] = decl
+        return document
+
+    # ------------------------------------------------------------------
+    # XML round trip
+    # ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Serialise to the declaration-file XML format."""
+        root = ET.Element("library", name=self.library,
+                          generator="healers-repro")
+        for name in sorted(self.functions):
+            decl = self.functions[name]
+            fn = ET.SubElement(root, "function", name=decl.name,
+                               returns=decl.returns)
+            if decl.header:
+                fn.set("header", decl.header)
+            if decl.variadic:
+                fn.set("variadic", "true")
+            if decl.brief:
+                fn.set("brief", decl.brief)
+            if decl.error_return:
+                fn.set("error-return", decl.error_return)
+            if decl.probes:
+                ET.SubElement(fn, "experiments", probes=str(decl.probes),
+                              failures=str(decl.failures))
+            for param in decl.params:
+                node = ET.SubElement(fn, "param", name=param.name,
+                                     ctype=param.ctype)
+                for attr, key in (
+                    (param.role, "role"),
+                    (param.robust_type, "robust-type"),
+                    (param.chain, "chain"),
+                    (param.check, "check"),
+                    (param.size_from, "size-from"),
+                    (param.size_param, "size-param"),
+                    (param.size_mul, "size-mul"),
+                ):
+                    if attr:
+                        node.set(key, attr)
+                if param.min_size:
+                    node.set("min-size", str(param.min_size))
+                if param.nullable:
+                    node.set("nullable", "true")
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "RobustAPIDocument":
+        """Parse a declaration file back into a document."""
+        root = ET.fromstring(text)
+        if root.tag != "library":
+            raise ValueError(f"not a declaration file (root {root.tag!r})")
+        document = cls(library=root.get("name", ""))
+        for fn in root.findall("function"):
+            decl = FunctionDecl(
+                name=fn.get("name", ""),
+                returns=fn.get("returns", ""),
+                header=fn.get("header", ""),
+                variadic=fn.get("variadic") == "true",
+                brief=fn.get("brief", ""),
+                error_return=fn.get("error-return", ""),
+            )
+            experiments = fn.find("experiments")
+            if experiments is not None:
+                decl.probes = int(experiments.get("probes", "0"))
+                decl.failures = int(experiments.get("failures", "0"))
+            for node in fn.findall("param"):
+                decl.params.append(
+                    ParamDecl(
+                        name=node.get("name", ""),
+                        ctype=node.get("ctype", ""),
+                        role=node.get("role", ""),
+                        robust_type=node.get("robust-type", ""),
+                        chain=node.get("chain", ""),
+                        check=node.get("check", ""),
+                        size_from=node.get("size-from", ""),
+                        size_param=node.get("size-param", ""),
+                        size_mul=node.get("size-mul", ""),
+                        min_size=int(node.get("min-size", "0")),
+                        nullable=node.get("nullable") == "true",
+                    )
+                )
+            document.functions[decl.name] = decl
+        return document

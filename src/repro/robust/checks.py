@@ -1,0 +1,417 @@
+"""Runtime argument checks synthesised from the robust API.
+
+Each derived robust type names a check template (see
+:mod:`repro.ftypes.chains`); this module compiles a function's declaration
+entry into an :class:`ArgumentChecker` that the robustness wrapper runs in
+its prefix code.  A violation means the call would (per the experiments)
+crash, hang or corrupt state, so the wrapper refuses it and reports an
+error instead — fault containment.
+
+The capacity checks implement the paper's key example: for ``strcpy`` the
+wrapper verifies that ``dest`` points to a writable buffer with enough
+space for ``strlen(src)+1`` bytes, using the allocator's size table for
+heap pointers (the malloc-interposition trick of [3]) and mapping bounds
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.headers.model import Prototype
+from repro.memory.model import Perm
+from repro.robust.api import FunctionDecl, ParamDecl
+from repro.runtime.process import SimProcess
+
+#: bound on wrapper-side string scans; a string not terminated within this
+#: many bytes is treated as invalid rather than scanned indefinitely
+MAX_STRING_SCAN = 1 << 20
+WCHAR_SIZE = 4
+POINTER_SIZE = 8
+FILE_STRUCT_BYTES = 16
+
+
+@dataclass
+class CheckViolation:
+    """One failed argument check."""
+
+    function: str
+    param: str
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.function}({self.param}): {self.check} — {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# extent helpers (the HEALERS size-table queries)
+# ----------------------------------------------------------------------
+
+def writable_extent(proc: SimProcess, pointer: int) -> int:
+    """Writable bytes available from ``pointer``.
+
+    Heap pointers are bounded by their *allocation* (the size table);
+    other pointers by their mapping.  Zero for invalid pointers.
+    """
+    heap_bound = proc.heap.writable_bytes_from(pointer)
+    if heap_bound is not None:
+        return heap_bound
+    mapping = proc.space.find_mapping(pointer)
+    if mapping is not None and mapping.perm & Perm.WRITE:
+        if proc.heap.mapping is mapping:
+            # inside the heap but not inside any live allocation: treat as
+            # invalid rather than granting the rest of the heap region
+            return 0
+        return mapping.end - pointer
+    return 0
+
+
+def readable_extent(proc: SimProcess, pointer: int) -> int:
+    """Readable bytes available from ``pointer`` (0 when invalid)."""
+    mapping = proc.space.find_mapping(pointer)
+    if mapping is None or not mapping.perm & Perm.READ:
+        return 0
+    if proc.heap.mapping is mapping:
+        found = proc.heap.allocation_containing(pointer)
+        if found is None:
+            return 0
+        user, size = found
+        return user + size - pointer
+    return mapping.end - pointer
+
+
+def terminated_length(proc: SimProcess, pointer: int,
+                      wide: bool = False) -> Optional[int]:
+    """Length of the string at ``pointer`` if safely terminated, else None.
+
+    The scan never leaves readable memory and never exceeds
+    MAX_STRING_SCAN — the wrapper must not itself crash or hang on the
+    argument it is vetting.
+    """
+    stride = WCHAR_SIZE if wide else 1
+    limit = readable_extent(proc, pointer)
+    length = 0
+    while length * stride + stride <= min(limit, MAX_STRING_SCAN):
+        if wide:
+            value = proc.space.read_u32(pointer + length * stride)
+        else:
+            value = proc.space.read(pointer + length, 1)[0]
+        if value == 0:
+            return length
+        length += 1
+    return None
+
+
+def analyse_format(proc: SimProcess, pointer: int) -> Optional[Tuple[int, bool]]:
+    """(consuming directive count, uses %n) for a format string.
+
+    None when the format is not a safely terminated string.
+    """
+    length = terminated_length(proc, pointer)
+    if length is None:
+        return None
+    data = proc.space.read(pointer, length)
+    count = 0
+    uses_n = False
+    index = 0
+    while index < len(data):
+        if data[index : index + 1] != b"%":
+            index += 1
+            continue
+        index += 1
+        while index < len(data) and chr(data[index]) in "-0+ #.0123456789lhzq":
+            index += 1
+        if index >= len(data):
+            break
+        conv = chr(data[index])
+        index += 1
+        if conv == "%":
+            continue
+        if conv == "n":
+            uses_n = True
+        count += 1
+    return (count, uses_n)
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+
+class ArgumentChecker:
+    """Compiled prefix checks for one wrapped function."""
+
+    def __init__(self, decl: FunctionDecl, prototype: Prototype):
+        self.decl = decl
+        self.prototype = prototype
+        self.function = decl.name
+        self._index_of: Dict[str, int] = {
+            p.name: i for i, p in enumerate(prototype.params)
+        }
+        #: (param, check id) pairs, relational checks last so that the
+        #: strings they measure have already been vetted
+        simple: List[ParamDecl] = []
+        relational: List[ParamDecl] = []
+        for param in decl.params:
+            if not param.check:
+                continue
+            if param.check in ("buffer_capacity", "wbuffer_capacity",
+                               "size_bounded", "format_safe",
+                               "buffer_readable_extent"):
+                relational.append(param)
+            else:
+                simple.append(param)
+        self.ordered = simple + relational
+
+    # ------------------------------------------------------------------
+
+    def validate(self, proc: SimProcess, args: Sequence[Any],
+                 varargs: Sequence[Any] = ()) -> Optional[CheckViolation]:
+        """Run all checks; the first violation (or None) is returned."""
+        violations = self.validate_all(proc, args, varargs, first_only=True)
+        return violations[0] if violations else None
+
+    def validate_all(self, proc: SimProcess, args: Sequence[Any],
+                     varargs: Sequence[Any] = (),
+                     first_only: bool = False) -> List[CheckViolation]:
+        """Run checks, collecting every violation (or just the first)."""
+        values = {p.name: args[self._index_of[p.name]]
+                  for p in self.decl.params if p.name in self._index_of}
+        violations: List[CheckViolation] = []
+        for param in self.ordered:
+            value = values.get(param.name)
+            detail = self._run_check(proc, param, value, values, varargs)
+            if detail is not None:
+                violations.append(
+                    CheckViolation(
+                        function=self.function,
+                        param=param.name,
+                        check=param.check,
+                        detail=detail,
+                    )
+                )
+                if first_only:
+                    break
+        return violations
+
+    # ------------------------------------------------------------------
+    # individual checks
+    # ------------------------------------------------------------------
+
+    def _run_check(self, proc: SimProcess, param: ParamDecl, value: Any,
+                   values: Dict[str, Any],
+                   varargs: Sequence[Any]) -> Optional[str]:
+        check = param.check
+        if check == "ptr_valid_or_null":
+            if value != 0 and readable_extent(proc, value) == 0:
+                return f"pointer {value:#x} is not mapped"
+            return None
+        if check == "ptr_readable":
+            if readable_extent(proc, value) == 0:
+                return f"pointer {value:#x} is not readable"
+            return None
+        if check == "ptr_writable":
+            if value == 0 and param.nullable:
+                return self._null_buffer_allowed(param, values)
+            if writable_extent(proc, value) == 0:
+                return f"pointer {value:#x} is not writable"
+            return None
+        if check in ("string_terminated", "wstring_terminated"):
+            if value == 0 and param.nullable:
+                return None
+            wide = check == "wstring_terminated"
+            if terminated_length(proc, value, wide=wide) is None:
+                return f"no terminator within readable memory at {value:#x}"
+            return None
+        if check in ("buffer_capacity", "wbuffer_capacity"):
+            if value == 0 and param.nullable:
+                return self._null_buffer_allowed(param, values)
+            required = self._required_bytes(proc, param, values, varargs)
+            if required is None:
+                return "cannot establish required capacity"
+            available = writable_extent(proc, value)
+            if available < required:
+                return (f"buffer at {value:#x} provides {available} bytes, "
+                        f"needs {required}")
+            return None
+        if check == "buffer_readable_extent":
+            if value == 0 and param.nullable:
+                return self._null_buffer_allowed(param, values)
+            extent = self._declared_extent(param, values)
+            if readable_extent(proc, value) < extent:
+                return (f"buffer at {value:#x} not readable for "
+                        f"{extent} bytes")
+            return None
+        if check == "word_writable_or_null":
+            if value == 0:
+                return None
+            if writable_extent(proc, value) < POINTER_SIZE:
+                return f"out-slot {value:#x} not writable"
+            return None
+        if check == "word_writable":
+            if writable_extent(proc, value) < POINTER_SIZE:
+                return f"out-slot {value:#x} not writable"
+            return None
+        if check in ("ptr_in_heap_or_null", "heap_live_or_null"):
+            if value == 0:
+                return None
+            if proc.heap.allocation_size(value) is None:
+                return f"{value:#x} is not a live heap allocation"
+            return None
+        if check == "fn_pointer":
+            try:
+                proc.resolve_callback(value)
+            except Exception:
+                return f"{value:#x} is not a function address"
+            return None
+        if check == "ptr_readable_file":
+            if readable_extent(proc, value) < FILE_STRUCT_BYTES:
+                return f"{value:#x} is not a readable FILE object"
+            return None
+        if check == "file_open":
+            return self._check_file(proc, value)
+        if check == "int_uchar_eof":
+            if value == -1 or 0 <= value <= 255:
+                return None
+            return f"{value} outside unsigned char range and not EOF"
+        if check == "int_nonzero":
+            return None if value != 0 else "zero divisor"
+        if check == "int_base":
+            if value == 0 or 2 <= value <= 36:
+                return None
+            return f"invalid conversion base {value}"
+        if check == "size_bounded":
+            return self._check_size_bounded(proc, param, value, values)
+        if check == "format_safe":
+            analysis = analyse_format(proc, value)
+            if analysis is None:
+                return "format string not safely terminated"
+            needed, _ = analysis
+            if needed > len(varargs):
+                return (f"format consumes {needed} arguments, "
+                        f"{len(varargs)} supplied")
+            return None
+        return None  # unknown template: be permissive, never crash
+
+    # ------------------------------------------------------------------
+    # relational helpers
+    # ------------------------------------------------------------------
+
+    def _null_buffer_allowed(self, param: ParamDecl,
+                             values: Dict[str, Any]) -> Optional[str]:
+        """A nullable buffer may be NULL only when its declared extent is
+        zero (the C99 snprintf(NULL, 0, …) length-query idiom); a NULL
+        destination with a nonzero count is still a fault."""
+        extent = self._declared_extent(param, values)
+        if extent == 0:
+            return None
+        return f"NULL with a declared extent of {extent} bytes"
+
+    def _declared_extent(self, param: ParamDecl,
+                         values: Dict[str, Any]) -> int:
+        extent = max(param.min_size, 0)
+        if param.size_param:
+            count = int(values.get(param.size_param, 0))
+            if param.size_mul:
+                count *= int(values.get(param.size_mul, 1))
+            if param.role in ("out_wbuffer", "out_wstring"):
+                count *= WCHAR_SIZE
+            extent = max(extent, count)
+        return extent
+
+    def _required_bytes(self, proc: SimProcess, param: ParamDecl,
+                        values: Dict[str, Any],
+                        varargs: Sequence[Any]) -> Optional[int]:
+        wide = param.check == "wbuffer_capacity"
+        required = max(param.min_size, 1 if not param.size_param else 0)
+        if param.size_from:
+            source = values.get(param.size_from)
+            if source is None:
+                return None
+            source_decl = self._param_decl(param.size_from)
+            if source_decl is not None and source_decl.role == "format":
+                length = self._format_expansion(proc, source, varargs)
+            else:
+                length = terminated_length(proc, source, wide=wide)
+            if length is None:
+                return None
+            stride = WCHAR_SIZE if wide else 1
+            required = max(required, (length + 1) * stride)
+            if param.role == "inout_string":
+                own = terminated_length(proc, values.get(param.name, 0),
+                                        wide=wide)
+                if own is None:
+                    return None
+                required += own * stride
+        extent = self._declared_extent(param, values)
+        required = max(required, extent)
+        return required
+
+    def _format_expansion(self, proc: SimProcess, format_ptr: int,
+                          varargs: Sequence[Any]) -> Optional[int]:
+        """Dry-run the format engine to learn the exact expansion length."""
+        from repro.libc.stdio_ import format_into
+
+        analysis = analyse_format(proc, format_ptr)
+        if analysis is None or analysis[0] > len(varargs):
+            return None
+        try:
+            produced = format_into(proc, format_ptr, list(varargs),
+                                   writer=lambda chunk: None)
+        except Exception:
+            return None
+        return produced
+
+    def _check_size_bounded(self, proc: SimProcess, param: ParamDecl,
+                            value: Any,
+                            values: Dict[str, Any]) -> Optional[str]:
+        """A size argument must fit every buffer it governs."""
+        count = int(value)
+        if count < 0:
+            return f"negative count {count}"
+        for other in self.decl.params:
+            if other.size_param != param.name and other.size_mul != param.name:
+                continue
+            buffer_ptr = values.get(other.name)
+            if buffer_ptr in (None, 0):
+                continue  # the buffer's own check reports NULL problems
+            multiplier = 1
+            if other.size_mul and other.size_param != param.name:
+                multiplier = int(values.get(other.size_mul, 1))
+            elif other.size_mul == param.name:
+                multiplier = int(values.get(other.size_param, 1))
+            if other.role in ("out_wbuffer", "out_wstring"):
+                multiplier *= WCHAR_SIZE
+            needed = count * max(multiplier, 1)
+            writes = other.role in ("out_buffer", "out_wbuffer",
+                                    "out_string", "inout_string",
+                                    "out_wstring")
+            if writes:
+                available = writable_extent(proc, buffer_ptr)
+            else:
+                available = readable_extent(proc, buffer_ptr)
+            if needed > available:
+                access = "write" if writes else "read"
+                return (f"count {count} needs {needed} bytes of "
+                        f"{other.name} ({access}), only {available} "
+                        f"available")
+        return None
+
+    def _check_file(self, proc: SimProcess, value: Any) -> Optional[str]:
+        from repro.runtime.filesystem import FILE_MAGIC
+
+        if readable_extent(proc, value) < FILE_STRUCT_BYTES:
+            return f"{value:#x} is not a readable FILE object"
+        if proc.space.read_u32(value) != FILE_MAGIC:
+            return "FILE magic mismatch (closed or corrupt stream)"
+        index = proc.space.read_u32(value + 4)
+        if proc.fs.stream(index) is None:
+            return f"stream {index} is not open"
+        return None
+
+    def _param_decl(self, name: str) -> Optional[ParamDecl]:
+        for param in self.decl.params:
+            if param.name == name:
+                return param
+        return None

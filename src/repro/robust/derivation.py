@@ -1,0 +1,145 @@
+"""Weakest-robust-type derivation from fault-injection verdicts.
+
+Given a function's probe records, each parameter's robust type is the
+lowest rung T of its chain such that *every* test value satisfying T
+(``max_rank >= T.rank``) completed without a robustness failure.  Because
+satisfaction is upward closed this is exactly the paper's search:
+"repeatedly probing the function with a hierarchy of function types until
+it finds one that does not result in robustness failures".
+
+A parameter for which even the strictest rung has failures is flagged
+``unsatisfied`` — the generated wrapper must block the argument class
+outright (or the function needs manual attention, the paper's "some
+manual editing may be needed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ftypes.chains import CHAINS, RobustType
+from repro.injection.campaign import CampaignResult, FunctionReport, ProbeRecord
+from repro.libc.registry import LibcRegistry
+from repro.manpages.model import ManPage
+
+
+@dataclass
+class RankVerdict:
+    """Probe statistics for one rung of one parameter's chain."""
+
+    rank: int
+    type_name: str
+    satisfying_probes: int
+    failures: int
+
+    @property
+    def robust(self) -> bool:
+        return self.failures == 0 and self.satisfying_probes > 0
+
+
+@dataclass
+class ParamDerivation:
+    """The derived robust type of one parameter."""
+
+    param: str
+    chain: str
+    declared: str
+    robust_type: Optional[RobustType]
+    verdicts: List[RankVerdict] = field(default_factory=list)
+
+    @property
+    def unsatisfied(self) -> bool:
+        """True when even the strictest type had failures."""
+        return self.robust_type is None
+
+    @property
+    def strengthened(self) -> bool:
+        """True when fault injection strengthened the declared type."""
+        return self.robust_type is not None and self.robust_type.rank > 0
+
+    def describe(self) -> str:
+        if self.robust_type is None:
+            return f"{self.param}: UNSATISFIED (all {self.chain} types fail)"
+        return (
+            f"{self.param}: {self.robust_type.name} "
+            f"(rank {self.robust_type.rank} of {self.chain})"
+        )
+
+
+@dataclass
+class FunctionDerivation:
+    """Derived robust API of one function."""
+
+    function: str
+    params: List[ParamDerivation] = field(default_factory=list)
+    total_probes: int = 0
+    total_failures: int = 0
+
+    def param(self, name: str) -> Optional[ParamDerivation]:
+        for derivation in self.params:
+            if derivation.param == name:
+                return derivation
+        return None
+
+    @property
+    def any_strengthened(self) -> bool:
+        return any(p.strengthened for p in self.params)
+
+
+def derive_parameter(records: List[ProbeRecord], param: str,
+                     chain_id: str, declared: str) -> ParamDerivation:
+    """Run the weakest-robust-type search for one parameter."""
+    chain = CHAINS[chain_id]
+    verdicts: List[RankVerdict] = []
+    robust: Optional[RobustType] = None
+    for rung in chain:
+        satisfying = [r for r in records if r.probe.max_rank >= rung.rank]
+        failures = sum(1 for r in satisfying if r.failed)
+        verdicts.append(
+            RankVerdict(
+                rank=rung.rank,
+                type_name=rung.name,
+                satisfying_probes=len(satisfying),
+                failures=failures,
+            )
+        )
+        if robust is None and satisfying and failures == 0:
+            robust = rung
+    return ParamDerivation(
+        param=param,
+        chain=chain_id,
+        declared=declared,
+        robust_type=robust,
+        verdicts=verdicts,
+    )
+
+
+def derive_function(report: FunctionReport, registry: LibcRegistry,
+                    manpage: Optional[ManPage]) -> FunctionDerivation:
+    """Derive the robust API of one probed function."""
+    function = registry[report.function]
+    derivation = FunctionDerivation(
+        function=report.function,
+        total_probes=report.total_probes,
+        total_failures=len(report.failures),
+    )
+    for param in function.prototype.params:
+        records = report.records_for_param(param.name)
+        if not records:
+            continue
+        chain_id = records[0].probe.chain
+        derivation.params.append(
+            derive_parameter(records, param.name, chain_id,
+                             param.ctype.spelling)
+        )
+    return derivation
+
+
+def derive_api(result: CampaignResult, registry: LibcRegistry,
+               manpages: Dict[str, ManPage]) -> Dict[str, FunctionDerivation]:
+    """Derive robust APIs for every probed function in a campaign."""
+    derived: Dict[str, FunctionDerivation] = {}
+    for name, report in sorted(result.reports.items()):
+        derived[name] = derive_function(report, registry, manpages.get(name))
+    return derived

@@ -1,0 +1,12 @@
+"""Simulated process runtime and probe sandbox."""
+
+from repro.runtime.process import Errno, SimProcess
+from repro.runtime.sandbox import DEFAULT_PROBE_FUEL, ProbeResult, Sandbox
+
+__all__ = [
+    "DEFAULT_PROBE_FUEL",
+    "Errno",
+    "ProbeResult",
+    "Sandbox",
+    "SimProcess",
+]

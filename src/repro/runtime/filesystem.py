@@ -1,0 +1,162 @@
+"""In-memory filesystem and FILE-stream table for the simulated libc.
+
+The stdio family needs files to operate on; a native HEALERS run uses the
+real filesystem, here a per-process in-memory tree stands in.  ``FILE *``
+values handed to applications are real heap allocations holding a magic
+number and a stream index, so that stdio functions exhibit C-faithful
+fragility: passing a garbage ``FILE *`` dereferences it and either faults
+or fails the magic check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+FILE_MAGIC = 0xF11E0001
+FILE_STRUCT_SIZE = 16  # u32 magic, u32 stream index, u32 flags, u32 pad
+
+#: stream indices for the standard streams
+STDIN_INDEX = 0
+STDOUT_INDEX = 1
+STDERR_INDEX = 2
+
+
+@dataclass
+class OpenStream:
+    """State of one open stream."""
+
+    path: str
+    mode: str
+    position: int = 0
+    eof: bool = False
+    error: bool = False
+    closed: bool = False
+
+    @property
+    def readable(self) -> bool:
+        return "r" in self.mode or "+" in self.mode
+
+    @property
+    def writable(self) -> bool:
+        return any(flag in self.mode for flag in "wa+")
+
+
+@dataclass
+class SimFileSystem:
+    """Flat in-memory file store plus the process's open-stream table."""
+
+    files: Dict[str, bytearray] = field(default_factory=dict)
+    streams: List[Optional[OpenStream]] = field(default_factory=list)
+    #: captured writes to stdout/stderr (inspectable by tests and demos)
+    stdout: bytearray = field(default_factory=bytearray)
+    stderr: bytearray = field(default_factory=bytearray)
+    stdin: bytearray = field(default_factory=bytearray)
+    _stdin_pos: int = 0
+
+    def __post_init__(self) -> None:
+        self.streams = [
+            OpenStream(path="<stdin>", mode="r"),
+            OpenStream(path="<stdout>", mode="w"),
+            OpenStream(path="<stderr>", mode="w"),
+        ]
+
+    # ------------------------------------------------------------------
+    # file store
+    # ------------------------------------------------------------------
+
+    def add_file(self, path: str, content: bytes) -> None:
+        """Create (or replace) a file."""
+        self.files[path] = bytearray(content)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file contents (KeyError when missing)."""
+        return bytes(self.files[path])
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, mode: str) -> Optional[int]:
+        """Open a stream; returns its index or None on failure."""
+        primary = mode[0] if mode else ""
+        if primary not in ("r", "w", "a"):
+            return None
+        if primary == "r" and path not in self.files:
+            return None
+        if primary == "w":
+            self.files[path] = bytearray()
+        if primary == "a" and path not in self.files:
+            self.files[path] = bytearray()
+        stream = OpenStream(path=path, mode=mode)
+        if primary == "a":
+            stream.position = len(self.files[path])
+        self.streams.append(stream)
+        return len(self.streams) - 1
+
+    def stream(self, index: int) -> Optional[OpenStream]:
+        """Look up a stream by index; None for invalid/closed indices."""
+        if 0 <= index < len(self.streams):
+            stream = self.streams[index]
+            if stream is not None and not stream.closed:
+                return stream
+        return None
+
+    def close(self, index: int) -> bool:
+        """Close a stream; False when the index is invalid."""
+        stream = self.stream(index)
+        if stream is None:
+            return False
+        stream.closed = True
+        return True
+
+    def read(self, index: int, count: int) -> Optional[bytes]:
+        """Read up to ``count`` bytes from a stream (None = invalid stream)."""
+        stream = self.stream(index)
+        if stream is None or not stream.readable:
+            return None
+        if index == STDIN_INDEX:
+            data = bytes(self.stdin[self._stdin_pos : self._stdin_pos + count])
+            self._stdin_pos += len(data)
+            if not data:
+                stream.eof = True
+            return data
+        content = self.files.get(stream.path)
+        if content is None:
+            stream.error = True
+            return None
+        data = bytes(content[stream.position : stream.position + count])
+        stream.position += len(data)
+        if not data:
+            stream.eof = True
+        return data
+
+    def write(self, index: int, data: bytes) -> Optional[int]:
+        """Write to a stream; returns bytes written (None = invalid)."""
+        stream = self.stream(index)
+        if stream is None or not stream.writable:
+            return None
+        if index == STDOUT_INDEX:
+            self.stdout.extend(data)
+            return len(data)
+        if index == STDERR_INDEX:
+            self.stderr.extend(data)
+            return len(data)
+        content = self.files.setdefault(stream.path, bytearray())
+        end = stream.position + len(data)
+        if end > len(content):
+            content.extend(b"\x00" * (end - len(content)))
+        content[stream.position : end] = data
+        stream.position = end
+        return len(data)
+
+    def feed_stdin(self, data: bytes) -> None:
+        """Append bytes that subsequent stdin reads will return."""
+        self.stdin.extend(data)
+
+    def stdout_text(self) -> str:
+        """Captured stdout decoded for assertions/demos."""
+        return self.stdout.decode(errors="replace")

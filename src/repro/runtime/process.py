@@ -1,0 +1,242 @@
+"""Simulated process: address space + heap + stack + errno + fuel.
+
+A :class:`SimProcess` stands in for the OS process that HEALERS' native
+fault-injection harness forks for each probe.  It owns all mutable runtime
+state, so a probe that corrupts memory is discarded with its process and
+the next probe starts clean — the same isolation a fork-per-probe harness
+provides.
+
+Fuel is the deterministic replacement for a wall-clock watchdog: simulated
+libc loops consume one unit per byte processed, and exceeding the budget
+raises :class:`~repro.errors.OutOfFuel`, which the sandbox classifies as a
+HANG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import OutOfFuel, ProcessExit, SegmentationFault
+from repro.memory import AddressSpace, CallStack, HeapAllocator, Perm
+from repro.runtime.filesystem import SimFileSystem
+
+
+class Errno:
+    """POSIX errno values used by the simulated libc."""
+
+    EPERM = 1
+    ENOENT = 2
+    EINTR = 4
+    EIO = 5
+    EBADF = 9
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EEXIST = 17
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOSPC = 28
+    EPIPE = 32
+    EDOM = 33
+    ERANGE = 34
+    ENAMETOOLONG = 36
+    EOVERFLOW = 75
+
+    #: upper bound used by profiling wrappers when bucketing by errno,
+    #: mirroring MAX_ERRNO in the generated code of Fig. 3
+    MAX_ERRNO = 128
+
+    _NAMES: Dict[int, str] = {}
+
+    @classmethod
+    def name(cls, value: int) -> str:
+        """Symbolic name for an errno value (or ``errno_<n>``)."""
+        if not cls._NAMES:
+            cls._NAMES = {
+                v: k
+                for k, v in vars(cls).items()
+                if k.isupper() and isinstance(v, int) and k != "MAX_ERRNO"
+            }
+        return cls._NAMES.get(value, f"errno_{value}")
+
+
+class SimProcess:
+    """One simulated process instance.
+
+    Parameters mirror what matters for the experiments: heap/stack sizes,
+    whether allocator canaries and stack protection are on (security-wrapper
+    policies), and the fuel budget (None = unlimited, for normal app runs).
+    """
+
+    def __init__(
+        self,
+        heap_size: int = 1 << 20,
+        stack_size: int = 256 * 1024,
+        heap_canaries: bool = False,
+        stack_protect: bool = False,
+        fuel: Optional[int] = None,
+        environ: Optional[Dict[str, str]] = None,
+    ):
+        self.space = AddressSpace()
+        #: read-only segment for interned string literals
+        self.rodata = self.space.map_region(256 * 1024, Perm.READ, "[rodata]")
+        self._rodata_cursor = self.rodata.start
+        self._interned: Dict[bytes, int] = {}
+        #: writable data segment for statics (environ block, wrapper state)
+        self.data = self.space.map_region(256 * 1024, Perm.RW, "[data]")
+        self._data_cursor = self.data.start
+        self.heap = HeapAllocator(self.space, heap_size, canaries=heap_canaries)
+        self.stack = CallStack(self.space, stack_size, protect=stack_protect)
+        self.errno = 0
+        self.fuel = fuel
+        self._fuel_used = 0
+        self.exit_status: Optional[int] = None
+        self.environ: Dict[str, str] = dict(environ or {})
+        self._environ_ptrs: Dict[str, int] = {}
+        #: in-memory filesystem + FILE stream table (stdio family)
+        self.fs = SimFileSystem()
+        #: executable region backing simulated function pointers
+        self.text = self.space.map_region(64 * 1024, Perm.RX, "[text]")
+        self._text_cursor = self.text.start
+        self._callbacks: Dict[int, Callable] = {}
+        #: PRNG state for rand()/srand()
+        self.rand_state = 1
+
+    # ------------------------------------------------------------------
+    # simulated function pointers
+    # ------------------------------------------------------------------
+
+    def register_callback(self, fn: Callable) -> int:
+        """Assign a code address to a Python callable.
+
+        The address lands in the executable [text] mapping; calling through
+        any other address simulates a jump to garbage and faults.
+        """
+        address = self._text_cursor
+        if address + 16 > self.text.end:
+            raise MemoryError("text segment exhausted")
+        self._text_cursor += 16
+        self._callbacks[address] = fn
+        return address
+
+    def resolve_callback(self, address: int) -> Callable:
+        """Callable behind a simulated function pointer.
+
+        Raises :class:`SegmentationFault` for NULL or non-code addresses —
+        an indirect call through a corrupted pointer.
+        """
+        fn = self._callbacks.get(address)
+        if fn is None:
+            raise SegmentationFault(address, "exec", "call through invalid function pointer")
+        return fn
+
+    # ------------------------------------------------------------------
+    # fuel
+    # ------------------------------------------------------------------
+
+    def consume(self, units: int = 1) -> None:
+        """Burn ``units`` of fuel; raises OutOfFuel past the budget."""
+        self._fuel_used += units
+        if self.fuel is not None and self._fuel_used > self.fuel:
+            raise OutOfFuel(self._fuel_used)
+
+    @property
+    def fuel_used(self) -> int:
+        """Total fuel consumed so far."""
+        return self._fuel_used
+
+    # ------------------------------------------------------------------
+    # allocation convenience
+    # ------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Shorthand for ``self.heap.malloc``."""
+        return self.heap.malloc(size)
+
+    def free(self, address: int) -> None:
+        """Shorthand for ``self.heap.free``."""
+        self.heap.free(address)
+
+    def alloc_bytes(self, data: bytes) -> int:
+        """malloc a buffer holding ``data`` exactly (no terminator)."""
+        address = self.heap.malloc(max(len(data), 1))
+        if address and data:
+            self.space.write(address, data)
+        return address
+
+    def alloc_cstring(self, value: bytes) -> int:
+        """malloc a buffer holding ``value`` plus a NUL terminator."""
+        address = self.heap.malloc(len(value) + 1)
+        if address:
+            self.space.write_cstring(address, value)
+        return address
+
+    def alloc_buffer(self, size: int, fill: int = 0) -> int:
+        """malloc ``size`` zero-filled (or ``fill``-filled) bytes."""
+        address = self.heap.malloc(size)
+        if address and size:
+            self.space.fill(address, fill, size)
+        return address
+
+    def intern_cstring(self, value: bytes) -> int:
+        """Place ``value`` in the read-only segment (a string literal)."""
+        cached = self._interned.get(value)
+        if cached is not None:
+            return cached
+        needed = len(value) + 1
+        if self._rodata_cursor + needed > self.rodata.end:
+            raise MemoryError("rodata segment exhausted")
+        address = self._rodata_cursor
+        # write through the mapping directly: rodata is not CPU-writable
+        offset = address - self.rodata.start
+        self.rodata.data[offset : offset + len(value)] = value
+        self.rodata.data[offset + len(value)] = 0
+        self._rodata_cursor += needed
+        self._interned[value] = address
+        return address
+
+    def static_alloc(self, size: int, align: int = 16) -> int:
+        """Carve ``size`` bytes out of the writable data segment."""
+        cursor = (self._data_cursor + align - 1) & ~(align - 1)
+        if cursor + size > self.data.end:
+            raise MemoryError("data segment exhausted")
+        self._data_cursor = cursor + size
+        return cursor
+
+    # ------------------------------------------------------------------
+    # strings
+    # ------------------------------------------------------------------
+
+    def read_cstring(self, address: int, limit: Optional[int] = None) -> bytes:
+        """Read a NUL-terminated string (delegates to the address space)."""
+        return self.space.read_cstring(address, limit)
+
+    # ------------------------------------------------------------------
+    # environment & exit
+    # ------------------------------------------------------------------
+
+    def getenv_ptr(self, name: str) -> int:
+        """Pointer to the value of environment variable ``name`` (0 if unset).
+
+        Values are materialised in the data segment on first lookup, so the
+        returned pointer stays valid, as getenv(3) guarantees.
+        """
+        if name not in self.environ:
+            return 0
+        if name not in self._environ_ptrs:
+            value = self.environ[name].encode()
+            address = self.static_alloc(len(value) + 1, align=1)
+            self.space.write_cstring(address, value)
+            self._environ_ptrs[name] = address
+        return self._environ_ptrs[name]
+
+    def setenv(self, name: str, value: str) -> None:
+        """Set an environment variable (invalidates any cached pointer)."""
+        self.environ[name] = value
+        self._environ_ptrs.pop(name, None)
+
+    def exit(self, status: int = 0) -> None:
+        """Terminate the simulated process."""
+        self.exit_status = status
+        raise ProcessExit(status)

@@ -1,0 +1,19 @@
+"""Security wrapper: heap-overflow containment policies and attack corpus."""
+
+from repro.security.guard import HeapGuardGen
+from repro.security.policy import (
+    ALLOCATING,
+    DEALLOCATING,
+    WRITE_CHECKS,
+    WRITE_ROLES,
+    SecurityPolicy,
+)
+
+__all__ = [
+    "ALLOCATING",
+    "DEALLOCATING",
+    "HeapGuardGen",
+    "SecurityPolicy",
+    "WRITE_CHECKS",
+    "WRITE_ROLES",
+]

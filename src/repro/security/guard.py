@@ -1,0 +1,274 @@
+"""The security micro-generator: heap-overflow containment.
+
+Composed into the security wrapper, this generator
+
+* maintains the library's own allocation size table by interposing the
+  allocator entry points (prefix/postfix of ``malloc``/``free``/…),
+* refuses writes that would exceed the destination's recorded capacity
+  (bounds enforcement over the robust-API metadata),
+* rejects ``%n`` format directives,
+* substitutes a bounded read for ``gets``, and
+* verifies heap-chunk integrity at deallocation sites (or on every call).
+
+A violation *terminates* the protected program (raising
+:class:`~repro.errors.SecurityViolation`, an ABORT-class contained
+failure) rather than letting the overflow hijack control flow — the demo
+3.4 behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SecurityViolation
+from repro.robust.api import FunctionDecl
+from repro.robust.checks import (
+    ArgumentChecker,
+    CheckViolation,
+    analyse_format,
+    writable_extent,
+)
+from repro.runtime.process import Errno, SimProcess
+from repro.security.policy import (
+    ALLOCATING,
+    DEALLOCATING,
+    WRITE_CHECKS,
+    WRITE_ROLES,
+    SecurityPolicy,
+)
+from repro.wrappers.generators import error_return_value
+from repro.wrappers.microgen import (
+    CallFrame,
+    Fragment,
+    MicroGenerator,
+    RuntimeHooks,
+    WrapperUnit,
+)
+from repro.wrappers.state import SecurityEvent
+
+
+class HeapGuardGen(MicroGenerator):
+    """Security feature: size table + bounds + format + heap verification."""
+
+    name = "heap guard"
+
+    def __init__(self, policy: Optional[SecurityPolicy] = None):
+        self.policy = policy or SecurityPolicy()
+
+    # ------------------------------------------------------------------
+    # C backend
+    # ------------------------------------------------------------------
+
+    def c_fragment(self, unit: WrapperUnit) -> Fragment:
+        prefix = ""
+        postfix = ""
+        name = unit.name
+        if name in ALLOCATING:
+            postfix += f"    healers_sizetable_record(ret);\n"
+        if name in DEALLOCATING and self.policy.verify_heap != "never":
+            prefix += (
+                f"    if (!healers_heap_verify())\n"
+                f"        healers_terminate(\"heap metadata corrupted\");\n"
+            )
+        if name in DEALLOCATING:
+            prefix += f"    healers_sizetable_forget({unit.arg_names()[0]});\n"
+        if self.policy.enforce_bounds and unit.decl is not None:
+            for param in unit.decl.params:
+                if param.role in WRITE_ROLES and param.check in WRITE_CHECKS:
+                    prefix += (
+                        f"    if (!healers_bounds_ok({param.name}))\n"
+                        f"        healers_terminate(\"overflow of "
+                        f"{param.name} in {name}\");\n"
+                    )
+        return Fragment(generator=self.name, prefix=prefix, postfix=postfix)
+
+    # ------------------------------------------------------------------
+    # runtime backend
+    # ------------------------------------------------------------------
+
+    def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        policy = self.policy
+        state = unit.state
+        name = unit.name
+        decl = unit.decl
+        checker = (
+            ArgumentChecker(_security_decl(decl), unit.prototype)
+            if decl is not None else None
+        )
+        error_value = error_return_value(
+            unit.prototype, decl.error_return if decl else ""
+        )
+
+        def violation_found(frame: CallFrame, reason: str) -> None:
+            state.security_events.append(
+                SecurityEvent(function=name, reason=reason,
+                              terminated=policy.terminate)
+            )
+            if policy.terminate:
+                raise SecurityViolation(name, reason)
+            frame.skip_call = True
+            frame.ret = error_value
+            frame.process.errno = Errno.EFAULT
+
+        def prefix(frame: CallFrame) -> None:
+            if frame.skip_call:
+                return
+            proc = frame.process
+            if policy.verify_heap == "always" or (
+                policy.verify_heap == "free" and name in DEALLOCATING
+            ):
+                problems = proc.heap.check_integrity()
+                if problems:
+                    violation_found(frame, f"heap corrupted: {problems[0]}")
+                    return
+            if name in DEALLOCATING and frame.args:
+                state.size_table.pop(frame.args[0], None)
+            if policy.safe_gets and name == "gets":
+                _safe_gets(frame, state, violation_found)
+                return
+            if policy.reject_percent_n and decl is not None:
+                detail = _percent_n_check(proc, decl, frame)
+                if detail is not None:
+                    violation_found(frame, detail)
+                    return
+            if policy.enforce_bounds and checker is not None:
+                for violation in checker.validate_all(proc, frame.args,
+                                                      frame.varargs):
+                    if _is_write_violation(decl, violation):
+                        violation_found(
+                            frame,
+                            f"write overflow: {violation.detail} "
+                            f"(param {violation.param})",
+                        )
+                        return
+
+        def postfix(frame: CallFrame) -> None:
+            if name in ALLOCATING and frame.ret:
+                size = _allocation_size(name, frame)
+                if size is not None:
+                    state.size_table[frame.ret] = size
+
+        return RuntimeHooks(generator=self.name, prefix=prefix,
+                            postfix=postfix)
+
+
+def _security_decl(decl: FunctionDecl) -> FunctionDecl:
+    """A-priori bounds checks from role metadata alone.
+
+    The security wrapper of [3] predates the robust-API derivation: its
+    policy is "every write through an intercepted function must fit the
+    destination's recorded capacity", known from the manual-page roles
+    and the size table — no fault-injection campaign required.  So the
+    guard synthesises capacity checks for every write-role parameter and
+    extent checks for the sizes that govern them, even when the document
+    carries no derived robust types.
+    """
+    import copy
+
+    hardened = copy.deepcopy(decl)
+    for param in hardened.params:
+        if param.role in ("out_string", "inout_string"):
+            param.check = "buffer_capacity"
+        elif param.role == "out_buffer":
+            param.check = "buffer_capacity"
+        elif param.role in ("out_wstring", "out_wbuffer"):
+            param.check = "wbuffer_capacity"
+        elif param.role == "size":
+            param.check = "size_bounded"
+        elif param.role != "format":
+            param.check = ""  # security cares about writes only
+    return hardened
+
+
+def _is_write_violation(decl: Optional[FunctionDecl],
+                        violation: CheckViolation) -> bool:
+    if violation.check == "size_bounded":
+        # over-long counts against writable buffers are write overflows;
+        # read overruns are a robustness matter, not the security policy's
+        return "(write)" in violation.detail
+    if violation.check not in WRITE_CHECKS:
+        return False
+    if decl is None:
+        return True
+    for param in decl.params:
+        if param.name == violation.param:
+            return param.role in WRITE_ROLES or not param.role
+    return False
+
+
+def _percent_n_check(proc: SimProcess, decl: FunctionDecl,
+                     frame: CallFrame) -> Optional[str]:
+    for index, param in enumerate(decl.params):
+        if param.role != "format":
+            continue
+        if index >= len(frame.args):
+            continue
+        analysis = analyse_format(proc, frame.args[index])
+        if analysis is None:
+            return "format string is not a valid string"
+        _, uses_n = analysis
+        if uses_n:
+            return "format string contains %n"
+    return None
+
+
+def _allocation_size(name: str, frame: CallFrame) -> Optional[int]:
+    kind = ALLOCATING[name]
+    if kind == "size-arg":
+        return int(frame.args[0])
+    if kind == "product-args":
+        return int(frame.args[0]) * int(frame.args[1])
+    if kind == "realloc":
+        return int(frame.args[1])
+    if kind == "strlen-result":
+        # postfix: the result is a fresh, terminated allocation
+        return len(frame.process.read_cstring(frame.ret)) + 1
+    if kind == "file-struct":
+        from repro.runtime.filesystem import FILE_STRUCT_SIZE
+        return FILE_STRUCT_SIZE
+    return None
+
+
+def _safe_gets(frame: CallFrame, state, violation_found) -> None:
+    """Replace gets() with a read bounded by the destination's capacity.
+
+    Uses the wrapper's own size table first (a heap destination), then the
+    mapping bound.  An unbounded destination is a security violation.
+    """
+    proc = frame.process
+    dest = frame.args[0] if frame.args else 0
+    capacity = state.size_table.get(dest)
+    if capacity is None:
+        capacity = writable_extent(proc, dest)
+    if capacity <= 0:
+        violation_found(frame, "gets() destination is not writable")
+        return
+    frame.skip_call = True
+    cursor = dest
+    remaining = capacity - 1
+    read_any = False
+    discarded = False
+    while True:
+        data = proc.fs.read(0, 1)  # STDIN
+        if not data:
+            break
+        read_any = True
+        if data == b"\n":
+            break
+        if remaining > 0:
+            proc.space.write(cursor, data)
+            cursor += 1
+            remaining -= 1
+        else:
+            discarded = True  # drop overflow bytes instead of writing them
+    if not read_any:
+        frame.ret = 0
+        return
+    proc.space.write(cursor, b"\x00")
+    if discarded:
+        state.security_events.append(
+            SecurityEvent(function="gets",
+                          reason=f"input truncated to {capacity - 1} bytes",
+                          terminated=False)
+        )
+    frame.ret = dest

@@ -1,0 +1,73 @@
+"""Security-wrapper policies.
+
+Demo 3.4 shows the security wrapper preventing a heap buffer overflow
+that would otherwise give the attacker a root shell; the mechanism
+(from [3], "Detecting heap smashing attacks through fault containment
+wrappers") combines:
+
+* an allocation **size table** maintained by intercepting the allocator,
+* **bounds enforcement** on the unsafe write functions against that
+  table,
+* optional **canary verification** (the allocator-level canaries),
+* a **format-string policy** rejecting ``%n``, and
+* a **safe gets()** substitution that bounds the read to the
+  destination's known capacity.
+
+Policies are independent switches so the ablation benchmarks can measure
+each layer's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: roles whose argument the callee writes through — the overflow vectors
+WRITE_ROLES = frozenset({
+    "out_string", "inout_string", "out_buffer", "out_wstring",
+    "out_wbuffer",
+})
+
+#: checks whose violation means an out-of-bounds *write* would occur
+WRITE_CHECKS = frozenset({
+    "buffer_capacity", "wbuffer_capacity", "ptr_writable",
+})
+
+
+@dataclass
+class SecurityPolicy:
+    """Configuration of the security wrapper's features."""
+
+    #: refuse calls whose destination cannot hold the data to be written
+    enforce_bounds: bool = True
+    #: refuse format strings containing %n (write-anywhere primitive)
+    reject_percent_n: bool = True
+    #: replace gets() with a read bounded by the destination's capacity
+    safe_gets: bool = True
+    #: when to walk the heap for corrupted metadata:
+    #: "never", "free" (at deallocation sites), or "always" (every call)
+    verify_heap: str = "free"
+    #: terminate the protected process on a violation (the paper's
+    #: behaviour: "detect such buffer overflows and terminate the
+    #: attacker's program"); False degrades to an error return
+    terminate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.verify_heap not in ("never", "free", "always"):
+            raise ValueError(
+                f"verify_heap must be never/free/always, "
+                f"not {self.verify_heap!r}"
+            )
+
+
+#: allocator functions whose results enter the size table
+ALLOCATING = {
+    "malloc": "size-arg",
+    "calloc": "product-args",
+    "realloc": "realloc",
+    "strdup": "strlen-result",
+    "strndup": "strlen-result",
+    "fopen": "file-struct",
+}
+
+#: deallocation sites (size-table eviction + heap verification points)
+DEALLOCATING = frozenset({"free", "fclose"})

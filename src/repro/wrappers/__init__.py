@@ -1,0 +1,78 @@
+"""Flexible wrapper generation: micro-generators, composer, backends."""
+
+from repro.wrappers.c_backend import render_function, render_library
+from repro.wrappers.composer import (
+    BuiltWrapper,
+    WrapperFactory,
+    WrapperSpec,
+    units_for,
+)
+from repro.wrappers.generators import (
+    ArgCheckGen,
+    CallCounterGen,
+    CallerGen,
+    CollectErrorsGen,
+    ExectimeGen,
+    FuncErrorsGen,
+    LogCallGen,
+    PrototypeGen,
+    error_return_value,
+)
+from repro.wrappers.microgen import (
+    CallFrame,
+    Fragment,
+    GeneratorRegistry,
+    MicroGenerator,
+    RuntimeHooks,
+    WrapperUnit,
+    compose_wrapper,
+)
+from repro.wrappers.presets import (
+    HARDENED,
+    LOGGING,
+    PRESETS,
+    PROFILING,
+    ROBUSTNESS,
+    SECURITY,
+    default_generator_registry,
+)
+from repro.wrappers.state import (
+    SecurityEvent,
+    ViolationRecord,
+    WrapperState,
+)
+
+__all__ = [
+    "ArgCheckGen",
+    "BuiltWrapper",
+    "CallCounterGen",
+    "CallerGen",
+    "CallFrame",
+    "CollectErrorsGen",
+    "ExectimeGen",
+    "Fragment",
+    "FuncErrorsGen",
+    "GeneratorRegistry",
+    "HARDENED",
+    "LOGGING",
+    "LogCallGen",
+    "MicroGenerator",
+    "PRESETS",
+    "PROFILING",
+    "PrototypeGen",
+    "ROBUSTNESS",
+    "RuntimeHooks",
+    "SECURITY",
+    "SecurityEvent",
+    "ViolationRecord",
+    "WrapperFactory",
+    "WrapperSpec",
+    "WrapperState",
+    "WrapperUnit",
+    "compose_wrapper",
+    "default_generator_registry",
+    "error_return_value",
+    "render_function",
+    "render_library",
+    "units_for",
+]

@@ -1,0 +1,149 @@
+"""Wrapper-library composition: micro-generators → preloadable library.
+
+``WrapperFactory.build_library`` assembles one executable wrapper per
+library function from a list of micro-generators and packages them as a
+:class:`~repro.linker.SharedLibrary` ready for ``LD_PRELOAD`` in the
+simulated linker.  Different generator lists yield the different wrapper
+types of Fig. 1; the same factory also drives the C text backend so both
+renderings come from one composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.libc.registry import LibcRegistry
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.robust.api import RobustAPIDocument
+from repro.wrappers.microgen import (
+    GeneratorRegistry,
+    MicroGenerator,
+    WrapperUnit,
+    compose_wrapper,
+)
+from repro.wrappers.state import WrapperState
+
+
+@dataclass
+class WrapperSpec:
+    """A wrapper type: a named list of micro-generator features."""
+
+    name: str
+    generators: List[str]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if "prototype" not in self.generators:
+            self.generators = ["prototype"] + self.generators
+        if "caller" not in self.generators:
+            self.generators = self.generators + ["caller"]
+        if self.generators[-1] != "caller":
+            raise ValueError(
+                "the caller micro-generator must be innermost (last)"
+            )
+
+
+@dataclass
+class BuiltWrapper:
+    """Result of building one wrapper library."""
+
+    library: SharedLibrary
+    state: WrapperState
+    spec: WrapperSpec
+    functions: List[str] = field(default_factory=list)
+
+
+class WrapperFactory:
+    """Builds wrapper libraries over one base library registry."""
+
+    def __init__(
+        self,
+        registry: LibcRegistry,
+        api: Optional[RobustAPIDocument] = None,
+        generators: Optional[GeneratorRegistry] = None,
+    ):
+        from repro.wrappers.presets import default_generator_registry
+
+        self.registry = registry
+        self.api = api
+        self.generators = generators or default_generator_registry()
+
+    # ------------------------------------------------------------------
+
+    def resolve_spec(self, spec: WrapperSpec) -> List[MicroGenerator]:
+        return [self.generators.get(name) for name in spec.generators]
+
+    def make_unit(self, function_name: str, state: WrapperState,
+                  linker: DynamicLinker,
+                  library: SharedLibrary) -> WrapperUnit:
+        function = self.registry[function_name]
+        decl = None
+        if self.api is not None:
+            decl = self.api.functions.get(function_name)
+        return WrapperUnit(
+            prototype=function.prototype,
+            decl=decl,
+            state=state,
+            resolve_next=lambda: linker.resolve_next(function_name, library),
+        )
+
+    def build_library(
+        self,
+        linker: DynamicLinker,
+        spec: WrapperSpec,
+        soname: Optional[str] = None,
+        functions: Optional[Sequence[str]] = None,
+        state: Optional[WrapperState] = None,
+    ) -> BuiltWrapper:
+        """Build (but do not preload) a wrapper library.
+
+        ``functions`` restricts wrapping to a subset — "an application
+        should only pay the overhead for the protection it actually
+        needs".
+        """
+        generator_list = self.resolve_spec(spec)
+        state = state if state is not None else WrapperState()
+        soname = soname or f"libhealers_{spec.name}.so"
+        library = SharedLibrary(soname)
+        names = list(functions) if functions is not None else self.registry.names()
+        built = BuiltWrapper(library=library, state=state, spec=spec)
+        for name in names:
+            if name not in self.registry:
+                raise KeyError(f"cannot wrap unknown function {name!r}")
+            unit = self.make_unit(name, state, linker, library)
+            impl = compose_wrapper(unit, generator_list)
+            library.define(name, impl, prototype=unit.prototype)
+            built.functions.append(name)
+        return built
+
+    def preload(self, linker: DynamicLinker, spec: WrapperSpec,
+                **kwargs) -> BuiltWrapper:
+        """Build a wrapper library and LD_PRELOAD it."""
+        built = self.build_library(linker, spec, **kwargs)
+        linker.preload(built.library)
+        return built
+
+
+def units_for(factory: WrapperFactory, names: Sequence[str],
+              state: Optional[WrapperState] = None
+              ) -> Tuple[List[WrapperUnit], WrapperState]:
+    """Offline units (no linker) for the C text backend."""
+    state = state if state is not None else WrapperState()
+
+    def missing_next():
+        raise RuntimeError("C backend units cannot call the next definition")
+
+    units = []
+    for name in names:
+        function = factory.registry[name]
+        decl = factory.api.functions.get(name) if factory.api else None
+        units.append(
+            WrapperUnit(
+                prototype=function.prototype,
+                decl=decl,
+                state=state,
+                resolve_next=missing_next,
+            )
+        )
+    return units, state

@@ -1,0 +1,136 @@
+"""Extension micro-generators beyond the paper's core set.
+
+The generator architecture's selling point ([5]) is that new features
+drop in as micro-generators and compose with the existing ones.  Two
+extensions exercise that claim:
+
+* :class:`RetryGen` — transparently retries calls that fail with a
+  *transient* errno (EINTR/EIO-style), a classic availability wrapper;
+* :class:`RateLimitGen` — refuses calls beyond a per-function budget, a
+  denial-of-service damper for wrapped services.
+
+Both are registered under the standard registry names ``retry`` and
+``rate limit`` and can be added to any :class:`WrapperSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.runtime.process import Errno
+from repro.wrappers.generators import error_return_value
+from repro.wrappers.microgen import (
+    CallFrame,
+    Fragment,
+    MicroGenerator,
+    RuntimeHooks,
+    WrapperUnit,
+)
+
+#: errnos considered transient (worth retrying)
+TRANSIENT_ERRNOS: Set[int] = {Errno.EINTR, Errno.EIO}
+
+
+class RetryGen(MicroGenerator):
+    """Retries transiently-failing calls up to ``attempts`` times.
+
+    Placed before ``caller`` in the generator list, its postfix runs
+    *after* the call and re-invokes the next definition while the result
+    matches the function's error convention and errno is transient.
+    """
+
+    name = "retry"
+
+    def __init__(self, attempts: int = 3):
+        self.attempts = attempts
+
+    def c_fragment(self, unit: WrapperUnit) -> Fragment:
+        proto = unit.prototype
+        args = ", ".join(p.name for p in proto.params)
+        assign = "" if proto.return_type.is_void else "ret = "
+        return Fragment(
+            generator=self.name,
+            prefix="    int retry_budget = %d;\n" % self.attempts,
+            postfix=(
+                "    while (retry_budget-- > 0 && healers_is_transient(errno))\n"
+                f"        {assign}(*addr_{proto.name})({args});\n"
+            ),
+        )
+
+    def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        attempts = self.attempts
+        error_value = error_return_value(
+            unit.prototype, unit.decl.error_return if unit.decl else ""
+        )
+        resolve_next = unit.resolve_next
+        state = unit.state
+        name = unit.name
+
+        def maybe_retry(frame: CallFrame) -> None:
+            if frame.skip_call:
+                return
+            budget = attempts
+            while (budget > 0 and frame.ret == error_value
+                   and frame.process.errno in TRANSIENT_ERRNOS):
+                budget -= 1
+                state.calls[name + "/retry"] += 1
+                frame.process.errno = 0
+                frame.ret = resolve_next()(frame.process, *frame.all_args)
+
+        return RuntimeHooks(generator=self.name, postfix=maybe_retry)
+
+
+class RateLimitGen(MicroGenerator):
+    """Refuses calls past a per-function budget (a DoS damper)."""
+
+    name = "rate limit"
+
+    def __init__(self, budget: int = 10_000):
+        self.budget = budget
+
+    def c_fragment(self, unit: WrapperUnit) -> Fragment:
+        error_value = (
+            "NULL" if unit.prototype.return_type.is_pointer else "-1"
+        )
+        body = (
+            f"    if (++rate_limit_count[{unit.index}] > {self.budget})\n"
+            f"        {{ errno = EAGAIN; return {error_value}; }}\n"
+        )
+        if unit.prototype.return_type.is_void:
+            body = (
+                f"    if (++rate_limit_count[{unit.index}] > {self.budget})\n"
+                "        { errno = EAGAIN; return; }\n"
+            )
+        return Fragment(
+            generator=self.name,
+            globals="static unsigned long rate_limit_count[MAX_FUNCTIONS];\n",
+            prefix=body,
+        )
+
+    def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        budget = self.budget
+        error_value = error_return_value(
+            unit.prototype, unit.decl.error_return if unit.decl else ""
+        )
+        state = unit.state
+        name = unit.name
+        key = name + "/ratelimited"
+
+        def limit(frame: CallFrame) -> None:
+            if frame.skip_call:
+                return
+            state.calls[name + "/seen"] += 1
+            if state.calls[name + "/seen"] > budget:
+                state.calls[key] += 1
+                frame.skip_call = True
+                frame.ret = error_value
+                frame.process.errno = Errno.EINTR  # closest to EAGAIN here
+
+        return RuntimeHooks(generator=self.name, prefix=limit)
+
+
+def register_extensions(registry, retry_attempts: int = 3,
+                        rate_budget: int = 10_000) -> None:
+    """Add the extension generators to a generator registry."""
+    registry.register(RetryGen(retry_attempts))
+    registry.register(RateLimitGen(rate_budget))

@@ -1,0 +1,173 @@
+"""The micro-generator framework (Section 2.3, [5]).
+
+"The functionality of a wrapper generator is decomposed into a number of
+features, each supported by a micro-generator.  Each micro-generator
+generates a fragment of the prefix and postfix code of a function.  The
+micro-generators can be combined in a variety of ways to generate new
+wrapper types."
+
+A micro-generator here produces *two* renderings of its feature:
+
+* :meth:`MicroGenerator.c_fragment` — the C source text fragments, used by
+  the C backend to emit wrappers byte-for-byte in the style of Fig. 3;
+* :meth:`MicroGenerator.runtime_hooks` — executable prefix/postfix hooks,
+  composed by the Python backend into a wrapper that actually interposes
+  in the simulated linker.
+
+Composition semantics match the figure: prefix fragments run in generator
+order, postfix fragments in *reverse* order, so generators nest and the
+``caller`` generator (always last) performs the intercepted call at the
+innermost point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.headers.model import Prototype
+from repro.robust.api import FunctionDecl
+from repro.runtime.process import SimProcess
+from repro.wrappers.state import WrapperState
+
+
+@dataclass
+class Fragment:
+    """C text contributed by one micro-generator for one function."""
+
+    generator: str
+    prefix: str = ""
+    postfix: str = ""
+    #: file-scope declarations this generator needs (emitted once)
+    globals: str = ""
+
+
+@dataclass
+class CallFrame:
+    """Runtime state of one intercepted call, threaded through hooks."""
+
+    process: SimProcess
+    function: str
+    args: Sequence[Any]
+    varargs: Sequence[Any] = ()
+    ret: Any = None
+    #: set by a containment prefix to suppress the real call
+    skip_call: bool = False
+    #: scratch space for generator-private values (e.g. start timestamps)
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_args(self) -> tuple:
+        return tuple(self.args) + tuple(self.varargs)
+
+
+#: a prefix/postfix hook: mutates the frame, returns nothing
+Hook = Callable[[CallFrame], None]
+
+
+@dataclass
+class RuntimeHooks:
+    """Executable rendering of one micro-generator for one function."""
+
+    generator: str
+    prefix: Optional[Hook] = None
+    postfix: Optional[Hook] = None
+
+
+@dataclass
+class WrapperUnit:
+    """Everything a micro-generator may consult for one function."""
+
+    prototype: Prototype
+    decl: Optional[FunctionDecl]
+    state: WrapperState
+    #: resolves the next (shadowed) definition — dlsym(RTLD_NEXT)
+    resolve_next: Callable[[], Callable]
+
+    @property
+    def name(self) -> str:
+        return self.prototype.name
+
+    @property
+    def index(self) -> int:
+        return self.state.index_of(self.name)
+
+    def arg_names(self) -> List[str]:
+        return [p.name for p in self.prototype.params]
+
+
+class MicroGenerator:
+    """Base class: one composable wrapper feature."""
+
+    #: unique feature name, as shown in the Fig. 3 comments
+    name: str = "abstract"
+
+    def c_fragment(self, unit: WrapperUnit) -> Fragment:
+        """C text fragments for this feature (may be empty)."""
+        return Fragment(generator=self.name)
+
+    def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        """Executable hooks for this feature (may be empty)."""
+        return RuntimeHooks(generator=self.name)
+
+
+class GeneratorRegistry:
+    """Name → micro-generator lookup used by wrapper-type presets."""
+
+    def __init__(self) -> None:
+        self._generators: Dict[str, MicroGenerator] = {}
+
+    def register(self, generator: MicroGenerator) -> MicroGenerator:
+        if generator.name in self._generators:
+            raise ValueError(f"duplicate micro-generator {generator.name!r}")
+        self._generators[generator.name] = generator
+        return generator
+
+    def get(self, name: str) -> MicroGenerator:
+        try:
+            return self._generators[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown micro-generator {name!r}; "
+                f"known: {', '.join(sorted(self._generators))}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._generators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._generators
+
+
+def compose_wrapper(unit: WrapperUnit,
+                    generators: Sequence[MicroGenerator]) -> Callable:
+    """Assemble an executable wrapper from micro-generator hooks.
+
+    Prefixes run in order, postfixes in reverse order; the returned
+    callable has the same (process, *args) signature as the wrapped
+    symbol, so it installs directly into a preloaded SharedLibrary.
+    """
+    hooks = [g.runtime_hooks(unit) for g in generators]
+    prefix_hooks = [h.prefix for h in hooks if h.prefix is not None]
+    postfix_hooks = [h.postfix for h in reversed(hooks) if h.postfix is not None]
+    fixed_arity = len(unit.prototype.params)
+
+    def wrapper(process: SimProcess, *args: Any) -> Any:
+        frame = CallFrame(
+            process=process,
+            function=unit.name,
+            args=args[:fixed_arity],
+            varargs=args[fixed_arity:],
+        )
+        for hook in prefix_hooks:
+            hook(frame)
+        for hook in postfix_hooks:
+            hook(frame)
+        return frame.ret
+
+    wrapper.__name__ = f"wrapped_{unit.name}"
+    wrapper.__doc__ = (
+        f"Generated wrapper for {unit.name} "
+        f"({', '.join(g.name for g in generators)})."
+    )
+    return wrapper

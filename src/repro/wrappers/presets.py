@@ -1,0 +1,98 @@
+"""Wrapper-type presets: the Fig. 1 wrapper taxonomy.
+
+* **profiling** — exactly the six micro-generators visible in Fig. 3:
+  prototype, function exectime, collect errors, func errors, call
+  counter, caller.
+* **robustness** — argument checks from the derived robust API; invalid
+  calls become error returns instead of crashes/hangs.
+* **security** — heap-overflow containment (size table, bounds, %n,
+  safe gets, heap verification); violations terminate the program.
+* **logging** — call log for later failure diagnosis.
+* **hardened** — robustness + security combined (micro-generators
+  compose, which is the architecture's point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.security.policy import SecurityPolicy
+from repro.wrappers.composer import WrapperSpec
+from repro.wrappers.generators import (
+    ArgCheckGen,
+    CallCounterGen,
+    CallerGen,
+    CollectErrorsGen,
+    ExectimeGen,
+    FuncErrorsGen,
+    LogCallGen,
+    PrototypeGen,
+)
+from repro.wrappers.microgen import GeneratorRegistry
+
+
+def default_generator_registry(
+    policy: Optional[SecurityPolicy] = None,
+) -> GeneratorRegistry:
+    """All standard micro-generators (security policy configurable)."""
+    # imported here: security.guard itself builds on the generator base
+    # classes, so a module-level import would be circular
+    from repro.security.guard import HeapGuardGen
+
+    registry = GeneratorRegistry()
+    registry.register(PrototypeGen())
+    registry.register(CallerGen())
+    registry.register(CallCounterGen())
+    registry.register(ExectimeGen())
+    registry.register(CollectErrorsGen())
+    registry.register(FuncErrorsGen())
+    registry.register(ArgCheckGen())
+    registry.register(LogCallGen())
+    registry.register(HeapGuardGen(policy))
+    return registry
+
+
+PROFILING = WrapperSpec(
+    name="profiling",
+    generators=[
+        "prototype",
+        "function exectime",
+        "collect errors",
+        "func errors",
+        "call counter",
+        "caller",
+    ],
+    description="execution statistics and errno distributions (Fig. 3/5)",
+)
+
+ROBUSTNESS = WrapperSpec(
+    name="robustness",
+    generators=["prototype", "arg check", "caller"],
+    description="fault containment from the derived robust API",
+)
+
+SECURITY = WrapperSpec(
+    name="security",
+    generators=["prototype", "heap guard", "caller"],
+    description="buffer-overflow prevention (terminates attacks)",
+)
+
+LOGGING = WrapperSpec(
+    name="logging",
+    generators=["prototype", "log call", "caller"],
+    description="call logging for failure diagnosis",
+)
+
+HARDENED = WrapperSpec(
+    name="hardened",
+    # arg check first: invalid calls become error returns; the heap guard
+    # then only terminates on what argument checking cannot express
+    # (e.g. it repairs gets() with a bounded read)
+    generators=["prototype", "arg check", "heap guard", "caller"],
+    description="security + robustness combined",
+)
+
+PRESETS: Dict[str, WrapperSpec] = {
+    spec.name: spec
+    for spec in (PROFILING, ROBUSTNESS, SECURITY, LOGGING, HARDENED)
+}

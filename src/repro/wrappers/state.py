@@ -1,0 +1,89 @@
+"""Shared mutable state of one generated wrapper library.
+
+The generated C wrappers of Fig. 3 accumulate into global arrays indexed
+by a per-function number (``call_counter_num_calls[1206]``); this class is
+those arrays.  One instance is shared by every wrapper function in a
+generated library, and the profiling XML document is rendered from it at
+process exit (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.process import Errno
+
+
+@dataclass
+class ViolationRecord:
+    """One contained robustness violation."""
+
+    function: str
+    param: str
+    check: str
+    detail: str
+
+
+@dataclass
+class SecurityEvent:
+    """One blocked security-relevant operation."""
+
+    function: str
+    reason: str
+    terminated: bool
+
+
+@dataclass
+class WrapperState:
+    """Counters and logs shared across one wrapper library."""
+
+    #: stable function → index map (the C arrays' index space)
+    function_index: Dict[str, int] = field(default_factory=dict)
+    calls: Counter = field(default_factory=Counter)
+    #: per-function errno value → count (micro-gen func_errors)
+    func_errnos: Dict[str, Counter] = field(default_factory=dict)
+    #: global errno value → count (micro-gen collect_errors)
+    global_errnos: Counter = field(default_factory=Counter)
+    #: per-function accumulated execution time, ns (micro-gen exectime)
+    exectime_ns: Counter = field(default_factory=Counter)
+    violations: List[ViolationRecord] = field(default_factory=list)
+    security_events: List[SecurityEvent] = field(default_factory=list)
+    #: call log for the logging wrapper: (function, args tuple)
+    call_log: List[tuple] = field(default_factory=list)
+    #: the security wrapper's own allocation size table
+    size_table: Dict[int, int] = field(default_factory=dict)
+
+    def index_of(self, function: str) -> int:
+        """Stable numeric index for a function (grows on demand)."""
+        if function not in self.function_index:
+            self.function_index[function] = len(self.function_index)
+        return self.function_index[function]
+
+    def record_errno(self, function: str, errno_value: int) -> None:
+        """Bucket an errno change, clamping like Fig. 3's MAX_ERRNO guard."""
+        if errno_value < 0 or errno_value >= Errno.MAX_ERRNO:
+            errno_value = Errno.MAX_ERRNO
+        self.global_errnos[errno_value] += 1
+        self.func_errnos.setdefault(function, Counter())[errno_value] += 1
+
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def total_exectime_ns(self) -> int:
+        return sum(self.exectime_ns.values())
+
+    def errnos_for(self, function: str) -> Counter:
+        return self.func_errnos.get(function, Counter())
+
+    def reset(self) -> None:
+        """Clear all counters (a fresh profiling run)."""
+        self.calls.clear()
+        self.func_errnos.clear()
+        self.global_errnos.clear()
+        self.exectime_ns.clear()
+        self.violations.clear()
+        self.security_events.clear()
+        self.call_log.clear()
+        self.size_table.clear()

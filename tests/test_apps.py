@@ -1,0 +1,178 @@
+"""Tests for the bundled applications and the standard system image."""
+
+import pytest
+
+from repro.apps import (
+    ALL_APPS,
+    AUTHD,
+    CSVSTAT,
+    MSGFORMAT,
+    SAMPLE_CSV,
+    SAMPLE_TEXT,
+    STACKD,
+    WORDCOUNT,
+    app_by_name,
+    run_app,
+    standard_files,
+    standard_system,
+)
+from repro.libc import standard_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def linker(registry):
+    return standard_system(registry)[1]
+
+
+@pytest.fixture(scope="module")
+def system(registry):
+    return standard_system(registry)[0]
+
+
+class TestWordcount:
+    def test_counts_sample(self, linker):
+        result = run_app(WORDCOUNT, linker, argv=["/data/sample.txt"],
+                         files=standard_files())
+        assert result.succeeded
+        assert "16 lines" in result.stdout
+        assert "116 words" in result.stdout
+        assert "top word: the" in result.stdout
+
+    def test_missing_file(self, linker):
+        result = run_app(WORDCOUNT, linker, argv=["/nope"],
+                         files=standard_files())
+        assert result.status == 1
+        assert "cannot open" in result.stdout
+
+    def test_empty_file(self, linker):
+        result = run_app(WORDCOUNT, linker, argv=["/data/empty"],
+                         files={"/data/empty": b""})
+        assert result.succeeded
+        assert "0 lines, 0 words" in result.stdout
+
+    def test_no_heap_leak_like_corruption(self, linker):
+        result = run_app(WORDCOUNT, linker, argv=["/data/sample.txt"],
+                         files=standard_files())
+        assert result.process.heap.check_integrity() == []
+
+
+class TestCsvstat:
+    def test_stats_sample(self, linker):
+        result = run_app(CSVSTAT, linker, argv=["/data/values.csv"],
+                         files=standard_files())
+        assert result.succeeded
+        assert "n=192" in result.stdout
+        assert "min=-100" in result.stdout
+        assert "bsearch=ok" in result.stdout
+
+    def test_values_actually_sorted(self, linker):
+        result = run_app(CSVSTAT, linker, argv=["/data/one.csv"],
+                         files={"/data/one.csv": b"5,3,9\n1,7\n"})
+        assert "min=1" in result.stdout and "max=9" in result.stdout
+
+    def test_empty_input(self, linker):
+        result = run_app(CSVSTAT, linker, argv=["/data/none.csv"],
+                         files={"/data/none.csv": b"\n"})
+        assert result.status == 1
+        assert "no values" in result.stdout
+
+
+class TestMsgformat:
+    def test_protocol(self, linker):
+        result = run_app(MSGFORMAT, linker,
+                         stdin=b"ECHO hi\nADD 40 2\nQUIT\n")
+        assert result.succeeded
+        assert "reply[1]: ECHO hi" in result.stdout
+        assert "sum=42" in result.stdout
+        assert "served 3 requests" in result.stdout
+
+    def test_eof_terminates(self, linker):
+        result = run_app(MSGFORMAT, linker, stdin=b"")
+        assert result.succeeded
+        assert "served 0 requests" in result.stdout
+
+    def test_long_request_crashes_unprotected(self, linker):
+        result = run_app(MSGFORMAT, linker,
+                         stdin=b"ECHO " + b"x" * 500 + b"\nQUIT\n")
+        assert result.crashed or \
+            result.process.heap.check_integrity() != []
+
+
+class TestVictims:
+    def test_authd_benign_denies(self, linker):
+        result = run_app(AUTHD, linker, stdin=b"alice\n")
+        assert result.succeeded
+        assert "outcome=denied" in result.stdout
+        assert not result.process.root_shell
+
+    def test_authd_no_input(self, linker):
+        result = run_app(AUTHD, linker, stdin=b"")
+        assert result.status == 1
+
+    def test_stackd_benign_returns(self, linker):
+        result = run_app(STACKD, linker, stdin=b"hello\n")
+        assert result.succeeded
+        assert "outcome=returned" in result.stdout
+
+    def test_stackd_no_input(self, linker):
+        result = run_app(STACKD, linker, stdin=b"")
+        assert result.status == 1
+
+
+class TestCatalog:
+    def test_app_by_name(self):
+        assert app_by_name("wordcount") is WORDCOUNT
+        with pytest.raises(KeyError):
+            app_by_name("missing")
+
+    def test_images_are_parseable(self):
+        from repro.objfile import SimELF
+
+        for app in ALL_APPS:
+            parsed = SimELF.parse(app.image().serialize(), path=app.path)
+            assert parsed.is_executable
+            assert parsed.needed[0] == "libc.so.6"
+            assert parsed.undefined == sorted(set(app.imports))
+        # statcalc is the multi-library binary
+        from repro.apps import STATCALC
+        assert STATCALC.image().needed == ["libc.so.6", "libm.so.6"]
+
+    def test_imports_exist_in_libraries(self, registry):
+        from repro.libc import math_registry
+
+        libm = math_registry()
+        for app in ALL_APPS:
+            for name in app.imports:
+                assert name in registry or name in libm, (
+                    f"{app.name} imports {name}"
+                )
+
+    def test_sample_data_nonempty(self):
+        assert len(SAMPLE_TEXT) > 100
+        assert SAMPLE_CSV.count(b"\n") >= 20
+
+
+class TestStandardSystem:
+    def test_inventory(self, system):
+        paths = system.list_paths()
+        assert "/lib/libc.so.6" in paths
+        assert "/bin/wordcount" in paths
+        assert "/etc/motd" in paths
+        assert len(system.list_applications()) == len(ALL_APPS) + 1  # +static
+
+    def test_apps_run_via_system_linker(self, registry):
+        system, linker = standard_system(registry)
+        result = run_app(WORDCOUNT, linker, argv=["/data/sample.txt"],
+                         files=standard_files())
+        assert result.succeeded
+
+    def test_library_runtime_lookup(self, system, registry):
+        runtime = system.library_runtime(registry.library_name)
+        assert runtime is not None
+        assert runtime.defines("strcpy")
+        assert system.library_runtime("libz.so") is None

@@ -1,0 +1,187 @@
+"""Tests for the Healers facade and the CLI (the Section 3 demos)."""
+
+import pytest
+
+from repro.apps import MSGFORMAT, WORDCOUNT, standard_files
+from repro.cli.main import main
+from repro.core import Healers
+from repro.objfile import ObjFormatError
+from repro.robust import RobustAPIDocument
+
+
+@pytest.fixture(scope="module")
+def toolkit():
+    return Healers()
+
+
+@pytest.fixture(scope="module")
+def derived_toolkit():
+    toolkit = Healers()
+    toolkit.run_fault_injection(["strcpy", "strlen", "toupper", "free"])
+    toolkit.derive_robust_api()
+    return toolkit
+
+
+class TestLibraryScanning:
+    def test_list_libraries(self, toolkit):
+        scans = {scan.soname: scan for scan in toolkit.list_libraries()}
+        assert scans["libc.so.6"].function_count == 106
+        assert scans["libc.so.6"].prototyped == 106
+        assert scans["libm.so.6"].function_count == 17
+        assert scans["libm.so.6"].prototyped == 17
+
+    def test_scan_library_rejects_executable(self, toolkit):
+        with pytest.raises(ObjFormatError):
+            toolkit.scan_library("/bin/wordcount")
+
+    def test_declaration_file_is_xml(self, toolkit):
+        xml = toolkit.declaration_file("/lib/libc.so.6")
+        document = RobustAPIDocument.from_xml(xml)
+        assert "strcpy" in document.functions
+
+    def test_declaration_file_math_library(self, toolkit):
+        xml = toolkit.declaration_file("/lib/libm.so.6")
+        document = RobustAPIDocument.from_xml(xml)
+        assert document.library == "libm.so.6"
+        assert "sqrt" in document.functions
+        sqrt = document.functions["sqrt"]
+        assert sqrt.params[0].role == "real"
+
+
+class TestApplicationScanning:
+    def test_scan_wordcount(self, toolkit):
+        scan = toolkit.scan_application("/bin/wordcount")
+        assert scan.dynamically_linked
+        assert scan.resolved_libraries == {"libc.so.6": "/lib/libc.so.6"}
+        assert "strtok" in scan.wrappable
+        assert scan.coverage == 1.0
+
+    def test_scan_static_binary(self, toolkit):
+        scan = toolkit.scan_application("/bin/staticd")
+        assert not scan.dynamically_linked
+
+    def test_scan_rejects_library(self, toolkit):
+        with pytest.raises(ObjFormatError):
+            toolkit.scan_application("/lib/libc.so.6")
+
+    def test_list_applications(self, toolkit):
+        assert "/bin/wordcount" in toolkit.list_applications()
+
+
+class TestPipeline:
+    def test_extract_prototypes_round_trips_headers(self, toolkit):
+        prototypes = toolkit.extract_prototypes()
+        by_name = {p.name: p for p in prototypes}
+        assert len(by_name) == 123  # libc (106) + libm (17)
+        assert by_name["strcpy"].params[0].name == "dest"
+        assert by_name["strcpy"].header == "string.h"
+        assert by_name["sqrt"].header == "math.h"
+
+    def test_injection_and_derivation(self, derived_toolkit):
+        assert derived_toolkit.campaign_result is not None
+        document = derived_toolkit.api_document
+        dest = [p for p in document.functions["strcpy"].params
+                if p.name == "dest"][0]
+        assert dest.robust_type == "writable_capacity"
+
+    def test_wrapper_source_contains_checks(self, derived_toolkit):
+        source = derived_toolkit.wrapper_source("robustness", ["strcpy"])
+        assert "healers_check_buffer_capacity" in source
+
+    def test_generate_unknown_preset(self, toolkit):
+        with pytest.raises(KeyError):
+            toolkit.generate_wrapper("bogus")
+
+    def test_preload_and_clear(self, derived_toolkit):
+        built = derived_toolkit.preload("robustness", ["strlen"])
+        assert derived_toolkit.linker.resolve("strlen").interposed
+        derived_toolkit.clear_preloads()
+        assert not derived_toolkit.linker.resolve("strlen").interposed
+        assert built.functions == ["strlen"]
+
+    def test_profile_run_returns_document(self, toolkit):
+        result, document = toolkit.profile_run(
+            WORDCOUNT, argv=["/data/sample.txt"], files=standard_files()
+        )
+        assert result.succeeded
+        assert document.application == "wordcount"
+        assert document.total_calls > 100
+        # the preload was removed afterwards
+        assert not toolkit.linker.preloads
+
+
+class TestCLI:
+    def run_cli(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_list_libs(self, capsys):
+        code, out = self.run_cli(capsys, "list-libs")
+        assert code == 0
+        assert "/lib/libc.so.6" in out
+
+    def test_list_apps(self, capsys):
+        code, out = self.run_cli(capsys, "list-apps")
+        assert code == 0 and "/bin/csvstat" in out
+
+    def test_scan_lib(self, capsys):
+        code, out = self.run_cli(capsys, "scan-lib", "/lib/libc.so.6")
+        assert code == 0 and "strcpy" in out
+
+    def test_scan_lib_xml(self, capsys):
+        code, out = self.run_cli(capsys, "scan-lib", "/lib/libc.so.6",
+                                 "--xml")
+        assert code == 0 and out.lstrip().startswith("<?xml")
+
+    def test_scan_app(self, capsys):
+        code, out = self.run_cli(capsys, "scan-app", "/sbin/authd")
+        assert code == 0
+        assert "libc.so.6 => /lib/libc.so.6" in out
+        assert "strcpy" in out
+
+    def test_scan_static_app(self, capsys):
+        code, out = self.run_cli(capsys, "scan-app", "/bin/staticd")
+        assert code == 1
+        assert "statically linked" in out
+
+    def test_inject_subset(self, capsys):
+        code, out = self.run_cli(capsys, "inject",
+                                 "--functions", "strlen,abs")
+        assert code == 0
+        assert "probes" in out and "strlen" in out
+
+    def test_derive_subset(self, capsys):
+        code, out = self.run_cli(capsys, "derive",
+                                 "--functions", "strcpy,abs")
+        assert code == 0
+        assert "writable_capacity" in out
+        assert "abs" not in out.splitlines()  # not strengthened
+
+    def test_generate_c(self, capsys):
+        code, out = self.run_cli(capsys, "generate", "profiling",
+                                 "--functions", "wctrans", "--c")
+        assert code == 0
+        assert "Prefix code by micro-gen" in out
+
+    def test_generate_summary(self, capsys):
+        code, out = self.run_cli(capsys, "generate", "security",
+                                 "--functions", "strcpy,malloc,free")
+        assert code == 0 and "3 wrappers" in out
+
+    def test_profile_app(self, capsys):
+        code, out = self.run_cli(capsys, "profile", "wordcount")
+        assert code == 0
+        assert "Call frequency" in out
+
+    def test_run_with_wrapper(self, capsys):
+        code, out = self.run_cli(
+            capsys, "run", "msgformat", "--wrap", "robustness",
+            "--stdin", "ECHO hi\nQUIT\n")
+        assert code == 0
+        assert "reply[1]: ECHO hi" in out
+
+    def test_attack_demo(self, capsys):
+        code, out = self.run_cli(capsys, "attack-demo")
+        assert code == 0
+        assert "ROOT SHELL" in out
+        assert "terminated" in out

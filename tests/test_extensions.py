@@ -1,0 +1,230 @@
+"""Tests for the extensions: pairwise injection, retry/rate-limit
+micro-generators, and declarative deployment configuration."""
+
+import pytest
+
+from repro.core import AppPolicy, DeploymentConfig, Healers
+from repro.errors import Outcome
+from repro.injection import PairwiseCampaign
+from repro.libc import standard_registry
+from repro.libc.registry import LibFunction
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.headers.parser import parse_prototype
+from repro.manpages import load_corpus
+from repro.robust import RobustAPIDocument
+from repro.runtime import Errno, SimProcess
+from repro.wrappers import WrapperFactory, WrapperSpec
+from repro.wrappers.extensions import RateLimitGen, RetryGen, register_extensions
+from repro.wrappers.presets import default_generator_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+class TestPairwiseInjection:
+    @pytest.fixture(scope="class")
+    def report(self, registry):
+        campaign = PairwiseCampaign(registry)
+        return campaign.probe_function_pairwise("memcpy",
+                                                max_values_per_param=5)
+
+    def test_pairs_probed(self, report):
+        assert report.total_probes > 0
+        pairs = {(r.probe.first_param, r.probe.second_param)
+                 for r in report.records}
+        assert ("dest", "src") in pairs
+        assert ("dest", "n") in pairs
+        assert ("src", "n") in pairs
+
+    def test_failures_found(self, report):
+        assert report.failures
+
+    def test_solo_baseline_recorded(self, report):
+        assert report.solo_pass[("dest", "exact_extent")]
+        assert not report.solo_pass[("dest", "null")]
+
+    def test_interaction_failures_exist(self, registry):
+        # undersized dest × individually-valid n: both pass alone, the
+        # pair overflows — the canonical interaction failure
+        campaign = PairwiseCampaign(registry)
+        report = campaign.probe_function_pairwise("memcpy")
+        interactions = report.interaction_failures()
+        assert interactions
+        pairs = {(r.probe.first_label, r.probe.second_label)
+                 for r in interactions}
+        assert any("exact_extent" in a or "exact_extent" in b
+                   for a, b in pairs)
+
+    def test_relational_checks_close_interaction_gaps(self, registry):
+        """The wrapper's relational checks must contain even the
+        interaction failures that per-parameter derivation cannot see."""
+        from repro.injection import Campaign
+        from repro.robust import derive_api
+        from repro.wrappers import ROBUSTNESS
+
+        pages = load_corpus()
+        base = Campaign(registry).run(["memcpy"])
+        document = RobustAPIDocument.build(
+            registry, pages, derive_api(base, registry, pages)
+        )
+        linker = DynamicLinker()
+        linker.add_library(SharedLibrary.from_registry(registry))
+        built = WrapperFactory(registry, document).preload(linker,
+                                                           ROBUSTNESS)
+
+        def interpose(function):
+            symbol = built.library.lookup(function.name)
+            return symbol.impl if symbol else function.impl
+
+        campaign = PairwiseCampaign(registry, interposer=interpose)
+        wrapped = campaign.probe_function_pairwise("memcpy")
+        assert wrapped.interaction_failures() == []
+
+
+def flaky_function(fail_times):
+    """A registry with one transiently failing function."""
+    registry = standard_registry()
+    prototype = parse_prototype("int flaky(int x)")
+    prototype.header = "test.h"
+    remaining = {"count": fail_times}
+
+    def impl(proc, x):
+        if remaining["count"] > 0:
+            remaining["count"] -= 1
+            proc.errno = Errno.EINTR
+            return -1
+        proc.errno = 0
+        return x * 2
+
+    registry.register(LibFunction(prototype=prototype, impl=impl))
+    return registry
+
+
+class TestRetryGen:
+    def build(self, registry, attempts):
+        linker = DynamicLinker()
+        linker.add_library(SharedLibrary.from_registry(registry))
+        generators = default_generator_registry()
+        generators.register(RetryGen(attempts))
+        factory = WrapperFactory(registry, None, generators=generators)
+        spec = WrapperSpec(name="retrying", generators=["retry"])
+        built = factory.preload(linker, spec, functions=["flaky"])
+        return linker, built
+
+    def test_transient_failure_retried_to_success(self):
+        registry = flaky_function(fail_times=2)
+        linker, built = self.build(registry, attempts=3)
+        proc = SimProcess()
+        assert linker.resolve("flaky").symbol(proc, 21) == 42
+        assert built.state.calls["flaky/retry"] == 2
+
+    def test_budget_exhaustion_reports_error(self):
+        registry = flaky_function(fail_times=10)
+        linker, _ = self.build(registry, attempts=3)
+        proc = SimProcess()
+        assert linker.resolve("flaky").symbol(proc, 21) == -1
+        assert proc.errno == Errno.EINTR
+
+    def test_healthy_call_not_retried(self):
+        registry = flaky_function(fail_times=0)
+        linker, built = self.build(registry, attempts=3)
+        proc = SimProcess()
+        assert linker.resolve("flaky").symbol(proc, 5) == 10
+        assert built.state.calls["flaky/retry"] == 0
+
+
+class TestRateLimitGen:
+    def test_budget_enforced(self, registry):
+        linker = DynamicLinker()
+        linker.add_library(SharedLibrary.from_registry(registry))
+        generators = default_generator_registry()
+        generators.register(RateLimitGen(budget=5))
+        factory = WrapperFactory(registry, None, generators=generators)
+        spec = WrapperSpec(name="limited", generators=["rate limit"])
+        built = factory.preload(linker, spec, functions=["strlen"])
+        proc = SimProcess()
+        text = proc.alloc_cstring(b"abc")
+        symbol = linker.resolve("strlen").symbol
+        for _ in range(5):
+            assert symbol(proc, text) == 3
+        assert symbol(proc, text) == 0  # refused (size_t error value)
+        assert built.state.calls["strlen/ratelimited"] == 1
+
+    def test_register_extensions_helper(self):
+        generators = default_generator_registry()
+        register_extensions(generators)
+        assert "retry" in generators
+        assert "rate limit" in generators
+
+
+class TestDeploymentConfig:
+    XML = """
+    <healers-deployment>
+      <application path="/sbin/authd" wrappers="security"/>
+      <application path="/bin/wordcount" wrappers="robustness,profiling"
+                   functions="strcpy,strcat"/>
+      <default wrappers="logging"/>
+    </healers-deployment>
+    """
+
+    def test_parse(self):
+        config = DeploymentConfig.from_xml(self.XML)
+        assert config.policy_for("/sbin/authd").wrappers == ["security"]
+        wordcount = config.policy_for("/bin/wordcount")
+        assert wordcount.wrappers == ["robustness", "profiling"]
+        assert wordcount.functions == ["strcpy", "strcat"]
+        assert config.policy_for("/bin/other").wrappers == ["logging"]
+
+    def test_roundtrip(self):
+        config = DeploymentConfig.from_xml(self.XML)
+        again = DeploymentConfig.from_xml(config.to_xml())
+        assert again.policy_for("/sbin/authd").wrappers == ["security"]
+        assert again.default.wrappers == ["logging"]
+
+    def test_unknown_wrapper_rejected(self):
+        bad = self.XML.replace("security", "bogus")
+        with pytest.raises(ValueError):
+            DeploymentConfig.from_xml(bad)
+
+    def test_missing_path_rejected(self):
+        bad = '<healers-deployment><application wrappers="security"/></healers-deployment>'
+        with pytest.raises(ValueError):
+            DeploymentConfig.from_xml(bad)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig.from_xml("<x/>")
+
+    def test_apply_deployment(self):
+        toolkit = Healers()
+        config = DeploymentConfig.from_xml(self.XML)
+        built = toolkit.apply_deployment(config, "/sbin/authd")
+        assert len(built) == 1
+        assert built[0].spec.name == "security"
+        assert toolkit.linker.resolve("strcpy").interposed
+        toolkit.clear_preloads()
+        built = toolkit.apply_deployment(config, "/bin/wordcount")
+        assert [b.spec.name for b in built] == ["robustness", "profiling"]
+        assert built[0].functions == ["strcpy", "strcat"]
+        toolkit.clear_preloads()
+
+    def test_apply_deployment_policy_protects(self):
+        from repro.apps import run_app
+        from repro.security.attacks import HEAP_SMASH
+
+        toolkit = Healers()
+        config = DeploymentConfig.from_xml(self.XML)
+        toolkit.apply_deployment(config, "/sbin/authd")
+        result = run_app(HEAP_SMASH.app, toolkit.linker,
+                         stdin=HEAP_SMASH.payload())
+        assert not HEAP_SMASH.hijacked(result)
+        toolkit.clear_preloads()
+
+
+class TestAppPolicy:
+    def test_validate(self):
+        AppPolicy(path="/x", wrappers=["security"]).validate()
+        with pytest.raises(ValueError):
+            AppPolicy(path="/x", wrappers=["nope"]).validate()

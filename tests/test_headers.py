@@ -1,0 +1,180 @@
+"""Tests for C declaration parsing (repro.headers)."""
+
+import pytest
+
+from repro.headers import parse_header, parse_prototype
+from repro.headers.lexer import LexError, tokenize
+from repro.headers.model import CType, pointer_to, scalar
+from repro.headers.parser import HeaderParser, ParseError
+
+
+class TestLexer:
+    def test_identifiers_and_punct(self):
+        tokens = tokenize("int foo(void);")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("keyword", "int") in kinds
+        assert ("ident", "foo") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("/* block */ int x; // line\nint y;")
+        texts = [t.text for t in tokens if t.kind == "ident"]
+        assert texts == ["x", "y"]
+
+    def test_preprocessor_skipped(self):
+        tokens = tokenize("#include <stdio.h>\n#define FOO 1\nint f(void);")
+        assert all(t.text != "include" for t in tokens)
+
+    def test_ellipsis(self):
+        tokens = tokenize("int printf(const char *fmt, ...);")
+        assert any(t.text == "..." for t in tokens)
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_line_numbers(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+
+class TestParsePrototype:
+    def test_simple(self):
+        proto = parse_prototype("size_t strlen(const char *s)")
+        assert proto.name == "strlen"
+        assert proto.return_type == scalar("size_t")
+        assert proto.arity == 1
+        assert proto.params[0].name == "s"
+        assert proto.params[0].ctype == pointer_to("char", const=True)
+
+    def test_two_pointer_params(self):
+        proto = parse_prototype("char *strcpy(char *dest, const char *src)")
+        assert proto.return_type == pointer_to("char")
+        assert [p.name for p in proto.params] == ["dest", "src"]
+        assert proto.params[0].ctype.const is False
+        assert proto.params[1].ctype.const is True
+
+    def test_void_params(self):
+        proto = parse_prototype("int rand(void)")
+        assert proto.arity == 0
+        assert not proto.variadic
+
+    def test_variadic(self):
+        proto = parse_prototype("int sprintf(char *str, const char *format, ...)")
+        assert proto.variadic
+        assert proto.arity == 2
+
+    def test_unnamed_params_get_positional_names(self):
+        proto = parse_prototype("int memcmp(const void *, const void *, size_t)")
+        assert [p.name for p in proto.params] == ["a1", "a2", "a3"]
+
+    def test_unsigned_long(self):
+        proto = parse_prototype("unsigned long strtoul(const char *n, char **e, int b)")
+        assert proto.return_type == scalar("unsigned long")
+        assert proto.params[1].ctype.pointer_depth == 2
+
+    def test_function_pointer_param(self):
+        proto = parse_prototype(
+            "void qsort(void *base, size_t nmemb, size_t size, "
+            "int (*compar)(const void *, const void *))"
+        )
+        compar = proto.params[3]
+        assert compar.name == "compar"
+        assert compar.ctype.function_pointer
+        assert "(*)" in compar.ctype.spelling
+
+    def test_array_param_decays(self):
+        proto = parse_prototype("int sum(int values[], int n)")
+        assert proto.params[0].ctype.pointer_depth == 1
+
+    def test_double_pointer(self):
+        proto = parse_prototype("long strtol(const char *nptr, char **endptr, int base)")
+        assert proto.params[1].ctype == pointer_to("char", depth=2)
+
+    def test_struct_return(self):
+        proto = parse_prototype("struct tm *localtime(const time_t *timep)")
+        assert proto.return_type.base == "struct tm"
+        assert proto.return_type.pointer_depth == 1
+
+    def test_missing_name_raises(self):
+        with pytest.raises((ParseError, ValueError)):
+            parse_prototype("int (int x)")
+
+    def test_declare_roundtrip(self):
+        text = "char * strcpy(char * dest, const char * src);"
+        assert parse_prototype(text).declare() == text
+
+    def test_declare_variadic(self):
+        proto = parse_prototype("int printf(const char *format, ...)")
+        assert proto.declare().endswith("...);")
+
+
+class TestParseHeader:
+    HEADER = """
+    #ifndef _STRING_H
+    #define _STRING_H
+    #include <stddef.h>
+
+    /* length of s */
+    extern size_t strlen(const char *s);
+    char *strcpy(char *dest, const char *src);
+    extern char **environ;   /* object: skipped */
+    typedef unsigned int my_handle_t;
+    int use_handle(my_handle_t h);
+    #endif
+    """
+
+    def test_finds_functions_not_objects(self):
+        protos = parse_header(self.HEADER, header="string.h")
+        names = [p.name for p in protos]
+        assert names == ["strlen", "strcpy", "use_handle"]
+
+    def test_header_attribute_propagates(self):
+        protos = parse_header(self.HEADER, header="string.h")
+        assert all(p.header == "string.h" for p in protos)
+
+    def test_typedef_learned(self):
+        parser = HeaderParser()
+        parser.parse(self.HEADER)
+        assert "my_handle_t" in parser.typedefs
+
+    def test_typedef_used_as_param_type(self):
+        protos = parse_header(self.HEADER)
+        use = [p for p in protos if p.name == "use_handle"][0]
+        assert use.params[0].ctype == scalar("my_handle_t")
+
+    def test_inline_definition_body_skipped(self):
+        source = "static inline int twice(int x) { return x + x; } int after(void);"
+        protos = parse_header(source)
+        assert [p.name for p in protos] == ["twice", "after"]
+
+
+class TestCType:
+    def test_spelling_scalar(self):
+        assert scalar("int").spelling == "int"
+
+    def test_spelling_const_pointer(self):
+        assert pointer_to("char", const=True).spelling == "const char *"
+
+    def test_spelling_double_pointer(self):
+        assert pointer_to("char", depth=2).spelling == "char **"
+
+    def test_predicates(self):
+        assert scalar("size_t").is_integer
+        assert scalar("size_t").is_unsigned
+        assert not scalar("int").is_unsigned
+        assert scalar("double").is_float
+        assert pointer_to("void").is_void_pointer
+        assert pointer_to("char").is_char_pointer
+        assert CType("void").is_void
+
+    def test_pointee(self):
+        assert pointer_to("char", depth=2).pointee() == pointer_to("char")
+        with pytest.raises(ValueError):
+            scalar("int").pointee()
+
+    def test_signature_key_groups_same_shapes(self):
+        a = parse_prototype("size_t strlen(const char *s)")
+        b = parse_prototype("size_t mylen(const char *p)")
+        assert a.signature_key() == b.signature_key()

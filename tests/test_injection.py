@@ -1,0 +1,163 @@
+"""Tests for the fault-injection campaign (Fig. 2's engine).
+
+Campaign runs are restricted to small function subsets to keep the suite
+fast; the full-library sweep lives in the benchmarks.
+"""
+
+import pytest
+
+from repro.errors import Outcome
+from repro.injection import Campaign
+from repro.libc import standard_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def campaign(registry):
+    return Campaign(registry)
+
+
+@pytest.fixture(scope="module")
+def strcpy_report(campaign):
+    return campaign.probe_function("strcpy")
+
+
+class TestProbeFunction:
+    def test_probes_every_parameter(self, strcpy_report):
+        params = {r.probe.param_name for r in strcpy_report.records}
+        assert params == {"dest", "src"}
+
+    def test_no_setup_errors(self, strcpy_report):
+        assert strcpy_report.setup_errors == []
+
+    def test_null_src_crashes(self, strcpy_report):
+        record = [r for r in strcpy_report.records
+                  if r.probe.param_name == "src"
+                  and r.probe.value_label == "null"][0]
+        assert record.outcome == Outcome.CRASH
+
+    def test_valid_values_pass(self, strcpy_report):
+        for label in ("plain_string", "empty_string", "readonly_string"):
+            record = [r for r in strcpy_report.records
+                      if r.probe.param_name == "src"
+                      and r.probe.value_label == label][0]
+            assert record.outcome == Outcome.PASS, label
+
+    def test_unterminated_huge_hangs(self, strcpy_report):
+        record = [r for r in strcpy_report.records
+                  if r.probe.param_name == "src"
+                  and r.probe.value_label == "unterminated_huge"][0]
+        assert record.outcome == Outcome.HANG
+
+    def test_undersized_dest_crashes(self, strcpy_report):
+        record = [r for r in strcpy_report.records
+                  if r.probe.param_name == "dest"
+                  and r.probe.value_label == "one_byte_buffer"][0]
+        assert record.outcome == Outcome.CRASH
+
+    def test_exact_dest_passes(self, strcpy_report):
+        record = [r for r in strcpy_report.records
+                  if r.probe.param_name == "dest"
+                  and r.probe.value_label == "exact_required"][0]
+        assert record.outcome == Outcome.PASS
+
+    def test_failure_rate_consistency(self, strcpy_report):
+        assert 0 < strcpy_report.failure_rate < 1
+        assert len(strcpy_report.failures) == sum(
+            strcpy_report.outcome_counts().get(k, 0)
+            for k in ("crash", "hang", "abort", "silent")
+        )
+
+
+class TestFamilies:
+    def test_free_abort_class(self, campaign):
+        report = campaign.probe_function("free")
+        outcomes = {r.probe.value_label: r.outcome for r in report.records}
+        assert outcomes["null"] == Outcome.PASS
+        assert outcomes["live_allocation"] == Outcome.PASS
+        assert outcomes["already_freed"] == Outcome.ABORT
+        assert outcomes["interior_pointer"] == Outcome.ABORT
+
+    def test_toupper_domain(self, campaign):
+        report = campaign.probe_function("toupper")
+        outcomes = {r.probe.value_label: r.outcome for r in report.records}
+        assert outcomes["eof"] == Outcome.PASS
+        assert outcomes["letter"] == Outcome.PASS
+        assert outcomes["int_min"] == Outcome.CRASH
+
+    def test_memcpy_oversized_count_silent_or_crash(self, campaign):
+        report = campaign.probe_function("memcpy")
+        record = [r for r in report.records
+                  if r.probe.param_name == "n"
+                  and r.probe.value_label == "bound_x1+1"][0]
+        assert record.outcome in (Outcome.SILENT, Outcome.CRASH)
+
+    def test_strtol_errno_is_robust(self, campaign):
+        report = campaign.probe_function("strtol")
+        record = [r for r in report.records
+                  if r.probe.param_name == "base"
+                  and r.probe.value_label == "thirty_seven"][0]
+        assert record.outcome == Outcome.ERROR  # EINVAL, not a crash
+
+    def test_abs_is_fully_robust(self, campaign):
+        report = campaign.probe_function("abs")
+        assert report.failures == []
+
+
+class TestCampaignRun:
+    def test_run_subset(self, registry):
+        campaign = Campaign(registry)
+        result = campaign.run(["strlen", "abs"])
+        assert set(result.reports) == {"strlen", "abs"}
+        assert result.total_probes == sum(
+            r.total_probes for r in result.reports.values()
+        )
+
+    def test_zero_param_functions_skipped(self, registry):
+        campaign = Campaign(registry)
+        result = campaign.run(["abort", "rand", "strlen"])
+        assert "abort" in result.skipped
+        assert "rand" in result.skipped
+        assert "strlen" in result.reports
+
+    def test_unknown_function_skipped(self, registry):
+        result = Campaign(registry).run(["no_such_fn"])
+        assert result.skipped == ["no_such_fn"]
+
+    def test_outcome_counts_sum(self, registry):
+        result = Campaign(registry).run(["strlen", "toupper"])
+        assert sum(result.outcome_counts().values()) == result.total_probes
+
+    def test_functions_with_failures(self, registry):
+        result = Campaign(registry).run(["strlen", "abs"])
+        assert result.functions_with_failures() == ["strlen"]
+
+    def test_observer_sees_every_probe(self, registry):
+        seen = []
+        campaign = Campaign(registry,
+                            observer=lambda probe, result: seen.append(probe))
+        report = campaign.probe_function("strlen")
+        assert len(seen) == report.total_probes
+
+    def test_interposer_redirects_calls(self, registry):
+        from repro.errors import Outcome
+
+        def harmless(fn):
+            return lambda proc, *args: 0
+
+        campaign = Campaign(registry, interposer=harmless)
+        report = campaign.probe_function("strlen")
+        assert all(r.outcome in (Outcome.PASS, Outcome.ERROR)
+                   for r in report.records)
+
+    def test_probes_are_isolated(self, registry):
+        # two identical campaigns agree exactly: no cross-probe state
+        first = Campaign(registry).probe_function("strcat")
+        second = Campaign(registry).probe_function("strcat")
+        outcomes_a = [(r.probe.value_label, r.outcome) for r in first.records]
+        outcomes_b = [(r.probe.value_label, r.outcome) for r in second.records]
+        assert outcomes_a == outcomes_b

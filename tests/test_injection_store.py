@@ -1,0 +1,83 @@
+"""Tests for the experiments database (campaign persistence)."""
+
+import pytest
+
+from repro.injection import Campaign, campaign_from_xml, campaign_to_xml
+from repro.libc import standard_registry
+from repro.manpages import load_corpus
+from repro.robust import derive_api
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def result(registry):
+    return Campaign(registry).run(["strcpy", "toupper", "abort"])
+
+
+class TestRoundTrip:
+    def test_totals_preserved(self, result):
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        assert loaded.library == result.library
+        assert loaded.total_probes == result.total_probes
+        assert loaded.total_failures == result.total_failures
+        assert loaded.skipped == result.skipped
+
+    def test_records_preserved_exactly(self, result):
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        for name, report in result.reports.items():
+            reloaded = loaded.reports[name]
+            original = [
+                (r.probe.param_name, r.probe.param_index, r.probe.chain,
+                 r.probe.value_label, r.probe.max_rank, r.outcome,
+                 r.result.errno)
+                for r in report.records
+            ]
+            copied = [
+                (r.probe.param_name, r.probe.param_index, r.probe.chain,
+                 r.probe.value_label, r.probe.max_rank, r.outcome,
+                 r.result.errno)
+                for r in reloaded.records
+            ]
+            assert copied == original
+
+    def test_derivation_identical_from_store(self, result, registry):
+        pages = load_corpus()
+        direct = derive_api(result, registry, pages)
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        offline = derive_api(loaded, registry, pages)
+        for name in direct:
+            for live, stored in zip(direct[name].params,
+                                    offline[name].params):
+                assert live.robust_type == stored.robust_type
+                assert live.verdicts == stored.verdicts
+
+    def test_reject_wrong_root(self):
+        with pytest.raises(ValueError):
+            campaign_from_xml("<nope/>")
+
+    def test_setup_errors_preserved(self, result):
+        # inject a fake setup error to exercise the path
+        result.reports["strcpy"].setup_errors.append("synthetic: oh no")
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        assert "synthetic: oh no" in loaded.reports["strcpy"].setup_errors
+        result.reports["strcpy"].setup_errors.clear()
+
+
+class TestCliIntegration:
+    def test_inject_save_then_derive_load(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        store = tmp_path / "experiments.xml"
+        code = main(["inject", "--functions", "strcpy,abs",
+                     "--save", str(store)])
+        assert code == 0
+        assert store.exists()
+        capsys.readouterr()
+        code = main(["derive", "--load", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "writable_capacity" in out

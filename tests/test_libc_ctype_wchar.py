@@ -1,0 +1,134 @@
+"""Tests for the simulated <ctype.h> and <wchar.h>/<wctype.h> families."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.libc import standard_registry
+from repro.libc.wchar_ import TRANS_TOLOWER, TRANS_TOUPPER, WCHAR_SIZE
+from repro.runtime import SimProcess
+
+
+@pytest.fixture(scope="module")
+def libc():
+    return standard_registry()
+
+
+@pytest.fixture
+def proc():
+    return SimProcess()
+
+
+def wstr(proc, text: str) -> int:
+    address = proc.alloc_buffer((len(text) + 1) * WCHAR_SIZE)
+    for index, char in enumerate(text):
+        proc.space.write_u32(address + index * WCHAR_SIZE, ord(char))
+    proc.space.write_u32(address + len(text) * WCHAR_SIZE, 0)
+    return address
+
+
+class TestCtypePredicates:
+    CASES = [
+        ("isalpha", ord("a"), True), ("isalpha", ord("1"), False),
+        ("isdigit", ord("7"), True), ("isdigit", ord("z"), False),
+        ("isalnum", ord("z"), True), ("isalnum", ord("!"), False),
+        ("isxdigit", ord("f"), True), ("isxdigit", ord("g"), False),
+        ("isspace", ord(" "), True), ("isspace", ord("x"), False),
+        ("isupper", ord("Q"), True), ("isupper", ord("q"), False),
+        ("islower", ord("q"), True), ("islower", ord("Q"), False),
+        ("iscntrl", 0x07, True), ("iscntrl", ord("A"), False),
+        ("isprint", ord(" "), True), ("isprint", 0x07, False),
+        ("isgraph", ord("!"), True), ("isgraph", ord(" "), False),
+        ("ispunct", ord(","), True), ("ispunct", ord("a"), False),
+    ]
+
+    @pytest.mark.parametrize("fn,char,expected", CASES)
+    def test_classification(self, libc, proc, fn, char, expected):
+        assert bool(libc[fn](proc, char)) is expected
+
+    @pytest.mark.parametrize("fn", ["isalpha", "isdigit", "toupper"])
+    def test_eof_is_in_domain(self, libc, proc, fn):
+        libc[fn](proc, -1)  # must not crash
+
+    @pytest.mark.parametrize("fn", ["isalpha", "isdigit", "isspace",
+                                    "toupper", "tolower"])
+    @pytest.mark.parametrize("value", [-2, 256, 100000, -(2 ** 31)])
+    def test_out_of_domain_crashes(self, libc, proc, fn, value):
+        with pytest.raises(SegmentationFault):
+            libc[fn](proc, value)
+
+    def test_toupper_tolower(self, libc, proc):
+        assert libc["toupper"](proc, ord("a")) == ord("A")
+        assert libc["toupper"](proc, ord("A")) == ord("A")
+        assert libc["tolower"](proc, ord("Z")) == ord("z")
+        assert libc["tolower"](proc, ord("5")) == ord("5")
+
+
+class TestWideStrings:
+    def test_wcslen(self, libc, proc):
+        assert libc["wcslen"](proc, wstr(proc, "hello")) == 5
+        assert libc["wcslen"](proc, wstr(proc, "")) == 0
+
+    def test_wcslen_null_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["wcslen"](proc, 0)
+
+    def test_wcscpy(self, libc, proc):
+        src = wstr(proc, "wide")
+        dest = proc.alloc_buffer(64)
+        assert libc["wcscpy"](proc, dest, src) == dest
+        assert libc["wcslen"](proc, dest) == 4
+        assert proc.space.read_u32(dest) == ord("w")
+
+    def test_wcsncpy_pads(self, libc, proc):
+        src = wstr(proc, "ab")
+        dest = proc.alloc_buffer(8 * WCHAR_SIZE, fill=0xFF)
+        libc["wcsncpy"](proc, dest, src, 5)
+        assert proc.space.read_u32(dest + 2 * WCHAR_SIZE) == 0
+        assert proc.space.read_u32(dest + 4 * WCHAR_SIZE) == 0
+        assert proc.space.read_u32(dest + 5 * WCHAR_SIZE) == 0xFFFFFFFF
+
+    def test_wcscmp(self, libc, proc):
+        assert libc["wcscmp"](proc, wstr(proc, "aa"), wstr(proc, "aa")) == 0
+        assert libc["wcscmp"](proc, wstr(proc, "ab"), wstr(proc, "ac")) < 0
+
+    def test_wcschr(self, libc, proc):
+        s = wstr(proc, "abcd")
+        assert libc["wcschr"](proc, s, ord("c")) == s + 2 * WCHAR_SIZE
+        assert libc["wcschr"](proc, s, ord("z")) == 0
+
+
+class TestWctrans:
+    """wctrans is the paper's Fig. 3 example function."""
+
+    def test_known_names(self, libc, proc):
+        assert libc["wctrans"](proc, proc.alloc_cstring(b"tolower")) == \
+            TRANS_TOLOWER
+        assert libc["wctrans"](proc, proc.alloc_cstring(b"toupper")) == \
+            TRANS_TOUPPER
+
+    def test_unknown_name_returns_zero(self, libc, proc):
+        assert libc["wctrans"](proc, proc.alloc_cstring(b"nonsense")) == 0
+
+    def test_null_name_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["wctrans"](proc, 0)
+
+    def test_towctrans_applies(self, libc, proc):
+        assert libc["towctrans"](proc, ord("a"), TRANS_TOUPPER) == ord("A")
+        assert libc["towctrans"](proc, ord("A"), TRANS_TOLOWER) == ord("a")
+        assert libc["towctrans"](proc, ord("A"), 99) == ord("A")
+
+    def test_wctype_iswctype(self, libc, proc):
+        digit_class = libc["wctype"](proc, proc.alloc_cstring(b"digit"))
+        assert digit_class != 0
+        assert libc["iswctype"](proc, ord("7"), digit_class) == 1
+        assert libc["iswctype"](proc, ord("x"), digit_class) == 0
+
+    def test_wide_case_conversion(self, libc, proc):
+        assert libc["towupper"](proc, ord("m")) == ord("M")
+        assert libc["towlower"](proc, ord("M")) == ord("m")
+
+    def test_wide_predicates(self, libc, proc):
+        assert libc["iswalpha"](proc, ord("x")) == 1
+        assert libc["iswalpha"](proc, ord("6")) == 0
+        assert libc["iswdigit"](proc, ord("6")) == 1

@@ -1,0 +1,152 @@
+"""Tests for the simulated <math.h> family (libm.so.6)."""
+
+import math
+
+import pytest
+
+from repro.injection import Campaign
+from repro.libc import math_registry
+from repro.manpages import load_corpus
+from repro.robust import derive_api
+from repro.runtime import Errno, SimProcess
+
+
+@pytest.fixture(scope="module")
+def libm():
+    return math_registry()
+
+
+@pytest.fixture
+def proc():
+    return SimProcess()
+
+
+class TestBasics:
+    def test_registry_identity(self, libm):
+        assert libm.library_name == "libm.so.6"
+        assert len(libm) == 17
+        assert all(f.header == "math.h" for f in libm)
+
+    @pytest.mark.parametrize("fn,arg,expected", [
+        ("sqrt", 9.0, 3.0),
+        ("cbrt", 27.0, 3.0),
+        ("cbrt", -8.0, -2.0),
+        ("exp", 0.0, 1.0),
+        ("log", math.e, 1.0),
+        ("log10", 100.0, 2.0),
+        ("sin", 0.0, 0.0),
+        ("cos", 0.0, 1.0),
+        ("tan", 0.0, 0.0),
+        ("asin", 1.0, math.pi / 2),
+        ("acos", 1.0, 0.0),
+        ("floor", 2.7, 2.0),
+        ("ceil", 2.2, 3.0),
+        ("fabs", -4.5, 4.5),
+    ])
+    def test_values(self, libm, proc, fn, arg, expected):
+        assert libm[fn](proc, arg) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("fn,args,expected", [
+        ("pow", (2.0, 10.0), 1024.0),
+        ("atan2", (1.0, 1.0), math.pi / 4),
+        ("fmod", (7.5, 2.0), 1.5),
+        ("hypot", (3.0, 4.0), 5.0),
+    ])
+    def test_binary_values(self, libm, proc, fn, args, expected):
+        assert libm[fn](proc, *args) == pytest.approx(expected)
+
+
+class TestErrnoContract:
+    @pytest.mark.parametrize("fn,args", [
+        ("sqrt", (-1.0,)),
+        ("log", (-1.0,)),
+        ("log10", (-0.5,)),
+        ("asin", (2.0,)),
+        ("acos", (-3.0,)),
+        ("fmod", (1.0, 0.0)),
+        ("sin", (float("inf"),)),
+        ("pow", (-1.0, 0.5)),
+    ])
+    def test_domain_errors_set_edom(self, libm, proc, fn, args):
+        result = libm[fn](proc, *args)
+        assert proc.errno == Errno.EDOM
+        assert math.isnan(result)
+
+    @pytest.mark.parametrize("fn,args,sign", [
+        ("exp", (1000.0,), 1),
+        ("pow", (10.0, 400.0), 1),
+        ("hypot", (1.5e308, 1.5e308), 1),
+    ])
+    def test_range_errors_set_erange(self, libm, proc, fn, args, sign):
+        result = libm[fn](proc, *args)
+        assert proc.errno == Errno.ERANGE
+        assert math.isinf(result) and (result > 0) == (sign > 0)
+
+    def test_log_zero_is_pole_error(self, libm, proc):
+        result = libm["log"](proc, 0.0)
+        assert proc.errno == Errno.ERANGE
+        assert result == float("-inf")
+
+    @pytest.mark.parametrize("fn", ["sqrt", "exp", "sin", "fabs", "floor"])
+    def test_nan_propagates_silently(self, libm, proc, fn):
+        result = libm[fn](proc, float("nan"))
+        assert math.isnan(result)
+        assert proc.errno == 0
+
+
+class TestRobustnessContrast:
+    """The Ballista contrast: the numeric API is robust, the pointer API
+    is not — fault injection must *measure* that difference."""
+
+    def test_campaign_finds_no_failures(self, libm):
+        campaign = Campaign(libm)
+        result = campaign.run()
+        assert result.total_probes > 100
+        assert result.total_failures == 0
+
+    def test_derivation_keeps_declared_types(self, libm):
+        pages = load_corpus()
+        campaign = Campaign(libm)
+        result = campaign.run(["sqrt", "pow", "fmod"])
+        derived = derive_api(result, libm, pages)
+        for derivation in derived.values():
+            for param in derivation.params:
+                assert param.robust_type.rank == 0, param.describe()
+                assert not param.strengthened
+
+    def test_errors_classified_as_robust(self, libm):
+        from repro.errors import Outcome
+
+        campaign = Campaign(libm)
+        report = campaign.probe_function("sqrt")
+        # negative probes produce ERROR (EDOM), never CRASH
+        outcomes = {r.probe.value_label: r.outcome for r in report.records}
+        assert outcomes["minus_one"] == Outcome.ERROR
+        assert Outcome.CRASH not in outcomes.values()
+
+
+class TestInterposition:
+    def test_libm_wrappable(self, libm):
+        from repro.linker import DynamicLinker, SharedLibrary
+        from repro.manpages import load_corpus
+        from repro.robust import RobustAPIDocument
+        from repro.wrappers import PROFILING, WrapperFactory
+
+        linker = DynamicLinker()
+        linker.add_library(SharedLibrary.from_registry(libm))
+        document = RobustAPIDocument.build(libm, load_corpus())
+        factory = WrapperFactory(libm, document)
+        built = factory.preload(linker, PROFILING)
+        proc = SimProcess()
+        record = linker.resolve("sqrt")
+        assert record.interposed
+        assert record.symbol(proc, 16.0) == 4.0
+        assert built.state.calls["sqrt"] == 1
+
+    def test_apps_can_link_against_libm(self):
+        from repro.apps import standard_system
+
+        _, linker = standard_system()
+        proc = SimProcess()
+        image = linker.load(["libm.so.6"], ["sqrt", "hypot"], proc)
+        assert image.call("hypot", 3.0, 4.0) == 5.0

@@ -1,0 +1,230 @@
+"""Tests for the simulated <stdio.h> family (streams + format engine)."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.libc import standard_registry
+from repro.libc.stdio_ import EOF, make_file_struct
+from repro.runtime import Errno, SimProcess
+
+
+@pytest.fixture(scope="module")
+def libc():
+    return standard_registry()
+
+
+@pytest.fixture
+def proc():
+    proc = SimProcess()
+    proc.fs.add_file("/data/in.txt", b"line one\nline two\n")
+    return proc
+
+
+def fopen(libc, proc, path=b"/data/in.txt", mode=b"r"):
+    return libc["fopen"](proc, proc.alloc_cstring(path),
+                         proc.alloc_cstring(mode))
+
+
+class TestStreams:
+    def test_fopen_missing_file(self, libc, proc):
+        assert fopen(libc, proc, b"/nope") == 0
+        assert proc.errno == Errno.ENOENT
+
+    def test_fopen_bad_mode(self, libc, proc):
+        assert fopen(libc, proc, mode=b"?") == 0
+        assert proc.errno == Errno.EINVAL
+
+    def test_fgets_reads_lines(self, libc, proc):
+        stream = fopen(libc, proc)
+        buf = proc.alloc_buffer(64)
+        assert libc["fgets"](proc, buf, 64, stream) == buf
+        assert proc.read_cstring(buf) == b"line one\n"
+        assert libc["fgets"](proc, buf, 64, stream) == buf
+        assert proc.read_cstring(buf) == b"line two\n"
+        assert libc["fgets"](proc, buf, 64, stream) == 0
+        assert libc["feof"](proc, stream) == 1
+
+    def test_fgets_bounds_reads(self, libc, proc):
+        stream = fopen(libc, proc)
+        buf = proc.alloc_buffer(8)
+        libc["fgets"](proc, buf, 5, stream)
+        assert proc.read_cstring(buf) == b"line"  # 4 chars + NUL
+
+    def test_fread_fwrite_roundtrip(self, libc, proc):
+        out = fopen(libc, proc, b"/data/out.bin", b"w")
+        data = proc.alloc_bytes(b"payload!")
+        assert libc["fwrite"](proc, data, 1, 8, out) == 8
+        libc["fclose"](proc, out)
+        inp = fopen(libc, proc, b"/data/out.bin")
+        buf = proc.alloc_buffer(16)
+        assert libc["fread"](proc, buf, 1, 16, inp) == 8
+        assert proc.space.read(buf, 8) == b"payload!"
+
+    def test_fgetc_fputc(self, libc, proc):
+        out = fopen(libc, proc, b"/data/c.txt", b"w")
+        libc["fputc"](proc, ord("x"), out)
+        libc["fclose"](proc, out)
+        inp = fopen(libc, proc, b"/data/c.txt")
+        assert libc["fgetc"](proc, inp) == ord("x")
+        assert libc["fgetc"](proc, inp) == EOF
+
+    def test_append_mode(self, libc, proc):
+        first = fopen(libc, proc, b"/data/a.txt", b"w")
+        libc["fputs"](proc, proc.alloc_cstring(b"one"), first)
+        libc["fclose"](proc, first)
+        second = fopen(libc, proc, b"/data/a.txt", b"a")
+        libc["fputs"](proc, proc.alloc_cstring(b"two"), second)
+        libc["fclose"](proc, second)
+        assert proc.fs.read_file("/data/a.txt") == b"onetwo"
+
+    def test_fclose_poisons_struct(self, libc, proc):
+        stream = fopen(libc, proc)
+        assert libc["fclose"](proc, stream) == 0
+        buf = proc.alloc_buffer(8)
+        with pytest.raises(SegmentationFault):
+            libc["fgets"](proc, buf, 8, stream)
+
+    def test_garbage_file_pointer_crashes(self, libc, proc):
+        buf = proc.alloc_buffer(8)
+        with pytest.raises(SegmentationFault):
+            libc["fgets"](proc, buf, 8, 0)
+        garbage = proc.alloc_buffer(16, fill=0x55)
+        with pytest.raises(SegmentationFault):
+            libc["fgets"](proc, buf, 8, garbage)
+
+    def test_remove_and_rename(self, libc, proc):
+        assert libc["remove"](proc, proc.alloc_cstring(b"/nope")) == -1
+        assert proc.errno == Errno.ENOENT
+        assert libc["rename"](proc, proc.alloc_cstring(b"/data/in.txt"),
+                              proc.alloc_cstring(b"/data/moved.txt")) == 0
+        assert proc.fs.exists("/data/moved.txt")
+        assert libc["remove"](proc,
+                              proc.alloc_cstring(b"/data/moved.txt")) == 0
+        assert not proc.fs.exists("/data/moved.txt")
+
+
+class TestGetsPuts:
+    def test_puts_appends_newline(self, libc, proc):
+        assert libc["puts"](proc, proc.alloc_cstring(b"hi")) == 3
+        assert proc.fs.stdout_text() == "hi\n"
+
+    def test_putchar(self, libc, proc):
+        libc["putchar"](proc, ord("@"))
+        assert proc.fs.stdout_text() == "@"
+
+    def test_gets_reads_one_line(self, libc, proc):
+        proc.fs.feed_stdin(b"first\nsecond\n")
+        buf = proc.alloc_buffer(32)
+        assert libc["gets"](proc, buf) == buf
+        assert proc.read_cstring(buf) == b"first"
+        libc["gets"](proc, buf)
+        assert proc.read_cstring(buf) == b"second"
+
+    def test_gets_eof_returns_null(self, libc, proc):
+        buf = proc.alloc_buffer(8)
+        assert libc["gets"](proc, buf) == 0
+
+    def test_gets_overflows_unbounded(self, libc, proc):
+        proc.fs.feed_stdin(b"X" * 100 + b"\n")
+        victim = proc.alloc_buffer(8)
+        neighbour = proc.alloc_buffer(8)
+        libc["gets"](proc, victim)  # writes 100 bytes + NUL
+        assert proc.heap.check_integrity() != []
+        del neighbour
+
+
+class TestFormatEngine:
+    def sprintf(self, libc, proc, fmt: bytes, *args):
+        buf = proc.alloc_buffer(256)
+        n = libc["sprintf"](proc, buf, proc.alloc_cstring(fmt), *args)
+        return proc.read_cstring(buf), n
+
+    def test_plain_text(self, libc, proc):
+        out, n = self.sprintf(libc, proc, b"hello")
+        assert out == b"hello" and n == 5
+
+    @pytest.mark.parametrize("fmt,args,expected", [
+        (b"%d", (42,), b"42"),
+        (b"%d", (-7,), b"-7"),
+        (b"%i", (0,), b"0"),
+        (b"%u", (-1,), str(2 ** 64 - 1).encode()),
+        (b"%x", (255,), b"ff"),
+        (b"%X", (255,), b"FF"),
+        (b"%o", (8,), b"10"),
+        (b"%c", (65,), b"A"),
+        (b"%5d", (42,), b"   42"),
+        (b"%-5d|", (42,), b"42   |"),
+        (b"%05d", (42,), b"00042"),
+        (b"%%", (), b"%"),
+        (b"%ld", (2 ** 40,), str(2 ** 40).encode()),
+        (b"%zu", (9,), b"9"),
+    ])
+    def test_integer_conversions(self, libc, proc, fmt, args, expected):
+        out, _ = self.sprintf(libc, proc, fmt, *args)
+        assert out == expected
+
+    def test_float_conversions(self, libc, proc):
+        out, _ = self.sprintf(libc, proc, b"%f", 1.5)
+        assert out == b"1.500000"
+        out, _ = self.sprintf(libc, proc, b"%.2f", 3.14159)
+        assert out == b"3.14"
+
+    def test_string_conversion(self, libc, proc):
+        s = proc.alloc_cstring(b"world")
+        out, _ = self.sprintf(libc, proc, b"hello %s!", s)
+        assert out == b"hello world!"
+
+    def test_string_precision(self, libc, proc):
+        s = proc.alloc_cstring(b"truncate")
+        out, _ = self.sprintf(libc, proc, b"%.4s", s)
+        assert out == b"trun"
+
+    def test_null_string_prints_null(self, libc, proc):
+        out, _ = self.sprintf(libc, proc, b"%s", 0)
+        assert out == b"(null)"
+
+    def test_pointer_conversion(self, libc, proc):
+        out, _ = self.sprintf(libc, proc, b"%p", 0x1234)
+        assert out == b"0x1234"
+
+    def test_missing_vararg_crashes(self, libc, proc):
+        buf = proc.alloc_buffer(32)
+        with pytest.raises(SegmentationFault):
+            libc["sprintf"](proc, buf, proc.alloc_cstring(b"%d %d"), 1)
+
+    def test_percent_n_writes_count(self, libc, proc):
+        buf = proc.alloc_buffer(32)
+        slot = proc.alloc_buffer(8)
+        libc["sprintf"](proc, buf, proc.alloc_cstring(b"abc%n"), slot)
+        assert proc.space.read_i32(slot) == 3
+
+    def test_snprintf_bounds_and_reports(self, libc, proc):
+        buf = proc.alloc_buffer(8)
+        n = libc["snprintf"](proc, buf, 4,
+                             proc.alloc_cstring(b"123456"))
+        assert n == 6  # would-be length, per C99
+        assert proc.read_cstring(buf) == b"123"
+
+    def test_snprintf_zero_size_writes_nothing(self, libc, proc):
+        buf = proc.alloc_buffer(4, fill=0xEE)
+        n = libc["snprintf"](proc, buf, 0, proc.alloc_cstring(b"xyz"))
+        assert n == 3
+        assert proc.space.read(buf, 4) == b"\xee" * 4
+
+    def test_sprintf_unbounded_overflow(self, libc, proc):
+        victim = proc.alloc_buffer(8)
+        proc.alloc_buffer(8)
+        long_arg = proc.alloc_cstring(b"Y" * 64)
+        libc["sprintf"](proc, victim, proc.alloc_cstring(b"%s"), long_arg)
+        assert proc.heap.check_integrity() != []
+
+    def test_printf_goes_to_stdout(self, libc, proc):
+        n = libc["printf"](proc, proc.alloc_cstring(b"n=%d\n"), 5)
+        assert proc.fs.stdout_text() == "n=5\n"
+        assert n == 4
+
+    def test_fprintf_to_file(self, libc, proc):
+        out = fopen(libc, proc, b"/data/log.txt", b"w")
+        libc["fprintf"](proc, out, proc.alloc_cstring(b"[%d]"), 9)
+        libc["fclose"](proc, out)
+        assert proc.fs.read_file("/data/log.txt") == b"[9]"

@@ -1,0 +1,250 @@
+"""Tests for the simulated <string.h> family: correct behaviour on valid
+inputs and C-faithful fragility on invalid ones."""
+
+import pytest
+
+from repro.errors import HeapCorruption, OutOfFuel, SegmentationFault
+from repro.libc import standard_registry
+from repro.runtime import SimProcess
+
+
+@pytest.fixture(scope="module")
+def libc():
+    return standard_registry()
+
+
+@pytest.fixture
+def proc():
+    return SimProcess()
+
+
+def cstr(proc, text: bytes) -> int:
+    return proc.alloc_cstring(text)
+
+
+class TestStrlen:
+    def test_basic(self, libc, proc):
+        assert libc["strlen"](proc, cstr(proc, b"hello")) == 5
+
+    def test_empty(self, libc, proc):
+        assert libc["strlen"](proc, cstr(proc, b"")) == 0
+
+    def test_null_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["strlen"](proc, 0)
+
+    def test_wild_pointer_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["strlen"](proc, 0x7FFFF000)
+
+    def test_unterminated_hangs_with_fuel(self, libc):
+        proc = SimProcess(fuel=10_000, heap_size=1 << 20)
+        buf = proc.alloc_buffer(64 * 1024, fill=0x41)
+        with pytest.raises((OutOfFuel, SegmentationFault)):
+            libc["strlen"](proc, buf)
+
+    def test_strnlen_bounded(self, libc, proc):
+        s = cstr(proc, b"hello")
+        assert libc["strnlen"](proc, s, 3) == 3
+        assert libc["strnlen"](proc, s, 100) == 5
+
+
+class TestCopy:
+    def test_strcpy_copies_and_returns_dest(self, libc, proc):
+        src = cstr(proc, b"data")
+        dest = proc.alloc_buffer(16)
+        assert libc["strcpy"](proc, dest, src) == dest
+        assert proc.read_cstring(dest) == b"data"
+
+    def test_strcpy_overflows_silently_within_heap(self, libc, proc):
+        dest = proc.alloc_buffer(8)
+        neighbour = proc.alloc_buffer(8)
+        src = cstr(proc, b"X" * 64)
+        libc["strcpy"](proc, dest, src)  # no fault: silent corruption
+        with pytest.raises(HeapCorruption):
+            proc.free(neighbour)
+
+    def test_stpcpy_returns_end(self, libc, proc):
+        src = cstr(proc, b"abc")
+        dest = proc.alloc_buffer(8)
+        assert libc["stpcpy"](proc, dest, src) == dest + 3
+
+    def test_strncpy_pads_with_nuls(self, libc, proc):
+        src = cstr(proc, b"ab")
+        dest = proc.alloc_buffer(8, fill=0xFF)
+        libc["strncpy"](proc, dest, src, 6)
+        assert proc.space.read(dest, 8) == b"ab\x00\x00\x00\x00\xff\xff"
+
+    def test_strncpy_no_terminator_when_full(self, libc, proc):
+        src = cstr(proc, b"abcdef")
+        dest = proc.alloc_buffer(8, fill=0xFF)
+        libc["strncpy"](proc, dest, src, 4)
+        assert proc.space.read(dest, 5) == b"abcd\xff"
+
+    def test_strcat_appends(self, libc, proc):
+        dest = proc.alloc_buffer(16)
+        proc.space.write_cstring(dest, b"foo")
+        libc["strcat"](proc, dest, cstr(proc, b"bar"))
+        assert proc.read_cstring(dest) == b"foobar"
+
+    def test_strncat_always_terminates(self, libc, proc):
+        dest = proc.alloc_buffer(16)
+        proc.space.write_cstring(dest, b"x")
+        libc["strncat"](proc, dest, cstr(proc, b"yyyy"), 2)
+        assert proc.read_cstring(dest) == b"xyy"
+
+    def test_strdup_allocates_copy(self, libc, proc):
+        src = cstr(proc, b"dup me")
+        copy = libc["strdup"](proc, src)
+        assert copy != src
+        assert proc.read_cstring(copy) == b"dup me"
+        assert proc.heap.allocation_size(copy) == 7
+
+    def test_strndup_truncates(self, libc, proc):
+        copy = libc["strndup"](proc, cstr(proc, b"abcdef"), 3)
+        assert proc.read_cstring(copy) == b"abc"
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "a,b,sign",
+        [(b"abc", b"abc", 0), (b"abc", b"abd", -1), (b"abd", b"abc", 1),
+         (b"ab", b"abc", -1), (b"", b"", 0)],
+    )
+    def test_strcmp_sign(self, libc, proc, a, b, sign):
+        result = libc["strcmp"](proc, cstr(proc, a), cstr(proc, b))
+        assert (result > 0) - (result < 0) == sign
+
+    def test_strncmp_stops_at_n(self, libc, proc):
+        assert libc["strncmp"](proc, cstr(proc, b"abcX"), cstr(proc, b"abcY"), 3) == 0
+
+    def test_strcasecmp(self, libc, proc):
+        assert libc["strcasecmp"](proc, cstr(proc, b"HeLLo"), cstr(proc, b"hello")) == 0
+        assert libc["strncasecmp"](proc, cstr(proc, b"ABcq"), cstr(proc, b"abCz"), 3) == 0
+
+    def test_strcoll_matches_strcmp_in_c_locale(self, libc, proc):
+        a, b = cstr(proc, b"m"), cstr(proc, b"n")
+        assert libc["strcoll"](proc, a, b) == libc["strcmp"](proc, a, b)
+
+
+class TestSearch:
+    def test_strchr_found(self, libc, proc):
+        s = cstr(proc, b"hello")
+        assert libc["strchr"](proc, s, ord("l")) == s + 2
+
+    def test_strchr_not_found_returns_null(self, libc, proc):
+        assert libc["strchr"](proc, cstr(proc, b"hello"), ord("z")) == 0
+
+    def test_strchr_finds_terminator(self, libc, proc):
+        s = cstr(proc, b"hi")
+        assert libc["strchr"](proc, s, 0) == s + 2
+
+    def test_strrchr_last(self, libc, proc):
+        s = cstr(proc, b"hello")
+        assert libc["strrchr"](proc, s, ord("l")) == s + 3
+
+    def test_strstr(self, libc, proc):
+        s = cstr(proc, b"needle in haystack")
+        assert libc["strstr"](proc, s, cstr(proc, b"in")) == s + 7
+        assert libc["strstr"](proc, s, cstr(proc, b"zzz")) == 0
+        assert libc["strstr"](proc, s, cstr(proc, b"")) == s
+
+    def test_strspn_strcspn(self, libc, proc):
+        s = cstr(proc, b"112358x")
+        assert libc["strspn"](proc, s, cstr(proc, b"0123456789")) == 6
+        assert libc["strcspn"](proc, s, cstr(proc, b"x")) == 6
+
+    def test_strpbrk(self, libc, proc):
+        s = cstr(proc, b"abc,def")
+        assert libc["strpbrk"](proc, s, cstr(proc, b";,")) == s + 3
+        assert libc["strpbrk"](proc, s, cstr(proc, b"#")) == 0
+
+
+class TestTok:
+    def test_strtok_sequence(self, libc, proc):
+        buf = proc.alloc_buffer(32)
+        proc.space.write_cstring(buf, b"a,b;;c")
+        delim = cstr(proc, b",;")
+        first = libc["strtok"](proc, buf, delim)
+        assert proc.read_cstring(first) == b"a"
+        second = libc["strtok"](proc, 0, delim)
+        assert proc.read_cstring(second) == b"b"
+        third = libc["strtok"](proc, 0, delim)
+        assert proc.read_cstring(third) == b"c"
+        assert libc["strtok"](proc, 0, delim) == 0
+
+    def test_strtok_r_uses_saveptr(self, libc, proc):
+        buf = proc.alloc_buffer(32)
+        proc.space.write_cstring(buf, b"x y")
+        delim = cstr(proc, b" ")
+        save = proc.alloc_buffer(8)
+        first = libc["strtok_r"](proc, buf, delim, save)
+        assert proc.read_cstring(first) == b"x"
+        second = libc["strtok_r"](proc, 0, delim, save)
+        assert proc.read_cstring(second) == b"y"
+
+    def test_strtok_r_null_saveptr_crashes(self, libc, proc):
+        buf = proc.alloc_buffer(8)
+        proc.space.write_cstring(buf, b"a b")
+        with pytest.raises(SegmentationFault):
+            libc["strtok_r"](proc, 0, cstr(proc, b" "), 0)
+
+
+class TestMem:
+    def test_memcpy(self, libc, proc):
+        src = proc.alloc_bytes(b"0123456789")
+        dest = proc.alloc_buffer(10)
+        libc["memcpy"](proc, dest, src, 10)
+        assert proc.space.read(dest, 10) == b"0123456789"
+
+    def test_memmove_overlapping_forward(self, libc, proc):
+        buf = proc.alloc_bytes(b"abcdef--")
+        libc["memmove"](proc, buf + 2, buf, 6)
+        assert proc.space.read(buf, 8) == b"ababcdef"
+
+    def test_memmove_overlapping_backward(self, libc, proc):
+        buf = proc.alloc_bytes(b"abcdef--")
+        libc["memmove"](proc, buf, buf + 2, 6)
+        assert proc.space.read(buf, 6) == b"cdef--"
+
+    def test_memset(self, libc, proc):
+        buf = proc.alloc_buffer(8)
+        libc["memset"](proc, buf, 0x2A, 8)
+        assert proc.space.read(buf, 8) == b"\x2a" * 8
+
+    def test_memcmp(self, libc, proc):
+        a = proc.alloc_bytes(b"aaa")
+        b = proc.alloc_bytes(b"aab")
+        assert libc["memcmp"](proc, a, b, 2) == 0
+        assert libc["memcmp"](proc, a, b, 3) < 0
+
+    def test_memchr(self, libc, proc):
+        buf = proc.alloc_bytes(b"abc\x00def")
+        assert libc["memchr"](proc, buf, ord("d"), 7) == buf + 4
+        assert libc["memchr"](proc, buf, ord("z"), 7) == 0
+
+    def test_memcpy_null_crashes(self, libc, proc):
+        dest = proc.alloc_buffer(4)
+        with pytest.raises(SegmentationFault):
+            libc["memcpy"](proc, dest, 0, 4)
+
+    def test_huge_n_hangs_or_faults(self, libc):
+        proc = SimProcess(fuel=5_000)
+        buf = proc.alloc_buffer(64)
+        with pytest.raises((OutOfFuel, SegmentationFault)):
+            libc["memset"](proc, buf, 0, 2 ** 32)
+
+
+class TestStrerror:
+    def test_known_errno(self, libc, proc):
+        ptr = libc["strerror"](proc, 22)
+        assert proc.read_cstring(ptr) == b"Invalid argument"
+
+    def test_unknown_errno(self, libc, proc):
+        ptr = libc["strerror"](proc, 999)
+        assert b"Unknown error" in proc.read_cstring(ptr)
+
+    def test_pointer_is_read_only(self, libc, proc):
+        ptr = libc["strerror"](proc, 0)
+        with pytest.raises(SegmentationFault):
+            proc.space.write(ptr, b"x")

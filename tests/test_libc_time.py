@@ -1,0 +1,200 @@
+"""Tests for the simulated <time.h> family."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.libc import standard_registry
+from repro.libc.time_ import (
+    SIM_EPOCH,
+    TM_SIZE,
+    civil_from_days,
+    days_from_civil,
+    is_leap,
+    read_tm,
+    write_tm,
+)
+from repro.runtime import SimProcess
+
+
+@pytest.fixture(scope="module")
+def libc():
+    return standard_registry()
+
+
+@pytest.fixture
+def proc():
+    return SimProcess()
+
+
+def make_tm(proc, **fields):
+    address = proc.alloc_buffer(TM_SIZE)
+    write_tm(proc, address, fields)
+    return address
+
+
+class TestCalendarMath:
+    @pytest.mark.parametrize("ymd,days", [
+        ((1970, 1, 1), 0),
+        ((1970, 1, 2), 1),
+        ((1969, 12, 31), -1),
+        ((2003, 1, 1), 12053),
+        ((2000, 2, 29), 11016),
+        ((2038, 1, 19), 24855),
+    ])
+    def test_days_from_civil(self, ymd, days):
+        assert days_from_civil(*ymd) == days
+        assert civil_from_days(days) == ymd
+
+    def test_roundtrip_range(self):
+        for days in range(-1000, 40000, 137):
+            assert days_from_civil(*civil_from_days(days)) == days
+
+    @pytest.mark.parametrize("year,leap", [
+        (2000, True), (1900, False), (2004, True), (2003, False),
+        (2100, False), (2400, True),
+    ])
+    def test_is_leap(self, year, leap):
+        assert is_leap(year) is leap
+
+
+class TestTimeFunctions:
+    def test_time_monotonic_and_stores(self, libc, proc):
+        tloc = proc.alloc_buffer(8)
+        first = libc["time"](proc, tloc)
+        assert first == SIM_EPOCH
+        assert proc.space.read_u64(tloc) == first
+        assert libc["time"](proc, 0) == first + 1  # NULL tloc is fine
+
+    def test_time_bad_pointer_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["time"](proc, 0x7FFF0000)
+
+    def test_difftime(self, libc, proc):
+        assert libc["difftime"](proc, 100, 40) == 60.0
+
+    def test_gmtime_breakdown(self, libc, proc):
+        tloc = proc.alloc_buffer(8)
+        proc.space.write_u64(tloc, SIM_EPOCH)
+        tm_ptr = libc["gmtime"](proc, tloc)
+        fields = read_tm(proc, tm_ptr)
+        assert fields["tm_year"] == 103      # 2003
+        assert fields["tm_mon"] == 0
+        assert fields["tm_mday"] == 1
+        assert fields["tm_wday"] == 3        # Wednesday
+        assert fields["tm_yday"] == 0
+
+    def test_gmtime_null_crashes(self, libc, proc):
+        with pytest.raises(SegmentationFault):
+            libc["gmtime"](proc, 0)
+
+    def test_gmtime_static_buffer_shared(self, libc, proc):
+        tloc = proc.alloc_buffer(8)
+        proc.space.write_u64(tloc, SIM_EPOCH)
+        first = libc["gmtime"](proc, tloc)
+        proc.space.write_u64(tloc, SIM_EPOCH + 86400)
+        second = libc["gmtime"](proc, tloc)
+        assert first == second  # the classic non-reentrancy
+        assert read_tm(proc, first)["tm_mday"] == 2  # clobbered
+
+    def test_mktime_inverse_of_gmtime(self, libc, proc):
+        tloc = proc.alloc_buffer(8)
+        for offset in (0, 86399, 86400 * 400 + 12345):
+            proc.space.write_u64(tloc, SIM_EPOCH + offset)
+            tm_ptr = libc["gmtime"](proc, tloc)
+            assert libc["mktime"](proc, tm_ptr) == SIM_EPOCH + offset
+
+    def test_mktime_normalises(self, libc, proc):
+        # January 32nd becomes February 1st
+        tm = make_tm(proc, tm_year=103, tm_mon=0, tm_mday=32)
+        libc["mktime"](proc, tm)
+        fields = read_tm(proc, tm)
+        assert (fields["tm_mon"], fields["tm_mday"]) == (1, 1)
+
+    def test_asctime_format(self, libc, proc):
+        tm = make_tm(proc, tm_year=103, tm_mon=0, tm_mday=1, tm_wday=3)
+        text = proc.read_cstring(libc["asctime"](proc, tm))
+        assert text == b"Wed Jan  1 00:00:00 2003\n"
+        assert len(text) == 25  # 26 with the NUL: exactly the buffer
+
+    def test_asctime_wide_year_overflows_static_buffer(self, libc, proc):
+        # first call allocates the lazy static buffer; the neighbour
+        # chunk then sits right behind it
+        small = make_tm(proc, tm_year=103, tm_mon=0, tm_mday=1)
+        libc["asctime"](proc, small)
+        neighbour = libc["malloc"](proc, 8)
+        assert proc.heap.check_integrity() == []
+        # out-of-range fields (ten-digit year *and* mday, the documented
+        # glibc hazard) write past the 26-byte buffer into the
+        # neighbour's boundary tag — observable because the "static"
+        # buffer is modelled as a heap allocation
+        wide = make_tm(proc, tm_year=2 ** 30, tm_mon=0, tm_mday=2 ** 30)
+        libc["asctime"](proc, wide)
+        assert proc.heap.check_integrity() != []
+        del neighbour
+
+    def test_ctime_composes(self, libc, proc):
+        tloc = proc.alloc_buffer(8)
+        proc.space.write_u64(tloc, SIM_EPOCH)
+        text = proc.read_cstring(libc["ctime"](proc, tloc))
+        assert text.endswith(b"2003\n")
+
+    def test_clock_tracks_fuel(self, libc, proc):
+        before = libc["clock"](proc)
+        libc["strlen"](proc, proc.alloc_cstring(b"0123456789"))
+        assert libc["clock"](proc) > before
+
+
+class TestStrftime:
+    def run(self, libc, proc, fmt, size=64, **fields):
+        tm = make_tm(proc, **fields)
+        buf = proc.alloc_buffer(size)
+        n = libc["strftime"](proc, buf, size,
+                             proc.alloc_cstring(fmt), tm)
+        return n, proc.read_cstring(buf)
+
+    def test_iso_date(self, libc, proc):
+        n, out = self.run(libc, proc, b"%Y-%m-%d",
+                          tm_year=103, tm_mon=5, tm_mday=24)
+        assert (n, out) == (10, b"2003-06-24")
+
+    def test_names_and_escapes(self, libc, proc):
+        n, out = self.run(libc, proc, b"%a %b%n100%%",
+                          tm_year=103, tm_wday=1, tm_mon=11)
+        assert out == b"Mon Dec\n100%"
+
+    def test_does_not_fit_returns_zero(self, libc, proc):
+        tm = make_tm(proc, tm_year=103)
+        buf = proc.alloc_buffer(4, fill=0xEE)
+        n = libc["strftime"](proc, buf, 4,
+                             proc.alloc_cstring(b"%Y-%m-%d"), tm)
+        assert n == 0
+        assert proc.space.read(buf, 4) == b"\xee" * 4  # untouched
+
+    def test_unknown_conversion_passes_through(self, libc, proc):
+        n, out = self.run(libc, proc, b"%Q", tm_year=103)
+        assert out == b"%Q"
+
+    def test_null_format_crashes(self, libc, proc):
+        tm = make_tm(proc, tm_year=103)
+        buf = proc.alloc_buffer(16)
+        with pytest.raises(SegmentationFault):
+            libc["strftime"](proc, buf, 16, 0, tm)
+
+
+class TestInjectionOnTime:
+    def test_campaign_covers_time_family(self, libc):
+        from repro.injection import Campaign
+
+        campaign = Campaign(libc)
+        result = campaign.run(["gmtime", "asctime", "strftime", "time"])
+        assert result.total_probes > 30
+        # the pointer-taking time API is brittle like the string one
+        assert result.reports["gmtime"].failure_rate > 0.2
+        # and the wrapper checks derive cleanly
+        from repro.manpages import load_corpus
+        from repro.robust import derive_api
+
+        derived = derive_api(result, libc, load_corpus())
+        for derivation in derived.values():
+            for param in derivation.params:
+                assert param.robust_type is not None, param.describe()

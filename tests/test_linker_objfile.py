@@ -1,0 +1,222 @@
+"""Tests for the dynamic linker (LD_PRELOAD semantics) and SimELF format."""
+
+import pytest
+
+from repro.libc import standard_registry
+from repro.linker import (
+    DynamicLinker,
+    SharedLibrary,
+    UnresolvedSymbolError,
+)
+from repro.objfile import (
+    ObjFormatError,
+    SimELF,
+    SimSystem,
+    TYPE_DYN,
+    TYPE_EXEC,
+    build_executable,
+    build_shared_object,
+)
+from repro.runtime import SimProcess
+
+
+def make_library(soname, symbols):
+    library = SharedLibrary(soname)
+    for name, value in symbols.items():
+        library.define(name, (lambda v: lambda proc, *a: v)(value))
+    return library
+
+
+class TestResolution:
+    def test_resolve_from_single_library(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("liba.so", {"f": 1}))
+        record = linker.resolve("f")
+        assert record.symbol(SimProcess()) == 1
+        assert not record.interposed
+
+    def test_unresolved_raises(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("liba.so", {"f": 1}))
+        with pytest.raises(UnresolvedSymbolError):
+            linker.resolve("missing")
+
+    def test_preload_shadows_base(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        linker.preload(make_library("wrapper.so", {"f": 2}))
+        record = linker.resolve("f")
+        assert record.symbol(SimProcess()) == 2
+        assert record.interposed
+        assert "libc.so" in record.shadowed
+
+    def test_preload_order_first_wins(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        linker.preload(make_library("w1.so", {"f": 2}))
+        linker.preload(make_library("w2.so", {"f": 3}))
+        assert linker.resolve("f").symbol(SimProcess()) == 2
+
+    def test_resolve_next_skips_wrapper(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        wrapper = make_library("wrapper.so", {"f": 2})
+        linker.preload(wrapper)
+        symbol = linker.resolve_next("f", after=wrapper)
+        assert symbol(SimProcess()) == 1
+
+    def test_resolve_next_through_wrapper_chain(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        w1 = make_library("w1.so", {"f": 2})
+        w2 = make_library("w2.so", {"f": 3})
+        linker.preload(w1)
+        linker.preload(w2)
+        assert linker.resolve_next("f", after=w1)(SimProcess()) == 3
+        assert linker.resolve_next("f", after=w2)(SimProcess()) == 1
+
+    def test_clear_preloads(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        linker.preload(make_library("w.so", {"f": 2}))
+        linker.clear_preloads()
+        assert linker.resolve("f").symbol(SimProcess()) == 1
+
+    def test_needed_scopes_search(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("liba.so", {"f": 1}))
+        linker.add_library(make_library("libb.so", {"g": 2}))
+        with pytest.raises(UnresolvedSymbolError):
+            linker.resolve("g", needed=["liba.so"])
+        assert linker.resolve("g", needed=["libb.so"]).symbol(SimProcess()) == 2
+
+    def test_transitive_needed(self):
+        linker = DynamicLinker()
+        top = make_library("top.so", {"t": 1})
+        top.needed.append("dep.so")
+        linker.add_library(top)
+        linker.add_library(make_library("dep.so", {"d": 2}))
+        assert linker.resolve("d", needed=["top.so"]).symbol(SimProcess()) == 2
+
+
+class TestLinkedImage:
+    def test_load_binds_eagerly(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1, "g": 2}))
+        image = linker.load(["libc.so"], ["f", "g"], SimProcess())
+        assert image.call("f") == 1
+        assert image.call("g") == 2
+
+    def test_load_fails_on_missing_symbol(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        with pytest.raises(UnresolvedSymbolError):
+            linker.load(["libc.so"], ["f", "missing"], SimProcess())
+
+    def test_lazy_binding_for_undeclared(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1}))
+        image = linker.load(["libc.so"], [], SimProcess())
+        assert image.call("f") == 1  # bound on first use
+
+    def test_interposed_symbols_listed(self):
+        linker = DynamicLinker()
+        linker.add_library(make_library("libc.so", {"f": 1, "g": 2}))
+        linker.preload(make_library("w.so", {"f": 9}))
+        image = linker.load(["libc.so"], ["f", "g"], SimProcess())
+        assert image.interposed_symbols() == ["f"]
+
+    def test_from_registry(self):
+        registry = standard_registry()
+        library = SharedLibrary.from_registry(registry)
+        assert len(library) == len(registry)
+        proc = SimProcess()
+        strlen = library.lookup("strlen")
+        assert strlen(proc, proc.alloc_cstring(b"four")) == 4
+        assert library.prototype("strlen") is not None
+
+
+class TestSimELFFormat:
+    def test_roundtrip_executable(self):
+        image = build_executable("/bin/app", needed=["libc.so.6"],
+                                 undefined=["strcpy", "malloc"])
+        parsed = SimELF.parse(image.serialize(), path="/bin/app")
+        assert parsed.is_executable
+        assert parsed.needed == ["libc.so.6"]
+        assert parsed.undefined == ["malloc", "strcpy"]
+        assert parsed.interp
+
+    def test_roundtrip_shared_object(self):
+        image = build_shared_object("/lib/x.so", soname="x.so",
+                                    defined=["a", "b"], needed=["libc.so.6"])
+        parsed = SimELF.parse(image.serialize())
+        assert parsed.is_shared_object
+        assert parsed.soname == "x.so"
+        assert parsed.defined == ["a", "b"]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ObjFormatError):
+            SimELF.parse(b"\x7fELF" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        data = build_executable("/bin/a", ["libc.so.6"], ["f"]).serialize()
+        with pytest.raises(ObjFormatError):
+            SimELF.parse(data[:10])
+
+    def test_bad_version_rejected(self):
+        data = bytearray(build_executable("/bin/a", [], []).serialize())
+        data[4] = 99
+        with pytest.raises(ObjFormatError):
+            SimELF.parse(bytes(data))
+
+    def test_static_binary_detection(self):
+        static = SimELF(path="/bin/static", type=TYPE_EXEC, interp="",
+                        needed=[])
+        assert not static.is_dynamically_linked
+        dynamic = build_executable("/bin/dyn", ["libc.so.6"], [])
+        assert dynamic.is_dynamically_linked
+
+    def test_type_names(self):
+        assert "EXEC" in SimELF(path="x", type=TYPE_EXEC).type_name()
+        assert "DYN" in SimELF(path="x", type=TYPE_DYN).type_name()
+
+
+class TestSimSystem:
+    def make_system(self):
+        system = SimSystem()
+        system.install_library(
+            build_shared_object("/lib/libc.so.6", "libc.so.6", ["strcpy"])
+        )
+        system.install_executable(
+            build_executable("/bin/app", ["libc.so.6"], ["strcpy"])
+        )
+        system.install_plain_file("/etc/motd", b"hello")
+        return system
+
+    def test_listing(self):
+        system = self.make_system()
+        assert system.list_paths() == ["/bin/app", "/etc/motd",
+                                       "/lib/libc.so.6"]
+        assert [l.path for l in system.list_libraries()] == ["/lib/libc.so.6"]
+        assert [a.path for a in system.list_applications()] == ["/bin/app"]
+
+    def test_read_raw(self):
+        system = self.make_system()
+        assert SimELF.parse(system.read("/bin/app")).is_executable
+        assert system.read("/etc/motd") == b"hello"
+        with pytest.raises(FileNotFoundError):
+            system.read("/nope")
+
+    def test_find_by_soname(self):
+        system = self.make_system()
+        assert system.find_by_soname("libc.so.6").path == "/lib/libc.so.6"
+        assert system.find_by_soname("libz.so") is None
+
+    def test_install_type_validation(self):
+        system = SimSystem()
+        exe = build_executable("/bin/a", [], [])
+        with pytest.raises(ValueError):
+            system.install_library(exe)
+        lib = build_shared_object("/lib/a.so", "a.so", [])
+        with pytest.raises(ValueError):
+            system.install_executable(lib)

@@ -1,0 +1,164 @@
+"""Tests for the manual-page corpus and its parser."""
+
+import pytest
+
+from repro.libc import standard_registry
+from repro.manpages import (
+    ManPage,
+    ManParseError,
+    ParamRole,
+    ROLES,
+    corpus_documents,
+    load_corpus,
+    manpage_for,
+    parse_manpage,
+)
+
+SAMPLE = """\
+.TH STRCPY 3 "2002-11-01" "test"
+.SH NAME
+strcpy \\- copy a string
+.SH SYNOPSIS
+char *strcpy(char *dest, const char *src);
+.SH HEALERS
+.\\" annotations
+param dest out_string size_from=src
+param src in_string
+errno ENOMEM
+return null
+.SH DESCRIPTION
+Copies src into dest.
+"""
+
+
+class TestParser:
+    def test_parses_identity(self):
+        page = parse_manpage(SAMPLE)
+        assert page.function == "strcpy"
+        assert page.section == 3
+        assert page.brief == "copy a string"
+        assert "strcpy(char *dest" in page.synopsis
+        assert "Copies src" in page.description
+
+    def test_parses_roles(self):
+        page = parse_manpage(SAMPLE)
+        dest = page.role_of("dest")
+        assert dest.role == "out_string"
+        assert dest.size_from == "src"
+        assert page.role_of("src").role == "in_string"
+        assert page.role_of("nothing") is None
+
+    def test_parses_errnos_and_return(self):
+        page = parse_manpage(SAMPLE)
+        assert page.errnos == ["ENOMEM"]
+        assert page.error_return == "null"
+
+    def test_missing_th_rejected(self):
+        with pytest.raises(ManParseError):
+            parse_manpage(".SH NAME\nx \\- y\n")
+
+    def test_unknown_role_rejected(self):
+        bad = SAMPLE.replace("in_string", "made_up_role")
+        with pytest.raises((ManParseError, ValueError)):
+            parse_manpage(bad)
+
+    def test_malformed_param_rejected(self):
+        bad = SAMPLE.replace("param src in_string", "param src")
+        with pytest.raises(ManParseError):
+            parse_manpage(bad)
+
+    def test_unknown_option_rejected(self):
+        bad = SAMPLE.replace("size_from=src", "sizefrom=src")
+        with pytest.raises(ManParseError):
+            parse_manpage(bad)
+
+    def test_bad_return_rejected(self):
+        bad = SAMPLE.replace("return null", "return maybe")
+        with pytest.raises(ManParseError):
+            parse_manpage(bad)
+
+    def test_nullable_and_sizes(self):
+        text = SAMPLE.replace(
+            "param dest out_string size_from=src",
+            "param dest out_buffer size_param=n size_mul=m min_size=4 nullable",
+        )
+        page = parse_manpage(text)
+        dest = page.role_of("dest")
+        assert dest.nullable
+        assert dest.size_param == "n"
+        assert dest.size_mul == "m"
+        assert dest.min_size == 4
+
+
+class TestCorpus:
+    def test_every_libc_function_has_a_page(self):
+        registry = standard_registry()
+        pages = load_corpus()
+        missing = [f.name for f in registry if f.name not in pages]
+        assert missing == []
+
+    def test_no_orphan_pages(self):
+        from repro.libc import math_registry
+
+        libc = standard_registry()
+        libm = math_registry()
+        orphans = [name for name in load_corpus()
+                   if name not in libc and name not in libm]
+        assert orphans == []
+
+    def test_roles_match_prototype_params(self):
+        registry = standard_registry()
+        for function in registry:
+            page = manpage_for(function.name)
+            param_names = {p.name for p in function.prototype.params}
+            for role_name in page.roles:
+                assert role_name in param_names, (
+                    f"{function.name}: role for unknown param {role_name}"
+                )
+
+    def test_size_references_resolve(self):
+        registry = standard_registry()
+        for function in registry:
+            page = manpage_for(function.name)
+            param_names = {p.name for p in function.prototype.params}
+            for role in page.roles.values():
+                for ref in (role.size_from, role.size_param, role.size_mul):
+                    if ref:
+                        assert ref in param_names, (
+                            f"{function.name}.{role.name} references "
+                            f"unknown param {ref}"
+                        )
+
+    def test_strcpy_encodes_the_papers_example(self):
+        page = manpage_for("strcpy")
+        dest = page.role_of("dest")
+        assert dest.role == "out_string"
+        assert dest.size_from == "src"
+
+    def test_corpus_documents_are_man_formatted(self):
+        documents = corpus_documents()
+        assert len(documents) >= 90
+        for path, text in documents.items():
+            assert path.startswith("/usr/share/man/man3/")
+            assert text.startswith(".TH ")
+            assert ".SH HEALERS" in text
+
+    def test_wctrans_mentions_figure_3(self):
+        page = manpage_for("wctrans")
+        assert "Figure 3" in page.description
+
+    def test_all_roles_in_vocabulary(self):
+        for page in load_corpus().values():
+            for role in page.roles.values():
+                assert role.role in ROLES
+
+
+class TestParamRole:
+    def test_unknown_role_raises(self):
+        with pytest.raises(ValueError):
+            ParamRole(name="x", role="bogus")
+
+    def test_manpage_defaults(self):
+        page = ManPage(function="f")
+        assert page.errnos == []
+        assert page.roles == {}

@@ -1,0 +1,242 @@
+"""Tests for the boundary-tag heap allocator (repro.memory.heap)."""
+
+import pytest
+
+from repro.errors import CanaryViolation, DoubleFree, HeapCorruption, InvalidFree
+from repro.memory import (
+    ALLOC_MAGIC,
+    FREE_MAGIC,
+    HEADER_SIZE,
+    AddressSpace,
+    HeapAllocator,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def heap(space):
+    return HeapAllocator(space, size=1 << 18)
+
+
+class TestMalloc:
+    def test_malloc_returns_writable_memory(self, heap, space):
+        ptr = heap.malloc(64)
+        assert ptr != 0
+        space.write(ptr, b"x" * 64)
+        assert space.read(ptr, 64) == b"x" * 64
+
+    def test_allocations_do_not_overlap(self, heap):
+        first = heap.malloc(40)
+        second = heap.malloc(40)
+        assert abs(first - second) >= 40
+
+    def test_malloc_zero_gives_unique_pointers(self, heap):
+        a = heap.malloc(0)
+        b = heap.malloc(0)
+        assert a != 0 and b != 0 and a != b
+
+    def test_malloc_negative_returns_null(self, heap):
+        assert heap.malloc(-1) == 0
+
+    def test_exhaustion_returns_null(self, space):
+        heap = HeapAllocator(space, size=8192)
+        assert heap.malloc(1 << 20) == 0
+        assert heap.stats.failed_allocations == 1
+
+    def test_alignment(self, heap):
+        for size in (1, 3, 17, 100):
+            assert heap.malloc(size) % 16 == 0
+
+    def test_header_precedes_user_data(self, heap, space):
+        ptr = heap.malloc(32)
+        assert space.read_u32(ptr - HEADER_SIZE) == ALLOC_MAGIC
+        assert space.read_u32(ptr - HEADER_SIZE + 4) == 32
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_free_marks_chunk_free(self, heap, space):
+        ptr = heap.malloc(32)
+        heap.free(ptr)
+        assert space.read_u32(ptr - HEADER_SIZE) == FREE_MAGIC
+
+    def test_double_free_detected(self, heap):
+        ptr = heap.malloc(32)
+        heap.free(ptr)
+        with pytest.raises(DoubleFree):
+            heap.free(ptr)
+
+    def test_invalid_free_outside_heap_detected(self, heap):
+        with pytest.raises(InvalidFree):
+            heap.free(heap.mapping.end + 64)
+
+    def test_invalid_free_inside_heap_detected(self, heap):
+        # a pointer into the heap that was never returned by malloc reads
+        # garbage where a header should be
+        with pytest.raises(HeapCorruption):
+            heap.free(heap.mapping.start + 4096)
+
+    def test_free_of_interior_pointer_detected(self, heap):
+        ptr = heap.malloc(64)
+        with pytest.raises(HeapCorruption):
+            heap.free(ptr + 8)
+
+    def test_memory_reused_after_free(self, heap):
+        first = heap.malloc(64)
+        heap.free(first)
+        second = heap.malloc(64)
+        assert second == first
+
+
+class TestReallocCalloc:
+    def test_calloc_zeroes(self, heap, space):
+        ptr = heap.malloc(64)
+        space.write(ptr, b"\xff" * 64)
+        heap.free(ptr)
+        ptr2 = heap.calloc(16, 4)
+        assert space.read(ptr2, 64) == b"\x00" * 64
+
+    def test_calloc_overflow_returns_null(self, heap):
+        assert heap.calloc(1 << 40, 1 << 40) == 0
+
+    def test_realloc_preserves_data(self, heap, space):
+        ptr = heap.malloc(16)
+        space.write(ptr, b"0123456789abcdef")
+        bigger = heap.realloc(ptr, 64)
+        assert space.read(bigger, 16) == b"0123456789abcdef"
+
+    def test_realloc_null_is_malloc(self, heap):
+        assert heap.realloc(0, 32) != 0
+
+    def test_realloc_zero_is_free(self, heap, space):
+        ptr = heap.malloc(32)
+        assert heap.realloc(ptr, 0) == 0
+        assert space.read_u32(ptr - HEADER_SIZE) == FREE_MAGIC
+
+    def test_realloc_shrink(self, heap, space):
+        ptr = heap.malloc(64)
+        space.write(ptr, b"A" * 64)
+        smaller = heap.realloc(ptr, 8)
+        assert space.read(smaller, 8) == b"A" * 8
+
+
+class TestCorruptionDetection:
+    def test_overflow_into_next_header_detected_at_free(self, heap, space):
+        victim = heap.malloc(16)
+        adjacent = heap.malloc(16)
+        # overflow: write past victim's 16 bytes into adjacent's header
+        space.write(victim, b"A" * (adjacent - victim + 4))
+        with pytest.raises(HeapCorruption):
+            heap.free(adjacent)
+
+    def test_walk_reports_chunks(self, heap):
+        a = heap.malloc(16)
+        b = heap.malloc(32)
+        heap.free(a)
+        chunks = heap.walk()
+        states = {c.user_address: c.allocated for c in chunks}
+        assert states[a] is False
+        assert states[b] is True
+
+    def test_walk_raises_on_clobbered_magic(self, heap, space):
+        ptr = heap.malloc(16)
+        heap.malloc(16)
+        space.write_u32(ptr - HEADER_SIZE, 0)
+        with pytest.raises(HeapCorruption):
+            heap.walk()
+
+    def test_check_integrity_clean(self, heap):
+        heap.malloc(16)
+        heap.malloc(32)
+        assert heap.check_integrity() == []
+
+    def test_check_integrity_reports_corruption(self, heap, space):
+        ptr = heap.malloc(16)
+        space.write_u32(ptr - HEADER_SIZE + 8, 0xFFFFFFF0)
+        assert heap.check_integrity() != []
+
+
+class TestCanaries:
+    @pytest.fixture
+    def guarded(self, space):
+        return HeapAllocator(space, size=1 << 18, canaries=True)
+
+    def test_clean_free_passes(self, guarded):
+        ptr = guarded.malloc(32)
+        guarded.free(ptr)
+
+    def test_overflow_clobbers_canary(self, guarded, space):
+        ptr = guarded.malloc(16)
+        space.write(ptr, b"B" * 17)  # one byte past the user area
+        with pytest.raises(CanaryViolation):
+            guarded.free(ptr)
+
+    def test_check_integrity_sees_clobbered_canary(self, guarded, space):
+        ptr = guarded.malloc(16)
+        space.write(ptr, b"B" * 20)
+        problems = guarded.check_integrity()
+        assert any("canary" in p for p in problems)
+
+    def test_exact_fit_write_is_fine(self, guarded, space):
+        ptr = guarded.malloc(16)
+        space.write(ptr, b"C" * 16)
+        guarded.free(ptr)
+
+
+class TestIntrospection:
+    def test_allocation_size(self, heap):
+        ptr = heap.malloc(48)
+        assert heap.allocation_size(ptr) == 48
+        assert heap.allocation_size(ptr + 1) is None
+        heap.free(ptr)
+        assert heap.allocation_size(ptr) is None
+
+    def test_allocation_containing_interior(self, heap):
+        ptr = heap.malloc(48)
+        assert heap.allocation_containing(ptr + 10) == (ptr, 48)
+        assert heap.allocation_containing(ptr + 48) is None
+
+    def test_writable_bytes_from(self, heap):
+        ptr = heap.malloc(48)
+        assert heap.writable_bytes_from(ptr) == 48
+        assert heap.writable_bytes_from(ptr + 40) == 8
+        assert heap.writable_bytes_from(123) is None
+
+    def test_stats_track_usage(self, heap):
+        ptr = heap.malloc(100)
+        assert heap.stats.bytes_in_use == 100
+        assert heap.stats.live_chunks == 1
+        heap.free(ptr)
+        assert heap.stats.bytes_in_use == 0
+        assert heap.stats.live_chunks == 0
+        assert heap.stats.peak_bytes_in_use == 100
+
+    def test_live_allocations_snapshot(self, heap):
+        a = heap.malloc(8)
+        b = heap.malloc(8)
+        live = heap.live_allocations()
+        assert live == {a: 8, b: 8}
+
+
+class TestCoalescing:
+    def test_adjacent_frees_merge(self, heap):
+        a = heap.malloc(32)
+        b = heap.malloc(32)
+        heap.malloc(32)  # pin so the tail is not wilderness
+        heap.free(a)
+        heap.free(b)
+        # merged chunk can satisfy an allocation bigger than either part
+        merged = heap.malloc(64)
+        assert merged == a
+
+    def test_free_abutting_wilderness_returns_to_brk(self, heap):
+        a = heap.malloc(32)
+        brk_before = heap._brk
+        heap.free(a)
+        assert heap._brk < brk_before

@@ -1,0 +1,183 @@
+"""Tests for the paged address space (repro.memory.model)."""
+
+import pytest
+
+from repro.errors import BusError, SegmentationFault
+from repro.memory import PAGE_SIZE, AddressSpace, Perm, page_align
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestMapping:
+    def test_map_region_rounds_to_pages(self, space):
+        mapping = space.map_region(100)
+        assert mapping.size == PAGE_SIZE
+
+    def test_regions_do_not_start_at_zero(self, space):
+        mapping = space.map_region(PAGE_SIZE)
+        assert mapping.start >= PAGE_SIZE
+
+    def test_sequential_regions_have_guard_gap(self, space):
+        first = space.map_region(PAGE_SIZE)
+        second = space.map_region(PAGE_SIZE)
+        assert second.start >= first.end + PAGE_SIZE
+
+    def test_explicit_placement(self, space):
+        mapping = space.map_region(PAGE_SIZE, at=0x10000)
+        assert mapping.start == 0x10000
+
+    def test_overlapping_placement_rejected(self, space):
+        space.map_region(PAGE_SIZE, at=0x10000)
+        with pytest.raises(ValueError):
+            space.map_region(PAGE_SIZE, at=0x10000)
+
+    def test_unaligned_placement_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region(PAGE_SIZE, at=0x10001)
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region(0)
+
+    def test_unmap_makes_region_fault(self, space):
+        mapping = space.map_region(PAGE_SIZE)
+        space.write(mapping.start, b"x")
+        space.unmap(mapping)
+        with pytest.raises(SegmentationFault):
+            space.read(mapping.start, 1)
+
+    def test_find_mapping(self, space):
+        mapping = space.map_region(PAGE_SIZE)
+        assert space.find_mapping(mapping.start) is mapping
+        assert space.find_mapping(mapping.end - 1) is mapping
+        assert space.find_mapping(mapping.end) is None
+        assert space.find_mapping(0) is None
+
+
+class TestAccessFaults:
+    def test_null_read_faults(self, space):
+        with pytest.raises(SegmentationFault) as info:
+            space.read(0, 1)
+        assert info.value.address == 0
+
+    def test_near_null_read_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(16, 1)
+
+    def test_unmapped_read_faults(self, space):
+        with pytest.raises(SegmentationFault):
+            space.read(0x500000, 4)
+
+    def test_read_runs_off_end_of_mapping(self, space):
+        mapping = space.map_region(PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            space.read(mapping.end - 2, 4)
+
+    def test_write_to_readonly_faults(self, space):
+        mapping = space.map_region(PAGE_SIZE, perm=Perm.READ)
+        space.read(mapping.start, 4)
+        with pytest.raises(SegmentationFault) as info:
+            space.write(mapping.start, b"boom")
+        assert info.value.access == "write"
+
+    def test_read_from_writeonly_faults(self, space):
+        mapping = space.map_region(PAGE_SIZE, perm=Perm.WRITE)
+        with pytest.raises(SegmentationFault):
+            space.read(mapping.start, 1)
+
+    def test_protect_changes_permissions(self, space):
+        mapping = space.map_region(PAGE_SIZE, perm=Perm.READ)
+        space.protect(mapping, Perm.RW)
+        space.write(mapping.start, b"ok")
+        assert space.read(mapping.start, 2) == b"ok"
+
+    def test_zero_length_access_never_faults(self, space):
+        assert space.read(0, 0) == b""
+        space.write(0, b"")
+
+    def test_is_readable_is_writable(self, space):
+        mapping = space.map_region(PAGE_SIZE, perm=Perm.READ)
+        assert space.is_readable(mapping.start)
+        assert not space.is_writable(mapping.start)
+        assert not space.is_readable(0)
+
+
+class TestScalars:
+    def test_u8_roundtrip(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_u8(m.start, 0xAB)
+        assert space.read_u8(m.start) == 0xAB
+
+    def test_u32_little_endian(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_u32(m.start, 0x11223344)
+        assert space.read(m.start, 4) == b"\x44\x33\x22\x11"
+
+    def test_u64_roundtrip(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_u64(m.start, 0xDEADBEEFCAFEF00D)
+        assert space.read_u64(m.start) == 0xDEADBEEFCAFEF00D
+
+    def test_i32_sign(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_i32(m.start, -5)
+        assert space.read_i32(m.start) == -5
+        assert space.read_u32(m.start) == 0xFFFFFFFB
+
+    def test_truncation_on_write(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_u8(m.start, 0x1FF)
+        assert space.read_u8(m.start) == 0xFF
+
+    def test_aligned_u64_requires_alignment(self, space):
+        m = space.map_region(PAGE_SIZE)
+        with pytest.raises(BusError):
+            space.read_aligned_u64(m.start + 3)
+
+
+class TestCStrings:
+    def test_roundtrip(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_cstring(m.start, b"hello")
+        assert space.read_cstring(m.start) == b"hello"
+
+    def test_empty_string(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_cstring(m.start, b"")
+        assert space.read_cstring(m.start) == b""
+        assert space.cstring_length(m.start) == 0
+
+    def test_unterminated_string_faults_at_boundary(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.fill(m.start, 0x41, m.size)
+        with pytest.raises(SegmentationFault):
+            space.read_cstring(m.start)
+
+    def test_limit_stops_scan(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.fill(m.start, 0x41, m.size)
+        assert space.read_cstring(m.start, limit=10) == b"A" * 10
+        assert space.cstring_length(m.start, limit=10) == 10
+
+    def test_length_matches_read(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_cstring(m.start, b"abcdef")
+        assert space.cstring_length(m.start) == 6
+
+
+class TestDiagnostics:
+    def test_describe_lists_mappings(self, space):
+        space.map_region(PAGE_SIZE, perm=Perm.READ, name="[rodata]")
+        space.map_region(PAGE_SIZE, perm=Perm.RW, name="[heap]")
+        text = space.describe()
+        assert "[rodata]" in text and "[heap]" in text
+        assert "r-" in text and "rw" in text
+
+    def test_page_align(self):
+        assert page_align(0) == 0
+        assert page_align(1) == PAGE_SIZE
+        assert page_align(PAGE_SIZE) == PAGE_SIZE
+        assert page_align(PAGE_SIZE + 1) == 2 * PAGE_SIZE

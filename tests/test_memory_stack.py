@@ -1,0 +1,119 @@
+"""Tests for the simulated call stack (repro.memory.stack)."""
+
+import pytest
+
+from repro.errors import SegmentationFault, StackSmashingDetected
+from repro.memory import AddressSpace, CallStack
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def stack(space):
+    return CallStack(space, size=16 * 4096)
+
+
+@pytest.fixture
+def guarded(space):
+    return CallStack(space, size=16 * 4096, protect=True)
+
+
+class TestFrames:
+    def test_push_pop_roundtrips_return_address(self, stack):
+        stack.push_frame("main", return_address=0xCAFE)
+        assert stack.pop_frame() == 0xCAFE
+
+    def test_nested_frames(self, stack):
+        stack.push_frame("outer", return_address=1)
+        stack.push_frame("inner", return_address=2)
+        assert stack.depth() == 2
+        assert stack.pop_frame() == 2
+        assert stack.pop_frame() == 1
+        assert stack.depth() == 0
+
+    def test_pop_empty_raises(self, stack):
+        with pytest.raises(RuntimeError):
+            stack.pop_frame()
+
+    def test_sp_restored_after_pop(self, stack):
+        sp = stack.sp
+        stack.push_frame("f")
+        stack.alloca(64)
+        stack.pop_frame()
+        assert stack.sp == sp
+
+    def test_current_frame(self, stack):
+        assert stack.current_frame is None
+        frame = stack.push_frame("f")
+        assert stack.current_frame is frame
+
+
+class TestAlloca:
+    def test_alloca_returns_writable_region(self, stack, space):
+        stack.push_frame("f")
+        buf = stack.alloca(64)
+        space.write(buf, b"y" * 64)
+        assert space.read(buf, 64) == b"y" * 64
+
+    def test_alloca_outside_frame_raises(self, stack):
+        with pytest.raises(RuntimeError):
+            stack.alloca(8)
+
+    def test_alloca_is_aligned(self, stack):
+        stack.push_frame("f")
+        assert stack.alloca(13) % 16 == 0
+
+    def test_locals_below_return_address(self, stack):
+        frame = stack.push_frame("f")
+        buf = stack.alloca(32)
+        assert buf < frame.return_slot
+
+    def test_stack_overflow_faults(self, space):
+        small = CallStack(space, size=4096)
+        small.push_frame("f")
+        with pytest.raises(SegmentationFault):
+            small.alloca(2 * 4096)
+
+    def test_negative_alloca_rejected(self, stack):
+        stack.push_frame("f")
+        with pytest.raises(ValueError):
+            stack.alloca(-1)
+
+
+class TestSmashing:
+    def test_overflow_reaches_return_address(self, stack, space):
+        frame = stack.push_frame("victim", return_address=0x1111)
+        buf = stack.alloca(16)
+        # overflow writes upward from the buffer over the return slot
+        distance = frame.return_slot - buf
+        space.write(buf, b"A" * distance + b"\x41\x41\x41\x41\x41\x41\x41\x41")
+        returned = stack.pop_frame()
+        assert returned != 0x1111  # control flow hijacked
+
+    def test_protector_detects_smash_before_return(self, guarded, space):
+        frame = guarded.push_frame("victim", return_address=0x1111)
+        buf = guarded.alloca(16)
+        distance = frame.return_slot - buf
+        space.write(buf, b"A" * (distance + 8))
+        with pytest.raises(StackSmashingDetected):
+            guarded.pop_frame()
+
+    def test_protector_allows_clean_return(self, guarded, space):
+        guarded.push_frame("ok", return_address=0x2222)
+        buf = guarded.alloca(16)
+        space.write(buf, b"B" * 16)  # stays in bounds
+        assert guarded.pop_frame() == 0x2222
+
+    def test_canary_sits_between_locals_and_return(self, guarded):
+        frame = guarded.push_frame("f")
+        buf = guarded.alloca(16)
+        assert buf < frame.canary_address < frame.return_slot
+
+    def test_canary_is_random_per_stack(self, space):
+        first = CallStack(space, size=8 * 4096, protect=True)
+        second = CallStack(space, size=8 * 4096, protect=True)
+        # 64-bit random canaries collide with negligible probability
+        assert first.canary_seed != second.canary_seed

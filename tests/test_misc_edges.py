@@ -1,0 +1,154 @@
+"""Edge-case tests: error taxonomy, header-corpus rendering, extension
+generators' C fragments, helper utilities."""
+
+import pytest
+
+from repro.errors import (
+    Aborted,
+    CanaryViolation,
+    DoubleFree,
+    HeapCorruption,
+    Outcome,
+    OutOfFuel,
+    ProcessExit,
+    SecurityViolation,
+    SegmentationFault,
+    StackSmashingDetected,
+    classify_exception,
+)
+from repro.headers.corpus import (
+    parse_include_tree,
+    render_header,
+    render_include_tree,
+)
+from repro.libc import helpers, standard_registry
+from repro.runtime import SimProcess
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("exc,outcome", [
+        (SegmentationFault(0x10, "read"), Outcome.CRASH),
+        (OutOfFuel(100), Outcome.HANG),
+        (Aborted(), Outcome.ABORT),
+        (HeapCorruption(0x10, "x"), Outcome.ABORT),
+        (DoubleFree(0x10), Outcome.ABORT),
+        (CanaryViolation(0x10), Outcome.ABORT),
+        (StackSmashingDetected("f"), Outcome.ABORT),
+        (SecurityViolation("strcpy", "overflow"), Outcome.ABORT),
+        (ProcessExit(0), Outcome.PASS),
+        (RecursionError(), Outcome.CRASH),
+        (ZeroDivisionError(), Outcome.CRASH),
+        (RuntimeError("unknown"), Outcome.CRASH),  # conservative default
+    ])
+    def test_classification(self, exc, outcome):
+        assert classify_exception(exc) == outcome
+
+    def test_segfault_message_carries_detail(self):
+        fault = SegmentationFault(0xBEEF, "write", "no mapping")
+        assert "0xbeef" in str(fault)
+        assert "write" in str(fault)
+        assert "no mapping" in str(fault)
+
+    def test_security_violation_names_function(self):
+        violation = SecurityViolation("memcpy", "too big")
+        assert violation.function == "memcpy"
+        assert "memcpy" in str(violation)
+
+
+class TestHeaderCorpusRendering:
+    def test_headers_grouped_and_guarded(self):
+        registry = standard_registry()
+        tree = render_include_tree(registry.prototypes())
+        assert "string.h" in tree and "time.h" in tree
+        for name, text in tree.items():
+            assert text.startswith(f"/* {name}")
+            assert "#ifndef" in text and "#endif" in text
+
+    def test_rendered_tree_parses_back_exactly(self):
+        registry = standard_registry()
+        originals = {p.name: p for p in registry.prototypes()}
+        parsed = parse_include_tree(render_include_tree(originals.values()))
+        assert len(parsed) == len(originals)
+        for proto in parsed:
+            original = originals[proto.name]
+            assert proto.return_type == original.return_type
+            assert [p.ctype for p in proto.params] == \
+                [p.ctype for p in original.params]
+            assert proto.variadic == original.variadic
+
+    def test_single_header_render(self):
+        from repro.headers.parser import parse_prototype
+
+        proto = parse_prototype("int f(const char *s)")
+        proto.header = "custom.h"
+        text = render_header("custom.h", [proto])
+        assert "extern int f(const char * s);" in text
+        assert "_CUSTOM_H" in text
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert helpers.to_signed(0xFFFFFFFF, 32) == -1
+        assert helpers.to_signed(0x7FFFFFFF, 32) == 2 ** 31 - 1
+        assert helpers.to_signed(0x80000000, 32) == -(2 ** 31)
+
+    def test_to_unsigned(self):
+        assert helpers.to_unsigned(-1) == 2 ** 64 - 1
+        assert helpers.to_unsigned(-1, 32) == 2 ** 32 - 1
+
+    def test_int_result_wraps(self):
+        assert helpers.int_result(2 ** 31) == -(2 ** 31)
+        assert helpers.int_result(5) == 5
+
+
+class TestExtensionCFragments:
+    def test_retry_fragment(self):
+        from repro.libc import standard_registry
+        from repro.wrappers import WrapperFactory, units_for
+        from repro.wrappers.extensions import RetryGen
+
+        factory = WrapperFactory(standard_registry(), None)
+        units, _ = units_for(factory, ["fgets"])
+        fragment = RetryGen(attempts=2).c_fragment(units[0])
+        assert "retry_budget = 2" in fragment.prefix
+        assert "healers_is_transient(errno)" in fragment.postfix
+        assert "(*addr_fgets)(s, size, stream)" in fragment.postfix
+
+    def test_rate_limit_fragment_void_and_pointer(self):
+        from repro.libc import standard_registry
+        from repro.wrappers import WrapperFactory, units_for
+        from repro.wrappers.extensions import RateLimitGen
+
+        factory = WrapperFactory(standard_registry(), None)
+        units, _ = units_for(factory, ["free", "strdup"])
+        gen = RateLimitGen(budget=9)
+        void_fragment = gen.c_fragment(units[0])
+        assert "return; }" in void_fragment.prefix
+        ptr_fragment = gen.c_fragment(units[1])
+        assert "return NULL; }" in ptr_fragment.prefix
+        assert "rate_limit_count" in ptr_fragment.globals
+
+
+class TestSimProcessEdges:
+    def test_rodata_exhaustion(self):
+        proc = SimProcess()
+        with pytest.raises(MemoryError):
+            for index in range(10_000):
+                proc.intern_cstring(str(index).encode() * 16)
+
+    def test_data_segment_exhaustion(self):
+        proc = SimProcess()
+        with pytest.raises(MemoryError):
+            for _ in range(10_000):
+                proc.static_alloc(1024)
+
+    def test_alloc_bytes_empty(self):
+        proc = SimProcess()
+        ptr = proc.alloc_bytes(b"")
+        assert ptr != 0  # minimal allocation, like malloc(0)
+
+    def test_text_segment_exhaustion(self):
+        proc = SimProcess()
+        with pytest.raises(MemoryError):
+            for _ in range(10_000):
+                proc.register_callback(lambda p: None)

@@ -1,0 +1,133 @@
+"""Property-based tests of the containment guarantees.
+
+The central safety claims, checked over randomized inputs:
+
+1. the synthesised argument checker never itself faults — a wrapper that
+   crashes while vetting arguments would be worse than no wrapper;
+2. the robustness wrapper *contains*: for arbitrary argument vectors the
+   wrapped call either completes or error-returns, never crashes, hangs
+   or corrupts (the fault-containment theorem, fuzz-checked);
+3. bounded formatting never writes past its limit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import Outcome, SimulatorError
+from repro.injection import Campaign
+from repro.libc import standard_registry
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.manpages import load_corpus
+from repro.robust import ArgumentChecker, RobustAPIDocument, derive_api
+from repro.runtime import Sandbox, SimProcess
+from repro.wrappers import ROBUSTNESS, WrapperFactory
+
+COMMON = settings(max_examples=40,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+#: functions fuzzed below; gets is excluded by design (its containment
+#: lives in the security wrapper's bounded substitution)
+FUZZED = ["strcpy", "strlen", "strcat", "strcmp", "memcpy", "memset",
+          "toupper", "free", "strtol", "strdup", "atoi"]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def document(registry):
+    pages = load_corpus()
+    result = Campaign(registry).run(FUZZED)
+    return RobustAPIDocument.build(registry, pages,
+                                   derive_api(result, registry, pages))
+
+
+@pytest.fixture(scope="module")
+def wrapped_linker(registry, document):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    WrapperFactory(registry, document).preload(linker, ROBUSTNESS)
+    return linker
+
+
+#: argument values biased toward interesting pointers: NULL, small,
+#: heap-range, rodata-range, unmapped, huge
+ARG = st.one_of(
+    st.just(0),
+    st.integers(0, 64),
+    st.integers(0x1000, 0x2000),       # rodata-ish
+    st.integers(0x83000, 0x84000),     # heap-ish
+    st.integers(0x100000, 0x200000),   # probably unmapped
+    st.integers(-(2 ** 31), 2 ** 31 - 1),
+    st.just(2 ** 64 - 1),
+)
+
+
+class TestCheckerNeverFaults:
+    @COMMON
+    @given(st.data())
+    def test_validate_is_total(self, registry, document, data):
+        """validate() returns a verdict for any argument vector —
+        it must never raise a simulator fault of its own."""
+        name = data.draw(st.sampled_from(FUZZED))
+        function = registry[name]
+        checker = ArgumentChecker(document.functions[name],
+                                  function.prototype)
+        args = [data.draw(ARG) for _ in function.prototype.params]
+        proc = SimProcess()
+        verdict = checker.validate(proc, args)  # must not raise
+        assert verdict is None or verdict.param
+
+
+class TestContainmentTheorem:
+    @COMMON
+    @given(st.data())
+    def test_wrapped_calls_never_fail(self, registry, wrapped_linker,
+                                      data):
+        """Fuzzing the wrapped API: every outcome is PASS or ERROR."""
+        name = data.draw(st.sampled_from(FUZZED))
+        function = registry[name]
+        args = [data.draw(ARG) for _ in function.prototype.params]
+        proc = SimProcess(fuel=2_000_000)
+        symbol = wrapped_linker.resolve(name).symbol
+        result = Sandbox().run(proc, lambda: symbol(proc, *args),
+                               function.error_detector)
+        assert result.outcome in (Outcome.PASS, Outcome.ERROR), (
+            f"{name}{tuple(args)} -> {result.outcome}: {result.exception}"
+        )
+        # and no silent damage either
+        assert proc.heap.check_integrity() == []
+
+    @COMMON
+    @given(st.binary(min_size=0, max_size=48).filter(lambda b: 0 not in b))
+    def test_valid_calls_still_work_through_wrapper(self, registry,
+                                                    wrapped_linker, text):
+        """Containment must not change valid-call semantics (fuzzed)."""
+        proc = SimProcess()
+        src = proc.alloc_cstring(text)
+        dest = proc.alloc_buffer(len(text) + 1)
+        symbol = wrapped_linker.resolve("strcpy").symbol
+        assert symbol(proc, dest, src) == dest
+        assert proc.read_cstring(dest) == text
+
+
+class TestBoundedFormatting:
+    @COMMON
+    @given(st.integers(0, 64),
+           st.text(alphabet="ab%dxs ", max_size=16))
+    def test_snprintf_never_writes_past_limit(self, registry, size, fmt):
+        """Whatever the format, bytes beyond `size` stay untouched."""
+        proc = SimProcess()
+        libc = registry
+        buf = proc.alloc_buffer(128, fill=0xEE)
+        fmt_ptr = proc.alloc_cstring(fmt.encode())
+        args = [42, proc.alloc_cstring(b"s")] * 4  # enough varargs
+        try:
+            libc["snprintf"](proc, buf, size, fmt_ptr, *args)
+        except SimulatorError:
+            pass  # the unwrapped call may legitimately fault
+        tail = proc.space.read(buf + size, 128 - size)
+        assert tail == b"\xee" * (128 - size)

