@@ -7,6 +7,8 @@ Web interface; a CLI is the headless equivalent):
 * ``healers scan-lib /lib/libc.so.6``   — demo 3.1, function list / XML
 * ``healers scan-app /bin/wordcount``   — demo 3.2, application scan
 * ``healers inject [--functions …]``    — Fig. 2, fault injection
+* ``healers campaign --jobs 4 --resume``— Fig. 2 at scale: parallel,
+  cache-backed, resumable injection sweeps
 * ``healers derive``                    — Fig. 2, robust API XML
 * ``healers generate security --c``     — Fig. 3, wrapper source
 * ``healers profile wordcount``         — demo 3.3, profiling report
@@ -51,6 +53,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset (default: all)")
     inject.add_argument("--save", default="",
                         help="store the experiment verdicts as XML here")
+    _add_execution_args(inject)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel, resumable fault-injection sweep with a "
+             "probe-result cache",
+    )
+    campaign.add_argument("--functions",
+                          help="comma-separated subset (default: all)")
+    campaign.add_argument("--save", default="",
+                          help="store the experiment verdicts as XML here")
+    campaign.add_argument("--cache", default="healers-probe-cache.xml",
+                          help="probe-result cache file (written after "
+                               "the run; loaded first with --resume)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="reuse cached verdicts; execute only the "
+                               "probes not in the cache")
+    campaign.add_argument("--progress", action="store_true",
+                          help="print live progress while probing")
+    _add_execution_args(campaign, default_jobs=0, default_backend="thread")
 
     derive = sub.add_parser("derive",
                             help="derive the robust API (runs injection)")
@@ -61,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "running injection")
     derive.add_argument("--xml", action="store_true",
                         help="emit the full XML declaration document")
+    _add_execution_args(derive)
 
     generate = sub.add_parser("generate", help="generate a wrapper library")
     generate.add_argument("preset", choices=sorted(PRESETS))
@@ -103,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exit after receiving this many documents "
                                 "(0 = run until interrupted)")
     return parser
+
+
+def _add_execution_args(parser, default_jobs: int = 1,
+                        default_backend: str = "serial") -> None:
+    """``--jobs/--backend`` for commands that run the injection engine."""
+    parser.add_argument("--jobs", type=int, default=default_jobs,
+                        help="worker count (0 = one per CPU; "
+                             f"default {default_jobs})")
+    parser.add_argument("--backend", default=default_backend,
+                        choices=["serial", "thread", "process"],
+                        help=f"worker pool backend (default "
+                             f"{default_backend})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -175,13 +210,50 @@ def _functions_arg(args) -> Optional[List[str]]:
 
 
 def _cmd_inject(toolkit: Healers, args) -> int:
-    result = toolkit.run_fault_injection(_functions_arg(args))
+    result = toolkit.run_fault_injection(
+        _functions_arg(args), jobs=args.jobs, backend=args.backend
+    )
     if args.save:
         from repro.injection import campaign_to_xml
 
         with open(args.save, "w", encoding="utf-8") as handle:
             handle.write(campaign_to_xml(result))
         print(f"experiments stored in {args.save}")
+    _print_campaign_summary(result)
+    return 0
+
+
+def _cmd_campaign(toolkit: Healers, args) -> int:
+    observer = None
+    if args.progress:
+        from repro.reporting import CampaignProgress
+
+        observer = CampaignProgress()
+    result = toolkit.run_fault_injection(
+        _functions_arg(args),
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=args.cache,
+        resume=args.resume,
+        observer=observer,
+    )
+    if args.save:
+        from repro.injection import campaign_to_xml
+
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(campaign_to_xml(result))
+        print(f"experiments stored in {args.save}")
+    stats = toolkit.campaign_stats
+    if stats is not None:
+        print(stats.describe())
+        if args.cache:
+            print(f"cache: {args.cache} "
+                  f"({stats.cache_hit_rate:.0%} hit rate)")
+    _print_campaign_summary(result)
+    return 0
+
+
+def _print_campaign_summary(result) -> None:
     print(f"library {result.library}: {result.total_probes} probes, "
           f"{result.total_failures} robustness failures "
           f"({result.failure_rate:.1%})")
@@ -193,7 +265,6 @@ def _cmd_inject(toolkit: Healers, args) -> int:
     for report in worst:
         print(f"  {report.function:<12} {report.failure_rate:.1%} "
               f"({len(report.failures)}/{report.total_probes})")
-    return 0
 
 
 def _cmd_derive(toolkit: Healers, args) -> int:
@@ -203,7 +274,9 @@ def _cmd_derive(toolkit: Healers, args) -> int:
         with open(args.load, encoding="utf-8") as handle:
             result = campaign_from_xml(handle.read())
     else:
-        result = toolkit.run_fault_injection(_functions_arg(args))
+        result = toolkit.run_fault_injection(
+            _functions_arg(args), jobs=args.jobs, backend=args.backend
+        )
     document = toolkit.derive_robust_api(result)
     if args.xml:
         print(document.to_xml())
@@ -333,6 +406,7 @@ _HANDLERS = {
     "scan-lib": _cmd_scan_lib,
     "scan-app": _cmd_scan_app,
     "inject": _cmd_inject,
+    "campaign": _cmd_campaign,
     "derive": _cmd_derive,
     "generate": _cmd_generate,
     "profile": _cmd_profile,

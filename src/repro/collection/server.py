@@ -85,19 +85,26 @@ class CollectionStore:
 
 
 class CollectionServer:
-    """Threaded TCP acceptor feeding a :class:`CollectionStore`."""
+    """Threaded TCP acceptor feeding a :class:`CollectionStore`.
+
+    Each accepted connection is served on its own thread, so one slow or
+    stalled client (the 5-second read timeout) never blocks the other
+    reporters of a fleet; the store itself serialises index updates.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 store: Optional[CollectionStore] = None):
+                 store: Optional[CollectionStore] = None,
+                 backlog: int = 64):
         self.store = store if store is not None else CollectionStore()
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((host, port))
-        self._socket.listen(8)
+        self._socket.listen(backlog)
         self._socket.settimeout(0.2)
         self.address: Tuple[str, int] = self._socket.getsockname()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._handlers: List[threading.Thread] = []
         self.errors: List[str] = []
 
     # ------------------------------------------------------------------
@@ -111,6 +118,8 @@ class CollectionServer:
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        for handler in self._handlers:
+            handler.join(timeout=5)
         self._socket.close()
 
     def __enter__(self) -> "CollectionServer":
@@ -129,12 +138,21 @@ class CollectionServer:
                 continue
             except OSError:
                 break
-            try:
-                self._handle(connection)
-            except Exception as exc:  # a bad client must not kill the server
-                self.errors.append(str(exc))
-            finally:
-                connection.close()
+            handler = threading.Thread(
+                target=self._handle_connection, args=(connection,),
+                daemon=True,
+            )
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            self._handlers.append(handler)
+            handler.start()
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        try:
+            self._handle(connection)
+        except Exception as exc:  # a bad client must not kill the server
+            self.errors.append(str(exc))
+        finally:
+            connection.close()
 
     def _handle(self, connection: socket.socket) -> None:
         connection.settimeout(5)

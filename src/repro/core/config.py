@@ -20,11 +20,81 @@ system administrator maintains, the moral equivalent of per-service
 
 from __future__ import annotations
 
+import os
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.wrappers import PRESETS
+
+#: execution backends the campaign engine supports (mirrors
+#: :data:`repro.injection.executor.BACKENDS` without importing it —
+#: config must stay import-light)
+CAMPAIGN_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class CampaignSettings:
+    """How fault-injection campaigns execute on this deployment.
+
+    The paper's sweep runs "once per library release"; an administrator
+    tunes *how* it runs here — worker count, pool backend, and where the
+    probe-result cache lives so interrupted or repeated sweeps resume
+    instead of restarting:
+
+    .. code-block:: xml
+
+        <campaign jobs="8" backend="process"
+                  cache="/var/lib/healers/probe-cache.xml" resume="true"/>
+    """
+
+    #: worker count; 0 means one worker per CPU
+    jobs: int = 1
+    backend: str = "thread"
+    #: probe-result cache file ("" = no persistent cache)
+    cache_path: str = ""
+    #: load the cache before running, so only deltas execute
+    resume: bool = False
+
+    def validate(self) -> None:
+        if self.backend not in CAMPAIGN_BACKENDS:
+            raise ValueError(
+                f"unknown campaign backend {self.backend!r}; "
+                f"known: {', '.join(CAMPAIGN_BACKENDS)}"
+            )
+        if self.jobs < 0:
+            raise ValueError(f"campaign jobs must be >= 0, got {self.jobs}")
+        if self.resume and not self.cache_path:
+            raise ValueError("campaign resume requires a cache path")
+
+    def effective_jobs(self) -> int:
+        """The concrete worker count (resolving 0 = all CPUs)."""
+        return self.jobs if self.jobs > 0 else (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------
+    # XML round trip (an element of the deployment file)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_node(cls, node: ET.Element) -> "CampaignSettings":
+        settings = cls(
+            jobs=int(node.get("jobs", "1")),
+            backend=node.get("backend", "thread"),
+            cache_path=node.get("cache", ""),
+            resume=node.get("resume", "false").lower()
+            in ("true", "yes", "1"),
+        )
+        settings.validate()
+        return settings
+
+    def to_node(self, parent: ET.Element) -> ET.Element:
+        node = ET.SubElement(parent, "campaign", jobs=str(self.jobs),
+                             backend=self.backend)
+        if self.cache_path:
+            node.set("cache", self.cache_path)
+        if self.resume:
+            node.set("resume", "true")
+        return node
 
 
 @dataclass
@@ -51,6 +121,8 @@ class DeploymentConfig:
 
     policies: Dict[str, AppPolicy] = field(default_factory=dict)
     default: Optional[AppPolicy] = None
+    #: how injection campaigns run on this deployment
+    campaign: CampaignSettings = field(default_factory=CampaignSettings)
 
     def policy_for(self, path: str) -> Optional[AppPolicy]:
         """The policy governing an application path (explicit or default)."""
@@ -75,6 +147,9 @@ class DeploymentConfig:
         if default_node is not None:
             config.default = _policy_from_node(default_node,
                                                require_path=False)
+        campaign_node = root.find("campaign")
+        if campaign_node is not None:
+            config.campaign = CampaignSettings.from_node(campaign_node)
         return config
 
     def to_xml(self) -> str:
@@ -90,6 +165,8 @@ class DeploymentConfig:
                                  wrappers=",".join(self.default.wrappers))
             if self.default.functions:
                 node.set("functions", ",".join(self.default.functions))
+        if self.campaign != CampaignSettings():
+            self.campaign.to_node(root)
         ET.indent(root)
         return ET.tostring(root, encoding="unicode", xml_declaration=True)
 

@@ -22,7 +22,14 @@ from repro.apps import SimApp, standard_system
 from repro.apps.base import AppResult, run_app
 from repro.headers.corpus import parse_include_tree, render_include_tree
 from repro.headers.model import Prototype
-from repro.injection import Campaign, CampaignResult
+from repro.injection import (
+    Campaign,
+    CampaignResult,
+    CampaignStats,
+    ProbeCache,
+    ProbeExecutor,
+)
+from repro.injection.campaign import ProbeObserver
 from repro.libc import LibcRegistry, math_registry, standard_registry
 from repro.linker import DynamicLinker
 from repro.manpages import load_corpus
@@ -89,6 +96,9 @@ class Healers:
         manpages: Optional[Dict[str, ManPage]] = None,
         security_policy: Optional[SecurityPolicy] = None,
     ):
+        #: whether the registry is the stock libc (then process-pool
+        #: campaign workers can rebuild it from the module-level factory)
+        self._registry_is_standard = registry is None
         self.registry = registry or standard_registry()
         #: secondary wrappable libraries by soname (libm out of the box)
         self.extra_registries: Dict[str, LibcRegistry] = {}
@@ -109,6 +119,8 @@ class Healers:
         self.api_document: Optional[RobustAPIDocument] = None
         self.derivations: Dict[str, FunctionDerivation] = {}
         self.campaign_result: Optional[CampaignResult] = None
+        #: execution accounting of the most recent campaign
+        self.campaign_stats: Optional[CampaignStats] = None
 
     # ------------------------------------------------------------------
     # demo 3.1: library scanning
@@ -210,13 +222,52 @@ class Healers:
         self,
         functions: Optional[Iterable[str]] = None,
         fuel: Optional[int] = None,
+        jobs: int = 1,
+        backend: str = "serial",
+        cache: "Optional[str | ProbeCache]" = None,
+        resume: bool = False,
+        observer: Optional[ProbeObserver] = None,
     ) -> CampaignResult:
-        """Run the automated fault-injection experiments."""
+        """Run the automated fault-injection experiments.
+
+        The default is the paper's serial sweep.  ``jobs``/``backend``
+        fan the probe matrix out over a worker pool, and ``cache`` (a
+        path or a live :class:`ProbeCache`) makes runs resumable: with
+        ``resume=True`` verdicts cached for this library release are
+        reused and only new probes execute.  A path-backed cache is
+        written back after the run.  Execution accounting lands in
+        :attr:`campaign_stats`.
+        """
         kwargs = {}
         if fuel is not None:
             kwargs["fuel"] = fuel
-        campaign = Campaign(self.registry, manpages=self.manpages, **kwargs)
-        self.campaign_result = campaign.run(functions)
+        campaign = Campaign(self.registry, manpages=self.manpages,
+                            observer=observer, **kwargs)
+
+        cache_path = cache if isinstance(cache, str) else ""
+        if isinstance(cache, ProbeCache):
+            probe_cache: Optional[ProbeCache] = cache
+        elif cache_path:
+            if resume:
+                probe_cache = ProbeCache.load_or_create(cache_path,
+                                                        self.registry)
+            else:
+                probe_cache = ProbeCache.for_registry(self.registry)
+        else:
+            probe_cache = None
+
+        executor = ProbeExecutor(
+            campaign,
+            jobs=jobs,
+            backend=backend,
+            cache=probe_cache,
+            registry_factory=(standard_registry
+                              if self._registry_is_standard else None),
+        )
+        self.campaign_result = executor.run(functions)
+        self.campaign_stats = executor.stats
+        if cache_path and probe_cache is not None:
+            probe_cache.save(cache_path)
         return self.campaign_result
 
     def derive_robust_api(

@@ -1,11 +1,18 @@
 """Automated fault-injection experiments (the engine of Fig. 2)."""
 
+from repro.injection.cache import CachedVerdict, ProbeCache, ProbeKey
 from repro.injection.campaign import (
     Campaign,
     CampaignResult,
     FunctionReport,
     Probe,
+    ProbeExecution,
     ProbeRecord,
+)
+from repro.injection.executor import (
+    BACKENDS,
+    CampaignStats,
+    ProbeExecutor,
 )
 from repro.injection.pairwise import (
     PairProbe,
@@ -13,18 +20,32 @@ from repro.injection.pairwise import (
     PairwiseCampaign,
     PairwiseReport,
 )
-from repro.injection.store import campaign_from_xml, campaign_to_xml
+from repro.injection.store import (
+    campaign_from_xml,
+    campaign_to_xml,
+    probe_cache_from_xml,
+    probe_cache_to_xml,
+)
 
 __all__ = [
+    "BACKENDS",
+    "CachedVerdict",
     "Campaign",
     "CampaignResult",
+    "CampaignStats",
     "FunctionReport",
     "PairProbe",
     "PairRecord",
     "PairwiseCampaign",
     "PairwiseReport",
     "Probe",
+    "ProbeCache",
+    "ProbeExecution",
+    "ProbeExecutor",
+    "ProbeKey",
     "ProbeRecord",
     "campaign_from_xml",
     "campaign_to_xml",
+    "probe_cache_from_xml",
+    "probe_cache_to_xml",
 ]

@@ -1,0 +1,205 @@
+"""Probe-result cache: skip unchanged probes on campaign re-runs.
+
+"The expensive injection sweep runs once per library release" — but a
+release rarely changes every function, and an interrupted sweep should
+not start over.  The cache keys every classified verdict by
+
+    (library name+version, function, param, chain, value label, fuel)
+
+so a resumed or repeated campaign executes only the probes whose
+identity is new: a fresh library version, a function whose dictionary
+grew a value, or a different fuel budget all miss; everything else is
+served from the cache and merges into the result indistinguishably from
+a fresh verdict (the store format carries exactly the fields derivation
+reads).
+
+Setup failures are cached too — golden construction is deterministic,
+so a probe that could not be set up last run cannot be set up this run
+either, and a fully-cached resume executes zero fresh probes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import Outcome
+from repro.injection.campaign import Probe
+from repro.libc.registry import LibcRegistry
+from repro.runtime import ProbeResult
+
+
+@dataclass(frozen=True)
+class ProbeKey:
+    """Cache identity of one probe (library identity lives on the cache)."""
+
+    function: str
+    param_name: str
+    chain: str
+    value_label: str
+    fuel: int
+
+
+@dataclass
+class CachedVerdict:
+    """One stored verdict: a classified outcome or a setup failure."""
+
+    outcome: Optional[Outcome] = None
+    errno: int = 0
+    fuel_used: int = 0
+    setup_error: str = ""
+
+    @property
+    def is_setup_error(self) -> bool:
+        return self.outcome is None
+
+    def to_result(self) -> ProbeResult:
+        """Materialise the classified outcome as a probe result."""
+        if self.outcome is None:
+            raise ValueError("setup errors carry no probe result")
+        return ProbeResult(outcome=self.outcome, errno=self.errno,
+                           fuel_used=self.fuel_used)
+
+
+class ProbeCache:
+    """Verdict store for one library release.
+
+    Lookups and records are thread-safe; the executor records fresh
+    verdicts from the parent as workers complete, while reporting code
+    may read hit counters concurrently.
+    """
+
+    def __init__(self, library: str, version: str = "1.0",
+                 fingerprint: str = ""):
+        self.library = library
+        self.version = version
+        #: optional registry content hash; detects drift within a version
+        self.fingerprint = fingerprint
+        self._entries: Dict[ProbeKey, CachedVerdict] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_registry(cls, registry: LibcRegistry) -> "ProbeCache":
+        return cls(registry.library_name, registry.version,
+                   registry.fingerprint())
+
+    def matches(self, registry: LibcRegistry) -> bool:
+        """True when this cache's verdicts apply to ``registry``.
+
+        Library name and version must agree; the fingerprint, when both
+        sides have one, must agree too (same version string but changed
+        declarations means the verdicts are stale).
+        """
+        if (self.library, self.version) != (registry.library_name,
+                                            registry.version):
+            return False
+        if self.fingerprint and self.fingerprint != registry.fingerprint():
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # lookup / record
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(probe: Probe, fuel: int) -> ProbeKey:
+        return ProbeKey(
+            function=probe.function,
+            param_name=probe.param_name,
+            chain=probe.chain,
+            value_label=probe.value_label,
+            fuel=fuel,
+        )
+
+    def lookup(self, probe: Probe, fuel: int) -> Optional[CachedVerdict]:
+        """The stored verdict for a probe, counting hit/miss."""
+        with self._lock:
+            verdict = self._entries.get(self.key_for(probe, fuel))
+            if verdict is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return verdict
+
+    def record(self, probe: Probe, fuel: int,
+               result: Optional[ProbeResult] = None,
+               setup_error: str = "") -> None:
+        """Store one fresh verdict (a result or a setup failure)."""
+        if result is not None:
+            verdict = CachedVerdict(outcome=result.outcome,
+                                    errno=result.errno,
+                                    fuel_used=result.fuel_used)
+        else:
+            verdict = CachedVerdict(setup_error=setup_error)
+        with self._lock:
+            self._entries[self.key_for(probe, fuel)] = verdict
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> Dict[ProbeKey, CachedVerdict]:
+        """Snapshot of the stored verdicts (sorted for serialisation)."""
+        with self._lock:
+            return dict(sorted(
+                self._entries.items(),
+                key=lambda item: (item[0].function, item[0].param_name,
+                                  item[0].chain, item[0].value_label,
+                                  item[0].fuel),
+            ))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # persistence (XML, via the experiments store)
+    # ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        from repro.injection.store import probe_cache_to_xml
+
+        return probe_cache_to_xml(self)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ProbeCache":
+        from repro.injection.store import probe_cache_from_xml
+
+        return probe_cache_from_xml(text)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_xml())
+
+    @classmethod
+    def load(cls, path: str) -> "ProbeCache":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_xml(handle.read())
+
+    @classmethod
+    def load_or_create(cls, path: str,
+                       registry: LibcRegistry) -> "ProbeCache":
+        """Resume from ``path`` when it exists and matches the registry.
+
+        A missing or unreadable file, or a cache built for a different
+        library release (or a drifted registry at the same version),
+        yields a fresh empty cache — never stale verdicts.
+        """
+        if path and os.path.exists(path):
+            try:
+                cache = cls.load(path)
+            except (OSError, ValueError, ET.ParseError):
+                return cls.for_registry(registry)
+            if cache.matches(registry):
+                return cache
+        return cls.for_registry(registry)

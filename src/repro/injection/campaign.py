@@ -15,7 +15,7 @@ write does without faulting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import Outcome
 from repro.ftypes import ProbeContext, TestValue, chain_id_for, test_values_for
@@ -88,6 +88,19 @@ class FunctionReport:
 
 
 @dataclass
+class ProbeExecution:
+    """Outcome of attempting one probe: a verdict or a setup failure.
+
+    Exactly one of ``result`` and ``setup_error`` is set.  This is the
+    unit the parallel executor ships between workers and the parent.
+    """
+
+    probe: Probe
+    result: Optional[ProbeResult] = None
+    setup_error: str = ""
+
+
+@dataclass
 class CampaignResult:
     """Results of a whole-library campaign."""
 
@@ -149,11 +162,16 @@ class Campaign:
     # probing
     # ------------------------------------------------------------------
 
-    def probe_function(self, name: str) -> FunctionReport:
-        """Run the full per-parameter sweep for one function."""
+    def probe_plan(self, name: str) -> List[Tuple[Probe, TestValue]]:
+        """Enumerate the probe matrix of one function, without executing.
+
+        The order is deterministic (parameter order × dictionary order)
+        and is the canonical record order of a :class:`FunctionReport`,
+        whichever worker actually executes each probe.
+        """
         function = self.registry[name]
-        report = FunctionReport(function=name)
         manpage = self.manpages.get(name)
+        plan: List[Tuple[Probe, TestValue]] = []
         for index, param in enumerate(function.prototype.params):
             role = manpage.role_of(param.name) if manpage else None
             chain = chain_id_for(param, role)
@@ -166,35 +184,55 @@ class Campaign:
                     value_label=value.label,
                     max_rank=value.max_rank,
                 )
-                result = self._execute(function, manpage, index, value, report)
-                if result is None:
-                    continue
-                record = ProbeRecord(probe=probe, result=result)
-                report.records.append(record)
-                if self.observer is not None:
-                    self.observer(probe, result)
+                plan.append((probe, value))
+        return plan
+
+    def enumerate_probes(self, name: str) -> List[Probe]:
+        """The probe identities of one function's sweep."""
+        return [probe for probe, _ in self.probe_plan(name)]
+
+    def probe_function(self, name: str) -> FunctionReport:
+        """Run the full per-parameter sweep for one function."""
+        report = FunctionReport(function=name)
+        for probe, value in self.probe_plan(name):
+            execution = self.execute_probe(probe, value)
+            self.absorb(report, execution)
         return report
 
-    def _execute(
-        self,
-        function: LibFunction,
-        manpage: Optional[ManPage],
-        param_index: int,
-        value: TestValue,
-        report: FunctionReport,
-    ) -> Optional[ProbeResult]:
+    def absorb(self, report: FunctionReport, execution: ProbeExecution,
+               notify: bool = True) -> None:
+        """File one execution into a report, firing the observer.
+
+        The parallel executor files with ``notify=False`` because it
+        already notified the observer live, as each work unit completed.
+        """
+        if execution.setup_error:
+            report.setup_errors.append(execution.setup_error)
+            return
+        assert execution.result is not None
+        report.records.append(
+            ProbeRecord(probe=execution.probe, result=execution.result)
+        )
+        if notify and self.observer is not None:
+            self.observer(execution.probe, execution.result)
+
+    def execute_probe(self, probe: Probe, value: TestValue) -> ProbeExecution:
+        """Run one probe in a fresh process and classify the outcome."""
+        function = self.registry[probe.function]
+        manpage = self.manpages.get(probe.function)
         process = SimProcess(fuel=self.fuel)
         ctx = ProbeContext(process, function.prototype, manpage)
-        param = function.prototype.params[param_index]
+        param = function.prototype.params[probe.param_index]
         try:
             ctx.build_goldens()
             args = [ctx.golden[p.name] for p in function.prototype.params]
-            args[param_index] = value.materialize(ctx, param)
+            args[probe.param_index] = value.materialize(ctx, param)
         except Exception as exc:  # setup failure, not a probe verdict
-            report.setup_errors.append(
-                f"{function.name}/{param.name}/{value.label}: {exc}"
+            return ProbeExecution(
+                probe=probe,
+                setup_error=f"{function.name}/{param.name}/"
+                            f"{value.label}: {exc}",
             )
-            return None
         target = function.impl
         if self.interposer is not None:
             target = self.interposer(function)
@@ -207,7 +245,7 @@ class Campaign:
             problems = process.heap.check_integrity()
             if problems:
                 result.outcome = Outcome.SILENT
-        return result
+        return ProbeExecution(probe=probe, result=result)
 
     # ------------------------------------------------------------------
     # campaign

@@ -8,6 +8,11 @@ module serialises a :class:`CampaignResult` to a self-describing XML
 document and back, preserving everything derivation needs: probe
 identity (parameter, chain, value label, max satisfied rank) and the
 classified outcome.
+
+It also serialises the :class:`~repro.injection.cache.ProbeCache` — the
+second database of the subsystem, keyed by probe identity rather than
+grouped by function — so interrupted or repeated campaigns resume from
+disk (``healers campaign --resume``).
 """
 
 from __future__ import annotations
@@ -83,3 +88,65 @@ def campaign_from_xml(text: str) -> CampaignResult:
     if skipped is not None:
         result.skipped = skipped.get("names", "").split()
     return result
+
+
+# ----------------------------------------------------------------------
+# probe-result cache persistence
+# ----------------------------------------------------------------------
+
+def probe_cache_to_xml(cache) -> str:
+    """Serialise a :class:`~repro.injection.cache.ProbeCache`."""
+    root = ET.Element("healers-probe-cache", library=cache.library,
+                      version=cache.version)
+    if cache.fingerprint:
+        root.set("fingerprint", cache.fingerprint)
+    for key, verdict in cache.entries().items():
+        attrs = {
+            "function": key.function,
+            "param": key.param_name,
+            "chain": key.chain,
+            "value": key.value_label,
+            "fuel": str(key.fuel),
+        }
+        if verdict.is_setup_error:
+            attrs["setup-error"] = verdict.setup_error
+        else:
+            attrs["outcome"] = verdict.outcome.value
+            attrs["errno"] = str(verdict.errno)
+            attrs["fuel-used"] = str(verdict.fuel_used)
+        ET.SubElement(root, "probe", attrs)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def probe_cache_from_xml(text: str):
+    """Reconstruct a probe cache from its XML document."""
+    from repro.injection.cache import CachedVerdict, ProbeCache, ProbeKey
+
+    root = ET.fromstring(text)
+    if root.tag != "healers-probe-cache":
+        raise ValueError(f"not a probe cache file (root {root.tag!r})")
+    cache = ProbeCache(
+        library=root.get("library", ""),
+        version=root.get("version", ""),
+        fingerprint=root.get("fingerprint", ""),
+    )
+    for node in root.findall("probe"):
+        key = ProbeKey(
+            function=node.get("function", ""),
+            param_name=node.get("param", ""),
+            chain=node.get("chain", ""),
+            value_label=node.get("value", ""),
+            fuel=int(node.get("fuel", "0")),
+        )
+        setup_error = node.get("setup-error")
+        if setup_error is not None:
+            verdict = CachedVerdict(setup_error=setup_error)
+        else:
+            verdict = CachedVerdict(
+                outcome=Outcome(node.get("outcome", "pass")),
+                errno=int(node.get("errno", "0")),
+                fuel_used=int(node.get("fuel-used", "0")),
+            )
+        cache._entries[key] = verdict
+    return cache

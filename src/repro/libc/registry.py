@@ -13,6 +13,7 @@ object's dynamic symbol table plus the parsed prototype information.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -67,9 +68,30 @@ class LibFunction:
 class LibcRegistry:
     """Name → :class:`LibFunction` mapping for one simulated library."""
 
-    def __init__(self, library_name: str = "libc.so.6"):
+    def __init__(self, library_name: str = "libc.so.6",
+                 version: str = "1.0"):
         self.library_name = library_name
+        #: library release; probe caches are keyed by name+version so a
+        #: new release never reuses stale verdicts
+        self.version = version
         self._functions: Dict[str, LibFunction] = {}
+
+    @property
+    def release(self) -> str:
+        """``name@version`` — the cache-key identity of this library."""
+        return f"{self.library_name}@{self.version}"
+
+    def fingerprint(self) -> str:
+        """Content hash over every registered declaration.
+
+        A registry whose function set or prototypes changed produces a
+        different fingerprint even at the same version string, which
+        lets the probe cache detect silent drift.
+        """
+        digest = hashlib.sha256()
+        for name in self.names():
+            digest.update(self._functions[name].prototype.declare().encode())
+        return digest.hexdigest()[:16]
 
     def register(self, function: LibFunction) -> None:
         if function.name in self._functions:

@@ -6,8 +6,10 @@ from repro.reporting.html import (
     render_profile_html,
     render_robust_api_html,
 )
+from repro.reporting.progress import CampaignProgress
 
 __all__ = [
+    "CampaignProgress",
     "render_application_scan_html",
     "render_library_list_html",
     "render_profile_html",

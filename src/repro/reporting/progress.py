@@ -1,0 +1,61 @@
+"""Live campaign progress: an observer for the injection engine.
+
+The executor notifies observers from the parent as work units complete
+(cached verdicts included), so a single observer instance sees the whole
+campaign regardless of worker count.  :class:`CampaignProgress` turns
+that stream into periodic one-line updates — the headless equivalent of
+the Web interface's progress bar during the Fig. 2 sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Optional, TextIO
+
+from repro.injection.campaign import Probe
+from repro.runtime import ProbeResult
+
+
+class CampaignProgress:
+    """A :data:`~repro.injection.campaign.ProbeObserver` printing progress.
+
+    Counter updates are lock-protected so the observer also works when a
+    caller fires it from multiple threads (the stock executor notifies
+    from one thread).
+    """
+
+    def __init__(self, total: int = 0, every: int = 100,
+                 stream: Optional[TextIO] = None):
+        #: expected probe count (0 = unknown; lines omit percentages)
+        self.total = total
+        self.every = max(1, every)
+        self.stream = stream if stream is not None else sys.stderr
+        self.count = 0
+        self.failures = 0
+        self._last_function = ""
+        self._lock = threading.Lock()
+
+    def __call__(self, probe: Probe, result: ProbeResult) -> None:
+        with self._lock:
+            self.count += 1
+            if result.outcome.is_robustness_failure:
+                self.failures += 1
+            self._last_function = probe.function
+            due = self.count % self.every == 0 or self.count == self.total
+            line = self._line() if due else None
+        if line is not None:
+            print(line, file=self.stream, flush=True)
+
+    def _line(self) -> str:
+        position = (f"{self.count}/{self.total} "
+                    f"({self.count / self.total:.0%})"
+                    if self.total else str(self.count))
+        return (f"[campaign] {position} probes, "
+                f"{self.failures} failures, at {self._last_function}")
+
+    def summary(self) -> str:
+        """Final one-liner for after the run."""
+        with self._lock:
+            return (f"[campaign] done: {self.count} probes, "
+                    f"{self.failures} robustness failures")

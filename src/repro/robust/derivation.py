@@ -117,7 +117,11 @@ def derive_parameter(records: List[ProbeRecord], param: str,
 
 def derive_function(report: FunctionReport, registry: LibcRegistry,
                     manpage: Optional[ManPage]) -> FunctionDerivation:
-    """Derive the robust API of one probed function."""
+    """Derive the robust API of one probed function.
+
+    Raises :class:`KeyError` when the registry does not define the
+    function; :func:`derive_api` skips such reports instead (see below).
+    """
     function = registry[report.function]
     derivation = FunctionDerivation(
         function=report.function,
@@ -138,8 +142,19 @@ def derive_function(report: FunctionReport, registry: LibcRegistry,
 
 def derive_api(result: CampaignResult, registry: LibcRegistry,
                manpages: Dict[str, ManPage]) -> Dict[str, FunctionDerivation]:
-    """Derive robust APIs for every probed function in a campaign."""
+    """Derive robust APIs for every probed function in a campaign.
+
+    Campaign results may be *merged* from cached and fresh verdicts, or
+    loaded from a store written against an earlier library release; a
+    report for a function the current registry no longer defines cannot
+    be derived (no prototype to strengthen) and is skipped rather than
+    aborting the whole derivation.  Verdict provenance is irrelevant:
+    cached and freshly-executed records carry the same fields and are
+    treated identically.
+    """
     derived: Dict[str, FunctionDerivation] = {}
     for name, report in sorted(result.reports.items()):
+        if name not in registry:
+            continue
         derived[name] = derive_function(report, registry, manpages.get(name))
     return derived

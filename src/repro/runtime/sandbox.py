@@ -9,7 +9,7 @@ catches simulator faults and maps them onto :class:`~repro.errors.Outcome`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import Outcome, ProcessExit, SimulatorError, classify_exception
 from repro.runtime.process import SimProcess
@@ -42,9 +42,45 @@ class ProbeResult:
             detail = f": {self.exception}"
         return f"{self.outcome.value}{detail}"
 
+    # ------------------------------------------------------------------
+    # portable form (process-pool transport)
+    # ------------------------------------------------------------------
+
+    def to_portable(self) -> Dict[str, Any]:
+        """Reduce to plain picklable data for cross-process transport.
+
+        ``value`` and the live ``exception`` object are dropped (they may
+        reference simulator state); the exception's text survives as
+        ``detail``.  Everything derivation and the store consume —
+        outcome, errno, fuel — round-trips exactly.
+        """
+        return {
+            "outcome": self.outcome.value,
+            "errno": self.errno,
+            "fuel_used": self.fuel_used,
+            "detail": str(self.exception) if self.exception else "",
+        }
+
+    @classmethod
+    def from_portable(cls, data: Dict[str, Any]) -> "ProbeResult":
+        """Rebuild a result from :meth:`to_portable` output."""
+        return cls(
+            outcome=Outcome(data["outcome"]),
+            errno=int(data.get("errno", 0)),
+            fuel_used=int(data.get("fuel_used", 0)),
+        )
+
 
 class Sandbox:
-    """Runs callables against a process and classifies what happens."""
+    """Runs callables against a process and classifies what happens.
+
+    The sandbox holds no mutable state of its own — all per-probe state
+    lives in the :class:`SimProcess` passed to :meth:`run` — so one
+    instance may be shared by concurrent workers (threads) and survives
+    ``fork()`` into process-pool workers unchanged.  Classification is a
+    pure function of the call's behaviour, which keeps parallel campaign
+    verdicts deterministic per worker.
+    """
 
     def __init__(self, error_is_robust: bool = True):
         #: when True, a call that sets errno / returns an error indicator

@@ -1,0 +1,359 @@
+"""Tests for the parallel, resumable campaign engine.
+
+Covers the determinism regression the engine must uphold — serial runs
+are byte-identical, parallel runs are verdict-identical to serial — plus
+the probe-result cache, the executor backends, the toolkit/CLI wiring,
+and the campaign settings in the deployment config.
+"""
+
+import os
+
+import pytest
+
+from repro.core import Healers
+from repro.core.config import CampaignSettings, DeploymentConfig
+from repro.errors import Outcome
+from repro.injection import (
+    Campaign,
+    ProbeCache,
+    ProbeExecutor,
+    campaign_to_xml,
+)
+from repro.libc import standard_registry
+from repro.manpages import load_corpus
+
+#: a cross-family slice: strings, memory, alloc, ctype, algorithm
+NAMES = ["strcpy", "strlen", "memcpy", "free", "toupper", "abs", "qsort"]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def manpages():
+    return load_corpus()
+
+
+@pytest.fixture(scope="module")
+def serial_xml(registry, manpages):
+    return campaign_to_xml(Campaign(registry, manpages=manpages).run(NAMES))
+
+
+def verdicts(result):
+    """Order-independent verdict set of a campaign result."""
+    return {
+        (r.probe.function, r.probe.param_name, r.probe.chain,
+         r.probe.value_label, r.outcome, r.result.errno)
+        for report in result.reports.values()
+        for r in report.records
+    }
+
+
+class TestDeterminism:
+    def test_serial_runs_byte_identical(self, registry, manpages,
+                                        serial_xml):
+        again = Campaign(registry, manpages=manpages).run(NAMES)
+        assert campaign_to_xml(again) == serial_xml
+
+    def test_executor_serial_byte_identical(self, registry, manpages,
+                                            serial_xml):
+        executor = ProbeExecutor(Campaign(registry, manpages=manpages),
+                                 backend="serial")
+        assert campaign_to_xml(executor.run(NAMES)) == serial_xml
+
+    def test_jobs4_thread_matches_jobs1(self, registry, manpages,
+                                        serial_xml):
+        one = ProbeExecutor(Campaign(registry, manpages=manpages),
+                            jobs=1, backend="thread").run(NAMES)
+        four = ProbeExecutor(Campaign(registry, manpages=manpages),
+                             jobs=4, backend="thread").run(NAMES)
+        assert verdicts(four) == verdicts(one)
+        # stronger: reassembly makes even the bytes identical
+        assert campaign_to_xml(four) == campaign_to_xml(one) == serial_xml
+
+    def test_process_backend_matches_serial(self, registry, manpages,
+                                            serial_xml):
+        executor = ProbeExecutor(
+            Campaign(registry, manpages=manpages),
+            jobs=2, backend="process",
+            registry_factory=standard_registry,
+        )
+        assert campaign_to_xml(executor.run(NAMES)) == serial_xml
+
+    def test_skip_lists_match_serial(self, registry):
+        targets = ["strlen", "abort", "rand", "no_such_fn"]
+        serial = Campaign(registry).run(targets)
+        parallel = ProbeExecutor(Campaign(registry), jobs=4,
+                                 backend="thread").run(targets)
+        assert parallel.skipped == serial.skipped
+        assert campaign_to_xml(parallel) == campaign_to_xml(serial)
+
+
+class TestProbeCache:
+    def test_populate_then_full_hit(self, registry, manpages, serial_xml):
+        cache = ProbeCache.for_registry(registry)
+        first = ProbeExecutor(Campaign(registry, manpages=manpages),
+                              jobs=4, backend="thread", cache=cache)
+        first.run(NAMES)
+        assert first.stats.executed == first.stats.planned
+        assert len(cache) == first.stats.planned
+
+        second = ProbeExecutor(Campaign(registry, manpages=manpages),
+                               jobs=4, backend="thread", cache=cache)
+        result = second.run(NAMES)
+        assert second.stats.executed == 0
+        assert second.stats.cached == second.stats.planned
+        assert second.stats.cache_hit_rate == 1.0
+        assert campaign_to_xml(result) == serial_xml
+
+    def test_cache_xml_round_trip(self, registry, manpages):
+        cache = ProbeCache.for_registry(registry)
+        ProbeExecutor(Campaign(registry, manpages=manpages),
+                      cache=cache).run(["strcpy"])
+        reloaded = ProbeCache.from_xml(cache.to_xml())
+        assert reloaded.library == cache.library
+        assert reloaded.version == cache.version
+        assert reloaded.fingerprint == cache.fingerprint
+        assert reloaded.entries() == cache.entries()
+        assert reloaded.to_xml() == cache.to_xml()
+
+    def test_partial_cache_executes_only_delta(self, registry, manpages):
+        cache = ProbeCache.for_registry(registry)
+        ProbeExecutor(Campaign(registry, manpages=manpages),
+                      cache=cache).run(["strcpy", "strlen"])
+        executor = ProbeExecutor(Campaign(registry, manpages=manpages),
+                                 cache=cache)
+        executor.run(["strcpy", "strlen", "toupper"])
+        toupper_probes = len(
+            Campaign(registry, manpages=manpages).enumerate_probes("toupper")
+        )
+        assert executor.stats.executed == toupper_probes
+        assert executor.stats.cached == executor.stats.planned - \
+            toupper_probes
+
+    def test_fuel_is_part_of_the_key(self, registry, manpages):
+        cache = ProbeCache.for_registry(registry)
+        ProbeExecutor(Campaign(registry, manpages=manpages, fuel=100_000),
+                      cache=cache).run(["strlen"])
+        other_fuel = ProbeExecutor(
+            Campaign(registry, manpages=manpages, fuel=50_000), cache=cache
+        )
+        other_fuel.run(["strlen"])
+        assert other_fuel.stats.cached == 0  # different fuel, no reuse
+        assert other_fuel.stats.executed == other_fuel.stats.planned
+
+    def test_mismatched_release_not_resumed(self, tmp_path, registry):
+        stale = ProbeCache(registry.library_name, version="0.9-old")
+        path = tmp_path / "cache.xml"
+        stale.save(str(path))
+        loaded = ProbeCache.load_or_create(str(path), registry)
+        assert loaded.version == registry.version  # fresh, not the stale one
+
+    def test_fingerprint_drift_not_resumed(self, tmp_path, registry):
+        drifted = ProbeCache(registry.library_name, registry.version,
+                             fingerprint="feedfacefeedface")
+        path = tmp_path / "cache.xml"
+        drifted.save(str(path))
+        loaded = ProbeCache.load_or_create(str(path), registry)
+        assert loaded.fingerprint == registry.fingerprint()
+        assert len(loaded) == 0
+
+    def test_corrupt_cache_file_not_resumed(self, tmp_path, registry):
+        path = tmp_path / "cache.xml"
+        path.write_text("not xml at all <<<")
+        loaded = ProbeCache.load_or_create(str(path), registry)
+        assert loaded.version == registry.version
+        assert len(loaded) == 0
+        path.write_text("<wrong-root/>")  # parses, but not a cache document
+        loaded = ProbeCache.load_or_create(str(path), registry)
+        assert len(loaded) == 0
+
+    def test_setup_errors_cached(self, registry, manpages):
+        from repro.injection import CachedVerdict, Probe
+
+        cache = ProbeCache.for_registry(registry)
+        probe = Probe(function="fn", param_index=0, param_name="p",
+                      chain="c", value_label="v", max_rank=1)
+        cache.record(probe, 100, setup_error="fn/p/v: broke")
+        verdict = cache.lookup(probe, 100)
+        assert isinstance(verdict, CachedVerdict)
+        assert verdict.is_setup_error
+        reloaded = ProbeCache.from_xml(cache.to_xml())
+        assert reloaded.lookup(probe, 100).setup_error == "fn/p/v: broke"
+
+    def test_cache_reject_wrong_root(self):
+        with pytest.raises(ValueError):
+            ProbeCache.from_xml("<nope/>")
+
+
+class TestExecutorContract:
+    def test_unknown_backend_rejected(self, registry):
+        with pytest.raises(ValueError):
+            ProbeExecutor(Campaign(registry), backend="fiber")
+
+    def test_process_backend_needs_factory(self, registry):
+        with pytest.raises(ValueError):
+            ProbeExecutor(Campaign(registry), backend="process")
+
+    def test_process_backend_rejects_interposer(self, registry):
+        campaign = Campaign(registry,
+                            interposer=lambda fn: lambda proc, *a: 0)
+        with pytest.raises(ValueError):
+            ProbeExecutor(campaign, backend="process",
+                          registry_factory=standard_registry)
+
+    def test_observer_sees_every_probe_live(self, registry, manpages):
+        seen = []
+        campaign = Campaign(registry, manpages=manpages,
+                            observer=lambda probe, result:
+                            seen.append(probe))
+        executor = ProbeExecutor(campaign, jobs=4, backend="thread")
+        result = executor.run(["strcpy", "strlen"])
+        assert len(seen) == result.total_probes
+        # cached probes notify too: a resumed run reports the same stream
+        cache = ProbeCache.for_registry(registry)
+        seen.clear()
+        ProbeExecutor(campaign, cache=cache).run(["strcpy"])
+        executed_count = len(seen)
+        seen.clear()
+        ProbeExecutor(campaign, cache=cache).run(["strcpy"])
+        assert len(seen) == executed_count
+
+    def test_jobs_zero_means_all_cpus(self, registry):
+        executor = ProbeExecutor(Campaign(registry), jobs=0,
+                                 backend="thread")
+        assert executor.jobs == (os.cpu_count() or 1)
+
+
+class TestProgressObserver:
+    def test_progress_lines_and_summary(self, registry, manpages):
+        import io
+
+        from repro.reporting import CampaignProgress
+
+        stream = io.StringIO()
+        campaign = Campaign(registry, manpages=manpages)
+        total = len(campaign.enumerate_probes("strcpy"))
+        progress = CampaignProgress(total=total, every=5, stream=stream)
+        campaign.observer = progress
+        ProbeExecutor(campaign, jobs=2, backend="thread").run(["strcpy"])
+        assert progress.count == total
+        output = stream.getvalue()
+        assert "[campaign]" in output
+        assert f"{total}/{total}" in output
+        assert "probes" in progress.summary()
+
+
+class TestToolkitIntegration:
+    def test_run_fault_injection_parallel(self):
+        toolkit = Healers()
+        serial = toolkit.run_fault_injection(["strcpy", "abs"])
+        stats_serial = toolkit.campaign_stats
+        assert stats_serial.backend == "serial"
+        parallel = toolkit.run_fault_injection(["strcpy", "abs"], jobs=2,
+                                               backend="thread")
+        assert verdicts(parallel) == verdicts(serial)
+        assert toolkit.campaign_stats.jobs == 2
+
+    def test_run_fault_injection_cache_path(self, tmp_path):
+        toolkit = Healers()
+        path = str(tmp_path / "cache.xml")
+        toolkit.run_fault_injection(["strlen"], cache=path)
+        assert os.path.exists(path)
+        assert toolkit.campaign_stats.executed > 0
+        toolkit.run_fault_injection(["strlen"], cache=path, resume=True)
+        assert toolkit.campaign_stats.executed == 0
+        assert toolkit.campaign_stats.cache_hit_rate == 1.0
+
+    def test_derivation_consumes_merged_result(self, tmp_path, registry,
+                                               manpages):
+        from repro.robust import derive_api
+
+        toolkit = Healers()
+        path = str(tmp_path / "cache.xml")
+        fresh = toolkit.run_fault_injection(["strcpy"], cache=path)
+        direct = derive_api(fresh, registry, manpages)
+        merged = toolkit.run_fault_injection(["strcpy"], cache=path,
+                                             resume=True)
+        offline = derive_api(merged, registry, manpages)
+        for live, cached in zip(direct["strcpy"].params,
+                                offline["strcpy"].params):
+            assert live.robust_type == cached.robust_type
+            assert live.verdicts == cached.verdicts
+
+    def test_derivation_skips_unknown_functions(self, registry, manpages):
+        from repro.injection import CampaignResult, FunctionReport
+        from repro.robust import derive_api
+
+        toolkit = Healers()
+        result = toolkit.run_fault_injection(["strlen"])
+        stale = CampaignResult(library=result.library,
+                               reports=dict(result.reports))
+        stale.reports["gone_since_v2"] = FunctionReport(
+            function="gone_since_v2"
+        )
+        derived = derive_api(stale, registry, manpages)
+        assert "strlen" in derived
+        assert "gone_since_v2" not in derived
+
+
+class TestCampaignSettings:
+    def test_defaults_valid(self):
+        CampaignSettings().validate()
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            CampaignSettings(backend="fiber").validate()
+
+    def test_rejects_resume_without_cache(self):
+        with pytest.raises(ValueError):
+            CampaignSettings(resume=True).validate()
+
+    def test_effective_jobs(self):
+        assert CampaignSettings(jobs=3).effective_jobs() == 3
+        assert CampaignSettings(jobs=0).effective_jobs() == \
+            (os.cpu_count() or 1)
+
+    def test_deployment_round_trip(self):
+        config = DeploymentConfig(
+            campaign=CampaignSettings(jobs=8, backend="process",
+                                      cache_path="/var/cache.xml",
+                                      resume=True)
+        )
+        loaded = DeploymentConfig.from_xml(config.to_xml())
+        assert loaded.campaign == config.campaign
+
+    def test_deployment_default_settings_omitted(self):
+        xml = DeploymentConfig().to_xml()
+        assert "<campaign" not in xml
+        assert DeploymentConfig.from_xml(xml).campaign == CampaignSettings()
+
+
+class TestCliCampaign:
+    def test_campaign_then_resume(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        cache = str(tmp_path / "cache.xml")
+        store = str(tmp_path / "experiments.xml")
+        code = main(["campaign", "--functions", "strcpy,abs",
+                     "--jobs", "2", "--cache", cache, "--save", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out
+        assert os.path.exists(cache) and os.path.exists(store)
+
+        code = main(["campaign", "--functions", "strcpy,abs",
+                     "--jobs", "2", "--cache", cache, "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed" in out
+        assert "(100% hit rate)" in out
+
+    def test_inject_accepts_jobs(self, capsys):
+        from repro.cli.main import main
+
+        assert main(["inject", "--functions", "strlen",
+                     "--jobs", "2", "--backend", "thread"]) == 0
+        assert "probes" in capsys.readouterr().out

@@ -7,6 +7,7 @@ import threading
 import pytest
 
 from repro.collection import CollectionServer, submit_document
+from repro.collection.server import CollectionStore
 from repro.profiling import ProfileDocument
 from repro.wrappers.state import WrapperState
 
@@ -42,6 +43,114 @@ class TestConcurrentSubmission:
         assert len(server.store.applications()) == 12
         totals = server.store.aggregate_calls()
         assert totals["strcpy"] == sum(range(1, 13))
+
+
+class TestStoreConcurrency:
+    """The store must index N simultaneous submissions as exactly N docs."""
+
+    def test_concurrent_direct_submission(self):
+        store = CollectionStore()
+        n = 32
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def submitter(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)  # maximise interleaving
+                store.submit(make_document(f"app{index}", index + 1))
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submitter, args=(i,))
+                   for i in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(store) == n
+        # index integrity: every application present exactly once, every
+        # per-document call count intact (no lost or interleaved updates)
+        assert store.applications() == sorted(
+            {f"app{i}" for i in range(n)}
+        )
+        assert store.aggregate_calls()["strcpy"] == sum(range(1, n + 1))
+        for i in range(n):
+            docs = store.by_application(f"app{i}")
+            assert len(docs) == 1
+            assert docs[0].document.functions["strcpy"].calls == i + 1
+
+    def test_concurrent_submission_with_readers(self):
+        # writers race against index readers; readers must never see a
+        # torn store (they may see any prefix of the submissions)
+        store = CollectionStore()
+        n = 16
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    count = len(store)
+                    apps = store.applications()
+                    totals = store.aggregate_calls()
+                    assert len(apps) <= n
+                    assert sum(totals.values()) <= sum(range(1, n + 1))
+                    assert count <= n
+            except Exception as exc:
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        writers = [
+            threading.Thread(
+                target=lambda i=i: store.submit(
+                    make_document(f"app{i}", i + 1))
+            )
+            for i in range(n)
+        ]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=30)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(store) == n
+        assert len(store.applications()) == n
+
+    def test_server_many_parallel_clients(self):
+        # the network path under the same contention: N real sockets
+        n = 24
+        with CollectionServer() as server:
+            barrier = threading.Barrier(n)
+            errors = []
+
+            def client(index: int) -> None:
+                try:
+                    barrier.wait(timeout=10)
+                    assert submit_document(
+                        server.address,
+                        make_document(f"app{index}", index + 1),
+                        timeout=30,
+                    )
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert errors == []
+        assert len(server.store) == n
+        assert len(server.store.applications()) == n
+        assert server.store.aggregate_calls()["strcpy"] == sum(
+            range(1, n + 1)
+        )
 
 
 class TestProtocolAbuse:

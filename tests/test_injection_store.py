@@ -1,11 +1,23 @@
 """Tests for the experiments database (campaign persistence)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.injection import Campaign, campaign_from_xml, campaign_to_xml
+from repro.errors import Outcome
+from repro.injection import (
+    Campaign,
+    CampaignResult,
+    FunctionReport,
+    Probe,
+    ProbeRecord,
+    campaign_from_xml,
+    campaign_to_xml,
+)
 from repro.libc import standard_registry
 from repro.manpages import load_corpus
 from repro.robust import derive_api
+from repro.runtime import ProbeResult
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +77,120 @@ class TestRoundTrip:
         loaded = campaign_from_xml(campaign_to_xml(result))
         assert "synthetic: oh no" in loaded.reports["strcpy"].setup_errors
         result.reports["strcpy"].setup_errors.clear()
+
+
+# ----------------------------------------------------------------------
+# property-based round trips (random campaigns, unicode labels)
+# ----------------------------------------------------------------------
+
+#: any text XML 1.0 can carry in an attribute: no control characters
+#: (ElementTree refuses to serialise them) and no lone surrogates
+xml_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=24,
+)
+
+#: names that survive the whitespace-joined <skipped> encoding
+plain_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="_"),
+    min_size=1, max_size=12,
+)
+
+outcomes = st.sampled_from(list(Outcome))
+
+
+@st.composite
+def function_reports(draw, function: str) -> FunctionReport:
+    report = FunctionReport(function=function)
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        probe = Probe(
+            function=function,
+            param_index=draw(st.integers(min_value=0, max_value=7)),
+            param_name=draw(xml_text),
+            chain=draw(xml_text),
+            value_label=draw(xml_text),
+            max_rank=draw(st.integers(min_value=0, max_value=9)),
+        )
+        result = ProbeResult(
+            outcome=draw(outcomes),
+            errno=draw(st.integers(min_value=-(2 ** 31),
+                                   max_value=2 ** 31 - 1)),
+        )
+        report.records.append(ProbeRecord(probe=probe, result=result))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        report.setup_errors.append(draw(xml_text))
+    return report
+
+
+@st.composite
+def campaign_results(draw) -> CampaignResult:
+    result = CampaignResult(library=draw(xml_text))
+    names = draw(st.lists(plain_names, max_size=5, unique=True))
+    for name in names:
+        result.reports[name] = draw(function_reports(name))
+    result.skipped = draw(st.lists(plain_names, max_size=4))
+    return result
+
+
+def record_tuples(report: FunctionReport):
+    return [
+        (r.probe.function, r.probe.param_index, r.probe.param_name,
+         r.probe.chain, r.probe.value_label, r.probe.max_rank,
+         r.outcome, r.result.errno)
+        for r in report.records
+    ]
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(result=campaign_results())
+    def test_round_trip_preserves_everything(self, result):
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        assert loaded.library == result.library
+        assert set(loaded.reports) == set(result.reports)
+        for name, report in result.reports.items():
+            reloaded = loaded.reports[name]
+            assert record_tuples(reloaded) == record_tuples(report)
+            assert reloaded.setup_errors == report.setup_errors
+        assert loaded.skipped == result.skipped
+        assert loaded.total_probes == result.total_probes
+        assert loaded.total_failures == result.total_failures
+
+    @settings(max_examples=40, deadline=None)
+    @given(result=campaign_results())
+    def test_serialisation_is_deterministic(self, result):
+        # same result, same bytes — the store is safe to diff/cache
+        assert campaign_to_xml(result) == campaign_to_xml(result)
+        reloaded = campaign_from_xml(campaign_to_xml(result))
+        assert campaign_to_xml(reloaded) == campaign_to_xml(result)
+
+    def test_empty_campaign(self):
+        loaded = campaign_from_xml(campaign_to_xml(CampaignResult(library="")))
+        assert loaded.reports == {} and loaded.skipped == []
+
+    def test_empty_report_preserved(self):
+        result = CampaignResult(library="libc.so.6")
+        result.reports["lonely"] = FunctionReport(function="lonely")
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        assert loaded.reports["lonely"].records == []
+        assert loaded.reports["lonely"].setup_errors == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(label=xml_text, outcome=outcomes)
+    def test_unicode_value_labels_survive(self, label, outcome):
+        result = CampaignResult(library="libc.so.6")
+        report = FunctionReport(function="fn")
+        report.records.append(ProbeRecord(
+            probe=Probe(function="fn", param_index=0, param_name="p",
+                        chain="cstring_in", value_label=label, max_rank=1),
+            result=ProbeResult(outcome=outcome),
+        ))
+        result.reports["fn"] = report
+        loaded = campaign_from_xml(campaign_to_xml(result))
+        record = loaded.reports["fn"].records[0]
+        assert record.probe.value_label == label
+        assert record.outcome == outcome
 
 
 class TestCliIntegration:
