@@ -1,0 +1,207 @@
+"""Telemetry gate — bus overhead vs the old direct state mutation.
+
+The event-bus refactor moved the profiling hooks from in-place
+``WrapperState`` mutation to ``bus.emit`` of typed events.  This gate
+rebuilds the pre-refactor hooks verbatim (direct mutation, no bus) and
+asserts the per-call overhead of the bus path stays under 2x the direct
+path, so the pipeline's flexibility never silently costs the "low
+overhead during normal operations" claim.  The p50/p99 per-call numbers
+land in ``benchmarks/out/telemetry_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.runtime import Errno, SimProcess
+from repro.telemetry import MetricsSink
+from repro.wrappers import PROFILING, WrapperFactory
+from repro.wrappers.generators import (
+    CallCounterGen,
+    CallerGen,
+    CollectErrorsGen,
+    ExectimeGen,
+    FuncErrorsGen,
+    PrototypeGen,
+)
+from repro.wrappers.microgen import GeneratorRegistry, RuntimeHooks
+
+REPEATS = 3000
+ROUNDS = 5
+
+
+# ----------------------------------------------------------------------
+# the pre-refactor hooks, verbatim: direct WrapperState mutation
+# ----------------------------------------------------------------------
+
+class DirectCallCounterGen(CallCounterGen):
+    def runtime_hooks(self, unit) -> RuntimeHooks:
+        state = unit.state
+        name = unit.name
+
+        def count(frame) -> None:
+            state.calls[name] += 1
+
+        return RuntimeHooks(generator=self.name, prefix=count)
+
+
+class DirectExectimeGen(ExectimeGen):
+    def runtime_hooks(self, unit) -> RuntimeHooks:
+        state = unit.state
+        name = unit.name
+
+        def start(frame) -> None:
+            frame.scratch["exectime_start"] = time.perf_counter_ns()
+
+        def stop(frame) -> None:
+            started = frame.scratch.get("exectime_start")
+            if started is not None:
+                state.exectime_ns[name] += (
+                    time.perf_counter_ns() - started
+                )
+
+        return RuntimeHooks(generator=self.name, prefix=start, postfix=stop)
+
+
+class DirectCollectErrorsGen(CollectErrorsGen):
+    def runtime_hooks(self, unit) -> RuntimeHooks:
+        state = unit.state
+
+        def before(frame) -> None:
+            frame.scratch["collect_errors_err"] = frame.process.errno
+
+        def after(frame) -> None:
+            errno_now = frame.process.errno
+            if errno_now != frame.scratch.get("collect_errors_err"):
+                bucket = errno_now
+                if bucket < 0 or bucket >= Errno.MAX_ERRNO:
+                    bucket = Errno.MAX_ERRNO
+                state.global_errnos[bucket] += 1
+
+        return RuntimeHooks(generator=self.name, prefix=before,
+                            postfix=after)
+
+
+class DirectFuncErrorsGen(FuncErrorsGen):
+    def runtime_hooks(self, unit) -> RuntimeHooks:
+        from collections import Counter
+
+        state = unit.state
+        name = unit.name
+
+        def before(frame) -> None:
+            frame.scratch["func_error_err"] = frame.process.errno
+
+        def after(frame) -> None:
+            errno_now = frame.process.errno
+            if errno_now != frame.scratch.get("func_error_err"):
+                bucket = errno_now
+                if bucket < 0 or bucket >= Errno.MAX_ERRNO:
+                    bucket = Errno.MAX_ERRNO
+                state.func_errnos.setdefault(
+                    name, Counter())[bucket] += 1
+
+        return RuntimeHooks(generator=self.name, prefix=before,
+                            postfix=after)
+
+
+def legacy_registry() -> GeneratorRegistry:
+    registry = GeneratorRegistry()
+    for generator in (PrototypeGen(), CallerGen(), DirectCallCounterGen(),
+                      DirectExectimeGen(), DirectCollectErrorsGen(),
+                      DirectFuncErrorsGen()):
+        registry.register(generator)
+    return registry
+
+
+# ----------------------------------------------------------------------
+
+
+#: a near-free call, so the wrapper overhead dominates the measurement
+PROBE_FUNCTION = "toupper"
+PROBE_ARGS = (ord("a"),)
+
+
+def _profiling_linker(registry, api_document, generators=None):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    factory = WrapperFactory(registry, api_document, generators=generators)
+    built = factory.preload(linker, PROFILING, functions=[PROBE_FUNCTION])
+    return linker, built
+
+
+def _plain_linker(registry):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    return linker
+
+
+def _measure_interleaved(linkers) -> list:
+    """Best-of-rounds per-call cost of each linker, rounds interleaved
+    across the paths so machine-load drift hits all of them equally."""
+    proc = SimProcess()
+    symbols = [linker.resolve(PROBE_FUNCTION).symbol for linker in linkers]
+    best = [float("inf")] * len(symbols)
+    for _ in range(ROUNDS):
+        for which, symbol in enumerate(symbols):
+            start = time.perf_counter_ns()
+            for _ in range(REPEATS):
+                symbol(proc, *PROBE_ARGS)
+            best[which] = min(
+                best[which], (time.perf_counter_ns() - start) / REPEATS
+            )
+    return best
+
+
+def test_bus_overhead_under_2x_direct(registry, api_document, artifact):
+    direct_linker, direct_built = _profiling_linker(
+        registry, api_document, generators=legacy_registry())
+    bus_linker, bus_built = _profiling_linker(registry, api_document)
+    metrics = MetricsSink()
+    bus_built.bus.subscribe(metrics)
+
+    base_ns, direct_ns, bus_ns = _measure_interleaved(
+        [_plain_linker(registry), direct_linker, bus_linker])
+
+    # both paths observed the same calls (timing rounds included)
+    expected = ROUNDS * REPEATS
+    assert direct_built.state.calls[PROBE_FUNCTION] == expected
+    assert bus_built.state.calls[PROBE_FUNCTION] == expected
+    p50, p99 = metrics.exectime_quantiles(PROBE_FUNCTION)
+
+    direct_overhead = max(direct_ns - base_ns, 1.0)
+    bus_overhead = max(bus_ns - base_ns, 1.0)
+    ratio = bus_overhead / direct_overhead
+
+    rows = [
+        f"Telemetry bus overhead — profiling wrapper on {PROBE_FUNCTION}",
+        f"{'path':<22} {'per call':>12}",
+        f"{'unwrapped':<22} {base_ns:>10.0f}ns",
+        f"{'direct mutation':<22} {direct_ns:>10.0f}ns  "
+        f"(+{direct_overhead:.0f}ns)",
+        f"{'event bus':<22} {bus_ns:>10.0f}ns  (+{bus_overhead:.0f}ns)",
+        f"bus/direct overhead ratio: {ratio:.2f}x (gate: < 2.00x)",
+        "",
+        "wrapped-call exectime distribution (MetricsSink reservoir):",
+        f"  p50 {p50} ns   p99 {p99} ns "
+        f"({metrics.snapshot()['exectime'][PROBE_FUNCTION]['samples']}"
+        f" samples)",
+    ]
+    artifact("telemetry_overhead", "\n".join(rows))
+
+    assert ratio < 2.0, (
+        f"bus overhead {bus_overhead:.0f}ns is {ratio:.2f}x the direct "
+        f"mutation overhead {direct_overhead:.0f}ns"
+    )
+
+
+def test_emit_path_is_allocation_bounded(registry, api_document):
+    """The bus buffer never outgrows its capacity during a hot loop."""
+    linker, built = _profiling_linker(registry, api_document)
+    symbol = linker.resolve(PROBE_FUNCTION).symbol
+    proc = SimProcess()
+    for _ in range(5000):
+        symbol(proc, *PROBE_ARGS)
+    assert len(built.bus._buffer) < built.bus.capacity
+    assert built.state.calls[PROBE_FUNCTION] == 5000

@@ -33,6 +33,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="HEALERS toolkit (DSN'03 reproduction) over a "
                     "simulated C runtime",
     )
+    parser.add_argument(
+        "--telemetry", action="append", default=[], metavar="SINK",
+        help="attach a telemetry sink (repeatable): jsonl:PATH, "
+             "metrics, or collection:HOST:PORT; events from wrappers, "
+             "campaigns and shipped documents all flow through it",
+    )
+    parser.add_argument(
+        "--telemetry-batch", type=int, default=256, metavar="N",
+        help="events buffered per bus before an inline flush "
+             "(default 256)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-libs", help="list all libraries on the system")
@@ -72,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "probes not in the cache")
     campaign.add_argument("--progress", action="store_true",
                           help="print live progress while probing")
+    campaign.add_argument("--metrics", action="store_true",
+                          help="print the telemetry metrics summary "
+                               "after the sweep")
     _add_execution_args(campaign, default_jobs=0, default_backend="thread")
 
     derive = sub.add_parser("derive",
@@ -143,8 +157,18 @@ def _add_execution_args(parser, default_jobs: int = 1,
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     toolkit = Healers()
+    if args.telemetry:
+        from repro.core.config import TelemetrySettings
+
+        toolkit.configure_telemetry(
+            TelemetrySettings(sinks=args.telemetry,
+                              batch_size=args.telemetry_batch)
+        )
     handler = _HANDLERS[args.command]
-    return handler(toolkit, args)
+    try:
+        return handler(toolkit, args)
+    finally:
+        toolkit.close_telemetry()
 
 
 # ----------------------------------------------------------------------
@@ -228,7 +252,13 @@ def _cmd_campaign(toolkit: Healers, args) -> int:
     if args.progress:
         from repro.reporting import CampaignProgress
 
-        observer = CampaignProgress()
+        # progress is just another telemetry sink on the probe stream
+        toolkit.add_telemetry_sink(CampaignProgress())
+    metrics = toolkit.metrics_sink()
+    if args.metrics and metrics is None:
+        from repro.telemetry import MetricsSink
+
+        metrics = toolkit.add_telemetry_sink(MetricsSink())
     result = toolkit.run_fault_injection(
         _functions_arg(args),
         jobs=args.jobs,
@@ -249,6 +279,9 @@ def _cmd_campaign(toolkit: Healers, args) -> int:
         if args.cache:
             print(f"cache: {args.cache} "
                   f"({stats.cache_hit_rate:.0%} hit rate)")
+    if args.metrics and metrics is not None:
+        toolkit.telemetry.flush()
+        print(metrics.describe())
     _print_campaign_summary(result)
     return 0
 

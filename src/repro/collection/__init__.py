@@ -1,15 +1,23 @@
 """Central collection of wrapper-emitted XML documents."""
 
 from repro.collection.server import (
+    BATCH_MAGIC,
+    MAX_BATCH_DOCUMENTS,
+    MAX_DOCUMENT_BYTES,
     CollectionServer,
     CollectionStore,
     StoredDocument,
     submit_document,
+    submit_documents,
 )
 
 __all__ = [
+    "BATCH_MAGIC",
     "CollectionServer",
     "CollectionStore",
+    "MAX_BATCH_DOCUMENTS",
+    "MAX_DOCUMENT_BYTES",
     "StoredDocument",
     "submit_document",
+    "submit_documents",
 ]

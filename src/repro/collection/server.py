@@ -4,12 +4,22 @@
 send the gathered information to a central server. … Such information is
 then stored for later processing."
 
-The server speaks a minimal length-prefixed protocol over TCP (4-byte
-big-endian length, then the UTF-8 XML document) and files every document
-into a :class:`CollectionStore`, extracting — as the paper describes —
-which functions were wrapped and what kinds of information were
-collected.  An in-process store is also usable directly for tests and
-single-machine runs.
+The server speaks a minimal length-prefixed protocol over TCP and files
+every document into a :class:`CollectionStore`, extracting — as the
+paper describes — which functions were wrapped and what kinds of
+information were collected.  Two frame types share the wire:
+
+* **single** — 4-byte big-endian length, then the UTF-8 XML document
+  (the original one-document-per-connection form);
+* **batch**  — the 4-byte magic ``HBAT``, a 4-byte document count, then
+  that many length-prefixed documents.  One connection ships a whole
+  fleet's worth of documents; the batch is validated atomically and
+  acknowledged with ``OK <count>``.
+
+Oversized or malformed frames are answered with an ``ERR`` protocol
+response (after draining the declared payload, so well-behaved clients
+read the error instead of a connection reset).  An in-process store is
+also usable directly for tests and single-machine runs.
 """
 
 from __future__ import annotations
@@ -23,6 +33,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.profiling.xmllog import ProfileDocument
 
 MAX_DOCUMENT_BYTES = 16 * 1024 * 1024
+#: documents one batch frame may carry
+MAX_BATCH_DOCUMENTS = 4096
+#: the batch-frame magic; as a big-endian length it exceeds any
+#: permitted document size, so pre-batch servers reject it cleanly
+BATCH_MAGIC = b"HBAT"
 
 
 @dataclass
@@ -44,16 +59,27 @@ class CollectionStore:
 
     def submit(self, xml_text: str) -> StoredDocument:
         """Parse, index and keep one document (raises on malformed XML)."""
+        stored = self._parse(xml_text)
+        with self._lock:
+            self.documents.append(stored)
+        return stored
+
+    def submit_many(self, xml_texts: List[str]) -> List[StoredDocument]:
+        """Atomically store a batch: all parse first, then all land."""
+        parsed = [self._parse(text) for text in xml_texts]
+        with self._lock:
+            self.documents.extend(parsed)
+        return parsed
+
+    @staticmethod
+    def _parse(xml_text: str) -> StoredDocument:
         document = ProfileDocument.from_xml(xml_text)
-        stored = StoredDocument(
+        return StoredDocument(
             raw_xml=xml_text,
             document=document,
             wrapped_functions=sorted(document.functions),
             kinds=document.collected_kinds(),
         )
-        with self._lock:
-            self.documents.append(stored)
-        return stored
 
     def __len__(self) -> int:
         with self._lock:
@@ -94,8 +120,12 @@ class CollectionServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  store: Optional[CollectionStore] = None,
-                 backlog: int = 64):
+                 backlog: int = 64,
+                 max_document_bytes: int = MAX_DOCUMENT_BYTES,
+                 max_batch_documents: int = MAX_BATCH_DOCUMENTS):
         self.store = store if store is not None else CollectionStore()
+        self.max_document_bytes = max_document_bytes
+        self.max_batch_documents = max_batch_documents
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((host, port))
@@ -157,10 +187,12 @@ class CollectionServer:
     def _handle(self, connection: socket.socket) -> None:
         connection.settimeout(5)
         header = self._read_exactly(connection, 4)
+        if header == BATCH_MAGIC:
+            self._handle_batch(connection)
+            return
         (length,) = struct.unpack(">I", header)
-        if length > MAX_DOCUMENT_BYTES:
-            connection.sendall(b"ERR too large\n")
-            raise ValueError(f"document of {length} bytes rejected")
+        if length > self.max_document_bytes:
+            self._reject_oversized(connection, length)
         payload = self._read_exactly(connection, length)
         try:
             self.store.submit(payload.decode("utf-8"))
@@ -168,6 +200,52 @@ class CollectionServer:
             connection.sendall(b"ERR malformed\n")
             raise ValueError(f"malformed document: {exc}") from exc
         connection.sendall(b"OK\n")
+
+    def _handle_batch(self, connection: socket.socket) -> None:
+        (count,) = struct.unpack(">I", self._read_exactly(connection, 4))
+        if count > self.max_batch_documents:
+            connection.sendall(b"ERR batch too large\n")
+            raise ValueError(f"batch of {count} documents rejected")
+        documents: List[str] = []
+        for _ in range(count):
+            header = self._read_exactly(connection, 4)
+            (length,) = struct.unpack(">I", header)
+            if length > self.max_document_bytes:
+                self._reject_oversized(connection, length)
+            payload = self._read_exactly(connection, length)
+            documents.append(payload.decode("utf-8"))
+        try:
+            self.store.submit_many(documents)
+        except Exception as exc:
+            connection.sendall(b"ERR malformed\n")
+            raise ValueError(f"malformed batch: {exc}") from exc
+        connection.sendall(b"OK %d\n" % count)
+
+    def _reject_oversized(self, connection: socket.socket,
+                          length: int) -> None:
+        """Answer an oversized frame with a protocol error, not a reset.
+
+        The error line goes out immediately (a waiting client reads it
+        at once); the declared payload is then drained and discarded so
+        a client mid-``sendall`` completes its write too — closing with
+        unread bytes in the receive buffer would turn into an RST on
+        the client side instead of a readable protocol error.
+        """
+        connection.sendall(b"ERR too large\n")
+        self._discard(connection, length)
+        raise ValueError(f"document of {length} bytes rejected")
+
+    @staticmethod
+    def _discard(connection: socket.socket, count: int) -> None:
+        remaining = count
+        try:
+            while remaining > 0:
+                data = connection.recv(min(65536, remaining))
+                if not data:
+                    return
+                remaining -= len(data)
+        except OSError:
+            return  # slow or vanished sender: reply with what we can
 
     @staticmethod
     def _read_exactly(connection: socket.socket, count: int) -> bytes:
@@ -189,3 +267,23 @@ def submit_document(address: Tuple[str, int], xml_text: str,
         connection.sendall(payload)
         reply = connection.recv(16)
     return reply.startswith(b"OK")
+
+
+def submit_documents(address: Tuple[str, int], xml_texts: List[str],
+                     timeout: float = 5.0) -> bool:
+    """Client side: ship a whole batch in one ``HBAT`` frame.
+
+    True when the server acknowledged every document in the batch.
+    """
+    if not xml_texts:
+        return True
+    frame = bytearray(BATCH_MAGIC)
+    frame += struct.pack(">I", len(xml_texts))
+    for text in xml_texts:
+        payload = text.encode("utf-8")
+        frame += struct.pack(">I", len(payload))
+        frame += payload
+    with socket.create_connection(address, timeout=timeout) as connection:
+        connection.sendall(bytes(frame))
+        reply = connection.recv(32)
+    return reply.startswith(b"OK %d" % len(xml_texts))

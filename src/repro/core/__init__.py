@@ -1,12 +1,19 @@
 """The HEALERS toolkit facade."""
 
-from repro.core.config import AppPolicy, DeploymentConfig
+from repro.core.config import (
+    AppPolicy,
+    CampaignSettings,
+    DeploymentConfig,
+    TelemetrySettings,
+)
 from repro.core.toolkit import ApplicationScan, Healers, LibraryScan
 
 __all__ = [
     "AppPolicy",
     "ApplicationScan",
+    "CampaignSettings",
     "DeploymentConfig",
     "Healers",
     "LibraryScan",
+    "TelemetrySettings",
 ]

@@ -97,6 +97,114 @@ class CampaignSettings:
         return node
 
 
+#: sink kinds TelemetrySettings can instantiate
+TELEMETRY_SINK_KINDS = ("jsonl", "metrics", "collection")
+
+
+@dataclass
+class TelemetrySettings:
+    """How wrapper/campaign telemetry flows on this deployment.
+
+    Each sink spec is ``kind`` or ``kind:argument``:
+
+    * ``jsonl:PATH``            — append one JSON object per event;
+    * ``metrics``               — in-process counters and p50/p99;
+    * ``collection:HOST:PORT``  — batched, retrying shipment of profile
+      documents to the collection server.
+
+    .. code-block:: xml
+
+        <telemetry sinks="jsonl:/var/log/healers.jsonl,metrics"
+                   batch-size="256" flush-interval="0.5"/>
+    """
+
+    sinks: List[str] = field(default_factory=list)
+    #: events buffered per bus before an inline flush
+    batch_size: int = 256
+    #: seconds between shipper drains (collection sink only)
+    flush_interval: float = 0.5
+
+    def validate(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(
+                f"telemetry batch size must be >= 1, got {self.batch_size}"
+            )
+        if self.flush_interval <= 0:
+            raise ValueError(
+                f"telemetry flush interval must be > 0, "
+                f"got {self.flush_interval}"
+            )
+        for spec in self.sinks:
+            kind, _, argument = spec.partition(":")
+            if kind not in TELEMETRY_SINK_KINDS:
+                raise ValueError(
+                    f"unknown telemetry sink {kind!r}; "
+                    f"known: {', '.join(TELEMETRY_SINK_KINDS)}"
+                )
+            if kind == "jsonl" and not argument:
+                raise ValueError("jsonl sink requires a path: jsonl:PATH")
+            if kind == "collection":
+                host, _, port = argument.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ValueError(
+                        "collection sink requires collection:HOST:PORT"
+                    )
+
+    # ------------------------------------------------------------------
+    # sink construction (imports stay lazy: config is import-light)
+    # ------------------------------------------------------------------
+
+    def build_sinks(self) -> list:
+        """Instantiate the configured sinks (order preserved)."""
+        from repro.telemetry import CollectionSink, JsonlSink, MetricsSink
+
+        built = []
+        for spec in self.sinks:
+            kind, _, argument = spec.partition(":")
+            if kind == "jsonl":
+                built.append(JsonlSink(argument))
+            elif kind == "metrics":
+                built.append(MetricsSink())
+            elif kind == "collection":
+                host, _, port = argument.rpartition(":")
+                built.append(
+                    CollectionSink((host, int(port)),
+                                   flush_interval=self.flush_interval)
+                )
+        return built
+
+    def build_bus(self, extra_sinks=()) -> "object":
+        """An :class:`~repro.telemetry.EventBus` over the built sinks."""
+        from repro.telemetry import EventBus
+
+        return EventBus(capacity=self.batch_size,
+                        sinks=[*self.build_sinks(), *extra_sinks])
+
+    # ------------------------------------------------------------------
+    # XML round trip (an element of the deployment file)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_node(cls, node: ET.Element) -> "TelemetrySettings":
+        settings = cls(
+            sinks=[spec.strip()
+                   for spec in node.get("sinks", "").split(",")
+                   if spec.strip()],
+            batch_size=int(node.get("batch-size", "256")),
+            flush_interval=float(node.get("flush-interval", "0.5")),
+        )
+        settings.validate()
+        return settings
+
+    def to_node(self, parent: ET.Element) -> ET.Element:
+        node = ET.SubElement(parent, "telemetry",
+                             {"batch-size": str(self.batch_size),
+                              "flush-interval": str(self.flush_interval)})
+        if self.sinks:
+            node.set("sinks", ",".join(self.sinks))
+        return node
+
+
 @dataclass
 class AppPolicy:
     """Wrapper selection for one application (or the default)."""
@@ -123,6 +231,8 @@ class DeploymentConfig:
     default: Optional[AppPolicy] = None
     #: how injection campaigns run on this deployment
     campaign: CampaignSettings = field(default_factory=CampaignSettings)
+    #: where wrapper/campaign telemetry flows on this deployment
+    telemetry: TelemetrySettings = field(default_factory=TelemetrySettings)
 
     def policy_for(self, path: str) -> Optional[AppPolicy]:
         """The policy governing an application path (explicit or default)."""
@@ -150,6 +260,9 @@ class DeploymentConfig:
         campaign_node = root.find("campaign")
         if campaign_node is not None:
             config.campaign = CampaignSettings.from_node(campaign_node)
+        telemetry_node = root.find("telemetry")
+        if telemetry_node is not None:
+            config.telemetry = TelemetrySettings.from_node(telemetry_node)
         return config
 
     def to_xml(self) -> str:
@@ -167,6 +280,8 @@ class DeploymentConfig:
                 node.set("functions", ",".join(self.default.functions))
         if self.campaign != CampaignSettings():
             self.campaign.to_node(root)
+        if self.telemetry != TelemetrySettings():
+            self.telemetry.to_node(root)
         ET.indent(root)
         return ET.tostring(root, encoding="unicode", xml_declaration=True)
 

@@ -39,6 +39,7 @@ from repro.profiling import ProfileDocument
 from repro.robust import RobustAPIDocument, derive_api
 from repro.robust.derivation import FunctionDerivation
 from repro.security.policy import SecurityPolicy
+from repro.telemetry import DocumentReady, EventBus, MetricsSink, Sink
 from repro.wrappers import (
     BuiltWrapper,
     PRESETS,
@@ -95,6 +96,7 @@ class Healers:
         registry: Optional[LibcRegistry] = None,
         manpages: Optional[Dict[str, ManPage]] = None,
         security_policy: Optional[SecurityPolicy] = None,
+        telemetry=None,
     ):
         #: whether the registry is the stock libc (then process-pool
         #: campaign workers can rebuild it from the module-level factory)
@@ -121,6 +123,54 @@ class Healers:
         self.campaign_result: Optional[CampaignResult] = None
         #: execution accounting of the most recent campaign
         self.campaign_stats: Optional[CampaignStats] = None
+        #: the toolkit-level telemetry pipeline: every wrapper library
+        #: built here and every campaign emits into this bus (plus the
+        #: per-library StateSink that keeps Fig. 5 intact)
+        self.telemetry_settings = None
+        self.telemetry_sinks: List[Sink] = []
+        self.telemetry: EventBus = EventBus()
+        if telemetry is not None:
+            self.configure_telemetry(telemetry)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def configure_telemetry(self, settings) -> EventBus:
+        """Install a :class:`~repro.core.config.TelemetrySettings`.
+
+        Rebuilds the toolkit bus over the configured sinks; wrapper
+        libraries built afterwards share those sinks (each keeps its own
+        ``StateSink``).  Accepts a live :class:`EventBus` as well.
+        """
+        if isinstance(settings, EventBus):
+            self.telemetry_settings = None
+            self.telemetry = settings
+            self.telemetry_sinks = settings.sinks
+            return settings
+        settings.validate()
+        self.telemetry_settings = settings
+        self.telemetry_sinks = settings.build_sinks()
+        self.telemetry = EventBus(capacity=settings.batch_size,
+                                  sinks=self.telemetry_sinks)
+        return self.telemetry
+
+    def add_telemetry_sink(self, sink: Sink) -> Sink:
+        """Attach one more sink to the toolkit pipeline."""
+        self.telemetry_sinks.append(sink)
+        self.telemetry.subscribe(sink)
+        return sink
+
+    def metrics_sink(self) -> Optional[MetricsSink]:
+        """The first configured MetricsSink, if any."""
+        for sink in self.telemetry_sinks:
+            if isinstance(sink, MetricsSink):
+                return sink
+        return None
+
+    def close_telemetry(self) -> None:
+        """Flush and close the toolkit bus and every attached sink."""
+        self.telemetry.close()
 
     # ------------------------------------------------------------------
     # demo 3.1: library scanning
@@ -263,11 +313,13 @@ class Healers:
             cache=probe_cache,
             registry_factory=(standard_registry
                               if self._registry_is_standard else None),
+            bus=self.telemetry,
         )
         self.campaign_result = executor.run(functions)
         self.campaign_stats = executor.stats
         if cache_path and probe_cache is not None:
             probe_cache.save(cache_path)
+        self.telemetry.flush()
         return self.campaign_result
 
     def derive_robust_api(
@@ -318,9 +370,17 @@ class Healers:
         wrapper: "str | WrapperSpec",
         functions: Optional[Sequence[str]] = None,
     ) -> BuiltWrapper:
-        """Build a wrapper library (not yet preloaded)."""
+        """Build a wrapper library (not yet preloaded).
+
+        The library's bus carries its own ``StateSink`` plus whatever
+        sinks :meth:`configure_telemetry` installed, so one JSONL trace
+        or metrics view spans every wrapper the toolkit builds.
+        """
+        capacity = (self.telemetry_settings.batch_size
+                    if self.telemetry_settings is not None else 256)
         return self._factory().build_library(
-            self.linker, self.resolve_spec(wrapper), functions=functions
+            self.linker, self.resolve_spec(wrapper), functions=functions,
+            sinks=self.telemetry_sinks, bus_capacity=capacity,
         )
 
     def preload(
@@ -374,6 +434,12 @@ class Healers:
             wrapper_type=built.spec.name,
             library=self.registry.library_name,
         )
+        # the rendered document enters the pipeline too, so a configured
+        # CollectionSink ships it (batched) without any extra plumbing
+        self.telemetry.emit(
+            DocumentReady(application=app.name, xml=document.to_xml())
+        )
+        self.telemetry.flush()
         return result, document
 
     def run(self, app: SimApp, **kwargs) -> AppResult:

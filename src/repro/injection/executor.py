@@ -48,6 +48,7 @@ from repro.injection.campaign import (
 )
 from repro.libc.registry import LibcRegistry
 from repro.runtime import ProbeResult
+from repro.telemetry import EventBus, ProbeEvent
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -142,6 +143,7 @@ class ProbeExecutor:
         backend: str = "serial",
         cache: Optional[ProbeCache] = None,
         registry_factory: Optional[Callable[[], LibcRegistry]] = None,
+        bus: Optional[EventBus] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -164,6 +166,9 @@ class ProbeExecutor:
         self.backend = backend
         self.cache = cache
         self.registry_factory = registry_factory
+        #: telemetry bus receiving one ProbeEvent per verdict (cached
+        #: included) — progress displays and metrics are just sinks
+        self.bus = bus
         self.stats = CampaignStats()
 
     # ------------------------------------------------------------------
@@ -228,7 +233,7 @@ class ProbeExecutor:
                     (probe.param_index, probe.value_label)
                 ] = execution
                 self.stats.cached += 1
-                self._notify(execution)
+                self._notify(execution, cached=True)
             if misses:
                 units.append((name, tuple(misses)))
         return cached, units
@@ -321,10 +326,26 @@ class ProbeExecutor:
             self._notify(execution)
         return batch
 
-    def _notify(self, execution: ProbeExecution) -> None:
+    def _notify(self, execution: ProbeExecution,
+                cached: bool = False) -> None:
+        if execution.result is None:
+            return
         observer = self.campaign.observer
-        if observer is not None and execution.result is not None:
+        if observer is not None:
             observer(execution.probe, execution.result)
+        if self.bus is not None:
+            probe = execution.probe
+            outcome = execution.result.outcome
+            self.bus.emit(
+                ProbeEvent(
+                    function=probe.function,
+                    param=probe.param_name,
+                    value_label=probe.value_label,
+                    outcome=outcome.name,
+                    failed=outcome.is_robustness_failure,
+                    cached=cached,
+                )
+            )
 
     @staticmethod
     def _index(

@@ -65,21 +65,44 @@ def render_errno_distribution(document: ProfileDocument) -> str:
 
 
 def render_containment(document: ProfileDocument, limit: int = 10) -> str:
-    """Robustness violations and security events, if any were contained."""
+    """Robustness violations and security events, if any were contained.
+
+    Violations are summarised per (function, check) with counts — the
+    same grouping the robust-API derivation works from — then the first
+    ``limit`` individual records follow with their triggered check, and
+    truncation is always explicit.
+    """
     lines: List[str] = []
     if document.violations:
         lines.append(f"Contained robustness violations "
                      f"({len(document.violations)})")
+        grouped: dict = {}
+        for violation in document.violations:
+            key = (violation.function, violation.check)
+            grouped[key] = grouped.get(key, 0) + 1
+        for (function, check), count in sorted(
+            grouped.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"  {count:>4}x {function} [{check}]")
         for violation in document.violations[:limit]:
             lines.append(
-                f"  {violation.function}({violation.param}): "
-                f"{violation.detail}"
+                f"  {violation.function}({violation.param}) "
+                f"[{violation.check}]: {violation.detail}"
             )
+        remaining = len(document.violations) - limit
+        if remaining > 0:
+            lines.append(f"  … and {remaining} more violations")
     if document.security_events:
-        lines.append(f"Security events ({len(document.security_events)})")
+        terminated = sum(1 for e in document.security_events
+                         if e.terminated)
+        lines.append(f"Security events ({len(document.security_events)}, "
+                     f"{terminated} terminated the program)")
         for event in document.security_events[:limit]:
             action = "terminated" if event.terminated else "blocked"
             lines.append(f"  {event.function}: {event.reason} [{action}]")
+        remaining = len(document.security_events) - limit
+        if remaining > 0:
+            lines.append(f"  … and {remaining} more security events")
     if not lines:
         lines.append("No violations or security events.")
     return "\n".join(lines)

@@ -71,6 +71,22 @@ class ProfileDocument:
         document.security_events = list(state.security_events)
         return document
 
+    @classmethod
+    def from_events(cls, events, application: str, wrapper_type: str,
+                    library: str = "libc.so.6") -> "ProfileDocument":
+        """Build a document straight from a telemetry event stream.
+
+        Replays the events through a
+        :class:`~repro.telemetry.StateSink`, so the rendered XML is
+        identical to a live wrapper run emitting the same events.
+        """
+        from repro.telemetry import StateSink
+
+        sink = StateSink()
+        sink.handle_batch(list(events))
+        return cls.from_state(sink.state, application=application,
+                              wrapper_type=wrapper_type, library=library)
+
     # ------------------------------------------------------------------
     # derived views (what the Fig. 5 report shows)
     # ------------------------------------------------------------------

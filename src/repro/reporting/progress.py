@@ -23,6 +23,11 @@ class CampaignProgress:
     Counter updates are lock-protected so the observer also works when a
     caller fires it from multiple threads (the stock executor notifies
     from one thread).
+
+    It is also a telemetry sink: subscribed to an
+    :class:`~repro.telemetry.EventBus`, :meth:`handle_batch` consumes
+    the executor's ``ProbeEvent`` stream — progress display is just one
+    more consumer of the unified pipeline.
     """
 
     def __init__(self, total: int = 0, every: int = 100,
@@ -37,11 +42,23 @@ class CampaignProgress:
         self._lock = threading.Lock()
 
     def __call__(self, probe: Probe, result: ProbeResult) -> None:
+        self._advance(probe.function, result.outcome.is_robustness_failure)
+
+    def handle_batch(self, events) -> None:
+        """Telemetry-sink side: consume ``ProbeEvent`` batches."""
+        for event in events:
+            if event.kind == "probe":
+                self._advance(event.function, event.failed)
+
+    def close(self) -> None:
+        """Sink protocol: nothing buffered here."""
+
+    def _advance(self, function: str, failed: bool) -> None:
         with self._lock:
             self.count += 1
-            if result.outcome.is_robustness_failure:
+            if failed:
                 self.failures += 1
-            self._last_function = probe.function
+            self._last_function = function
             due = self.count % self.every == 0 or self.count == self.total
             line = self._line() if due else None
         if line is not None:

@@ -36,6 +36,7 @@ from repro.security.policy import (
     WRITE_ROLES,
     SecurityPolicy,
 )
+from repro.telemetry import SecurityEvent
 from repro.wrappers.generators import error_return_value
 from repro.wrappers.microgen import (
     CallFrame,
@@ -44,7 +45,6 @@ from repro.wrappers.microgen import (
     RuntimeHooks,
     WrapperUnit,
 )
-from repro.wrappers.state import SecurityEvent
 
 
 class HeapGuardGen(MicroGenerator):
@@ -88,7 +88,11 @@ class HeapGuardGen(MicroGenerator):
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
         policy = self.policy
+        # the size table is the guard's own operational state — it is
+        # read back within the same call (safe gets, frees), so it stays
+        # a direct mutation; only observations go through the bus
         state = unit.state
+        emit = unit.bus.emit
         name = unit.name
         decl = unit.decl
         checker = (
@@ -100,7 +104,7 @@ class HeapGuardGen(MicroGenerator):
         )
 
         def violation_found(frame: CallFrame, reason: str) -> None:
-            state.security_events.append(
+            emit(
                 SecurityEvent(function=name, reason=reason,
                               terminated=policy.terminate)
             )
@@ -124,7 +128,7 @@ class HeapGuardGen(MicroGenerator):
             if name in DEALLOCATING and frame.args:
                 state.size_table.pop(frame.args[0], None)
             if policy.safe_gets and name == "gets":
-                _safe_gets(frame, state, violation_found)
+                _safe_gets(frame, state, emit, violation_found)
                 return
             if policy.reject_percent_n and decl is not None:
                 detail = _percent_n_check(proc, decl, frame)
@@ -229,7 +233,7 @@ def _allocation_size(name: str, frame: CallFrame) -> Optional[int]:
     return None
 
 
-def _safe_gets(frame: CallFrame, state, violation_found) -> None:
+def _safe_gets(frame: CallFrame, state, emit, violation_found) -> None:
     """Replace gets() with a read bounded by the destination's capacity.
 
     Uses the wrapper's own size table first (a heap destination), then the
@@ -266,7 +270,7 @@ def _safe_gets(frame: CallFrame, state, violation_found) -> None:
         return
     proc.space.write(cursor, b"\x00")
     if discarded:
-        state.security_events.append(
+        emit(
             SecurityEvent(function="gets",
                           reason=f"input truncated to {capacity - 1} bytes",
                           terminated=False)

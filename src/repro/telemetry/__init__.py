@@ -1,0 +1,50 @@
+"""One observability layer for every HEALERS subsystem.
+
+The paper's wrappers "send the gathered information to a central server
+… in form of a self-describing XML document" (Sec. 2, Fig. 5).  This
+package is the reproduction's single pipeline for that flow: typed
+events (:mod:`repro.telemetry.events`), a lock-cheap bounded
+:class:`EventBus` (:mod:`repro.telemetry.bus`), and pluggable sinks
+(:mod:`repro.telemetry.sinks`) — so the wrapper runtime, the security
+guard, the injection engine and the collection shipper all emit into
+one event contract instead of private side channels.
+"""
+
+from repro.telemetry.bus import EventBus, Sink
+from repro.telemetry.events import (
+    CallEvent,
+    CallLogEvent,
+    DocumentReady,
+    DocumentShipped,
+    ErrnoEvent,
+    ExectimeEvent,
+    ProbeEvent,
+    SecurityEvent,
+    TelemetryEvent,
+    ViolationEvent,
+)
+from repro.telemetry.sinks import (
+    CollectionSink,
+    JsonlSink,
+    MetricsSink,
+    StateSink,
+)
+
+__all__ = [
+    "CallEvent",
+    "CallLogEvent",
+    "CollectionSink",
+    "DocumentReady",
+    "DocumentShipped",
+    "ErrnoEvent",
+    "EventBus",
+    "ExectimeEvent",
+    "JsonlSink",
+    "MetricsSink",
+    "ProbeEvent",
+    "SecurityEvent",
+    "Sink",
+    "StateSink",
+    "TelemetryEvent",
+    "ViolationEvent",
+]

@@ -1,0 +1,160 @@
+"""The typed event model: one contract for every emitting layer.
+
+Each event is a small ``__slots__`` record with a stable ``kind`` tag,
+so sinks can dispatch without ``isinstance`` chains and the JSONL sink
+can serialise any event the same way.  Events on the wrapper hot path
+(:class:`CallEvent`, :class:`ExectimeEvent`, :class:`ErrnoEvent`) keep
+hand-written ``__init__`` bodies — dataclass machinery would double the
+per-call construction cost the overhead gate budgets for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+
+class TelemetryEvent:
+    """Base class: a tagged record every sink understands."""
+
+    __slots__ = ()
+
+    #: stable wire tag (JSONL ``kind`` field)
+    kind: str = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for name in self.__slots__:  # type: ignore[attr-defined]
+            payload[name] = getattr(self, name)
+        return payload
+
+    def __repr__(self) -> str:  # uniform debugging form
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self.__slots__  # type: ignore[attr-defined]
+        )
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__  # type: ignore[attr-defined]
+        )
+
+
+class CallEvent(TelemetryEvent):
+    """One wrapped call entered (Fig. 3's call counter)."""
+
+    __slots__ = ("function",)
+    kind = "call"
+
+    def __init__(self, function: str):
+        self.function = function
+
+
+class ExectimeEvent(TelemetryEvent):
+    """One wrapped call's measured duration (Fig. 3's rdtsc pair)."""
+
+    __slots__ = ("function", "elapsed_ns")
+    kind = "exectime"
+
+    def __init__(self, function: str, elapsed_ns: int):
+        self.function = function
+        self.elapsed_ns = elapsed_ns
+
+
+class ErrnoEvent(TelemetryEvent):
+    """One observed errno change, already clamped to the MAX_ERRNO guard.
+
+    ``scope`` is ``"global"`` for the collect-errors feature and
+    ``"function"`` for the func-errors feature, mirroring the two
+    separate counter arrays of the generated C.
+    """
+
+    __slots__ = ("function", "errno_value", "scope")
+    kind = "errno"
+
+    def __init__(self, function: str, errno_value: int,
+                 scope: str = "global"):
+        self.function = function
+        self.errno_value = errno_value
+        self.scope = scope
+
+
+class ViolationEvent(TelemetryEvent):
+    """One contained robustness violation (arg-check refusal)."""
+
+    __slots__ = ("function", "param", "check", "detail")
+    kind = "violation"
+
+    def __init__(self, function: str, param: str, check: str, detail: str):
+        self.function = function
+        self.param = param
+        self.check = check
+        self.detail = detail
+
+
+class SecurityEvent(TelemetryEvent):
+    """One blocked security-relevant operation (heap guard)."""
+
+    __slots__ = ("function", "reason", "terminated")
+    kind = "security"
+
+    def __init__(self, function: str, reason: str, terminated: bool):
+        self.function = function
+        self.reason = reason
+        self.terminated = terminated
+
+
+class CallLogEvent(TelemetryEvent):
+    """One (function, argument vector) record from the logging wrapper."""
+
+    __slots__ = ("function", "args")
+    kind = "call-log"
+
+    def __init__(self, function: str, args: Tuple[Any, ...]):
+        self.function = function
+        self.args = args
+
+
+class ProbeEvent(TelemetryEvent):
+    """One fault-injection probe verdict from the campaign engine."""
+
+    __slots__ = ("function", "param", "value_label", "outcome", "failed",
+                 "cached")
+    kind = "probe"
+
+    def __init__(self, function: str, param: str, value_label: str,
+                 outcome: str, failed: bool, cached: bool = False):
+        self.function = function
+        self.param = param
+        self.value_label = value_label
+        self.outcome = outcome
+        self.failed = failed
+        self.cached = cached
+
+
+class DocumentReady(TelemetryEvent):
+    """A rendered profile document awaiting shipment to the collector."""
+
+    __slots__ = ("application", "xml")
+    kind = "document-ready"
+
+    def __init__(self, application: str, xml: str):
+        self.application = application
+        self.xml = xml
+
+
+class DocumentShipped(TelemetryEvent):
+    """One batched frame acknowledged (or abandoned) by the collector."""
+
+    __slots__ = ("documents", "frame_bytes", "ok", "attempts")
+    kind = "document-shipped"
+
+    def __init__(self, documents: int, frame_bytes: int, ok: bool,
+                 attempts: int):
+        self.documents = documents
+        self.frame_bytes = frame_bytes
+        self.ok = ok
+        self.attempts = attempts

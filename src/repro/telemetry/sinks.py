@@ -1,0 +1,376 @@
+"""The pluggable sinks: state rebuild, JSONL, metrics, batched shipping.
+
+* :class:`StateSink` rebuilds a :class:`~repro.wrappers.WrapperState`
+  from the event stream, exactly as the pre-bus generators mutated it,
+  so the Fig. 5 XML round-trip stays byte-identical.
+* :class:`JsonlSink` appends one JSON object per event — the machine-
+  readable trace of a hardened run.
+* :class:`MetricsSink` keeps counters and per-function latency
+  reservoirs (p50/p99 exectime) for live dashboards and benchmarks.
+* :class:`CollectionSink` ships rendered profile documents to the
+  collection server in batched, retried frames from a background
+  thread, replacing the one-shot blocking send per process.
+
+Sinks must not emit into the bus they subscribe to from inside
+``handle_batch`` (dispatch runs under the bus lock); background threads
+may emit freely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.telemetry.bus import EventBus, Sink
+from repro.telemetry.events import (
+    CallEvent,
+    CallLogEvent,
+    DocumentReady,
+    DocumentShipped,
+    ErrnoEvent,
+    ExectimeEvent,
+    SecurityEvent,
+    TelemetryEvent,
+    ViolationEvent,
+)
+
+
+class StateSink(Sink):
+    """Rebuilds a ``WrapperState`` from the event stream.
+
+    Application order matches emission order, and each event applies the
+    same mutation the pre-bus micro-generator hooks performed in place —
+    the property tests assert the resulting profile XML is
+    byte-identical.
+    """
+
+    def __init__(self, state=None):
+        if state is None:
+            from repro.wrappers.state import WrapperState
+
+            state = WrapperState()
+        self.state = state
+
+    def handle_batch(self, events: Sequence[TelemetryEvent]) -> None:
+        from repro.wrappers.state import (
+            SecurityEvent as SecurityRecord,
+            ViolationRecord,
+        )
+
+        state = self.state
+        calls = state.calls
+        exectime_ns = state.exectime_ns
+        for event in events:
+            kind = event.kind
+            if kind == "call":
+                calls[event.function] += 1
+            elif kind == "exectime":
+                exectime_ns[event.function] += event.elapsed_ns
+            elif kind == "errno":
+                if event.scope == "function":
+                    state.func_errnos.setdefault(
+                        event.function, Counter()
+                    )[event.errno_value] += 1
+                else:
+                    state.global_errnos[event.errno_value] += 1
+            elif kind == "violation":
+                state.violations.append(
+                    ViolationRecord(
+                        function=event.function,
+                        param=event.param,
+                        check=event.check,
+                        detail=event.detail,
+                    )
+                )
+            elif kind == "security":
+                state.security_events.append(
+                    SecurityRecord(
+                        function=event.function,
+                        reason=event.reason,
+                        terminated=event.terminated,
+                    )
+                )
+            elif kind == "call-log":
+                state.call_log.append((event.function, event.args))
+            # probe/document events carry no wrapper state
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per event to a path or text stream."""
+
+    def __init__(self, target: "str | IO[str]"):
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def handle_batch(self, events: Sequence[TelemetryEvent]) -> None:
+        lines = []
+        for event in events:
+            payload = event.to_dict()
+            lines.append(json.dumps(payload, default=repr,
+                                    sort_keys=True))
+        text = "\n".join(lines) + "\n"
+        with self._lock:
+            self._handle.write(text)
+            self.written += len(events)
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+
+#: per-function latency samples kept before the reservoir stops growing
+RESERVOIR_LIMIT = 8192
+
+
+class MetricsSink(Sink):
+    """Counters and latency quantiles over the event stream."""
+
+    def __init__(self, reservoir_limit: int = RESERVOIR_LIMIT):
+        self.reservoir_limit = reservoir_limit
+        self.calls: Counter = Counter()
+        self.errnos: Counter = Counter()
+        self.violations: Counter = Counter()       # by check
+        self.security_events: Counter = Counter()  # by function
+        self.probes = 0
+        self.probe_failures = 0
+        self.probe_cached = 0
+        self.documents_shipped = 0
+        self.ship_failures = 0
+        self._exectime: Dict[str, List[int]] = {}
+        self._exectime_total: Counter = Counter()
+        self._lock = threading.Lock()
+
+    def handle_batch(self, events: Sequence[TelemetryEvent]) -> None:
+        with self._lock:
+            for event in events:
+                kind = event.kind
+                if kind == "call":
+                    self.calls[event.function] += 1
+                elif kind == "exectime":
+                    self._exectime_total[event.function] += event.elapsed_ns
+                    samples = self._exectime.setdefault(event.function, [])
+                    if len(samples) < self.reservoir_limit:
+                        samples.append(event.elapsed_ns)
+                elif kind == "errno":
+                    if event.scope == "global":
+                        self.errnos[event.errno_value] += 1
+                elif kind == "violation":
+                    self.violations[event.check] += 1
+                elif kind == "security":
+                    self.security_events[event.function] += 1
+                elif kind == "probe":
+                    self.probes += 1
+                    if event.failed:
+                        self.probe_failures += 1
+                    if event.cached:
+                        self.probe_cached += 1
+                elif kind == "document-shipped":
+                    if event.ok:
+                        self.documents_shipped += event.documents
+                    else:
+                        self.ship_failures += 1
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _quantile(samples: List[int], q: float) -> int:
+        if not samples:
+            return 0
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def exectime_quantiles(
+        self, function: str
+    ) -> Tuple[int, int]:
+        """(p50, p99) wrapped execution time in ns for one function."""
+        with self._lock:
+            samples = list(self._exectime.get(function, ()))
+        return (self._quantile(samples, 0.50),
+                self._quantile(samples, 0.99))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data view of every metric (JSON-serialisable)."""
+        with self._lock:
+            quantiles = {
+                name: {"p50_ns": self._quantile(samples, 0.50),
+                       "p99_ns": self._quantile(samples, 0.99),
+                       "total_ns": self._exectime_total[name],
+                       "samples": len(samples)}
+                for name, samples in sorted(self._exectime.items())
+            }
+            return {
+                "total_calls": sum(self.calls.values()),
+                "calls": dict(self.calls),
+                "errnos": dict(self.errnos),
+                "violations": dict(self.violations),
+                "security_events": dict(self.security_events),
+                "probes": self.probes,
+                "probe_failures": self.probe_failures,
+                "probe_cached": self.probe_cached,
+                "documents_shipped": self.documents_shipped,
+                "ship_failures": self.ship_failures,
+                "exectime": quantiles,
+            }
+
+    def describe(self, top: int = 10) -> str:
+        """Human-readable summary (the ``campaign --metrics`` output)."""
+        snap = self.snapshot()
+        lines = [
+            f"[metrics] {snap['total_calls']} calls, "
+            f"{sum(snap['violations'].values())} violations, "
+            f"{sum(snap['security_events'].values())} security events, "
+            f"{snap['probes']} probes "
+            f"({snap['probe_failures']} failed, "
+            f"{snap['probe_cached']} cached), "
+            f"{snap['documents_shipped']} documents shipped"
+        ]
+        busiest = sorted(snap["exectime"].items(),
+                         key=lambda item: -item[1]["total_ns"])[:top]
+        for name, row in busiest:
+            lines.append(
+                f"[metrics]   {name:<16} p50 {row['p50_ns']:>8} ns   "
+                f"p99 {row['p99_ns']:>8} ns   ({row['samples']} samples)"
+            )
+        return "\n".join(lines)
+
+
+class CollectionSink(Sink):
+    """Batched, non-blocking, retrying shipper to the collection server.
+
+    ``DocumentReady`` events (or direct :meth:`ship` calls) enqueue the
+    rendered XML; a daemon thread drains the queue into multi-document
+    frames of up to ``batch_size`` documents, retrying each frame with
+    backoff.  Emission never blocks on the network, and :meth:`close`
+    drains whatever is pending before returning — no document is lost
+    to process exit.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        batch_size: int = 32,
+        flush_interval: float = 0.05,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        timeout: float = 5.0,
+        report_bus: Optional[EventBus] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        self.address = address
+        self.batch_size = batch_size
+        self.flush_interval = flush_interval
+        self.retries = max(1, retries)
+        self.retry_backoff = retry_backoff
+        self.timeout = timeout
+        #: bus receiving DocumentShipped events (worker thread only)
+        self.report_bus = report_bus
+        self.shipped = 0
+        self.failed = 0
+        self.frames = 0
+        self._pending: List[str] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def handle_batch(self, events: Sequence[TelemetryEvent]) -> None:
+        documents = [event.xml for event in events
+                     if event.kind == "document-ready"]
+        if documents:
+            self._enqueue(documents)
+
+    def ship(self, xml_text: str) -> None:
+        """Enqueue one document directly (no bus round-trip needed)."""
+        self._enqueue([xml_text])
+
+    def _enqueue(self, documents: List[str]) -> None:
+        with self._wake:
+            self._pending.extend(documents)
+            self._ensure_thread_locked()
+            self._wake.notify()
+
+    def _ensure_thread_locked(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._stop = False
+            self._thread = threading.Thread(
+                target=self._drain, name="healers-collection-sink",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            with self._wake:
+                while not self._pending and not self._stop:
+                    self._wake.wait(timeout=self.flush_interval)
+                if not self._pending and self._stop:
+                    return
+                frame = self._pending[: self.batch_size]
+                del self._pending[: len(frame)]
+            if frame:
+                self._ship_frame(frame)
+
+    def _ship_frame(self, frame: List[str]) -> None:
+        from repro.collection.server import submit_documents
+
+        frame_bytes = sum(len(doc.encode("utf-8")) for doc in frame)
+        attempts = 0
+        ok = False
+        while attempts < self.retries and not ok:
+            attempts += 1
+            try:
+                ok = submit_documents(self.address, frame,
+                                      timeout=self.timeout)
+            except OSError:
+                ok = False
+            if not ok and attempts < self.retries:
+                time.sleep(self.retry_backoff * attempts)
+        self.frames += 1
+        if ok:
+            self.shipped += len(frame)
+        else:
+            self.failed += len(frame)
+        if self.report_bus is not None:
+            self.report_bus.emit(
+                DocumentShipped(documents=len(frame),
+                                frame_bytes=frame_bytes, ok=ok,
+                                attempts=attempts)
+            )
+
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain the queue, stop the worker, and wait for it."""
+        with self._wake:
+            thread = self._thread
+            self._stop = True
+            self._wake.notify_all()
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)

@@ -10,12 +10,13 @@ renderings come from one composition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.libc.registry import LibcRegistry
 from repro.linker import DynamicLinker, SharedLibrary
 from repro.robust.api import RobustAPIDocument
+from repro.telemetry import EventBus, Sink, StateSink
 from repro.wrappers.microgen import (
     GeneratorRegistry,
     MicroGenerator,
@@ -44,14 +45,31 @@ class WrapperSpec:
             )
 
 
-@dataclass
 class BuiltWrapper:
-    """Result of building one wrapper library."""
+    """Result of building one wrapper library.
 
-    library: SharedLibrary
-    state: WrapperState
-    spec: WrapperSpec
-    functions: List[str] = field(default_factory=list)
+    Wrapper hooks publish telemetry events into :attr:`bus`; reading
+    :attr:`state` flushes the bus first, so callers always observe
+    counters that include every event emitted so far.
+    """
+
+    def __init__(self, library: SharedLibrary, state: WrapperState,
+                 spec: WrapperSpec,
+                 functions: Optional[List[str]] = None,
+                 bus: Optional[EventBus] = None):
+        self.library = library
+        self.spec = spec
+        self.functions: List[str] = list(functions or [])
+        self.bus = bus if bus is not None else EventBus(
+            sinks=[StateSink(state)]
+        )
+        self._state = state
+
+    @property
+    def state(self) -> WrapperState:
+        """The rebuilt wrapper state, flushed up to the latest event."""
+        self.bus.flush()
+        return self._state
 
 
 class WrapperFactory:
@@ -76,7 +94,8 @@ class WrapperFactory:
 
     def make_unit(self, function_name: str, state: WrapperState,
                   linker: DynamicLinker,
-                  library: SharedLibrary) -> WrapperUnit:
+                  library: SharedLibrary,
+                  bus: Optional[EventBus] = None) -> WrapperUnit:
         function = self.registry[function_name]
         decl = None
         if self.api is not None:
@@ -86,6 +105,7 @@ class WrapperFactory:
             decl=decl,
             state=state,
             resolve_next=lambda: linker.resolve_next(function_name, library),
+            bus=bus,
         )
 
     def build_library(
@@ -95,23 +115,33 @@ class WrapperFactory:
         soname: Optional[str] = None,
         functions: Optional[Sequence[str]] = None,
         state: Optional[WrapperState] = None,
+        sinks: Optional[Sequence[Sink]] = None,
+        bus_capacity: int = 256,
     ) -> BuiltWrapper:
         """Build (but do not preload) a wrapper library.
 
         ``functions`` restricts wrapping to a subset — "an application
         should only pay the overhead for the protection it actually
-        needs".
+        needs".  Every wrapper of the library publishes into one shared
+        :class:`~repro.telemetry.EventBus` carrying a ``StateSink`` (so
+        the Fig. 5 state keeps accumulating) plus any extra ``sinks``
+        (JSONL traces, metrics, collection shipping).
         """
         generator_list = self.resolve_spec(spec)
         state = state if state is not None else WrapperState()
         soname = soname or f"libhealers_{spec.name}.so"
         library = SharedLibrary(soname)
         names = list(functions) if functions is not None else self.registry.names()
-        built = BuiltWrapper(library=library, state=state, spec=spec)
+        bus = EventBus(
+            capacity=bus_capacity,
+            sinks=[StateSink(state), *(sinks or ())],
+        )
+        built = BuiltWrapper(library=library, state=state, spec=spec,
+                             bus=bus)
         for name in names:
             if name not in self.registry:
                 raise KeyError(f"cannot wrap unknown function {name!r}")
-            unit = self.make_unit(name, state, linker, library)
+            unit = self.make_unit(name, state, linker, library, bus=bus)
             impl = compose_wrapper(unit, generator_list)
             library.define(name, impl, prototype=unit.prototype)
             built.functions.append(name)
@@ -130,6 +160,7 @@ def units_for(factory: WrapperFactory, names: Sequence[str],
               ) -> Tuple[List[WrapperUnit], WrapperState]:
     """Offline units (no linker) for the C text backend."""
     state = state if state is not None else WrapperState()
+    bus = EventBus(sinks=[StateSink(state)])
 
     def missing_next():
         raise RuntimeError("C backend units cannot call the next definition")
@@ -144,6 +175,7 @@ def units_for(factory: WrapperFactory, names: Sequence[str],
                 decl=decl,
                 state=state,
                 resolve_next=missing_next,
+                bus=bus,
             )
         )
     return units, state

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro.runtime.process import Errno
+from repro.telemetry import CallEvent
 from repro.wrappers.generators import error_return_value
 from repro.wrappers.microgen import (
     CallFrame,
@@ -63,7 +64,7 @@ class RetryGen(MicroGenerator):
             unit.prototype, unit.decl.error_return if unit.decl else ""
         )
         resolve_next = unit.resolve_next
-        state = unit.state
+        emit = unit.bus.emit
         name = unit.name
 
         def maybe_retry(frame: CallFrame) -> None:
@@ -73,7 +74,7 @@ class RetryGen(MicroGenerator):
             while (budget > 0 and frame.ret == error_value
                    and frame.process.errno in TRANSIENT_ERRNOS):
                 budget -= 1
-                state.calls[name + "/retry"] += 1
+                emit(CallEvent(name + "/retry"))
                 frame.process.errno = 0
                 frame.ret = resolve_next()(frame.process, *frame.all_args)
 
@@ -112,7 +113,10 @@ class RateLimitGen(MicroGenerator):
         error_value = error_return_value(
             unit.prototype, unit.decl.error_return if unit.decl else ""
         )
+        # the /seen budget counter is read back on every call, so it
+        # stays a direct mutation; the /ratelimited tally is telemetry
         state = unit.state
+        emit = unit.bus.emit
         name = unit.name
         key = name + "/ratelimited"
 
@@ -121,7 +125,7 @@ class RateLimitGen(MicroGenerator):
                 return
             state.calls[name + "/seen"] += 1
             if state.calls[name + "/seen"] > budget:
-                state.calls[key] += 1
+                emit(CallEvent(key))
                 frame.skip_call = True
                 frame.ret = error_value
                 frame.process.errno = Errno.EINTR  # closest to EAGAIN here

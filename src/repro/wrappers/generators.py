@@ -18,6 +18,13 @@ from typing import Any, Callable, Optional
 from repro.headers.model import CType, Prototype
 from repro.robust.checks import ArgumentChecker
 from repro.runtime.process import Errno
+from repro.telemetry import (
+    CallEvent,
+    CallLogEvent,
+    ErrnoEvent,
+    ExectimeEvent,
+    ViolationEvent,
+)
 from repro.wrappers.microgen import (
     CallFrame,
     Fragment,
@@ -25,7 +32,6 @@ from repro.wrappers.microgen import (
     RuntimeHooks,
     WrapperUnit,
 )
-from repro.wrappers.state import ViolationRecord
 
 
 def error_return_value(prototype: Prototype, convention: str) -> Any:
@@ -116,11 +122,11 @@ class CallCounterGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        state = unit.state
+        emit = unit.bus.emit
         name = unit.name
 
         def count(frame: CallFrame) -> None:
-            state.calls[name] += 1
+            emit(CallEvent(name))
 
         return RuntimeHooks(generator=self.name, prefix=count)
 
@@ -146,7 +152,7 @@ class ExectimeGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        state = unit.state
+        emit = unit.bus.emit
         name = unit.name
 
         def start(frame: CallFrame) -> None:
@@ -155,7 +161,8 @@ class ExectimeGen(MicroGenerator):
         def stop(frame: CallFrame) -> None:
             started = frame.scratch.get("exectime_start")
             if started is not None:
-                state.exectime_ns[name] += time.perf_counter_ns() - started
+                emit(ExectimeEvent(name,
+                                   time.perf_counter_ns() - started))
 
         return RuntimeHooks(generator=self.name, prefix=start, postfix=stop)
 
@@ -180,7 +187,8 @@ class CollectErrorsGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        state = unit.state
+        emit = unit.bus.emit
+        name = unit.name
 
         def before(frame: CallFrame) -> None:
             frame.scratch["collect_errors_err"] = frame.process.errno
@@ -191,7 +199,7 @@ class CollectErrorsGen(MicroGenerator):
                 bucket = errno_now
                 if bucket < 0 or bucket >= Errno.MAX_ERRNO:
                     bucket = Errno.MAX_ERRNO
-                state.global_errnos[bucket] += 1
+                emit(ErrnoEvent(name, bucket, scope="global"))
 
         return RuntimeHooks(generator=self.name, prefix=before, postfix=after)
 
@@ -219,7 +227,7 @@ class FuncErrorsGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        state = unit.state
+        emit = unit.bus.emit
         name = unit.name
 
         def before(frame: CallFrame) -> None:
@@ -231,9 +239,7 @@ class FuncErrorsGen(MicroGenerator):
                 bucket = errno_now
                 if bucket < 0 or bucket >= Errno.MAX_ERRNO:
                     bucket = Errno.MAX_ERRNO
-                state.func_errnos.setdefault(name, type(state.global_errnos)())[
-                    bucket
-                ] += 1
+                emit(ErrnoEvent(name, bucket, scope="function"))
 
         return RuntimeHooks(generator=self.name, prefix=before, postfix=after)
 
@@ -268,7 +274,7 @@ class ArgCheckGen(MicroGenerator):
         if unit.decl is None:
             return RuntimeHooks(generator=self.name)
         checker = ArgumentChecker(unit.decl, unit.prototype)
-        state = unit.state
+        emit = unit.bus.emit
         convention = unit.decl.error_return
         error_value = error_return_value(unit.prototype, convention)
 
@@ -278,8 +284,8 @@ class ArgCheckGen(MicroGenerator):
             violation = checker.validate(frame.process, frame.args,
                                          frame.varargs)
             if violation is not None:
-                state.violations.append(
-                    ViolationRecord(
+                emit(
+                    ViolationEvent(
                         function=violation.function,
                         param=violation.param,
                         check=violation.check,
@@ -317,11 +323,11 @@ class LogCallGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        state = unit.state
+        emit = unit.bus.emit
         name = unit.name
 
         def log(frame: CallFrame) -> None:
-            state.call_log.append((name, tuple(frame.all_args)))
+            emit(CallLogEvent(name, tuple(frame.all_args)))
 
         return RuntimeHooks(generator=self.name, prefix=log)
 

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.headers.model import Prototype
 from repro.robust.api import FunctionDecl
 from repro.runtime.process import SimProcess
+from repro.telemetry import EventBus, StateSink
 from repro.wrappers.state import WrapperState
 
 
@@ -83,6 +84,15 @@ class WrapperUnit:
     state: WrapperState
     #: resolves the next (shadowed) definition — dlsym(RTLD_NEXT)
     resolve_next: Callable[[], Callable]
+    #: the library's telemetry bus; hooks publish events here instead of
+    #: mutating ``state`` (a StateSink rebuilds it at flush time)
+    bus: Optional[EventBus] = None
+
+    def __post_init__(self) -> None:
+        if self.bus is None:
+            # stand-alone units (tests, direct construction) still feed
+            # their state, through a private single-sink bus
+            self.bus = EventBus(sinks=[StateSink(self.state)])
 
     @property
     def name(self) -> str:

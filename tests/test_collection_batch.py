@@ -1,0 +1,164 @@
+"""Tests for the batched collection protocol and oversize handling."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.collection import (
+    BATCH_MAGIC,
+    CollectionServer,
+    CollectionStore,
+    submit_document,
+    submit_documents,
+)
+from repro.profiling import ProfileDocument
+from repro.telemetry import CollectionSink
+from repro.wrappers.state import WrapperState
+
+
+def _document_xml(application="app", calls=3):
+    state = WrapperState()
+    state.calls["strlen"] = calls
+    state.exectime_ns["strlen"] = 100 * calls
+    return ProfileDocument.from_state(state, application, "profiling").to_xml()
+
+
+@pytest.fixture
+def server():
+    with CollectionServer() as srv:
+        yield srv
+
+
+@pytest.fixture
+def small_server():
+    """A server with a tiny document limit for boundary tests."""
+    with CollectionServer(max_document_bytes=4096,
+                          max_batch_documents=8) as srv:
+        yield srv
+
+
+class TestBatchProtocol:
+    def test_round_trip(self, server):
+        documents = [_document_xml(f"app{i}", calls=i + 1) for i in range(5)]
+        assert submit_documents(server.address, documents)
+        assert len(server.store) == 5
+        assert server.store.applications() == [f"app{i}" for i in range(5)]
+
+    def test_empty_batch_is_noop(self, server):
+        assert submit_documents(server.address, [])
+        assert len(server.store) == 0
+
+    def test_single_and_batch_share_the_wire(self, server):
+        assert submit_document(server.address, _document_xml("solo"))
+        assert submit_documents(server.address, [_document_xml("fleet")])
+        assert server.store.applications() == ["fleet", "solo"]
+
+    def test_magic_is_oversized_as_a_length(self):
+        # pre-batch servers parse HBAT as a length > any permitted
+        # document, so they answer ERR instead of mis-framing
+        (as_length,) = struct.unpack(">I", BATCH_MAGIC)
+        assert as_length > 16 * 1024 * 1024
+
+    def test_batch_count_limit(self, small_server):
+        with socket.create_connection(small_server.address,
+                                      timeout=2) as conn:
+            conn.sendall(BATCH_MAGIC + struct.pack(">I", 9))
+            assert conn.recv(64) == b"ERR batch too large\n"
+        assert len(small_server.store) == 0
+
+    def test_malformed_batch_is_atomic(self, server):
+        good = _document_xml()
+        ok = submit_documents(server.address, [good, "<not-a-profile/>",
+                                               good])
+        assert not ok
+        assert len(server.store) == 0  # nothing landed
+
+
+class TestOversizeBoundary:
+    """Regression: oversized frames get a protocol error, not a reset."""
+
+    def _send_single(self, address, payload: bytes) -> bytes:
+        with socket.create_connection(address, timeout=2) as conn:
+            conn.sendall(struct.pack(">I", len(payload)))
+            conn.sendall(payload)
+            return conn.recv(64)
+
+    def test_exactly_max_accepted(self, small_server):
+        xml = _document_xml()
+        payload = xml.encode("utf-8")
+        padding = small_server.max_document_bytes - len(payload)
+        assert padding >= 0
+        # XML comments pad the document to exactly the limit
+        padded = (xml + "<!--" + "x" * (padding - 7) + "-->").encode("utf-8")
+        assert len(padded) == small_server.max_document_bytes
+        assert self._send_single(small_server.address, padded) == b"OK\n"
+        assert len(small_server.store) == 1
+
+    def test_one_past_max_gets_protocol_error(self, small_server):
+        payload = b"x" * (small_server.max_document_bytes + 1)
+        reply = self._send_single(small_server.address, payload)
+        assert reply == b"ERR too large\n"
+        assert len(small_server.store) == 0
+
+    def test_error_readable_before_payload_sent(self, small_server):
+        # a client that declares a huge length and then stalls still
+        # reads the error — the server answers before draining
+        with socket.create_connection(small_server.address,
+                                      timeout=2) as conn:
+            conn.sendall(struct.pack(">I", 1 << 30))
+            assert conn.recv(64) == b"ERR too large\n"
+
+    def test_oversized_document_inside_batch(self, small_server):
+        with socket.create_connection(small_server.address,
+                                      timeout=2) as conn:
+            conn.sendall(BATCH_MAGIC + struct.pack(">I", 1))
+            conn.sendall(struct.pack(">I", 1 << 29))
+            assert conn.recv(64) == b"ERR too large\n"
+        assert len(small_server.store) == 0
+
+
+class TestConcurrentShipping:
+    def test_hundred_documents_through_collection_sink(self, server):
+        """Acceptance: >=100 concurrent documents, zero loss/reset."""
+        sink = CollectionSink(server.address, batch_size=16,
+                              flush_interval=0.01)
+        threads_n, docs_per_thread = 10, 12  # 120 documents total
+
+        def producer(worker):
+            for i in range(docs_per_thread):
+                sink.ship(_document_xml(f"w{worker}-{i}"))
+
+        workers = [threading.Thread(target=producer, args=(w,))
+                   for w in range(threads_n)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        sink.close()
+        total = threads_n * docs_per_thread
+        assert sink.shipped == total
+        assert sink.failed == 0
+        assert len(server.store) == total
+        assert not server.errors
+        # batching: the fleet went out in far fewer frames
+        assert sink.frames < total
+
+    def test_store_submit_many_atomicity_under_threads(self):
+        store = CollectionStore()
+        good = [_document_xml(f"a{i}") for i in range(4)]
+        bad = good[:2] + ["<garbage/>"]
+
+        def submit_bad():
+            with pytest.raises(Exception):
+                store.submit_many(bad)
+
+        workers = [threading.Thread(target=store.submit_many, args=(good,))
+                   for _ in range(3)]
+        workers.append(threading.Thread(target=submit_bad))
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert len(store) == 12  # three good batches, bad one fully absent

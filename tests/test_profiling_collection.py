@@ -130,6 +130,47 @@ class TestReports:
         assert "No violations" in text
 
 
+class TestContainmentSnapshot:
+    """Pin the exact containment section: grouped counts, per-record
+    check tags, explicit truncation, and the terminated tally."""
+
+    @pytest.fixture
+    def hardened_document(self):
+        state = WrapperState()
+        for i in range(3):
+            state.violations.append(ViolationRecord(
+                function="strcpy", param="dest", check="buffer_capacity",
+                detail=f"dest holds {8 + i} bytes"))
+        state.violations.append(ViolationRecord(
+            function="strlen", param="s", check="null_pointer",
+            detail="s is NULL"))
+        state.security_events.append(SecurityEvent(
+            function="strcpy", reason="heap overflow blocked",
+            terminated=True))
+        state.security_events.append(SecurityEvent(
+            function="gets", reason="unbounded read truncated",
+            terminated=False))
+        return ProfileDocument.from_state(state, "snapapp", "hardened")
+
+    def test_snapshot(self, hardened_document):
+        assert render_containment(hardened_document, limit=2) == (
+            "Contained robustness violations (4)\n"
+            "     3x strcpy [buffer_capacity]\n"
+            "     1x strlen [null_pointer]\n"
+            "  strcpy(dest) [buffer_capacity]: dest holds 8 bytes\n"
+            "  strcpy(dest) [buffer_capacity]: dest holds 9 bytes\n"
+            "  … and 2 more violations\n"
+            "Security events (2, 1 terminated the program)\n"
+            "  strcpy: heap overflow blocked [terminated]\n"
+            "  gets: unbounded read truncated [blocked]"
+        )
+
+    def test_full_report_includes_containment(self, hardened_document):
+        text = render_full_report(hardened_document)
+        assert "3x strcpy [buffer_capacity]" in text
+        assert "1 terminated the program" in text
+
+
 class TestCollectionStore:
     def test_submit_and_index(self, document):
         store = CollectionStore()

@@ -141,6 +141,9 @@ class TestTransparency:
             # still counts the call; strlen returns size_t, so the
             # contained error value is 0 with errno set
             assert record.symbol(proc, 0) == 0
+            # read through built.state: it flushes the telemetry bus so
+            # the externally-supplied state object is up to date
+            assert profiling.state is state
             assert state.calls["strlen"] == 1
             assert len(robustness.state.violations) == 1
         finally:
