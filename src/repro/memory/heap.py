@@ -26,6 +26,7 @@ the ablation benchmark for the two protection variants.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -98,9 +99,16 @@ class HeapAllocator:
         #: state, used for first-fit search; the in-memory magic remains the
         #: source of truth for corruption detection)
         self._free: Dict[int, int] = {}
+        #: header addresses of free chunks, kept sorted so first-fit walks
+        #: ascending addresses without re-sorting per malloc
+        self._free_order: List[int] = []
         #: live allocations user_address -> user_size (the allocator's own
         #: view; HEALERS' wrapper keeps an equivalent external size table)
         self._live: Dict[int, int] = {}
+        #: user addresses of live allocations, kept sorted; since live
+        #: chunks never overlap, a bisect finds the only candidate that
+        #: can contain an interior pointer in O(log n)
+        self._live_order: List[int] = []
 
     # ------------------------------------------------------------------
     # allocation
@@ -129,6 +137,8 @@ class HeapAllocator:
         user = header + HEADER_SIZE
         if self.canaries:
             self.space.write_u64(user + size, CANARY_VALUE)
+        if user not in self._live:
+            insort(self._live_order, user)
         self._live[user] = size
         self.stats.live_chunks += 1
         self.stats.bytes_in_use += size
@@ -188,10 +198,11 @@ class HeapAllocator:
             if self.space.read_u64(address + user_size) != CANARY_VALUE:
                 raise CanaryViolation(address)
         self.space.write_u32(header, FREE_MAGIC)
-        self._free[header] = total
+        self._free_insert(header, total)
         self._coalesce(header)
         actual = self._live.pop(address, None)
         if actual is not None:
+            self._live_discard(address)
             self.stats.bytes_in_use -= actual
             self.stats.live_chunks -= 1
 
@@ -208,11 +219,17 @@ class HeapAllocator:
 
         Returns None when ``address`` does not fall inside any live
         allocation's user area.  This is the query the security wrapper
-        uses to bound writes through interior pointers.
+        uses to bound writes through interior pointers; live chunks never
+        overlap, so the bisect predecessor is the only candidate.
         """
-        for user, size in self._live.items():
-            if user <= address < user + max(size, 1):
-                return (user, size)
+        order = self._live_order
+        index = bisect_right(order, address) - 1
+        if index < 0:
+            return None
+        user = order[index]
+        size = self._live[user]
+        if user <= address < user + max(size, 1):
+            return (user, size)
         return None
 
     def writable_bytes_from(self, address: int) -> Optional[int]:
@@ -285,22 +302,41 @@ class HeapAllocator:
             raise HeapCorruption(address, "realloc of invalid chunk")
         return self.space.read_u32(header + 4)
 
+    def _free_insert(self, header: int, total: int) -> None:
+        if header not in self._free:
+            insort(self._free_order, header)
+        self._free[header] = total
+
+    def _free_discard(self, header: int) -> None:
+        del self._free[header]
+        index = bisect_right(self._free_order, header) - 1
+        del self._free_order[index]
+
+    def _live_discard(self, user: int) -> None:
+        index = bisect_right(self._live_order, user) - 1
+        del self._live_order[index]
+
     def _take_free_chunk(self, total: int) -> Optional[Tuple[int, int]]:
         """First-fit search; returns (header, actual_total) or None.
+
+        ``_free_order`` is maintained sorted (insort on free/split), so the
+        walk visits ascending header addresses — the same placement order
+        the previous per-malloc ``sorted()`` produced — without an O(n log n)
+        re-sort on every allocation.
 
         Oversized free chunks are split when the remainder is big enough to
         hold a future allocation; otherwise the whole chunk is handed out.
         """
-        for header in sorted(self._free):
+        for header in self._free_order:
             available = self._free[header]
             if available >= total:
-                del self._free[header]
+                self._free_discard(header)
                 if available - total >= MIN_SPLIT:
                     remainder = header + total
                     self._write_header(
                         remainder, 0, available - total, allocated=False
                     )
-                    self._free[remainder] = available - total
+                    self._free_insert(remainder, available - total)
                     return (header, total)
                 return (header, available)
         return None
@@ -324,21 +360,27 @@ class HeapAllocator:
     def _coalesce(self, header: int) -> None:
         """Merge the freed chunk with adjacent free chunks; if the merged
         chunk abuts the wilderness, give it back to the wilderness."""
-        total = self._free.pop(header)
-        # merge backward: a free chunk ending exactly at this header
-        for other, other_total in list(self._free.items()):
+        total = self._free[header]
+        self._free_discard(header)
+        # merge backward: only the bisect predecessor can end exactly at
+        # this header (free chunks never overlap)
+        index = bisect_right(self._free_order, header) - 1
+        if index >= 0:
+            other = self._free_order[index]
+            other_total = self._free[other]
             if other + other_total == header:
-                del self._free[other]
+                self._free_discard(other)
                 header = other
                 total += other_total
-                break
         # merge forward
         follower = header + total
         while follower in self._free:
-            total += self._free.pop(follower)
+            follower_total = self._free[follower]
+            self._free_discard(follower)
+            total += follower_total
             follower = header + total
         if header + total == self._brk:
             self._brk = header
         else:
-            self._free[header] = total
+            self._free_insert(header, total)
             self._write_header(header, 0, total, allocated=False)

@@ -87,6 +87,126 @@ class HeapGuardGen(MicroGenerator):
     # ------------------------------------------------------------------
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        if unit.fastpath:
+            return self._compiled_hooks(unit)
+        return self._interpreted_hooks(unit)
+
+    def _compiled_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        """Build-time specialized hooks.
+
+        Everything derivable from the function name, declaration and
+        policy — which protections apply, the write-role map, the
+        allocation-size recipe — is resolved here, once; per call only
+        the applicable protections run.  A function with no applicable
+        protection gets no hook at all.
+        """
+        policy = self.policy
+        state = unit.state
+        size_table = state.size_table
+        emit = unit.bus.emit
+        name = unit.name
+        decl = unit.decl
+
+        is_dealloc = name in DEALLOCATING
+        verify_here = policy.verify_heap == "always" or (
+            policy.verify_heap == "free" and is_dealloc
+        )
+        gets_here = policy.safe_gets and name == "gets"
+        format_indices = tuple(
+            index for index, param in enumerate(decl.params)
+            if param.role == "format"
+        ) if (policy.reject_percent_n and decl is not None) else ()
+        checker = (
+            ArgumentChecker(_security_decl(decl), unit.prototype)
+            if decl is not None else None
+        )
+        bounds_here = (policy.enforce_bounds and checker is not None
+                       and checker.has_checks)
+        #: param name → is a write-role violation (legacy falls through
+        #: to False for parameters absent from the declaration)
+        write_param = {
+            p.name: (p.role in WRITE_ROLES or not p.role)
+            for p in decl.params
+        } if decl is not None else None
+        error_value = error_return_value(
+            unit.prototype, decl.error_return if decl else ""
+        )
+
+        def violation_found(frame: CallFrame, reason: str) -> None:
+            emit(
+                SecurityEvent(function=name, reason=reason,
+                              terminated=policy.terminate)
+            )
+            if policy.terminate:
+                raise SecurityViolation(name, reason)
+            frame.skip_call = True
+            frame.ret = error_value
+            frame.process.errno = Errno.EFAULT
+
+        def is_write_violation(violation: CheckViolation) -> bool:
+            if violation.check == "size_bounded":
+                return "(write)" in violation.detail
+            if violation.check not in WRITE_CHECKS:
+                return False
+            if write_param is None:
+                return True
+            return write_param.get(violation.param, False)
+
+        def prefix(frame: CallFrame) -> None:
+            if frame.skip_call:
+                return
+            proc = frame.process
+            if verify_here:
+                problems = proc.heap.check_integrity()
+                if problems:
+                    violation_found(frame, f"heap corrupted: {problems[0]}")
+                    return
+            if is_dealloc and frame.args:
+                size_table.pop(frame.args[0], None)
+            if gets_here:
+                _safe_gets(frame, state, emit, violation_found)
+                return
+            for index in format_indices:
+                if index >= len(frame.args):
+                    continue
+                analysis = analyse_format(proc, frame.args[index])
+                if analysis is None:
+                    violation_found(frame,
+                                    "format string is not a valid string")
+                    return
+                if analysis[1]:
+                    violation_found(frame, "format string contains %n")
+                    return
+            if bounds_here:
+                for violation in checker.validate_all(proc, frame.args,
+                                                      frame.varargs):
+                    if is_write_violation(violation):
+                        violation_found(
+                            frame,
+                            f"write overflow: {violation.detail} "
+                            f"(param {violation.param})",
+                        )
+                        return
+
+        alloc_kind = ALLOCATING.get(name)
+        postfix = None
+        if alloc_kind is not None:
+            def postfix(frame: CallFrame) -> None:
+                if frame.ret:
+                    size = _allocation_size(name, frame)
+                    if size is not None:
+                        size_table[frame.ret] = size
+
+        needs_prefix = (verify_here or is_dealloc or gets_here
+                        or format_indices or bounds_here)
+        return RuntimeHooks(
+            generator=self.name,
+            prefix=prefix if needs_prefix else None,
+            postfix=postfix,
+        )
+
+    def _interpreted_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
+        """The original per-call hooks (reference path for differentials)."""
         policy = self.policy
         # the size table is the guard's own operational state — it is
         # read back within the same call (safe gets, frees), so it stays
@@ -96,7 +216,8 @@ class HeapGuardGen(MicroGenerator):
         name = unit.name
         decl = unit.decl
         checker = (
-            ArgumentChecker(_security_decl(decl), unit.prototype)
+            ArgumentChecker(_security_decl(decl), unit.prototype,
+                            compiled=False)
             if decl is not None else None
         )
         error_value = error_return_value(

@@ -78,6 +78,17 @@ class EventBus:
         with self._lock:
             return list(self._sinks)
 
+    @property
+    def sink_view(self) -> List[Sink]:
+        """The live sink list itself — identity-stable, do not mutate.
+
+        ``subscribe``/``unsubscribe`` mutate this list in place, never
+        replace it, so compiled wrappers can capture it once at build
+        time and test its truthiness per call to decide whether
+        telemetry-only hooks need to run at all.
+        """
+        return self._sinks
+
     # ------------------------------------------------------------------
     # the hot path
     # ------------------------------------------------------------------

@@ -2,11 +2,13 @@
 
 from repro.wrappers.c_backend import render_function, render_library
 from repro.wrappers.composer import (
+    BACKENDS,
     BuiltWrapper,
     WrapperFactory,
     WrapperSpec,
     units_for,
 )
+from repro.wrappers.fastpath import compile_wrapper
 from repro.wrappers.generators import (
     ArgCheckGen,
     CallCounterGen,
@@ -44,6 +46,7 @@ from repro.wrappers.state import (
 
 __all__ = [
     "ArgCheckGen",
+    "BACKENDS",
     "BuiltWrapper",
     "CallCounterGen",
     "CallerGen",
@@ -69,6 +72,7 @@ __all__ = [
     "WrapperSpec",
     "WrapperState",
     "WrapperUnit",
+    "compile_wrapper",
     "compose_wrapper",
     "default_generator_registry",
     "error_return_value",

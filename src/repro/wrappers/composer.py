@@ -17,6 +17,7 @@ from repro.libc.registry import LibcRegistry
 from repro.linker import DynamicLinker, SharedLibrary
 from repro.robust.api import RobustAPIDocument
 from repro.telemetry import EventBus, Sink, StateSink
+from repro.wrappers.fastpath import compile_wrapper
 from repro.wrappers.microgen import (
     GeneratorRegistry,
     MicroGenerator,
@@ -24,6 +25,12 @@ from repro.wrappers.microgen import (
     compose_wrapper,
 )
 from repro.wrappers.state import WrapperState
+
+#: wrapper composition backends: "compiled" builds one specialized
+#: closure per function at build time (the fast path); "interpreted"
+#: keeps the original per-call hook loop, preserved as the reference
+#: implementation for differential tests and baseline benchmarks
+BACKENDS = ("compiled", "interpreted")
 
 
 @dataclass
@@ -95,7 +102,8 @@ class WrapperFactory:
     def make_unit(self, function_name: str, state: WrapperState,
                   linker: DynamicLinker,
                   library: SharedLibrary,
-                  bus: Optional[EventBus] = None) -> WrapperUnit:
+                  bus: Optional[EventBus] = None,
+                  fastpath: bool = True) -> WrapperUnit:
         function = self.registry[function_name]
         decl = None
         if self.api is not None:
@@ -106,6 +114,7 @@ class WrapperFactory:
             state=state,
             resolve_next=lambda: linker.resolve_next(function_name, library),
             bus=bus,
+            fastpath=fastpath,
         )
 
     def build_library(
@@ -117,6 +126,8 @@ class WrapperFactory:
         state: Optional[WrapperState] = None,
         sinks: Optional[Sequence[Sink]] = None,
         bus_capacity: int = 256,
+        backend: str = "compiled",
+        telemetry: bool = True,
     ) -> BuiltWrapper:
         """Build (but do not preload) a wrapper library.
 
@@ -126,7 +137,20 @@ class WrapperFactory:
         :class:`~repro.telemetry.EventBus` carrying a ``StateSink`` (so
         the Fig. 5 state keeps accumulating) plus any extra ``sinks``
         (JSONL traces, metrics, collection shipping).
+
+        ``backend`` selects how hooks become wrappers: ``"compiled"``
+        (default) specializes each function into one fast-path closure at
+        build time; ``"interpreted"`` keeps the per-call hook loop (the
+        reference path for differential tests).  ``telemetry=False``
+        builds the bus with no sinks at all — compiled wrappers then skip
+        telemetry-only hooks and event construction entirely (subscribing
+        a sink later re-enables them); ``BuiltWrapper.state`` stays empty.
         """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown wrapper backend {backend!r}; known: "
+                + ", ".join(BACKENDS)
+            )
         generator_list = self.resolve_spec(spec)
         state = state if state is not None else WrapperState()
         soname = soname or f"libhealers_{spec.name}.so"
@@ -134,15 +158,18 @@ class WrapperFactory:
         names = list(functions) if functions is not None else self.registry.names()
         bus = EventBus(
             capacity=bus_capacity,
-            sinks=[StateSink(state), *(sinks or ())],
+            sinks=([StateSink(state), *(sinks or ())] if telemetry else []),
         )
         built = BuiltWrapper(library=library, state=state, spec=spec,
                              bus=bus)
+        compose = compile_wrapper if backend == "compiled" else compose_wrapper
+        fastpath = backend == "compiled"
         for name in names:
             if name not in self.registry:
                 raise KeyError(f"cannot wrap unknown function {name!r}")
-            unit = self.make_unit(name, state, linker, library, bus=bus)
-            impl = compose_wrapper(unit, generator_list)
+            unit = self.make_unit(name, state, linker, library, bus=bus,
+                                  fastpath=fastpath)
+            impl = compose(unit, generator_list)
             library.define(name, impl, prototype=unit.prototype)
             built.functions.append(name)
         return built

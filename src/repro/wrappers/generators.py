@@ -12,6 +12,7 @@ enforces.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -97,16 +98,34 @@ class CallerGen(MicroGenerator):
         )
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        resolved: list = []
+        # one-shot resolution, double-checked: under threaded campaigns
+        # two first calls must not race resolve_next(); the unlocked
+        # fast-path read of cache[0] is GIL-atomic
+        resolve_next = unit.resolve_next
+        lock = threading.Lock()
+        cache: list = [None]
+
+        def acquire() -> Callable:
+            target = cache[0]
+            if target is None:
+                with lock:
+                    target = cache[0]
+                    if target is None:
+                        target = resolve_next()
+                        # a Symbol's __call__ only delegates to .impl:
+                        # bind the implementation itself and skip one
+                        # Python call layer on every intercepted call
+                        target = getattr(target, "impl", target)
+                        cache[0] = target
+            return target
 
         def call(frame: CallFrame) -> None:
             if frame.skip_call:
                 return
-            if not resolved:
-                resolved.append(unit.resolve_next())
-            frame.ret = resolved[0](frame.process, *frame.all_args)
+            frame.ret = acquire()(frame.process, *frame.all_args)
 
-        return RuntimeHooks(generator=self.name, postfix=call)
+        return RuntimeHooks(generator=self.name, postfix=call,
+                            direct_target=acquire)
 
 
 class CallCounterGen(MicroGenerator):
@@ -128,7 +147,8 @@ class CallCounterGen(MicroGenerator):
         def count(frame: CallFrame) -> None:
             emit(CallEvent(name))
 
-        return RuntimeHooks(generator=self.name, prefix=count)
+        return RuntimeHooks(generator=self.name, prefix=count,
+                            telemetry_only=True)
 
 
 class ExectimeGen(MicroGenerator):
@@ -164,7 +184,8 @@ class ExectimeGen(MicroGenerator):
                 emit(ExectimeEvent(name,
                                    time.perf_counter_ns() - started))
 
-        return RuntimeHooks(generator=self.name, prefix=start, postfix=stop)
+        return RuntimeHooks(generator=self.name, prefix=start, postfix=stop,
+                            telemetry_only=True, uses_scratch=True)
 
 
 class CollectErrorsGen(MicroGenerator):
@@ -201,7 +222,8 @@ class CollectErrorsGen(MicroGenerator):
                     bucket = Errno.MAX_ERRNO
                 emit(ErrnoEvent(name, bucket, scope="global"))
 
-        return RuntimeHooks(generator=self.name, prefix=before, postfix=after)
+        return RuntimeHooks(generator=self.name, prefix=before, postfix=after,
+                            telemetry_only=True, uses_scratch=True)
 
 
 class FuncErrorsGen(MicroGenerator):
@@ -241,7 +263,14 @@ class FuncErrorsGen(MicroGenerator):
                     bucket = Errno.MAX_ERRNO
                 emit(ErrnoEvent(name, bucket, scope="function"))
 
-        return RuntimeHooks(generator=self.name, prefix=before, postfix=after)
+        return RuntimeHooks(generator=self.name, prefix=before, postfix=after,
+                            telemetry_only=True, uses_scratch=True)
+
+
+#: check-name prefixes whose violations report EFAULT (memory-ish
+#: failures); everything else is a plain invalid argument, EINVAL
+_MEMORY_CHECKS = ("ptr_", "string_", "wstring_", "word_", "buffer_",
+                  "heap_", "file_", "fn_")
 
 
 class ArgCheckGen(MicroGenerator):
@@ -273,16 +302,23 @@ class ArgCheckGen(MicroGenerator):
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
         if unit.decl is None:
             return RuntimeHooks(generator=self.name)
-        checker = ArgumentChecker(unit.decl, unit.prototype)
+        checker = ArgumentChecker(unit.decl, unit.prototype,
+                                  compiled=unit.fastpath)
+        if unit.fastpath and not checker.has_checks:
+            # nothing can ever fire: elide the per-call prefix entirely
+            return RuntimeHooks(generator=self.name)
         emit = unit.bus.emit
         convention = unit.decl.error_return
         error_value = error_return_value(unit.prototype, convention)
+        # fast path: one bound closure, no validate/validate_all layers
+        validate = (checker.bound_validator() if unit.fastpath
+                    else checker.validate)
 
         def check(frame: CallFrame) -> None:
             if frame.skip_call:
                 return
-            violation = checker.validate(frame.process, frame.args,
-                                         frame.varargs)
+            violation = validate(frame.process, frame.args,
+                                 frame.varargs)
             if violation is not None:
                 emit(
                     ViolationEvent(
@@ -296,14 +332,49 @@ class ArgCheckGen(MicroGenerator):
                 frame.ret = error_value
                 frame.process.errno = (
                     Errno.EFAULT
-                    if violation.check.startswith(("ptr_", "string_",
-                                                   "wstring_", "word_",
-                                                   "buffer_", "heap_",
-                                                   "file_", "fn_"))
+                    if violation.check.startswith(_MEMORY_CHECKS)
                     else Errno.EINVAL
                 )
 
-        return RuntimeHooks(generator=self.name, prefix=check)
+        guard = None
+        if unit.fastpath:
+            guard = self._build_guard(unit, checker, emit, error_value)
+        return RuntimeHooks(generator=self.name, prefix=check, guard=guard)
+
+    @staticmethod
+    def _build_guard(unit: WrapperUnit, checker: ArgumentChecker,
+                     emit: Callable, error_value: Any) -> Callable:
+        """Frame-free form of the check prefix for the compiled backend.
+
+        The plan loop, violation event, errno selection and contained
+        return are fused into one closure with the errno precomputed per
+        check — behaviourally identical to ``check`` above minus the
+        CallFrame plumbing.
+        """
+        plan, slots, needs_values = checker.compiled_plan
+        entries = [
+            (param.name, param.check, index, check_fn,
+             Errno.EFAULT if param.check.startswith(_MEMORY_CHECKS)
+             else Errno.EINVAL)
+            for param, index, check_fn in plan
+        ]
+        function = unit.name
+        contained = (error_value,)
+
+        def guard(process, args, varargs):
+            values = ({name: args[index] for name, index in slots}
+                      if needs_values else None)
+            for pname, pcheck, index, check_fn, errno_value in entries:
+                value = args[index] if index is not None else None
+                detail = check_fn(process, value, values, varargs)
+                if detail is not None:
+                    emit(ViolationEvent(function=function, param=pname,
+                                        check=pcheck, detail=detail))
+                    process.errno = errno_value
+                    return contained
+            return None
+
+        return guard
 
 
 class LogCallGen(MicroGenerator):
@@ -329,7 +400,8 @@ class LogCallGen(MicroGenerator):
         def log(frame: CallFrame) -> None:
             emit(CallLogEvent(name, tuple(frame.all_args)))
 
-        return RuntimeHooks(generator=self.name, prefix=log)
+        return RuntimeHooks(generator=self.name, prefix=log,
+                            telemetry_only=True)
 
 
 def _c_check_extra(param) -> str:

@@ -22,7 +22,7 @@ innermost point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.headers.model import Prototype
@@ -43,23 +43,45 @@ class Fragment:
     globals: str = ""
 
 
-@dataclass
-class CallFrame:
-    """Runtime state of one intercepted call, threaded through hooks."""
+#: shared scratch placeholder for compiled wrappers whose generators never
+#: touch ``frame.scratch`` — skips one dict allocation per call
+NO_SCRATCH: Dict[str, Any] = {}
 
-    process: SimProcess
-    function: str
-    args: Sequence[Any]
-    varargs: Sequence[Any] = ()
-    ret: Any = None
-    #: set by a containment prefix to suppress the real call
-    skip_call: bool = False
-    #: scratch space for generator-private values (e.g. start timestamps)
-    scratch: Dict[str, Any] = field(default_factory=dict)
+
+class CallFrame:
+    """Runtime state of one intercepted call, threaded through hooks.
+
+    A plain ``__slots__`` class (not a dataclass): one CallFrame is
+    allocated per intercepted call, so construction is hot-path cost.
+    """
+
+    __slots__ = ("process", "function", "args", "varargs", "ret",
+                 "skip_call", "scratch")
+
+    def __init__(self, process: SimProcess, function: str,
+                 args: Sequence[Any], varargs: Sequence[Any] = (),
+                 ret: Any = None, skip_call: bool = False,
+                 scratch: Optional[Dict[str, Any]] = None):
+        self.process = process
+        self.function = function
+        self.args = args
+        self.varargs = varargs
+        self.ret = ret
+        #: set by a containment prefix to suppress the real call
+        self.skip_call = skip_call
+        #: scratch space for generator-private values (start timestamps…)
+        self.scratch = {} if scratch is None else scratch
 
     @property
     def all_args(self) -> tuple:
-        return tuple(self.args) + tuple(self.varargs)
+        varargs = self.varargs
+        if not varargs:
+            return tuple(self.args)
+        return tuple(self.args) + tuple(varargs)
+
+    def __repr__(self) -> str:
+        return (f"CallFrame(function={self.function!r}, args={self.args!r}, "
+                f"varargs={self.varargs!r}, ret={self.ret!r})")
 
 
 #: a prefix/postfix hook: mutates the frame, returns nothing
@@ -68,11 +90,32 @@ Hook = Callable[[CallFrame], None]
 
 @dataclass
 class RuntimeHooks:
-    """Executable rendering of one micro-generator for one function."""
+    """Executable rendering of one micro-generator for one function.
+
+    The extra fields are build-time metadata the fast-path compiler
+    (:mod:`repro.wrappers.fastpath`) specializes on; the interpreted
+    composer ignores them.
+    """
 
     generator: str
     prefix: Optional[Hook] = None
     postfix: Optional[Hook] = None
+    #: hooks that only publish telemetry; a compiled wrapper may skip
+    #: them entirely while the library's bus has no sink attached
+    telemetry_only: bool = False
+    #: hooks that read or write ``frame.scratch`` (forces a real dict)
+    uses_scratch: bool = False
+    #: set by the caller generator: a zero-argument resolver returning
+    #: the next (shadowed) definition, letting a compiled wrapper whose
+    #: only remaining hook is the intercepted call bypass CallFrame
+    #: construction altogether
+    direct_target: Optional[Callable[[], Callable]] = None
+    #: frame-free rendering of ``prefix`` for guard-style hooks:
+    #: ``(process, args, varargs) -> None`` to proceed with the call, or
+    #: a one-tuple ``(value,)`` to contain it (the wrapper returns
+    #: ``value`` without calling through).  When every prefix in a chain
+    #: offers one, the compiled wrapper skips CallFrame entirely.
+    guard: Optional[Callable[..., Optional[tuple]]] = None
 
 
 @dataclass
@@ -87,6 +130,10 @@ class WrapperUnit:
     #: the library's telemetry bus; hooks publish events here instead of
     #: mutating ``state`` (a StateSink rebuilds it at flush time)
     bus: Optional[EventBus] = None
+    #: False selects the interpreted reference path: generators build
+    #: their original per-call hooks and checkers instead of the
+    #: build-time-specialized fast path (kept for differential tests)
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.bus is None:

@@ -240,3 +240,95 @@ class TestCoalescing:
         brk_before = heap._brk
         heap.free(a)
         assert heap._brk < brk_before
+
+
+class LegacyReferenceAllocator(HeapAllocator):
+    """The pre-index allocator: per-malloc ``sorted()`` first-fit and a
+    dict-scan backward coalesce, exactly as before ``_free_order`` was
+    introduced.  These overrides read only ``self._free`` (leaving the
+    order list stale), so the replay below pins that the maintained
+    sorted index makes the very same placement decisions the re-sorting
+    implementation did."""
+
+    def _take_free_chunk(self, total):
+        for header in sorted(self._free):
+            available = self._free[header]
+            if available >= total:
+                del self._free[header]
+                if available - total >= 32:  # MIN_SPLIT
+                    remainder = header + total
+                    self._write_header(
+                        remainder, 0, available - total, allocated=False
+                    )
+                    self._free[remainder] = available - total
+                    return (header, total)
+                return (header, available)
+        return None
+
+    def _coalesce(self, header):
+        total = self._free.pop(header)
+        for other, other_total in list(self._free.items()):
+            if other + other_total == header:
+                del self._free[other]
+                header = other
+                total += other_total
+                break
+        follower = header + total
+        while follower in self._free:
+            total += self._free.pop(follower)
+            follower = header + total
+        if header + total == self._brk:
+            self._brk = header
+        else:
+            self._free[header] = total
+            self._write_header(header, 0, total, allocated=False)
+
+
+class TestPlacementPinning:
+    """The sorted free index must not change any placement decision."""
+
+    def _replay(self, heap):
+        import random
+
+        rng = random.Random(0xF1257F17)
+        live = []
+        trace = []
+        for step in range(600):
+            action = rng.random()
+            if action < 0.55 or not live:
+                ptr = heap.malloc(rng.choice([0, 8, 24, 40, 100, 200, 513]))
+                trace.append(("malloc", ptr))
+                if ptr:
+                    live.append(ptr)
+            elif action < 0.85:
+                victim = live.pop(rng.randrange(len(live)))
+                heap.free(victim)
+                trace.append(("free", victim))
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                ptr = heap.realloc(victim, rng.choice([8, 64, 300]))
+                trace.append(("realloc", victim, ptr))
+                if ptr:
+                    live.append(ptr)
+        return trace
+
+    def test_indexed_first_fit_places_like_sorted_first_fit(self):
+        indexed = HeapAllocator(AddressSpace(), size=1 << 18)
+        legacy = LegacyReferenceAllocator(AddressSpace(), size=1 << 18)
+        assert self._replay(indexed) == self._replay(legacy)
+        assert indexed._free == legacy._free
+        assert indexed._brk == legacy._brk
+        assert indexed.live_allocations() == legacy.live_allocations()
+        assert [
+            (c.header_address, c.total_size, c.allocated)
+            for c in indexed.walk()
+        ] == [
+            (c.header_address, c.total_size, c.allocated)
+            for c in legacy.walk()
+        ]
+
+    def test_free_order_mirrors_free_dict(self):
+        heap = HeapAllocator(AddressSpace(), size=1 << 18)
+        self._replay(heap)
+        assert heap._free_order == sorted(heap._free)
+        assert heap._live_order == sorted(heap._live)
