@@ -5,17 +5,40 @@ a real C library with no argument validation.  Every byte touched consumes
 one unit of process fuel, so an unterminated scan either faults at a
 mapping boundary (CRASH) or exhausts its fuel (HANG) — the two failure
 modes fault injection must provoke and the wrappers must prevent.
+
+The default implementations are *vectorized*: they resolve the accessible
+extent once, perform the copy/scan/compare as one C-speed slice operation,
+and then replay the exact fuel accounting and faulting access the byte loop
+would have performed.  The original loops are kept verbatim as ``_scalar_*``
+and selected via ``AddressSpace.scalar`` (``HEALERS_SCALAR_MEMORY=1``), so a
+differential suite can prove byte- and fault-address parity.
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
 from typing import Optional
 
+from repro.memory.model import AddressSpace, Perm, first_mismatch
 from repro.runtime.process import SimProcess
 
 
 def scan_string_length(proc: SimProcess, address: int) -> int:
     """strlen-style scan; faults/hangs exactly like the C loop would."""
+    if proc.space.scalar:
+        return _scalar_scan_string_length(proc, address)
+    space = proc.space
+    index, scanned = space.find_byte(address, 0)
+    if index is not None:
+        proc.consume_metered(index + 1)
+        return index
+    proc.consume_metered(scanned + 1)
+    space.read(address + scanned, 1)
+    raise AssertionError("strlen fault replay did not fault")
+
+
+def _scalar_scan_string_length(proc: SimProcess, address: int) -> int:
     length = 0
     cursor = address
     while True:
@@ -26,8 +49,85 @@ def scan_string_length(proc: SimProcess, address: int) -> int:
         cursor += 1
 
 
+def scan_string_length_bounded(proc: SimProcess, address: int, maxlen: int) -> int:
+    """strnlen-style scan: stops at the terminator or at ``maxlen`` bytes."""
+    if proc.space.scalar:
+        return _scalar_scan_string_length_bounded(proc, address, maxlen)
+    if maxlen <= 0:
+        return maxlen
+    space = proc.space
+    index, scanned = space.find_byte(address, 0, maxlen)
+    if index is not None:
+        proc.consume_metered(index + 1)
+        return index
+    if scanned >= maxlen:
+        proc.consume_metered(maxlen)
+        return maxlen
+    proc.consume_metered(scanned + 1)
+    space.read(address + scanned, 1)
+    raise AssertionError("strnlen fault replay did not fault")
+
+
+def _scalar_scan_string_length_bounded(
+    proc: SimProcess, address: int, maxlen: int
+) -> int:
+    length = 0
+    while length < maxlen:
+        proc.consume()
+        if proc.space.read(address + length, 1)[0] == 0:
+            return length
+        length += 1
+    return maxlen
+
+
+def _bulk_copy(
+    proc: SimProcess, dest: int, src: int, count: int, units: Optional[int] = None
+) -> None:
+    """Copy ``count`` accessible bytes, clamped to the fuel headroom, then
+    meter ``units`` consumes (defaults to ``count``).
+
+    The clamp keeps side effects identical to a loop that ran out of fuel
+    mid-copy; ``consume_metered`` then raises the same ``OutOfFuel``.
+    """
+    space = proc.space
+    headroom = proc.fuel_headroom()
+    side = count if headroom is None else min(count, headroom)
+    if side > 0:
+        space.write_run(dest, space.read_run(src, side))
+    proc.consume_metered(count if units is None else units)
+
+
 def copy_string(proc: SimProcess, dest: int, src: int) -> int:
     """strcpy-style byte loop; returns bytes copied excluding the NUL."""
+    if proc.space.scalar:
+        return _scalar_copy_string(proc, dest, src)
+    space = proc.space
+    index, scanned = space.find_byte(src, 0)
+    span = (index + 1) if index is not None else scanned + 1
+    if src < dest < src + span:
+        # the destination lands inside the bytes still being scanned, so the
+        # reference loop reads back data it has already overwritten — defer
+        return _scalar_copy_string(proc, dest, src)
+    if index is not None:
+        total = index + 1
+        writable = space.writable_run(dest, total)
+        if writable >= total:
+            _bulk_copy(proc, dest, src, total)
+            return index
+        _bulk_copy(proc, dest, src, writable, units=writable + 1)
+        space.write(dest + writable, b"\x00")
+        raise AssertionError("strcpy fault replay did not fault")
+    writable = space.writable_run(dest, scanned + 1)
+    processed = min(scanned, writable)
+    _bulk_copy(proc, dest, src, processed, units=processed + 1)
+    if scanned <= writable:
+        space.read(src + scanned, 1)
+    else:
+        space.write(dest + writable, b"\x00")
+    raise AssertionError("strcpy fault replay did not fault")
+
+
+def _scalar_copy_string(proc: SimProcess, dest: int, src: int) -> int:
     copied = 0
     while True:
         proc.consume()
@@ -40,6 +140,31 @@ def copy_string(proc: SimProcess, dest: int, src: int) -> int:
 
 def copy_bytes_forward(proc: SimProcess, dest: int, src: int, count: int) -> None:
     """memcpy-style loop (forward, byte-at-a-time, fuel-metered)."""
+    if proc.space.scalar or count <= 0:
+        _scalar_copy_bytes_forward(proc, dest, src, count)
+        return
+    space = proc.space
+    readable = space.readable_run(src, count)
+    writable = space.writable_run(dest, count)
+    complete = min(count, readable, writable)
+    headroom = proc.fuel_headroom()
+    side = complete if headroom is None else min(complete, headroom)
+    if side > 0:
+        space.copy_within(dest, src, side, forward=True)
+    if complete >= count:
+        proc.consume_metered(count)
+        return
+    proc.consume_metered(complete + 1)
+    if readable <= writable:
+        space.read(src + complete, 1)
+    else:
+        space.write(dest + complete, b"\x00")
+    raise AssertionError("memcpy fault replay did not fault")
+
+
+def _scalar_copy_bytes_forward(
+    proc: SimProcess, dest: int, src: int, count: int
+) -> None:
     for offset in range(count):
         proc.consume()
         byte = proc.space.read(src + offset, 1)
@@ -48,6 +173,34 @@ def copy_bytes_forward(proc: SimProcess, dest: int, src: int, count: int) -> Non
 
 def copy_bytes_backward(proc: SimProcess, dest: int, src: int, count: int) -> None:
     """memmove tail-first loop for overlapping dest > src."""
+    if proc.space.scalar or count <= 0 or dest < src < dest + count:
+        # a descending loop with dest < src overlapping smears bytes it has
+        # not read yet; only the reference loop reproduces that faithfully
+        _scalar_copy_bytes_backward(proc, dest, src, count)
+        return
+    space = proc.space
+    readable = space.readable_run_back(src + count, count)
+    writable = space.writable_run_back(dest + count, count)
+    complete = min(count, readable, writable)
+    headroom = proc.fuel_headroom()
+    side = complete if headroom is None else min(complete, headroom)
+    if side > 0:
+        space.copy_within(dest + count - side, src + count - side, side)
+    if complete >= count:
+        proc.consume_metered(count)
+        return
+    proc.consume_metered(complete + 1)
+    offset = count - 1 - complete
+    if readable <= writable:
+        space.read(src + offset, 1)
+    else:
+        space.write(dest + offset, b"\x00")
+    raise AssertionError("memmove fault replay did not fault")
+
+
+def _scalar_copy_bytes_backward(
+    proc: SimProcess, dest: int, src: int, count: int
+) -> None:
     for offset in range(count - 1, -1, -1):
         proc.consume()
         byte = proc.space.read(src + offset, 1)
@@ -57,6 +210,53 @@ def copy_bytes_backward(proc: SimProcess, dest: int, src: int, count: int) -> No
 def compare_strings(proc: SimProcess, left: int, right: int,
                     limit: Optional[int] = None, fold_case: bool = False) -> int:
     """strcmp/strncmp/strcasecmp core; returns the C-style difference."""
+    if proc.space.scalar:
+        return _scalar_compare_strings(proc, left, right, limit, fold_case)
+    space = proc.space
+    offset = 0
+    chunk = 512
+    while True:
+        if limit is not None and offset >= limit:
+            proc.consume_metered(offset)
+            return 0
+        cap = chunk
+        if limit is not None:
+            cap = min(cap, limit - offset)
+        left_run = space.readable_run(left + offset, cap)
+        right_run = space.readable_run(right + offset, cap)
+        window = min(left_run, right_run)
+        if window == 0:
+            proc.consume_metered(offset + 1)
+            if left_run == 0:
+                space.read(left + offset, 1)
+            else:
+                space.read(right + offset, 1)
+            raise AssertionError("strcmp fault replay did not fault")
+        a = space.read_run(left + offset, window)
+        b = space.read_run(right + offset, window)
+        if fold_case:
+            a = a.translate(_FOLD_TABLE)
+            b = b.translate(_FOLD_TABLE)
+        if a == b:
+            terminator = a.find(0)
+            if terminator >= 0:
+                proc.consume_metered(offset + terminator + 1)
+                return 0
+        else:
+            mismatch = first_mismatch(a, b)
+            terminator = a.find(0, 0, mismatch)
+            if terminator >= 0:
+                proc.consume_metered(offset + terminator + 1)
+                return 0
+            proc.consume_metered(offset + mismatch + 1)
+            return a[mismatch] - b[mismatch]
+        offset += window
+        chunk *= 4
+
+
+def _scalar_compare_strings(proc: SimProcess, left: int, right: int,
+                            limit: Optional[int] = None,
+                            fold_case: bool = False) -> int:
     offset = 0
     while True:
         if limit is not None and offset >= limit:
@@ -78,6 +278,70 @@ def _fold(byte: int) -> int:
     if 0x41 <= byte <= 0x5A:
         return byte + 0x20
     return byte
+
+
+_FOLD_TABLE = bytes(_fold(i) for i in range(256))
+
+
+# ----------------------------------------------------------------------
+# wide-character (4-byte) scan windows
+# ----------------------------------------------------------------------
+
+def wide_window(space: AddressSpace, address: int, limit_chars: int):
+    """Readable 4-byte characters starting at ``address``.
+
+    Returns ``(chars, data)`` where ``data`` holds ``chars * 4`` bytes.  The
+    window stops (without faulting) at the first character a ``read_u32``
+    would reject — including a 1–3 byte tail inside a mapping, which faults
+    even when an adjacent mapping follows.
+    """
+    chars = 0
+    parts = []
+    cursor = address
+    while chars < limit_chars:
+        mapping = space.find_mapping(cursor)
+        if mapping is None or not (mapping.perm & Perm.READ):
+            break
+        here = min((mapping.end - cursor) // 4, limit_chars - chars)
+        if here <= 0:
+            break
+        offset = cursor - mapping.start
+        parts.append(bytes(mapping.data[offset : offset + here * 4]))
+        chars += here
+        cursor += here * 4
+        if cursor < mapping.end:
+            break
+    return chars, b"".join(parts)
+
+
+def wide_writable_chars(space: AddressSpace, address: int, limit_chars: int) -> int:
+    """How many 4-byte characters from ``address`` a ``write_u32`` accepts."""
+    chars = 0
+    cursor = address
+    while chars < limit_chars:
+        mapping = space.find_mapping(cursor)
+        if mapping is None or not (mapping.perm & Perm.WRITE):
+            break
+        here = min((mapping.end - cursor) // 4, limit_chars - chars)
+        if here <= 0:
+            break
+        chars += here
+        cursor += here * 4
+        if cursor < mapping.end:
+            break
+    return chars
+
+
+def find_word(data: bytes, value: int) -> Optional[int]:
+    """Index (in words) of the first little-endian u32 equal to ``value``."""
+    words = array("I")
+    words.frombytes(data)
+    if sys.byteorder == "big":
+        words.byteswap()
+    try:
+        return words.index(value & 0xFFFFFFFF)
+    except ValueError:
+        return None
 
 
 def to_signed(value: int, bits: int = 32) -> int:

@@ -235,6 +235,49 @@ def _read_string_fuelled(proc: SimProcess, address: int, precision) -> bytes:
         cursor += 1
 
 
+def _scalar_gets(proc: SimProcess, s: int) -> int:
+    cursor = s
+    read_any = False
+    while True:
+        proc.consume()
+        data = proc.fs.read(STDIN_INDEX, 1)
+        if not data:
+            break
+        read_any = True
+        if data == b"\n":
+            break
+        proc.space.write(cursor, data)
+        cursor += 1
+    if not read_any:
+        return 0
+    proc.space.write(cursor, b"\x00")
+    return s
+
+
+def _scalar_fgets(proc: SimProcess, s: int, size: int, index: int) -> int:
+    cursor = s
+    remaining = size - 1
+    read_any = False
+    while remaining > 0:
+        proc.consume()
+        data = proc.fs.read(index, 1)
+        if data is None:
+            proc.errno = Errno.EBADF
+            return 0
+        if not data:
+            break
+        read_any = True
+        proc.space.write(cursor, data)
+        cursor += 1
+        remaining -= 1
+        if data == b"\n":
+            break
+    if not read_any:
+        return 0
+    proc.space.write(cursor, b"\x00")
+    return s
+
+
 # ----------------------------------------------------------------------
 # registration
 # ----------------------------------------------------------------------
@@ -298,21 +341,56 @@ def register(reg: LibcRegistry) -> None:
                    error_detector=null_on_error)
     def gets(proc: SimProcess, s: int) -> int:
         """Read a line from stdin with *no* bound — the classic CVE."""
-        cursor = s
-        read_any = False
-        while True:
-            proc.consume()
-            data = proc.fs.read(STDIN_INDEX, 1)
-            if not data:
-                break
-            read_any = True
-            if data == b"\n":
-                break
-            proc.space.write(cursor, data)
-            cursor += 1
-        if not read_any:
+        if proc.space.scalar:
+            return _scalar_gets(proc, s)
+        space = proc.space
+        fs = proc.fs
+        if fs.peek(STDIN_INDEX, 1) is None:
+            proc.consume_metered(1)
+            fs.read(STDIN_INDEX, 1)
             return 0
-        proc.space.write(cursor, b"\x00")
+        offset = 0
+        newline = False
+        while True:
+            chunk = fs.peek(STDIN_INDEX, 4096, offset)
+            position = chunk.find(b"\n")
+            if position >= 0:
+                linelen = offset + position
+                newline = True
+                break
+            if len(chunk) < 4096:
+                linelen = offset + len(chunk)
+                break
+            offset += 4096
+        # one fuel unit per loop iteration: linelen data bytes plus the
+        # newline (or the empty read that flags EOF)
+        units = linelen + 1
+        writable = space.writable_run(s, linelen)
+        headroom = proc.fuel_headroom()
+        if writable < linelen:
+            fault_units = writable + 1
+            advance = fault_units if headroom is None or headroom >= fault_units else headroom
+            data = fs.read(STDIN_INDEX, advance) if advance else b""
+            side = min(writable, advance)
+            if side:
+                space.write_run(s, data[:side])
+            proc.consume_metered(fault_units)
+            space.write(s + writable, b"\x00")
+            raise AssertionError("gets fault replay did not fault")
+        if headroom is not None and headroom < units:
+            data = fs.read(STDIN_INDEX, headroom) if headroom else b""
+            if data:
+                space.write_run(s, data)
+            proc.consume_metered(units)
+            raise AssertionError("gets fuel replay did not trip")
+        data = fs.read(STDIN_INDEX, linelen) if linelen else b""
+        if data:
+            space.write_run(s, data)
+        fs.read(STDIN_INDEX, 1)  # the newline, or the empty read setting EOF
+        proc.consume_metered(units)
+        if linelen == 0 and not newline:
+            return 0
+        space.write(s + linelen, b"\x00")
         return s
 
     @libc_function(reg, "char *fgets(char *s, int size, void *stream)",
@@ -323,26 +401,54 @@ def register(reg: LibcRegistry) -> None:
         index = stream_index_of(proc, stream)
         if size <= 0:
             return 0
-        cursor = s
-        remaining = size - 1
-        read_any = False
-        while remaining > 0:
-            proc.consume()
-            data = proc.fs.read(index, 1)
-            if data is None:
-                proc.errno = Errno.EBADF
-                return 0
-            if not data:
-                break
-            read_any = True
-            proc.space.write(cursor, data)
-            cursor += 1
-            remaining -= 1
-            if data == b"\n":
-                break
-        if not read_any:
+        if proc.space.scalar:
+            return _scalar_fgets(proc, s, size, index)
+        want = size - 1
+        if want == 0:
             return 0
-        proc.space.write(cursor, b"\x00")
+        space = proc.space
+        fs = proc.fs
+        window = fs.peek(index, want)
+        if window is None:
+            proc.consume_metered(1)
+            fs.read(index, 1)  # reproduces the error-flag side effect
+            proc.errno = Errno.EBADF
+            return 0
+        position = window.find(b"\n")
+        if position >= 0:
+            take = position + 1
+            eof_hit = False
+        else:
+            take = len(window)
+            eof_hit = take < want
+        units = take + 1 if eof_hit else take
+        writable = space.writable_run(s, take)
+        headroom = proc.fuel_headroom()
+        if writable < take:
+            fault_units = writable + 1
+            advance = fault_units if headroom is None or headroom >= fault_units else headroom
+            data = fs.read(index, advance) if advance else b""
+            side = min(writable, advance)
+            if side:
+                space.write_run(s, data[:side])
+            proc.consume_metered(fault_units)
+            space.write(s + writable, b"\x00")
+            raise AssertionError("fgets fault replay did not fault")
+        if headroom is not None and headroom < units:
+            data = fs.read(index, headroom) if headroom else b""
+            if data:
+                space.write_run(s, data)
+            proc.consume_metered(units)
+            raise AssertionError("fgets fuel replay did not trip")
+        data = fs.read(index, take) if take else b""
+        if data:
+            space.write_run(s, data)
+        if eof_hit:
+            fs.read(index, 1)  # the empty read that sets the EOF flag
+        proc.consume_metered(units)
+        if take == 0:
+            return 0
+        space.write(s + take, b"\x00")
         return s
 
     @libc_function(reg, "void *fopen(const char *path, const char *mode)",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.libc import helpers
 from repro.libc.registry import LibcRegistry, libc_function, null_on_error
+from repro.memory.model import first_mismatch
 from repro.runtime.process import Errno, SimProcess
 
 _ERRNO_MESSAGES = {
@@ -42,13 +43,7 @@ def register(reg: LibcRegistry) -> None:
                    header="string.h", category="string")
     def strnlen(proc: SimProcess, s: int, maxlen: int) -> int:
         """Length of s, scanning at most maxlen bytes."""
-        length = 0
-        while length < maxlen:
-            proc.consume()
-            if proc.space.read(s + length, 1)[0] == 0:
-                return length
-            length += 1
-        return maxlen
+        return helpers.scan_string_length_bounded(proc, s, maxlen)
 
     @libc_function(reg, "char *strcpy(char *dest, const char *src)",
                    header="string.h", category="string")
@@ -68,19 +63,46 @@ def register(reg: LibcRegistry) -> None:
                    header="string.h", category="string")
     def strncpy(proc: SimProcess, dest: int, src: int, n: int) -> int:
         """Copy at most n bytes; pads dest with NULs to length n."""
-        offset = 0
-        terminated = False
-        while offset < n:
-            proc.consume()
-            if terminated:
-                proc.space.write(dest + offset, b"\x00")
-            else:
-                byte = proc.space.read(src + offset, 1)[0]
-                proc.space.write(dest + offset, bytes([byte]))
-                if byte == 0:
-                    terminated = True
-            offset += 1
-        return dest
+        space = proc.space
+        if space.scalar or n <= 0 or src < dest < src + n:
+            # overlapping forward copy re-reads freshly written bytes; only
+            # the reference loop reproduces that faithfully
+            _scalar_strncpy(proc, dest, src, n)
+            return dest
+        index, scanned = space.find_byte(src, 0, n)
+        if index is not None:
+            copy_n, read_ok = index + 1, True
+        elif scanned >= n:
+            copy_n, read_ok = n, True
+        else:
+            copy_n, read_ok = scanned, False  # read faults at src + scanned
+        writable = space.writable_run(dest, n)
+        headroom = proc.fuel_headroom()
+        if read_ok and writable >= n:
+            side = n if headroom is None else min(n, headroom)
+            copied = min(side, copy_n)
+            if copied:
+                space.write_run(dest, space.read_run(src, copied))
+            if side > copied:
+                space.fill_run(dest + copied, 0, side - copied)
+            proc.consume_metered(n)
+            return dest
+        if not read_ok and copy_n <= writable:
+            fault_offset = copy_n
+        else:
+            fault_offset = writable
+        side = fault_offset if headroom is None else min(fault_offset, headroom)
+        copied = min(side, copy_n)
+        if copied:
+            space.write_run(dest, space.read_run(src, copied))
+        if side > copied:
+            space.fill_run(dest + copied, 0, side - copied)
+        proc.consume_metered(fault_offset + 1)
+        if not read_ok and copy_n <= writable:
+            space.read(src + copy_n, 1)
+        else:
+            space.write(dest + writable, b"\x00")
+        raise AssertionError("strncpy fault replay did not fault")
 
     @libc_function(reg, "char *strcat(char *dest, const char *src)",
                    header="string.h", category="string")
@@ -143,15 +165,29 @@ def register(reg: LibcRegistry) -> None:
     def strchr(proc: SimProcess, s: int, c: int) -> int:
         """First occurrence of (char)c in s, or NULL."""
         target = c & 0xFF
-        cursor = s
-        while True:
-            proc.consume()
-            byte = proc.space.read(cursor, 1)[0]
-            if byte == target:
-                return cursor
-            if byte == 0:
-                return 0
-            cursor += 1
+        space = proc.space
+        if space.scalar:
+            cursor = s
+            while True:
+                proc.consume()
+                byte = space.read(cursor, 1)[0]
+                if byte == target:
+                    return cursor
+                if byte == 0:
+                    return 0
+                cursor += 1
+        hit, _ = space.find_byte(s, target)
+        nul, scanned = space.find_byte(s, 0)
+        # the loop tests target before terminator, so a tie goes to target
+        if hit is not None and (nul is None or hit <= nul):
+            proc.consume_metered(hit + 1)
+            return s + hit
+        if nul is not None:
+            proc.consume_metered(nul + 1)
+            return 0
+        proc.consume_metered(scanned + 1)
+        space.read(s + scanned, 1)
+        raise AssertionError("strchr fault replay did not fault")
 
     @libc_function(reg, "char *strrchr(const char *s, int c)",
                    header="string.h", category="string",
@@ -159,16 +195,28 @@ def register(reg: LibcRegistry) -> None:
     def strrchr(proc: SimProcess, s: int, c: int) -> int:
         """Last occurrence of (char)c in s, or NULL."""
         target = c & 0xFF
-        found = 0
-        cursor = s
-        while True:
-            proc.consume()
-            byte = proc.space.read(cursor, 1)[0]
-            if byte == target:
-                found = cursor
-            if byte == 0:
-                return found
-            cursor += 1
+        space = proc.space
+        if space.scalar:
+            found = 0
+            cursor = s
+            while True:
+                proc.consume()
+                byte = space.read(cursor, 1)[0]
+                if byte == target:
+                    found = cursor
+                if byte == 0:
+                    return found
+                cursor += 1
+        nul, scanned = space.find_byte(s, 0)
+        if nul is None:
+            proc.consume_metered(scanned + 1)
+            space.read(s + scanned, 1)
+            raise AssertionError("strrchr fault replay did not fault")
+        proc.consume_metered(nul + 1)
+        if target == 0:
+            return s + nul
+        position = space.read_run(s, nul).rfind(target)
+        return s + position if position >= 0 else 0
 
     @libc_function(reg, "char *strstr(const char *haystack, const char *needle)",
                    header="string.h", category="string",
@@ -253,12 +301,7 @@ def register(reg: LibcRegistry) -> None:
                    error_detector=null_on_error)
     def strndup(proc: SimProcess, s: int, n: int) -> int:
         """malloc'd copy of at most n bytes of s, always terminated."""
-        length = 0
-        while length < n:
-            proc.consume()
-            if proc.space.read(s + length, 1)[0] == 0:
-                break
-            length += 1
+        length = helpers.scan_string_length_bounded(proc, s, n)
         copy = proc.heap.malloc(length + 1)
         if copy == 0:
             proc.errno = Errno.ENOMEM
@@ -303,22 +346,58 @@ def register(reg: LibcRegistry) -> None:
                    header="string.h", category="memory")
     def memset(proc: SimProcess, s: int, c: int, n: int) -> int:
         """Fill n bytes with (unsigned char)c."""
-        for offset in range(n):
-            proc.consume()
-            proc.space.write(s + offset, bytes([c & 0xFF]))
-        return s
+        space = proc.space
+        if space.scalar or n <= 0:
+            for offset in range(n):
+                proc.consume()
+                space.write(s + offset, bytes([c & 0xFF]))
+            return s
+        writable = space.writable_run(s, n)
+        headroom = proc.fuel_headroom()
+        if writable >= n:
+            side = n if headroom is None else min(n, headroom)
+            if side:
+                space.fill_run(s, c & 0xFF, side)
+            proc.consume_metered(n)
+            return s
+        side = writable if headroom is None else min(writable, headroom)
+        if side:
+            space.fill_run(s, c & 0xFF, side)
+        proc.consume_metered(writable + 1)
+        space.write(s + writable, b"\x00")
+        raise AssertionError("memset fault replay did not fault")
 
     @libc_function(reg, "int memcmp(const void *s1, const void *s2, size_t n)",
                    header="string.h", category="memory")
     def memcmp(proc: SimProcess, s1: int, s2: int, n: int) -> int:
         """Compare n bytes."""
-        for offset in range(n):
-            proc.consume()
-            a = proc.space.read(s1 + offset, 1)[0]
-            b = proc.space.read(s2 + offset, 1)[0]
-            if a != b:
-                return a - b
-        return 0
+        space = proc.space
+        if space.scalar or n <= 0:
+            for offset in range(n):
+                proc.consume()
+                a = space.read(s1 + offset, 1)[0]
+                b = space.read(s2 + offset, 1)[0]
+                if a != b:
+                    return a - b
+            return 0
+        run1 = space.readable_run(s1, n)
+        run2 = space.readable_run(s2, n)
+        window = min(n, run1, run2)
+        a = space.read_run(s1, window)
+        b = space.read_run(s2, window)
+        if a != b:
+            mismatch = first_mismatch(a, b)
+            proc.consume_metered(mismatch + 1)
+            return a[mismatch] - b[mismatch]
+        if window >= n:
+            proc.consume_metered(n)
+            return 0
+        proc.consume_metered(window + 1)
+        if run1 <= run2:
+            space.read(s1 + window, 1)
+        else:
+            space.read(s2 + window, 1)
+        raise AssertionError("memcmp fault replay did not fault")
 
     @libc_function(reg, "void *memchr(const void *s, int c, size_t n)",
                    header="string.h", category="memory",
@@ -326,11 +405,23 @@ def register(reg: LibcRegistry) -> None:
     def memchr(proc: SimProcess, s: int, c: int, n: int) -> int:
         """First occurrence of (unsigned char)c in the first n bytes."""
         target = c & 0xFF
-        for offset in range(n):
-            proc.consume()
-            if proc.space.read(s + offset, 1)[0] == target:
-                return s + offset
-        return 0
+        space = proc.space
+        if space.scalar or n <= 0:
+            for offset in range(n):
+                proc.consume()
+                if space.read(s + offset, 1)[0] == target:
+                    return s + offset
+            return 0
+        index, scanned = space.find_byte(s, target, n)
+        if index is not None:
+            proc.consume_metered(index + 1)
+            return s + index
+        if scanned >= n:
+            proc.consume_metered(n)
+            return 0
+        proc.consume_metered(scanned + 1)
+        space.read(s + scanned, 1)
+        raise AssertionError("memchr fault replay did not fault")
 
     @libc_function(reg, "char *strerror(int errnum)",
                    header="string.h", category="string")
@@ -340,6 +431,21 @@ def register(reg: LibcRegistry) -> None:
         if message is None:
             message = b"Unknown error %d" % errnum
         return proc.intern_cstring(message)
+
+
+def _scalar_strncpy(proc: SimProcess, dest: int, src: int, n: int) -> None:
+    offset = 0
+    terminated = False
+    while offset < n:
+        proc.consume()
+        if terminated:
+            proc.space.write(dest + offset, b"\x00")
+        else:
+            byte = proc.space.read(src + offset, 1)[0]
+            proc.space.write(dest + offset, bytes([byte]))
+            if byte == 0:
+                terminated = True
+        offset += 1
 
 
 def _strtok_impl(proc: SimProcess, str_: int, delim: int, save_ptr) -> int:

@@ -9,14 +9,28 @@ data — exactly the behaviour heap-smashing attacks rely on.
 
 Addresses are plain Python integers.  Page zero is never mappable, so any
 NULL (or near-NULL) dereference faults, as on a real OS.
+
+Access paths come in two flavours:
+
+* the default *vectorized* backend resolves a mapping once and then works on
+  ``Mapping.data`` slices at C speed (``bytes.find``, slice assignment,
+  ``struct.Struct.unpack_from``), faulting at the identical address a
+  per-byte scan would;
+* the *scalar* reference backend (``HEALERS_SCALAR_MEMORY=1`` or
+  ``AddressSpace(scalar=True)``) keeps the original one-``read``-per-byte
+  loops.  The differential suite drives both and asserts byte- and
+  fault-address parity.
 """
 
 from __future__ import annotations
 
 import bisect
 import enum
+import os
 import struct
-from typing import Iterator, List, Optional
+import sys
+from array import array
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import BusError, SegmentationFault
 
@@ -27,6 +41,18 @@ MIN_ADDRESS = PAGE_SIZE
 MAX_ADDRESS = 2 ** 32
 
 NULL = 0
+
+# Prepacked converters for the fixed-width accessors: struct.Struct objects
+# compile the format string once and expose pack_into/unpack_from, which work
+# directly on the mapping's bytearray without an intermediate bytes copy.
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I32 = struct.Struct("<i")
+
+
+def _env_scalar() -> bool:
+    return os.environ.get("HEALERS_SCALAR_MEMORY", "") not in ("", "0")
 
 
 class Perm(enum.IntFlag):
@@ -80,15 +106,35 @@ class AddressSpace:
     access methods raise :class:`SegmentationFault` on invalid access; a
     contiguous access must lie entirely within one mapping (crossing into an
     unmapped hole faults, as the MMU would at the page boundary).
+
+    ``resolve_count`` counts every access resolution and ``search_count``
+    counts the subset that had to bisect the mapping table — the difference
+    is the hit rate of the per-permission memoized mapping, which is
+    invalidated whenever ``epoch`` bumps (map/unmap/protect).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scalar: Optional[bool] = None) -> None:
         self._mappings: List[Mapping] = []
         self._starts: List[int] = []
+        #: when True, string scans and bulk primitives use the original
+        #: one-byte-at-a-time reference loops (HEALERS_SCALAR_MEMORY=1)
+        self.scalar = _env_scalar() if scalar is None else scalar
+        #: bumped on any mapping-table or permission change
+        self.epoch = 0
+        # last successfully resolved mapping, keyed by required permission
+        self._memo: dict = {}
+        #: total access resolutions performed
+        self.resolve_count = 0
+        #: resolutions that missed the memo and searched the mapping table
+        self.search_count = 0
 
     # ------------------------------------------------------------------
     # mapping management
     # ------------------------------------------------------------------
+
+    def _bump_epoch(self) -> None:
+        self.epoch += 1
+        self._memo.clear()
 
     def map_region(
         self,
@@ -123,6 +169,7 @@ class AddressSpace:
             raise ValueError(f"mapping at {at:#x} overlaps {self._mappings[index]}")
         self._mappings.insert(index, mapping)
         self._starts.insert(index, at)
+        self._bump_epoch()
         return mapping
 
     def unmap(self, mapping: Mapping) -> None:
@@ -132,10 +179,12 @@ class AddressSpace:
             raise ValueError(f"{mapping!r} is not mapped")
         del self._mappings[index]
         del self._starts[index]
+        self._bump_epoch()
 
     def protect(self, mapping: Mapping, perm: Perm) -> None:
         """Change the permissions of an existing mapping (mprotect)."""
         mapping.perm = perm
+        self._bump_epoch()
 
     def mappings(self) -> Iterator[Mapping]:
         """Iterate over mappings in address order."""
@@ -156,6 +205,16 @@ class AddressSpace:
     def _resolve(self, address: int, length: int, perm: Perm, access: str) -> Mapping:
         if length < 0:
             raise ValueError("negative access length")
+        self.resolve_count += 1
+        key = int(perm)
+        mapping = self._memo.get(key)
+        if (
+            mapping is not None
+            and mapping.start <= address
+            and address + length <= mapping.start + mapping.size
+        ):
+            return mapping
+        self.search_count += 1
         mapping = self.find_mapping(address)
         if mapping is None:
             raise SegmentationFault(address, access, "unmapped address")
@@ -169,6 +228,7 @@ class AddressSpace:
             raise SegmentationFault(
                 address, access, f"{mapping.name} lacks {perm.name} permission"
             )
+        self._memo[key] = mapping
         return mapping
 
     def is_readable(self, address: int, length: int = 1) -> bool:
@@ -208,7 +268,11 @@ class AddressSpace:
         mapping.data[offset : offset + len(data)] = data
 
     def fill(self, address: int, value: int, length: int) -> None:
-        """memset-style fill of ``length`` bytes with ``value``."""
+        """memset-style fill of ``length`` bytes with ``value``.
+
+        Resolves once and slice-assigns into the mapping; the regression
+        suite pins this at exactly one resolution per call.
+        """
         if length == 0:
             return
         mapping = self._resolve(address, length, Perm.WRITE, "write")
@@ -216,40 +280,324 @@ class AddressSpace:
         mapping.data[offset : offset + length] = bytes([value & 0xFF]) * length
 
     # ------------------------------------------------------------------
+    # accessibility runs (cross adjacent mappings, like per-byte loops do)
+    # ------------------------------------------------------------------
+
+    def _run_forward(self, address: int, limit: Optional[int], perm: Perm) -> int:
+        total = 0
+        cursor = address
+        while limit is None or total < limit:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & perm):
+                break
+            total += mapping.end - cursor
+            cursor = mapping.end
+        if limit is not None and total > limit:
+            total = limit
+        return total
+
+    def _run_backward(self, end: int, limit: Optional[int], perm: Perm) -> int:
+        total = 0
+        cursor = end
+        while limit is None or total < limit:
+            mapping = self.find_mapping(cursor - 1)
+            if mapping is None or not (mapping.perm & perm):
+                break
+            total += cursor - mapping.start
+            cursor = mapping.start
+        if limit is not None and total > limit:
+            total = limit
+        return total
+
+    def readable_run(self, address: int, limit: Optional[int] = None) -> int:
+        """Contiguous readable bytes starting at ``address`` (≤ ``limit``).
+
+        Unlike :meth:`read`, the run crosses directly adjacent mappings,
+        because a byte-at-a-time loop does too.
+        """
+        return self._run_forward(address, limit, Perm.READ)
+
+    def writable_run(self, address: int, limit: Optional[int] = None) -> int:
+        """Contiguous writable bytes starting at ``address`` (≤ ``limit``)."""
+        return self._run_forward(address, limit, Perm.WRITE)
+
+    def readable_run_back(self, end: int, limit: Optional[int] = None) -> int:
+        """Contiguous readable bytes ending just before ``end`` (≤ ``limit``)."""
+        return self._run_backward(end, limit, Perm.READ)
+
+    def writable_run_back(self, end: int, limit: Optional[int] = None) -> int:
+        """Contiguous writable bytes ending just before ``end`` (≤ ``limit``)."""
+        return self._run_backward(end, limit, Perm.WRITE)
+
+    # ------------------------------------------------------------------
+    # bulk access (multi-mapping; faults where the per-byte loop would)
+    # ------------------------------------------------------------------
+
+    def read_run(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes crossing adjacent mappings.
+
+        Faults at the first inaccessible byte — the address a
+        ``read(cursor, 1)`` loop would report.
+        """
+        if length <= 0:
+            return b""
+        parts = []
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & Perm.READ):
+                self.read(cursor, 1)  # raises the exact scalar fault
+                raise AssertionError("read_run fault replay did not fault")
+            offset = cursor - mapping.start
+            take = min(remaining, mapping.size - offset)
+            parts.append(bytes(mapping.data[offset : offset + take]))
+            cursor += take
+            remaining -= take
+        return b"".join(parts)
+
+    def write_run(self, address: int, data: bytes) -> None:
+        """Write ``data`` crossing adjacent mappings (per-byte fault parity)."""
+        cursor = address
+        view = memoryview(data)
+        position = 0
+        remaining = len(data)
+        while remaining > 0:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & Perm.WRITE):
+                self.write(cursor, b"\x00")  # raises the exact scalar fault
+                raise AssertionError("write_run fault replay did not fault")
+            offset = cursor - mapping.start
+            take = min(remaining, mapping.size - offset)
+            mapping.data[offset : offset + take] = view[position : position + take]
+            cursor += take
+            position += take
+            remaining -= take
+
+    def fill_run(self, address: int, value: int, length: int) -> None:
+        """Fill ``length`` bytes crossing adjacent mappings."""
+        cursor = address
+        remaining = length
+        value &= 0xFF
+        while remaining > 0:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & Perm.WRITE):
+                self.write(cursor, b"\x00")
+                raise AssertionError("fill_run fault replay did not fault")
+            offset = cursor - mapping.start
+            take = min(remaining, mapping.size - offset)
+            mapping.data[offset : offset + take] = bytes([value]) * take
+            cursor += take
+            remaining -= take
+
+    def find_byte(
+        self, address: int, value: int, limit: Optional[int] = None
+    ) -> Tuple[Optional[int], int]:
+        """Scan readable memory from ``address`` for ``value``.
+
+        Returns ``(index, scanned)``: ``index`` is the offset of the first
+        occurrence (None when absent within the accessible window) and
+        ``scanned`` is how many readable bytes the scan covered — the full
+        accessible run capped at ``limit`` when nothing was found.  The scan
+        never faults; callers replay ``read(address + scanned, 1)`` when the
+        per-byte loop would have faulted there.
+        """
+        value &= 0xFF
+        total = 0
+        cursor = address
+        while limit is None or total < limit:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & Perm.READ):
+                break
+            start = cursor - mapping.start
+            stop = mapping.size
+            if limit is not None:
+                stop = min(stop, start + (limit - total))
+            idx = mapping.data.find(value, start, stop)
+            if idx >= 0:
+                found = total + (idx - start)
+                return found, found + 1
+            total += stop - start
+            cursor = mapping.start + stop
+            if stop < mapping.size:
+                break
+        if limit is not None and total > limit:
+            total = limit
+        return None, total
+
+    def find_u32(
+        self, address: int, value: int, limit_words: int
+    ) -> Tuple[Optional[int], int]:
+        """Scan for a 32-bit little-endian word at stride 4 from ``address``.
+
+        Returns ``(index, scanned)`` in *words*.  Only words whose four bytes
+        a ``read_u32`` would accept (entirely inside one readable mapping)
+        are scanned; the scan stops — without faulting — at the first word
+        that would fault.
+        """
+        value &= 0xFFFFFFFF
+        total = 0
+        cursor = address
+        while total < limit_words:
+            mapping = self.find_mapping(cursor)
+            if mapping is None or not (mapping.perm & Perm.READ):
+                break
+            words_here = min((mapping.end - cursor) // 4, limit_words - total)
+            if words_here <= 0:
+                break
+            offset = cursor - mapping.start
+            window = array("I")
+            window.frombytes(bytes(mapping.data[offset : offset + words_here * 4]))
+            if sys.byteorder == "big":
+                window.byteswap()
+            try:
+                idx = window.index(value)
+            except ValueError:
+                idx = -1
+            if idx >= 0:
+                found = total + idx
+                return found, found + 1
+            total += words_here
+            cursor += words_here * 4
+            if cursor < mapping.end:
+                break
+        return None, total
+
+    def copy_within(
+        self, dest: int, src: int, length: int, forward: bool = False
+    ) -> None:
+        """Bulk copy of ``length`` bytes from ``src`` to ``dest``.
+
+        With ``forward=False`` this has memmove semantics (overlap safe in
+        either direction, backward loop order when ``dest > src``).  With
+        ``forward=True`` it reproduces a naive ascending C copy loop: a
+        forward-overlapping copy smears the first ``dest - src`` bytes
+        repeatedly, exactly like ``for (i...) d[i] = s[i]``.  Faults land on
+        the same byte and access kind the per-byte loop would hit.
+        """
+        if length <= 0:
+            return
+        if self.scalar:
+            if forward or dest <= src:
+                for offset in range(length):
+                    self.write(dest + offset, self.read(src + offset, 1))
+            else:
+                for offset in range(length - 1, -1, -1):
+                    self.write(dest + offset, self.read(src + offset, 1))
+            return
+        if forward or dest <= src:
+            readable = self.readable_run(src, length)
+            writable = self.writable_run(dest, length)
+            count = min(length, readable, writable)
+            if count:
+                if forward and src < dest < src + count:
+                    period = dest - src
+                    pattern = self.read_run(src, period)
+                    data = (pattern * (count // period + 1))[:count]
+                else:
+                    data = self.read_run(src, count)
+                self.write_run(dest, data)
+            if count < length:
+                if readable <= writable:
+                    self.read(src + count, 1)
+                else:
+                    self.write(dest + count, b"\x00")
+                raise AssertionError("copy_within fault replay did not fault")
+        else:
+            # descending loop: the first access is at the highest offset, so
+            # accessibility is measured from the top end downward
+            readable = self.readable_run_back(src + length, length)
+            writable = self.writable_run_back(dest + length, length)
+            count = min(length, readable, writable)
+            if count:
+                data = self.read_run(src + length - count, count)
+                self.write_run(dest + length - count, data)
+            if count < length:
+                offset = length - 1 - count
+                if readable <= writable:
+                    self.read(src + offset, 1)
+                else:
+                    self.write(dest + offset, b"\x00")
+                raise AssertionError("copy_within fault replay did not fault")
+
+    def compare(self, s1: int, s2: int, length: int) -> int:
+        """memcmp-style compare of ``length`` bytes (no fuel accounting).
+
+        Returns the difference of the first mismatching byte pair, or 0.
+        Faults where an interleaved ``read(s1+i) / read(s2+i)`` loop would.
+        """
+        if length <= 0:
+            return 0
+        if self.scalar:
+            for offset in range(length):
+                a = self.read(s1 + offset, 1)[0]
+                b = self.read(s2 + offset, 1)[0]
+                if a != b:
+                    return a - b
+            return 0
+        run1 = self.readable_run(s1, length)
+        run2 = self.readable_run(s2, length)
+        count = min(length, run1, run2)
+        a = self.read_run(s1, count)
+        b = self.read_run(s2, count)
+        if a != b:
+            index = first_mismatch(a, b)
+            return a[index] - b[index]
+        if count == length:
+            return 0
+        if run1 <= run2:
+            self.read(s1 + count, 1)
+        else:
+            self.read(s2 + count, 1)
+        raise AssertionError("compare fault replay did not fault")
+
+    # ------------------------------------------------------------------
     # scalar access (little endian, like x86)
     # ------------------------------------------------------------------
 
     def read_u8(self, address: int) -> int:
-        return self.read(address, 1)[0]
+        mapping = self._resolve(address, 1, Perm.READ, "read")
+        return mapping.data[address - mapping.start]
 
     def write_u8(self, address: int, value: int) -> None:
-        self.write(address, bytes([value & 0xFF]))
+        mapping = self._resolve(address, 1, Perm.WRITE, "write")
+        mapping.data[address - mapping.start] = value & 0xFF
 
     def read_u16(self, address: int) -> int:
-        return struct.unpack("<H", self.read(address, 2))[0]
+        mapping = self._resolve(address, 2, Perm.READ, "read")
+        return _U16.unpack_from(mapping.data, address - mapping.start)[0]
 
     def write_u16(self, address: int, value: int) -> None:
-        self.write(address, struct.pack("<H", value & 0xFFFF))
+        mapping = self._resolve(address, 2, Perm.WRITE, "write")
+        _U16.pack_into(mapping.data, address - mapping.start, value & 0xFFFF)
 
     def read_u32(self, address: int) -> int:
-        return struct.unpack("<I", self.read(address, 4))[0]
+        mapping = self._resolve(address, 4, Perm.READ, "read")
+        return _U32.unpack_from(mapping.data, address - mapping.start)[0]
 
     def write_u32(self, address: int, value: int) -> None:
-        self.write(address, struct.pack("<I", value & 0xFFFFFFFF))
+        mapping = self._resolve(address, 4, Perm.WRITE, "write")
+        _U32.pack_into(mapping.data, address - mapping.start, value & 0xFFFFFFFF)
 
     def read_u64(self, address: int) -> int:
-        return struct.unpack("<Q", self.read(address, 8))[0]
+        mapping = self._resolve(address, 8, Perm.READ, "read")
+        return _U64.unpack_from(mapping.data, address - mapping.start)[0]
 
     def write_u64(self, address: int, value: int) -> None:
-        self.write(address, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+        mapping = self._resolve(address, 8, Perm.WRITE, "write")
+        _U64.pack_into(
+            mapping.data, address - mapping.start, value & 0xFFFFFFFFFFFFFFFF
+        )
 
     def read_i32(self, address: int) -> int:
-        return struct.unpack("<i", self.read(address, 4))[0]
+        mapping = self._resolve(address, 4, Perm.READ, "read")
+        return _I32.unpack_from(mapping.data, address - mapping.start)[0]
 
     def write_i32(self, address: int, value: int) -> None:
         # C stores truncate: keep the low 32 bits, reinterpret as signed
         value = ((value + (1 << 31)) & 0xFFFFFFFF) - (1 << 31)
-        self.write(address, struct.pack("<i", value))
+        mapping = self._resolve(address, 4, Perm.WRITE, "write")
+        _I32.pack_into(mapping.data, address - mapping.start, value)
 
     def read_ptr(self, address: int) -> int:
         """Pointers in the simulated ABI are 8 bytes."""
@@ -271,11 +619,25 @@ class AddressSpace:
     def read_cstring(self, address: int, limit: Optional[int] = None) -> bytes:
         """Read a NUL-terminated string starting at ``address``.
 
-        Scans byte by byte exactly like a naive C ``strlen``: if the string
-        is not terminated before the mapping ends the scan faults at the
+        Behaves exactly like a naive C ``strlen`` walk: if the string is not
+        terminated before readable memory ends the scan faults at the
         boundary.  ``limit`` bounds the scan length (used by wrappers to
-        avoid unbounded scans, not by the fragile libc itself).
+        avoid unbounded scans, not by the fragile libc itself); the scan
+        stops exactly at ``limit`` and never touches the byte past it.
         """
+        if self.scalar:
+            return self._scalar_read_cstring(address, limit)
+        index, scanned = self.find_byte(address, 0, limit)
+        if index is not None:
+            return self.read_run(address, index)
+        if limit is not None and scanned >= limit:
+            return self.read_run(address, limit if limit > 0 else 0)
+        self.read(address + scanned, 1)
+        raise AssertionError("cstring fault replay did not fault")
+
+    def _scalar_read_cstring(
+        self, address: int, limit: Optional[int] = None
+    ) -> bytes:
         out = bytearray()
         cursor = address
         while True:
@@ -293,6 +655,19 @@ class AddressSpace:
 
     def cstring_length(self, address: int, limit: Optional[int] = None) -> int:
         """strlen without copying (same fault behaviour as read_cstring)."""
+        if self.scalar:
+            return self._scalar_cstring_length(address, limit)
+        index, scanned = self.find_byte(address, 0, limit)
+        if index is not None:
+            return index
+        if limit is not None and scanned >= limit:
+            return limit if limit > 0 else 0
+        self.read(address + scanned, 1)
+        raise AssertionError("cstring fault replay did not fault")
+
+    def _scalar_cstring_length(
+        self, address: int, limit: Optional[int] = None
+    ) -> int:
         length = 0
         cursor = address
         while True:
@@ -319,3 +694,13 @@ class AddressSpace:
                 f"{mapping.start:08x}-{mapping.end:08x} {perm} {mapping.name}"
             )
         return "\n".join(lines)
+
+
+def first_mismatch(a: bytes, b: bytes) -> int:
+    """Index of the first differing byte of two equal-length strings.
+
+    Single big-int XOR: the highest set bit of ``a ^ b`` (big-endian) sits
+    inside the first mismatching byte.
+    """
+    x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    return len(a) - ((x.bit_length() + 7) // 8)

@@ -82,40 +82,24 @@ def readable_extent(proc: SimProcess, pointer: int) -> int:
     return mapping.end - pointer
 
 
-#: bytes scanned per chunked read in :func:`terminated_length`
-SCAN_CHUNK = 4096
-
-
 def terminated_length(proc: SimProcess, pointer: int,
                       wide: bool = False) -> Optional[int]:
     """Length of the string at ``pointer`` if safely terminated, else None.
 
     The scan never leaves readable memory and never exceeds
     MAX_STRING_SCAN — the wrapper must not itself crash or hang on the
-    argument it is vetting.  The readable extent is established first, so
-    the scan proceeds in chunked bulk reads (one ``space.read`` per
-    SCAN_CHUNK characters) instead of one paging-layer round trip per
-    byte; results are identical to a per-character scan.
+    argument it is vetting.  The readable extent is established first and
+    the terminator search runs as one C-speed scan over the mapping slice
+    (:meth:`AddressSpace.find_byte` / :meth:`AddressSpace.find_u32`), with
+    no per-byte paging round trips and no chunk copies; results are
+    identical to a per-character scan.
     """
-    stride = WCHAR_SIZE if wide else 1
     bound = min(readable_extent(proc, pointer), MAX_STRING_SCAN)
-    positions = bound // stride
-    read = proc.space.read
-    offset = 0
-    while offset < positions:
-        count = min(positions - offset, SCAN_CHUNK)
-        data = read(pointer + offset * stride, count * stride)
-        if wide:
-            words = memoryview(data).cast("I")  # zero is endian-neutral
-            for index in range(count):
-                if words[index] == 0:
-                    return offset + index
-        else:
-            index = data.find(0)
-            if index >= 0:
-                return offset + index
-        offset += count
-    return None
+    if wide:
+        index, _ = proc.space.find_u32(pointer, 0, bound // WCHAR_SIZE)
+    else:
+        index, _ = proc.space.find_byte(pointer, 0, bound)
+    return index
 
 
 def analyse_format(proc: SimProcess, pointer: int) -> Optional[Tuple[int, bool]]:

@@ -134,6 +134,26 @@ class SimFileSystem:
             stream.eof = True
         return data
 
+    def peek(self, index: int, count: int, offset: int = 0) -> Optional[bytes]:
+        """Look ahead up to ``count`` bytes at ``offset`` past the position.
+
+        Pure lookahead: never advances the stream and never touches the
+        ``eof``/``error`` flags — bulk line scans use it to find the newline,
+        then :meth:`read` to consume exactly the bytes the byte-at-a-time
+        loop would have, with identical flag side effects.
+        """
+        stream = self.stream(index)
+        if stream is None or not stream.readable:
+            return None
+        if index == STDIN_INDEX:
+            start = self._stdin_pos + offset
+            return bytes(self.stdin[start : start + count])
+        content = self.files.get(stream.path)
+        if content is None:
+            return None
+        start = stream.position + offset
+        return bytes(content[start : start + count])
+
     def write(self, index: int, data: bytes) -> Optional[int]:
         """Write to a stream; returns bytes written (None = invalid)."""
         stream = self.stream(index)

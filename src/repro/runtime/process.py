@@ -141,6 +141,32 @@ class SimProcess:
         if self.fuel is not None and self._fuel_used > self.fuel:
             raise OutOfFuel(self._fuel_used)
 
+    def fuel_headroom(self) -> Optional[int]:
+        """Units left before the budget trips (None = unlimited).
+
+        Bulk libc paths use this to clamp their side effects to what the
+        equivalent unit-at-a-time loop would have completed before running
+        out of fuel.
+        """
+        if self.fuel is None:
+            return None
+        return max(self.fuel - self._fuel_used, 0)
+
+    def consume_metered(self, units: int) -> None:
+        """Burn ``units`` of fuel as ``units`` successive :meth:`consume` calls.
+
+        A single ``consume(units)`` would overshoot the recorded usage when
+        the budget trips mid-batch; this stops the meter at the first unit
+        past the budget so ``OutOfFuel.consumed`` matches the scalar loop
+        exactly.
+        """
+        if units <= 0:
+            return
+        if self.fuel is not None and self._fuel_used + units > self.fuel:
+            self._fuel_used = self.fuel + 1
+            raise OutOfFuel(self._fuel_used)
+        self._fuel_used += units
+
     @property
     def fuel_used(self) -> int:
         """Total fuel consumed so far."""

@@ -369,6 +369,62 @@ def _safe_gets(frame: CallFrame, state, emit, violation_found) -> None:
         violation_found(frame, "gets() destination is not writable")
         return
     frame.skip_call = True
+    if proc.space.scalar:
+        _scalar_safe_gets_body(frame, proc, dest, capacity, emit)
+        return
+    space = proc.space
+    # locate the line without consuming the stream, then replay the stream
+    # and memory side effects in bulk
+    linelen = 0
+    newline = False
+    offset = 0
+    chunk = 4096
+    while True:
+        window = proc.fs.peek(0, chunk, offset)
+        if not window:
+            linelen = offset
+            break
+        position = window.find(b"\n")
+        if position >= 0:
+            linelen = offset + position
+            newline = True
+            break
+        offset += len(window)
+        if len(window) < chunk:
+            linelen = offset
+            break
+        chunk *= 4
+    if linelen == 0 and not newline:
+        proc.fs.read(0, 1)  # the empty read that flips the stream to EOF
+        frame.ret = 0
+        return
+    to_write = min(linelen, capacity - 1)
+    writable = space.writable_run(dest, to_write)
+    if writable < to_write:
+        # the loop faults on byte `writable` after consuming it from stdin
+        data = proc.fs.read(0, writable + 1)
+        if writable > 0:
+            space.write_run(dest, data[:writable])
+        space.write(dest + writable, data[writable:writable + 1])
+        raise AssertionError("safe gets fault replay did not fault")
+    data = proc.fs.read(0, linelen + (1 if newline else 0))
+    if to_write > 0:
+        space.write_run(dest, data[:to_write])
+    if not newline:
+        proc.fs.read(0, 1)  # replay the EOF-setting empty read
+    space.write(dest + to_write, b"\x00")
+    if linelen > capacity - 1:
+        emit(
+            SecurityEvent(function="gets",
+                          reason=f"input truncated to {capacity - 1} bytes",
+                          terminated=False)
+        )
+    frame.ret = dest
+
+
+def _scalar_safe_gets_body(frame: CallFrame, proc: SimProcess, dest: int,
+                           capacity: int, emit) -> None:
+    """Reference byte loop for the bounded gets (differential backend)."""
     cursor = dest
     remaining = capacity - 1
     read_any = False

@@ -1,0 +1,380 @@
+"""Differential fuzzing: scalar reference loops vs the vectorized substrate.
+
+The vectorized memory paths (bulk ``AddressSpace`` primitives plus the
+slice-based libc bodies built on them) must be pure performance
+transformations of the original byte-at-a-time loops, which survive as the
+``HEALERS_SCALAR_MEMORY=1`` / ``AddressSpace(scalar=True)`` reference
+backend.  Hypothesis drives both backends with identical scenes — random
+payloads laid across mapping boundaries, adjacent mappings with weaker
+permissions, guard holes, tight fuel budgets — and compares everything
+observable: return values, bytes left in memory, the exception *type and
+constructor arguments* (fault address, access kind, detail, fuel counter),
+``errno``, fuel used and stream positions.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulatorError
+from repro.libc import standard_registry
+from repro.memory import PAGE_SIZE, AddressSpace, Perm
+from repro.runtime import SimProcess
+from repro.security.guard import _safe_gets
+from repro.wrappers.microgen import CallFrame
+
+BASE = 0x40000
+SCENE = 0x4000000  # far above the auto-placed process segments
+
+#: permission of the page directly after the first one: fully writable,
+#: read-only (bulk writes must fault exactly where the loop did), or a
+#: hole (scans crossing the boundary hit unmapped memory)
+FOLLOWER = st.sampled_from([Perm.RW, Perm.READ, None])
+
+COMMON = settings(max_examples=60,
+                  suppress_health_check=[HealthCheck.too_slow],
+                  deadline=None)
+
+libc_registry = standard_registry()
+
+
+def capture(fn):
+    """Run ``fn`` recording the outcome: value or exception type + args."""
+    try:
+        return ("ret", fn())
+    except SimulatorError as exc:
+        return ("exc", type(exc).__name__, exc.args)
+
+
+def plant(space, address, blob):
+    """Write ``blob`` straight into the backing buffer (ignores perms)."""
+    cursor = address
+    remaining = memoryview(blob)
+    while len(remaining):
+        mapping = space.find_mapping(cursor)
+        if mapping is None:
+            break
+        offset = cursor - mapping.start
+        step = min(len(remaining), mapping.size - offset)
+        mapping.data[offset:offset + step] = remaining[:step]
+        cursor += step
+        remaining = remaining[step:]
+
+
+def twin_spaces(follower, payload_at, payload):
+    pair = []
+    for scalar in (True, False):
+        space = AddressSpace(scalar=scalar)
+        space.map_region(PAGE_SIZE, Perm.RW, "first", at=BASE)
+        if follower is not None:
+            space.map_region(PAGE_SIZE, follower, "second",
+                             at=BASE + PAGE_SIZE)
+        plant(space, payload_at, payload)
+        pair.append(space)
+    return pair
+
+
+def snapshot(space):
+    parts = []
+    for start in (BASE, BASE + PAGE_SIZE):
+        mapping = space.find_mapping(start)
+        parts.append(bytes(mapping.data) if mapping is not None else None)
+    return parts
+
+
+def assert_spaces_agree(reference, vectorized, outcome_ref, outcome_vec):
+    assert outcome_vec == outcome_ref
+    assert snapshot(vectorized) == snapshot(reference)
+
+
+class TestAddressSpaceParity:
+    @given(
+        follower=FOLLOWER,
+        tail=st.integers(1, 80),
+        payload=st.binary(min_size=0, max_size=160),
+        limit=st.one_of(st.none(), st.integers(-2, 120)),
+    )
+    @COMMON
+    def test_cstring_scans(self, follower, tail, payload, limit):
+        start = BASE + PAGE_SIZE - tail
+        reference, vectorized = twin_spaces(follower, start, payload)
+        for op in ("read_cstring", "cstring_length"):
+            ref = capture(lambda: getattr(reference, op)(start, limit))
+            vec = capture(lambda: getattr(vectorized, op)(start, limit))
+            assert_spaces_agree(reference, vectorized, ref, vec)
+
+    @given(
+        follower=FOLLOWER,
+        tail=st.integers(0, 80),
+        payload=st.binary(min_size=0, max_size=160),
+        length=st.integers(0, 200),
+        value=st.integers(0, 255),
+    )
+    @COMMON
+    def test_bulk_fill_and_rw(self, follower, tail, payload, length, value):
+        start = BASE + PAGE_SIZE - tail if tail else BASE
+        reference, vectorized = twin_spaces(follower, start, payload)
+        for thunk in (
+            lambda s: s.fill(start, value, length),
+            lambda s: s.write(start, bytes([value]) * length),
+            lambda s: s.read(start, length),
+            lambda s: s.compare(BASE, start, length),
+        ):
+            ref = capture(lambda: thunk(reference))
+            vec = capture(lambda: thunk(vectorized))
+            assert_spaces_agree(reference, vectorized, ref, vec)
+
+    @given(
+        follower=FOLLOWER,
+        payload=st.binary(min_size=0, max_size=200),
+        dest_off=st.integers(0, 4200),
+        src_off=st.integers(0, 4200),
+        length=st.integers(0, 160),
+        forward=st.booleans(),
+    )
+    @COMMON
+    def test_copy_within(self, follower, payload, dest_off, src_off,
+                         length, forward):
+        reference, vectorized = twin_spaces(follower, BASE, payload)
+        ref = capture(lambda: reference.copy_within(
+            BASE + dest_off, BASE + src_off, length, forward=forward))
+        vec = capture(lambda: vectorized.copy_within(
+            BASE + dest_off, BASE + src_off, length, forward=forward))
+        assert_spaces_agree(reference, vectorized, ref, vec)
+
+    @given(
+        follower=st.sampled_from([Perm.RW, Perm.READ]),
+        payload=st.binary(min_size=0, max_size=160),
+        tail=st.integers(1, 80),
+    )
+    @COMMON
+    def test_scans_after_remap(self, follower, payload, tail):
+        """Unmap/protect between scans: the memo must never serve stale
+        mappings, so both backends keep faulting identically."""
+        start = BASE + PAGE_SIZE - tail
+        reference, vectorized = twin_spaces(follower, start, payload)
+        for space in (reference, vectorized):
+            space.read_cstring(BASE, 16)  # warm any memo
+            second = space.find_mapping(BASE + PAGE_SIZE)
+            space.protect(second, Perm.NONE)
+        ref = capture(lambda: reference.read_cstring(start))
+        vec = capture(lambda: vectorized.read_cstring(start))
+        assert_spaces_agree(reference, vectorized, ref, vec)
+        for space in (reference, vectorized):
+            space.unmap(space.find_mapping(BASE + PAGE_SIZE))
+        ref = capture(lambda: reference.cstring_length(start))
+        vec = capture(lambda: vectorized.cstring_length(start))
+        assert_spaces_agree(reference, vectorized, ref, vec)
+
+
+# ----------------------------------------------------------------------
+# libc bodies over twin processes
+# ----------------------------------------------------------------------
+
+def twin_procs(fuel, follower, payload, wide_payload=b""):
+    pair = []
+    for scalar in (True, False):
+        proc = SimProcess(fuel=fuel)
+        proc.space.scalar = scalar
+        proc.space.map_region(PAGE_SIZE, Perm.RW, "scene", at=SCENE)
+        if follower is not None:
+            proc.space.map_region(PAGE_SIZE, follower, "scene2",
+                                  at=SCENE + PAGE_SIZE)
+        plant(proc.space, SCENE, b"\x00" * PAGE_SIZE)
+        plant(proc.space, SCENE + PAGE_SIZE - len(payload) if payload
+              else SCENE, payload)
+        if wide_payload:
+            plant(proc.space, SCENE + 256, wide_payload)
+        pair.append(proc)
+    return pair
+
+
+def proc_snapshot(proc):
+    parts = []
+    for start in (SCENE, SCENE + PAGE_SIZE):
+        mapping = proc.space.find_mapping(start)
+        parts.append(bytes(mapping.data) if mapping is not None else None)
+    return parts
+
+
+def run_call(proc, libc, name, args):
+    outcome = capture(lambda: libc[name](proc, *args))
+    return (outcome, proc.errno, proc.fuel_used)
+
+
+def assert_procs_agree(reference, vectorized, ref, vec):
+    assert vec == ref
+    assert proc_snapshot(vectorized) == proc_snapshot(reference)
+    assert vectorized.fs._stdin_pos == reference.fs._stdin_pos
+
+
+STR_CALLS = st.sampled_from([
+    "strlen", "strcpy", "strncpy", "strcmp", "strncmp", "strcasecmp",
+    "strchr", "strrchr", "memcpy", "memmove", "memset", "memcmp",
+    "memchr", "strnlen",
+])
+
+
+class TestLibcParity:
+    @given(
+        fuel=st.one_of(st.none(), st.integers(0, 50)),
+        follower=FOLLOWER,
+        payload=st.binary(min_size=1, max_size=120),
+        name=STR_CALLS,
+        tail=st.integers(1, 90),
+        span=st.integers(0, 90),
+        value=st.integers(0, 255),
+    )
+    @COMMON
+    def test_string_family(self, fuel, follower, payload, name, tail,
+                           span, value):
+        reference, vectorized = twin_procs(fuel, follower, payload)
+        edge = SCENE + PAGE_SIZE - tail
+        inner = SCENE + 32
+        if name in ("strlen",):
+            args = (edge,)
+        elif name == "strnlen":
+            args = (edge, span)
+        elif name in ("strcpy",):
+            args = (inner, edge)
+        elif name == "strncpy":
+            args = (inner, edge, span)
+        elif name in ("strcmp", "strcasecmp"):
+            args = (inner, edge)
+        elif name == "strncmp":
+            args = (inner, edge, span)
+        elif name in ("strchr", "strrchr", "memchr"):
+            args = (edge, value) if name != "memchr" else (edge, value, span)
+        elif name in ("memcpy", "memmove"):
+            args = (edge, inner, span)
+        elif name == "memset":
+            args = (edge, value, span)
+        else:  # memcmp
+            args = (inner, edge, span)
+        ref = run_call(reference, libc_registry, name, args)
+        vec = run_call(vectorized, libc_registry, name, args)
+        assert_procs_agree(reference, vectorized, ref, vec)
+
+    @given(
+        fuel=st.one_of(st.none(), st.integers(0, 60)),
+        follower=FOLLOWER,
+        words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=0, max_size=24),
+        name=st.sampled_from(["wcslen", "wcscpy", "wcsncpy", "wcscmp",
+                              "wcschr"]),
+        tail_chars=st.integers(1, 24),
+        misalign=st.integers(0, 3),
+        span=st.integers(0, 24),
+        target=st.integers(0, 0xFFFF),
+    )
+    @COMMON
+    def test_wide_family(self, fuel, follower, words, name, tail_chars,
+                         misalign, span, target):
+        payload = b"".join(w.to_bytes(4, "little") for w in words)
+        reference, vectorized = twin_procs(fuel, follower, payload)
+        edge = SCENE + PAGE_SIZE - tail_chars * 4 - misalign
+        inner = SCENE + 64
+        if name == "wcslen":
+            args = (edge,)
+        elif name == "wcscpy":
+            args = (inner, edge)
+        elif name == "wcsncpy":
+            args = (inner, edge, span)
+        elif name == "wcscmp":
+            args = (inner, edge)
+        else:  # wcschr
+            args = (edge, target)
+        ref = run_call(reference, libc_registry, name, args)
+        vec = run_call(vectorized, libc_registry, name, args)
+        assert_procs_agree(reference, vectorized, ref, vec)
+
+    @given(
+        fuel=st.one_of(st.none(), st.integers(0, 40)),
+        stdin=st.binary(min_size=0, max_size=120),
+        newline_at=st.one_of(st.none(), st.integers(0, 120)),
+        tail=st.integers(1, 90),
+        size=st.integers(-1, 90),
+        use_stdin_gets=st.booleans(),
+    )
+    @COMMON
+    def test_stdio_family(self, fuel, stdin, newline_at, tail, size,
+                          use_stdin_gets):
+        if newline_at is not None:
+            stdin = stdin[:newline_at] + b"\n" + stdin[newline_at:]
+        # the stream is opened with unlimited fuel; only the call under
+        # test runs against the budget
+        reference, vectorized = twin_procs(None, Perm.READ, b"")
+        for proc in (reference, vectorized):
+            proc.fs.feed_stdin(stdin)
+            proc.fs.add_file("/in.txt", stdin)
+        dest = SCENE + PAGE_SIZE - tail
+        if use_stdin_gets:
+            for proc in (reference, vectorized):
+                proc.fuel = fuel
+            ref = run_call(reference, libc_registry, "gets", (dest,))
+            vec = run_call(vectorized, libc_registry, "gets", (dest,))
+        else:
+            streams = []
+            for proc in (reference, vectorized):
+                streams.append(libc_registry["fopen"](
+                    proc, proc.alloc_cstring(b"/in.txt"),
+                    proc.alloc_cstring(b"r")))
+                if fuel is not None:
+                    proc.fuel = proc.fuel_used + fuel
+            assert streams[0] == streams[1]
+            ref = run_call(reference, libc_registry, "fgets",
+                           (dest, size, streams[0]))
+            vec = run_call(vectorized, libc_registry, "fgets",
+                           (dest, size, streams[1]))
+            ref_stream = reference.fs.stream(3)
+            vec_stream = vectorized.fs.stream(3)
+            if ref_stream is not None and vec_stream is not None:
+                assert (vec_stream.position, vec_stream.eof,
+                        vec_stream.error) == \
+                       (ref_stream.position, ref_stream.eof,
+                        ref_stream.error)
+        assert_procs_agree(reference, vectorized, ref, vec)
+
+
+# ----------------------------------------------------------------------
+# security wrapper: bounded gets
+# ----------------------------------------------------------------------
+
+class _GuardState:
+    def __init__(self):
+        self.size_table = {}
+
+
+class TestSafeGetsParity:
+    @given(
+        stdin=st.binary(min_size=0, max_size=120),
+        newline_at=st.one_of(st.none(), st.integers(0, 120)),
+        capacity=st.integers(1, 64),
+        table_capacity=st.one_of(st.none(), st.integers(1, 200)),
+    )
+    @COMMON
+    def test_safe_gets(self, stdin, newline_at, capacity, table_capacity):
+        if newline_at is not None:
+            stdin = stdin[:newline_at] + b"\n" + stdin[newline_at:]
+        results = []
+        for scalar in (True, False):
+            proc = SimProcess()
+            proc.space.scalar = scalar
+            proc.fs.feed_stdin(stdin)
+            dest = proc.alloc_buffer(capacity)
+            state = _GuardState()
+            if table_capacity is not None:
+                state.size_table[dest] = table_capacity
+            events = []
+            violations = []
+            frame = CallFrame(proc, "gets", (dest,))
+            outcome = capture(lambda: _safe_gets(
+                frame, state, events.append,
+                lambda f, reason: violations.append(reason)))
+            span = max(capacity, table_capacity or 0) + 1
+            results.append((
+                outcome, frame.ret == dest,
+                [event.reason for event in events], violations,
+                proc.fs._stdin_pos,
+                proc.space.read(dest, span),
+                proc.fuel_used,
+            ))
+        assert results[0] == results[1]

@@ -181,3 +181,66 @@ class TestDiagnostics:
         assert page_align(1) == PAGE_SIZE
         assert page_align(PAGE_SIZE) == PAGE_SIZE
         assert page_align(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+
+class TestVectorizedSubstrate:
+    """Regressions for the bulk-op rewrite: resolve economy, memo
+    invalidation and exact limit semantics."""
+
+    def test_bulk_ops_resolve_once(self, space):
+        m = space.map_region(PAGE_SIZE)
+        before = space.resolve_count
+        space.fill(m.start, 0x41, m.size)
+        assert space.resolve_count == before + 1
+        before = space.resolve_count
+        space.write(m.start, b"B" * 256)
+        assert space.resolve_count == before + 1
+        before = space.resolve_count
+        space.read(m.start, 256)
+        assert space.resolve_count == before + 1
+
+    def test_memo_serves_repeat_hits_without_search(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write_u32(m.start, 7)
+        space.read_u32(m.start)  # warm the memo for READ
+        before = space.search_count
+        for offset in range(0, 64, 4):
+            space.read_u32(m.start + offset)
+        assert space.search_count == before
+
+    def test_memo_invalidated_by_unmap(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.read(m.start, 4)  # memoize
+        epoch = space.epoch
+        space.unmap(m)
+        assert space.epoch > epoch
+        with pytest.raises(SegmentationFault):
+            space.read(m.start, 4)
+
+    def test_memo_invalidated_by_protect(self, space):
+        m = space.map_region(PAGE_SIZE)
+        space.write(m.start, b"x")  # memoize WRITE
+        space.protect(m, Perm.READ)
+        with pytest.raises(SegmentationFault) as exc:
+            space.write(m.start, b"y")
+        assert "WRITE" in str(exc.value)
+        assert space.read(m.start, 1) == b"x"
+
+    def test_cstring_limit_reads_nothing_past_limit(self, space):
+        """A limit-bounded scan must not touch the byte after the limit —
+        even when that byte is unmapped (the scan stops first)."""
+        m = space.map_region(PAGE_SIZE)
+        space.fill(m.start, 0x41, m.size)
+        start = m.end - 10
+        assert space.read_cstring(start, limit=10) == b"A" * 10
+        assert space.cstring_length(start, limit=10) == 10
+        assert space.read_cstring(start, limit=0) == b""
+        assert space.cstring_length(start, limit=-3) == 0
+
+    def test_scalar_backend_matches_on_limit_edge(self):
+        for scalar in (True, False):
+            space = AddressSpace(scalar=scalar)
+            m = space.map_region(PAGE_SIZE)
+            space.fill(m.start, 0x41, m.size)
+            start = m.end - 10
+            assert space.read_cstring(start, limit=10) == b"A" * 10
