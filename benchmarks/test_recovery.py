@@ -1,0 +1,173 @@
+"""P5 — self-healing recovery: containment under chaos + wrapper overhead.
+
+Two claims gate this experiment:
+
+1. **Containment** — under the deterministic chaos harness (allocator
+   OOM, heap clobber, filesystem errors at ``CHAOS_RATE``), the
+   self-healing policy (repair + retry) keeps ≥ 95 % of application
+   trials alive, against the escalate-on-violation baseline which
+   aborts on the same fault schedule.
+2. **Overhead** — the recovery wrapper (security features + retry
+   generator + policy dispatch) costs at most
+   ``HEALERS_RECOVERY_GATE``× (default 1.5×) the plain security
+   wrapper on a fault-free hot path.
+
+Writes ``benchmarks/out/BENCH_recovery.json`` and a containment-rate
+table artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.chaos import ChaosHarness
+from repro.linker import DynamicLinker, SharedLibrary
+from repro.recovery import escalating_policy, self_healing_policy
+from repro.runtime import SimProcess
+from repro.security.policy import SecurityPolicy
+from repro.wrappers import RECOVERY, SECURITY, WrapperFactory
+from repro.wrappers.presets import default_generator_registry
+
+#: maximum recovery-wrapper / security-wrapper hot-path time ratio
+RECOVERY_GATE = float(os.environ.get("HEALERS_RECOVERY_GATE", "1.5"))
+
+#: minimum surviving-trial fraction under the self-healing policy
+CONTAINMENT_FLOOR = 0.95
+
+CHAOS_SEED = 2003
+CHAOS_RATE = 0.1
+CHAOS_TRIALS = 5
+
+
+def run_chaos(registry, policy) -> "ChaosReport":
+    harness = ChaosHarness(registry, policy=policy, seed=CHAOS_SEED,
+                           rate=CHAOS_RATE)
+    return harness.run(trials=CHAOS_TRIALS)
+
+
+def per_app_rates(report) -> dict:
+    rates: dict = {}
+    for trial in report.trials:
+        survived, total = rates.get(trial.app, (0, 0))
+        rates[trial.app] = (survived + trial.survived, total + 1)
+    return {app: survived / total
+            for app, (survived, total) in sorted(rates.items())}
+
+
+def wrapped_linker(registry, api_document, spec, policy):
+    linker = DynamicLinker()
+    linker.add_library(SharedLibrary.from_registry(registry))
+    factory = WrapperFactory(
+        registry, api_document,
+        generators=default_generator_registry(policy),
+    )
+    factory.preload(linker, spec, telemetry=False)
+    return linker
+
+
+def hot_path_seconds(linker, rounds: int = 5, calls: int = 2000) -> float:
+    """Best per-round seconds for a fault-free wrapped-call mix."""
+    proc = SimProcess(heap_canaries=True)
+    strcpy = linker.resolve("strcpy").symbol
+    strlen = linker.resolve("strlen").symbol
+    malloc = linker.resolve("malloc").symbol
+    free = linker.resolve("free").symbol
+    src = proc.alloc_cstring(b"recovery benchmark payload")
+    dest = proc.alloc_buffer(64)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        for _ in range(calls):
+            strcpy(proc, dest, src)
+            strlen(proc, dest)
+            free(proc, malloc(proc, 48))
+        best = min(best, time.perf_counter_ns() - start)
+    return best / 1e9
+
+
+def test_recovery_containment_and_overhead(registry, api_document,
+                                           artifact):
+    healing = run_chaos(
+        registry, SecurityPolicy(recovery=self_healing_policy())
+    )
+    escalate = run_chaos(
+        registry, SecurityPolicy(recovery=escalating_policy())
+    )
+
+    security_s = hot_path_seconds(
+        wrapped_linker(registry, api_document, SECURITY, SecurityPolicy())
+    )
+    recovery_s = hot_path_seconds(
+        wrapped_linker(registry, api_document, RECOVERY,
+                       SecurityPolicy(recovery=self_healing_policy()))
+    )
+    overhead = recovery_s / security_s
+
+    recoveries: dict = {}
+    for trial in healing.trials:
+        for action, count in trial.recoveries.items():
+            recoveries[action] = recoveries.get(action, 0) + count
+
+    payload = {
+        "chaos": {"seed": CHAOS_SEED, "rate": CHAOS_RATE,
+                  "trials_per_app": CHAOS_TRIALS},
+        "containment": {
+            "self_healing": round(healing.containment_rate, 3),
+            "escalate_baseline": round(escalate.containment_rate, 3),
+            "per_app_self_healing": {
+                app: round(rate, 3)
+                for app, rate in per_app_rates(healing).items()
+            },
+            "per_app_escalate": {
+                app: round(rate, 3)
+                for app, rate in per_app_rates(escalate).items()
+            },
+            "faults_fired": healing.faults_fired(),
+            "recovery_actions": recoveries,
+        },
+        "overhead": {
+            "security_wrapper_s": round(security_s, 6),
+            "recovery_wrapper_s": round(recovery_s, 6),
+            "ratio": round(overhead, 3),
+        },
+        "gate": {"containment_floor": CONTAINMENT_FLOOR,
+                 "max_overhead_ratio": RECOVERY_GATE},
+    }
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "BENCH_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    heal_rates = per_app_rates(healing)
+    esc_rates = per_app_rates(escalate)
+    rows = [
+        "P5 — containment under chaos "
+        f"(seed {CHAOS_SEED}, rate {CHAOS_RATE}, "
+        f"{CHAOS_TRIALS} trials/app)",
+        f"{'application':<12} {'self-healing':>13} {'escalate':>10}",
+    ]
+    for app in heal_rates:
+        rows.append(f"{app:<12} {heal_rates[app]:>12.0%} "
+                    f"{esc_rates[app]:>9.0%}")
+    rows.append(f"{'overall':<12} {healing.containment_rate:>12.0%} "
+                f"{escalate.containment_rate:>9.0%}")
+    rows.append(f"recovery actions: {recoveries}; "
+                f"wrapper overhead {overhead:.2f}x (gate "
+                f"{RECOVERY_GATE}x)")
+    artifact("p5_recovery_containment", "\n".join(rows))
+
+    assert healing.containment_rate >= CONTAINMENT_FLOOR, (
+        f"self-healing containment {healing.containment_rate:.0%} "
+        f"below the {CONTAINMENT_FLOOR:.0%} floor"
+    )
+    assert healing.containment_rate > escalate.containment_rate, (
+        "self-healing must out-survive the escalate baseline"
+    )
+    assert overhead <= RECOVERY_GATE, (
+        f"recovery wrapper costs {overhead:.2f}x the security wrapper "
+        f"(gate: {RECOVERY_GATE}x)"
+    )

@@ -1,0 +1,29 @@
+"""Deterministic chaos engineering for the toolkit substrate.
+
+Seeded fault plans (:class:`ChaosPlan`), their runtime injection into
+the allocator / filesystem / collection transport
+(:class:`ChaosInjector`), and a harness running the demo applications
+under injected faults (:class:`ChaosHarness`) — the toolkit
+fault-injecting *itself*, with every run replayable from its seed.
+"""
+
+from repro.chaos.harness import (
+    ChaosHarness,
+    ChaosReport,
+    ChaosScenario,
+    TrialOutcome,
+    standard_scenarios,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import SITES, ChaosPlan
+
+__all__ = [
+    "SITES",
+    "ChaosHarness",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosReport",
+    "ChaosScenario",
+    "TrialOutcome",
+    "standard_scenarios",
+]

@@ -1,0 +1,97 @@
+"""Seed-deterministic fault plans.
+
+A :class:`ChaosPlan` decides, ahead of time, which invocations of each
+injection *site* fail: the plan maps a site name to the sorted call
+indices that fault.  Because the whole schedule derives from one integer
+seed through :class:`random.Random`, a campaign is replayable — the same
+seed yields byte-identical schedules across runs, platforms and wrapper
+backends — and shippable: :meth:`to_dict`/:meth:`from_dict` round-trip a
+plan through JSON so a failing trial can be filed and re-executed
+verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+#: the injection sites the toolkit substrate exposes
+SITES = (
+    "alloc-oom",      # HeapAllocator.malloc returns NULL
+    "heap-clobber",   # one byte past a fresh allocation is overwritten
+    "fs-read",        # SimFileSystem.read on a file stream errors
+    "fs-write",       # SimFileSystem.write on a file stream errors
+    "net-reset",      # collection transport raises ConnectionResetError
+    "net-slow",       # collection transport stalls briefly (slow peer)
+)
+
+
+@dataclass
+class ChaosPlan:
+    """One replayable fault schedule: site -> faulting call indices."""
+
+    seed: int
+    schedule: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    #: call indices beyond the horizon never fault
+    horizon: int = 200
+    #: per-call fault probability used at generation time
+    rate: float = 0.1
+
+    @classmethod
+    def generate(cls, seed: int, sites: Sequence[str] = SITES,
+                 horizon: int = 200, rate: float = 0.1) -> "ChaosPlan":
+        """Derive a schedule from a seed.
+
+        Sites are drawn in their given (stable) order so the schedule is
+        a pure function of ``(seed, sites, horizon, rate)``.
+        """
+        rng = random.Random(seed)
+        schedule = {
+            site: tuple(
+                index for index in range(horizon) if rng.random() < rate
+            )
+            for site in sites
+        }
+        return cls(seed=seed, schedule=schedule, horizon=horizon, rate=rate)
+
+    @classmethod
+    def for_trial(cls, seed: int, trial: int,
+                  sites: Sequence[str] = SITES, horizon: int = 200,
+                  rate: float = 0.1) -> "ChaosPlan":
+        """The plan for trial ``trial`` of a campaign seeded ``seed``.
+
+        Per-trial seeds are derived by integer arithmetic (not hashing),
+        so the derivation itself is stable across interpreter runs.
+        """
+        return cls.generate(seed * 1_000_003 + trial, sites=sites,
+                            horizon=horizon, rate=rate)
+
+    def faults_at(self, site: str) -> Tuple[int, ...]:
+        return self.schedule.get(site, ())
+
+    def total_faults(self) -> int:
+        return sum(len(hits) for hits in self.schedule.values())
+
+    # ------------------------------------------------------------------
+    # replay round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "rate": self.rate,
+            "schedule": {site: list(hits)
+                         for site, hits in sorted(self.schedule.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        return cls(
+            seed=int(data["seed"]),
+            schedule={site: tuple(int(i) for i in hits)
+                      for site, hits in data.get("schedule", {}).items()},
+            horizon=int(data.get("horizon", 200)),
+            rate=float(data.get("rate", 0.1)),
+        )

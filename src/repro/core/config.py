@@ -25,6 +25,7 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.recovery import RecoveryPolicy
 from repro.wrappers import PRESETS
 
 #: execution backends the campaign engine supports (mirrors
@@ -55,6 +56,11 @@ class CampaignSettings:
     cache_path: str = ""
     #: load the cache before running, so only deltas execute
     resume: bool = False
+    #: wall-clock seconds before a hung work unit's probes become HANGs
+    #: (0 = no watchdog)
+    watchdog: float = 0.0
+    #: resubmissions granted to a unit whose worker died
+    unit_retries: int = 2
 
     def validate(self) -> None:
         if self.backend not in CAMPAIGN_BACKENDS:
@@ -66,6 +72,15 @@ class CampaignSettings:
             raise ValueError(f"campaign jobs must be >= 0, got {self.jobs}")
         if self.resume and not self.cache_path:
             raise ValueError("campaign resume requires a cache path")
+        if self.watchdog < 0:
+            raise ValueError(
+                f"campaign watchdog must be >= 0, got {self.watchdog}"
+            )
+        if self.unit_retries < 0:
+            raise ValueError(
+                f"campaign unit-retries must be >= 0, "
+                f"got {self.unit_retries}"
+            )
 
     def effective_jobs(self) -> int:
         """The concrete worker count (resolving 0 = all CPUs)."""
@@ -83,6 +98,8 @@ class CampaignSettings:
             cache_path=node.get("cache", ""),
             resume=node.get("resume", "false").lower()
             in ("true", "yes", "1"),
+            watchdog=float(node.get("watchdog", "0")),
+            unit_retries=int(node.get("unit-retries", "2")),
         )
         settings.validate()
         return settings
@@ -94,6 +111,10 @@ class CampaignSettings:
             node.set("cache", self.cache_path)
         if self.resume:
             node.set("resume", "true")
+        if self.watchdog:
+            node.set("watchdog", f"{self.watchdog:g}")
+        if self.unit_retries != 2:
+            node.set("unit-retries", str(self.unit_retries))
         return node
 
 
@@ -233,6 +254,8 @@ class DeploymentConfig:
     campaign: CampaignSettings = field(default_factory=CampaignSettings)
     #: where wrapper/campaign telemetry flows on this deployment
     telemetry: TelemetrySettings = field(default_factory=TelemetrySettings)
+    #: how wrappers respond to violations (None = legacy terminate/contain)
+    recovery: Optional[RecoveryPolicy] = None
 
     def policy_for(self, path: str) -> Optional[AppPolicy]:
         """The policy governing an application path (explicit or default)."""
@@ -263,6 +286,9 @@ class DeploymentConfig:
         telemetry_node = root.find("telemetry")
         if telemetry_node is not None:
             config.telemetry = TelemetrySettings.from_node(telemetry_node)
+        recovery_node = root.find("recovery")
+        if recovery_node is not None:
+            config.recovery = RecoveryPolicy.from_node(recovery_node)
         return config
 
     def to_xml(self) -> str:
@@ -282,6 +308,8 @@ class DeploymentConfig:
             self.campaign.to_node(root)
         if self.telemetry != TelemetrySettings():
             self.telemetry.to_node(root)
+        if self.recovery is not None:
+            self.recovery.to_node(root)
         ET.indent(root)
         return ET.tostring(root, encoding="unicode", xml_declaration=True)
 

@@ -277,6 +277,8 @@ class Healers:
         cache: "Optional[str | ProbeCache]" = None,
         resume: bool = False,
         observer: Optional[ProbeObserver] = None,
+        watchdog: Optional[float] = None,
+        unit_retries: int = 2,
     ) -> CampaignResult:
         """Run the automated fault-injection experiments.
 
@@ -285,8 +287,10 @@ class Healers:
         path or a live :class:`ProbeCache`) makes runs resumable: with
         ``resume=True`` verdicts cached for this library release are
         reused and only new probes execute.  A path-backed cache is
-        written back after the run.  Execution accounting lands in
-        :attr:`campaign_stats`.
+        written back after the run.  ``watchdog`` bounds each work
+        unit's host wall time (hung probes become HANG verdicts) and
+        ``unit_retries`` bounds resubmission after a worker death.
+        Execution accounting lands in :attr:`campaign_stats`.
         """
         kwargs = {}
         if fuel is not None:
@@ -314,6 +318,8 @@ class Healers:
             registry_factory=(standard_registry
                               if self._registry_is_standard else None),
             bus=self.telemetry,
+            watchdog=watchdog,
+            unit_retries=unit_retries,
         )
         self.campaign_result = executor.run(functions)
         self.campaign_stats = executor.stats
@@ -464,6 +470,11 @@ class Healers:
         from repro.core.config import DeploymentConfig
 
         assert isinstance(config, DeploymentConfig)
+        if config.recovery is not None:
+            # deployment-selected recovery: the generator registry holds
+            # a live reference to the policy object, so mutating it here
+            # reaches every wrapper built afterwards
+            self.security_policy.recovery = config.recovery
         policy = config.policy_for(app_path)
         if policy is None:
             return []

@@ -145,6 +145,25 @@ class OutOfFuel(SimulatorError):
         super().__init__(f"out of fuel after {consumed} simulated steps")
 
 
+class WatchdogTimeout(SimulatorError):
+    """A wall-clock watchdog killed a probe that never returned.
+
+    The native harness's counterpart to :class:`OutOfFuel`: fuel bounds
+    *simulated* work deterministically, while the campaign watchdog bounds
+    *host* wall time — a worker stuck in the harness itself (not in the
+    simulated program) is killed and its probes classified as hangs.
+    """
+
+    outcome = Outcome.HANG
+
+    def __init__(self, seconds: float, where: str = "probe"):
+        self.seconds = seconds
+        self.where = where
+        super().__init__(
+            f"watchdog killed {where} after {seconds:g}s wall clock"
+        )
+
+
 class Aborted(SimulatorError):
     """The process called ``abort()`` or an assertion failed."""
 

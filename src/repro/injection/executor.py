@@ -27,16 +27,20 @@ partial library update) cheap.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.errors import Outcome, WatchdogTimeout
 from repro.injection.cache import CachedVerdict, ProbeCache
 from repro.injection.campaign import (
     Campaign,
@@ -73,18 +77,35 @@ class CampaignStats:
     skipped: int = 0        #: functions skipped (unknown / zero-param)
     jobs: int = 1
     backend: str = "serial"
+    #: work units whose worker raised or died before delivering results
+    worker_failures: int = 0
+    #: failed units resubmitted (each bounded by ``unit_retries``)
+    requeued: int = 0
+    #: work units killed by the wall-clock watchdog (probes became HANGs)
+    watchdog_timeouts: int = 0
+    #: units dropped after exhausting their retry budget
+    lost_units: int = 0
+    #: human-readable log of every failure/timeout/requeue above
+    incidents: List[str] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cached / self.planned if self.planned else 0.0
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.planned} probes over {self.functions} functions: "
             f"{self.cached} cached ({self.cache_hit_rate:.0%}), "
             f"{self.executed} executed "
             f"[{self.backend} x{self.jobs}]"
         )
+        if self.worker_failures or self.watchdog_timeouts or self.lost_units:
+            line += (
+                f" — {self.worker_failures} worker failures"
+                f" ({self.requeued} requeued, {self.lost_units} lost),"
+                f" {self.watchdog_timeouts} watchdog timeouts"
+            )
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +165,8 @@ class ProbeExecutor:
         cache: Optional[ProbeCache] = None,
         registry_factory: Optional[Callable[[], LibcRegistry]] = None,
         bus: Optional[EventBus] = None,
+        watchdog: Optional[float] = None,
+        unit_retries: int = 2,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -169,6 +192,12 @@ class ProbeExecutor:
         #: telemetry bus receiving one ProbeEvent per verdict (cached
         #: included) — progress displays and metrics are just sinks
         self.bus = bus
+        #: wall-clock seconds a work unit may run before its probes are
+        #: classified as HANGs (None/0 = no watchdog); bounds *host*
+        #: time, complementing fuel, which bounds *simulated* work
+        self.watchdog = watchdog if watchdog else None
+        #: how many times a unit whose worker died is resubmitted
+        self.unit_retries = max(0, unit_retries)
         self.stats = CampaignStats()
 
     # ------------------------------------------------------------------
@@ -263,36 +292,186 @@ class ProbeExecutor:
                 ))
             return self._index(executions)
         if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                return self._drain(pool, units, self._run_unit_in_thread)
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_init_worker,
-            initargs=(self.registry_factory, self.campaign.fuel),
-        ) as pool:
-            return self._drain(pool, units, _run_unit_in_worker,
-                               portable=True)
+            return self._drain(
+                lambda: ThreadPoolExecutor(max_workers=self.jobs),
+                units, self._run_unit_in_thread,
+            )
+        return self._drain(
+            lambda: ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.registry_factory, self.campaign.fuel),
+            ),
+            units, _run_unit_in_worker, portable=True,
+        )
 
     def _run_unit_in_thread(self, unit: WorkUnit) -> List[ProbeExecution]:
         return _execute_unit(self.campaign, unit)
 
     def _drain(
         self,
-        pool: Executor,
+        pool_factory: Callable[[], Executor],
         units: List[WorkUnit],
         runner: Callable,
         portable: bool = False,
     ) -> Dict[str, Dict[Tuple[int, str], ProbeExecution]]:
-        """Submit all units; absorb each as it completes (live progress)."""
+        """Submit all units; absorb each as it completes (live progress).
+
+        Hardened against the two ways a parallel campaign used to wedge
+        or abort:
+
+        * a **hung unit** — when :attr:`watchdog` is set, a unit past its
+          wall-clock deadline is abandoned and every probe it owned is
+          classified HANG (:class:`~repro.errors.WatchdogTimeout`), the
+          host-time counterpart of the fuel budget;
+        * a **dead worker** — a unit whose future carries an exception
+          (worker killed, pool broken, unit raised) is resubmitted up to
+          :attr:`unit_retries` times against a rebuilt pool before being
+          declared lost.
+
+        Synthesized HANG verdicts are *not* written to the probe cache:
+        a host-side stall says nothing about the probe's identity, so a
+        resumed run must re-execute it.
+        """
         executions: List[ProbeExecution] = []
-        pending = {pool.submit(runner, unit) for unit in units}
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                raw = future.result()
-                batch = (self._revive(raw) if portable else raw)
-                executions.extend(self._absorb_fresh(batch))
+        queue: List[Tuple[WorkUnit, int]] = [(unit, 0) for unit in units]
+        #: future -> (unit, attempt, wall-clock deadline or None)
+        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]] = {}
+        #: watchdog-abandoned futures whose late results are discarded
+        abandoned: Set[Future] = set()
+        pool = pool_factory()
+        try:
+            while queue or pending:
+                pool = self._submit_queued(pool, pool_factory, queue,
+                                           pending, runner)
+                done, _ = wait(set(pending), timeout=self._poll(pending),
+                               return_when=FIRST_COMPLETED)
+                rebuild = False
+                for future in done:
+                    unit, attempt, _deadline = pending.pop(future)
+                    try:
+                        raw = future.result()
+                    except Exception as exc:
+                        self._unit_failed(unit, attempt, exc, queue)
+                        rebuild = rebuild or isinstance(exc, BrokenExecutor)
+                        continue
+                    batch = (self._revive(raw) if portable else raw)
+                    executions.extend(self._absorb_fresh(batch))
+                if rebuild:
+                    pool.shutdown(wait=False)
+                    pool = pool_factory()
+                executions.extend(self._reap_hung(pending, abandoned))
+        finally:
+            # wait=False: an abandoned (hung) worker must not block exit
+            pool.shutdown(wait=False)
         return self._index(executions)
+
+    def _submit_queued(
+        self,
+        pool: Executor,
+        pool_factory: Callable[[], Executor],
+        queue: List[Tuple[WorkUnit, int]],
+        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
+        runner: Callable,
+    ) -> Executor:
+        """Drain the requeue list into the pool, rebuilding it if broken."""
+        while queue:
+            unit, attempt = queue.pop(0)
+            try:
+                future = pool.submit(runner, unit)
+            except RuntimeError:  # pool broke down between polls
+                pool.shutdown(wait=False)
+                pool = pool_factory()
+                future = pool.submit(runner, unit)
+            deadline = (time.monotonic() + self.watchdog
+                        if self.watchdog else None)
+            pending[future] = (unit, attempt, deadline)
+        return pool
+
+    def _poll(
+        self,
+        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
+    ) -> Optional[float]:
+        """Wait timeout: until the nearest deadline (None = no watchdog)."""
+        if self.watchdog is None:
+            return None
+        now = time.monotonic()
+        nearest = min(
+            (deadline for _, _, deadline in pending.values()
+             if deadline is not None),
+            default=now + self.watchdog,
+        )
+        return max(nearest - now, 0.005)
+
+    def _unit_failed(self, unit: WorkUnit, attempt: int,
+                     exc: BaseException,
+                     queue: List[Tuple[WorkUnit, int]]) -> None:
+        """A worker died (or raised) holding ``unit``: requeue or drop."""
+        self.stats.worker_failures += 1
+        name = unit[0]
+        if attempt < self.unit_retries:
+            self.stats.requeued += 1
+            queue.append((unit, attempt + 1))
+            self._incident(
+                f"worker failed on {name} ({type(exc).__name__}: {exc}); "
+                f"requeued (attempt {attempt + 2}/{self.unit_retries + 1})"
+            )
+        else:
+            self.stats.lost_units += 1
+            self._incident(
+                f"unit {name} lost after {attempt + 1} attempts "
+                f"({type(exc).__name__}: {exc})"
+            )
+
+    def _reap_hung(
+        self,
+        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
+        abandoned: Set[Future],
+    ) -> List[ProbeExecution]:
+        """Abandon units past their deadline; their probes become HANGs."""
+        if self.watchdog is None:
+            return []
+        now = time.monotonic()
+        expired = [future for future, (_, _, deadline) in pending.items()
+                   if deadline is not None and deadline <= now]
+        executions: List[ProbeExecution] = []
+        for future in expired:
+            unit, _attempt, _deadline = pending.pop(future)
+            if not future.cancel():
+                abandoned.add(future)  # already running; let it rot
+            executions.extend(self._hang_unit(unit))
+        return executions
+
+    def _hang_unit(self, unit: WorkUnit) -> List[ProbeExecution]:
+        """Synthesize HANG verdicts for every probe a timed-out unit owned."""
+        name, selected = unit
+        self.stats.watchdog_timeouts += 1
+        self._incident(
+            f"watchdog ({self.watchdog:g}s) fired on {name}; "
+            f"{len(selected)} probes classified HANG"
+        )
+        wanted = set(selected)
+        timeout = WatchdogTimeout(self.watchdog, where=f"unit {name}")
+        executions: List[ProbeExecution] = []
+        for probe, _value in self.campaign.probe_plan(name):
+            if (probe.param_index, probe.value_label) not in wanted:
+                continue
+            execution = ProbeExecution(
+                probe=probe,
+                result=ProbeResult(outcome=Outcome.HANG,
+                                   exception=timeout),
+            )
+            # deliberately NOT fed to the cache: a host-side stall is
+            # not a property of the probe, so resume re-executes it
+            self._notify(execution)
+            executions.append(execution)
+        return executions
+
+    def _incident(self, message: str) -> None:
+        self.stats.incidents.append(message)
+        observer = self.campaign.observer
+        if observer is not None and hasattr(observer, "incident"):
+            observer.incident(message)
 
     @staticmethod
     def _revive(batch: List[PortableExecution]) -> List[ProbeExecution]:

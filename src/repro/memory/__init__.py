@@ -21,6 +21,7 @@ from repro.memory.heap import (
     ChunkInfo,
     HeapAllocator,
     HeapStats,
+    RepairReport,
 )
 from repro.memory.model import (
     MAX_ADDRESS,
@@ -52,5 +53,6 @@ __all__ = [
     "HeapStats",
     "Mapping",
     "Perm",
+    "RepairReport",
     "page_align",
 ]

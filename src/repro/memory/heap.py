@@ -28,8 +28,8 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_right, insort
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
     CanaryViolation,
@@ -72,6 +72,25 @@ class HeapStats:
     bytes_in_use: int = 0
     peak_bytes_in_use: int = 0
     live_chunks: int = 0
+    repairs: int = 0
+    quarantined_chunks: int = 0
+
+
+@dataclass
+class RepairReport:
+    """What :meth:`HeapAllocator.repair` did to restore consistency."""
+
+    #: human-readable description of each rewrite/quarantine performed
+    actions: List[str] = field(default_factory=list)
+    #: user addresses taken out of circulation (their data survives, but
+    #: the chunk is never handed out again and ``free()`` on it no-ops)
+    quarantined: List[int] = field(default_factory=list)
+    #: post-repair integrity verdict (False = corruption we could not fix)
+    clean: bool = True
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.actions)
 
 
 @dataclass
@@ -88,6 +107,11 @@ class ChunkInfo:
 
 class HeapAllocator:
     """First-fit free-list allocator with in-band corruptible metadata."""
+
+    #: chaos-engineering hooks, class-level None so the hot path pays one
+    #: attribute read; armed per instance by the fault injector
+    fault_hook: Optional[Callable[[], bool]] = None
+    post_alloc_hook: Optional[Callable[[int, int], None]] = None
 
     def __init__(
         self,
@@ -116,6 +140,13 @@ class HeapAllocator:
         #: chunks never overlap, a bisect finds the only candidate that
         #: can contain an interior pointer in O(log n)
         self._live_order: List[int] = []
+        #: out-of-band shadow of live in-band headers, header address ->
+        #: (user_size, total, flags); the in-band copy stays the detection
+        #: ground truth, the shadow is the *repair* ground truth
+        self._chunks: Dict[int, Tuple[int, int, int]] = {}
+        #: chunks removed from circulation after corruption, header ->
+        #: shadow header; never reused, never freeable
+        self._quarantined: Dict[int, Tuple[int, int, int]] = {}
 
     # ------------------------------------------------------------------
     # allocation
@@ -127,6 +158,10 @@ class HeapAllocator:
         ``malloc(0)`` returns a unique minimal allocation, as glibc does.
         """
         self.stats.malloc_calls += 1
+        hook = self.fault_hook
+        if hook is not None and hook():
+            self.stats.failed_allocations += 1
+            return 0
         if size < 0:
             self.stats.failed_allocations += 1
             return 0
@@ -147,12 +182,35 @@ class HeapAllocator:
         if user not in self._live:
             insort(self._live_order, user)
         self._live[user] = size
+        self._chunks[header] = (
+            size, total, FLAG_CANARY if self.canaries else 0
+        )
         self.stats.live_chunks += 1
         self.stats.bytes_in_use += size
         self.stats.peak_bytes_in_use = max(
             self.stats.peak_bytes_in_use, self.stats.bytes_in_use
         )
+        post = self.post_alloc_hook
+        if post is not None:
+            post(user, size)
         return user
+
+    def reliable_malloc(self, size: int) -> int:
+        """``malloc`` with the injection hooks suspended.
+
+        For harness-level helper allocations (string literals, callback
+        scaffolding) that model static program data: they sit below the
+        interposition boundary, so no wrapper could ever contain a fault
+        injected into them — chaos there would only measure noise.
+        """
+        hook, post = self.fault_hook, self.post_alloc_hook
+        self.fault_hook = None
+        self.post_alloc_hook = None
+        try:
+            return self.malloc(size)
+        finally:
+            self.fault_hook = hook
+            self.post_alloc_hook = post
 
     def calloc(self, count: int, size: int) -> int:
         """Allocate and zero ``count * size`` bytes (with overflow check)."""
@@ -189,6 +247,8 @@ class HeapAllocator:
         if address == 0:
             return
         header = address - HEADER_SIZE
+        if self._quarantined and header in self._quarantined:
+            return  # quarantined chunks are out of circulation for good
         if not self.mapping.contains(header, HEADER_SIZE):
             raise InvalidFree(address)
         if self.space.scalar:
@@ -212,6 +272,7 @@ class HeapAllocator:
             if self.space.read_u64(address + user_size) != CANARY_VALUE:
                 raise CanaryViolation(address)
         self.space.write_u32(header, FREE_MAGIC)
+        self._chunks.pop(header, None)
         self._free_insert(header, total)
         self._coalesce(header)
         actual = self._live.pop(address, None)
@@ -367,6 +428,115 @@ class HeapAllocator:
                         f"canary clobbered for chunk at {chunk.user_address:#x}"
                     )
         return problems
+
+    # ------------------------------------------------------------------
+    # self-healing (the recovery subsystem's repair surface)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, address: int) -> bool:
+        """Take the live allocation at ``address`` out of circulation.
+
+        The chunk's header and canary are rewritten from the shadow copy
+        so the chain walks clean, its user data is left untouched (the
+        application may still hold the pointer), but the allocator never
+        reuses it: it leaves the live set, ``free()`` on it becomes a
+        no-op, and it never re-enters the free list.  This is the repair
+        policy's containment unit for a corrupted allocation.
+        """
+        size = self._live.pop(address, None)
+        if size is None:
+            return False
+        self._live_discard(address)
+        header = address - HEADER_SIZE
+        shadow = self._chunks.pop(header, None)
+        if shadow is None:  # pragma: no cover - shadow mirrors _live
+            payload = size + (CANARY_SIZE if self.canaries else 0)
+            shadow = (size, _align(HEADER_SIZE + max(payload, 1)),
+                      FLAG_CANARY if self.canaries else 0)
+        self._quarantined[header] = shadow
+        user_size, total, flags = shadow
+        self._write_header(header, user_size, total, allocated=True)
+        if flags & FLAG_CANARY:
+            self.space.write_u64(address + user_size, CANARY_VALUE)
+        self.stats.bytes_in_use -= size
+        self.stats.live_chunks -= 1
+        self.stats.quarantined_chunks += 1
+        return True
+
+    def repair(self, quarantine: bool = True) -> RepairReport:
+        """Rewrite corrupted in-band metadata from the shadow copies.
+
+        Every chunk between the heap base and the break is exactly one of
+        live (shadowed in ``_chunks``), quarantined, or free (mirrored in
+        ``_free``), so the entire chain can be reconstructed without
+        trusting a single in-band byte.  Headers that disagree with their
+        shadow are rewritten; an allocated chunk whose canary was
+        clobbered is quarantined (``quarantine=True``, the recovery
+        policy's default — the overflow wrote *into* it, so its tail is
+        suspect) or has the canary restored in place.
+
+        Returns a :class:`RepairReport`; ``report.clean`` re-runs
+        :meth:`check_integrity` after the rewrites.
+        """
+        report = RepairReport()
+        expected: List[Tuple[int, int, int, int, bool]] = []
+        for header, (user_size, total, flags) in self._chunks.items():
+            expected.append((header, user_size, total, flags, True))
+        for header, (user_size, total, flags) in self._quarantined.items():
+            expected.append((header, user_size, total, flags, True))
+        for header, total in self._free.items():
+            expected.append((header, 0, total, 0, False))
+        expected.sort()
+        for header, user_size, total, flags, allocated in expected:
+            if not self.mapping.contains(header, HEADER_SIZE):
+                continue  # pragma: no cover - shadows never leave the map
+            magic, in_size, in_total, in_flags = _HEADER.unpack(
+                self.space.read(header, HEADER_SIZE)
+            )
+            if allocated:
+                if (magic, in_size, in_total, in_flags) != (
+                    ALLOC_MAGIC, user_size, total, flags
+                ):
+                    self._write_header(header, user_size, total,
+                                       allocated=True)
+                    report.actions.append(
+                        f"rewrote header of chunk at {header:#x}"
+                    )
+                user = header + HEADER_SIZE
+                if flags & FLAG_CANARY and self.mapping.contains(
+                    user + user_size, CANARY_SIZE
+                ):
+                    canary = self.space.read_u64(user + user_size)
+                    if canary != CANARY_VALUE:
+                        if quarantine and user in self._live:
+                            self.quarantine(user)
+                            report.quarantined.append(user)
+                            report.actions.append(
+                                f"quarantined chunk at {user:#x} "
+                                f"(canary clobbered)"
+                            )
+                        else:
+                            self.space.write_u64(user + user_size,
+                                                 CANARY_VALUE)
+                            report.actions.append(
+                                f"rewrote canary of chunk at {user:#x}"
+                            )
+            else:
+                # free chunks carry stale user_size/flags by design
+                # (``free`` rewrites only the magic), so just magic and
+                # the size field participate in integrity
+                if magic != FREE_MAGIC or in_total != total:
+                    self._write_header(header, 0, total, allocated=False)
+                    report.actions.append(
+                        f"rewrote free-chunk header at {header:#x}"
+                    )
+        self.stats.repairs += len(report.actions)
+        report.clean = not self.check_integrity()
+        return report
+
+    def quarantined_addresses(self) -> List[int]:
+        """User addresses currently under quarantine (sorted)."""
+        return sorted(header + HEADER_SIZE for header in self._quarantined)
 
     # ------------------------------------------------------------------
     # internals

@@ -1,0 +1,35 @@
+"""Self-healing recovery policies for detected violations.
+
+Where the wrappers historically had one response per detector (contain
+or abort), this package makes the response a per-function,
+per-violation-kind *policy*: contain, repair (heap self-healing via
+quarantine + shadow-header rewrite), retry (bounded re-execution of
+transient failures), or escalate (abort).  Selected through
+:class:`~repro.security.policy.SecurityPolicy` or the ``<recovery>``
+deployment-file element; every decision emits a
+:class:`~repro.telemetry.RecoveryEvent`.
+"""
+
+from repro.recovery.policy import (
+    ACTIONS,
+    DEFAULT_TRANSIENT_ERRNOS,
+    KINDS,
+    REPAIRABLE_KINDS,
+    RETRYABLE_KINDS,
+    RecoveryPolicy,
+    escalating_policy,
+    self_healing_policy,
+)
+from repro.recovery.retry import RetryGen
+
+__all__ = [
+    "ACTIONS",
+    "DEFAULT_TRANSIENT_ERRNOS",
+    "KINDS",
+    "REPAIRABLE_KINDS",
+    "RETRYABLE_KINDS",
+    "RecoveryPolicy",
+    "RetryGen",
+    "escalating_policy",
+    "self_healing_policy",
+]

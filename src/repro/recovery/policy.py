@@ -1,0 +1,230 @@
+"""Per-function, per-violation-kind recovery policies.
+
+HEALERS' premise is that a wrapped application should *survive* faults —
+"return an error code instead of crashing" — yet detection alone leaves
+one terminal choice: abort.  A :class:`RecoveryPolicy` makes the response
+a policy decision, selectable per violation kind and overridable per
+function:
+
+* ``contain``  — suppress the call, report the documented error return
+  with errno set (the wrappers' historical behaviour);
+* ``repair``   — heap self-healing: quarantine the corrupted allocation
+  and rewrite headers/canaries from the allocator's shadow metadata
+  (:meth:`~repro.memory.heap.HeapAllocator.repair`), then let the call
+  proceed against the healed heap;
+* ``retry``    — re-execute the intercepted call with bounded attempts
+  and deterministic fuel backoff when it failed with a transient errno
+  (ENOMEM, EINTR);
+* ``escalate`` — terminate the protected program (the security wrapper's
+  paper behaviour, :class:`~repro.errors.SecurityViolation`).
+
+Not every action is meaningful for every violation kind: ``repair`` only
+makes sense where there is a heap to heal, ``retry`` only for transient
+errnos.  Nonsensical selections are *normalised to contain* rather than
+rejected, so a single coarse policy ("repair everything you can") stays
+expressible.
+
+The module stays import-light (dataclasses + ElementTree only) because
+:mod:`repro.core.config` embeds the policy in deployment files.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: the recovery actions, least to most drastic
+ACTIONS = ("contain", "repair", "retry", "escalate")
+
+#: the violation taxonomy the wrappers report
+KINDS = (
+    "heap_corruption",   # clobbered chunk header found by verification
+    "canary",            # clobbered heap canary
+    "bounds",            # write past the destination's recorded capacity
+    "format",            # %n (or unreadable) format string
+    "unsafe_gets",       # gets() with an unbounded destination
+    "argcheck",          # robust-API argument check refusal
+    "transient_errno",   # call failed with a transient errno
+)
+
+#: kinds a ``repair`` action can actually heal (there is heap metadata
+#: to rewrite); elsewhere repair normalises to contain
+REPAIRABLE_KINDS = frozenset({"heap_corruption", "canary"})
+
+#: the only kind a ``retry`` action applies to; elsewhere it normalises
+#: to contain (re-executing a call the checker just refused would refuse
+#: again deterministically)
+RETRYABLE_KINDS = frozenset({"transient_errno"})
+
+#: errnos worth retrying: ENOMEM (12) — allocation pressure may clear —
+#: and EINTR (4) — the canonical "try again" errno
+DEFAULT_TRANSIENT_ERRNOS: Tuple[int, ...] = (12, 4)
+
+
+@dataclass
+class RecoveryPolicy:
+    """Violation kind → action mapping with per-function overrides."""
+
+    #: kind -> action for every function without an override
+    actions: Dict[str, str] = field(default_factory=dict)
+    #: function name -> (kind -> action); wins over :attr:`actions`
+    function_actions: Dict[str, Dict[str, str]] = field(
+        default_factory=dict
+    )
+    #: action for kinds absent from both maps
+    default_action: str = "contain"
+    #: bounded re-execution attempts for the retry action
+    max_retries: int = 3
+    #: simulated-fuel units consumed before attempt *n* (times n), the
+    #: deterministic stand-in for wall-clock backoff
+    retry_backoff_fuel: int = 16
+    #: errnos the retry action treats as transient
+    transient_errnos: Tuple[int, ...] = DEFAULT_TRANSIENT_ERRNOS
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for kind, action in self.actions.items():
+            _check_pair(kind, action, "policy")
+        for function, overrides in self.function_actions.items():
+            for kind, action in overrides.items():
+                _check_pair(kind, action, f"function {function!r}")
+        if self.default_action not in ACTIONS:
+            raise ValueError(
+                f"unknown recovery action {self.default_action!r}; "
+                f"known: {', '.join(ACTIONS)}"
+            )
+        if self.max_retries < 1:
+            raise ValueError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.retry_backoff_fuel < 0:
+            raise ValueError(
+                f"retry_backoff_fuel must be >= 0, "
+                f"got {self.retry_backoff_fuel}"
+            )
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+
+    def action_for(self, function: str, kind: str) -> str:
+        """The *normalised* action for one (function, violation) pair.
+
+        Selection order: per-function override, then the kind map, then
+        :attr:`default_action`.  Actions that cannot apply to the kind
+        (repair without heap metadata, retry of a deterministic refusal)
+        degrade to ``contain``.
+        """
+        overrides = self.function_actions.get(function)
+        action = None
+        if overrides is not None:
+            action = overrides.get(kind)
+        if action is None:
+            action = self.actions.get(kind, self.default_action)
+        if action == "repair" and kind not in REPAIRABLE_KINDS:
+            return "contain"
+        if action == "retry" and kind not in RETRYABLE_KINDS:
+            return "contain"
+        return action
+
+    def retries_for(self, function: str) -> int:
+        """Retry budget when the retry action applies to ``function``."""
+        if self.action_for(function, "transient_errno") != "retry":
+            return 0
+        return self.max_retries
+
+    # ------------------------------------------------------------------
+    # XML round trip (a <recovery> element of the deployment file)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_node(cls, node: ET.Element) -> "RecoveryPolicy":
+        """Parse::
+
+            <recovery default="contain" max-retries="3" backoff-fuel="16"
+                      transient-errnos="12,4">
+              <on kind="heap_corruption" action="repair"/>
+              <function name="malloc">
+                <on kind="transient_errno" action="retry"/>
+              </function>
+            </recovery>
+        """
+        actions = {
+            on.get("kind", ""): on.get("action", "")
+            for on in node.findall("on")
+        }
+        function_actions: Dict[str, Dict[str, str]] = {}
+        for fnode in node.findall("function"):
+            name = fnode.get("name", "")
+            if not name:
+                raise ValueError("<function> requires a name attribute")
+            function_actions[name] = {
+                on.get("kind", ""): on.get("action", "")
+                for on in fnode.findall("on")
+            }
+        errnos = tuple(
+            int(text) for text in
+            node.get("transient-errnos", "").split(",") if text.strip()
+        ) or DEFAULT_TRANSIENT_ERRNOS
+        return cls(
+            actions=actions,
+            function_actions=function_actions,
+            default_action=node.get("default", "contain"),
+            max_retries=int(node.get("max-retries", "3")),
+            retry_backoff_fuel=int(node.get("backoff-fuel", "16")),
+            transient_errnos=errnos,
+        )
+
+    def to_node(self, parent: ET.Element) -> ET.Element:
+        node = ET.SubElement(parent, "recovery",
+                             default=self.default_action)
+        if self.max_retries != 3:
+            node.set("max-retries", str(self.max_retries))
+        if self.retry_backoff_fuel != 16:
+            node.set("backoff-fuel", str(self.retry_backoff_fuel))
+        if self.transient_errnos != DEFAULT_TRANSIENT_ERRNOS:
+            node.set("transient-errnos",
+                     ",".join(str(e) for e in self.transient_errnos))
+        for kind in sorted(self.actions):
+            ET.SubElement(node, "on", kind=kind,
+                          action=self.actions[kind])
+        for name in sorted(self.function_actions):
+            fnode = ET.SubElement(node, "function", name=name)
+            overrides = self.function_actions[name]
+            for kind in sorted(overrides):
+                ET.SubElement(fnode, "on", kind=kind,
+                              action=overrides[kind])
+        return node
+
+
+def _check_pair(kind: str, action: str, where: str) -> None:
+    if kind not in KINDS:
+        raise ValueError(
+            f"unknown violation kind {kind!r} in {where}; "
+            f"known: {', '.join(KINDS)}"
+        )
+    if action not in ACTIONS:
+        raise ValueError(
+            f"unknown recovery action {action!r} in {where}; "
+            f"known: {', '.join(ACTIONS)}"
+        )
+
+
+def self_healing_policy() -> RecoveryPolicy:
+    """The canonical keep-alive policy: repair the heap, retry transient
+    failures, contain everything else."""
+    return RecoveryPolicy(actions={
+        "heap_corruption": "repair",
+        "canary": "repair",
+        "transient_errno": "retry",
+    })
+
+
+def escalating_policy() -> RecoveryPolicy:
+    """The paper's abort-on-violation baseline, as an explicit policy."""
+    return RecoveryPolicy(default_action="escalate", actions={
+        "transient_errno": "contain",
+    })

@@ -38,6 +38,8 @@ class CampaignProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.count = 0
         self.failures = 0
+        #: executor incidents (worker deaths, watchdog kills), in order
+        self.incidents: list = []
         self._last_function = ""
         self._lock = threading.Lock()
 
@@ -49,6 +51,17 @@ class CampaignProgress:
         for event in events:
             if event.kind == "probe":
                 self._advance(event.function, event.failed)
+
+    def incident(self, message: str) -> None:
+        """Executor-incident side: surface worker deaths / watchdog kills.
+
+        The executor duck-types on this method, so any observer that
+        wants the incident stream just grows one.
+        """
+        with self._lock:
+            self.incidents.append(message)
+        print(f"[campaign] incident: {message}", file=self.stream,
+              flush=True)
 
     def close(self) -> None:
         """Sink protocol: nothing buffered here."""
@@ -74,5 +87,8 @@ class CampaignProgress:
     def summary(self) -> str:
         """Final one-liner for after the run."""
         with self._lock:
-            return (f"[campaign] done: {self.count} probes, "
+            line = (f"[campaign] done: {self.count} probes, "
                     f"{self.failures} robustness failures")
+            if self.incidents:
+                line += f", {len(self.incidents)} incidents"
+            return line

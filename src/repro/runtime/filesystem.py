@@ -46,6 +46,14 @@ class OpenStream:
 class SimFileSystem:
     """Flat in-memory file store plus the process's open-stream table."""
 
+    #: chaos-injection hook (a plain class attribute, not a field): when
+    #: set to ``hook(op, index) -> bool``, a True return fails that
+    #: file-stream read/write as an I/O error (``stream.error`` set,
+    #: ``None`` returned).  Only streams with index >= 3 are eligible —
+    #: the standard streams stay deterministic for the scalar/vector
+    #: differential suites.
+    fault_hook = None
+
     files: Dict[str, bytearray] = field(default_factory=dict)
     streams: List[Optional[OpenStream]] = field(default_factory=list)
     #: captured writes to stdout/stderr (inspectable by tests and demos)
@@ -124,6 +132,10 @@ class SimFileSystem:
             if not data:
                 stream.eof = True
             return data
+        hook = self.fault_hook
+        if hook is not None and index >= 3 and hook("read", index):
+            stream.error = True
+            return None
         content = self.files.get(stream.path)
         if content is None:
             stream.error = True
@@ -165,6 +177,10 @@ class SimFileSystem:
         if index == STDERR_INDEX:
             self.stderr.extend(data)
             return len(data)
+        hook = self.fault_hook
+        if hook is not None and index >= 3 and hook("write", index):
+            stream.error = True
+            return None
         content = self.files.setdefault(stream.path, bytearray())
         end = stream.position + len(data)
         if end > len(content):

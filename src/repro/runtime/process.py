@@ -185,22 +185,27 @@ class SimProcess:
         self.heap.free(address)
 
     def alloc_bytes(self, data: bytes) -> int:
-        """malloc a buffer holding ``data`` exactly (no terminator)."""
-        address = self.heap.malloc(max(len(data), 1))
+        """malloc a buffer holding ``data`` exactly (no terminator).
+
+        Uses the fault-exempt allocation path: these helpers stand in
+        for data a real binary carries statically, so chaos injection
+        does not apply to them.
+        """
+        address = self.heap.reliable_malloc(max(len(data), 1))
         if address and data:
             self.space.write(address, data)
         return address
 
     def alloc_cstring(self, value: bytes) -> int:
         """malloc a buffer holding ``value`` plus a NUL terminator."""
-        address = self.heap.malloc(len(value) + 1)
+        address = self.heap.reliable_malloc(len(value) + 1)
         if address:
             self.space.write_cstring(address, value)
         return address
 
     def alloc_buffer(self, size: int, fill: int = 0) -> int:
         """malloc ``size`` zero-filled (or ``fill``-filled) bytes."""
-        address = self.heap.malloc(size)
+        address = self.heap.reliable_malloc(size)
         if address and size:
             self.space.fill(address, fill, size)
         return address

@@ -13,7 +13,11 @@ Composed into the security wrapper, this generator
 A violation *terminates* the protected program (raising
 :class:`~repro.errors.SecurityViolation`, an ABORT-class contained
 failure) rather than letting the overflow hijack control flow — the demo
-3.4 behaviour.
+3.4 behaviour.  When the policy carries a
+:class:`~repro.recovery.RecoveryPolicy`, the response instead becomes a
+per-function, per-violation-kind decision — contain, *repair* (heal the
+heap in place and let the call proceed), or escalate — each decision
+published as a :class:`~repro.telemetry.RecoveryEvent`.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from repro.security.policy import (
     WRITE_ROLES,
     SecurityPolicy,
 )
-from repro.telemetry import SecurityEvent
+from repro.telemetry import RecoveryEvent, SecurityEvent
 from repro.wrappers.generators import error_return_value
 from repro.wrappers.microgen import (
     CallFrame,
@@ -45,6 +49,79 @@ from repro.wrappers.microgen import (
     RuntimeHooks,
     WrapperUnit,
 )
+
+
+def _build_violation_handler(policy: SecurityPolicy, name: str, state,
+                             emit, error_value):
+    """The shared violation response, as ``found(frame, reason, kind)``.
+
+    Returns True when the violation was handled terminally for this call
+    (contained: the frame carries the error return) — call sites stop
+    checking.  Returns False when a ``repair`` action healed the heap
+    cleanly, meaning the call may proceed against the repaired state.
+    Escalation raises.  Shared verbatim by the compiled and interpreted
+    hook builders so the backend differentials stay byte-identical.
+    """
+    recovery = policy.recovery
+
+    if recovery is None:
+        # legacy response: terminate or contain, uniformly
+        def violation_found(frame: CallFrame, reason: str,
+                            kind: str) -> bool:
+            emit(SecurityEvent(function=name, reason=reason,
+                               terminated=policy.terminate))
+            if policy.terminate:
+                raise SecurityViolation(name, reason)
+            frame.skip_call = True
+            frame.ret = error_value
+            frame.process.errno = Errno.EFAULT
+            return True
+        return violation_found
+
+    size_table = state.size_table
+
+    def violation_found(frame: CallFrame, reason: str, kind: str) -> bool:
+        action = recovery.action_for(name, kind)
+        if action == "repair":
+            report = frame.process.heap.repair(quarantine=True)
+            # quarantined chunks are dead to the program: their size-table
+            # entries must not satisfy later capacity lookups
+            for address in report.quarantined:
+                size_table.pop(address, None)
+            emit(RecoveryEvent(function=name, violation=kind,
+                               action="repair",
+                               attempts=max(len(report.actions), 1),
+                               recovered=report.clean, detail=reason))
+            if report.clean:
+                return False
+            # the shadow metadata could not reconcile the heap: escalate
+            emit(SecurityEvent(function=name, reason=reason,
+                               terminated=True))
+            raise SecurityViolation(name, reason)
+        if action == "escalate":
+            emit(RecoveryEvent(function=name, violation=kind,
+                               action="escalate", recovered=False,
+                               detail=reason))
+            emit(SecurityEvent(function=name, reason=reason,
+                               terminated=True))
+            raise SecurityViolation(name, reason)
+        # contain
+        emit(RecoveryEvent(function=name, violation=kind,
+                           action="contain", recovered=True,
+                           detail=reason))
+        emit(SecurityEvent(function=name, reason=reason,
+                           terminated=False))
+        frame.skip_call = True
+        frame.ret = error_value
+        frame.process.errno = Errno.EFAULT
+        return True
+
+    return violation_found
+
+
+def _heap_kind(problem: str) -> str:
+    """Classify an integrity finding for policy selection."""
+    return "canary" if "canary" in problem else "heap_corruption"
 
 
 class HeapGuardGen(MicroGenerator):
@@ -132,16 +209,9 @@ class HeapGuardGen(MicroGenerator):
             unit.prototype, decl.error_return if decl else ""
         )
 
-        def violation_found(frame: CallFrame, reason: str) -> None:
-            emit(
-                SecurityEvent(function=name, reason=reason,
-                              terminated=policy.terminate)
-            )
-            if policy.terminate:
-                raise SecurityViolation(name, reason)
-            frame.skip_call = True
-            frame.ret = error_value
-            frame.process.errno = Errno.EFAULT
+        violation_found = _build_violation_handler(
+            policy, name, state, emit, error_value
+        )
 
         def is_write_violation(violation: CheckViolation) -> bool:
             if violation.check == "size_bounded":
@@ -159,8 +229,10 @@ class HeapGuardGen(MicroGenerator):
             if verify_here:
                 problems = proc.heap.check_integrity()
                 if problems:
-                    violation_found(frame, f"heap corrupted: {problems[0]}")
-                    return
+                    if violation_found(frame,
+                                       f"heap corrupted: {problems[0]}",
+                                       _heap_kind(problems[0])):
+                        return
             if is_dealloc and frame.args:
                 size_table.pop(frame.args[0], None)
             if gets_here:
@@ -172,10 +244,12 @@ class HeapGuardGen(MicroGenerator):
                 analysis = analyse_format(proc, frame.args[index])
                 if analysis is None:
                     violation_found(frame,
-                                    "format string is not a valid string")
+                                    "format string is not a valid string",
+                                    "format")
                     return
                 if analysis[1]:
-                    violation_found(frame, "format string contains %n")
+                    violation_found(frame, "format string contains %n",
+                                    "format")
                     return
             if bounds_here:
                 for violation in checker.validate_all(proc, frame.args,
@@ -185,6 +259,7 @@ class HeapGuardGen(MicroGenerator):
                             frame,
                             f"write overflow: {violation.detail} "
                             f"(param {violation.param})",
+                            "bounds",
                         )
                         return
 
@@ -224,16 +299,9 @@ class HeapGuardGen(MicroGenerator):
             unit.prototype, decl.error_return if decl else ""
         )
 
-        def violation_found(frame: CallFrame, reason: str) -> None:
-            emit(
-                SecurityEvent(function=name, reason=reason,
-                              terminated=policy.terminate)
-            )
-            if policy.terminate:
-                raise SecurityViolation(name, reason)
-            frame.skip_call = True
-            frame.ret = error_value
-            frame.process.errno = Errno.EFAULT
+        violation_found = _build_violation_handler(
+            policy, name, state, emit, error_value
+        )
 
         def prefix(frame: CallFrame) -> None:
             if frame.skip_call:
@@ -244,8 +312,10 @@ class HeapGuardGen(MicroGenerator):
             ):
                 problems = proc.heap.check_integrity()
                 if problems:
-                    violation_found(frame, f"heap corrupted: {problems[0]}")
-                    return
+                    if violation_found(frame,
+                                       f"heap corrupted: {problems[0]}",
+                                       _heap_kind(problems[0])):
+                        return
             if name in DEALLOCATING and frame.args:
                 state.size_table.pop(frame.args[0], None)
             if policy.safe_gets and name == "gets":
@@ -254,7 +324,7 @@ class HeapGuardGen(MicroGenerator):
             if policy.reject_percent_n and decl is not None:
                 detail = _percent_n_check(proc, decl, frame)
                 if detail is not None:
-                    violation_found(frame, detail)
+                    violation_found(frame, detail, "format")
                     return
             if policy.enforce_bounds and checker is not None:
                 for violation in checker.validate_all(proc, frame.args,
@@ -264,6 +334,7 @@ class HeapGuardGen(MicroGenerator):
                             frame,
                             f"write overflow: {violation.detail} "
                             f"(param {violation.param})",
+                            "bounds",
                         )
                         return
 
@@ -366,7 +437,8 @@ def _safe_gets(frame: CallFrame, state, emit, violation_found) -> None:
     if capacity is None:
         capacity = writable_extent(proc, dest)
     if capacity <= 0:
-        violation_found(frame, "gets() destination is not writable")
+        violation_found(frame, "gets() destination is not writable",
+                        "unsafe_gets")
         return
     frame.skip_call = True
     if proc.space.scalar:

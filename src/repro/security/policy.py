@@ -20,6 +20,9 @@ each layer's contribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.recovery import RecoveryPolicy
 
 #: roles whose argument the callee writes through — the overflow vectors
 WRITE_ROLES = frozenset({
@@ -50,6 +53,10 @@ class SecurityPolicy:
     #: behaviour: "detect such buffer overflows and terminate the
     #: attacker's program"); False degrades to an error return
     terminate: bool = True
+    #: per-function, per-violation-kind recovery policy; when set it
+    #: supersedes :attr:`terminate` — the wrapper asks the policy whether
+    #: to contain, repair, retry, or escalate each detected violation
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.verify_heap not in ("never", "free", "always"):

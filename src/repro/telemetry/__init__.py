@@ -19,6 +19,7 @@ from repro.telemetry.events import (
     ErrnoEvent,
     ExectimeEvent,
     ProbeEvent,
+    RecoveryEvent,
     SecurityEvent,
     TelemetryEvent,
     ViolationEvent,
@@ -42,6 +43,7 @@ __all__ = [
     "JsonlSink",
     "MetricsSink",
     "ProbeEvent",
+    "RecoveryEvent",
     "SecurityEvent",
     "Sink",
     "StateSink",

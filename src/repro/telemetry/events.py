@@ -107,6 +107,32 @@ class SecurityEvent(TelemetryEvent):
         self.terminated = terminated
 
 
+class RecoveryEvent(TelemetryEvent):
+    """One recovery-policy decision for a detected violation.
+
+    ``violation`` is the recovery taxonomy kind (heap_corruption, canary,
+    bounds, format, unsafe_gets, argcheck, transient_errno) — named
+    ``violation`` rather than ``kind`` because ``kind`` is the wire tag
+    every event carries.  ``recovered`` reports whether the action left
+    the process able to continue (repair restored heap integrity, a retry
+    eventually succeeded, or the call was contained to an error return).
+    """
+
+    __slots__ = ("function", "violation", "action", "attempts",
+                 "recovered", "detail")
+    kind = "recovery"
+
+    def __init__(self, function: str, violation: str, action: str,
+                 attempts: int = 1, recovered: bool = True,
+                 detail: str = ""):
+        self.function = function
+        self.violation = violation
+        self.action = action
+        self.attempts = attempts
+        self.recovered = recovered
+        self.detail = detail
+
+
 class CallLogEvent(TelemetryEvent):
     """One (function, argument vector) record from the logging wrapper."""
 

@@ -19,10 +19,11 @@ may emit freely.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from collections import Counter
-from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
 from repro.telemetry.bus import EventBus, Sink
 from repro.telemetry.events import (
@@ -142,11 +143,13 @@ class MetricsSink(Sink):
         self.errnos: Counter = Counter()
         self.violations: Counter = Counter()       # by check
         self.security_events: Counter = Counter()  # by function
+        self.recoveries: Counter = Counter()       # by action
         self.probes = 0
         self.probe_failures = 0
         self.probe_cached = 0
         self.documents_shipped = 0
         self.ship_failures = 0
+        self.documents_dropped = 0
         self._exectime: Dict[str, List[int]] = {}
         self._exectime_total: Counter = Counter()
         self._lock = threading.Lock()
@@ -169,6 +172,8 @@ class MetricsSink(Sink):
                     self.violations[event.check] += 1
                 elif kind == "security":
                     self.security_events[event.function] += 1
+                elif kind == "recovery":
+                    self.recoveries[event.action] += 1
                 elif kind == "probe":
                     self.probes += 1
                     if event.failed:
@@ -180,6 +185,7 @@ class MetricsSink(Sink):
                         self.documents_shipped += event.documents
                     else:
                         self.ship_failures += 1
+                        self.documents_dropped += event.documents
 
     # ------------------------------------------------------------------
 
@@ -216,11 +222,13 @@ class MetricsSink(Sink):
                 "errnos": dict(self.errnos),
                 "violations": dict(self.violations),
                 "security_events": dict(self.security_events),
+                "recoveries": dict(self.recoveries),
                 "probes": self.probes,
                 "probe_failures": self.probe_failures,
                 "probe_cached": self.probe_cached,
                 "documents_shipped": self.documents_shipped,
                 "ship_failures": self.ship_failures,
+                "documents_dropped": self.documents_dropped,
                 "exectime": quantiles,
             }
 
@@ -235,6 +243,12 @@ class MetricsSink(Sink):
             f"({snap['probe_failures']} failed, "
             f"{snap['probe_cached']} cached), "
             f"{snap['documents_shipped']} documents shipped"
+            + (f" ({snap['documents_dropped']} dropped)"
+               if snap['documents_dropped'] else "")
+            + (", recoveries "
+               + "/".join(f"{action}:{count}" for action, count
+                          in sorted(snap['recoveries'].items()))
+               if snap['recoveries'] else "")
         ]
         busiest = sorted(snap["exectime"].items(),
                          key=lambda item: -item[1]["total_ns"])[:top]
@@ -255,6 +269,12 @@ class CollectionSink(Sink):
     backoff.  Emission never blocks on the network, and :meth:`close`
     drains whatever is pending before returning — no document is lost
     to process exit.
+
+    A frame that exhausts its retries is *dropped*, never silently: the
+    drop is counted (:attr:`dropped`), logged as a warning, reported as
+    a failed ``DocumentShipped`` event (so a ``MetricsSink`` on the
+    report bus surfaces ``documents_dropped``), and included in the
+    summary :meth:`close` returns.
     """
 
     def __init__(
@@ -266,6 +286,7 @@ class CollectionSink(Sink):
         retry_backoff: float = 0.05,
         timeout: float = 5.0,
         report_bus: Optional[EventBus] = None,
+        transport: Optional[Callable] = None,
     ):
         if batch_size < 1:
             raise ValueError(
@@ -279,6 +300,10 @@ class CollectionSink(Sink):
         self.timeout = timeout
         #: bus receiving DocumentShipped events (worker thread only)
         self.report_bus = report_bus
+        #: the frame-submission callable, ``(address, documents,
+        #: timeout) -> bool``; defaults to the collection client — a
+        #: test or chaos harness substitutes its own
+        self.transport = transport
         self.shipped = 0
         self.failed = 0
         self.frames = 0
@@ -334,7 +359,10 @@ class CollectionSink(Sink):
                 self._ship_frame(frame)
 
     def _ship_frame(self, frame: List[str]) -> None:
-        from repro.collection.server import submit_documents
+        transport = self.transport
+        if transport is None:
+            from repro.collection.server import submit_documents
+            transport = submit_documents
 
         frame_bytes = sum(len(doc.encode("utf-8")) for doc in frame)
         attempts = 0
@@ -342,8 +370,7 @@ class CollectionSink(Sink):
         while attempts < self.retries and not ok:
             attempts += 1
             try:
-                ok = submit_documents(self.address, frame,
-                                      timeout=self.timeout)
+                ok = transport(self.address, frame, self.timeout)
             except OSError:
                 ok = False
             if not ok and attempts < self.retries:
@@ -353,6 +380,11 @@ class CollectionSink(Sink):
             self.shipped += len(frame)
         else:
             self.failed += len(frame)
+            logging.getLogger("repro.telemetry").warning(
+                "collection sink dropped %d document(s) after %d "
+                "attempt(s) to %s (%d dropped total)",
+                len(frame), attempts, self.address, self.failed,
+            )
         if self.report_bus is not None:
             self.report_bus.emit(
                 DocumentShipped(documents=len(frame),
@@ -362,14 +394,36 @@ class CollectionSink(Sink):
 
     # ------------------------------------------------------------------
 
-    def close(self, timeout: float = 30.0) -> None:
-        """Drain the queue, stop the worker, and wait for it."""
+    @property
+    def dropped(self) -> int:
+        """Documents abandoned after exhausting every retry."""
+        return self.failed
+
+    def close(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Drain the queue, stop the worker, and report the tallies.
+
+        Returns ``{"shipped", "dropped", "frames", "pending"}`` —
+        ``pending`` is non-zero only when the drain timed out.
+        """
         with self._wake:
             thread = self._thread
             self._stop = True
             self._wake.notify_all()
         if thread is not None:
             thread.join(timeout=timeout)
+        summary = {
+            "shipped": self.shipped,
+            "dropped": self.failed,
+            "frames": self.frames,
+            "pending": self.pending(),
+        }
+        if summary["dropped"]:
+            logging.getLogger("repro.telemetry").warning(
+                "collection sink closed with %d dropped document(s) "
+                "across %d frame(s)", summary["dropped"],
+                summary["frames"],
+            )
+        return summary
 
     def pending(self) -> int:
         with self._lock:

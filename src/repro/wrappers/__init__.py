@@ -34,6 +34,7 @@ from repro.wrappers.presets import (
     LOGGING,
     PRESETS,
     PROFILING,
+    RECOVERY,
     ROBUSTNESS,
     SECURITY,
     default_generator_registry,
@@ -63,6 +64,7 @@ __all__ = [
     "PRESETS",
     "PROFILING",
     "PrototypeGen",
+    "RECOVERY",
     "ROBUSTNESS",
     "RuntimeHooks",
     "SECURITY",

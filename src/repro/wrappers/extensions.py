@@ -5,7 +5,10 @@ drop in as micro-generators and compose with the existing ones.  Two
 extensions exercise that claim:
 
 * :class:`RetryGen` — transparently retries calls that fail with a
-  *transient* errno (EINTR/EIO-style), a classic availability wrapper;
+  *transient* errno (EINTR/EIO-style), a classic availability wrapper.
+  Since the recovery subsystem landed this is a thin preset over
+  :class:`repro.recovery.RetryGen`: a fixed attempt budget and errno
+  set instead of a full :class:`~repro.recovery.RecoveryPolicy`;
 * :class:`RateLimitGen` — refuses calls beyond a per-function budget, a
   denial-of-service damper for wrapped services.
 
@@ -15,8 +18,10 @@ Both are registered under the standard registry names ``retry`` and
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
+from repro.recovery import RecoveryPolicy
+from repro.recovery import RetryGen as _PolicyRetryGen
 from repro.runtime.process import Errno
 from repro.telemetry import CallEvent
 from repro.wrappers.generators import error_return_value
@@ -32,18 +37,24 @@ from repro.wrappers.microgen import (
 TRANSIENT_ERRNOS: Set[int] = {Errno.EINTR, Errno.EIO}
 
 
-class RetryGen(MicroGenerator):
+class RetryGen(_PolicyRetryGen):
     """Retries transiently-failing calls up to ``attempts`` times.
 
-    Placed before ``caller`` in the generator list, its postfix runs
-    *after* the call and re-invokes the next definition while the result
-    matches the function's error convention and errno is transient.
+    A compatibility preset over the recovery subsystem's retry
+    generator: ``RetryGen(attempts)`` is the standing policy "retry
+    every function's transient failures up to ``attempts`` times", with
+    this module's :data:`TRANSIENT_ERRNOS` set.  Runtime behaviour
+    (bounded re-execution, deterministic fuel backoff, RecoveryEvent
+    telemetry) comes from the shared implementation.
     """
-
-    name = "retry"
 
     def __init__(self, attempts: int = 3):
         self.attempts = attempts
+        super().__init__(RecoveryPolicy(
+            actions={"transient_errno": "retry"},
+            max_retries=attempts,
+            transient_errnos=tuple(sorted(TRANSIENT_ERRNOS)),
+        ))
 
     def c_fragment(self, unit: WrapperUnit) -> Fragment:
         proto = unit.prototype
@@ -57,28 +68,6 @@ class RetryGen(MicroGenerator):
                 f"        {assign}(*addr_{proto.name})({args});\n"
             ),
         )
-
-    def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        attempts = self.attempts
-        error_value = error_return_value(
-            unit.prototype, unit.decl.error_return if unit.decl else ""
-        )
-        resolve_next = unit.resolve_next
-        emit = unit.bus.emit
-        name = unit.name
-
-        def maybe_retry(frame: CallFrame) -> None:
-            if frame.skip_call:
-                return
-            budget = attempts
-            while (budget > 0 and frame.ret == error_value
-                   and frame.process.errno in TRANSIENT_ERRNOS):
-                budget -= 1
-                emit(CallEvent(name + "/retry"))
-                frame.process.errno = 0
-                frame.ret = resolve_next()(frame.process, *frame.all_args)
-
-        return RuntimeHooks(generator=self.name, postfix=maybe_retry)
 
 
 class RateLimitGen(MicroGenerator):
@@ -135,6 +124,12 @@ class RateLimitGen(MicroGenerator):
 
 def register_extensions(registry, retry_attempts: int = 3,
                         rate_budget: int = 10_000) -> None:
-    """Add the extension generators to a generator registry."""
-    registry.register(RetryGen(retry_attempts))
-    registry.register(RateLimitGen(rate_budget))
+    """Add the extension generators to a generator registry.
+
+    The default registry already carries the recovery subsystem's
+    ``retry`` generator; names that are taken are left in place rather
+    than clobbered.
+    """
+    for generator in (RetryGen(retry_attempts), RateLimitGen(rate_budget)):
+        if generator.name not in registry:
+            registry.register(generator)

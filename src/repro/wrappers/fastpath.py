@@ -135,6 +135,28 @@ def _body(steps: List[_Step], names: List[str], indent: str) -> List[str]:
     return lines
 
 
+def _wrap_resolver(resolver, transformers):
+    """Apply ``wrap_call`` transformers behind a one-shot resolver.
+
+    The wrapped target is built lazily at first resolution and memoized,
+    so per-call cost stays one indirection — same as the unwrapped
+    resolver — and build order matches generator order (the last
+    generator's transformer ends up outermost)."""
+    if resolver is None or not transformers:
+        return resolver
+    cache: List[Callable] = []
+
+    def resolve_wrapped() -> Callable:
+        if not cache:
+            target = resolver()
+            for transform in transformers:
+                target = transform(target)
+            cache.append(target)
+        return cache[0]
+
+    return resolve_wrapped
+
+
 @lru_cache(maxsize=None)
 def _template(source: str):
     return compile(source, "<healers-fastpath>", "exec")
@@ -158,14 +180,16 @@ def compile_wrapper(unit: WrapperUnit,
          if phase == "postfix" and owner.direct_target is not None),
         None,
     )
+    transformers = [h.wrap_call for h in hooks if h.wrap_call is not None]
     namespace = {
         "CallFrame": CallFrame,
         "NO_SCRATCH": NO_SCRATCH,
         "NAME": unit.name,
         "ARITY": len(unit.prototype.params),
         "sinks": unit.bus.sink_view,
-        "_direct": _direct_resolver(live) or _direct_resolver(idle),
-        "_resolve": resolver,
+        "_direct": _wrap_resolver(
+            _direct_resolver(live) or _direct_resolver(idle), transformers),
+        "_resolve": _wrap_resolver(resolver, transformers),
     }
     live_names = []
     for index, (fn, owner, phase) in enumerate(live):

@@ -16,6 +16,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from repro.errors import SecurityViolation
 from repro.headers.model import CType, Prototype
 from repro.robust.checks import ArgumentChecker
 from repro.runtime.process import Errno
@@ -24,6 +25,7 @@ from repro.telemetry import (
     CallLogEvent,
     ErrnoEvent,
     ExectimeEvent,
+    RecoveryEvent,
     ViolationEvent,
 )
 from repro.wrappers.microgen import (
@@ -278,10 +280,22 @@ class ArgCheckGen(MicroGenerator):
 
     On a violation the real call is suppressed; the wrapper reports the
     function's documented error convention (NULL / -1 / EOF) with errno
-    set, turning a would-be crash into a checkable error return.
+    set, turning a would-be crash into a checkable error return.  A
+    recovery policy (``policy.recovery``) may escalate instead: the
+    ``argcheck`` violation kind mapped to ``escalate`` aborts the
+    protected program rather than containing the call.
     """
 
     name = "arg check"
+
+    def __init__(self, policy=None):
+        #: optional SecurityPolicy (or anything carrying ``.recovery``);
+        #: read at hook-build time so a deployment file applied after
+        #: registry construction still takes effect
+        self.policy = policy
+
+    def _recovery(self):
+        return getattr(self.policy, "recovery", None)
 
     def c_fragment(self, unit: WrapperUnit) -> Fragment:
         lines = []
@@ -310,6 +324,10 @@ class ArgCheckGen(MicroGenerator):
         emit = unit.bus.emit
         convention = unit.decl.error_return
         error_value = error_return_value(unit.prototype, convention)
+        recovery = self._recovery()
+        escalates = (recovery is not None and
+                     recovery.action_for(unit.name, "argcheck")
+                     == "escalate")
         # fast path: one bound closure, no validate/validate_all layers
         validate = (checker.bound_validator() if unit.fastpath
                     else checker.validate)
@@ -328,6 +346,15 @@ class ArgCheckGen(MicroGenerator):
                         detail=violation.detail,
                     )
                 )
+                if recovery is not None:
+                    emit(RecoveryEvent(
+                        function=violation.function, violation="argcheck",
+                        action="escalate" if escalates else "contain",
+                        recovered=not escalates, detail=violation.detail,
+                    ))
+                if escalates:
+                    raise SecurityViolation(violation.function,
+                                            violation.detail)
                 frame.skip_call = True
                 frame.ret = error_value
                 frame.process.errno = (
@@ -338,12 +365,15 @@ class ArgCheckGen(MicroGenerator):
 
         guard = None
         if unit.fastpath:
-            guard = self._build_guard(unit, checker, emit, error_value)
+            guard = self._build_guard(unit, checker, emit, error_value,
+                                      recovery is not None, escalates)
         return RuntimeHooks(generator=self.name, prefix=check, guard=guard)
 
     @staticmethod
     def _build_guard(unit: WrapperUnit, checker: ArgumentChecker,
-                     emit: Callable, error_value: Any) -> Callable:
+                     emit: Callable, error_value: Any,
+                     has_recovery: bool = False,
+                     escalates: bool = False) -> Callable:
         """Frame-free form of the check prefix for the compiled backend.
 
         The plan loop, violation event, errno selection and contained
@@ -370,6 +400,14 @@ class ArgCheckGen(MicroGenerator):
                 if detail is not None:
                     emit(ViolationEvent(function=function, param=pname,
                                         check=pcheck, detail=detail))
+                    if has_recovery:
+                        emit(RecoveryEvent(
+                            function=function, violation="argcheck",
+                            action="escalate" if escalates else "contain",
+                            recovered=not escalates, detail=detail,
+                        ))
+                    if escalates:
+                        raise SecurityViolation(function, detail)
                     process.errno = errno_value
                     return contained
             return None

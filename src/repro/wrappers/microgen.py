@@ -116,6 +116,14 @@ class RuntimeHooks:
     #: ``value`` without calling through).  When every prefix in a chain
     #: offers one, the compiled wrapper skips CallFrame entirely.
     guard: Optional[Callable[..., Optional[tuple]]] = None
+    #: transformer of the *resolved* call target, applied once at first
+    #: resolution: ``wrap_call(target) -> target'``.  Lets a generator
+    #: interpose on the intercepted call itself (the retry generator's
+    #: bounded re-execution) without forfeiting the compiled wrapper's
+    #: direct-tail-call or frame-free guard forms.  Fast-path only; the
+    #: interpreted composer expects such generators to supply an
+    #: equivalent prefix/postfix rendering instead.
+    wrap_call: Optional[Callable[[Callable], Callable]] = None
 
 
 @dataclass

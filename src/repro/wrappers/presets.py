@@ -10,13 +10,19 @@
 * **logging** — call log for later failure diagnosis.
 * **hardened** — robustness + security combined (micro-generators
   compose, which is the architecture's point).
+* **recovery** — the security features plus the retry generator, with
+  the violation response (contain / repair / retry / escalate) chosen by
+  the policy's :class:`~repro.recovery.RecoveryPolicy`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.security.policy import SecurityPolicy
+if TYPE_CHECKING:  # runtime import would be circular: security.policy
+    from repro.security.policy import SecurityPolicy  # embeds recovery,
+    # which builds on the wrapper base classes this package defines
+
 from repro.wrappers.composer import WrapperSpec
 from repro.wrappers.generators import (
     ArgCheckGen,
@@ -32,11 +38,12 @@ from repro.wrappers.microgen import GeneratorRegistry
 
 
 def default_generator_registry(
-    policy: Optional[SecurityPolicy] = None,
+    policy: "Optional[SecurityPolicy]" = None,
 ) -> GeneratorRegistry:
     """All standard micro-generators (security policy configurable)."""
     # imported here: security.guard itself builds on the generator base
     # classes, so a module-level import would be circular
+    from repro.recovery import RetryGen
     from repro.security.guard import HeapGuardGen
 
     registry = GeneratorRegistry()
@@ -46,9 +53,10 @@ def default_generator_registry(
     registry.register(ExectimeGen())
     registry.register(CollectErrorsGen())
     registry.register(FuncErrorsGen())
-    registry.register(ArgCheckGen())
+    registry.register(ArgCheckGen(policy))
     registry.register(LogCallGen())
     registry.register(HeapGuardGen(policy))
+    registry.register(RetryGen(policy))
     return registry
 
 
@@ -92,7 +100,17 @@ HARDENED = WrapperSpec(
     description="security + robustness combined",
 )
 
+RECOVERY = WrapperSpec(
+    name="recovery",
+    # the security features with the retry generator between the guard
+    # and the caller: retry re-executes the innermost call, so the heap
+    # guard's size table records the final (retried) result
+    generators=["prototype", "heap guard", "retry", "caller"],
+    description="policy-driven self-healing: contain/repair/retry/escalate",
+)
+
 PRESETS: Dict[str, WrapperSpec] = {
     spec.name: spec
-    for spec in (PROFILING, ROBUSTNESS, SECURITY, LOGGING, HARDENED)
+    for spec in (PROFILING, ROBUSTNESS, SECURITY, LOGGING, HARDENED,
+                 RECOVERY)
 }

@@ -1,0 +1,168 @@
+"""Tests for campaign hardening: the watchdog and worker-death requeue.
+
+A parallel campaign must survive the two failure modes the executor
+historically could not: a work unit that never returns (hung worker)
+and a worker that dies mid-unit.  The watchdog classifies the former's
+probes as HANGs (completing the :class:`~repro.errors.WatchdogTimeout`
+story); the latter is requeued with bounded retries.  Either way the
+campaign *completes*, with the incidents visible in
+:class:`~repro.injection.executor.CampaignStats` and on the progress
+observer.
+"""
+
+import io
+import time
+
+import pytest
+
+import repro.injection.executor as executor_module
+from repro.errors import Outcome, WatchdogTimeout
+from repro.injection import Campaign, ProbeCache, ProbeExecutor
+from repro.libc import standard_registry
+from repro.reporting.progress import CampaignProgress
+
+FUNCTIONS = ["strlen", "atoi", "strdup"]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture()
+def chaotic_units(monkeypatch):
+    """Patch unit execution to hang/raise per a per-test script.
+
+    The script maps a function name to ``"hang"`` (sleep well past any
+    test watchdog) or ``"die"`` (raise, as a crashed worker surfaces);
+    each trigger fires once unless marked sticky with ``"die!"``.
+    """
+    script = {}
+    original = executor_module._execute_unit
+
+    def chaotic(campaign, unit):
+        name = unit[0]
+        mode = script.get(name)
+        if mode == "hang":
+            script.pop(name)
+            time.sleep(0.8)
+        elif mode == "die":
+            script.pop(name)
+            raise RuntimeError("simulated worker crash")
+        elif mode == "die!":
+            raise RuntimeError("simulated worker crash")
+        return original(campaign, unit)
+
+    monkeypatch.setattr(executor_module, "_execute_unit", chaotic)
+    return script
+
+
+def run_hardened(registry, script, watchdog=0.15, unit_retries=2,
+                 observer=None, cache=None):
+    campaign = Campaign(registry, observer=observer)
+    runner = ProbeExecutor(campaign, jobs=2, backend="thread",
+                           watchdog=watchdog, unit_retries=unit_retries,
+                           cache=cache)
+    result = runner.run(FUNCTIONS)
+    return runner, result
+
+
+class TestWatchdog:
+    def test_hung_unit_becomes_hangs(self, registry, chaotic_units):
+        chaotic_units["strlen"] = "hang"
+        runner, result = run_hardened(registry, chaotic_units)
+        assert runner.stats.watchdog_timeouts == 1
+        report = result.reports["strlen"]
+        assert report.records, "hung unit must still be reported"
+        for record in report.records:
+            assert record.result.outcome is Outcome.HANG
+            assert isinstance(record.result.exception, WatchdogTimeout)
+        # the other functions executed normally
+        assert any(r.result.outcome is not Outcome.HANG
+                   for r in result.reports["atoi"].records)
+        assert any("watchdog" in line for line in runner.stats.incidents)
+
+    def test_hangs_never_enter_the_cache(self, registry, chaotic_units):
+        chaotic_units["strlen"] = "hang"
+        cache = ProbeCache.for_registry(registry)
+        runner, _ = run_hardened(registry, chaotic_units, cache=cache)
+        assert runner.stats.watchdog_timeouts == 1
+        # a resumed run re-executes exactly the hung unit's probes
+        campaign = Campaign(registry)
+        resumed = ProbeExecutor(campaign, jobs=2, backend="thread",
+                                cache=cache)
+        resumed.run(FUNCTIONS)
+        hung_probes = len(campaign.enumerate_probes("strlen"))
+        assert resumed.stats.executed == hung_probes
+        assert resumed.stats.cached == resumed.stats.planned - hung_probes
+
+    def test_no_watchdog_means_no_deadline(self, registry):
+        runner, result = run_hardened(registry, {}, watchdog=None)
+        assert runner.stats.watchdog_timeouts == 0
+        assert len(result.reports) == len(FUNCTIONS)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_requeues_and_completes(self, registry,
+                                                chaotic_units):
+        chaotic_units["atoi"] = "die"
+        runner, result = run_hardened(registry, chaotic_units)
+        assert runner.stats.worker_failures == 1
+        assert runner.stats.requeued == 1
+        assert runner.stats.lost_units == 0
+        # the requeued unit delivered its full report
+        campaign = Campaign(registry)
+        assert (len(result.reports["atoi"].records)
+                == len(campaign.enumerate_probes("atoi")))
+        assert any("requeued" in line for line in runner.stats.incidents)
+
+    def test_unit_lost_after_retry_budget(self, registry, chaotic_units):
+        chaotic_units["atoi"] = "die!"      # sticky: every attempt dies
+        runner, result = run_hardened(registry, chaotic_units,
+                                      unit_retries=1)
+        assert runner.stats.worker_failures == 2   # initial + 1 retry
+        assert runner.stats.requeued == 1
+        assert runner.stats.lost_units == 1
+        # the campaign still completes; the lost function reports empty
+        assert result.reports["atoi"].records == []
+        assert len(result.reports["strlen"].records) > 0
+        assert any("lost" in line for line in runner.stats.incidents)
+
+    def test_requeue_matches_clean_run(self, registry, chaotic_units):
+        chaotic_units["strdup"] = "die"
+        _, hardened = run_hardened(registry, chaotic_units)
+        clean = Campaign(registry).run(FUNCTIONS)
+        got = [(r.probe.param_index, r.probe.value_label,
+                r.result.outcome)
+               for r in hardened.reports["strdup"].records]
+        want = [(r.probe.param_index, r.probe.value_label,
+                 r.result.outcome)
+                for r in clean.reports["strdup"].records]
+        assert got == want
+
+
+class TestIncidentVisibility:
+    def test_hang_plus_death_completes_with_incidents(self, registry,
+                                                      chaotic_units):
+        """The acceptance scenario: one hung probe unit and one killed
+        worker in the same campaign — it completes, and both incidents
+        are visible in the stats and on the progress observer."""
+        chaotic_units["strlen"] = "hang"
+        chaotic_units["atoi"] = "die"
+        stream = io.StringIO()
+        progress = CampaignProgress(stream=stream)
+        runner, result = run_hardened(registry, chaotic_units,
+                                      observer=progress)
+        assert len(result.reports) == len(FUNCTIONS)
+        assert runner.stats.watchdog_timeouts == 1
+        assert runner.stats.worker_failures == 1
+        assert len(runner.stats.incidents) == 2
+        assert progress.incidents == runner.stats.incidents
+        assert "incident" in stream.getvalue()
+        assert "incidents" in progress.summary()
+        assert "worker failures" in runner.stats.describe()
+
+    def test_clean_run_reports_no_incidents(self, registry):
+        runner, _ = run_hardened(registry, {})
+        assert runner.stats.incidents == []
+        assert "worker failures" not in runner.stats.describe()

@@ -13,8 +13,11 @@ from repro.headers.parser import parse_prototype
 from repro.manpages import load_corpus
 from repro.robust import RobustAPIDocument
 from repro.runtime import Errno, SimProcess
+from repro.telemetry import MetricsSink, RecoveryEvent
 from repro.wrappers import WrapperFactory, WrapperSpec
 from repro.wrappers.extensions import RateLimitGen, RetryGen, register_extensions
+from repro.wrappers.generators import CallerGen, PrototypeGen
+from repro.wrappers.microgen import GeneratorRegistry
 from repro.wrappers.presets import default_generator_registry
 
 
@@ -102,37 +105,72 @@ def flaky_function(fail_times):
     return registry
 
 
+class _CaptureSink:
+    """Collects raw telemetry events (the bus duck-types sinks)."""
+
+    def __init__(self):
+        self.events = []
+
+    def handle_batch(self, events):
+        self.events.extend(events)
+
+    def close(self):
+        pass
+
+
 class TestRetryGen:
     def build(self, registry, attempts):
         linker = DynamicLinker()
         linker.add_library(SharedLibrary.from_registry(registry))
-        generators = default_generator_registry()
+        # a fresh generator registry: the default one already carries
+        # the policy-driven retry generator under the same name
+        generators = GeneratorRegistry()
+        generators.register(PrototypeGen())
+        generators.register(CallerGen())
         generators.register(RetryGen(attempts))
+        metrics = MetricsSink()
         factory = WrapperFactory(registry, None, generators=generators)
         spec = WrapperSpec(name="retrying", generators=["retry"])
-        built = factory.preload(linker, spec, functions=["flaky"])
-        return linker, built
+        built = factory.preload(linker, spec, functions=["flaky"],
+                                sinks=[metrics])
+        return linker, built, metrics
 
     def test_transient_failure_retried_to_success(self):
         registry = flaky_function(fail_times=2)
-        linker, built = self.build(registry, attempts=3)
+        linker, built, metrics = self.build(registry, attempts=3)
+        capture = built.bus.subscribe(_CaptureSink())
         proc = SimProcess()
         assert linker.resolve("flaky").symbol(proc, 21) == 42
-        assert built.state.calls["flaky/retry"] == 2
+        built.bus.flush()
+        episodes = [e for e in capture.events
+                    if isinstance(e, RecoveryEvent)]
+        assert len(episodes) == 1
+        assert episodes[0].attempts == 2
+        assert episodes[0].recovered
+        assert metrics.recoveries["retry"] == 1
 
     def test_budget_exhaustion_reports_error(self):
         registry = flaky_function(fail_times=10)
-        linker, _ = self.build(registry, attempts=3)
+        linker, built, metrics = self.build(registry, attempts=3)
         proc = SimProcess()
         assert linker.resolve("flaky").symbol(proc, 21) == -1
         assert proc.errno == Errno.EINTR
+        built.bus.flush()
+        assert metrics.recoveries["retry"] == 1  # one (failed) episode
 
     def test_healthy_call_not_retried(self):
         registry = flaky_function(fail_times=0)
-        linker, built = self.build(registry, attempts=3)
+        linker, built, metrics = self.build(registry, attempts=3)
         proc = SimProcess()
         assert linker.resolve("flaky").symbol(proc, 5) == 10
-        assert built.state.calls["flaky/retry"] == 0
+        built.bus.flush()
+        assert metrics.recoveries["retry"] == 0
+
+    def test_preset_policy_mirrors_attempt_budget(self):
+        generator = RetryGen(attempts=5)
+        assert generator.policy.retries_for("anything") == 5
+        assert set(generator.policy.transient_errnos) == {Errno.EINTR,
+                                                          Errno.EIO}
 
 
 class TestRateLimitGen:

@@ -66,7 +66,7 @@ class TestWrapperSpec:
 
     def test_presets_complete(self):
         assert set(PRESETS) == {"profiling", "robustness", "security",
-                                "logging", "hardened"}
+                                "logging", "hardened", "recovery"}
         assert PROFILING.generators == [
             "prototype", "function exectime", "collect errors",
             "func errors", "call counter", "caller",
