@@ -1,0 +1,151 @@
+"""P6 — multi-fault adversarial campaigns: the containment matrix.
+
+The scored attack corpus runs under every wrapper preset while
+seed-deterministic k-fault schedules (k ∈ {1..3}) stress the same run.
+Three claims gate the experiment:
+
+1. **Containment** — under the ``security`` preset no attack escapes
+   at k=1 (rate ≥ ``HEALERS_ADVERSARIAL_GATE``, default 1.0), and the
+   gated presets (security, hardened) produce zero escapes anywhere in
+   the explored space.
+2. **Pruning** — equivalence classes + domination skip ≥ 30 % of the
+   naive k-fault space while still covering every k ∈ {1, 2, 3}.
+3. **Replayability** — every record (and in particular every escape)
+   re-executes to the same verdict from just its
+   ``(attack, preset, seed, trial, k-set)`` witness.
+
+Writes ``benchmarks/out/BENCH_adversarial.json`` and a containment
+matrix artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.chaos import ChaosCampaign, DEFAULT_PRESETS
+
+#: minimum k=1 containment rate under the security preset
+ADVERSARIAL_GATE = float(os.environ.get("HEALERS_ADVERSARIAL_GATE",
+                                        "1.0"))
+
+#: minimum fraction of the naive k-fault space the pruner must skip
+PRUNE_FLOOR = 0.30
+
+CAMPAIGN_SEED = 2003
+CAMPAIGN_TRIALS = 2
+CAMPAIGN_KMAX = 3
+
+
+def test_adversarial_containment_matrix(registry, api_document,
+                                        artifact):
+    campaign = ChaosCampaign(
+        registry, api_document,
+        seeds=(CAMPAIGN_SEED,), trials=CAMPAIGN_TRIALS,
+        kmax=CAMPAIGN_KMAX, exec_backend="thread", jobs=2,
+    )
+    report = campaign.run()
+    matrix = report.matrix()
+    prune = report.prune
+
+    # coverage: the full preset row set, ≥6 attack classes, k ∈ {1..3}
+    assert set(DEFAULT_PRESETS) <= set(matrix)
+    classes = {record.attack_class for record in report.records}
+    assert len(classes) >= 6, sorted(classes)
+    k_seen = {record.k for record in report.records}
+    assert k_seen == {1, 2, 3}, k_seen
+
+    # pruning: measured, and above the floor
+    assert prune.skipped_fraction >= PRUNE_FLOOR, prune.to_dict()
+    assert prune.executed + prune.skipped == prune.naive
+
+    # containment: the paper's claim, as a gate
+    security_k1 = report.containment_rate("security", k=1)
+    assert security_k1 >= ADVERSARIAL_GATE, (
+        f"security k=1 containment {security_k1:.0%} below gate "
+        f"{ADVERSARIAL_GATE:.0%}"
+    )
+    gated_escapes = [record for record in report.escapes()
+                     if record.preset in ("security", "hardened")]
+    assert not gated_escapes, [
+        record.replay_witness() for record in gated_escapes
+    ]
+
+    # every escape carries a complete replay witness
+    for record in report.escapes():
+        witness = record.replay_witness()
+        assert set(witness) == {"attack", "preset", "seed", "trial",
+                                "k", "kset"}
+        assert witness["k"] == len(witness["kset"]) >= 1
+
+    # replayability: a deterministic sample re-executes identically,
+    # and so does every escape
+    stride = max(1, len(report.records) // 5)
+    sample = list(report.records[::stride])[:5] + report.escapes()[:3]
+    for record in sample:
+        again = campaign.replay(record.replay_witness())
+        assert again.verdict == record.verdict, record.replay_witness()
+        assert again.faults == record.faults
+
+    payload = {
+        "campaign": {
+            "seed": CAMPAIGN_SEED,
+            "trials": CAMPAIGN_TRIALS,
+            "kmax": CAMPAIGN_KMAX,
+            "horizon": campaign.horizon,
+            "presets": list(campaign.presets),
+            "attacks": [attack.name for attack in campaign.attacks],
+            "attack_classes": sorted(classes),
+        },
+        "matrix": matrix,
+        "containment": {
+            preset: {
+                "overall": round(report.containment_rate(preset), 4),
+                "k1": round(report.containment_rate(preset, k=1), 4),
+            }
+            for preset in campaign.presets
+        },
+        "records_by_k": {str(k): sum(1 for r in report.records
+                                     if r.k == k)
+                         for k in sorted(k_seen)},
+        "prune": prune.to_dict(),
+        "escapes": [record.replay_witness()
+                    for record in report.escapes()],
+        "gate": {"security_k1_floor": ADVERSARIAL_GATE,
+                 "prune_floor": PRUNE_FLOOR},
+    }
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    (out / "BENCH_adversarial.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    verdict_cols = ["escaped", "crashed", "detected", "repaired",
+                    "contained", "hang"]
+    rows = [
+        f"P6 — adversarial containment (seed {CAMPAIGN_SEED}, "
+        f"{CAMPAIGN_TRIALS} trials, kmax={CAMPAIGN_KMAX}, "
+        f"horizon {campaign.horizon})",
+        f"{'preset':<12} " + " ".join(f"{v:>9}" for v in verdict_cols)
+        + f" {'contain':>8}",
+    ]
+    for preset in campaign.presets:
+        counts: dict = {}
+        for cell in matrix.get(preset, {}).values():
+            for verdict, count in cell.items():
+                counts[verdict] = counts.get(verdict, 0) + count
+        rows.append(
+            f"{preset:<12} "
+            + " ".join(f"{counts.get(v, 0):>9}" for v in verdict_cols)
+            + f" {report.containment_rate(preset):>7.0%}"
+        )
+    rows.append(
+        f"prune: naive {prune.naive} -> executed {prune.executed} "
+        f"({prune.skipped_fraction:.0%} skipped: "
+        f"{prune.pruned_equivalence} equivalence, "
+        f"{prune.pruned_dominated} dominated)"
+    )
+    rows.append(f"escapes: {len(report.escapes())} "
+                f"(all replayable from their witnesses)")
+    artifact("p6_adversarial_matrix", "\n".join(rows))

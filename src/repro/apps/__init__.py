@@ -5,6 +5,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps.authd import AUTHD
 from repro.apps.base import AppResult, EntryPoint, SimApp, run_app
 from repro.apps.csvstat import CSVSTAT
+from repro.apps.heapd import HEAPD
 from repro.apps.msgformat import MSGFORMAT
 from repro.apps.stacksmash import STACKD
 from repro.apps.statcalc import STATCALC
@@ -14,7 +15,7 @@ from repro.linker import DynamicLinker, SharedLibrary
 from repro.objfile import SimELF, SimSystem, TYPE_EXEC, build_shared_object
 
 ALL_APPS: List[SimApp] = [WORDCOUNT, CSVSTAT, STATCALC, MSGFORMAT, AUTHD,
-                          STACKD]
+                          STACKD, HEAPD]
 
 #: sample input used by examples/benchmarks for the text workloads
 SAMPLE_TEXT = (
@@ -94,6 +95,7 @@ __all__ = [
     "AppResult",
     "CSVSTAT",
     "EntryPoint",
+    "HEAPD",
     "MSGFORMAT",
     "SAMPLE_CSV",
     "SAMPLE_TEXT",

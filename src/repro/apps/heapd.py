@@ -1,0 +1,150 @@
+"""heapd: a heap-management service with the full bug bestiary.
+
+Where authd carries exactly one bug (the demo 3.4 overflow), heapd is
+the red-team's playground: a command service whose protocol exposes the
+classic heap-lifetime and format-string mistakes in isolation, so each
+attack class in the corpus has a dedicated, minimal trigger.
+
+Protocol (one command per stdin line):
+
+* ``ALLOC <n>``        — malloc an ``n``-byte slot (appended to the
+  slot table; slot 0 is pre-allocated at startup)
+* ``FREE <slot>``      — free the slot's buffer **without clearing the
+  table entry** (the dangling-pointer bug)
+* ``PUT <slot> <text>``— ``strcpy`` the text into the slot (no length
+  check; combined with FREE this is a use-after-free write)
+* ``NOTE <fmt>``       — ``sprintf`` the attacker-controlled format
+  into the note buffer **with no variadic arguments** (format-string
+  overread)
+* ``RAW <slot>``       — read the next stdin line straight into the
+  slot with ``gets()`` (unbounded; NUL bytes pass through)
+* ``RUN``              — dispatch through the handler record's function
+  pointer (the hijack target)
+* ``QUIT``             — stop
+
+Layout: the handler record is allocated immediately after slot 0, so an
+overflow out of slot 0 runs over the allocator metadata (and canary,
+when armed) into the function pointer — same shape as authd, but
+reachable through ``RAW``'s NUL-transparent read, which is what makes a
+forged-canary bypass attempt expressible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+from repro.runtime import SimProcess
+
+CMD_BUFFER = 128
+NOTE_BUFFER = 96
+SLOT_BUFFER = 32
+HANDLER_RECORD = 16  # function pointer + flags word
+
+IMPORTS = ["malloc", "free", "strcpy", "strlen", "sprintf", "puts", "gets"]
+
+
+def _log_handler(proc: SimProcess, *args) -> int:
+    """The legitimate dispatch target: record that service ran."""
+    proc.heapd_outcome = "logged"
+    return 0
+
+
+def _shell_gadget(proc: SimProcess, *args) -> int:
+    """Attacker-desired code (see authd)."""
+    proc.root_shell = True
+    proc.heapd_outcome = "root shell"
+    return 0
+
+
+def gadget_addresses(proc: SimProcess) -> dict:
+    """Code addresses of this binary (read by the attack corpus)."""
+    if not hasattr(proc, "_heapd_gadgets"):
+        proc._heapd_gadgets = {
+            "log": proc.register_callback(_log_handler),
+            "shell": proc.register_callback(_shell_gadget),
+        }
+    return proc._heapd_gadgets
+
+
+def _slot_index(argument: bytes) -> int:
+    try:
+        return int(argument)
+    except ValueError:
+        return -1
+
+
+def heapd_main(image: LinkedImage, argv: List[str]) -> int:
+    """Serve slot-management commands from stdin until EOF/QUIT."""
+    proc = image.process
+    proc.root_shell = False
+    proc.heapd_outcome = "none"
+    gadgets = gadget_addresses(proc)
+
+    # fixed allocation order — the corpus' scout replays it exactly
+    cmd = image.call("malloc", CMD_BUFFER)
+    note = image.call("malloc", NOTE_BUFFER)
+    slots = [image.call("malloc", SLOT_BUFFER)]  # slot 0: the victim
+    record = image.call("malloc", HANDLER_RECORD)
+    proc.space.write_u64(record, gadgets["log"])
+    proc.space.write_u64(record + 8, 0)
+
+    handled = 0
+    while True:
+        if image.call("gets", cmd) == 0:
+            break
+        line = proc.read_cstring(cmd, limit=CMD_BUFFER)
+        if not line:
+            continue
+        handled += 1
+        if line.startswith(b"QUIT"):
+            break
+        if line.startswith(b"ALLOC "):
+            size = _slot_index(line[6:].split()[0]) if line[6:].split() \
+                else -1
+            slots.append(image.call("malloc", max(size, 1)))
+        elif line.startswith(b"FREE "):
+            index = _slot_index(line[5:].strip())
+            if 0 <= index < len(slots):
+                # bug: the table entry is not cleared — it dangles
+                image.call("free", slots[index])
+        elif line.startswith(b"PUT "):
+            space = line.find(b" ", 4)
+            index = _slot_index(line[4:space if space > 0 else None])
+            if space > 0 and 0 <= index < len(slots):
+                # bug: unbounded copy of the command tail into the slot
+                image.call("strcpy", slots[index], cmd + space + 1)
+        elif line.startswith(b"NOTE "):
+            # bug: the attacker's text *is* the format string, and the
+            # call supplies no variadic arguments at all
+            image.call("sprintf", note, cmd + 5)
+        elif line.startswith(b"RAW "):
+            index = _slot_index(line[4:].strip())
+            if 0 <= index < len(slots):
+                # bug: unbounded, NUL-transparent read into the slot
+                if image.call("gets", slots[index]) == 0:
+                    break
+        elif line.startswith(b"RUN"):
+            handler_ptr = proc.space.read_u64(record)
+            handler = proc.resolve_callback(handler_ptr)
+            handler(proc)
+        else:
+            image.call("puts", proc.alloc_cstring(b"heapd: bad command"))
+
+    summary = image.call("malloc", 64)
+    fmt = proc.alloc_cstring(b"heapd: handled %d commands")
+    image.call("sprintf", summary, fmt, handled)
+    image.call("puts", summary)
+    return 0
+
+
+HEAPD = SimApp(
+    name="heapd",
+    path="/sbin/heapd",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=heapd_main,
+    description="slot-management service exposing heap-lifetime and "
+                "format-string bugs",
+)

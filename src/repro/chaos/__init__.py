@@ -7,6 +7,15 @@ under injected faults (:class:`ChaosHarness`) — the toolkit
 fault-injecting *itself*, with every run replayable from its seed.
 """
 
+from repro.chaos.cache import CachedTrial, TrialCache, TrialKey
+from repro.chaos.campaign import (
+    CAMPAIGN_BACKENDS,
+    DEFAULT_PRESETS,
+    AdversarialRecord,
+    AdversarialReport,
+    AdversarialUnit,
+    ChaosCampaign,
+)
 from repro.chaos.harness import (
     ChaosHarness,
     ChaosReport,
@@ -15,15 +24,39 @@ from repro.chaos.harness import (
     standard_scenarios,
 )
 from repro.chaos.injector import ChaosInjector
-from repro.chaos.plan import SITES, ChaosPlan
+from repro.chaos.multifault import (
+    KFaultPlan,
+    PruneStats,
+    SpacePruner,
+    enumerate_ksets,
+    naive_space_size,
+    site_indices,
+)
+from repro.chaos.plan import SITES, ChaosPlan, trial_seed
 
 __all__ = [
-    "SITES",
+    "AdversarialRecord",
+    "AdversarialReport",
+    "AdversarialUnit",
+    "CAMPAIGN_BACKENDS",
+    "CachedTrial",
+    "ChaosCampaign",
     "ChaosHarness",
     "ChaosInjector",
     "ChaosPlan",
     "ChaosReport",
     "ChaosScenario",
+    "DEFAULT_PRESETS",
+    "KFaultPlan",
+    "PruneStats",
+    "SITES",
+    "SpacePruner",
+    "TrialCache",
+    "TrialKey",
     "TrialOutcome",
+    "enumerate_ksets",
+    "naive_space_size",
+    "site_indices",
     "standard_scenarios",
+    "trial_seed",
 ]

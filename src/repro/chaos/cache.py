@@ -1,0 +1,156 @@
+"""Trial-result cache: resumable adversarial campaigns.
+
+An adversarial campaign is a pure function of its configuration — the
+corpus payloads, the presets, the seeds and the k-fault space are all
+deterministic — so an interrupted or repeated campaign should only
+execute the (attack, preset, seed, trial, k-set) cells it has not
+finished yet.  The cache keys each cell's verdict by that tuple and is
+gated on a campaign **fingerprint** (a content hash over the registry,
+the corpus payloads and the campaign parameters): any drift yields a
+fresh cache, never stale verdicts.
+
+Watchdog-killed units are deliberately *not* recorded: a hang verdict
+is synthesized, not observed, so a resumed campaign must re-execute the
+cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrialKey:
+    """Cache identity of one adversarial cell."""
+
+    attack: str
+    preset: str
+    seed: int
+    trial: int
+    kset: Tuple[str, ...]
+
+    def label(self) -> str:
+        return (f"{self.attack}|{self.preset}|{self.seed}|{self.trial}|"
+                + "+".join(self.kset))
+
+
+@dataclass
+class CachedTrial:
+    """One stored cell verdict (everything reporting reads back)."""
+
+    verdict: str
+    status: Optional[int]
+    exception: str
+    faults: Tuple[Tuple[str, int], ...]
+    recoveries: Dict[str, int]
+
+
+class TrialCache:
+    """Verdict store for one campaign fingerprint (JSON on disk)."""
+
+    def __init__(self, fingerprint: str = ""):
+        self.fingerprint = fingerprint
+        self._entries: Dict[TrialKey, CachedTrial] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: TrialKey) -> Optional[CachedTrial]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def record(self, key: TrialKey, entry: CachedTrial) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> Dict[TrialKey, CachedTrial]:
+        with self._lock:
+            return dict(sorted(self._entries.items(),
+                               key=lambda item: item[0].label()))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "fingerprint": self.fingerprint,
+            "entries": [
+                {"key": {**asdict(key), "kset": list(key.kset)},
+                 "value": {**asdict(entry),
+                           "faults": [list(f) for f in entry.faults]}}
+                for key, entry in self.entries().items()
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialCache":
+        payload = json.loads(text)
+        cache = cls(fingerprint=str(payload.get("fingerprint", "")))
+        for row in payload.get("entries", []):
+            raw_key, raw_value = row["key"], row["value"]
+            key = TrialKey(
+                attack=str(raw_key["attack"]),
+                preset=str(raw_key["preset"]),
+                seed=int(raw_key["seed"]),
+                trial=int(raw_key["trial"]),
+                kset=tuple(str(site) for site in raw_key["kset"]),
+            )
+            entry = CachedTrial(
+                verdict=str(raw_value["verdict"]),
+                status=(int(raw_value["status"])
+                        if raw_value["status"] is not None else None),
+                exception=str(raw_value["exception"]),
+                faults=tuple((str(site), int(index))
+                             for site, index in raw_value["faults"]),
+                recoveries={str(k): int(v) for k, v
+                            in raw_value["recoveries"].items()},
+            )
+            cache._entries[key] = entry
+        return cache
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "TrialCache":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    @classmethod
+    def load_or_create(cls, path: str, fingerprint: str) -> "TrialCache":
+        """Resume from ``path`` when it matches ``fingerprint``.
+
+        A missing/corrupt file or a fingerprint mismatch yields a fresh
+        empty cache.
+        """
+        if path and os.path.exists(path):
+            try:
+                cache = cls.load(path)
+            except (OSError, ValueError, KeyError):
+                return cls(fingerprint=fingerprint)
+            if cache.fingerprint == fingerprint:
+                return cache
+        return cls(fingerprint=fingerprint)

@@ -1,0 +1,246 @@
+"""k-fault schedules and the pruned multi-fault search space.
+
+A single-fault chaos trial answers "does the wrapper contain *this*
+fault"; the interesting failures come from fault *combinations* — an
+allocator OOM that lands while the heap is already clobbered, an I/O
+error during the recovery path of another.  A :class:`KFaultPlan` is a
+set of ``(site, invocation-index)`` tuples drawn seed-deterministically
+for k ∈ {1, 2, 3}; :func:`enumerate_ksets` spans the naive space and
+:class:`SpacePruner` shrinks it with two sound reductions:
+
+* **equivalence classes** — sites whose k=1 trials produce the same
+  outcome signature (verdict, faults fired, recovery actions) hit the
+  same wrapper/check path, so only one representative per class needs
+  k≥2 exploration;
+* **domination** — if ``{a}`` already escapes containment, every
+  superset containing ``a`` escapes at least as badly; those supersets
+  are skipped and the singleton escape stands as the witness.
+
+Both reductions are measured (:class:`PruneStats`) so the benchmark can
+assert the fraction of the naive space actually skipped.
+
+Determinism contract: every site draws its invocation index from one
+``random.Random`` seeded by :func:`~repro.chaos.plan.trial_seed`, in
+stable :data:`~repro.chaos.plan.SITES` order — so the index of site
+``a`` is identical whether ``a`` appears alone or inside ``{a, b}``.
+That projection property is what makes domination sound: the singleton
+really is the k-set minus one fault, not a different schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.chaos.plan import SITES, ChaosPlan, trial_seed
+
+#: one scheduled fault: (site name, faulting invocation index)
+Fault = Tuple[str, int]
+
+
+def site_indices(seed: int, trial: int, sites: Sequence[str] = SITES,
+                 horizon: int = 200) -> Dict[str, int]:
+    """The shared per-site invocation index for one (seed, trial).
+
+    Drawn once per trial in stable site order, so any k-set over these
+    sites projects onto its subsets (the domination prerequisite).
+    """
+    rng = random.Random(trial_seed(seed, trial))
+    return {site: rng.randrange(horizon) for site in sites}
+
+
+@dataclass(frozen=True)
+class KFaultPlan:
+    """One replayable k-fault schedule."""
+
+    seed: int
+    trial: int
+    faults: Tuple[Fault, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.faults)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(site for site, _ in self.faults)
+
+    @classmethod
+    def for_sites(cls, seed: int, trial: int, chosen: Iterable[str],
+                  sites: Sequence[str] = SITES,
+                  horizon: int = 200) -> "KFaultPlan":
+        """The k-set over ``chosen`` sites with the trial's shared indices."""
+        indices = site_indices(seed, trial, sites=sites, horizon=horizon)
+        ordered = tuple(site for site in sites if site in set(chosen))
+        return cls(seed=seed, trial=trial,
+                   faults=tuple((site, indices[site]) for site in ordered))
+
+    @classmethod
+    def sample(cls, seed: int, trial: int, k: int,
+               sites: Sequence[str] = SITES,
+               horizon: int = 200) -> "KFaultPlan":
+        """A random k-set drawn from the (seed, trial, k)-mixed stream.
+
+        The site choice uses the k-mixed stream (distinct cardinalities
+        never share prefixes) while the invocation indices stay the
+        trial-shared projection, preserving subset soundness.
+        """
+        if not 1 <= k <= len(sites):
+            raise ValueError(f"k must be in 1..{len(sites)}, got {k}")
+        rng = random.Random(trial_seed(seed, trial, k))
+        chosen = rng.sample(list(sites), k)
+        return cls.for_sites(seed, trial, chosen, sites=sites,
+                             horizon=horizon)
+
+    def to_plan(self, horizon: int = 200) -> ChaosPlan:
+        """Materialise as a :class:`ChaosPlan` the injector can arm."""
+        schedule: Dict[str, Tuple[int, ...]] = {}
+        for site, index in self.faults:
+            schedule[site] = tuple(sorted(set(schedule.get(site, ())
+                                              + (index,))))
+        return ChaosPlan(seed=trial_seed(self.seed, self.trial, self.k),
+                         schedule=schedule, horizon=horizon, rate=0.0)
+
+    # ------------------------------------------------------------------
+    # replay round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "trial": self.trial,
+            "k": self.k,
+            "faults": [[site, index] for site, index in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KFaultPlan":
+        return cls(
+            seed=int(data["seed"]),
+            trial=int(data["trial"]),
+            faults=tuple((str(site), int(index))
+                         for site, index in data.get("faults", [])),
+        )
+
+
+def enumerate_ksets(sites: Sequence[str] = SITES,
+                    kmax: int = 3) -> List[Tuple[str, ...]]:
+    """The naive k-fault space: every site combination for k = 1..kmax."""
+    ksets: List[Tuple[str, ...]] = []
+    for k in range(1, min(kmax, len(sites)) + 1):
+        ksets.extend(combinations(sites, k))
+    return ksets
+
+
+def naive_space_size(n_sites: int, kmax: int) -> int:
+    """|naive space| = Σ C(n, k) for k = 1..kmax."""
+    from math import comb
+
+    return sum(comb(n_sites, k) for k in range(1, min(kmax, n_sites) + 1))
+
+
+@dataclass
+class PruneStats:
+    """Accounting for one pruned multi-fault space."""
+
+    naive: int = 0              #: k-sets in the unpruned space
+    executed: int = 0           #: k-sets actually run
+    pruned_equivalence: int = 0  #: skipped: only non-representative sites
+    pruned_dominated: int = 0    #: skipped: superset of an escaping set
+    #: site -> its equivalence-class representative
+    classes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def skipped(self) -> int:
+        return self.pruned_equivalence + self.pruned_dominated
+
+    @property
+    def skipped_fraction(self) -> float:
+        return self.skipped / self.naive if self.naive else 0.0
+
+    def merge(self, other: "PruneStats") -> None:
+        self.naive += other.naive
+        self.executed += other.executed
+        self.pruned_equivalence += other.pruned_equivalence
+        self.pruned_dominated += other.pruned_dominated
+
+    def to_dict(self) -> dict:
+        return {
+            "naive": self.naive,
+            "executed": self.executed,
+            "pruned_equivalence": self.pruned_equivalence,
+            "pruned_dominated": self.pruned_dominated,
+            "skipped": self.skipped,
+            "skipped_fraction": round(self.skipped_fraction, 4),
+        }
+
+
+#: an outcome signature: everything that distinguishes two singleton
+#: trials' observable behaviour (verdict, the faults that actually
+#: fired with the site name erased to its *position*, recovery actions)
+Signature = Tuple
+
+
+class SpacePruner:
+    """Equivalence-class + domination pruning over one trial's k-space.
+
+    Protocol: run all k=1 singletons, :meth:`observe` each signature,
+    then :meth:`surviving_ksets` yields only the k≥2 sets worth running.
+    """
+
+    def __init__(self, sites: Sequence[str] = SITES, kmax: int = 3):
+        self.sites = tuple(sites)
+        self.kmax = kmax
+        self._signatures: Dict[str, Signature] = {}
+        self._escaping: set = set()
+        self.stats = PruneStats(naive=naive_space_size(len(self.sites),
+                                                       kmax))
+
+    # ------------------------------------------------------------------
+
+    def observe(self, site: str, signature: Signature,
+                escaped: bool) -> None:
+        """Record one singleton's outcome signature."""
+        self._signatures[site] = signature
+        if escaped:
+            self._escaping.add(site)
+        self.stats.executed += 1
+
+    def representatives(self) -> Dict[str, str]:
+        """site -> class representative (first site of the class, in
+        stable site order)."""
+        by_signature: Dict[Signature, str] = {}
+        mapping: Dict[str, str] = {}
+        for site in self.sites:
+            signature = self._signatures.get(site)
+            representative = by_signature.setdefault(signature, site)
+            mapping[site] = representative
+        self.stats.classes = mapping
+        return mapping
+
+    def surviving_ksets(self) -> List[Tuple[str, ...]]:
+        """The k≥2 site sets that still need executing.
+
+        A set survives when it consists purely of class representatives
+        (anything else re-runs an equivalent schedule) and contains no
+        site whose singleton already escaped (dominated: the escape is
+        already witnessed by the subset).
+        """
+        mapping = self.representatives()
+        survivors: List[Tuple[str, ...]] = []
+        for k in range(2, min(self.kmax, len(self.sites)) + 1):
+            for kset in combinations(self.sites, k):
+                if any(mapping[site] != site for site in kset):
+                    self.stats.pruned_equivalence += 1
+                    continue
+                if any(site in self._escaping for site in kset):
+                    self.stats.pruned_dominated += 1
+                    continue
+                survivors.append(kset)
+        self.stats.executed += len(survivors)
+        # sanity: every k-set is accounted for exactly once
+        assert (self.stats.executed + self.stats.skipped
+                == self.stats.naive), "pruning accounting drifted"
+        return survivors

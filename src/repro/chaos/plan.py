@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 #: the injection sites the toolkit substrate exposes
 SITES = (
@@ -25,6 +25,21 @@ SITES = (
     "net-reset",      # collection transport raises ConnectionResetError
     "net-slow",       # collection transport stalls briefly (slow peer)
 )
+
+
+def trial_seed(seed: int, trial: int, k: Optional[int] = None) -> int:
+    """Per-trial (and optionally per-cardinality) derived seed.
+
+    The base derivation ``seed * 1_000_003 + trial`` is kept verbatim for
+    ``k=None`` so historical schedules replay unchanged.  When ``k`` is
+    given it is mixed in *multiplicatively* — ``base * 1_000_033 + k`` —
+    so two different ``(trial, k)`` pairs can only collide when trial
+    indices diverge by more than a million, far past any campaign size.
+    """
+    base = seed * 1_000_003 + trial
+    if k is None:
+        return base
+    return base * 1_000_033 + k
 
 
 @dataclass
@@ -58,13 +73,22 @@ class ChaosPlan:
     @classmethod
     def for_trial(cls, seed: int, trial: int,
                   sites: Sequence[str] = SITES, horizon: int = 200,
-                  rate: float = 0.1) -> "ChaosPlan":
+                  rate: float = 0.1,
+                  k: Optional[int] = None) -> "ChaosPlan":
         """The plan for trial ``trial`` of a campaign seeded ``seed``.
 
         Per-trial seeds are derived by integer arithmetic (not hashing),
         so the derivation itself is stable across interpreter runs.
+
+        ``k`` selects a fault-cardinality stream for the multi-fault
+        campaigns: without mixing it in, the k=1 and k=2 plans at the
+        same trial index would share their fault prefixes (the same
+        ``random.Random`` stream drawn in the same order), so escapes
+        found at k=2 would never be independent evidence.  Plans that
+        predate the k-fault campaigns pass ``k=None`` and keep the
+        original derivation byte-identical.
         """
-        return cls.generate(seed * 1_000_003 + trial, sites=sites,
+        return cls.generate(trial_seed(seed, trial, k), sites=sites,
                             horizon=horizon, rate=rate)
 
     def faults_at(self, site: str) -> Tuple[int, ...]:

@@ -13,6 +13,8 @@ Web interface; a CLI is the headless equivalent):
 * ``healers generate security --c``     — Fig. 3, wrapper source
 * ``healers profile wordcount``         — demo 3.3, profiling report
 * ``healers attack-demo``               — demo 3.4, overflow prevention
+* ``healers adversarial --kmax 3``      — scored red-team corpus under
+  multi-fault chaos: containment matrix + replayable escapes
 """
 
 from __future__ import annotations
@@ -130,6 +132,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("attack-demo",
                    help="demo 3.4: heap smash with and without the "
                         "security wrapper")
+
+    adversarial = sub.add_parser(
+        "adversarial",
+        help="run the scored attack corpus under k-fault chaos "
+             "schedules and print the containment matrix",
+    )
+    adversarial.add_argument("--attacks",
+                             help="comma-separated corpus subset "
+                                  "(default: the full corpus)")
+    adversarial.add_argument("--presets", default="",
+                             help="comma-separated presets to score "
+                                  "(default: security,robustness,"
+                                  "hardened,recovery)")
+    adversarial.add_argument("--seeds", default="2003",
+                             help="comma-separated campaign seeds")
+    adversarial.add_argument("--trials", type=int, default=2,
+                             help="trials per (attack, preset, seed)")
+    adversarial.add_argument("--kmax", type=int, default=3,
+                             help="largest simultaneous-fault set size")
+    adversarial.add_argument("--horizon", type=int, default=6,
+                             help="invocation-index horizon faults are "
+                                  "scheduled within (default 6)")
+    adversarial.add_argument("--wrapper-backend", default="compiled",
+                             choices=["compiled", "interpreted"],
+                             help="wrapper execution backend")
+    adversarial.add_argument("--exec-backend", default="serial",
+                             choices=["serial", "thread"],
+                             help="campaign worker pool backend")
+    adversarial.add_argument("--jobs", type=int, default=2,
+                             help="worker count for --exec-backend "
+                                  "thread (default 2)")
+    adversarial.add_argument("--watchdog", type=float, default=0.0,
+                             help="per-cell watchdog in seconds "
+                                  "(0 = disabled)")
+    adversarial.add_argument("--cache", default="",
+                             help="trial-result cache file: loaded "
+                                  "before the run (fingerprint-gated), "
+                                  "written after it")
+    adversarial.add_argument("--output", default="",
+                             help="write the full campaign report as "
+                                  "JSON here")
 
     collector = sub.add_parser(
         "serve-collector",
@@ -405,6 +448,98 @@ def _cmd_attack_demo(toolkit: Healers, args) -> int:
     return 1
 
 
+def _cmd_adversarial(toolkit: Healers, args) -> int:
+    import json
+
+    from repro.chaos import ChaosCampaign, DEFAULT_PRESETS, TrialCache
+    from repro.security.corpus import CORPUS, GATED_PRESETS, attack_by_name
+
+    if args.attacks:
+        attacks = [attack_by_name(name.strip())
+                   for name in args.attacks.split(",")]
+    else:
+        attacks = list(CORPUS)
+    presets = ([name.strip() for name in args.presets.split(",")]
+               if args.presets else list(DEFAULT_PRESETS))
+    seeds = [int(seed) for seed in args.seeds.split(",")]
+
+    campaign = ChaosCampaign(
+        toolkit.registry,
+        toolkit.build_declaration_document(),
+        attacks=attacks,
+        presets=presets,
+        seeds=seeds,
+        trials=args.trials,
+        kmax=args.kmax,
+        horizon=args.horizon,
+        backend=args.wrapper_backend,
+        exec_backend=args.exec_backend,
+        jobs=args.jobs,
+        watchdog=args.watchdog or None,
+        on_incident=lambda line: print(f"  [incident] {line}"),
+    )
+    if args.cache:
+        campaign.cache = TrialCache.load_or_create(
+            args.cache, campaign.fingerprint())
+        if len(campaign.cache):
+            print(f"resuming: {len(campaign.cache)} cached cells "
+                  f"in {args.cache}")
+    metrics = toolkit.metrics_sink()
+    if metrics is not None:
+        campaign.sinks.append(metrics)
+
+    report = campaign.run()
+
+    print(f"adversarial campaign: {len(attacks)} attacks x "
+          f"{len(presets)} presets x {len(seeds)} seeds x "
+          f"{args.trials} trials, kmax={args.kmax}")
+    prune = report.prune
+    print(f"k-fault space: naive {prune.naive}, executed "
+          f"{prune.executed}, skipped {prune.skipped_fraction:.0%} "
+          f"({prune.pruned_equivalence} equivalence, "
+          f"{prune.pruned_dominated} dominated)")
+    if report.cache_hits:
+        print(f"cache hits: {report.cache_hits}")
+
+    print("containment matrix (preset x attack class):")
+    matrix = report.matrix()
+    for preset in presets:
+        classes = matrix.get(preset, {})
+        print(f"  {preset}: containment "
+              f"{report.containment_rate(preset):.0%}")
+        for attack_class in sorted(classes):
+            cell = classes[attack_class]
+            summary = " ".join(f"{verdict}={count}" for verdict, count
+                               in sorted(cell.items()))
+            print(f"    {attack_class:<18} {summary}")
+
+    escapes = report.escapes()
+    gated = [record for record in escapes
+             if record.preset in GATED_PRESETS]
+    if escapes:
+        print(f"escapes ({len(escapes)}), replay witnesses:")
+        for record in escapes[:20]:
+            witness = json.dumps(record.replay_witness(), sort_keys=True)
+            print(f"  {witness}")
+        if len(escapes) > 20:
+            print(f"  ... and {len(escapes) - 20} more")
+
+    if args.cache:
+        campaign.cache.save(args.cache)
+        print(f"cache written: {args.cache} "
+              f"({len(campaign.cache)} cells)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written: {args.output}")
+
+    if gated:
+        print(f"FAIL: {len(gated)} escapes under gated presets "
+              f"({', '.join(sorted({r.preset for r in gated}))})")
+        return 1
+    return 0
+
+
 def _cmd_serve_collector(toolkit: Healers, args) -> int:
     import time
 
@@ -445,6 +580,7 @@ _HANDLERS = {
     "profile": _cmd_profile,
     "run": _cmd_run,
     "attack-demo": _cmd_attack_demo,
+    "adversarial": _cmd_adversarial,
     "serve-collector": _cmd_serve_collector,
 }
 

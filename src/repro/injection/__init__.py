@@ -14,6 +14,7 @@ from repro.injection.executor import (
     CampaignStats,
     ProbeExecutor,
 )
+from repro.injection.pool import PoolStats, UnitPool
 from repro.injection.pairwise import (
     PairProbe,
     PairRecord,
@@ -38,12 +39,14 @@ __all__ = [
     "PairRecord",
     "PairwiseCampaign",
     "PairwiseReport",
+    "PoolStats",
     "Probe",
     "ProbeCache",
     "ProbeExecution",
     "ProbeExecutor",
     "ProbeKey",
     "ProbeRecord",
+    "UnitPool",
     "campaign_from_xml",
     "campaign_to_xml",
     "probe_cache_from_xml",

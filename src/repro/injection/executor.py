@@ -27,21 +27,13 @@ partial library update) cheap.
 from __future__ import annotations
 
 import os
-import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    Executor,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import Outcome, WatchdogTimeout
 from repro.injection.cache import CachedVerdict, ProbeCache
+from repro.injection.pool import UnitPool
 from repro.injection.campaign import (
     Campaign,
     CampaignResult,
@@ -310,146 +302,49 @@ class ProbeExecutor:
 
     def _drain(
         self,
-        pool_factory: Callable[[], Executor],
+        pool_factory: Callable,
         units: List[WorkUnit],
         runner: Callable,
         portable: bool = False,
     ) -> Dict[str, Dict[Tuple[int, str], ProbeExecution]]:
-        """Submit all units; absorb each as it completes (live progress).
+        """Drain the units through the shared hardened :class:`UnitPool`.
 
-        Hardened against the two ways a parallel campaign used to wedge
-        or abort:
-
-        * a **hung unit** — when :attr:`watchdog` is set, a unit past its
-          wall-clock deadline is abandoned and every probe it owned is
-          classified HANG (:class:`~repro.errors.WatchdogTimeout`), the
-          host-time counterpart of the fuel budget;
-        * a **dead worker** — a unit whose future carries an exception
-          (worker killed, pool broken, unit raised) is resubmitted up to
-          :attr:`unit_retries` times against a rebuilt pool before being
-          declared lost.
+        The pool owns the watchdog deadlines, the dead-worker requeue
+        and the pool-rebuild logic (see :mod:`repro.injection.pool`);
+        this adapter turns raw unit results into absorbed probe
+        executions and synthesizes HANG verdicts for timed-out units.
 
         Synthesized HANG verdicts are *not* written to the probe cache:
         a host-side stall says nothing about the probe's identity, so a
         resumed run must re-execute it.
         """
         executions: List[ProbeExecution] = []
-        queue: List[Tuple[WorkUnit, int]] = [(unit, 0) for unit in units]
-        #: future -> (unit, attempt, wall-clock deadline or None)
-        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]] = {}
-        #: watchdog-abandoned futures whose late results are discarded
-        abandoned: Set[Future] = set()
-        pool = pool_factory()
-        try:
-            while queue or pending:
-                pool = self._submit_queued(pool, pool_factory, queue,
-                                           pending, runner)
-                done, _ = wait(set(pending), timeout=self._poll(pending),
-                               return_when=FIRST_COMPLETED)
-                rebuild = False
-                for future in done:
-                    unit, attempt, _deadline = pending.pop(future)
-                    try:
-                        raw = future.result()
-                    except Exception as exc:
-                        self._unit_failed(unit, attempt, exc, queue)
-                        rebuild = rebuild or isinstance(exc, BrokenExecutor)
-                        continue
-                    batch = (self._revive(raw) if portable else raw)
-                    executions.extend(self._absorb_fresh(batch))
-                if rebuild:
-                    pool.shutdown(wait=False)
-                    pool = pool_factory()
-                executions.extend(self._reap_hung(pending, abandoned))
-        finally:
-            # wait=False: an abandoned (hung) worker must not block exit
-            pool.shutdown(wait=False)
-        return self._index(executions)
 
-    def _submit_queued(
-        self,
-        pool: Executor,
-        pool_factory: Callable[[], Executor],
-        queue: List[Tuple[WorkUnit, int]],
-        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
-        runner: Callable,
-    ) -> Executor:
-        """Drain the requeue list into the pool, rebuilding it if broken."""
-        while queue:
-            unit, attempt = queue.pop(0)
-            try:
-                future = pool.submit(runner, unit)
-            except RuntimeError:  # pool broke down between polls
-                pool.shutdown(wait=False)
-                pool = pool_factory()
-                future = pool.submit(runner, unit)
-            deadline = (time.monotonic() + self.watchdog
-                        if self.watchdog else None)
-            pending[future] = (unit, attempt, deadline)
-        return pool
+        def on_result(unit: WorkUnit, raw) -> None:
+            batch = (self._revive(raw) if portable else raw)
+            executions.extend(self._absorb_fresh(batch))
 
-    def _poll(
-        self,
-        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
-    ) -> Optional[float]:
-        """Wait timeout: until the nearest deadline (None = no watchdog)."""
-        if self.watchdog is None:
-            return None
-        now = time.monotonic()
-        nearest = min(
-            (deadline for _, _, deadline in pending.values()
-             if deadline is not None),
-            default=now + self.watchdog,
-        )
-        return max(nearest - now, 0.005)
-
-    def _unit_failed(self, unit: WorkUnit, attempt: int,
-                     exc: BaseException,
-                     queue: List[Tuple[WorkUnit, int]]) -> None:
-        """A worker died (or raised) holding ``unit``: requeue or drop."""
-        self.stats.worker_failures += 1
-        name = unit[0]
-        if attempt < self.unit_retries:
-            self.stats.requeued += 1
-            queue.append((unit, attempt + 1))
-            self._incident(
-                f"worker failed on {name} ({type(exc).__name__}: {exc}); "
-                f"requeued (attempt {attempt + 2}/{self.unit_retries + 1})"
-            )
-        else:
-            self.stats.lost_units += 1
-            self._incident(
-                f"unit {name} lost after {attempt + 1} attempts "
-                f"({type(exc).__name__}: {exc})"
-            )
-
-    def _reap_hung(
-        self,
-        pending: Dict[Future, Tuple[WorkUnit, int, Optional[float]]],
-        abandoned: Set[Future],
-    ) -> List[ProbeExecution]:
-        """Abandon units past their deadline; their probes become HANGs."""
-        if self.watchdog is None:
-            return []
-        now = time.monotonic()
-        expired = [future for future, (_, _, deadline) in pending.items()
-                   if deadline is not None and deadline <= now]
-        executions: List[ProbeExecution] = []
-        for future in expired:
-            unit, _attempt, _deadline = pending.pop(future)
-            if not future.cancel():
-                abandoned.add(future)  # already running; let it rot
+        def on_timeout(unit: WorkUnit) -> str:
             executions.extend(self._hang_unit(unit))
-        return executions
+            return f"{len(unit[1])} probes classified HANG"
+
+        pool = UnitPool(
+            pool_factory, runner,
+            watchdog=self.watchdog,
+            unit_retries=self.unit_retries,
+            describe=lambda unit: unit[0],
+            on_incident=self._incident,
+        )
+        pool.drain(units, on_result, on_timeout)
+        self.stats.worker_failures += pool.stats.worker_failures
+        self.stats.requeued += pool.stats.requeued
+        self.stats.watchdog_timeouts += pool.stats.watchdog_timeouts
+        self.stats.lost_units += pool.stats.lost_units
+        return self._index(executions)
 
     def _hang_unit(self, unit: WorkUnit) -> List[ProbeExecution]:
         """Synthesize HANG verdicts for every probe a timed-out unit owned."""
         name, selected = unit
-        self.stats.watchdog_timeouts += 1
-        self._incident(
-            f"watchdog ({self.watchdog:g}s) fired on {name}; "
-            f"{len(selected)} probes classified HANG"
-        )
         wanted = set(selected)
         timeout = WatchdogTimeout(self.watchdog, where=f"unit {name}")
         executions: List[ProbeExecution] = []

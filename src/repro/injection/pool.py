@@ -1,0 +1,218 @@
+"""The hardened work-unit pool shared by every parallel campaign.
+
+Extracted from :class:`~repro.injection.executor.ProbeExecutor` so the
+multi-fault chaos campaigns run through the *same* machinery — one
+submit/drain loop, one watchdog, one requeue policy — instead of a
+parallel reimplementation.  The pool is generic over the unit type: it
+knows nothing about probes or chaos trials, only how to
+
+* submit queued units against a :mod:`concurrent.futures` pool,
+  rebuilding it when it breaks;
+* abandon units past their wall-clock **watchdog** deadline (the caller
+  decides what a timed-out unit's synthetic verdict looks like);
+* **requeue** units whose worker died mid-flight, up to a bounded retry
+  budget, before declaring them lost.
+
+All accounting lands in :class:`PoolStats`; incident strings flow
+through an optional callback so callers can mirror them into their own
+stats and progress observers as they happen.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+#: renders a unit for incident messages
+Describe = Callable[[Any], str]
+
+
+@dataclass
+class PoolStats:
+    """Failure accounting for one drain."""
+
+    #: work units whose worker raised or died before delivering results
+    worker_failures: int = 0
+    #: failed units resubmitted (each bounded by ``unit_retries``)
+    requeued: int = 0
+    #: work units killed by the wall-clock watchdog
+    watchdog_timeouts: int = 0
+    #: units dropped after exhausting their retry budget
+    lost_units: int = 0
+    #: human-readable log of every failure/timeout/requeue above
+    incidents: List[str] = field(default_factory=list)
+
+
+class UnitPool:
+    """Drains arbitrary work units through a hardened worker pool.
+
+    ``pool_factory`` builds the executor (thread or process pool);
+    ``runner`` executes one unit and returns its raw result batch.  The
+    caller consumes completions via the ``on_result(unit, raw)``
+    callback and synthesizes timed-out units via ``on_timeout(unit)``,
+    whose return value (a short string) completes the watchdog incident
+    message.
+    """
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], Executor],
+        runner: Callable[[Any], Any],
+        watchdog: Optional[float] = None,
+        unit_retries: int = 2,
+        describe: Describe = str,
+        on_incident: Optional[Callable[[str], None]] = None,
+    ):
+        self.pool_factory = pool_factory
+        self.runner = runner
+        #: wall-clock seconds a unit may run before being abandoned
+        #: (None/0 = no watchdog)
+        self.watchdog = watchdog if watchdog else None
+        self.unit_retries = max(0, unit_retries)
+        self.describe = describe
+        self.on_incident = on_incident
+        self.stats = PoolStats()
+
+    # ------------------------------------------------------------------
+
+    def drain(
+        self,
+        units: List[Any],
+        on_result: Callable[[Any, Any], None],
+        on_timeout: Optional[Callable[[Any], str]] = None,
+    ) -> None:
+        """Submit all units; deliver each as it completes (live progress).
+
+        Hardened against the two ways a parallel campaign used to wedge
+        or abort:
+
+        * a **hung unit** — when :attr:`watchdog` is set, a unit past
+          its wall-clock deadline is abandoned and handed to
+          ``on_timeout`` for synthetic classification;
+        * a **dead worker** — a unit whose future carries an exception
+          (worker killed, pool broken, unit raised) is resubmitted up to
+          :attr:`unit_retries` times against a rebuilt pool before being
+          declared lost.
+        """
+        queue: List[Tuple[Any, int]] = [(unit, 0) for unit in units]
+        #: future -> (unit, attempt, wall-clock deadline or None)
+        pending: Dict[Future, Tuple[Any, int, Optional[float]]] = {}
+        #: watchdog-abandoned futures whose late results are discarded
+        abandoned: Set[Future] = set()
+        pool = self.pool_factory()
+        try:
+            while queue or pending:
+                pool = self._submit_queued(pool, queue, pending)
+                done, _ = wait(set(pending), timeout=self._poll(pending),
+                               return_when=FIRST_COMPLETED)
+                rebuild = False
+                for future in done:
+                    unit, attempt, _deadline = pending.pop(future)
+                    try:
+                        raw = future.result()
+                    except Exception as exc:
+                        self._unit_failed(unit, attempt, exc, queue)
+                        rebuild = rebuild or isinstance(exc, BrokenExecutor)
+                        continue
+                    on_result(unit, raw)
+                if rebuild:
+                    pool.shutdown(wait=False)
+                    pool = self.pool_factory()
+                self._reap_hung(pending, abandoned, on_timeout)
+        finally:
+            # wait=False: an abandoned (hung) worker must not block exit
+            pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+
+    def _submit_queued(
+        self,
+        pool: Executor,
+        queue: List[Tuple[Any, int]],
+        pending: Dict[Future, Tuple[Any, int, Optional[float]]],
+    ) -> Executor:
+        """Drain the requeue list into the pool, rebuilding it if broken."""
+        while queue:
+            unit, attempt = queue.pop(0)
+            try:
+                future = pool.submit(self.runner, unit)
+            except RuntimeError:  # pool broke down between polls
+                pool.shutdown(wait=False)
+                pool = self.pool_factory()
+                future = pool.submit(self.runner, unit)
+            deadline = (time.monotonic() + self.watchdog
+                        if self.watchdog else None)
+            pending[future] = (unit, attempt, deadline)
+        return pool
+
+    def _poll(
+        self,
+        pending: Dict[Future, Tuple[Any, int, Optional[float]]],
+    ) -> Optional[float]:
+        """Wait timeout: until the nearest deadline (None = no watchdog)."""
+        if self.watchdog is None:
+            return None
+        now = time.monotonic()
+        nearest = min(
+            (deadline for _, _, deadline in pending.values()
+             if deadline is not None),
+            default=now + self.watchdog,
+        )
+        return max(nearest - now, 0.005)
+
+    def _unit_failed(self, unit: Any, attempt: int, exc: BaseException,
+                     queue: List[Tuple[Any, int]]) -> None:
+        """A worker died (or raised) holding ``unit``: requeue or drop."""
+        self.stats.worker_failures += 1
+        name = self.describe(unit)
+        if attempt < self.unit_retries:
+            self.stats.requeued += 1
+            queue.append((unit, attempt + 1))
+            self._incident(
+                f"worker failed on {name} ({type(exc).__name__}: {exc}); "
+                f"requeued (attempt {attempt + 2}/{self.unit_retries + 1})"
+            )
+        else:
+            self.stats.lost_units += 1
+            self._incident(
+                f"unit {name} lost after {attempt + 1} attempts "
+                f"({type(exc).__name__}: {exc})"
+            )
+
+    def _reap_hung(
+        self,
+        pending: Dict[Future, Tuple[Any, int, Optional[float]]],
+        abandoned: Set[Future],
+        on_timeout: Optional[Callable[[Any], str]],
+    ) -> None:
+        """Abandon units past their deadline; the caller synthesizes."""
+        if self.watchdog is None:
+            return
+        now = time.monotonic()
+        expired = [future for future, (_, _, deadline) in pending.items()
+                   if deadline is not None and deadline <= now]
+        for future in expired:
+            unit, _attempt, _deadline = pending.pop(future)
+            if not future.cancel():
+                abandoned.add(future)  # already running; let it rot
+            self.stats.watchdog_timeouts += 1
+            detail = on_timeout(unit) if on_timeout is not None else (
+                "unit abandoned"
+            )
+            self._incident(
+                f"watchdog ({self.watchdog:g}s) fired on "
+                f"{self.describe(unit)}; {detail}"
+            )
+
+    def _incident(self, message: str) -> None:
+        self.stats.incidents.append(message)
+        if self.on_incident is not None:
+            self.on_incident(message)

@@ -44,6 +44,7 @@ KINDS = (
     "bounds",            # write past the destination's recorded capacity
     "format",            # %n (or unreadable) format string
     "unsafe_gets",       # gets() with an unbounded destination
+    "invalid_free",      # free of a pointer that is not a live allocation
     "argcheck",          # robust-API argument check refusal
     "transient_errno",   # call failed with a transient errno
 )

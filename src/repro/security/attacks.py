@@ -1,175 +1,65 @@
-"""The attack corpus for demo 3.4 and the security table.
+"""Compatibility facade over the attack corpus (demo 3.4 legacy names).
 
-Each attack targets one bundled victim application with a crafted stdin
-payload and defines what "the exploit succeeded" means (a root shell, a
-hijacked return, a crash/corruption DoS).  Payloads are crafted by
-*reconnaissance*: the attacker replays the victim's deterministic
-allocation/registration sequence in a scratch process to learn buffer
-distances and gadget addresses — the moral equivalent of reading them out
-of the published binary, as the original exploit against [3]'s example
-did.
+The corpus grew into the :mod:`repro.security.corpus` package (eight
+scored attack classes with expected-containment oracles); this module
+keeps the original four-attack surface stable for existing callers.
+
+One deliberate divergence: the legacy :data:`STACK_SMASH` targets an
+*unprotected* stack (demonstrating that the heap size-table cannot stop
+a stack overwrite), while the corpus' ``stack-smash`` entry arms the
+stack protector — the defence the paper actually prescribes for that
+class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
-
-from repro.apps import AUTHD, MSGFORMAT, STACKD, SimApp
-from repro.apps.authd import HANDLER_RECORD, NAME_BUFFER
-from repro.apps.authd import gadget_addresses as authd_gadgets
-from repro.apps.base import AppResult
-from repro.apps.stacksmash import REQUEST_BUFFER
-from repro.apps.stacksmash import gadget_addresses as stackd_gadgets
-from repro.runtime import SimProcess
-
-
-@dataclass
-class Attack:
-    """One exploit attempt against a bundled victim."""
-
-    name: str
-    app: SimApp
-    craft: Callable[[], bytes]
-    hijacked: Callable[[AppResult], bool]
-    description: str
-
-    def payload(self) -> bytes:
-        return self.craft()
-
-
-def _address_bytes(address: int) -> bytes:
-    """Little-endian address with trailing NULs stripped (strcpy-safe).
-
-    Raises if the address has *interior* NUL bytes — a real exploit would
-    pick a different gadget; the simulation's layout never produces one,
-    and the assertion documents the constraint.
-    """
-    stripped = address.to_bytes(8, "little").rstrip(b"\x00")
-    if b"\x00" in stripped:
-        raise ValueError(
-            f"gadget address {address:#x} contains interior NUL bytes"
-        )
-    if b"\n" in stripped:
-        raise ValueError(f"gadget address {address:#x} contains newline")
-    return stripped
-
-
-def craft_heap_smash() -> bytes:
-    """Recreate authd's heap layout to aim the overflow at the handler.
-
-    The daemon mallocs the 24-byte name buffer and then the handler
-    record; with the boundary-tag allocator they are adjacent.  The
-    payload fills the distance with non-NUL bytes (clobbering the chunk
-    header on the way — nobody checks before the dispatch) and lands the
-    shell gadget's address on the function-pointer slot.
-    """
-    scout = SimProcess()
-    gadgets = authd_gadgets(scout)
-    name_buffer = scout.heap.malloc(NAME_BUFFER)
-    handler_record = scout.heap.malloc(HANDLER_RECORD)
-    distance = handler_record - name_buffer
-    return b"A" * distance + _address_bytes(gadgets["shell"]) + b"\n"
-
-
-def craft_stack_smash() -> bytes:
-    """Recreate stackd's frame layout to overwrite the return slot."""
-    scout = SimProcess()
-    gadgets = stackd_gadgets(scout)
-    frame = scout.stack.push_frame("handle_request",
-                                   return_address=gadgets["return"])
-    buffer = scout.stack.alloca(REQUEST_BUFFER)
-    distance = frame.return_slot - buffer
-    return b"B" * distance + _address_bytes(gadgets["shell"]) + b"\n"
-
-
-def craft_stack_smash_protected() -> bytes:
-    """Stack payload against a *protected* stack (canary slot present).
-
-    The canary shifts the frame layout by one slot; the attacker cannot
-    know the canary value, so the payload simply writes through it — the
-    protector must catch that.
-    """
-    scout = SimProcess(stack_protect=True)
-    gadgets = stackd_gadgets(scout)
-    frame = scout.stack.push_frame("handle_request",
-                                   return_address=gadgets["return"])
-    buffer = scout.stack.alloca(REQUEST_BUFFER)
-    distance = frame.return_slot - buffer
-    return b"B" * distance + _address_bytes(gadgets["shell"]) + b"\n"
-
-
-def craft_gets_flood() -> bytes:
-    """Denial-of-service flood: a request far larger than any buffer."""
-    return b"ECHO " + b"F" * 600 + b"\nQUIT\n"
-
-
-def craft_format_probe() -> bytes:
-    """Hostile format directives smuggled into the reflected reply.
-
-    msgformat expands the request through ``sprintf``'s ``%s``; the
-    response buffer is 160 bytes, so a request that *expands* past it
-    (here via padding-width directives after reflection is not possible —
-    instead the flood variant is used) is covered by gets_flood.  This
-    probe instead overflows the staging buffer just enough to corrupt the
-    adjacent response allocation without faulting: a stealthy corruption
-    the heap-verification policy must catch.
-    """
-    return b"ECHO " + b"S" * 80 + b"\nQUIT\n"
-
-
-def _got_root(result: AppResult) -> bool:
-    return bool(getattr(result.process, "root_shell", False))
-
-
-def _service_disrupted(result: AppResult) -> bool:
-    """DoS verdict: the service died or its heap metadata was corrupted."""
-    if result.crashed:
-        return True
-    problems = result.process.heap.check_integrity()
-    return bool(problems)
-
-
-HEAP_SMASH = Attack(
-    name="heap-smash",
-    app=AUTHD,
-    craft=craft_heap_smash,
-    hijacked=_got_root,
-    description="[3]-style heap overflow redirecting a function pointer "
-                "to a shell gadget (demo 3.4's first half)",
+from repro.apps import STACKD
+from repro.security.corpus import (
+    BENIGN_INPUTS,
+    GETS_FLOOD,
+    OVERFLOW_ADJACENT,
+    STEALTH_CORRUPT,
+    craft_canary_bypass,
+    craft_double_free,
+    craft_format_overread,
+    craft_format_probe,
+    craft_gets_flood,
+    craft_heap_smash,
+    craft_stack_smash,
+    craft_stack_smash_protected,
+    craft_uaf_write,
 )
+from repro.security.corpus.model import Attack, _address_bytes, _got_root
+
+HEAP_SMASH = OVERFLOW_ADJACENT
 
 STACK_SMASH = Attack(
     name="stack-smash",
+    attack_class="stack-smash",
     app=STACKD,
     craft=craft_stack_smash,
     hijacked=_got_root,
     description="return-address overwrite through an on-stack buffer [1]",
 )
 
-GETS_FLOOD = Attack(
-    name="gets-flood",
-    app=MSGFORMAT,
-    craft=craft_gets_flood,
-    hijacked=_service_disrupted,
-    description="over-long request through gets(): crash/corruption DoS",
-)
+ALL_ATTACKS = [HEAP_SMASH, STACK_SMASH, GETS_FLOOD, STEALTH_CORRUPT]
 
-STEALTH_CORRUPT = Attack(
-    name="stealth-corrupt",
-    app=MSGFORMAT,
-    craft=craft_format_probe,
-    hijacked=_service_disrupted,
-    description="overflow sized to corrupt heap metadata without faulting",
-)
-
-ALL_ATTACKS: List[Attack] = [
-    HEAP_SMASH, STACK_SMASH, GETS_FLOOD, STEALTH_CORRUPT,
+__all__ = [
+    "ALL_ATTACKS",
+    "Attack",
+    "BENIGN_INPUTS",
+    "GETS_FLOOD",
+    "HEAP_SMASH",
+    "STACK_SMASH",
+    "STEALTH_CORRUPT",
+    "_address_bytes",
+    "craft_canary_bypass",
+    "craft_double_free",
+    "craft_format_overread",
+    "craft_format_probe",
+    "craft_gets_flood",
+    "craft_heap_smash",
+    "craft_stack_smash",
+    "craft_stack_smash_protected",
+    "craft_uaf_write",
 ]
-
-#: benign inputs per victim: the false-positive corpus
-BENIGN_INPUTS = {
-    "authd": b"alice\n",
-    "stackd": b"ping\n",
-    "msgformat": b"ECHO hello world\nADD 19 23\nQUIT\n",
-}

@@ -1,0 +1,102 @@
+"""The curated red-team attack corpus (scored against preset oracles).
+
+Eight attack classes over the bundled victims, each a declarative
+:class:`~repro.security.corpus.model.Attack` with an expected-
+containment table per wrapper preset.  The corpus is executed by
+:func:`~repro.security.corpus.model.run_attack` directly (the scored
+regression suite) and by the multi-fault
+:class:`~repro.chaos.campaign.ChaosCampaign` (adversarial benchmarks).
+"""
+
+from repro.security.corpus.heap import (
+    CANARY_BYPASS,
+    DOUBLE_FREE_CHAIN,
+    OVERFLOW_ADJACENT,
+    UAF_WRITE,
+    craft_canary_bypass,
+    craft_double_free,
+    craft_heap_smash,
+    craft_uaf_write,
+)
+from repro.security.corpus.io import (
+    FORMAT_OVERREAD,
+    GETS_FLOOD,
+    STEALTH_CORRUPT,
+    craft_format_overread,
+    craft_format_probe,
+    craft_gets_flood,
+)
+from repro.security.corpus.model import (
+    GATED_PRESETS,
+    PRESET_CONFIGS,
+    VERDICTS,
+    Attack,
+    AttackRun,
+    PresetConfig,
+    classify,
+    run_attack,
+)
+from repro.security.corpus.stack import (
+    STACK_SMASH,
+    craft_stack_smash,
+    craft_stack_smash_protected,
+)
+
+#: the scored corpus, one entry per attack class
+CORPUS = [
+    OVERFLOW_ADJACENT,
+    STACK_SMASH,
+    DOUBLE_FREE_CHAIN,
+    UAF_WRITE,
+    CANARY_BYPASS,
+    FORMAT_OVERREAD,
+    GETS_FLOOD,
+    STEALTH_CORRUPT,
+]
+
+#: benign inputs per victim: the false-positive corpus
+BENIGN_INPUTS = {
+    "authd": b"alice\n",
+    "stackd": b"ping\n",
+    "msgformat": b"ECHO hello world\nADD 19 23\nQUIT\n",
+    "heapd": b"ALLOC 16\nPUT 1 hello\nRUN\nQUIT\n",
+}
+
+
+def attack_by_name(name: str) -> Attack:
+    for attack in CORPUS:
+        if attack.name == name:
+            return attack
+    raise KeyError(f"unknown attack {name!r}")
+
+
+__all__ = [
+    "BENIGN_INPUTS",
+    "CANARY_BYPASS",
+    "CORPUS",
+    "DOUBLE_FREE_CHAIN",
+    "FORMAT_OVERREAD",
+    "GATED_PRESETS",
+    "GETS_FLOOD",
+    "OVERFLOW_ADJACENT",
+    "PRESET_CONFIGS",
+    "STACK_SMASH",
+    "STEALTH_CORRUPT",
+    "UAF_WRITE",
+    "VERDICTS",
+    "Attack",
+    "AttackRun",
+    "PresetConfig",
+    "attack_by_name",
+    "classify",
+    "craft_canary_bypass",
+    "craft_double_free",
+    "craft_format_overread",
+    "craft_format_probe",
+    "craft_gets_flood",
+    "craft_heap_smash",
+    "craft_stack_smash",
+    "craft_stack_smash_protected",
+    "craft_uaf_write",
+    "run_attack",
+]

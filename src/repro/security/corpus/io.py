@@ -1,0 +1,87 @@
+"""Input-channel attacks: floods, stealthy overflows, format abuse."""
+
+from __future__ import annotations
+
+from repro.apps import HEAPD, MSGFORMAT
+from repro.security.corpus.model import Attack, _service_disrupted
+
+
+def craft_gets_flood() -> bytes:
+    """Denial-of-service flood: a request far larger than any buffer."""
+    return b"ECHO " + b"F" * 600 + b"\nQUIT\n"
+
+
+def craft_format_probe() -> bytes:
+    """Hostile format directives smuggled into the reflected reply.
+
+    msgformat expands the request through ``sprintf``'s ``%s``; the
+    response buffer is 160 bytes, so a request that *expands* past it
+    (here via padding-width directives after reflection is not possible —
+    instead the flood variant is used) is covered by gets_flood.  This
+    probe instead overflows the staging buffer just enough to corrupt the
+    adjacent response allocation without faulting: a stealthy corruption
+    the heap-verification policy must catch.
+    """
+    return b"ECHO " + b"S" * 80 + b"\nQUIT\n"
+
+
+def craft_format_overread() -> bytes:
+    """A format string consuming far more arguments than supplied.
+
+    heapd's ``NOTE`` renders the attacker's text as the format string of
+    a ``sprintf`` call with *zero* variadic arguments: every ``%s``
+    walks further past the end of the argument list (an info-leak /
+    crash primitive).  The guard's format-arity check must refuse the
+    call before the first ``va_arg``.
+    """
+    return b"NOTE " + b"%s" * 8 + b"\nQUIT\n"
+
+
+GETS_FLOOD = Attack(
+    name="gets-flood",
+    attack_class="gets-flood",
+    app=MSGFORMAT,
+    craft=craft_gets_flood,
+    hijacked=_service_disrupted,
+    description="over-long request through gets(): crash/corruption DoS",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("contained",),
+        "hardened": ("contained",),
+        "recovery": ("contained",),
+    },
+)
+
+STEALTH_CORRUPT = Attack(
+    name="stealth-corrupt",
+    attack_class="stealth-corrupt",
+    app=MSGFORMAT,
+    craft=craft_format_probe,
+    hijacked=_service_disrupted,
+    description="overflow sized to corrupt heap metadata without faulting",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("contained",),
+        "hardened": ("contained",),
+        "recovery": ("contained",),
+    },
+)
+
+FORMAT_OVERREAD = Attack(
+    name="format-overread",
+    attack_class="format-overread",
+    app=HEAPD,
+    craft=craft_format_overread,
+    hijacked=_service_disrupted,
+    description="attacker-controlled format string consuming va_args "
+                "that were never supplied",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("contained",),
+    },
+)

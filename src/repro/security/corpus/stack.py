@@ -1,0 +1,56 @@
+"""Stack-smashing attacks: return-address overwrites [1]."""
+
+from __future__ import annotations
+
+from repro.apps import STACKD
+from repro.apps.stacksmash import REQUEST_BUFFER
+from repro.apps.stacksmash import gadget_addresses as stackd_gadgets
+from repro.runtime import SimProcess
+from repro.security.corpus.model import Attack, _address_bytes, _got_root
+
+
+def craft_stack_smash() -> bytes:
+    """Recreate stackd's frame layout to overwrite the return slot."""
+    scout = SimProcess()
+    gadgets = stackd_gadgets(scout)
+    frame = scout.stack.push_frame("handle_request",
+                                   return_address=gadgets["return"])
+    buffer = scout.stack.alloca(REQUEST_BUFFER)
+    distance = frame.return_slot - buffer
+    return b"B" * distance + _address_bytes(gadgets["shell"]) + b"\n"
+
+
+def craft_stack_smash_protected() -> bytes:
+    """Stack payload against a *protected* stack (canary slot present).
+
+    The canary shifts the frame layout by one slot; the attacker cannot
+    know the canary value, so the payload simply writes through it — the
+    protector must catch that.
+    """
+    scout = SimProcess(stack_protect=True)
+    gadgets = stackd_gadgets(scout)
+    frame = scout.stack.push_frame("handle_request",
+                                   return_address=gadgets["return"])
+    buffer = scout.stack.alloca(REQUEST_BUFFER)
+    distance = frame.return_slot - buffer
+    return b"B" * distance + _address_bytes(gadgets["shell"]) + b"\n"
+
+
+STACK_SMASH = Attack(
+    name="stack-smash",
+    attack_class="stack-smash",
+    app=STACKD,
+    craft=craft_stack_smash_protected,
+    hijacked=_got_root,
+    description="return-address overwrite through an on-stack buffer "
+                "[1]; the stack protector (armed) must catch the "
+                "canary clobber even when a wrapper does not",
+    expected={
+        "unwrapped": ("detected",),
+        "robustness": ("detected",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("detected",),
+    },
+    process_kwargs={"stack_protect": True},
+)

@@ -188,11 +188,14 @@ class HeapGuardGen(MicroGenerator):
         verify_here = policy.verify_heap == "always" or (
             policy.verify_heap == "free" and is_dealloc
         )
+        guard_free_here = policy.guard_free and is_dealloc
         gets_here = policy.safe_gets and name == "gets"
+        reject_n = policy.reject_percent_n
+        check_arity = policy.check_format_args
         format_indices = tuple(
             index for index, param in enumerate(decl.params)
             if param.role == "format"
-        ) if (policy.reject_percent_n and decl is not None) else ()
+        ) if ((reject_n or check_arity) and decl is not None) else ()
         checker = (
             ArgumentChecker(_security_decl(decl), unit.prototype)
             if decl is not None else None
@@ -234,7 +237,14 @@ class HeapGuardGen(MicroGenerator):
                                        _heap_kind(problems[0])):
                         return
             if is_dealloc and frame.args:
-                size_table.pop(frame.args[0], None)
+                pointer = frame.args[0]
+                if (guard_free_here and pointer
+                        and proc.heap.allocation_size(pointer) is None):
+                    if violation_found(frame,
+                                       _invalid_free_reason(pointer),
+                                       "invalid_free"):
+                        return
+                size_table.pop(pointer, None)
             if gets_here:
                 _safe_gets(frame, state, emit, violation_found)
                 return
@@ -247,9 +257,17 @@ class HeapGuardGen(MicroGenerator):
                                     "format string is not a valid string",
                                     "format")
                     return
-                if analysis[1]:
+                if reject_n and analysis[1]:
                     violation_found(frame, "format string contains %n",
                                     "format")
+                    return
+                if check_arity and analysis[0] > len(frame.varargs):
+                    violation_found(
+                        frame,
+                        _format_arity_reason(analysis[0],
+                                             len(frame.varargs)),
+                        "format",
+                    )
                     return
             if bounds_here:
                 for violation in checker.validate_all(proc, frame.args,
@@ -317,12 +335,20 @@ class HeapGuardGen(MicroGenerator):
                                        _heap_kind(problems[0])):
                         return
             if name in DEALLOCATING and frame.args:
-                state.size_table.pop(frame.args[0], None)
+                pointer = frame.args[0]
+                if (policy.guard_free and pointer
+                        and proc.heap.allocation_size(pointer) is None):
+                    if violation_found(frame,
+                                       _invalid_free_reason(pointer),
+                                       "invalid_free"):
+                        return
+                state.size_table.pop(pointer, None)
             if policy.safe_gets and name == "gets":
                 _safe_gets(frame, state, emit, violation_found)
                 return
-            if policy.reject_percent_n and decl is not None:
-                detail = _percent_n_check(proc, decl, frame)
+            if (policy.reject_percent_n or policy.check_format_args) \
+                    and decl is not None:
+                detail = _format_check(proc, decl, frame, policy)
                 if detail is not None:
                     violation_found(frame, detail, "format")
                     return
@@ -392,8 +418,19 @@ def _is_write_violation(decl: Optional[FunctionDecl],
     return False
 
 
-def _percent_n_check(proc: SimProcess, decl: FunctionDecl,
-                     frame: CallFrame) -> Optional[str]:
+def _invalid_free_reason(pointer: int) -> str:
+    return (f"free of {pointer:#x}, which is not a live allocation "
+            f"(double free or invalid pointer)")
+
+
+def _format_arity_reason(consumed: int, supplied: int) -> str:
+    return (f"format string consumes {consumed} argument"
+            f"{'s' if consumed != 1 else ''} but the call supplied "
+            f"{supplied}")
+
+
+def _format_check(proc: SimProcess, decl: FunctionDecl,
+                  frame: CallFrame, policy: SecurityPolicy) -> Optional[str]:
     for index, param in enumerate(decl.params):
         if param.role != "format":
             continue
@@ -402,9 +439,11 @@ def _percent_n_check(proc: SimProcess, decl: FunctionDecl,
         analysis = analyse_format(proc, frame.args[index])
         if analysis is None:
             return "format string is not a valid string"
-        _, uses_n = analysis
-        if uses_n:
+        consumed, uses_n = analysis
+        if policy.reject_percent_n and uses_n:
             return "format string contains %n"
+        if policy.check_format_args and consumed > len(frame.varargs):
+            return _format_arity_reason(consumed, len(frame.varargs))
     return None
 
 

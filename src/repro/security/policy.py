@@ -46,6 +46,12 @@ class SecurityPolicy:
     reject_percent_n: bool = True
     #: replace gets() with a read bounded by the destination's capacity
     safe_gets: bool = True
+    #: refuse deallocation of a pointer that is not a live allocation
+    #: (double free / invalid free — the allocator would abort)
+    guard_free: bool = True
+    #: refuse format strings consuming more directives than the call
+    #: supplied variadic arguments for (format-style overread)
+    check_format_args: bool = True
     #: when to walk the heap for corrupted metadata:
     #: "never", "free" (at deallocation sites), or "always" (every call)
     verify_heap: str = "free"

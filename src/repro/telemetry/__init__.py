@@ -12,12 +12,14 @@ one event contract instead of private side channels.
 
 from repro.telemetry.bus import EventBus, Sink
 from repro.telemetry.events import (
+    AttackEvent,
     CallEvent,
     CallLogEvent,
     DocumentReady,
     DocumentShipped,
     ErrnoEvent,
     ExectimeEvent,
+    EscapeEvent,
     ProbeEvent,
     RecoveryEvent,
     SecurityEvent,
@@ -32,12 +34,14 @@ from repro.telemetry.sinks import (
 )
 
 __all__ = [
+    "AttackEvent",
     "CallEvent",
     "CallLogEvent",
     "CollectionSink",
     "DocumentReady",
     "DocumentShipped",
     "ErrnoEvent",
+    "EscapeEvent",
     "EventBus",
     "ExectimeEvent",
     "JsonlSink",

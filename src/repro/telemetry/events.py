@@ -161,6 +161,44 @@ class ProbeEvent(TelemetryEvent):
         self.cached = cached
 
 
+class AttackEvent(TelemetryEvent):
+    """One scored red-team attack execution (adversarial campaign)."""
+
+    __slots__ = ("attack", "attack_class", "preset", "app", "verdict")
+    kind = "attack"
+
+    def __init__(self, attack: str, attack_class: str, preset: str,
+                 app: str, verdict: str):
+        self.attack = attack
+        self.attack_class = attack_class
+        self.preset = preset
+        self.app = app
+        self.verdict = verdict
+
+
+class EscapeEvent(TelemetryEvent):
+    """A containment escape, with everything needed to replay it.
+
+    ``faults`` is the k-fault schedule (site, invocation-index) pairs
+    active during the escaping run; together with ``(seed, trial, k)``
+    it reconstructs the exact :class:`~repro.chaos.multifault.KFaultPlan`.
+    """
+
+    __slots__ = ("attack", "preset", "app", "seed", "trial", "k",
+                 "faults")
+    kind = "escape"
+
+    def __init__(self, attack: str, preset: str, app: str, seed: int,
+                 trial: int, k: int, faults: Tuple[Tuple[str, int], ...]):
+        self.attack = attack
+        self.preset = preset
+        self.app = app
+        self.seed = seed
+        self.trial = trial
+        self.k = k
+        self.faults = faults
+
+
 class DocumentReady(TelemetryEvent):
     """A rendered profile document awaiting shipment to the collector."""
 

@@ -144,6 +144,8 @@ class MetricsSink(Sink):
         self.violations: Counter = Counter()       # by check
         self.security_events: Counter = Counter()  # by function
         self.recoveries: Counter = Counter()       # by action
+        self.attacks: Counter = Counter()          # by verdict
+        self.escapes = 0
         self.probes = 0
         self.probe_failures = 0
         self.probe_cached = 0
@@ -174,6 +176,10 @@ class MetricsSink(Sink):
                     self.security_events[event.function] += 1
                 elif kind == "recovery":
                     self.recoveries[event.action] += 1
+                elif kind == "attack":
+                    self.attacks[event.verdict] += 1
+                elif kind == "escape":
+                    self.escapes += 1
                 elif kind == "probe":
                     self.probes += 1
                     if event.failed:
@@ -223,6 +229,8 @@ class MetricsSink(Sink):
                 "violations": dict(self.violations),
                 "security_events": dict(self.security_events),
                 "recoveries": dict(self.recoveries),
+                "attacks": dict(self.attacks),
+                "escapes": self.escapes,
                 "probes": self.probes,
                 "probe_failures": self.probe_failures,
                 "probe_cached": self.probe_cached,

@@ -45,7 +45,7 @@ def chaotic_units(monkeypatch):
         mode = script.get(name)
         if mode == "hang":
             script.pop(name)
-            time.sleep(0.8)
+            time.sleep(1.2)
         elif mode == "die":
             script.pop(name)
             raise RuntimeError("simulated worker crash")
@@ -57,7 +57,7 @@ def chaotic_units(monkeypatch):
     return script
 
 
-def run_hardened(registry, script, watchdog=0.15, unit_retries=2,
+def run_hardened(registry, script, watchdog=0.3, unit_retries=2,
                  observer=None, cache=None):
     campaign = Campaign(registry, observer=observer)
     runner = ProbeExecutor(campaign, jobs=2, backend="thread",
@@ -139,6 +139,90 @@ class TestWorkerDeath:
                  r.result.outcome)
                 for r in clean.reports["strdup"].records]
         assert got == want
+
+
+class TestAdversarialCampaignHardening:
+    """The same watchdog/cache contract under the chaos executor.
+
+    An adversarial :class:`~repro.chaos.ChaosCampaign` drains its cells
+    through the shared :class:`~repro.injection.pool.UnitPool`; a
+    watchdog-killed cell must surface as a synthesized ``hang`` verdict,
+    stay out of the :class:`~repro.chaos.TrialCache`, and re-execute on
+    a resumed run.
+    """
+
+    HUNG_SITE = "alloc-oom"
+
+    def _campaign(self, registry, api, cache, hang_once=None):
+        from repro.chaos import ChaosCampaign
+        from repro.security.corpus import attack_by_name
+
+        campaign = ChaosCampaign(
+            registry, api,
+            attacks=[attack_by_name("heap-smash")],
+            presets=("security",), seeds=(2003,), trials=1, kmax=1,
+            exec_backend="thread", jobs=2, watchdog=0.3,
+            cache=cache,
+        )
+        if hang_once is not None:
+            original = campaign.execute_unit
+            armed = {"site": hang_once}
+
+            def chaotic(unit):
+                if unit.kset == (armed["site"],):
+                    armed["site"] = None
+                    time.sleep(1.2)
+                return original(unit)
+
+            campaign.execute_unit = chaotic
+        return campaign
+
+    @pytest.fixture()
+    def api_document(self, registry):
+        from repro.manpages import load_corpus
+        from repro.robust import RobustAPIDocument
+
+        return RobustAPIDocument.build(registry, load_corpus())
+
+    def test_hung_cell_not_cached_and_reexecuted(self, registry,
+                                                 api_document):
+        from repro.chaos import SITES, TrialCache
+
+        cache = TrialCache(fingerprint="test")
+        campaign = self._campaign(registry, api_document, cache,
+                                  hang_once=self.HUNG_SITE)
+        report = campaign.run()
+
+        hangs = [r for r in report.records if r.verdict == "hang"]
+        assert len(hangs) == 1
+        assert hangs[0].kset == (self.HUNG_SITE,)
+        assert report.pool.watchdog_timeouts == 1
+        # every *observed* cell is cached; the synthesized hang is not
+        assert len(cache) == len(SITES) - 1
+        assert all(key.kset != (self.HUNG_SITE,)
+                   for key in cache.entries())
+
+        # a resumed campaign re-executes exactly the hung cell
+        resumed = self._campaign(registry, api_document, cache)
+        second = resumed.run()
+        assert second.cache_hits == len(SITES) - 1
+        assert not [r for r in second.records if r.verdict == "hang"]
+        fresh = [r for r in second.records if not r.cached]
+        assert [r.kset for r in fresh] == [(self.HUNG_SITE,)]
+        assert len(cache) == len(SITES)
+
+    def test_clean_campaign_fully_cached_on_resume(self, registry,
+                                                   api_document):
+        from repro.chaos import SITES, TrialCache
+
+        cache = TrialCache(fingerprint="test")
+        first = self._campaign(registry, api_document, cache).run()
+        assert len(cache) == len(first.records) == len(SITES)
+        second = self._campaign(registry, api_document, cache).run()
+        assert second.cache_hits == len(SITES)
+        assert all(r.cached for r in second.records)
+        assert ([r.verdict for r in second.records]
+                == [r.verdict for r in first.records])
 
 
 class TestIncidentVisibility:

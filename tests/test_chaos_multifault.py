@@ -1,0 +1,284 @@
+"""Tests for k-fault schedules and the pruned multi-fault space.
+
+The contract under test: a k-fault schedule is a pure function of
+``(seed, trial, k-set)`` — byte-identical across repeated derivations
+*and across processes* — and the :class:`SpacePruner`'s two reductions
+(equivalence classes, domination by escaping singletons) only ever skip
+k-sets, never invent them, with every skip accounted for.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    SITES,
+    ChaosCampaign,
+    KFaultPlan,
+    SpacePruner,
+    enumerate_ksets,
+    naive_space_size,
+    site_indices,
+    trial_seed,
+)
+from repro.chaos.campaign import AdversarialUnit
+from repro.libc import standard_registry
+from repro.manpages import load_corpus
+from repro.robust import RobustAPIDocument
+from repro.security.corpus import attack_by_name
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def api_document(registry):
+    return RobustAPIDocument.build(registry, load_corpus())
+
+
+# ----------------------------------------------------------------------
+# trial_seed: the k-mixed derivation stream
+# ----------------------------------------------------------------------
+
+class TestTrialSeed:
+    def test_legacy_form_unchanged(self):
+        """k=None must keep the original derivation byte-for-byte
+        (existing single-fault chaos schedules depend on it)."""
+        assert trial_seed(42, 7) == 42 * 1_000_003 + 7
+        assert trial_seed(42, 7, None) == trial_seed(42, 7)
+
+    def test_k_collision_regression(self):
+        """Distinct cardinalities must never share a derived seed.
+
+        Before k entered the mix, ``KFaultPlan.sample`` for k=1 and k=2
+        of the same trial drew from one stream — the k=2 set always
+        contained the k=1 site, silently shrinking the explored space.
+        """
+        seen = set()
+        for trial in range(50):
+            for k in (None, 1, 2, 3):
+                derived = trial_seed(2003, trial, k)
+                assert derived not in seen, (trial, k)
+                seen.add(derived)
+
+    @given(seed=st.integers(0, 10**6), trial=st.integers(0, 1000))
+    def test_k_values_disjoint(self, seed, trial):
+        derived = {trial_seed(seed, trial, k) for k in (None, 1, 2, 3)}
+        assert len(derived) == 4
+
+
+# ----------------------------------------------------------------------
+# KFaultPlan: determinism, projection, round trip
+# ----------------------------------------------------------------------
+
+class TestKFaultPlan:
+    @given(seed=st.integers(0, 10**6), trial=st.integers(0, 100),
+           k=st.integers(1, len(SITES)))
+    @settings(max_examples=50)
+    def test_sample_is_deterministic(self, seed, trial, k):
+        first = KFaultPlan.sample(seed, trial, k)
+        second = KFaultPlan.sample(seed, trial, k)
+        assert first == second
+        assert first.k == k
+
+    @given(seed=st.integers(0, 10**6), trial=st.integers(0, 100),
+           k=st.integers(1, len(SITES)))
+    @settings(max_examples=50)
+    def test_round_trip(self, seed, trial, k):
+        plan = KFaultPlan.sample(seed, trial, k)
+        assert KFaultPlan.from_dict(plan.to_dict()) == plan
+        assert KFaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))) == plan
+
+    @given(seed=st.integers(0, 10**6), trial=st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_projection_property(self, seed, trial):
+        """A k-set's faults restricted to a subset ARE the subset's plan.
+
+        This is what makes domination pruning sound: the singleton
+        really is the superset minus one fault, not a new schedule.
+        """
+        full = KFaultPlan.for_sites(seed, trial, SITES)
+        for kset in enumerate_ksets(kmax=2):
+            sub = KFaultPlan.for_sites(seed, trial, kset)
+            want = tuple(f for f in full.faults if f[0] in kset)
+            assert sub.faults == want
+
+    def test_to_plan_schedule_matches(self):
+        plan = KFaultPlan.for_sites(7, 0, ("alloc-oom", "net-reset"))
+        chaos = plan.to_plan()
+        for site, index in plan.faults:
+            assert index in chaos.faults_at(site)
+        assert chaos.total_faults() == plan.k
+
+    def test_sample_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KFaultPlan.sample(1, 0, 0)
+        with pytest.raises(ValueError):
+            KFaultPlan.sample(1, 0, len(SITES) + 1)
+
+
+class TestCrossProcess:
+    """Same seed ⇒ byte-identical schedules in a fresh interpreter."""
+
+    SNIPPET = (
+        "import json\n"
+        "from repro.chaos import KFaultPlan, site_indices\n"
+        "plans = [KFaultPlan.sample(2003, trial, k).to_dict()\n"
+        "         for trial in range(4) for k in (1, 2, 3)]\n"
+        "print(json.dumps({'plans': plans,\n"
+        "                  'indices': site_indices(2003, 0)},\n"
+        "                 sort_keys=True))\n"
+    )
+
+    def _spawn(self) -> str:
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.run(
+            [sys.executable, "-c", self.SNIPPET], env=env, check=True,
+            capture_output=True, text=True, timeout=60,
+        ).stdout
+
+    def test_schedules_identical_across_processes(self):
+        here = json.dumps(
+            {"plans": [KFaultPlan.sample(2003, trial, k).to_dict()
+                       for trial in range(4) for k in (1, 2, 3)],
+             "indices": site_indices(2003, 0)},
+            sort_keys=True,
+        ) + "\n"
+        assert self._spawn() == here
+        assert self._spawn() == here      # and across two fresh spawns
+
+
+# ----------------------------------------------------------------------
+# SpacePruner: only ever skips, never invents, always accounts
+# ----------------------------------------------------------------------
+
+def _build_pruner(signatures, escaping, kmax):
+    pruner = SpacePruner(kmax=kmax)
+    for site in SITES:
+        pruner.observe(site, signatures[site], escaped=site in escaping)
+    return pruner
+
+
+class TestSpacePruner:
+    @given(
+        labels=st.lists(st.integers(0, 3), min_size=len(SITES),
+                        max_size=len(SITES)),
+        escaping=st.sets(st.sampled_from(SITES)),
+        kmax=st.integers(1, len(SITES)),
+    )
+    @settings(max_examples=100)
+    def test_pruned_is_subset_with_exact_accounting(self, labels,
+                                                    escaping, kmax):
+        signatures = dict(zip(SITES, labels))
+        pruner = _build_pruner(signatures, escaping, kmax)
+        survivors = pruner.surviving_ksets()
+        naive = enumerate_ksets(kmax=kmax)
+
+        # pruning only skips: survivors ⊆ the naive k≥2 space, no dupes
+        assert set(survivors) <= {ks for ks in naive if len(ks) >= 2}
+        assert len(set(survivors)) == len(survivors)
+
+        # every skip is justified and every k-set accounted once
+        mapping = pruner.stats.classes
+        for kset in survivors:
+            assert all(mapping[site] == site for site in kset)
+            assert not any(site in escaping for site in kset)
+        stats = pruner.stats
+        assert stats.naive == naive_space_size(len(SITES), kmax)
+        assert stats.executed + stats.skipped == stats.naive
+
+    def test_all_distinct_no_escapes_keeps_everything(self):
+        signatures = {site: n for n, site in enumerate(SITES)}
+        pruner = _build_pruner(signatures, set(), 3)
+        survivors = pruner.surviving_ksets()
+        assert set(survivors) == {ks for ks in enumerate_ksets(kmax=3)
+                                  if len(ks) >= 2}
+        assert pruner.stats.skipped == 0
+
+    def test_identical_signatures_collapse_to_one_class(self):
+        signatures = {site: "same" for site in SITES}
+        pruner = _build_pruner(signatures, set(), 3)
+        assert pruner.surviving_ksets() == []
+        # 6 singletons execute; every k≥2 set contains a non-representative
+        assert pruner.stats.executed == len(SITES)
+        assert (pruner.stats.pruned_equivalence
+                == pruner.stats.naive - len(SITES))
+
+    def test_escaping_singleton_dominates_supersets(self):
+        signatures = {site: n for n, site in enumerate(SITES)}
+        pruner = _build_pruner(signatures, {SITES[0]}, 2)
+        survivors = pruner.surviving_ksets()
+        assert all(SITES[0] not in kset for kset in survivors)
+        assert pruner.stats.pruned_dominated == len(SITES) - 1
+
+
+# ----------------------------------------------------------------------
+# equivalence soundness against the real campaign executor
+# ----------------------------------------------------------------------
+
+class TestEquivalenceSoundness:
+    """A pruned k-set substituting a class member for its representative
+    must reproduce the representative set's verdict."""
+
+    def _campaign(self, registry, api_document):
+        return ChaosCampaign(
+            registry, api_document,
+            attacks=[attack_by_name("heap-smash")],
+            presets=("recovery",), seeds=(2003,), trials=1, kmax=2,
+        )
+
+    def _unit(self, kset):
+        ordered = tuple(site for site in SITES if site in set(kset))
+        return AdversarialUnit(attack="heap-smash", preset="recovery",
+                               seed=2003, trial=0, kset=ordered)
+
+    def test_member_swap_reproduces_verdict(self, registry, api_document):
+        camp = self._campaign(registry, api_document)
+        singles = {site: camp.execute_unit(self._unit((site,)))
+                   for site in SITES}
+        pruner = SpacePruner(kmax=2)
+        for site in SITES:
+            pruner.observe(site, camp._signature(singles[site]),
+                           escaped=singles[site].escaped)
+        mapping = pruner.representatives()
+
+        # a class is provably sound when its singletons fired nothing:
+        # the injected fault never triggered, so member and
+        # representative runs are the identical execution
+        quiet = [site for site in SITES if not singles[site].faults]
+        members = [site for site in quiet if mapping[site] != site
+                   and mapping[site] in quiet]
+        assert members, "horizon must leave at least one quiet class"
+
+        checked = 0
+        for member in members[:2]:
+            representative = mapping[member]
+            partner = next(site for site in SITES
+                           if site not in (member, representative))
+            pruned = camp.execute_unit(self._unit((member, partner)))
+            kept = camp.execute_unit(self._unit((representative,
+                                                 partner)))
+            assert pruned.verdict == kept.verdict
+            assert pruned.recoveries == kept.recoveries
+            checked += 1
+        assert checked > 0
+
+    def test_representative_replay_is_deterministic(self, registry,
+                                                    api_document):
+        camp = self._campaign(registry, api_document)
+        unit = self._unit(("alloc-oom", "heap-clobber"))
+        first = camp.execute_unit(unit)
+        second = camp.replay(first.replay_witness())
+        assert second.verdict == first.verdict
+        assert second.faults == first.faults
+        assert second.recoveries == first.recoveries
