@@ -6,6 +6,7 @@ from repro.apps.authd import AUTHD
 from repro.apps.base import AppResult, EntryPoint, SimApp, run_app
 from repro.apps.csvstat import CSVSTAT
 from repro.apps.heapd import HEAPD
+from repro.apps.localed import LOCALED
 from repro.apps.msgformat import MSGFORMAT
 from repro.apps.stacksmash import STACKD
 from repro.apps.statcalc import STATCALC
@@ -15,7 +16,7 @@ from repro.linker import DynamicLinker, SharedLibrary
 from repro.objfile import SimELF, SimSystem, TYPE_EXEC, build_shared_object
 
 ALL_APPS: List[SimApp] = [WORDCOUNT, CSVSTAT, STATCALC, MSGFORMAT, AUTHD,
-                          STACKD, HEAPD]
+                          STACKD, HEAPD, LOCALED]
 
 #: sample input used by examples/benchmarks for the text workloads
 SAMPLE_TEXT = (
@@ -96,6 +97,7 @@ __all__ = [
     "CSVSTAT",
     "EntryPoint",
     "HEAPD",
+    "LOCALED",
     "MSGFORMAT",
     "SAMPLE_CSV",
     "SAMPLE_TEXT",

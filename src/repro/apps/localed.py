@@ -1,0 +1,131 @@
+"""localed: a locale-record service with wide-string and record-IO bugs.
+
+The existing victims exercise the byte-string attack surface (``gets``,
+``strcpy``, ``sprintf``); localed covers the two classes that only a
+*full-coverage* robust API can check: wide-character copies and
+size×nmemb record reads.  It renders display names through ``wcsncpy``
+and caches binary locale records through ``fread`` — both with the
+classic length-from-the-wrong-side mistakes:
+
+* ``WIDEN <name>`` — widens the name into a staging buffer, then copies
+  it into the fixed 16-wchar display buffer with ``wcsncpy(display,
+  staging, n)`` where **n is derived from the source length** (the bug):
+  an over-long name overflows the display allocation in 4-byte units.
+* ``LOAD <count>`` — ``fread(records, RECORD_SIZE, count, db)`` into an
+  in-core cache sized for :data:`MAX_RECORDS` records, with ``count``
+  taken straight from the request (the bug): the database file holds
+  :data:`SEEDED_RECORDS` records, so a hostile count overflows the cache
+  by size×nmemb bytes.
+* ``QUIT`` — stop.
+
+The service seeds its own database file at startup (``fopen``/``fwrite``)
+so it runs without external fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import SimApp
+from repro.linker import LinkedImage
+
+WCHAR_SIZE = 4
+CMD_BUFFER = 128
+NAME_WCHARS = 16        # the display buffer: 16 wchar_t = 64 bytes
+RECORD_SIZE = 24
+MAX_RECORDS = 4         # the in-core cache: 96 bytes
+SEEDED_RECORDS = 32     # the database file: 768 bytes
+DB_PATH = b"/var/lib/localed.db"
+
+IMPORTS = [
+    "malloc", "free", "gets", "puts", "sprintf", "strlen", "atoi",
+    "fopen", "fclose", "fread", "fwrite", "wcsncpy", "wcslen",
+]
+
+
+def _seed_database(image: LinkedImage) -> None:
+    """Write SEEDED_RECORDS fixed-size records (the startup fixture)."""
+    proc = image.process
+    handle = image.call("fopen", proc.alloc_cstring(DB_PATH),
+                        proc.alloc_cstring(b"w"))
+    record = image.call("malloc", RECORD_SIZE)
+    for index in range(SEEDED_RECORDS):
+        payload = (b"rec%02d" % index).ljust(RECORD_SIZE - 1, b".")
+        proc.space.write(record, payload + b"\x00")
+        image.call("fwrite", record, RECORD_SIZE, 1, handle)
+    image.call("free", record)
+    image.call("fclose", handle)
+
+
+def localed_main(image: LinkedImage, argv: List[str]) -> int:
+    """Serve locale requests from stdin until EOF/QUIT."""
+    proc = image.process
+    _seed_database(image)
+
+    # fixed allocation order — the attack corpus replays it to aim
+    cmd = image.call("malloc", CMD_BUFFER)
+    display = image.call("malloc", NAME_WCHARS * WCHAR_SIZE)
+    records = image.call("malloc", RECORD_SIZE * MAX_RECORDS)
+    response = image.call("malloc", 64)
+    db = image.call("fopen", proc.alloc_cstring(DB_PATH),
+                    proc.alloc_cstring(b"r"))
+
+    served = 0
+    while True:
+        if image.call("gets", cmd) == 0:
+            break
+        line = proc.read_cstring(cmd, limit=CMD_BUFFER)
+        if not line:
+            continue
+        served += 1
+        if line.startswith(b"QUIT"):
+            break
+        if line.startswith(b"WIDEN "):
+            length = image.call("strlen", cmd + 6)
+            staging = image.call("malloc", (length + 1) * WCHAR_SIZE)
+            for index in range(length + 1):
+                proc.space.write_u32(staging + index * WCHAR_SIZE,
+                                     proc.space.read(cmd + 6 + index, 1)[0])
+            # bug: n comes from the *source* length, not the display
+            # buffer's 16-wchar capacity
+            copied = image.call("wcsncpy", display, staging, length + 1)
+            width = image.call("wcslen", display) if copied else 0
+            image.call("free", staging)
+            fmt = proc.alloc_cstring(b"widened %d chars")
+            image.call("sprintf", response, fmt, width)
+            image.call("puts", response)
+        elif line.startswith(b"LOAD "):
+            count = image.call("atoi", cmd + 5)
+            if count < 1:
+                image.call("puts", proc.alloc_cstring(b"localed: bad count"))
+                continue
+            # bug: count is attacker-controlled; the cache holds
+            # MAX_RECORDS records but the file holds SEEDED_RECORDS
+            loaded = image.call("fread", records, RECORD_SIZE, count, db)
+            fmt = proc.alloc_cstring(b"loaded %d records")
+            image.call("sprintf", response, fmt, loaded)
+            image.call("puts", response)
+        else:
+            image.call("puts", proc.alloc_cstring(b"localed: bad command"))
+
+    if db:
+        image.call("fclose", db)
+    image.call("free", records)
+    image.call("free", display)
+    image.call("free", cmd)
+    fmt = proc.alloc_cstring(b"localed: served %d requests")
+    image.call("sprintf", response, fmt, served)
+    image.call("puts", response)
+    image.call("free", response)
+    return 0
+
+
+LOCALED = SimApp(
+    name="localed",
+    path="/sbin/localed",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=localed_main,
+    description="locale-record service with wcsncpy and fread "
+                "size×nmemb bugs",
+)

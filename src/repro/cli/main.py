@@ -10,6 +10,9 @@ Web interface; a CLI is the headless equivalent):
 * ``healers campaign --jobs 4 --resume``— Fig. 2 at scale: parallel,
   cache-backed, resumable injection sweeps
 * ``healers derive``                    — Fig. 2, robust API XML
+* ``healers derive-checks``             — introspection-derived check
+  plans for every wrappable function (full coverage), optionally folding
+  in stored campaign verdicts
 * ``healers generate security --c``     — Fig. 3, wrapper source
 * ``healers profile wordcount``         — demo 3.3, profiling report
 * ``healers attack-demo``               — demo 3.4, overflow prevention
@@ -100,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     derive.add_argument("--xml", action="store_true",
                         help="emit the full XML declaration document")
     _add_execution_args(derive)
+
+    derive_checks = sub.add_parser(
+        "derive-checks",
+        help="derive introspection check plans for every function "
+             "(full coverage; no injection required)",
+    )
+    derive_checks.add_argument(
+        "--load", default="",
+        help="fold stored campaign experiments (XML) into the plans")
+    derive_checks.add_argument(
+        "--xml", action="store_true",
+        help="emit the full-coverage XML declaration document "
+             "(with <checks> plan nodes)")
+    derive_checks.add_argument(
+        "--uncovered", action="store_true",
+        help="list functions whose plan carries no enforceable check")
 
     generate = sub.add_parser("generate", help="generate a wrapper library")
     generate.add_argument("preset", choices=sorted(PRESETS))
@@ -368,6 +387,45 @@ def _cmd_derive(toolkit: Healers, args) -> int:
     return 0
 
 
+def _cmd_derive_checks(toolkit: Healers, args) -> int:
+    from repro.robust import coverage_report, derive_api, uncovered
+
+    if args.load:
+        from repro.injection import campaign_from_xml
+
+        with open(args.load, encoding="utf-8") as handle:
+            result = campaign_from_xml(handle.read())
+        toolkit.campaign_result = result
+        toolkit.derivations = derive_api(result, toolkit.registry,
+                                         toolkit.manpages)
+    document = toolkit.build_introspected_document()
+    if args.xml:
+        print(document.to_xml())
+        return 0
+    plans = toolkit.all_check_plans()
+    report = coverage_report(plans)
+    libraries = [toolkit.registry.library_name]
+    libraries += sorted(toolkit.extra_registries)
+    print(f"check plans: {report['functions']} functions across "
+          f"{', '.join(libraries)} "
+          f"({report['functions_with_checks']} with enforceable checks)")
+    print(f"  parameters: {report['params_with_plans']}/{report['params']} "
+          f"planned, {report['relational_params']} relational "
+          f"(pointer+length, capacity, base)")
+    sources = ", ".join(f"{key}={value}" for key, value in
+                        sorted(report["params_by_source"].items()))
+    print(f"  plan sources: {sources}")
+    if toolkit.derivations:
+        print(f"  campaign verdicts folded in for "
+              f"{len(toolkit.derivations)} functions")
+    if args.uncovered:
+        names = uncovered(plans)
+        print(f"scalar-only functions (nothing to enforce): {len(names)}")
+        for name in names:
+            print(f"  {name}")
+    return 0
+
+
 def _cmd_generate(toolkit: Healers, args) -> int:
     functions = _functions_arg(args)
     if args.c:
@@ -576,6 +634,7 @@ _HANDLERS = {
     "inject": _cmd_inject,
     "campaign": _cmd_campaign,
     "derive": _cmd_derive,
+    "derive-checks": _cmd_derive_checks,
     "generate": _cmd_generate,
     "profile": _cmd_profile,
     "run": _cmd_run,

@@ -349,6 +349,36 @@ class Healers:
             )
         return self.api_document
 
+    def build_introspected_document(self) -> RobustAPIDocument:
+        """The *full-coverage* declaration document (ROADMAP item 5).
+
+        Every primary-registry function receives an introspection-derived
+        :class:`~repro.robust.introspect.CheckPlan` — campaign verdicts
+        where :attr:`derivations` has them, static role/ctype derivation
+        everywhere else.  The document becomes the toolkit's active one,
+        so wrappers built afterwards (robustness, hardened, …) check all
+        functions instead of the probed subset.
+        """
+        self.api_document = RobustAPIDocument.build_introspected(
+            self.registry, self.manpages, self.derivations or None
+        )
+        return self.api_document
+
+    def all_check_plans(self):
+        """Check plans across every wrappable library (libc + libm).
+
+        The primary registry folds in campaign derivations when
+        available; extra registries get static plans.  This is the
+        123/123 coverage set the ``derive-checks`` subcommand reports.
+        """
+        from repro.robust.introspect import derive_check_plans
+
+        plans = derive_check_plans(self.registry, self.manpages,
+                                   self.derivations or None)
+        for registry in self.extra_registries.values():
+            plans.update(derive_check_plans(registry, self.manpages))
+        return plans
+
     # ------------------------------------------------------------------
     # wrapper generation (Fig. 1 / Fig. 3)
     # ------------------------------------------------------------------

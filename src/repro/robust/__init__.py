@@ -16,22 +16,42 @@ from repro.robust.derivation import (
     derive_api,
     derive_function,
     derive_parameter,
+    derive_plans,
+)
+from repro.robust.introspect import (
+    CheckPlan,
+    ParamPlan,
+    as_plan,
+    coverage_report,
+    derive_check_plan,
+    derive_check_plans,
+    plan_from_decl,
+    uncovered,
 )
 
 __all__ = [
     "ArgumentChecker",
+    "CheckPlan",
     "CheckViolation",
     "FunctionDecl",
     "FunctionDerivation",
     "ParamDecl",
     "ParamDerivation",
+    "ParamPlan",
     "RankVerdict",
     "RobustAPIDocument",
     "analyse_format",
+    "as_plan",
+    "coverage_report",
     "derive_api",
+    "derive_check_plan",
+    "derive_check_plans",
     "derive_function",
     "derive_parameter",
+    "derive_plans",
+    "plan_from_decl",
     "readable_extent",
     "terminated_length",
+    "uncovered",
     "writable_extent",
 ]

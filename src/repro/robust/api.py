@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.libc.registry import LibcRegistry
 from repro.manpages.model import ManPage
 from repro.robust.derivation import FunctionDerivation
+from repro.robust.introspect import CheckPlan, ParamPlan, derive_check_plans
 
 
 @dataclass
@@ -62,6 +63,15 @@ class RobustAPIDocument:
 
     library: str
     functions: Dict[str, FunctionDecl] = field(default_factory=dict)
+    #: introspection-derived check plans, keyed by function — populated
+    #: by :meth:`build_introspected` (or parsed back from ``<checks>``
+    #: nodes); empty for the legacy derivation-only documents
+    plans: Dict[str, CheckPlan] = field(default_factory=dict)
+
+    def plan_for(self, name: str) -> Optional[CheckPlan]:
+        """The derived check plan of one function, if this document
+        carries plans at all (legacy documents return None)."""
+        return self.plans.get(name)
 
     # ------------------------------------------------------------------
     # construction
@@ -114,6 +124,41 @@ class RobustAPIDocument:
             document.functions[function.name] = decl
         return document
 
+    @classmethod
+    def build_introspected(
+        cls,
+        registry: LibcRegistry,
+        manpages: Dict[str, ManPage],
+        derivations: Optional[Dict[str, FunctionDerivation]] = None,
+    ) -> "RobustAPIDocument":
+        """Assemble the *full-coverage* document.
+
+        Same inputs as :meth:`build`, but every function additionally
+        receives an introspection-derived :class:`CheckPlan` — campaign
+        verdicts where available, static role/ctype derivation otherwise
+        — so wrappers built from this document check all functions, not
+        just the probed subset.  Parameters the campaign never reached
+        have their declaration entries back-filled from the static plan
+        (the ``<param>`` view stays consistent with the ``<checks>``
+        view); campaign-derived and unsatisfied entries are untouched.
+        """
+        document = cls.build(registry, manpages, derivations)
+        document.plans = derive_check_plans(registry, manpages, derivations)
+        for name, decl in document.functions.items():
+            plan = document.plans.get(name)
+            if plan is None:
+                continue
+            for entry in decl.params:
+                derived = plan.param(entry.name)
+                if derived is None or not derived.check or entry.check:
+                    continue
+                if entry.robust_type == "unsatisfied":
+                    continue
+                entry.chain = entry.chain or derived.chain
+                entry.robust_type = derived.robust_type
+                entry.check = derived.check
+        return document
+
     # ------------------------------------------------------------------
     # XML round trip
     # ------------------------------------------------------------------
@@ -155,6 +200,38 @@ class RobustAPIDocument:
                     node.set("min-size", str(param.min_size))
                 if param.nullable:
                     node.set("nullable", "true")
+            plan = self.plans.get(name)
+            if plan is not None:
+                checks = ET.SubElement(fn, "checks")
+                if plan.error_return:
+                    checks.set("error-return", plan.error_return)
+                if plan.errnos:
+                    checks.set("errnos", ",".join(plan.errnos))
+                if plan.probes:
+                    checks.set("probes", str(plan.probes))
+                if plan.failures:
+                    checks.set("failures", str(plan.failures))
+                for entry in plan.params:
+                    node = ET.SubElement(checks, "check", param=entry.name,
+                                         ctype=entry.ctype,
+                                         source=entry.source)
+                    for attr, key in (
+                        (entry.role, "role"),
+                        (entry.chain, "chain"),
+                        (entry.robust_type, "robust-type"),
+                        (entry.check, "check"),
+                        (entry.size_from, "size-from"),
+                        (entry.size_param, "size-param"),
+                        (entry.size_mul, "size-mul"),
+                    ):
+                        if attr:
+                            node.set(key, attr)
+                    if entry.rank >= 0:
+                        node.set("rank", str(entry.rank))
+                    if entry.min_size:
+                        node.set("min-size", str(entry.min_size))
+                    if entry.nullable:
+                        node.set("nullable", "true")
         ET.indent(root)
         return ET.tostring(root, encoding="unicode", xml_declaration=True)
 
@@ -195,4 +272,34 @@ class RobustAPIDocument:
                     )
                 )
             document.functions[decl.name] = decl
+            checks = fn.find("checks")
+            if checks is not None:
+                errnos = checks.get("errnos", "")
+                document.plans[decl.name] = CheckPlan(
+                    function=decl.name,
+                    returns=decl.returns,
+                    error_return=checks.get("error-return", ""),
+                    variadic=decl.variadic,
+                    errnos=tuple(errnos.split(",")) if errnos else (),
+                    probes=int(checks.get("probes", "0")),
+                    failures=int(checks.get("failures", "0")),
+                    params=tuple(
+                        ParamPlan(
+                            name=node.get("param", ""),
+                            ctype=node.get("ctype", ""),
+                            role=node.get("role", ""),
+                            chain=node.get("chain", ""),
+                            robust_type=node.get("robust-type", ""),
+                            rank=int(node.get("rank", "-1")),
+                            check=node.get("check", ""),
+                            source=node.get("source", "declared"),
+                            nullable=node.get("nullable") == "true",
+                            size_from=node.get("size-from", ""),
+                            size_param=node.get("size-param", ""),
+                            size_mul=node.get("size-mul", ""),
+                            min_size=int(node.get("min-size", "0")),
+                        )
+                        for node in checks.findall("check")
+                    ),
+                )
         return document

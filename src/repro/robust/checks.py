@@ -21,7 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.headers.model import Prototype
 from repro.memory.model import Perm
-from repro.robust.api import FunctionDecl, ParamDecl
+from repro.robust.introspect import CheckPlan, ParamPlan, as_plan
 from repro.runtime.process import SimProcess
 
 #: bound on wrapper-side string scans; a string not terminated within this
@@ -157,22 +157,26 @@ class ArgumentChecker:
     string dispatch.  ``compiled=False`` keeps the original interpreted
     ladder (:meth:`_run_check`), preserved as the reference
     implementation for the fast-path differential tests.
+
+    Accepts either IR: an introspection-derived :class:`CheckPlan` or a
+    hand-tuned declaration entry (``FunctionDecl``), which is lifted
+    into the plan IR first — one code path serves both.
     """
 
-    def __init__(self, decl: FunctionDecl, prototype: Prototype,
-                 compiled: bool = True):
+    def __init__(self, decl, prototype: Prototype, compiled: bool = True):
+        self.plan: CheckPlan = as_plan(decl)
         self.decl = decl
         self.prototype = prototype
-        self.function = decl.name
+        self.function = self.plan.function
         self.compiled = compiled
         self._index_of: Dict[str, int] = {
             p.name: i for i, p in enumerate(prototype.params)
         }
         #: (param, check id) pairs, relational checks last so that the
         #: strings they measure have already been vetted
-        simple: List[ParamDecl] = []
-        relational: List[ParamDecl] = []
-        for param in decl.params:
+        simple: List[ParamPlan] = []
+        relational: List[ParamPlan] = []
+        for param in self.plan.params:
             if not param.check:
                 continue
             if param.check in ("buffer_capacity", "wbuffer_capacity",
@@ -185,10 +189,10 @@ class ArgumentChecker:
         #: argument slots consulted when building the values mapping
         self._slots: List[Tuple[str, int]] = [
             (p.name, self._index_of[p.name])
-            for p in decl.params if p.name in self._index_of
+            for p in self.plan.params if p.name in self._index_of
         ]
         #: the check plan: (param, argument index or None, bound closure)
-        self._plan: List[Tuple[ParamDecl, Optional[int], CheckFn]] = []
+        self._plan: List[Tuple[ParamPlan, Optional[int], CheckFn]] = []
         self._needs_values = False
         if compiled:
             for param in self.ordered:
@@ -212,7 +216,7 @@ class ArgumentChecker:
 
     @property
     def compiled_plan(self) -> Tuple[
-        List[Tuple[ParamDecl, Optional[int], CheckFn]],
+        List[Tuple[ParamPlan, Optional[int], CheckFn]],
         List[Tuple[str, int]],
         bool,
     ]:
@@ -236,7 +240,7 @@ class ArgumentChecker:
         if self.compiled:
             return self._validate_plan(proc, args, varargs, first_only)
         values = {p.name: args[self._index_of[p.name]]
-                  for p in self.decl.params if p.name in self._index_of}
+                  for p in self.plan.params if p.name in self._index_of}
         violations: List[CheckViolation] = []
         for param in self.ordered:
             value = values.get(param.name)
@@ -316,7 +320,7 @@ class ArgumentChecker:
     # individual checks
     # ------------------------------------------------------------------
 
-    def _run_check(self, proc: SimProcess, param: ParamDecl, value: Any,
+    def _run_check(self, proc: SimProcess, param: ParamPlan, value: Any,
                    values: Dict[str, Any],
                    varargs: Sequence[Any]) -> Optional[str]:
         check = param.check
@@ -415,7 +419,7 @@ class ArgumentChecker:
     # the check plan compiler
     # ------------------------------------------------------------------
 
-    def _compile_check(self, param: ParamDecl) -> Optional[CheckFn]:
+    def _compile_check(self, param: ParamPlan) -> Optional[CheckFn]:
         """Bind one parameter's check template into a closure.
 
         Each closure reproduces the corresponding :meth:`_run_check`
@@ -542,7 +546,7 @@ class ArgumentChecker:
     # relational helpers
     # ------------------------------------------------------------------
 
-    def _null_buffer_allowed(self, param: ParamDecl,
+    def _null_buffer_allowed(self, param: ParamPlan,
                              values: Dict[str, Any]) -> Optional[str]:
         """A nullable buffer may be NULL only when its declared extent is
         zero (the C99 snprintf(NULL, 0, …) length-query idiom); a NULL
@@ -552,7 +556,7 @@ class ArgumentChecker:
             return None
         return f"NULL with a declared extent of {extent} bytes"
 
-    def _declared_extent(self, param: ParamDecl,
+    def _declared_extent(self, param: ParamPlan,
                          values: Dict[str, Any]) -> int:
         extent = max(param.min_size, 0)
         if param.size_param:
@@ -564,7 +568,7 @@ class ArgumentChecker:
             extent = max(extent, count)
         return extent
 
-    def _required_bytes(self, proc: SimProcess, param: ParamDecl,
+    def _required_bytes(self, proc: SimProcess, param: ParamPlan,
                         values: Dict[str, Any],
                         varargs: Sequence[Any]) -> Optional[int]:
         wide = param.check == "wbuffer_capacity"
@@ -607,22 +611,25 @@ class ArgumentChecker:
             return None
         return produced
 
-    def _check_size_bounded(self, proc: SimProcess, param: ParamDecl,
+    def _check_size_bounded(self, proc: SimProcess, param: ParamPlan,
                             value: Any,
                             values: Dict[str, Any]) -> Optional[str]:
         """A size argument must fit every buffer it governs."""
         count = int(value)
         if count < 0:
             return f"negative count {count}"
-        for other in self.decl.params:
+        for other in self.plan.params:
             if other.size_param != param.name and other.size_mul != param.name:
                 continue
             buffer_ptr = values.get(other.name)
             if buffer_ptr in (None, 0):
                 continue  # the buffer's own check reports NULL problems
+            # the buffer's extent is size_param × size_mul: this param is
+            # one factor, the governing partner (when declared) the other
             multiplier = 1
-            if other.size_mul and other.size_param != param.name:
-                multiplier = int(values.get(other.size_mul, 1))
+            if other.size_param == param.name:
+                if other.size_mul:
+                    multiplier = int(values.get(other.size_mul, 1))
             elif other.size_mul == param.name:
                 multiplier = int(values.get(other.size_param, 1))
             if other.role in ("out_wbuffer", "out_wstring"):
@@ -654,8 +661,8 @@ class ArgumentChecker:
             return f"stream {index} is not open"
         return None
 
-    def _param_decl(self, name: str) -> Optional[ParamDecl]:
-        for param in self.decl.params:
+    def _param_decl(self, name: str) -> Optional[ParamPlan]:
+        for param in self.plan.params:
             if param.name == name:
                 return param
         return None

@@ -158,3 +158,20 @@ def derive_api(result: CampaignResult, registry: LibcRegistry,
             continue
         derived[name] = derive_function(report, registry, manpages.get(name))
     return derived
+
+
+def derive_plans(result: CampaignResult, registry: LibcRegistry,
+                 manpages: Dict[str, ManPage]):
+    """Campaign verdicts → full-coverage check plans, in one step.
+
+    Every registry function gets a plan: campaign-derived weakest robust
+    types where the result has verdicts, static role/ctype introspection
+    everywhere else.  This is how campaign results *strengthen* the
+    derived plans — a probed function's plan carries experimentally
+    confirmed types (and ``unsatisfied`` markers) instead of the static
+    strictest-effective guess.
+    """
+    from repro.robust.introspect import derive_check_plans
+
+    return derive_check_plans(registry, manpages,
+                              derive_api(result, registry, manpages))

@@ -41,6 +41,12 @@ from repro.security.corpus.stack import (
     craft_stack_smash,
     craft_stack_smash_protected,
 )
+from repro.security.corpus.wide import (
+    RECORD_FLOOD,
+    WIDE_OVERFLOW,
+    craft_record_flood,
+    craft_wide_overflow,
+)
 
 #: the scored corpus, one entry per attack class
 CORPUS = [
@@ -52,6 +58,8 @@ CORPUS = [
     FORMAT_OVERREAD,
     GETS_FLOOD,
     STEALTH_CORRUPT,
+    WIDE_OVERFLOW,
+    RECORD_FLOOD,
 ]
 
 #: benign inputs per victim: the false-positive corpus
@@ -60,6 +68,7 @@ BENIGN_INPUTS = {
     "stackd": b"ping\n",
     "msgformat": b"ECHO hello world\nADD 19 23\nQUIT\n",
     "heapd": b"ALLOC 16\nPUT 1 hello\nRUN\nQUIT\n",
+    "localed": b"WIDEN hello\nLOAD 2\nQUIT\n",
 }
 
 
@@ -80,10 +89,12 @@ __all__ = [
     "GETS_FLOOD",
     "OVERFLOW_ADJACENT",
     "PRESET_CONFIGS",
+    "RECORD_FLOOD",
     "STACK_SMASH",
     "STEALTH_CORRUPT",
     "UAF_WRITE",
     "VERDICTS",
+    "WIDE_OVERFLOW",
     "Attack",
     "AttackRun",
     "PresetConfig",
@@ -95,8 +106,10 @@ __all__ = [
     "craft_format_probe",
     "craft_gets_flood",
     "craft_heap_smash",
+    "craft_record_flood",
     "craft_stack_smash",
     "craft_stack_smash_protected",
     "craft_uaf_write",
+    "craft_wide_overflow",
     "run_attack",
 ]

@@ -1,0 +1,74 @@
+"""Full-coverage attack classes: wide-string and size×nmemb overflows.
+
+These two attacks are the red-team argument for introspection-derived
+check plans: their sink functions (``wcsncpy``, ``fread``) are *outside*
+the campaign-probed subset the hand-tuned robust API covers, so a
+robustness wrapper built from the legacy declaration document has no
+checks to contain them — only the full-coverage introspected document
+(``RobustAPIDocument.build_introspected`` / ``healers derive-checks``)
+reaches them.  The security guard derives its capacity checks from the
+declared roles either way, which is why the gated presets stay safe in
+the scored matrix below while ``robustness`` is expected to escape.
+"""
+
+from __future__ import annotations
+
+from repro.apps import LOCALED
+from repro.security.corpus.model import Attack, _service_disrupted
+
+
+def craft_wide_overflow() -> bytes:
+    """A display name far longer than the 16-wchar display buffer.
+
+    localed widens the name and copies it with ``wcsncpy(display,
+    staging, n)`` where ``n`` is the *source* length + 1: 48 characters
+    become 196 bytes written into a 64-byte allocation, clobbering the
+    adjacent record cache and heap metadata in 4-byte units.
+    """
+    return b"WIDEN " + b"W" * 48 + b"\nQUIT\n"
+
+
+def craft_record_flood() -> bytes:
+    """A record count far larger than the in-core cache.
+
+    localed seeds its database with 32 records but caches at most 4;
+    ``LOAD 32`` makes ``fread`` pull size×nmemb = 24×32 = 768 bytes into
+    the 96-byte cache — the multiplication the size_mul relation in the
+    derived check plan exists to catch.
+    """
+    return b"LOAD 32\nQUIT\n"
+
+
+WIDE_OVERFLOW = Attack(
+    name="wide-overflow",
+    attack_class="wide-overflow",
+    app=LOCALED,
+    craft=craft_wide_overflow,
+    hijacked=_service_disrupted,
+    description="wcsncpy with n derived from the source: wide-unit "
+                "heap overflow past the display buffer",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("contained", "detected"),
+        "hardened": ("contained", "detected"),
+        "recovery": ("contained", "repaired"),
+    },
+)
+
+RECORD_FLOOD = Attack(
+    name="record-flood",
+    attack_class="fread-overflow",
+    app=LOCALED,
+    craft=craft_record_flood,
+    hijacked=_service_disrupted,
+    description="attacker-controlled nmemb: fread size×nmemb overflow "
+                "of the record cache",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("contained", "detected"),
+        "hardened": ("contained", "detected"),
+        "recovery": ("contained", "repaired"),
+    },
+)

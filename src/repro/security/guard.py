@@ -22,10 +22,12 @@ published as a :class:`~repro.telemetry.RecoveryEvent`.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.errors import SecurityViolation
 from repro.robust.api import FunctionDecl
+from repro.robust.introspect import CheckPlan
 from repro.robust.checks import (
     ArgumentChecker,
     CheckViolation,
@@ -182,7 +184,10 @@ class HeapGuardGen(MicroGenerator):
         size_table = state.size_table
         emit = unit.bus.emit
         name = unit.name
-        decl = unit.decl
+        #: role metadata source: the introspected plan when the document
+        #: carries one, else the hand-tuned declaration entry — the
+        #: security policy is role-derived, so both yield the same view
+        decl = unit.plan if unit.plan is not None else unit.decl
 
         is_dealloc = name in DEALLOCATING
         verify_here = policy.verify_heap == "always" or (
@@ -197,7 +202,7 @@ class HeapGuardGen(MicroGenerator):
             if param.role == "format"
         ) if ((reject_n or check_arity) and decl is not None) else ()
         checker = (
-            ArgumentChecker(_security_decl(decl), unit.prototype)
+            ArgumentChecker(security_view(decl), unit.prototype)
             if decl is not None else None
         )
         bounds_here = (policy.enforce_bounds and checker is not None
@@ -307,9 +312,9 @@ class HeapGuardGen(MicroGenerator):
         state = unit.state
         emit = unit.bus.emit
         name = unit.name
-        decl = unit.decl
+        decl = unit.plan if unit.plan is not None else unit.decl
         checker = (
-            ArgumentChecker(_security_decl(decl), unit.prototype,
+            ArgumentChecker(security_view(decl), unit.prototype,
                             compiled=False)
             if decl is not None else None
         )
@@ -374,6 +379,44 @@ class HeapGuardGen(MicroGenerator):
                             postfix=postfix)
 
 
+def security_view(meta):
+    """Role-derived a-priori write checks, for either checker IR.
+
+    Accepts the hand-tuned :class:`FunctionDecl` or an introspected
+    :class:`CheckPlan`; the synthesised checks are the same either way
+    because the security policy reads roles, not derived robust types.
+    """
+    if isinstance(meta, CheckPlan):
+        return _security_plan(meta)
+    return _security_decl(meta)
+
+
+def _security_check_for(role: str, existing: str) -> str:
+    """The security wrapper's check for one role (writes only)."""
+    if role in ("out_string", "inout_string", "out_buffer"):
+        return "buffer_capacity"
+    if role in ("out_wstring", "out_wbuffer"):
+        return "wbuffer_capacity"
+    if role == "size":
+        return "size_bounded"
+    if role == "format":
+        return existing
+    return ""  # security cares about writes only
+
+
+def _security_plan(plan: CheckPlan) -> CheckPlan:
+    """The plan-IR rendering of :func:`_security_decl` (no deep copy —
+    plans are frozen, so this is a cheap structural rewrite)."""
+    return replace(
+        plan,
+        params=tuple(
+            replace(param,
+                    check=_security_check_for(param.role, param.check))
+            for param in plan.params
+        ),
+    )
+
+
 def _security_decl(decl: FunctionDecl) -> FunctionDecl:
     """A-priori bounds checks from role metadata alone.
 
@@ -389,16 +432,7 @@ def _security_decl(decl: FunctionDecl) -> FunctionDecl:
 
     hardened = copy.deepcopy(decl)
     for param in hardened.params:
-        if param.role in ("out_string", "inout_string"):
-            param.check = "buffer_capacity"
-        elif param.role == "out_buffer":
-            param.check = "buffer_capacity"
-        elif param.role in ("out_wstring", "out_wbuffer"):
-            param.check = "wbuffer_capacity"
-        elif param.role == "size":
-            param.check = "size_bounded"
-        elif param.role != "format":
-            param.check = ""  # security cares about writes only
+        param.check = _security_check_for(param.role, param.check)
     return hardened
 
 

@@ -38,6 +38,7 @@ from repro.wrappers.presets import (
     ROBUSTNESS,
     SECURITY,
     default_generator_registry,
+    full_coverage_api,
 )
 from repro.wrappers.state import (
     SecurityEvent,
@@ -78,6 +79,7 @@ __all__ = [
     "compose_wrapper",
     "default_generator_registry",
     "error_return_value",
+    "full_coverage_api",
     "render_function",
     "render_library",
     "units_for",

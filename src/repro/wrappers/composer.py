@@ -106,8 +106,10 @@ class WrapperFactory:
                   fastpath: bool = True) -> WrapperUnit:
         function = self.registry[function_name]
         decl = None
+        plan = None
         if self.api is not None:
             decl = self.api.functions.get(function_name)
+            plan = self.api.plan_for(function_name)
         return WrapperUnit(
             prototype=function.prototype,
             decl=decl,
@@ -115,6 +117,7 @@ class WrapperFactory:
             resolve_next=lambda: linker.resolve_next(function_name, library),
             bus=bus,
             fastpath=fastpath,
+            plan=plan,
         )
 
     def build_library(
@@ -196,6 +199,7 @@ def units_for(factory: WrapperFactory, names: Sequence[str],
     for name in names:
         function = factory.registry[name]
         decl = factory.api.functions.get(name) if factory.api else None
+        plan = factory.api.plan_for(name) if factory.api else None
         units.append(
             WrapperUnit(
                 prototype=function.prototype,
@@ -203,6 +207,7 @@ def units_for(factory: WrapperFactory, names: Sequence[str],
                 state=state,
                 resolve_next=missing_next,
                 bus=bus,
+                plan=plan,
             )
         )
     return units, state

@@ -21,10 +21,11 @@ shape.  Specializations applied:
 * a branch reduced to the intercepted call alone bypasses ``CallFrame``
   construction and tail-calls the next definition directly;
 * a branch whose every prefix offers a frame-free ``guard`` form (e.g.
-  the compiled argument checker) and whose only postfix is the
-  intercepted call runs entirely without a ``CallFrame``: guards either
-  pass or return the contained error value, then the wrapper tail-calls
-  through the caller's one-shot resolver.
+  the compiled argument checker, whether its checks come from hand-tuned
+  declaration tables or an introspection-derived :class:`CheckPlan`) and
+  whose only postfix is the intercepted call runs entirely without a
+  ``CallFrame``: guards either pass or return the contained error value,
+  then the wrapper tail-calls through the caller's one-shot resolver.
 
 Compiled code objects are cached by structural shape (hook counts,
 scratch need, telemetry split), so building a 100-function library

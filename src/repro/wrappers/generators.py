@@ -299,7 +299,7 @@ class ArgCheckGen(MicroGenerator):
 
     def c_fragment(self, unit: WrapperUnit) -> Fragment:
         lines = []
-        decl = unit.decl
+        decl = unit.plan if unit.plan is not None else unit.decl
         error_value = "NULL" if unit.prototype.return_type.is_pointer else "-1"
         if decl is not None:
             for param in decl.params:
@@ -314,15 +314,19 @@ class ArgCheckGen(MicroGenerator):
         return Fragment(generator=self.name, prefix="".join(lines))
 
     def runtime_hooks(self, unit: WrapperUnit) -> RuntimeHooks:
-        if unit.decl is None:
+        # the introspected plan (full coverage) wins over the hand-tuned
+        # declaration tables; legacy documents carry no plans and keep
+        # the decl path byte-for-byte
+        source = unit.plan if unit.plan is not None else unit.decl
+        if source is None:
             return RuntimeHooks(generator=self.name)
-        checker = ArgumentChecker(unit.decl, unit.prototype,
+        checker = ArgumentChecker(source, unit.prototype,
                                   compiled=unit.fastpath)
         if unit.fastpath and not checker.has_checks:
             # nothing can ever fire: elide the per-call prefix entirely
             return RuntimeHooks(generator=self.name)
         emit = unit.bus.emit
-        convention = unit.decl.error_return
+        convention = source.error_return
         error_value = error_return_value(unit.prototype, convention)
         recovery = self._recovery()
         escalates = (recovery is not None and

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.headers.model import Prototype
 from repro.robust.api import FunctionDecl
+from repro.robust.introspect import CheckPlan
 from repro.runtime.process import SimProcess
 from repro.telemetry import EventBus, StateSink
 from repro.wrappers.state import WrapperState
@@ -142,6 +143,10 @@ class WrapperUnit:
     #: their original per-call hooks and checkers instead of the
     #: build-time-specialized fast path (kept for differential tests)
     fastpath: bool = True
+    #: the introspection-derived check plan, when the declaration
+    #: document carries one; check-consuming generators prefer it over
+    #: the hand-tuned ``decl`` tables (full-coverage checks)
+    plan: Optional[CheckPlan] = None
 
     def __post_init__(self) -> None:
         if self.bus is None:

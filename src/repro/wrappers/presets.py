@@ -4,7 +4,9 @@
   prototype, function exectime, collect errors, func errors, call
   counter, caller.
 * **robustness** — argument checks from the derived robust API; invalid
-  calls become error returns instead of crashes/hangs.
+  calls become error returns instead of crashes/hangs.  Built over an
+  introspected document (:func:`full_coverage_api`) the checks cover
+  every registry function, not just the campaign-probed subset.
 * **security** — heap-overflow containment (size table, bounds, %n,
   safe gets, heap verification); violations terminate the program.
 * **logging** — call log for later failure diagnosis.
@@ -114,3 +116,18 @@ PRESETS: Dict[str, WrapperSpec] = {
     for spec in (PROFILING, ROBUSTNESS, SECURITY, LOGGING, HARDENED,
                  RECOVERY)
 }
+
+
+def full_coverage_api(registry, manpages, derivations=None):
+    """The introspected declaration document, ready for a factory.
+
+    A convenience for preset consumers: robustness and hardened wrapper
+    libraries built over this document carry introspection-derived check
+    plans for *all* registry functions — campaign verdicts where
+    ``derivations`` has them, static role/ctype derivation everywhere
+    else — at the same compiled fast-path dispatch cost.
+    """
+    from repro.robust.api import RobustAPIDocument
+
+    return RobustAPIDocument.build_introspected(registry, manpages,
+                                                derivations)

@@ -88,6 +88,21 @@ class TestPipeline:
         source = derived_toolkit.wrapper_source("robustness", ["strcpy"])
         assert "healers_check_buffer_capacity" in source
 
+    def test_build_introspected_document(self):
+        toolkit = Healers()
+        document = toolkit.build_introspected_document()
+        assert toolkit.api_document is document
+        assert document.plan_for("fread").has_checks
+        # the active document now carries checks for unprobed functions
+        source = toolkit.wrapper_source("robustness", ["wcsncpy"])
+        assert "healers_check_wbuffer_capacity" in source
+
+    def test_all_check_plans_spans_both_libraries(self):
+        toolkit = Healers()
+        plans = toolkit.all_check_plans()
+        assert len(plans) == 123
+        assert "sqrt" in plans and "strcpy" in plans
+
     def test_generate_unknown_preset(self, toolkit):
         with pytest.raises(KeyError):
             toolkit.generate_wrapper("bogus")
@@ -156,6 +171,37 @@ class TestCLI:
         assert code == 0
         assert "writable_capacity" in out
         assert "abs" not in out.splitlines()  # not strengthened
+
+    def test_derive_checks_summary(self, capsys):
+        code, out = self.run_cli(capsys, "derive-checks")
+        assert code == 0
+        assert "123 functions" in out
+        assert "libc.so.6" in out and "libm.so.6" in out
+        assert "relational" in out
+
+    def test_derive_checks_xml(self, capsys):
+        code, out = self.run_cli(capsys, "derive-checks", "--xml")
+        assert code == 0
+        assert out.lstrip().startswith("<?xml")
+        assert "<checks" in out and "buffer_capacity" in out
+
+    def test_derive_checks_uncovered(self, capsys):
+        code, out = self.run_cli(capsys, "derive-checks", "--uncovered")
+        assert code == 0
+        assert "scalar-only" in out and "abs" in out
+
+    def test_derive_checks_load(self, capsys, tmp_path):
+        from repro.injection import campaign_to_xml
+
+        toolkit = Healers()
+        result = toolkit.run_fault_injection(["strcpy", "strlen"])
+        path = tmp_path / "experiments.xml"
+        path.write_text(campaign_to_xml(result), encoding="utf-8")
+        code, out = self.run_cli(capsys, "derive-checks", "--load",
+                                 str(path))
+        assert code == 0
+        assert "campaign verdicts folded in for 2 functions" in out
+        assert "campaign=" in out
 
     def test_generate_c(self, capsys):
         code, out = self.run_cli(capsys, "generate", "profiling",

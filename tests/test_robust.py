@@ -242,3 +242,78 @@ class TestArgumentChecker:
         proc = SimProcess()
         violations = checker.validate_all(proc, [0, 0])
         assert len(violations) >= 1
+
+
+class TestChecksNodeRoundTrip:
+    """Hypothesis property: the ``<checks>`` plan nodes survive the XML
+    round-trip bit-for-bit, for arbitrary (well-formed) plan mutations —
+    not just the plans the deriver happens to emit today."""
+
+    SOURCES = ("role", "ctype", "campaign", "unsatisfied", "unprobed",
+               "declared")
+    CHECK_NAMES = ("", "ptr_valid_or_null", "ptr_readable", "ptr_writable",
+                   "string_terminated", "buffer_capacity",
+                   "wbuffer_capacity", "size_bounded", "format_safe")
+
+    @pytest.fixture(scope="class")
+    def introspected(self, registry, manpages):
+        return RobustAPIDocument.build_introspected(registry, manpages)
+
+    def test_derived_plans_roundtrip(self, introspected):
+        back = RobustAPIDocument.from_xml(introspected.to_xml())
+        assert back.plans == introspected.plans
+
+    def test_mutated_plans_roundtrip(self, introspected):
+        from dataclasses import replace
+
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        from repro.robust.introspect import CheckPlan
+
+        names = sorted(introspected.plans)
+
+        @given(data=st.data())
+        @settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def property_case(data):
+            document = RobustAPIDocument(
+                library=introspected.library,
+                functions=dict(introspected.functions),
+            )
+            picked = data.draw(st.lists(st.sampled_from(names),
+                                        min_size=1, max_size=6,
+                                        unique=True))
+            for name in picked:
+                plan = introspected.plans[name]
+                params = tuple(
+                    replace(
+                        param,
+                        check=data.draw(st.sampled_from(self.CHECK_NAMES)),
+                        source=data.draw(st.sampled_from(self.SOURCES)),
+                        rank=data.draw(st.integers(-1, 9)),
+                        min_size=data.draw(st.integers(0, 512)),
+                        nullable=data.draw(st.booleans()),
+                        robust_type=data.draw(st.sampled_from(
+                            ("", param.robust_type, "unsatisfied"))),
+                    )
+                    for param in plan.params
+                )
+                document.plans[name] = CheckPlan(
+                    function=plan.function,
+                    returns=plan.returns,
+                    error_return=data.draw(st.sampled_from(
+                        ("", "null", "negative", "eof", "zero"))),
+                    variadic=plan.variadic,
+                    errnos=tuple(data.draw(st.lists(
+                        st.sampled_from(("EINVAL", "EFAULT", "ENOMEM",
+                                         "ERANGE", "EBADF")),
+                        max_size=3, unique=True))),
+                    params=params,
+                    probes=data.draw(st.integers(0, 99)),
+                    failures=data.draw(st.integers(0, 99)),
+                )
+            back = RobustAPIDocument.from_xml(document.to_xml())
+            assert back.plans == document.plans
+
+        property_case()
