@@ -3,20 +3,33 @@
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.authd import AUTHD
-from repro.apps.base import AppResult, EntryPoint, SimApp, run_app
+from repro.apps.base import (
+    AppResult,
+    EntryPoint,
+    ServerApp,
+    SimApp,
+    run_app,
+    serve_forever,
+)
 from repro.apps.csvstat import CSVSTAT
 from repro.apps.heapd import HEAPD
+from repro.apps.httpd import HTTPD
+from repro.apps.kvd import KVD
 from repro.apps.localed import LOCALED
 from repro.apps.msgformat import MSGFORMAT
 from repro.apps.stacksmash import STACKD
 from repro.apps.statcalc import STATCALC
+from repro.apps.tmpld import TMPLD
 from repro.apps.wordcount import WORDCOUNT
 from repro.libc import LibcRegistry, math_registry, standard_registry
 from repro.linker import DynamicLinker, SharedLibrary
 from repro.objfile import SimELF, SimSystem, TYPE_EXEC, build_shared_object
 
 ALL_APPS: List[SimApp] = [WORDCOUNT, CSVSTAT, STATCALC, MSGFORMAT, AUTHD,
-                          STACKD, HEAPD, LOCALED]
+                          STACKD, HEAPD, LOCALED, KVD, HTTPD, TMPLD]
+
+#: the request/response services the serving harness can drive
+SERVER_APPS: List[ServerApp] = [KVD, HTTPD, TMPLD]
 
 #: sample input used by examples/benchmarks for the text workloads
 SAMPLE_TEXT = (
@@ -97,16 +110,22 @@ __all__ = [
     "CSVSTAT",
     "EntryPoint",
     "HEAPD",
+    "HTTPD",
+    "KVD",
     "LOCALED",
     "MSGFORMAT",
     "SAMPLE_CSV",
     "SAMPLE_TEXT",
+    "SERVER_APPS",
     "STACKD",
     "STATCALC",
+    "ServerApp",
     "SimApp",
+    "TMPLD",
     "WORDCOUNT",
     "app_by_name",
     "run_app",
+    "serve_forever",
     "standard_files",
     "standard_system",
 ]

@@ -39,6 +39,47 @@ class SimApp:
                                 undefined=self.imports)
 
 
+#: per-request server hooks: setup(image, argv) -> ctx,
+#: handle(image, ctx) -> keep-serving, teardown(image, ctx) -> status
+SetupHook = Callable[[LinkedImage, List[str]], object]
+HandleHook = Callable[[LinkedImage, object], bool]
+TeardownHook = Callable[[LinkedImage, object], int]
+
+
+@dataclass
+class ServerApp(SimApp):
+    """A request/response service with an explicit per-request hook.
+
+    ``main`` stays a normal run-to-EOF entry point (so chaos trials and
+    attack runs drive a ServerApp exactly like any other app), but the
+    serving harness needs request *boundaries*: it feeds one request
+    into stdin, calls ``handle`` once, and brackets the call with the
+    fused image's ``begin_request``/``end_request``.  ``setup`` builds
+    the service's long-lived state (buffers, tables), ``handle`` serves
+    exactly one request (False = shut down), ``teardown`` emits the
+    shutdown summary and returns the exit status.
+    """
+
+    setup: Optional[SetupHook] = None
+    handle: Optional[HandleHook] = None
+    teardown: Optional[TeardownHook] = None
+
+
+def serve_forever(setup: SetupHook, handle: HandleHook,
+                  teardown: Optional[TeardownHook] = None) -> EntryPoint:
+    """Fold per-request server hooks into a run-to-EOF entry point."""
+
+    def main(image: LinkedImage, argv: List[str]) -> int:
+        ctx = setup(image, argv)
+        while handle(image, ctx):
+            pass
+        if teardown is not None:
+            return teardown(image, ctx)
+        return 0
+
+    return main
+
+
 @dataclass
 class AppResult:
     """Outcome of one application run."""

@@ -1,0 +1,128 @@
+"""httpd: an HTTP-ish request-line parser and responder.
+
+Each request is one ``GET <path> HTTP/1.0`` line.  The parser carves
+the path out of the request with ``strchr``/``strncpy`` into a
+fixed-size path buffer (the classic too-long-URL overflow), routes on
+it, and assembles the status line with ``sprintf`` — including the
+unbounded ``%s`` reflection of ``/echo/...`` paths into a fixed
+response buffer.  Protocol:
+
+* ``GET / HTTP/1.0``          — index page;
+* ``GET /echo/<text> HTTP/1.0`` — reflects ``<text>`` into the body;
+* anything else well-formed   — 404;
+* malformed request line      — 400;
+* ``QUIT``                    — shut down.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import ServerApp, serve_forever
+from repro.linker import LinkedImage
+
+REQUEST_BUFFER = 256
+PATH_BUFFER = 64
+RESPONSE_BUFFER = 192
+
+IMPORTS = [
+    "gets", "strlen", "strncmp", "strcmp", "strchr", "strncpy", "strcpy",
+    "memset", "sprintf", "malloc", "free", "puts",
+]
+
+
+class HttpdContext:
+    """Long-lived parser state: request/path/response buffers."""
+
+    __slots__ = ("request", "path", "response", "literals", "served")
+
+    def __init__(self) -> None:
+        self.request = 0
+        self.path = 0
+        self.response = 0
+        self.literals = {}
+        self.served = 0
+
+
+def httpd_setup(image: LinkedImage, argv: List[str]) -> HttpdContext:
+    proc = image.process
+    ctx = HttpdContext()
+    ctx.request = image.call("malloc", REQUEST_BUFFER)
+    ctx.path = image.call("malloc", PATH_BUFFER)
+    ctx.response = image.call("malloc", RESPONSE_BUFFER)
+    ctx.literals = {
+        name: proc.intern_cstring(literal)
+        for name, literal in (
+            ("GET", b"GET "), ("QUIT", b"QUIT"),
+            ("ROOT", b"/"), ("ECHO", b"/echo/"),
+            ("OK_FMT", b"HTTP/1.0 200 OK body=index served=%d"),
+            ("ECHO_FMT", b"HTTP/1.0 200 OK body=%s"),
+            ("NOTFOUND_FMT", b"HTTP/1.0 404 Not Found path=%s"),
+            ("BAD", b"HTTP/1.0 400 Bad Request"),
+        )
+    }
+    return ctx
+
+
+def httpd_handle(image: LinkedImage, ctx: HttpdContext) -> bool:
+    """Parse and answer one request line; False shuts the service down."""
+    lits = ctx.literals
+    if image.call("gets", ctx.request) == 0:
+        return False
+    if image.call("strlen", ctx.request) == 0:
+        return True
+    if image.call("strncmp", ctx.request, lits["QUIT"], 4) == 0:
+        return False
+    ctx.served += 1
+    request = ctx.request
+    response = ctx.response
+    if image.call("strncmp", request, lits["GET"], 4) != 0:
+        image.call("strcpy", response, lits["BAD"])
+        image.call("puts", response)
+        return True
+    path = request + 4
+    space = image.call("strchr", path, ord(" "))
+    if space == 0:
+        image.call("strcpy", response, lits["BAD"])
+        image.call("puts", response)
+        return True
+    # the too-long-URL bug: the path is copied at request-derived length
+    # into the fixed PATH_BUFFER-byte buffer
+    path_len = space - path
+    image.call("strncpy", ctx.path, path, path_len)
+    image.call("memset", ctx.path + path_len, 0, 1)
+    if image.call("strcmp", ctx.path, lits["ROOT"]) == 0:
+        image.call("sprintf", response, lits["OK_FMT"], ctx.served)
+    elif image.call("strncmp", ctx.path, lits["ECHO"], 6) == 0:
+        # unbounded %s reflection of the echo text into the response
+        image.call("sprintf", response, lits["ECHO_FMT"], ctx.path + 6)
+    else:
+        image.call("sprintf", response, lits["NOTFOUND_FMT"], ctx.path)
+    image.call("puts", response)
+    return True
+
+
+def httpd_teardown(image: LinkedImage, ctx: HttpdContext) -> int:
+    proc = image.process
+    fmt = proc.alloc_cstring(b"httpd: served %d requests")
+    summary = image.call("malloc", 64)
+    image.call("sprintf", summary, fmt, ctx.served)
+    image.call("puts", summary)
+    image.call("free", summary)
+    image.call("free", ctx.request)
+    image.call("free", ctx.path)
+    image.call("free", ctx.response)
+    return 0
+
+
+HTTPD = ServerApp(
+    name="httpd",
+    path="/sbin/httpd",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=serve_forever(httpd_setup, httpd_handle, httpd_teardown),
+    description="HTTP-ish request parser with a too-long-URL overflow",
+    setup=httpd_setup,
+    handle=httpd_handle,
+    teardown=httpd_teardown,
+)

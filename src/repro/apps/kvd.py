@@ -1,0 +1,191 @@
+"""kvd: a fixed-slot key-value store with a stored-overflow bug.
+
+The serving workload's anchor app.  Requests are single lines:
+
+* ``SET <key> <value>`` — store a copy of the value under the key;
+* ``GET <key>``         — reply ``VAL <value>`` (or ``MISS``);
+* ``DEL <key>``         — drop the key;
+* ``QUIT``              — shut down.
+
+Lookups are libc-heavy on purpose (a ``strcmp`` scan over the slot
+table, ``strcpy``/``strcat`` response assembly), which makes the GET
+path an ideal fusion target.  The classic bug is *second order*: SET
+accepts a value of any length (it is heap-copied exactly), but GET
+builds its reply by ``strcat``-ing the stored value into a fixed
+``RESPONSE_BUFFER``-byte heap buffer — a long stored value overflows
+the response buffer only when it is read back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import ServerApp, serve_forever
+from repro.linker import LinkedImage
+
+REQUEST_BUFFER = 256
+RESPONSE_BUFFER = 128
+MAX_SLOTS = 8
+
+IMPORTS = [
+    "gets", "strlen", "strncmp", "strcmp", "strchr", "strcpy", "strcat",
+    "sprintf", "memcpy", "malloc", "calloc", "free", "puts",
+]
+
+
+class KvdContext:
+    """Long-lived service state: request/response buffers + slot table."""
+
+    __slots__ = ("request", "response", "slots", "verbs", "served")
+
+    def __init__(self) -> None:
+        self.request = 0
+        self.response = 0
+        #: [key_ptr, value_ptr] pairs; key_ptr == 0 marks a free slot
+        self.slots: List[List[int]] = []
+        self.verbs = {}
+        self.served = 0
+
+
+def kvd_setup(image: LinkedImage, argv: List[str]) -> KvdContext:
+    proc = image.process
+    ctx = KvdContext()
+    ctx.request = image.call("malloc", REQUEST_BUFFER)
+    ctx.response = image.call("malloc", RESPONSE_BUFFER)
+    ctx.slots = [[0, 0] for _ in range(MAX_SLOTS)]
+    ctx.verbs = {
+        verb: proc.intern_cstring(literal)
+        for verb, literal in (
+            ("SET", b"SET "), ("GET", b"GET "), ("DEL", b"DEL "),
+            ("QUIT", b"QUIT"),
+            ("VAL", b"VAL "), ("OK", b"OK"), ("MISS", b"MISS"),
+            ("DEL_OK", b"DELETED"), ("FULL", b"ERR full"),
+            ("BAD", b"ERR bad request"),
+        )
+    }
+    return ctx
+
+
+def _find_slot(image: LinkedImage, ctx: KvdContext, key: int) -> int:
+    """Index of the slot whose key matches, or -1 (a strcmp scan)."""
+    for index, slot in enumerate(ctx.slots):
+        if slot[0] and image.call("strcmp", slot[0], key) == 0:
+            return index
+    return -1
+
+
+def kvd_handle(image: LinkedImage, ctx: KvdContext) -> bool:
+    """Serve exactly one request line; False shuts the service down."""
+    verbs = ctx.verbs
+    if image.call("gets", ctx.request) == 0:
+        return False
+    if image.call("strlen", ctx.request) == 0:
+        return True
+    ctx.served += 1
+    request = ctx.request
+    response = ctx.response
+    if image.call("strncmp", request, verbs["GET"], 4) == 0:
+        key = request + 4
+        index = _find_slot(image, ctx, key)
+        if index < 0:
+            image.call("strcpy", response, verbs["MISS"])
+        else:
+            # the stored-overflow bug: the value was stored at full
+            # length, but the reply buffer is fixed-size
+            image.call("strcpy", response, verbs["VAL"])
+            image.call("strcat", response, ctx.slots[index][1])
+        image.call("puts", response)
+        return True
+    if image.call("strncmp", request, verbs["SET"], 4) == 0:
+        key = request + 4
+        space = image.call("strchr", key, ord(" "))
+        if space == 0:
+            image.call("strcpy", response, verbs["BAD"])
+            image.call("puts", response)
+            return True
+        key_len = space - key
+        value = space + 1
+        index = _find_slot_for_set(image, ctx, key, key_len)
+        if index < 0:
+            image.call("strcpy", response, verbs["FULL"])
+            image.call("puts", response)
+            return True
+        slot = ctx.slots[index]
+        if slot[0] == 0:
+            # calloc zero-fills, so the copied key is NUL-terminated
+            key_copy = image.call("calloc", 1, key_len + 1)
+            image.call("memcpy", key_copy, key, key_len)
+            slot[0] = key_copy
+        if slot[1]:
+            image.call("free", slot[1])
+        value_len = image.call("strlen", value)
+        value_copy = image.call("malloc", value_len + 1)
+        image.call("strcpy", value_copy, value)
+        slot[1] = value_copy
+        image.call("strcpy", response, verbs["OK"])
+        image.call("puts", response)
+        return True
+    if image.call("strncmp", request, verbs["DEL"], 4) == 0:
+        key = request + 4
+        index = _find_slot(image, ctx, key)
+        if index < 0:
+            image.call("strcpy", response, verbs["MISS"])
+        else:
+            slot = ctx.slots[index]
+            image.call("free", slot[0])
+            image.call("free", slot[1])
+            slot[0] = 0
+            slot[1] = 0
+            image.call("strcpy", response, verbs["DEL_OK"])
+        image.call("puts", response)
+        return True
+    if image.call("strncmp", request, verbs["QUIT"], 4) == 0:
+        return False
+    image.call("strcpy", response, verbs["BAD"])
+    image.call("puts", response)
+    return True
+
+
+def _find_slot_for_set(image: LinkedImage, ctx: KvdContext, key: int,
+                       key_len: int) -> int:
+    """Slot for a SET: the existing key's slot, else the first free one.
+
+    The key in the request buffer still has the value after it, so the
+    match must be length-bounded (strncmp + full-length check on the
+    stored key).
+    """
+    free_index = -1
+    for index, slot in enumerate(ctx.slots):
+        if slot[0] == 0:
+            if free_index < 0:
+                free_index = index
+            continue
+        if (image.call("strncmp", slot[0], key, key_len) == 0
+                and image.call("strlen", slot[0]) == key_len):
+            return index
+    return free_index
+
+
+def kvd_teardown(image: LinkedImage, ctx: KvdContext) -> int:
+    proc = image.process
+    fmt = proc.alloc_cstring(b"kvd: served %d requests")
+    summary = image.call("malloc", 64)
+    image.call("sprintf", summary, fmt, ctx.served)
+    image.call("puts", summary)
+    image.call("free", summary)
+    image.call("free", ctx.request)
+    image.call("free", ctx.response)
+    return 0
+
+
+KVD = ServerApp(
+    name="kvd",
+    path="/sbin/kvd",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=serve_forever(kvd_setup, kvd_handle, kvd_teardown),
+    description="fixed-slot key-value store with a stored response overflow",
+    setup=kvd_setup,
+    handle=kvd_handle,
+    teardown=kvd_teardown,
+)

@@ -1,0 +1,138 @@
+"""tmpld: a placeholder-substituting template renderer.
+
+The most call-dense of the server apps: rendering walks the template
+with ``strchr`` looking for ``$`` placeholders and assembles the output
+from ``memcpy``'d literal segments and ``strcpy``'d argument text — a
+fixed per-template call sequence (the fusion sweet spot).  Protocol:
+
+* ``RENDER <id> <text>`` — substitute ``<text>`` for every ``$`` in
+  template ``<id>`` and print the result;
+* ``QUIT``               — shut down.
+
+The output buffer is a fixed ``OUTPUT_BUFFER`` bytes while arguments
+are substituted unbounded, so a long argument (or one hitting the
+multi-placeholder template) overflows the render buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import ServerApp, serve_forever
+from repro.linker import LinkedImage
+
+REQUEST_BUFFER = 256
+OUTPUT_BUFFER = 192
+
+TEMPLATES = (
+    b"Hello, $!",
+    b"<li>$</li>",
+    b"[$] => [$]",
+)
+
+IMPORTS = [
+    "gets", "strlen", "strncmp", "strchr", "strcpy", "memcpy", "memset",
+    "atoi", "sprintf", "malloc", "free", "puts",
+]
+
+
+class TmpldContext:
+    """Long-lived renderer state: buffers + interned templates."""
+
+    __slots__ = ("request", "output", "templates", "literals", "served")
+
+    def __init__(self) -> None:
+        self.request = 0
+        self.output = 0
+        self.templates: List[int] = []
+        self.literals = {}
+        self.served = 0
+
+
+def tmpld_setup(image: LinkedImage, argv: List[str]) -> TmpldContext:
+    proc = image.process
+    ctx = TmpldContext()
+    ctx.request = image.call("malloc", REQUEST_BUFFER)
+    ctx.output = image.call("malloc", OUTPUT_BUFFER)
+    ctx.templates = [proc.intern_cstring(t) for t in TEMPLATES]
+    ctx.literals = {
+        name: proc.intern_cstring(literal)
+        for name, literal in (
+            ("RENDER", b"RENDER "), ("QUIT", b"QUIT"),
+            ("ERR_FMT", b"ERR bad template %d"),
+            ("BAD", b"ERR bad request"),
+        )
+    }
+    return ctx
+
+
+def _render(image: LinkedImage, template: int, arg: int,
+            output: int) -> None:
+    """Substitute ``arg`` for each ``$``, assembling into ``output``."""
+    src = template
+    pos = output
+    while True:
+        dollar = image.call("strchr", src, ord("$"))
+        if dollar == 0:
+            image.call("strcpy", pos, src)
+            return
+        segment = dollar - src
+        if segment:
+            image.call("memcpy", pos, src, segment)
+            pos += segment
+        # terminate the copied prefix so strcpy appends cleanly
+        image.call("memset", pos, 0, 1)
+        image.call("strcpy", pos, arg)
+        pos += image.call("strlen", arg)
+        src = dollar + 1
+
+
+def tmpld_handle(image: LinkedImage, ctx: TmpldContext) -> bool:
+    """Render one request line; False shuts the service down."""
+    lits = ctx.literals
+    if image.call("gets", ctx.request) == 0:
+        return False
+    if image.call("strlen", ctx.request) == 0:
+        return True
+    if image.call("strncmp", ctx.request, lits["QUIT"], 4) == 0:
+        return False
+    ctx.served += 1
+    request = ctx.request
+    if image.call("strncmp", request, lits["RENDER"], 7) != 0:
+        image.call("strcpy", ctx.output, lits["BAD"])
+        image.call("puts", ctx.output)
+        return True
+    template_id = image.call("atoi", request + 7)
+    space = image.call("strchr", request + 7, ord(" "))
+    if space == 0 or not 0 <= template_id < len(ctx.templates):
+        image.call("sprintf", ctx.output, lits["ERR_FMT"], template_id)
+        image.call("puts", ctx.output)
+        return True
+    _render(image, ctx.templates[template_id], space + 1, ctx.output)
+    image.call("puts", ctx.output)
+    return True
+
+
+def tmpld_teardown(image: LinkedImage, ctx: TmpldContext) -> int:
+    proc = image.process
+    fmt = proc.alloc_cstring(b"tmpld: served %d requests")
+    summary = image.call("malloc", 64)
+    image.call("sprintf", summary, fmt, ctx.served)
+    image.call("puts", summary)
+    image.call("free", summary)
+    image.call("free", ctx.request)
+    image.call("free", ctx.output)
+    return 0
+
+
+TMPLD = ServerApp(
+    name="tmpld",
+    path="/sbin/tmpld",
+    needed=["libc.so.6"],
+    imports=IMPORTS,
+    main=serve_forever(tmpld_setup, tmpld_handle, tmpld_teardown),
+    description="template renderer with an unbounded substitution overflow",
+    setup=tmpld_setup,
+    handle=tmpld_handle,
+    teardown=tmpld_teardown,
+)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import (
     CSVSTAT,
+    KVD,
     MSGFORMAT,
     WORDCOUNT,
     SimApp,
@@ -63,6 +64,13 @@ def standard_scenarios() -> Dict[str, ChaosScenario]:
         ),
         "msgformat": ChaosScenario(
             app=MSGFORMAT, stdin=b"ECHO hi\nADD 40 2\nQUIT\n",
+        ),
+        # the serving anchor app, driven run-to-EOF: faults can land
+        # mid-request with live heap state (stored keys and values)
+        "kvd": ChaosScenario(
+            app=KVD,
+            stdin=(b"SET alpha one\nSET beta twenty-two\nGET alpha\n"
+                   b"GET beta\nGET missing\nDEL alpha\nGET alpha\nQUIT\n"),
         ),
     }
 

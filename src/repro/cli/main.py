@@ -18,6 +18,8 @@ Web interface; a CLI is the headless equivalent):
 * ``healers attack-demo``               — demo 3.4, overflow prevention
 * ``healers adversarial --kmax 3``      — scored red-team corpus under
   multi-fault chaos: containment matrix + replayable escapes
+* ``healers serve --app kvd``           — serving throughput: drive a
+  server app with the deterministic load generator, report requests/sec
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from typing import List, Optional
 from repro.apps import app_by_name, run_app, standard_files
 from repro.core import Healers
 from repro.profiling import render_full_report
+from repro.serving import MIXES, SERVING_PRESETS
 from repro.wrappers import PRESETS
 
 
@@ -192,6 +195,31 @@ def build_parser() -> argparse.ArgumentParser:
     adversarial.add_argument("--output", default="",
                              help="write the full campaign report as "
                                   "JSON here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a bundled server app through the deterministic "
+             "load generator and report requests/sec",
+    )
+    serve.add_argument("--app", default="kvd",
+                       help="server app name (kvd, httpd, tmpld)")
+    serve.add_argument("--preset", default="robustness",
+                       choices=sorted(SERVING_PRESETS),
+                       help="wrapper preset (unwrapped = bare baseline)")
+    serve.add_argument("--mix", default="hot", choices=sorted(MIXES),
+                       help="load-generator request mix (default hot)")
+    serve.add_argument("--requests", type=int, default=400,
+                       help="timed requests to serve (default 400)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="load-generator seed (default 7)")
+    serve.add_argument("--rps", type=float, default=0.0,
+                       help="minimum requests/sec to accept "
+                            "(0 = report only; below the floor exits 1)")
+    serve.add_argument("--no-fuse", action="store_true",
+                       help="serve without the fused fast path")
+    serve.add_argument("--wrapper-backend", default="compiled",
+                       choices=["compiled", "interpreted"],
+                       help="wrapper execution backend")
 
     collector = sub.add_parser(
         "serve-collector",
@@ -598,6 +626,46 @@ def _cmd_adversarial(toolkit: Healers, args) -> int:
     return 0
 
 
+def _cmd_serve(toolkit: Healers, args) -> int:
+    from repro.apps import SERVER_APPS
+    from repro.serving import LoadGenerator, ServingSession
+    from repro.wrappers.presets import full_coverage_api
+
+    apps = {app.name: app for app in SERVER_APPS}
+    app = apps.get(args.app)
+    if app is None:
+        print(f"unknown server app {args.app!r}; "
+              f"known: {', '.join(sorted(apps))}")
+        return 2
+    fused = not args.no_fuse
+    session = ServingSession(
+        app, preset=args.preset, backend=args.wrapper_backend,
+        fused=fused, registry=toolkit.registry,
+        api=full_coverage_api(toolkit.registry, toolkit.manpages),
+    )
+    gen = LoadGenerator(app.name, mix=args.mix, seed=args.seed)
+    if fused:
+        recorded = session.record_traces(gen.warmup, gen.samples)
+        print(f"recorded {len(recorded)} trace kinds "
+              f"({sum(recorded.values())} wrapped calls)")
+    session.serve_all(gen.warmup)
+    stats = session.drive(gen.stream(args.requests))
+    lane = "fused" if fused else "unfused"
+    print(f"{app.name} [{args.preset}/{args.wrapper_backend}, {lane}] "
+          f"mix={args.mix} seed={args.seed}")
+    print(f"  {stats.requests} requests in {stats.elapsed:.3f}s "
+          f"=> {stats.rps:,.0f} requests/sec")
+    if fused:
+        print(f"  trace hits {stats.trace_hits}, deopts {stats.deopts}, "
+              f"table calls {stats.table_calls}, fallback calls "
+              f"{stats.fallback_calls}")
+    if args.rps and stats.rps < args.rps:
+        print(f"FAIL: {stats.rps:,.0f} requests/sec is below the "
+              f"--rps {args.rps:,.0f} floor")
+        return 1
+    return 0
+
+
 def _cmd_serve_collector(toolkit: Healers, args) -> int:
     import time
 
@@ -640,6 +708,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "attack-demo": _cmd_attack_demo,
     "adversarial": _cmd_adversarial,
+    "serve": _cmd_serve,
     "serve-collector": _cmd_serve_collector,
 }
 

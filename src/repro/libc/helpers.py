@@ -300,7 +300,7 @@ def wide_window(space: AddressSpace, address: int, limit_chars: int):
     cursor = address
     while chars < limit_chars:
         mapping = space.find_mapping(cursor)
-        if mapping is None or not (mapping.perm & Perm.READ):
+        if mapping is None or not (mapping.perm_bits & int(Perm.READ)):
             break
         here = min((mapping.end - cursor) // 4, limit_chars - chars)
         if here <= 0:
@@ -320,7 +320,7 @@ def wide_writable_chars(space: AddressSpace, address: int, limit_chars: int) -> 
     cursor = address
     while chars < limit_chars:
         mapping = space.find_mapping(cursor)
-        if mapping is None or not (mapping.perm & Perm.WRITE):
+        if mapping is None or not (mapping.perm_bits & int(Perm.WRITE)):
             break
         here = min((mapping.end - cursor) // 4, limit_chars - chars)
         if here <= 0:

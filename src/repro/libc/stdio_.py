@@ -86,7 +86,24 @@ def format_into(proc: SimProcess, fmt: int, args: List, limit=None,
     snprintf.  Supports ``%d %i %u %x %X %o %c %s %p %f %g %e %%`` and
     ``%n``, with ``-``/``0`` flags, width, precision and ``l``/``ll``/``z``
     length modifiers.
+
+    With unlimited fuel and the space in bulk mode the engine renders
+    from a prefetched copy of the format with chunked emission — same
+    bytes, same fuel total, same fault addresses as the per-byte
+    reference loop below, which remains authoritative whenever a budget
+    could trip mid-render or the space is in scalar mode.
     """
+    if not proc.space.scalar and proc.fuel is None:
+        result = _bulk_format_into(proc, fmt, args, limit, out_address,
+                                   writer)
+        if result is not None:
+            return result
+    return _scalar_format_into(proc, fmt, args, limit, out_address, writer)
+
+
+def _scalar_format_into(proc: SimProcess, fmt: int, args: List, limit=None,
+                        out_address=None, writer=None) -> int:
+    """Per-byte reference printf engine (exact fuel/fault interleaving)."""
     produced = 0
     arg_index = 0
 
@@ -175,6 +192,167 @@ def _parse_spec(proc: SimProcess, cursor: int):
     return spec, cursor
 
 
+def _parse_spec_bytes(data: bytes, index: int, stop: int):
+    """:func:`_parse_spec` over a prefetched buffer.
+
+    Returns ``(spec, next_index)``, or None when parsing would read at
+    or past ``stop`` (the terminator) — the reference loop then runs on
+    beyond the NUL, so the caller must fall back to it.
+    """
+    spec = _Spec()
+    if index >= stop:
+        return None
+    byte = data[index]
+    while chr(byte) in "-0+ #":
+        spec.flags += chr(byte)
+        index += 1
+        if index >= stop:
+            return None
+        byte = data[index]
+    while 0x30 <= byte <= 0x39:
+        spec.width = spec.width * 10 + (byte - 0x30)
+        index += 1
+        if index >= stop:
+            return None
+        byte = data[index]
+    if byte == 0x2E:  # '.'
+        index += 1
+        spec.precision = 0
+        if index >= stop:
+            return None
+        byte = data[index]
+        while 0x30 <= byte <= 0x39:
+            spec.precision = spec.precision * 10 + (byte - 0x30)
+            index += 1
+            if index >= stop:
+                return None
+            byte = data[index]
+    while chr(byte) in "lhzq":
+        spec.length += chr(byte)
+        index += 1
+        if index >= stop:
+            return None
+        byte = data[index]
+    spec.conversion = chr(byte)
+    return spec, index + 1
+
+
+def _bulk_read_string(proc: SimProcess, address: int, precision) -> bytes:
+    """:func:`_read_string_fuelled` with one scan and one fuel draw."""
+    space = proc.space
+    bound = precision if precision is not None else None
+    index, scanned = space.find_byte(address, 0, bound)
+    if index is not None:
+        # terminator found: the loop consumed once per data byte plus
+        # once for the terminator read
+        proc.consume_metered(index + 1)
+        return space.read_run(address, index)
+    if precision is not None and scanned >= precision:
+        # precision cap reached before any terminator
+        proc.consume_metered(precision + 1)
+        return space.read_run(address, precision)
+    # ran off readable memory: consume up to the faulting read, then
+    # raise the exact fault the per-byte loop would have raised
+    proc.consume_metered(scanned + 1)
+    proc.space.read(address + scanned, 1)
+    raise AssertionError("%s fault replay did not fault")
+
+
+def _bulk_format_into(proc: SimProcess, fmt: int, args: List, limit,
+                      out_address, writer):
+    """Chunked printf engine; None means "use the reference loop".
+
+    Byte/fuel/fault parity with :func:`_scalar_format_into` under
+    unlimited fuel: every scan unit the reference loop would consume is
+    drawn with ``consume_metered``, emission writes whole chunks with
+    the fault-replay idiom of :meth:`AddressSpace.write_run`, and any
+    shape the prefetch cannot represent (unterminated format, directive
+    truncated at the NUL) defers wholesale before any side effect.
+    """
+    space = proc.space
+    terminator, _scanned = space.find_byte(fmt, 0)
+    if terminator is None:
+        return None  # unmapped or unterminated: reference loop faults
+    data = space.read_run(fmt, terminator + 1)
+    # validate every directive before any side effect: a spec truncated
+    # at the NUL makes the reference loop scan past the terminator, a
+    # shape the prefetch cannot replay
+    probe = 0
+    while True:
+        percent = data.find(0x25, probe, terminator)
+        if percent < 0:
+            break
+        parsed = _parse_spec_bytes(data, percent + 1, terminator)
+        if parsed is None:
+            return None
+        _spec, probe = parsed
+    produced = 0
+    arg_index = 0
+
+    def emit(chunk: bytes) -> None:
+        nonlocal produced
+        count = len(chunk)
+        if count == 0:
+            return
+        if out_address is not None:
+            window = count if limit is None else max(
+                0, min(count, (limit - 1) - produced))
+            if window > 0:
+                target = out_address + produced
+                writable = space.writable_run(target, window)
+                if writable < window:
+                    if writable:
+                        space.write_run(target, chunk[:writable])
+                    proc.consume_metered(writable + 1)
+                    space.write(target + writable, b"\x00")
+                    raise AssertionError(
+                        "format fault replay did not fault")
+                space.write_run(target, chunk[:window])
+        proc.consume_metered(count)
+        if writer is not None:
+            writer(chunk)
+        produced += count
+
+    position = 0
+    while position < terminator:
+        percent = data.find(0x25, position, terminator)
+        run = (terminator if percent < 0 else percent) - position
+        if run:
+            proc.consume_metered(run)  # the scan unit per literal byte
+            emit(data[position : position + run])
+            position += run
+        if percent < 0:
+            break
+        proc.consume_metered(1)  # the scan unit for '%'
+        spec, position = _parse_spec_bytes(data, position + 1, terminator)
+        if spec.conversion == "%":
+            emit(b"%")
+            continue
+        if spec.conversion == "n":
+            if arg_index >= len(args):
+                raise SegmentationFault(
+                    0, "read", "va_arg past end of arguments")
+            proc.space.write_i32(args[arg_index], produced)
+            arg_index += 1
+            continue
+        if arg_index >= len(args):
+            raise SegmentationFault(
+                0, "read", "va_arg past end of arguments")
+        value = args[arg_index]
+        arg_index += 1
+        if spec.conversion == "s" and int(value) != 0:
+            raw = _bulk_read_string(proc, int(value), spec.precision)
+            emit(_finish_text(spec, raw.decode("latin-1")))
+        else:
+            emit(_render(proc, spec, value))
+    proc.consume_metered(1)  # the terminator read
+    if out_address is not None and (limit is None or limit > 0):
+        terminator_at = out_address + min(
+            produced, (limit - 1) if limit else produced)
+        space.write(terminator_at, b"\x00")
+    return produced
+
+
 def _render(proc: SimProcess, spec: _Spec, value) -> bytes:
     conv = spec.conversion
     if conv in "di":
@@ -208,6 +386,12 @@ def _render(proc: SimProcess, spec: _Spec, value) -> bytes:
             text = raw.decode("latin-1")
     else:
         text = "%" + conv
+    return _finish_text(spec, text)
+
+
+def _finish_text(spec: _Spec, text: str) -> bytes:
+    """Apply %s precision truncation and width padding, then encode."""
+    conv = spec.conversion
     if conv == "s" and spec.precision is not None:
         text = text[: spec.precision]
     if spec.width > len(text):

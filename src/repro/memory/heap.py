@@ -124,6 +124,10 @@ class HeapAllocator:
         self.mapping: Mapping = space.map_region(size, Perm.RW, name)
         self.canaries = canaries
         self.stats = HeapStats()
+        #: bumped whenever the live-allocation set can change (malloc,
+        #: free, quarantine); pairs with ``AddressSpace.mutations`` so
+        #: extent/terminator memos know when their bounds went stale
+        self.mutations = 0
         #: top of the allocated area; everything above is wilderness
         self._brk = self.mapping.start
         #: free chunks by header address -> total size (mirror of in-memory
@@ -158,6 +162,8 @@ class HeapAllocator:
         ``malloc(0)`` returns a unique minimal allocation, as glibc does.
         """
         self.stats.malloc_calls += 1
+        self.mutations += 1
+        self.space.mutations += 1
         hook = self.fault_hook
         if hook is not None and hook():
             self.stats.failed_allocations += 1
@@ -244,6 +250,8 @@ class HeapAllocator:
     def free(self, address: int) -> None:
         """Release an allocation; detects double/invalid free and corruption."""
         self.stats.free_calls += 1
+        self.mutations += 1
+        self.space.mutations += 1
         if address == 0:
             return
         header = address - HEADER_SIZE
@@ -446,6 +454,8 @@ class HeapAllocator:
         size = self._live.pop(address, None)
         if size is None:
             return False
+        self.mutations += 1
+        self.space.mutations += 1
         self._live_discard(address)
         header = address - HEADER_SIZE
         shadow = self._chunks.pop(header, None)

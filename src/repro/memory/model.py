@@ -71,15 +71,23 @@ def page_align(value: int) -> int:
     return (value + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
 
 
+#: int values of the common permissions, for the hot loops
+_PERM_READ = int(Perm.READ)
+_PERM_WRITE = int(Perm.WRITE)
+
+
 class Mapping:
     """A contiguous mapped region with uniform permissions."""
 
-    __slots__ = ("start", "size", "perm", "name", "data")
+    __slots__ = ("start", "size", "perm", "perm_bits", "name", "data")
 
     def __init__(self, start: int, size: int, perm: Perm, name: str):
         self.start = start
         self.size = size
         self.perm = perm
+        #: plain-int shadow of ``perm`` — the hot access loops test
+        #: permissions with int ``&`` instead of enum dispatch
+        self.perm_bits = int(perm)
         self.name = name
         self.data = bytearray(size)
 
@@ -121,8 +129,22 @@ class AddressSpace:
         self.scalar = _env_scalar() if scalar is None else scalar
         #: bumped on any mapping-table or permission change
         self.epoch = 0
+        #: bumped on any content write; together with ``epoch`` this lets
+        #: callers memoize derived facts (string terminators, extents) and
+        #: invalidate them exactly when memory could have changed
+        self.mutations = 0
+        #: dirty watermark: the address range covered by every content
+        #: write since the last consumer reset — whoever observes a
+        #: ``mutations`` change reads [dirty_lo, dirty_hi) to learn what
+        #: could have changed, then resets the range.  Conservatively
+        #: covers the *intended* range of partially faulting writes.
+        self.dirty_lo = MAX_ADDRESS
+        self.dirty_hi = 0
         # last successfully resolved mapping, keyed by required permission
         self._memo: dict = {}
+        #: one-entry translation cache for :meth:`find_mapping`; string
+        #: scans and bulk runs hit the same mapping almost every lookup
+        self._tlb: Optional[Mapping] = None
         #: total access resolutions performed
         self.resolve_count = 0
         #: resolutions that missed the memo and searched the mapping table
@@ -134,7 +156,11 @@ class AddressSpace:
 
     def _bump_epoch(self) -> None:
         self.epoch += 1
+        # layout changes also advance the content stamp so a single
+        # ``mutations`` compare is a complete staleness test
+        self.mutations += 1
         self._memo.clear()
+        self._tlb = None
 
     def map_region(
         self,
@@ -184,6 +210,7 @@ class AddressSpace:
     def protect(self, mapping: Mapping, perm: Perm) -> None:
         """Change the permissions of an existing mapping (mprotect)."""
         mapping.perm = perm
+        mapping.perm_bits = int(perm)
         self._bump_epoch()
 
     def mappings(self) -> Iterator[Mapping]:
@@ -192,11 +219,17 @@ class AddressSpace:
 
     def find_mapping(self, address: int) -> Optional[Mapping]:
         """Return the mapping containing ``address``, or None."""
+        mapping = self._tlb
+        if mapping is not None and 0 <= address - mapping.start < mapping.size:
+            return mapping
         index = bisect.bisect_right(self._starts, address) - 1
         if index < 0:
             return None
         mapping = self._mappings[index]
-        return mapping if mapping.contains(address) else None
+        if 0 <= address - mapping.start < mapping.size:
+            self._tlb = mapping
+            return mapping
+        return None
 
     # ------------------------------------------------------------------
     # access checks
@@ -224,7 +257,7 @@ class AddressSpace:
                 access,
                 f"access runs off the end of {mapping.name}",
             )
-        if perm and not (mapping.perm & perm):
+        if perm and not (mapping.perm_bits & perm):
             raise SegmentationFault(
                 address, access, f"{mapping.name} lacks {perm.name} permission"
             )
@@ -264,6 +297,11 @@ class AddressSpace:
         if not data:
             return
         mapping = self._resolve(address, len(data), Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + len(data) > self.dirty_hi:
+            self.dirty_hi = address + len(data)
         offset = address - mapping.start
         mapping.data[offset : offset + len(data)] = data
 
@@ -276,6 +314,11 @@ class AddressSpace:
         if length == 0:
             return
         mapping = self._resolve(address, length, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + length > self.dirty_hi:
+            self.dirty_hi = address + length
         offset = address - mapping.start
         mapping.data[offset : offset + length] = bytes([value & 0xFF]) * length
 
@@ -283,12 +326,12 @@ class AddressSpace:
     # accessibility runs (cross adjacent mappings, like per-byte loops do)
     # ------------------------------------------------------------------
 
-    def _run_forward(self, address: int, limit: Optional[int], perm: Perm) -> int:
+    def _run_forward(self, address: int, limit: Optional[int], perm: int) -> int:
         total = 0
         cursor = address
         while limit is None or total < limit:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & perm):
+            if mapping is None or not (mapping.perm_bits & perm):
                 break
             total += mapping.end - cursor
             cursor = mapping.end
@@ -296,12 +339,12 @@ class AddressSpace:
             total = limit
         return total
 
-    def _run_backward(self, end: int, limit: Optional[int], perm: Perm) -> int:
+    def _run_backward(self, end: int, limit: Optional[int], perm: int) -> int:
         total = 0
         cursor = end
         while limit is None or total < limit:
             mapping = self.find_mapping(cursor - 1)
-            if mapping is None or not (mapping.perm & perm):
+            if mapping is None or not (mapping.perm_bits & perm):
                 break
             total += cursor - mapping.start
             cursor = mapping.start
@@ -315,19 +358,19 @@ class AddressSpace:
         Unlike :meth:`read`, the run crosses directly adjacent mappings,
         because a byte-at-a-time loop does too.
         """
-        return self._run_forward(address, limit, Perm.READ)
+        return self._run_forward(address, limit, _PERM_READ)
 
     def writable_run(self, address: int, limit: Optional[int] = None) -> int:
         """Contiguous writable bytes starting at ``address`` (≤ ``limit``)."""
-        return self._run_forward(address, limit, Perm.WRITE)
+        return self._run_forward(address, limit, _PERM_WRITE)
 
     def readable_run_back(self, end: int, limit: Optional[int] = None) -> int:
         """Contiguous readable bytes ending just before ``end`` (≤ ``limit``)."""
-        return self._run_backward(end, limit, Perm.READ)
+        return self._run_backward(end, limit, _PERM_READ)
 
     def writable_run_back(self, end: int, limit: Optional[int] = None) -> int:
         """Contiguous writable bytes ending just before ``end`` (≤ ``limit``)."""
-        return self._run_backward(end, limit, Perm.WRITE)
+        return self._run_backward(end, limit, _PERM_WRITE)
 
     # ------------------------------------------------------------------
     # bulk access (multi-mapping; faults where the per-byte loop would)
@@ -346,7 +389,7 @@ class AddressSpace:
         remaining = length
         while remaining > 0:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & Perm.READ):
+            if mapping is None or not (mapping.perm_bits & _PERM_READ):
                 self.read(cursor, 1)  # raises the exact scalar fault
                 raise AssertionError("read_run fault replay did not fault")
             offset = cursor - mapping.start
@@ -358,13 +401,20 @@ class AddressSpace:
 
     def write_run(self, address: int, data: bytes) -> None:
         """Write ``data`` crossing adjacent mappings (per-byte fault parity)."""
+        if data:
+            # counted up front: a fault partway still leaves bytes written
+            self.mutations += 1
+            if address < self.dirty_lo:
+                self.dirty_lo = address
+            if address + len(data) > self.dirty_hi:
+                self.dirty_hi = address + len(data)
         cursor = address
         view = memoryview(data)
         position = 0
         remaining = len(data)
         while remaining > 0:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & Perm.WRITE):
+            if mapping is None or not (mapping.perm_bits & _PERM_WRITE):
                 self.write(cursor, b"\x00")  # raises the exact scalar fault
                 raise AssertionError("write_run fault replay did not fault")
             offset = cursor - mapping.start
@@ -376,12 +426,18 @@ class AddressSpace:
 
     def fill_run(self, address: int, value: int, length: int) -> None:
         """Fill ``length`` bytes crossing adjacent mappings."""
+        if length > 0:
+            self.mutations += 1
+            if address < self.dirty_lo:
+                self.dirty_lo = address
+            if address + length > self.dirty_hi:
+                self.dirty_hi = address + length
         cursor = address
         remaining = length
         value &= 0xFF
         while remaining > 0:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & Perm.WRITE):
+            if mapping is None or not (mapping.perm_bits & _PERM_WRITE):
                 self.write(cursor, b"\x00")
                 raise AssertionError("fill_run fault replay did not fault")
             offset = cursor - mapping.start
@@ -407,7 +463,7 @@ class AddressSpace:
         cursor = address
         while limit is None or total < limit:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & Perm.READ):
+            if mapping is None or not (mapping.perm_bits & _PERM_READ):
                 break
             start = cursor - mapping.start
             stop = mapping.size
@@ -440,7 +496,7 @@ class AddressSpace:
         cursor = address
         while total < limit_words:
             mapping = self.find_mapping(cursor)
-            if mapping is None or not (mapping.perm & Perm.READ):
+            if mapping is None or not (mapping.perm_bits & _PERM_READ):
                 break
             words_here = min((mapping.end - cursor) // 4, limit_words - total)
             if words_here <= 0:
@@ -561,6 +617,11 @@ class AddressSpace:
 
     def write_u8(self, address: int, value: int) -> None:
         mapping = self._resolve(address, 1, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + 1 > self.dirty_hi:
+            self.dirty_hi = address + 1
         mapping.data[address - mapping.start] = value & 0xFF
 
     def read_u16(self, address: int) -> int:
@@ -569,6 +630,11 @@ class AddressSpace:
 
     def write_u16(self, address: int, value: int) -> None:
         mapping = self._resolve(address, 2, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + 2 > self.dirty_hi:
+            self.dirty_hi = address + 2
         _U16.pack_into(mapping.data, address - mapping.start, value & 0xFFFF)
 
     def read_u32(self, address: int) -> int:
@@ -577,6 +643,11 @@ class AddressSpace:
 
     def write_u32(self, address: int, value: int) -> None:
         mapping = self._resolve(address, 4, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + 4 > self.dirty_hi:
+            self.dirty_hi = address + 4
         _U32.pack_into(mapping.data, address - mapping.start, value & 0xFFFFFFFF)
 
     def read_u64(self, address: int) -> int:
@@ -585,6 +656,11 @@ class AddressSpace:
 
     def write_u64(self, address: int, value: int) -> None:
         mapping = self._resolve(address, 8, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + 8 > self.dirty_hi:
+            self.dirty_hi = address + 8
         _U64.pack_into(
             mapping.data, address - mapping.start, value & 0xFFFFFFFFFFFFFFFF
         )
@@ -597,6 +673,11 @@ class AddressSpace:
         # C stores truncate: keep the low 32 bits, reinterpret as signed
         value = ((value + (1 << 31)) & 0xFFFFFFFF) - (1 << 31)
         mapping = self._resolve(address, 4, Perm.WRITE, "write")
+        self.mutations += 1
+        if address < self.dirty_lo:
+            self.dirty_lo = address
+        if address + 4 > self.dirty_hi:
+            self.dirty_hi = address + 4
         _I32.pack_into(mapping.data, address - mapping.start, value)
 
     def read_ptr(self, address: int) -> int:

@@ -16,11 +16,12 @@ otherwise.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.headers.model import Prototype
-from repro.memory.model import Perm
+from repro.memory.model import MAX_ADDRESS, Perm, _PERM_READ, _PERM_WRITE
 from repro.robust.introspect import CheckPlan, ParamPlan, as_plan
 from repro.runtime.process import SimProcess
 
@@ -49,41 +50,207 @@ class CheckViolation:
 # extent helpers (the HEALERS size-table queries)
 # ----------------------------------------------------------------------
 
+#: entry cap per memo table — insurance against adversarial request
+#: streams touching unbounded pointer sets
+_MEMO_LIMIT = 1024
+#: cap for memoized clean-pass guard verdicts
+_VERDICT_LIMIT = 4096
+#: misses a validator tolerates before judging its verdict hit rate
+_VERDICT_PROBATION = 64
+#: candidate verdicts kept per (validator, args) key — one per request
+#: shape the hot mix cycles through the same buffer
+_VERDICT_SHAPES = 32
+#: "nothing dirty" value for AddressSpace.dirty_lo (mirrors its init)
+_WATERMARK_EMPTY = MAX_ADDRESS
+
+#: process-wide id source for verdict-memoizable validators
+_verdict_ids = itertools.count(1)
+
+
+class CheckMemo:
+    """Pointer-keyed memo for the extent/termination primitives.
+
+    The serving profile is dominated not by wrapper dispatch but by the
+    check primitives themselves: one request re-derives the same
+    terminator positions and extents dozens of times (every ``strcmp``
+    in a key scan re-vets the same request buffer).  A ``CheckMemo``
+    installed on ``process.check_memo`` caches those derived facts and
+    invalidates them from the space/heap change trackers:
+
+    * ``AddressSpace.epoch`` + ``HeapAllocator.mutations`` — *layout*
+      tokens.  Any mapping or live-allocation change clears everything
+      (extents and terminators both depend on layout).
+    * ``AddressSpace.mutations`` + the ``dirty_lo``/``dirty_hi``
+      watermark — the *content* signal.  When bytes were written since
+      the last sync, exactly the terminator entries whose scan range
+      overlaps the written watermark are evicted (extents are
+      content-independent and stay).  The watermark is maintained by
+      the write primitives themselves, so eviction is precise no matter
+      *which* function wrote — ``gets``, ``sprintf`` ``%n``, or an
+      overflow running past its buffer.
+
+    Every invalidating event — content write, mapping change, heap
+    malloc/free — also advances ``AddressSpace.mutations``, so memo
+    freshness is one integer compare (``memo.stamp == space.mutations``)
+    that the primitives inline on their hit path; :meth:`sync` runs only
+    when the stamp moved.  A stale entry can therefore never serve a
+    stale answer, with no per-function effect annotations anywhere.
+
+    On top of the primitive tables sits a *verdict* memo: a whole guard
+    plan whose checks all passed records its clean verdict keyed by
+    ``(validator, args, varargs)`` together with the terminator entries
+    the run consulted (collected through ``dep_log``).  The verdict is
+    replayed only while each of those exact entry objects is still in
+    ``term`` — any write that could move a terminator evicts the entry,
+    which breaks the identity test and forces a re-run.  Extents are
+    layout-pure, so the layout tokens cover them: :meth:`invalidate`
+    drops all verdicts.  Violating runs are never memoized (they must
+    re-emit their violation every time).
+    """
+
+    __slots__ = ("space", "heap", "term", "rext", "wext", "fmt",
+                 "verdicts", "dep_log", "dep_broken", "last",
+                 "hits", "misses", "stamp", "_epoch", "_heap_mut")
+
+    def __init__(self, proc: SimProcess):
+        self.space = proc.space
+        self.heap = proc.heap
+        #: pointer -> (terminated_length result, scan end address);
+        #: narrow strings only — the end bound drives range eviction
+        self.term: Dict[int, Tuple[Optional[int], int]] = {}
+        #: pointer -> readable_extent result
+        self.rext: Dict[int, int] = {}
+        #: pointer -> writable_extent result
+        self.wext: Dict[int, int] = {}
+        #: pointer -> (term entry, format analysis); the entry object is
+        #: the validity token — evicting the terminator drops the parse
+        self.fmt: Dict[int, tuple] = {}
+        #: (validator id, args, varargs) -> list of (ptr, entry, strict)
+        #: terminator deps; lists so replays can refresh evicted-but-
+        #: equal entries in place
+        self.verdicts: Dict[tuple, list] = {}
+        #: when a guard run is recording, the term entries it consulted
+        self.dep_log: Optional[list] = None
+        #: set when the recording run touched state the deps cannot
+        #: express (wide strings, %n formats, overflowing tables)
+        self.dep_broken = False
+        #: the (fuel delta, deps) record the most recent clean guard
+        #: pass produced or replayed — the fused trace lane reads it
+        #: right after the call to seed its per-step verdict slot
+        self.last: Optional[tuple] = None
+        self.hits = 0
+        self.misses = 0
+        #: value of ``space.mutations`` the tables are current for
+        self.stamp = self.space.mutations
+        self._epoch = self.space.epoch
+        self._heap_mut = self.heap.mutations
+        # adopt (and consume) whatever the watermark accumulated so far
+        self.space.dirty_lo = _WATERMARK_EMPTY
+        self.space.dirty_hi = 0
+
+    def sync(self) -> None:
+        """Drop whatever the change trackers say could have changed."""
+        space = self.space
+        if space.mutations == self.stamp:
+            return
+        if (space.epoch != self._epoch
+                or self.heap.mutations != self._heap_mut):
+            self.invalidate()
+            return
+        lo = space.dirty_lo
+        hi = space.dirty_hi
+        term = self.term
+        if term:
+            stale = [ptr for ptr, (_, end) in term.items()
+                     if ptr < hi and end > lo]
+            for ptr in stale:
+                del term[ptr]
+        space.dirty_lo = _WATERMARK_EMPTY
+        space.dirty_hi = 0
+        self.stamp = space.mutations
+
+    def invalidate(self) -> None:
+        """Full clear + tracker resync (for layout changes)."""
+        self.term.clear()
+        self.rext.clear()
+        self.wext.clear()
+        self.fmt.clear()
+        self.verdicts.clear()
+        self._epoch = self.space.epoch
+        self._heap_mut = self.heap.mutations
+        self.stamp = self.space.mutations
+        self.space.dirty_lo = _WATERMARK_EMPTY
+        self.space.dirty_hi = 0
+
+
 def writable_extent(proc: SimProcess, pointer: int) -> int:
     """Writable bytes available from ``pointer``.
 
     Heap pointers are bounded by their *allocation* (the size table);
     other pointers by their mapping.  Zero for invalid pointers.
     """
+    memo = proc.check_memo
+    if memo is not None:
+        if memo.stamp != proc.space.mutations:
+            memo.sync()
+        cached = memo.wext.get(pointer)
+        if cached is not None:
+            memo.hits += 1
+            return cached
     heap_bound = proc.heap.writable_bytes_from(pointer)
     if heap_bound is not None:
-        return heap_bound
-    mapping = proc.space.find_mapping(pointer)
-    if mapping is not None and mapping.perm & Perm.WRITE:
-        if proc.heap.mapping is mapping:
-            # inside the heap but not inside any live allocation: treat as
-            # invalid rather than granting the rest of the heap region
-            return 0
-        return mapping.end - pointer
-    return 0
+        extent = heap_bound
+    else:
+        mapping = proc.space.find_mapping(pointer)
+        if mapping is not None and mapping.perm_bits & _PERM_WRITE:
+            if proc.heap.mapping is mapping:
+                # inside the heap but not inside any live allocation:
+                # treat as invalid rather than granting the rest of the
+                # heap region
+                extent = 0
+            else:
+                extent = mapping.end - pointer
+        else:
+            extent = 0
+    if memo is not None:
+        memo.misses += 1
+        if len(memo.wext) < _MEMO_LIMIT:
+            memo.wext[pointer] = extent
+    return extent
 
 
 def readable_extent(proc: SimProcess, pointer: int) -> int:
     """Readable bytes available from ``pointer`` (0 when invalid)."""
+    memo = proc.check_memo
+    if memo is not None:
+        if memo.stamp != proc.space.mutations:
+            memo.sync()
+        cached = memo.rext.get(pointer)
+        if cached is not None:
+            memo.hits += 1
+            return cached
     mapping = proc.space.find_mapping(pointer)
-    if mapping is None or not mapping.perm & Perm.READ:
-        return 0
-    if proc.heap.mapping is mapping:
+    if mapping is None or not mapping.perm_bits & _PERM_READ:
+        extent = 0
+    elif proc.heap.mapping is mapping:
         found = proc.heap.allocation_containing(pointer)
         if found is None:
-            return 0
-        user, size = found
-        return user + size - pointer
-    return mapping.end - pointer
+            extent = 0
+        else:
+            user, size = found
+            extent = user + size - pointer
+    else:
+        extent = mapping.end - pointer
+    if memo is not None:
+        memo.misses += 1
+        if len(memo.rext) < _MEMO_LIMIT:
+            memo.rext[pointer] = extent
+    return extent
 
 
 def terminated_length(proc: SimProcess, pointer: int,
-                      wide: bool = False) -> Optional[int]:
+                      wide: bool = False,
+                      content: bool = False) -> Optional[int]:
     """Length of the string at ``pointer`` if safely terminated, else None.
 
     The scan never leaves readable memory and never exceeds
@@ -94,32 +261,107 @@ def terminated_length(proc: SimProcess, pointer: int,
     no per-byte paging round trips and no chunk copies; results are
     identical to a per-character scan.
     """
+    memo = proc.check_memo
+    if wide:
+        if memo is not None and memo.dep_log is not None:
+            # wide scans are not memoized, so a verdict depending on
+            # one has no entry to anchor its content dependency
+            memo.dep_broken = True
+        memo = None
+    if memo is not None:
+        if memo.stamp != proc.space.mutations:
+            memo.sync()
+        cached = memo.term.get(pointer)
+        if cached is not None:
+            memo.hits += 1
+            if memo.dep_log is not None:
+                memo.dep_log.append((pointer, cached, content))
+            return cached[0]
     bound = min(readable_extent(proc, pointer), MAX_STRING_SCAN)
     if wide:
         index, _ = proc.space.find_u32(pointer, 0, bound // WCHAR_SIZE)
     else:
-        index, _ = proc.space.find_byte(pointer, 0, bound)
+        index, scanned = proc.space.find_byte(pointer, 0, bound)
+        if memo is not None:
+            memo.misses += 1
+            if len(memo.term) < _MEMO_LIMIT:
+                # the entry is stale once anything inside the scanned
+                # range [pointer, pointer + scanned) is rewritten
+                entry = (index, pointer + scanned)
+                memo.term[pointer] = entry
+                if memo.dep_log is not None:
+                    memo.dep_log.append((pointer, entry, content))
+            elif memo.dep_log is not None:
+                memo.dep_broken = True
     return index
 
 
-def analyse_format(proc: SimProcess, pointer: int) -> Optional[Tuple[int, bool]]:
-    """(consuming directive count, uses %n) for a format string.
+def _deps_intact(proc: SimProcess, memo: "CheckMemo", deps: list) -> bool:
+    """Replay a recorded verdict's terminator dependencies.
 
-    None when the format is not a safely terminated string.
+    Identity match is the fast path.  A non-strict dep (every consumer
+    except format analysis uses only the *length* of the scan) also
+    survives a rewrite that left the value unchanged: the stale entry is
+    re-scanned and accepted if the fresh ``(length, end)`` is equal,
+    refreshing the stored dep so the next replay is an identity hit
+    again.  Strict deps (format strings — the parse depends on the
+    bytes, not the length) accept identity only.
     """
-    length = terminated_length(proc, pointer)
+    term = memo.term
+    for slot, (ptr, entry, strict) in enumerate(deps):
+        cur = term.get(ptr)
+        if cur is entry:
+            continue
+        if strict:
+            return False
+        if cur is None:
+            # evicted by a write: the guard would re-scan anyway, so
+            # re-scan here and see whether the value actually moved
+            terminated_length(proc, ptr)
+            cur = term.get(ptr)
+        if cur != entry or cur is None:
+            return False
+        deps[slot] = (ptr, cur, strict)
+    return True
+
+
+def _analyse_format_full(
+    proc: SimProcess, pointer: int,
+) -> Optional[Tuple[int, bool, Tuple[Tuple[str, bool], ...]]]:
+    """(directive count, uses %n, ((conversion, has 'l' flag), ...)).
+
+    None when the format is not a safely terminated string.  The
+    per-directive detail lets capacity checks know which varargs are
+    read as strings (``%s``/``%ls``) during expansion.
+    """
+    length = terminated_length(proc, pointer, content=True)
     if length is None:
         return None
+    memo = proc.check_memo
+    entry = None
+    if memo is not None:
+        # terminated_length just synced the memo and (re)established the
+        # term entry; its identity vouches for the format's content
+        entry = memo.term.get(pointer)
+        if entry is not None:
+            cached = memo.fmt.get(pointer)
+            if cached is not None and cached[0] is entry:
+                memo.hits += 1
+                return cached[1]
     data = proc.space.read(pointer, length)
     count = 0
     uses_n = False
+    convs: List[Tuple[str, bool]] = []
     index = 0
     while index < len(data):
         if data[index : index + 1] != b"%":
             index += 1
             continue
         index += 1
+        long_flag = False
         while index < len(data) and chr(data[index]) in "-0+ #.0123456789lhzq":
+            if data[index : index + 1] == b"l":
+                long_flag = True
             index += 1
         if index >= len(data):
             break
@@ -129,8 +371,23 @@ def analyse_format(proc: SimProcess, pointer: int) -> Optional[Tuple[int, bool]]
             continue
         if conv == "n":
             uses_n = True
+        convs.append((conv, long_flag))
         count += 1
-    return (count, uses_n)
+    result = (count, uses_n, tuple(convs))
+    if entry is not None and len(memo.fmt) < _MEMO_LIMIT:
+        memo.fmt[pointer] = (entry, result)
+    return result
+
+
+def analyse_format(proc: SimProcess, pointer: int) -> Optional[Tuple[int, bool]]:
+    """(consuming directive count, uses %n) for a format string.
+
+    None when the format is not a safely terminated string.
+    """
+    full = _analyse_format_full(proc, pointer)
+    if full is None:
+        return None
+    return (full[0], full[1])
 
 
 # ----------------------------------------------------------------------
@@ -297,21 +554,93 @@ class ArgumentChecker:
         slots = self._slots
         needs_values = self._needs_values
         function = self.function
+        # every check except file_open is a pure function of memory
+        # (tracked by the CheckMemo tokens) and the argument values, so
+        # its clean verdict can be replayed; stream-table state is the
+        # one dependency the memo cannot see
+        memoizable = all(param.check != "file_open"
+                         for param, _index, _fn in plan)
+        vid = next(_verdict_ids) if memoizable else 0
+        # adaptive: a validator whose verdicts keep getting evicted
+        # (args or contents change every request) stops paying the
+        # recording cost; one whose deps are stable keeps replaying
+        tries = 0
+        wins = 0
+        enabled = memoizable
 
         def validate_first(proc: SimProcess, args: Sequence[Any],
                            varargs: Sequence[Any]) -> Optional[CheckViolation]:
+            nonlocal tries, wins, enabled
+            # fuel-budgeted runs never replay: a recorded verdict's fuel
+            # credit cannot reproduce a mid-check OutOfFuel exactly
+            memo = (proc.check_memo
+                    if enabled and proc.fuel is None else None)
+            key = None
+            fuel_before = 0
+            if memo is not None:
+                if memo.stamp != memo.space.mutations:
+                    memo.sync()
+                key = (vid,
+                       args if type(args) is tuple else tuple(args),
+                       tuple(varargs) if varargs else ())
+                bucket = memo.verdicts.get(key)
+                if bucket is not None:
+                    # polyvariant: a hot mix cycles a few request shapes
+                    # through one buffer, so the same key holds one
+                    # candidate per shape; move-to-front keeps the
+                    # cycling shape's candidate first
+                    for slot, (delta, deps) in enumerate(bucket):
+                        if _deps_intact(proc, memo, deps):
+                            if slot:
+                                bucket.insert(0, bucket.pop(slot))
+                            # replay the metered work the skipped guard
+                            # would have done (format dry runs) so fuel
+                            # telemetry stays byte-identical
+                            proc._fuel_used += delta
+                            memo.hits += 1
+                            memo.last = bucket[0]
+                            wins += 1
+                            return None
+                tries += 1
+                if tries >= _VERDICT_PROBATION:
+                    if wins * 2 < tries:
+                        enabled = False
+                        memo = None
+                        key = None
+                    else:
+                        tries = 0
+                        wins = 0
+                if memo is not None:
+                    memo.dep_log = []
+                    memo.dep_broken = False
+                    fuel_before = proc._fuel_used
             values = ({name: args[index] for name, index in slots}
                       if needs_values else None)
             for param, index, check_fn in plan:
                 value = args[index] if index is not None else None
                 detail = check_fn(proc, value, values, varargs)
                 if detail is not None:
+                    if memo is not None:
+                        memo.dep_log = None
                     return CheckViolation(
                         function=function,
                         param=param.name,
                         check=param.check,
                         detail=detail,
                     )
+            if memo is not None:
+                log = memo.dep_log
+                memo.dep_log = None
+                if log is not None and not memo.dep_broken:
+                    record = (proc._fuel_used - fuel_before, log)
+                    memo.last = record
+                    bucket = memo.verdicts.get(key)
+                    if bucket is not None:
+                        bucket.insert(0, record)
+                        if len(bucket) > _VERDICT_SHAPES:
+                            bucket.pop()
+                    elif len(memo.verdicts) < _VERDICT_LIMIT:
+                        memo.verdicts[key] = [record]
             return None
 
         return validate_first
@@ -601,7 +930,7 @@ class ArgumentChecker:
         """Dry-run the format engine to learn the exact expansion length."""
         from repro.libc.stdio_ import format_into
 
-        analysis = analyse_format(proc, format_ptr)
+        analysis = _analyse_format_full(proc, format_ptr)
         if analysis is None or analysis[0] > len(varargs):
             return None
         try:
@@ -609,6 +938,22 @@ class ArgumentChecker:
                                    writer=lambda chunk: None)
         except Exception:
             return None
+        memo = proc.check_memo
+        if memo is not None and memo.dep_log is not None:
+            _count, uses_n, convs = analysis
+            if uses_n:
+                # the dry run itself wrote through %n — re-run always
+                memo.dep_broken = True
+            else:
+                # the expansion length depends on the content of every
+                # %s argument: anchor each one as a terminator dep
+                for position, (conv, long_flag) in enumerate(convs):
+                    if conv != "s":
+                        continue
+                    if long_flag:
+                        memo.dep_broken = True
+                        break
+                    terminated_length(proc, varargs[position])
         return produced
 
     def _check_size_bounded(self, proc: SimProcess, param: ParamPlan,

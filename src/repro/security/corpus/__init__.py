@@ -1,6 +1,6 @@
 """The curated red-team attack corpus (scored against preset oracles).
 
-Eight attack classes over the bundled victims, each a declarative
+Attack classes over the bundled victims (serving included), each a declarative
 :class:`~repro.security.corpus.model.Attack` with an expected-
 containment table per wrapper preset.  The corpus is executed by
 :func:`~repro.security.corpus.model.run_attack` directly (the scored
@@ -36,6 +36,10 @@ from repro.security.corpus.model import (
     classify,
     run_attack,
 )
+from repro.security.corpus.serving import (
+    STORED_OVERFLOW,
+    craft_stored_overflow,
+)
 from repro.security.corpus.stack import (
     STACK_SMASH,
     craft_stack_smash,
@@ -60,6 +64,7 @@ CORPUS = [
     STEALTH_CORRUPT,
     WIDE_OVERFLOW,
     RECORD_FLOOD,
+    STORED_OVERFLOW,
 ]
 
 #: benign inputs per victim: the false-positive corpus
@@ -69,6 +74,7 @@ BENIGN_INPUTS = {
     "msgformat": b"ECHO hello world\nADD 19 23\nQUIT\n",
     "heapd": b"ALLOC 16\nPUT 1 hello\nRUN\nQUIT\n",
     "localed": b"WIDEN hello\nLOAD 2\nQUIT\n",
+    "kvd": b"SET greet hello\nGET greet\nDEL greet\nQUIT\n",
 }
 
 
@@ -92,6 +98,7 @@ __all__ = [
     "RECORD_FLOOD",
     "STACK_SMASH",
     "STEALTH_CORRUPT",
+    "STORED_OVERFLOW",
     "UAF_WRITE",
     "VERDICTS",
     "WIDE_OVERFLOW",
@@ -107,6 +114,7 @@ __all__ = [
     "craft_gets_flood",
     "craft_heap_smash",
     "craft_record_flood",
+    "craft_stored_overflow",
     "craft_stack_smash",
     "craft_stack_smash_protected",
     "craft_uaf_write",

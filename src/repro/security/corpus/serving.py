@@ -1,0 +1,50 @@
+"""Serving-path attacks: second-order payloads through kvd's request loop.
+
+The serving anchor app stores attacker data verbatim and only
+overflows when the data is *read back*: ``SET`` heap-copies a value at
+full length, ``GET`` ``strcat``s it into the fixed
+``RESPONSE_BUFFER``-byte reply buffer.  The crafted stream is benign
+at every write — the request line fits the request buffer, the stored
+copy is exact — so input-side filtering never sees anything wrong; the
+violation only exists on the response path, which is precisely the
+hot fused trace the serving benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.apps import KVD
+from repro.apps.kvd import REQUEST_BUFFER, RESPONSE_BUFFER
+from repro.security.corpus.model import Attack, _service_disrupted
+
+
+def craft_stored_overflow() -> bytes:
+    """A value sized to burst the reply buffer only on read-back.
+
+    Half again the response buffer guarantees the ``strcat`` runs
+    through the response chunk's trailing boundary tag into the
+    neighbouring stored-key chunk, while the ``SET`` line itself stays
+    well inside the request buffer — the store is clean, the echo is
+    the exploit.
+    """
+    value = b"V" * (RESPONSE_BUFFER + RESPONSE_BUFFER // 2)
+    line = b"SET bomb " + value
+    assert len(line) < REQUEST_BUFFER - 1
+    return line + b"\nGET bomb\nQUIT\n"
+
+
+STORED_OVERFLOW = Attack(
+    name="stored-overflow",
+    attack_class="second-order-overflow",
+    app=KVD,
+    craft=craft_stored_overflow,
+    hijacked=_service_disrupted,
+    description="stored value overflows kvd's fixed reply buffer on "
+                "GET read-back: clean on write, exploit on echo",
+    expected={
+        "unwrapped": ("escaped",),
+        "robustness": ("escaped",),
+        "security": ("detected",),
+        "hardened": ("detected",),
+        "recovery": ("contained", "repaired"),
+    },
+)

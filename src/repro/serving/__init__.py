@@ -1,0 +1,25 @@
+"""Serving workloads: request-at-a-time sessions + deterministic load.
+
+The requests/sec layer of the toolkit: :class:`ServingSession` runs one
+bundled server app under one wrapper preset with the cross-call fusion
+lanes armed, and :class:`LoadGenerator` derives reproducible request
+mixes from a seed.  ``benchmarks/test_serving.py`` drives both to
+produce ``BENCH_serving.json``, the trajectory's headline number.
+"""
+
+from repro.serving.loadgen import MIXES, LoadGenerator
+from repro.serving.session import (
+    SERVING_PRESETS,
+    Request,
+    ServingSession,
+    ServingStats,
+)
+
+__all__ = [
+    "LoadGenerator",
+    "MIXES",
+    "Request",
+    "SERVING_PRESETS",
+    "ServingSession",
+    "ServingStats",
+]

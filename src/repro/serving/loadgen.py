@@ -1,0 +1,171 @@
+"""Deterministic load generation for the serving benchmark.
+
+A :class:`LoadGenerator` turns ``(app, mix, seed)`` into the same
+request stream every run: warmup requests that establish service state
+(kvd's working set), per-kind trace samples for the fusion pre-pass,
+and a seeded pseudo-random body stream drawn from the mix's kind
+weights.  Two generators with equal parameters produce byte-identical
+streams — which is what lets the differential suite replay one stream
+through fused and unfused sessions and demand identical outcomes.
+
+Mixes:
+
+* ``hot``   — the steady-state request mix fusion targets: every kind
+  has a recorded trace, requests repeat over a fixed working set.
+* ``mixed`` — hot kinds plus mutating/irregular traffic (kvd SET/DEL
+  churn, httpd 404s, tmpld errors) that exercises trace deopt and the
+  table lane.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Tuple
+
+from repro.serving.session import Request
+
+MIXES = ("hot", "mixed")
+
+#: kvd working set: fixed keys with benign-length values
+_KVD_KEYS = [b"alpha", b"beta", b"gamma", b"delta"]
+_KVD_VALUES = [b"one", b"twenty-two", b"three-hundred-thirty-three",
+               b"4444"]
+
+_ECHO_WORDS = [b"ping", b"status", b"metrics", b"healthz"]
+
+_TMPLD_ARGS = [b"world", b"serving", b"fusion", b"healers"]
+
+
+class LoadGenerator:
+    """Seed-derived request streams for one server app."""
+
+    def __init__(self, app_name: str, mix: str = "hot", seed: int = 1):
+        if mix not in MIXES:
+            raise ValueError(
+                f"unknown mix {mix!r}; known: " + ", ".join(MIXES))
+        builder = _BUILDERS.get(app_name)
+        if builder is None:
+            raise KeyError(
+                f"no load profile for app {app_name!r}; known: "
+                + ", ".join(sorted(_BUILDERS))
+            )
+        self.app_name = app_name
+        self.mix = mix
+        self.seed = seed
+        warmup, samples, weighted = builder(mix)
+        self._warmup = warmup
+        self._samples = samples
+        self._weighted = weighted
+
+    @property
+    def warmup(self) -> List[Request]:
+        """State-establishing requests (served once, untimed)."""
+        return list(self._warmup)
+
+    @property
+    def samples(self) -> Dict[str, bytes]:
+        """kind -> representative line, for the fusion pre-pass."""
+        return dict(self._samples)
+
+    def stream(self, count: int) -> List[Request]:
+        """The deterministic body stream: ``count`` weighted requests."""
+        # crc32, not hash(): str hashing is salted per interpreter run,
+        # and the stream must be identical across processes
+        salt = zlib.crc32(f"{self.app_name}/{self.mix}".encode())
+        rng = random.Random((salt ^ self.seed) & 0xFFFFFFFF)
+        kinds = [kind for kind, _ in self._weighted]
+        weights = [weight for _, weight in self._weighted]
+        requests: List[Request] = []
+        for _ in range(count):
+            kind = rng.choices(kinds, weights=weights)[0]
+            line = self._samples.get(kind)
+            if line is None:
+                # irregular kinds synthesize a line per draw
+                line = _IRREGULAR[self.app_name](kind, rng)
+                requests.append(Request(line=line, kind=None))
+            else:
+                requests.append(Request(line=line, kind=kind))
+        return requests
+
+
+# ----------------------------------------------------------------------
+# per-app mix builders: mix -> (warmup, samples, weighted kinds)
+# ----------------------------------------------------------------------
+
+_Profile = Tuple[List[Request], Dict[str, bytes], List[Tuple[str, int]]]
+
+
+def _kvd_profile(mix: str) -> _Profile:
+    warmup = [
+        Request(line=b"SET %s %s" % (key, value))
+        for key, value in zip(_KVD_KEYS, _KVD_VALUES)
+    ]
+    samples = {
+        f"get:{key.decode()}": b"GET %s" % key for key in _KVD_KEYS
+    }
+    samples["miss"] = b"GET nosuchkey"
+    weighted = [(f"get:{key.decode()}", 20) for key in _KVD_KEYS]
+    weighted.append(("miss", 10))
+    if mix == "mixed":
+        # refresh an existing key (stable slot) + churn traffic
+        samples["set:beta"] = b"SET beta twenty-two"
+        weighted.append(("set:beta", 10))
+        weighted.append(("churn", 10))
+    return warmup, samples, weighted
+
+
+def _kvd_irregular(kind: str, rng: random.Random) -> bytes:
+    key = b"churn%d" % rng.randrange(4)
+    if rng.random() < 0.5:
+        return b"SET %s v%d" % (key, rng.randrange(1000))
+    return b"DEL %s" % key
+
+
+def _httpd_profile(mix: str) -> _Profile:
+    samples = {"index": b"GET / HTTP/1.0"}
+    for word in _ECHO_WORDS:
+        samples[f"echo:{word.decode()}"] = b"GET /echo/%s HTTP/1.0" % word
+    weighted = [("index", 30)]
+    weighted.extend((f"echo:{word.decode()}", 15) for word in _ECHO_WORDS)
+    if mix == "mixed":
+        samples["notfound"] = b"GET /missing HTTP/1.0"
+        weighted.append(("notfound", 10))
+        weighted.append(("scatter", 10))
+    return [], samples, weighted
+
+
+def _httpd_irregular(kind: str, rng: random.Random) -> bytes:
+    if rng.random() < 0.5:
+        return b"GET /p%d HTTP/1.0" % rng.randrange(100)
+    return b"POST / HTTP/1.0"
+
+
+def _tmpld_profile(mix: str) -> _Profile:
+    samples = {
+        f"t{index}:{arg.decode()}": b"RENDER %d %s" % (index, arg)
+        for index, arg in enumerate(_TMPLD_ARGS[:3])
+    }
+    weighted = [(kind, 20) for kind in samples]
+    if mix == "mixed":
+        samples["badid"] = b"RENDER 9 oops"
+        weighted.append(("badid", 10))
+        weighted.append(("scatter", 10))
+    return [], samples, weighted
+
+
+def _tmpld_irregular(kind: str, rng: random.Random) -> bytes:
+    return b"RENDER %d arg%d" % (rng.randrange(3), rng.randrange(100))
+
+
+_BUILDERS = {
+    "kvd": _kvd_profile,
+    "httpd": _httpd_profile,
+    "tmpld": _tmpld_profile,
+}
+
+_IRREGULAR = {
+    "kvd": _kvd_irregular,
+    "httpd": _httpd_irregular,
+    "tmpld": _tmpld_irregular,
+}

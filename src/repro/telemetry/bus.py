@@ -59,6 +59,7 @@ class EventBus:
         #: events already dispatched / batches cut (monotonic)
         self._drained = 0
         self.batches = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # sink management
@@ -67,11 +68,26 @@ class EventBus:
     def subscribe(self, sink: Sink) -> Sink:
         with self._lock:
             self._sinks.append(sink)
+            self._epoch += 1
         return sink
 
     def unsubscribe(self, sink: Sink) -> None:
         with self._lock:
             self._sinks.remove(sink)
+            self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic sink-configuration version.
+
+        Bumped by every ``subscribe``/``unsubscribe``.  A serving fast
+        path snapshots ``(epoch, bool(sink_view))`` once per request and
+        re-derives its telemetry mode only when the epoch moved, so
+        telemetry-off request loops pay zero per-call ``sink_view``
+        probes while a late subscription still takes effect on the next
+        request boundary.
+        """
+        return self._epoch
 
     @property
     def sinks(self) -> List[Sink]:

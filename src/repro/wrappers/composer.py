@@ -79,6 +79,53 @@ class BuiltWrapper:
         return self._state
 
 
+class ResolverTable:
+    """Shared next-definition cache for one ``(app, preset)`` pair.
+
+    Every wrapper's caller hook performs one ``dlsym(RTLD_NEXT)`` lookup
+    the first time its function is called.  That cost is per *library
+    build*: a serving harness that rebuilds the same preset stack per
+    session (or per benchmark variant) pays the walk over the search
+    scope again for every function.  A ResolverTable hoists the lookup
+    to the pair: the first build resolves and caches the underlying
+    implementation per name, later builds bind straight to the cached
+    target.
+
+    Correctness contract: a table must only be shared across builds
+    whose search scope below the wrapper library is identical (same base
+    registry, same preload stack shape).  The toolkit's registries
+    expose one implementation object per function, so the cached target
+    is the exact callable a fresh ``resolve_next`` would return.
+    """
+
+    def __init__(self) -> None:
+        self._targets: Dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def bind(self, name, resolve_next):
+        """Wrap ``resolve_next`` with the table's memoization."""
+        targets = self._targets
+
+        def resolve():
+            target = targets.get(name)
+            if target is None:
+                # unwrap the Symbol layer once; wrappers call the
+                # implementation with (process, *args) either way
+                target = resolve_next()
+                target = getattr(target, "impl", target)
+                targets[name] = target
+                self.misses += 1
+            else:
+                self.hits += 1
+            return target
+
+        return resolve
+
+
 class WrapperFactory:
     """Builds wrapper libraries over one base library registry."""
 
@@ -103,18 +150,22 @@ class WrapperFactory:
                   linker: DynamicLinker,
                   library: SharedLibrary,
                   bus: Optional[EventBus] = None,
-                  fastpath: bool = True) -> WrapperUnit:
+                  fastpath: bool = True,
+                  resolver: Optional[ResolverTable] = None) -> WrapperUnit:
         function = self.registry[function_name]
         decl = None
         plan = None
         if self.api is not None:
             decl = self.api.functions.get(function_name)
             plan = self.api.plan_for(function_name)
+        resolve_next = lambda: linker.resolve_next(function_name, library)
+        if resolver is not None:
+            resolve_next = resolver.bind(function_name, resolve_next)
         return WrapperUnit(
             prototype=function.prototype,
             decl=decl,
             state=state,
-            resolve_next=lambda: linker.resolve_next(function_name, library),
+            resolve_next=resolve_next,
             bus=bus,
             fastpath=fastpath,
             plan=plan,
@@ -131,6 +182,7 @@ class WrapperFactory:
         bus_capacity: int = 256,
         backend: str = "compiled",
         telemetry: bool = True,
+        resolver: Optional[ResolverTable] = None,
     ) -> BuiltWrapper:
         """Build (but do not preload) a wrapper library.
 
@@ -148,6 +200,11 @@ class WrapperFactory:
         builds the bus with no sinks at all — compiled wrappers then skip
         telemetry-only hooks and event construction entirely (subscribing
         a sink later re-enables them); ``BuiltWrapper.state`` stays empty.
+
+        ``resolver`` shares a :class:`ResolverTable` across builds so the
+        per-wrapper ``dlsym(RTLD_NEXT)`` walk happens once per name per
+        table instead of once per build (serving keeps one table per
+        ``(app, preset)`` pair).
         """
         if backend not in BACKENDS:
             raise ValueError(
@@ -171,7 +228,7 @@ class WrapperFactory:
             if name not in self.registry:
                 raise KeyError(f"cannot wrap unknown function {name!r}")
             unit = self.make_unit(name, state, linker, library, bus=bus,
-                                  fastpath=fastpath)
+                                  fastpath=fastpath, resolver=resolver)
             impl = compose(unit, generator_list)
             library.define(name, impl, prototype=unit.prototype)
             built.functions.append(name)

@@ -30,13 +30,27 @@ shape.  Specializations applied:
 Compiled code objects are cached by structural shape (hook counts,
 scratch need, telemetry split), so building a 100-function library
 compiles only a handful of templates.
+
+On top of per-function compilation this module also provides *cross-call
+fusion* for serving workloads: ``compile_wrapper`` attaches a
+:class:`FastParts` record describing the shapes its branches reduced to,
+and :class:`FusedRuntime`/:class:`FusedImage` use those parts to execute
+a recorded per-request call trace through pre-resolved *fused entries* —
+the resolved target itself for direct-form chains, an exec-unrolled
+guard ladder for frame-free chains — with one telemetry-mode decision
+and one fuel draw per request instead of per call.  A request whose
+calls diverge from the trace deopts to a per-name entry table and, past
+that, to the plain ``LinkedImage`` PLT, so fused execution stays
+byte-identical to unfused (same faults, errno, violations, fuel).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.robust.checks import _deps_intact
 from repro.wrappers.microgen import (
     NO_SCRATCH,
     CallFrame,
@@ -100,6 +114,26 @@ def _guard_body(steps: List[_Step], names: List[str],
         lines.append(f"{indent}    return contained[0]")
     lines.append(f"{indent}return _resolve()(process, *args)")
     return lines
+
+
+def _guard_steps(steps: List[_Step]) -> "Tuple[Callable, ...] | None":
+    """The ordered guard callables when a chain is frame-free guard form.
+
+    Mirrors the eligibility test of :func:`_guard_body` exactly: at least
+    one prefix, every prefix offers a ``guard``, every postfix is the
+    intercepted call.  Returns None when the chain needs a CallFrame.
+    """
+    if not steps or not any(phase == "prefix" for _, _, phase in steps):
+        return None
+    guards: List[Callable] = []
+    for _, owner, phase in steps:
+        if phase == "prefix":
+            if owner.guard is None:
+                return None
+            guards.append(owner.guard)
+        elif phase == "postfix" and owner.direct_target is None:
+            return None
+    return tuple(guards)
 
 
 def _body(steps: List[_Step], names: List[str], indent: str) -> List[str]:
@@ -220,4 +254,361 @@ def compile_wrapper(unit: WrapperUnit,
         f"({', '.join(g.name for g in generators)})."
     )
     wrapper.__healers_fastpath__ = True
+    wrapper.__healers_parts__ = FastParts(
+        name=unit.name,
+        arity=len(unit.prototype.params),
+        resolve=namespace["_resolve"],
+        idle_direct=_direct_resolver(idle) is not None,
+        live_direct=_direct_resolver(live) is not None,
+        idle_guards=_guard_steps(idle),
+        live_guards=_guard_steps(live),
+    )
     return wrapper
+
+
+# ----------------------------------------------------------------------
+# cross-call fusion (serving request loops)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FastParts:
+    """Build-time shape summary of one compiled wrapper's branches.
+
+    ``compile_wrapper`` attaches this to every wrapper it emits (as
+    ``__healers_parts__``) so the fusion layer can rebuild the branch a
+    call *would* take without dispatching through the wrapper: a chain
+    that reduced to the direct tail-call needs only the resolved target;
+    a frame-free guard chain needs its guard ladder plus the target.
+    ``resolve`` is the wrapper's own memoized one-shot resolver (with
+    ``wrap_call`` transformers applied), so fused entries call exactly
+    the callable the wrapper would.
+    """
+
+    name: str
+    arity: int
+    #: the caller hook's wrapped one-shot resolver (None = no caller)
+    resolve: Optional[Callable]
+    idle_direct: bool
+    live_direct: bool
+    idle_guards: Optional[Tuple[Callable, ...]]
+    live_guards: Optional[Tuple[Callable, ...]]
+
+
+@lru_cache(maxsize=None)
+def _fused_guard_template(count: int):
+    """Code object for an unrolled ``count``-guard fused entry."""
+    lines = [
+        "def entry(process, *args):",
+        "    base = args[:ARITY]",
+        "    extra = args[ARITY:]",
+    ]
+    for index in range(count):
+        lines.append(f"    contained = g{index}(process, base, extra)")
+        lines.append("    if contained is not None:")
+        lines.append("        return contained[0]")
+    lines.append("    return target(process, *args)")
+    return compile("\n".join(lines) + "\n", "<healers-fused-entry>", "exec")
+
+
+def _compile_guard_entry(parts: FastParts,
+                         guards: Tuple[Callable, ...]) -> Callable:
+    """One closure running the guard ladder then the resolved target.
+
+    Semantically identical to the wrapper's frame-free branch; the only
+    difference is that the target is resolved *now* (the linker scope is
+    frozen once serving starts) instead of through a per-call resolver
+    indirection.
+    """
+    namespace: Dict[str, object] = {
+        "ARITY": parts.arity,
+        "target": parts.resolve(),
+    }
+    for index, guard in enumerate(guards):
+        namespace[f"g{index}"] = guard
+    exec(_fused_guard_template(len(guards)), namespace)
+    entry = namespace["entry"]
+    entry.__name__ = f"fused_{parts.name}"
+    entry.__qualname__ = entry.__name__
+    if len(guards) == 1:
+        # single-guard ladders are verdict-slot eligible: a clean pass
+        # is exactly one memoizable guard verdict plus this target, so
+        # the trace lane can replay it without re-entering the ladder
+        entry.__healers_slot_target__ = namespace["target"]
+    return entry
+
+
+def fused_entry(impl: Callable, live: bool) -> Callable:
+    """The leanest callable equivalent to ``impl`` in the given mode.
+
+    ``impl`` is whatever the linker resolved a name to: a compiled
+    wrapper (carrying :class:`FastParts`), an interpreted wrapper, or a
+    bare libc implementation.  The returned callable has the wrapper
+    signature ``(process, *args)`` and byte-identical behaviour while
+    the bus's telemetry mode matches ``live`` — the caller re-derives
+    entries on a mode flip (see :meth:`FusedRuntime.refresh`).
+    """
+    parts = getattr(impl, "__healers_parts__", None)
+    if parts is None or parts.resolve is None:
+        return impl
+    direct = parts.live_direct if live else parts.idle_direct
+    if direct:
+        return parts.resolve()
+    guards = parts.live_guards if live else parts.idle_guards
+    if guards is not None:
+        return _compile_guard_entry(parts, guards)
+    return impl
+
+
+@dataclass(frozen=True)
+class CallTrace:
+    """A recorded hot call sequence for one request kind.
+
+    ``fuel`` is the fuel one such request consumed when recorded; the
+    fused image draws it as a batch so the whole request pays a single
+    budget comparison (requests that run longer than the recording fall
+    back to exact per-call accounting mid-request).
+    """
+
+    kind: str
+    names: Tuple[str, ...]
+    fuel: int = 0
+
+
+class TraceRecorder:
+    """``LinkedImage`` facade that records the call-name sequence.
+
+    Drive one representative request of each kind through a recorder
+    (the pre-pass), then feed ``recorder.names`` to
+    :meth:`FusedRuntime.add_trace`.
+    """
+
+    def __init__(self, image):
+        self.image = image
+        self.process = image.process
+        self.names: List[str] = []
+
+    def call(self, name: str, *args):
+        self.names.append(name)
+        return self.image.call(name, *args)
+
+    def __getattr__(self, attr):
+        return getattr(self.image, attr)
+
+
+class FusedRuntime:
+    """Fusion state shared by every request of one (app, preset) pair.
+
+    Holds two per-name fused-entry tables (telemetry idle / live), the
+    recorded :class:`CallTrace` per request kind, and the compiled step
+    programs — ``(name, entry)`` tuples — derived from them.  The active
+    table/program set follows the bus's sink epoch: :meth:`refresh` is
+    the *only* place the bus is probed, and serving calls it once per
+    request, which is what makes telemetry-off serving pay zero per-call
+    bus probes.
+    """
+
+    def __init__(self, linker, needed: Sequence[str], bus=None):
+        self.linker = linker
+        self.needed = list(needed)
+        self.bus = bus
+        self.traces: Dict[str, CallTrace] = {}
+        #: fused entries by mode: [0] = telemetry idle, [1] = live
+        self._tables: Tuple[Dict[str, Callable], Dict[str, Callable]] = (
+            {}, {})
+        self._programs: Tuple[dict, dict] = ({}, {})
+        self._epoch: Optional[int] = None
+        self._live = False
+        self.table: Dict[str, Callable] = self._tables[0]
+        self._steps_by_kind: dict = self._programs[0]
+
+    # -- construction --------------------------------------------------
+
+    def prepare(self, names: Sequence[str]) -> None:
+        """Pre-build fused entries for ``names`` in both modes."""
+        for name in names:
+            self.entry(name, live=False)
+            self.entry(name, live=True)
+
+    def entry(self, name: str, live: bool) -> Callable:
+        """The fused entry for ``name`` in the given mode (memoized)."""
+        table = self._tables[1 if live else 0]
+        entry = table.get(name)
+        if entry is None:
+            record = self.linker.resolve(name, self.needed)
+            entry = fused_entry(record.symbol.impl, live)
+            table[name] = entry
+        return entry
+
+    def add_trace(self, kind: str, names: Sequence[str],
+                  fuel: int = 0) -> None:
+        """Register (or replace) the hot trace for a request kind."""
+        self.traces[kind] = CallTrace(kind=kind, names=tuple(names),
+                                      fuel=fuel)
+        for programs in self._programs:
+            programs.pop(kind, None)
+
+    # -- per-request lifecycle -----------------------------------------
+
+    def refresh(self) -> None:
+        """Re-derive the telemetry mode iff the bus epoch moved."""
+        bus = self.bus
+        if bus is None:
+            return
+        epoch = bus.epoch
+        if epoch == self._epoch:
+            return
+        self._epoch = epoch
+        self._live = bool(bus.sink_view)
+        index = 1 if self._live else 0
+        self.table = self._tables[index]
+        self._steps_by_kind = self._programs[index]
+
+    def program(self, kind: str) -> Tuple[Tuple[str, Callable, list], ...]:
+        """The fused step program for a request kind (current mode).
+
+        Each step is ``(name, entry, slot)``.  ``slot`` is the step's
+        verdict cache — ``[args, fuel delta, deps, target]``, seeded
+        lazily from ``CheckMemo.last`` after the first clean pass — for
+        single-guard entries, else None.  Slots persist across requests
+        (the program is cached per kind), which is what lets a steady
+        hot mix run each trace step as one dep check plus the target.
+        """
+        steps = self._steps_by_kind.get(kind)
+        if steps is None:
+            trace = self.traces.get(kind)
+            if trace is None:
+                steps = ()
+            else:
+                live = self._live
+                built = []
+                for name in trace.names:
+                    entry = self.entry(name, live)
+                    target = getattr(entry, "__healers_slot_target__",
+                                     None)
+                    slot = (None if target is None
+                            else [None, 0, None, target])
+                    built.append((name, entry, slot))
+                steps = tuple(built)
+            self._steps_by_kind[kind] = steps
+        return steps
+
+
+class FusedImage:
+    """Drop-in ``LinkedImage`` facade executing through fused entries.
+
+    Per call the fast lane is: follow the active trace program (one
+    tuple index + one name comparison, then straight into the fused
+    entry).  A call that diverges from the trace *deopts* — the rest of
+    the request runs through the per-name entry table, and names absent
+    from the table (never wrapped, or not fusible) fall through to the
+    real ``LinkedImage.call``, so nothing observable changes.
+
+    ``begin_request``/``end_request`` bracket each request: they take
+    the once-per-request epoch snapshot, arm the trace program, and draw
+    or reconcile the fuel batch.
+
+    With ``check_memo`` (the default) the image installs a
+    :class:`~repro.robust.checks.CheckMemo` on the process so the guard
+    primitives reuse derived extents/terminators across calls.  Memo
+    coherence needs no cooperation from this class: every content write
+    advances the address space's dirty watermark, and the memo's own
+    ``sync`` range-evicts exactly the cached terminators the written
+    range could have moved — any writer, ``gets`` and ``%n`` included.
+    """
+
+    __slots__ = ("image", "process", "runtime", "fuel_batching", "memo",
+                 "_steps", "_pos", "trace_hits", "deopts", "table_calls",
+                 "fallback_calls")
+
+    def __init__(self, image, runtime: FusedRuntime,
+                 fuel_batching: bool = True, check_memo: bool = True):
+        self.image = image
+        self.process = image.process
+        self.runtime = runtime
+        self.fuel_batching = fuel_batching
+        if check_memo:
+            memo = self.process.check_memo
+            if memo is None:
+                from repro.robust.checks import CheckMemo
+
+                memo = CheckMemo(self.process)
+                self.process.check_memo = memo
+            self.memo = memo
+        else:
+            self.memo = None
+        self._steps: Tuple[Tuple[str, Callable, list], ...] = ()
+        self._pos = 0
+        self.trace_hits = 0
+        self.deopts = 0
+        self.table_calls = 0
+        self.fallback_calls = 0
+
+    def call(self, name: str, *args):
+        pos = self._pos
+        steps = self._steps
+        if pos < len(steps):
+            expected, entry, slot = steps[pos]
+            if expected == name:
+                self._pos = pos + 1
+                process = self.process
+                memo = self.memo
+                if (slot is not None and memo is not None
+                        and process.fuel is None):
+                    if slot[0] == args:
+                        # replay the step's cached clean verdict: same
+                        # args, every consulted terminator unmoved →
+                        # the guard would pass identically, so credit
+                        # its metered fuel and go straight to the
+                        # resolved target (one frame for the whole
+                        # guard/size-check/bulk-op step)
+                        if memo.stamp != memo.space.mutations:
+                            memo.sync()
+                        if _deps_intact(process, memo, slot[2]):
+                            process._fuel_used += slot[1]
+                            memo.hits += 1
+                            return slot[3](process, *args)
+                    memo.last = None
+                    ret = entry(process, *args)
+                    last = memo.last
+                    if last is not None:
+                        slot[0] = args
+                        slot[1] = last[0]
+                        slot[2] = last[1]
+                    return ret
+                return entry(process, *args)
+            # trace diverged: deopt to the table for the rest of the
+            # request (the program re-arms at the next begin_request)
+            self._steps = ()
+            self.deopts += 1
+        entry = self.runtime.table.get(name)
+        if entry is not None:
+            self.table_calls += 1
+            return entry(self.process, *args)
+        self.fallback_calls += 1
+        return self.image.call(name, *args)
+
+    def begin_request(self, kind: Optional[str] = None) -> None:
+        """Arm the fused lanes for one request of the given kind."""
+        runtime = self.runtime
+        runtime.refresh()
+        self._pos = 0
+        if kind is None:
+            self._steps = ()
+            return
+        self._steps = runtime.program(kind)
+        if self.fuel_batching:
+            trace = runtime.traces.get(kind)
+            if trace is not None and trace.fuel > 0:
+                self.process.begin_fuel_batch(trace.fuel)
+
+    def end_request(self) -> int:
+        """Close the request; returns the unused fuel draw."""
+        if self._steps and self._pos >= len(self._steps):
+            self.trace_hits += 1
+        self._steps = ()
+        self._pos = 0
+        return self.process.end_fuel_batch()
+
+    def __getattr__(self, attr):
+        return getattr(self.image, attr)

@@ -18,6 +18,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SecurityViolation
 from repro.headers.model import CType, Prototype
+from repro.robust import checks as checks_mod
 from repro.robust.checks import ArgumentChecker
 from repro.runtime.process import Errno
 from repro.telemetry import (
@@ -394,14 +395,69 @@ class ArgCheckGen(MicroGenerator):
         ]
         function = unit.name
         contained = (error_value,)
+        # mirror of bound_validator's verdict memo: a clean pass whose
+        # checks are all memory+args pure can be replayed straight from
+        # process.check_memo (violating runs always re-execute so their
+        # events, errno and containment repeat exactly)
+        memoizable = all(param.check != "file_open"
+                         for param, _index, _fn in plan)
+        vid = next(checks_mod._verdict_ids) if memoizable else 0
+        verdict_limit = checks_mod._VERDICT_LIMIT
+        probation = checks_mod._VERDICT_PROBATION
+        # adaptive, as in bound_validator: drop out when verdicts for
+        # this function keep getting evicted instead of replayed
+        tries = 0
+        wins = 0
+        enabled = memoizable
 
         def guard(process, args, varargs):
+            nonlocal tries, wins, enabled
+            # fuel-budgeted runs never replay (see bound_validator): a
+            # fuel credit cannot reproduce a mid-check OutOfFuel
+            memo = (process.check_memo
+                    if enabled and process.fuel is None else None)
+            key = None
+            fuel_before = 0
+            if memo is not None:
+                if memo.stamp != memo.space.mutations:
+                    memo.sync()
+                key = (vid,
+                       args if type(args) is tuple else tuple(args),
+                       tuple(varargs) if varargs else ())
+                bucket = memo.verdicts.get(key)
+                if bucket is not None:
+                    # polyvariant per-shape candidates, as in
+                    # bound_validator
+                    for slot, (delta, deps) in enumerate(bucket):
+                        if checks_mod._deps_intact(process, memo, deps):
+                            if slot:
+                                bucket.insert(0, bucket.pop(slot))
+                            process._fuel_used += delta
+                            memo.hits += 1
+                            memo.last = bucket[0]
+                            wins += 1
+                            return None
+                tries += 1
+                if tries >= probation:
+                    if wins * 2 < tries:
+                        enabled = False
+                        memo = None
+                        key = None
+                    else:
+                        tries = 0
+                        wins = 0
+                if memo is not None:
+                    memo.dep_log = []
+                    memo.dep_broken = False
+                    fuel_before = process._fuel_used
             values = ({name: args[index] for name, index in slots}
                       if needs_values else None)
             for pname, pcheck, index, check_fn, errno_value in entries:
                 value = args[index] if index is not None else None
                 detail = check_fn(process, value, values, varargs)
                 if detail is not None:
+                    if memo is not None:
+                        memo.dep_log = None
                     emit(ViolationEvent(function=function, param=pname,
                                         check=pcheck, detail=detail))
                     if has_recovery:
@@ -414,6 +470,19 @@ class ArgCheckGen(MicroGenerator):
                         raise SecurityViolation(function, detail)
                     process.errno = errno_value
                     return contained
+            if memo is not None:
+                log = memo.dep_log
+                memo.dep_log = None
+                if log is not None and not memo.dep_broken:
+                    record = (process._fuel_used - fuel_before, log)
+                    memo.last = record
+                    bucket = memo.verdicts.get(key)
+                    if bucket is not None:
+                        bucket.insert(0, record)
+                        if len(bucket) > checks_mod._VERDICT_SHAPES:
+                            bucket.pop()
+                    elif len(memo.verdicts) < verdict_limit:
+                        memo.verdicts[key] = [record]
             return None
 
         return guard

@@ -180,7 +180,7 @@ class TestHarnessDeterminism:
 
     def test_scenarios_cover_all_apps(self):
         assert set(standard_scenarios()) == {"wordcount", "csvstat",
-                                             "msgformat"}
+                                             "msgformat", "kvd"}
 
 
 # ----------------------------------------------------------------------

@@ -231,3 +231,18 @@ class TestCLI:
         assert code == 0
         assert "ROOT SHELL" in out
         assert "terminated" in out
+
+    def test_serve_reports_throughput(self, capsys):
+        code, out = self.run_cli(
+            capsys, "serve", "--app", "kvd", "--preset", "security",
+            "--requests", "40", "--rps", "1")
+        assert code == 0
+        assert "requests/sec" in out
+        assert "deopts 0" in out        # the hot mix never deoptimizes
+
+    def test_serve_rps_floor_fails(self, capsys):
+        code, out = self.run_cli(
+            capsys, "serve", "--app", "tmpld", "--no-fuse",
+            "--requests", "10", "--rps", "999999999")
+        assert code == 1
+        assert "below the --rps" in out
