@@ -93,6 +93,18 @@ class ChaosInjector:
 
         return transport
 
+    def arm_fabric(self, client) -> None:
+        """Aim ``net-reset`` / ``net-slow`` at a fabric shipper.
+
+        The :class:`~repro.collection.fabric.FabricClient` consults its
+        ``fault_hook`` before every send attempt: ``net-reset`` tears
+        the connection down mid-stream (the client resends un-acked
+        sequenced frames, which the server dedups), ``net-slow`` stalls
+        the shipper — exactly the conditions the fabric's zero-loss /
+        exactly-once contract must hold under.
+        """
+        client.fault_hook = self.should_fault
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------

@@ -229,6 +229,54 @@ def build_parser() -> argparse.ArgumentParser:
     collector.add_argument("--expect", type=int, default=0,
                            help="exit after receiving this many documents "
                                 "(0 = run until interrupted)")
+
+    collect = sub.add_parser(
+        "collect",
+        help="the collection fabric: serve, query fleet stats, or "
+             "replay a write-ahead spool",
+    )
+    collect_sub = collect.add_subparsers(dest="collect_command",
+                                         required=True)
+    collect_serve = collect_sub.add_parser(
+        "serve",
+        help="run the sharded non-blocking ingest fabric",
+    )
+    collect_serve.add_argument("--port", type=int, default=0)
+    collect_serve.add_argument("--shards", type=int, default=4,
+                               help="ingest shard workers (default 4)")
+    collect_serve.add_argument("--credit-limit", type=int, default=64,
+                               help="un-acked documents per connection "
+                                    "before reads pause (default 64)")
+    collect_serve.add_argument("--spool-dir", default="",
+                               help="write-ahead spool directory "
+                                    "(empty = spooling off)")
+    collect_serve.add_argument("--no-fsync", action="store_true",
+                               help="skip fsync on spool commits "
+                                    "(faster, loses the crash guarantee)")
+    collect_serve.add_argument("--backend", default="fabric",
+                               choices=["fabric", "legacy"],
+                               help="ingest backend (default fabric)")
+    collect_serve.add_argument("--expect", type=int, default=0,
+                               help="exit after receiving this many "
+                                    "documents (0 = run until "
+                                    "interrupted)")
+    collect_stats = collect_sub.add_parser(
+        "stats",
+        help="query a live fabric server for its fleet rollup",
+    )
+    collect_stats.add_argument("--host", default="127.0.0.1")
+    collect_stats.add_argument("--port", type=int, required=True)
+    collect_stats.add_argument("--json", action="store_true",
+                               help="print the raw JSON snapshot")
+    collect_replay = collect_sub.add_parser(
+        "replay",
+        help="inspect a write-ahead spool offline (recovered documents, "
+             "torn tails, per-shipper sequences)",
+    )
+    collect_replay.add_argument("--spool-dir", required=True)
+    collect_replay.add_argument("--shards", type=int, default=4,
+                                help="shard count the spool was written "
+                                     "with (default 4)")
     return parser
 
 
@@ -686,6 +734,98 @@ def _cmd_serve_collector(toolkit: Healers, args) -> int:
     return 0
 
 
+def _cmd_collect(toolkit: Healers, args) -> int:
+    handler = {
+        "serve": _cmd_collect_serve,
+        "stats": _cmd_collect_stats,
+        "replay": _cmd_collect_replay,
+    }[args.collect_command]
+    return handler(toolkit, args)
+
+
+def _cmd_collect_serve(toolkit: Healers, args) -> int:
+    import time
+
+    from repro.core.config import CollectionSettings
+
+    settings = CollectionSettings(
+        port=args.port, backend=args.backend, shards=args.shards,
+        credit_limit=args.credit_limit, spool_dir=args.spool_dir,
+        fsync=not args.no_fsync,
+    )
+    settings.validate()
+    with settings.build_server() as server:
+        backend = args.backend
+        detail = (f", {args.shards} shard(s), credit {args.credit_limit}"
+                  if backend == "fabric" else "")
+        print(f"collection fabric ({backend}{detail}) listening on "
+              f"{server.address[0]}:{server.address[1]}")
+        if backend == "fabric" and server.replayed:
+            print(f"replayed {server.replayed} document(s) from the "
+                  f"spool at {args.spool_dir}")
+        try:
+            while True:
+                time.sleep(0.1)
+                if args.expect and len(server.store) >= args.expect:
+                    break
+        except KeyboardInterrupt:
+            pass
+        print(f"received {len(server.store)} documents from "
+              f"{', '.join(server.store.applications()) or 'nobody'}")
+        if backend == "fabric":
+            print(server.fleet().describe())
+    return 0
+
+
+def _cmd_collect_stats(toolkit: Healers, args) -> int:
+    import json
+
+    from repro.collection import fetch_fleet_stats
+
+    snapshot = fetch_fleet_stats((args.host, args.port))
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    server = snapshot.get("server", {})
+    print(f"[fleet] server: {server.get('documents', 0)} documents, "
+          f"{server.get('frames', 0)} frames, "
+          f"{server.get('duplicates', 0)} duplicates, "
+          f"{server.get('connections', 0)} connections, "
+          f"{server.get('shards', 0)} shard(s)")
+    print(f"[fleet] {snapshot.get('documents', 0)} documents from "
+          f"{snapshot.get('applications', 0)} application(s), "
+          f"{snapshot.get('keys', 0)} (library, function, wrapper) keys")
+    cells = snapshot.get("cells", {})
+    busiest = sorted(cells.items(),
+                     key=lambda item: -item[1]["calls"])[:15]
+    for key, cell in busiest:
+        library, _, rest = key.partition("|")
+        function, _, wrapper = rest.partition("|")
+        print(f"[fleet]   {library:<12} {function:<16} {wrapper:<12} "
+              f"{cell['calls']:>8} calls  p50 {cell['p50_ns_per_call']:>7}"
+              f" ns  p99 {cell['p99_ns_per_call']:>7} ns"
+              f"  viol {cell['violation_rate']:.2%}")
+    return 0
+
+
+def _cmd_collect_replay(toolkit: Healers, args) -> int:
+    from repro.collection import replay_documents
+
+    documents, last_seq, results = replay_documents(
+        args.spool_dir, args.shards)
+    segments = sum(result.segments for result in results)
+    torn = [entry for result in results for entry in result.truncated]
+    print(f"[spool] {args.spool_dir}: {len(documents)} document(s) "
+          f"recoverable from {segments} segment(s)")
+    for path, valid, original in torn:
+        print(f"[spool]   torn tail in {path}: {original - valid} "
+              f"byte(s) after offset {valid}")
+    for shipper in sorted(last_seq):
+        print(f"[spool]   shipper {shipper}: last committed "
+              f"seq {last_seq[shipper]}")
+    return 0
+
+
 def _default_argv(app_name: str) -> List[str]:
     defaults = {
         "wordcount": ["/data/sample.txt"],
@@ -710,6 +850,7 @@ _HANDLERS = {
     "adversarial": _cmd_adversarial,
     "serve": _cmd_serve,
     "serve-collector": _cmd_serve_collector,
+    "collect": _cmd_collect,
 }
 
 

@@ -1,5 +1,24 @@
-"""Central collection of wrapper-emitted XML documents."""
+"""Central collection of wrapper-emitted XML documents.
 
+Two backends share the wire protocol: the legacy thread-per-connection
+:class:`CollectionServer` (kept as the differential reference) and the
+non-blocking sharded :class:`IngestServer` fabric with credit-based
+backpressure, write-ahead spooling and fleet aggregation.
+"""
+
+from repro.collection.fabric import (
+    CREDIT_LIMIT,
+    FABRIC_MAGIC,
+    STATS_MAGIC,
+    CollectionProtocolError,
+    FabricClient,
+    IngestServer,
+    ShardedStore,
+    fetch_fleet_stats,
+    replay_documents,
+    shard_of,
+)
+from repro.collection.fleet import FleetAggregator, FleetCell
 from repro.collection.server import (
     BATCH_MAGIC,
     MAX_BATCH_DOCUMENTS,
@@ -10,14 +29,30 @@ from repro.collection.server import (
     submit_document,
     submit_documents,
 )
+from repro.collection.spool import ReplayResult, SpoolWriter, replay
 
 __all__ = [
     "BATCH_MAGIC",
+    "CREDIT_LIMIT",
+    "CollectionProtocolError",
     "CollectionServer",
     "CollectionStore",
+    "FABRIC_MAGIC",
+    "FabricClient",
+    "FleetAggregator",
+    "FleetCell",
+    "IngestServer",
     "MAX_BATCH_DOCUMENTS",
     "MAX_DOCUMENT_BYTES",
+    "ReplayResult",
+    "STATS_MAGIC",
+    "ShardedStore",
+    "SpoolWriter",
     "StoredDocument",
+    "fetch_fleet_stats",
+    "replay",
+    "replay_documents",
+    "shard_of",
     "submit_document",
     "submit_documents",
 ]

@@ -52,24 +52,55 @@ class StoredDocument:
 
 @dataclass
 class CollectionStore:
-    """Store + index of received profile documents."""
+    """Store + incremental index of received profile documents.
+
+    Every index (per-application, per-kind, per-function call totals) is
+    maintained on :meth:`submit`, so the query methods are dictionary
+    lookups instead of full rescans of the document list — at fleet
+    scale the store holds documents from thousands of shippers and the
+    aggregation endpoints are hit per ack, not per report.  The rescan
+    implementations are kept (``_rescan_*``) as the reference the
+    regression tests compare against.
+    """
 
     documents: List[StoredDocument] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock)
+    _by_application: Dict[str, List[StoredDocument]] = field(
+        default_factory=dict)
+    _by_kind: Dict[str, List[StoredDocument]] = field(default_factory=dict)
+    _call_totals: Dict[str, int] = field(default_factory=dict)
 
     def submit(self, xml_text: str) -> StoredDocument:
         """Parse, index and keep one document (raises on malformed XML)."""
         stored = self._parse(xml_text)
         with self._lock:
-            self.documents.append(stored)
+            self._land(stored)
         return stored
 
     def submit_many(self, xml_texts: List[str]) -> List[StoredDocument]:
         """Atomically store a batch: all parse first, then all land."""
         parsed = [self._parse(text) for text in xml_texts]
         with self._lock:
-            self.documents.extend(parsed)
+            for stored in parsed:
+                self._land(stored)
         return parsed
+
+    def submit_parsed(self, parsed: List[StoredDocument]) -> None:
+        """Land already-parsed documents (the fabric's shard commit path)."""
+        with self._lock:
+            for stored in parsed:
+                self._land(stored)
+
+    def _land(self, stored: StoredDocument) -> None:
+        """Append one parsed document and update every index (locked)."""
+        self.documents.append(stored)
+        self._by_application.setdefault(
+            stored.document.application, []).append(stored)
+        for kind in stored.kinds:
+            self._by_kind.setdefault(kind, []).append(stored)
+        totals = self._call_totals
+        for name, profile in stored.document.functions.items():
+            totals[name] = totals.get(name, 0) + profile.calls
 
     @staticmethod
     def _parse(xml_text: str) -> StoredDocument:
@@ -87,21 +118,33 @@ class CollectionStore:
 
     def by_application(self, application: str) -> List[StoredDocument]:
         with self._lock:
+            return list(self._by_application.get(application, ()))
+
+    def by_kind(self, kind: str) -> List[StoredDocument]:
+        with self._lock:
+            return list(self._by_kind.get(kind, ()))
+
+    def applications(self) -> List[str]:
+        with self._lock:
+            return sorted(self._by_application)
+
+    def aggregate_calls(self) -> Dict[str, int]:
+        """Total call counts per function across every stored document."""
+        with self._lock:
+            return dict(self._call_totals)
+
+    # ------------------------------------------------------------------
+    # rescan reference paths (regression oracles for the indexes)
+    # ------------------------------------------------------------------
+
+    def _rescan_by_application(self, application: str) -> List[StoredDocument]:
+        with self._lock:
             return [
                 d for d in self.documents
                 if d.document.application == application
             ]
 
-    def by_kind(self, kind: str) -> List[StoredDocument]:
-        with self._lock:
-            return [d for d in self.documents if kind in d.kinds]
-
-    def applications(self) -> List[str]:
-        with self._lock:
-            return sorted({d.document.application for d in self.documents})
-
-    def aggregate_calls(self) -> Dict[str, int]:
-        """Total call counts per function across every stored document."""
+    def _rescan_aggregate_calls(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
         with self._lock:
             for stored in self.documents:
@@ -203,6 +246,16 @@ class CollectionServer:
 
     def _handle_batch(self, connection: socket.socket) -> None:
         (count,) = struct.unpack(">I", self._read_exactly(connection, 4))
+        if count == 0:
+            # a zero-count frame is a client bug, not a no-op: answering
+            # OK 0 would let a broken batcher believe it shipped
+            connection.sendall(b"ERR empty batch\n")
+            raise ValueError("empty batch frame rejected")
+        if count > MAX_BATCH_DOCUMENTS:
+            # beyond the protocol-wide cap no configuration accepts it:
+            # the count field itself is malformed (a desynced client)
+            connection.sendall(b"ERR bad count\n")
+            raise ValueError(f"malformed batch count {count} rejected")
         if count > self.max_batch_documents:
             connection.sendall(b"ERR batch too large\n")
             raise ValueError(f"batch of {count} documents rejected")

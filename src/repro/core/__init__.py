@@ -3,6 +3,7 @@
 from repro.core.config import (
     AppPolicy,
     CampaignSettings,
+    CollectionSettings,
     DeploymentConfig,
     TelemetrySettings,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "AppPolicy",
     "ApplicationScan",
     "CampaignSettings",
+    "CollectionSettings",
     "DeploymentConfig",
     "Healers",
     "LibraryScan",

@@ -226,6 +226,101 @@ class TelemetrySettings:
         return node
 
 
+#: collection server backends a deployment may select
+COLLECTION_BACKENDS = ("fabric", "legacy")
+
+
+@dataclass
+class CollectionSettings:
+    """How the deployment's collection service ingests documents.
+
+    ``backend="fabric"`` selects the sharded non-blocking
+    :class:`~repro.collection.fabric.IngestServer` (credit-based
+    backpressure, write-ahead spool, fleet aggregation);
+    ``backend="legacy"`` keeps the thread-per-connection reference
+    server.
+
+    .. code-block:: xml
+
+        <collection host="0.0.0.0" port="7433" backend="fabric"
+                    shards="4" credit-limit="64"
+                    spool-dir="/var/spool/healers" fsync="true"/>
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    backend: str = "fabric"
+    #: ingest shard workers (fabric backend only)
+    shards: int = 4
+    #: un-acked documents per connection before reads pause
+    credit_limit: int = 64
+    #: write-ahead spool directory (empty = spooling off)
+    spool_dir: str = ""
+    #: fsync spool segments before acking (the zero-loss guarantee)
+    fsync: bool = True
+
+    def validate(self) -> None:
+        if self.backend not in COLLECTION_BACKENDS:
+            raise ValueError(
+                f"unknown collection backend {self.backend!r}; "
+                f"known: {', '.join(COLLECTION_BACKENDS)}"
+            )
+        if not (0 <= self.port <= 65535):
+            raise ValueError(
+                f"collection port must be 0..65535, got {self.port}"
+            )
+        if self.shards < 1:
+            raise ValueError(
+                f"collection shards must be >= 1, got {self.shards}"
+            )
+        if self.credit_limit < 1:
+            raise ValueError(
+                f"collection credit limit must be >= 1, "
+                f"got {self.credit_limit}"
+            )
+
+    def build_server(self):
+        """Instantiate (not start) the configured server backend."""
+        if self.backend == "legacy":
+            from repro.collection.server import CollectionServer
+            return CollectionServer(host=self.host, port=self.port)
+        from repro.collection.fabric import IngestServer
+        return IngestServer(
+            host=self.host, port=self.port, shards=self.shards,
+            spool_dir=self.spool_dir or None,
+            credit_limit=self.credit_limit, fsync=self.fsync,
+        )
+
+    # ------------------------------------------------------------------
+    # XML round trip (an element of the deployment file)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_node(cls, node: ET.Element) -> "CollectionSettings":
+        settings = cls(
+            host=node.get("host", "127.0.0.1"),
+            port=int(node.get("port", "0")),
+            backend=node.get("backend", "fabric"),
+            shards=int(node.get("shards", "4")),
+            credit_limit=int(node.get("credit-limit", "64")),
+            spool_dir=node.get("spool-dir", ""),
+            fsync=node.get("fsync", "true").lower() != "false",
+        )
+        settings.validate()
+        return settings
+
+    def to_node(self, parent: ET.Element) -> ET.Element:
+        node = ET.SubElement(
+            parent, "collection",
+            {"host": self.host, "port": str(self.port),
+             "backend": self.backend, "shards": str(self.shards),
+             "credit-limit": str(self.credit_limit),
+             "fsync": "true" if self.fsync else "false"})
+        if self.spool_dir:
+            node.set("spool-dir", self.spool_dir)
+        return node
+
+
 @dataclass
 class AppPolicy:
     """Wrapper selection for one application (or the default)."""
@@ -254,6 +349,9 @@ class DeploymentConfig:
     campaign: CampaignSettings = field(default_factory=CampaignSettings)
     #: where wrapper/campaign telemetry flows on this deployment
     telemetry: TelemetrySettings = field(default_factory=TelemetrySettings)
+    #: how the deployment's collection service ingests documents
+    collection: CollectionSettings = field(
+        default_factory=CollectionSettings)
     #: how wrappers respond to violations (None = legacy terminate/contain)
     recovery: Optional[RecoveryPolicy] = None
 
@@ -286,6 +384,10 @@ class DeploymentConfig:
         telemetry_node = root.find("telemetry")
         if telemetry_node is not None:
             config.telemetry = TelemetrySettings.from_node(telemetry_node)
+        collection_node = root.find("collection")
+        if collection_node is not None:
+            config.collection = CollectionSettings.from_node(
+                collection_node)
         recovery_node = root.find("recovery")
         if recovery_node is not None:
             config.recovery = RecoveryPolicy.from_node(recovery_node)
@@ -308,6 +410,8 @@ class DeploymentConfig:
             self.campaign.to_node(root)
         if self.telemetry != TelemetrySettings():
             self.telemetry.to_node(root)
+        if self.collection != CollectionSettings():
+            self.collection.to_node(root)
         if self.recovery is not None:
             self.recovery.to_node(root)
         ET.indent(root)

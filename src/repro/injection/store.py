@@ -29,27 +29,79 @@ from repro.injection.campaign import (
 from repro.runtime import ProbeResult
 
 
+def _xml_valid(code: int) -> bool:
+    """XML 1.0 Char production (what expat will accept back)."""
+    return (code in (0x9, 0xA, 0xD)
+            or 0x20 <= code <= 0xD7FF
+            or 0xE000 <= code <= 0xFFFD
+            or 0x10000 <= code <= 0x10FFFF)
+
+
+def _escape_attr(text: str) -> str:
+    """Losslessly encode text for an XML attribute.
+
+    ``ET.tostring`` happily emits characters XML 1.0 forbids (Unicode
+    noncharacters like U+FFFE, stray controls), which the parser then
+    rejects — the document would not round-trip.  Such characters are
+    escaped as ``\\uXXXXXX`` (and the backslash itself doubled) so any
+    Python string survives the store.
+    """
+    if all(_xml_valid(ord(ch)) and ch != "\\" for ch in text):
+        return text
+    out = []
+    for ch in text:
+        if ch == "\\":
+            out.append("\\\\")
+        elif _xml_valid(ord(ch)):
+            out.append(ch)
+        else:
+            out.append(f"\\u{ord(ch):06x}")
+    return "".join(out)
+
+
+def _unescape_attr(text: str) -> str:
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            if text[i + 1] == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if text[i + 1] == "u" and i + 8 <= len(text):
+                out.append(chr(int(text[i + 2:i + 8], 16)))
+                i += 8
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def campaign_to_xml(result: CampaignResult) -> str:
     """Serialise a campaign's verdicts."""
-    root = ET.Element("healers-experiments", library=result.library,
+    root = ET.Element("healers-experiments",
+                      library=_escape_attr(result.library),
                       probes=str(result.total_probes),
                       failures=str(result.total_failures))
     for name in sorted(result.reports):
         report = result.reports[name]
-        fn = ET.SubElement(root, "function", name=name)
+        fn = ET.SubElement(root, "function", name=_escape_attr(name))
         for record in report.records:
             ET.SubElement(
                 fn, "probe",
-                {"param": record.probe.param_name,
+                {"param": _escape_attr(record.probe.param_name),
                  "index": str(record.probe.param_index),
-                 "chain": record.probe.chain,
-                 "value": record.probe.value_label,
+                 "chain": _escape_attr(record.probe.chain),
+                 "value": _escape_attr(record.probe.value_label),
                  "rank": str(record.probe.max_rank),
                  "outcome": record.outcome.value,
                  "errno": str(record.result.errno)},
             )
         for error in report.setup_errors:
-            ET.SubElement(fn, "setup-error", detail=error)
+            ET.SubElement(fn, "setup-error", detail=_escape_attr(error))
     if result.skipped:
         ET.SubElement(root, "skipped", names=" ".join(result.skipped))
     ET.indent(root)
@@ -61,16 +113,18 @@ def campaign_from_xml(text: str) -> CampaignResult:
     root = ET.fromstring(text)
     if root.tag != "healers-experiments":
         raise ValueError(f"not an experiments file (root {root.tag!r})")
-    result = CampaignResult(library=root.get("library", ""))
+    result = CampaignResult(
+        library=_unescape_attr(root.get("library", "")))
     for fn in root.findall("function"):
-        report = FunctionReport(function=fn.get("name", ""))
+        report = FunctionReport(
+            function=_unescape_attr(fn.get("name", "")))
         for node in fn.findall("probe"):
             probe = Probe(
                 function=report.function,
                 param_index=int(node.get("index", "0")),
-                param_name=node.get("param", ""),
-                chain=node.get("chain", ""),
-                value_label=node.get("value", ""),
+                param_name=_unescape_attr(node.get("param", "")),
+                chain=_unescape_attr(node.get("chain", "")),
+                value_label=_unescape_attr(node.get("value", "")),
                 max_rank=int(node.get("rank", "0")),
             )
             outcome = Outcome(node.get("outcome", "pass"))
@@ -82,7 +136,8 @@ def campaign_from_xml(text: str) -> CampaignResult:
                 )
             )
         for node in fn.findall("setup-error"):
-            report.setup_errors.append(node.get("detail", ""))
+            report.setup_errors.append(
+                _unescape_attr(node.get("detail", "")))
         result.reports[report.function] = report
     skipped = root.find("skipped")
     if skipped is not None:
@@ -102,14 +157,14 @@ def probe_cache_to_xml(cache) -> str:
         root.set("fingerprint", cache.fingerprint)
     for key, verdict in cache.entries().items():
         attrs = {
-            "function": key.function,
-            "param": key.param_name,
-            "chain": key.chain,
-            "value": key.value_label,
+            "function": _escape_attr(key.function),
+            "param": _escape_attr(key.param_name),
+            "chain": _escape_attr(key.chain),
+            "value": _escape_attr(key.value_label),
             "fuel": str(key.fuel),
         }
         if verdict.is_setup_error:
-            attrs["setup-error"] = verdict.setup_error
+            attrs["setup-error"] = _escape_attr(verdict.setup_error)
         else:
             attrs["outcome"] = verdict.outcome.value
             attrs["errno"] = str(verdict.errno)
@@ -133,15 +188,16 @@ def probe_cache_from_xml(text: str):
     )
     for node in root.findall("probe"):
         key = ProbeKey(
-            function=node.get("function", ""),
-            param_name=node.get("param", ""),
-            chain=node.get("chain", ""),
-            value_label=node.get("value", ""),
+            function=_unescape_attr(node.get("function", "")),
+            param_name=_unescape_attr(node.get("param", "")),
+            chain=_unescape_attr(node.get("chain", "")),
+            value_label=_unescape_attr(node.get("value", "")),
             fuel=int(node.get("fuel", "0")),
         )
         setup_error = node.get("setup-error")
         if setup_error is not None:
-            verdict = CachedVerdict(setup_error=setup_error)
+            verdict = CachedVerdict(
+                setup_error=_unescape_attr(setup_error))
         else:
             verdict = CachedVerdict(
                 outcome=Outcome(node.get("outcome", "pass")),

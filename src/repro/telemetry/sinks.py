@@ -283,6 +283,16 @@ class CollectionSink(Sink):
     a failed ``DocumentShipped`` event (so a ``MetricsSink`` on the
     report bus surfaces ``documents_dropped``), and included in the
     summary :meth:`close` returns.
+
+    With ``pace=True`` the sink speaks the fabric's credit protocol
+    instead: frames ship over one persistent
+    :class:`~repro.collection.fabric.FabricClient` connection that paces
+    itself against the server's advertised credit, transient failures
+    retry forever (the sequenced frames make retries idempotent), and
+    producers block at the ``max_pending`` watermark rather than let the
+    queue grow without bound.  Backpressure propagates — server to
+    connection to queue to producer — so :attr:`dropped` is structurally
+    zero: only a server-rejected (``ERR``) frame can ever be dropped.
     """
 
     def __init__(
@@ -295,10 +305,17 @@ class CollectionSink(Sink):
         timeout: float = 5.0,
         report_bus: Optional[EventBus] = None,
         transport: Optional[Callable] = None,
+        pace: bool = False,
+        max_pending: int = 4096,
     ):
         if batch_size < 1:
             raise ValueError(
                 f"batch size must be >= 1, got {batch_size}"
+            )
+        if max_pending < batch_size:
+            raise ValueError(
+                f"max_pending ({max_pending}) must be >= batch size "
+                f"({batch_size})"
             )
         self.address = address
         self.batch_size = batch_size
@@ -312,6 +329,9 @@ class CollectionSink(Sink):
         #: timeout) -> bool``; defaults to the collection client — a
         #: test or chaos harness substitutes its own
         self.transport = transport
+        self.pace = pace
+        self.max_pending = max_pending
+        self._client = None  # lazy FabricClient (pace mode only)
         self.shipped = 0
         self.failed = 0
         self.frames = 0
@@ -337,9 +357,15 @@ class CollectionSink(Sink):
 
     def _enqueue(self, documents: List[str]) -> None:
         with self._wake:
-            self._pending.extend(documents)
             self._ensure_thread_locked()
-            self._wake.notify()
+            if self.pace:
+                # producer-side backpressure: block at the watermark
+                # until the worker ships room free (never drop)
+                while (len(self._pending) >= self.max_pending
+                       and not self._stop):
+                    self._wake.wait(timeout=self.flush_interval)
+            self._pending.extend(documents)
+            self._wake.notify_all()
 
     def _ensure_thread_locked(self) -> None:
         if self._thread is None or not self._thread.is_alive():
@@ -363,26 +389,52 @@ class CollectionSink(Sink):
                     return
                 frame = self._pending[: self.batch_size]
                 del self._pending[: len(frame)]
+                self._wake.notify_all()  # free paced producers
             if frame:
                 self._ship_frame(frame)
 
+    def _transport(self) -> Callable:
+        if self.transport is not None:
+            return self.transport
+        if self.pace:
+            return self._fabric_ship
+        from repro.collection.server import submit_documents
+        return submit_documents
+
+    def _fabric_ship(self, address, documents, timeout) -> bool:
+        """Pace-mode transport: one persistent, credit-paced connection."""
+        if self._client is None:
+            from repro.collection.fabric import FabricClient
+            self._client = FabricClient(address, timeout=timeout)
+        return self._client.ship(documents)
+
     def _ship_frame(self, frame: List[str]) -> None:
-        transport = self.transport
-        if transport is None:
-            from repro.collection.server import submit_documents
-            transport = submit_documents
+        transport = self._transport()
 
         frame_bytes = sum(len(doc.encode("utf-8")) for doc in frame)
         attempts = 0
         ok = False
-        while attempts < self.retries and not ok:
+        rejected = False
+        while not ok and not rejected:
             attempts += 1
             try:
                 ok = transport(self.address, frame, self.timeout)
             except OSError:
                 ok = False
-            if not ok and attempts < self.retries:
+            except Exception:
+                # a protocol-level ERR is permanent: the server refused
+                # the frame, retrying cannot help even in pace mode
+                rejected = True
+            if ok or rejected:
+                break
+            if self.pace:
+                # transient failure in pace mode: never drop — back off
+                # (capped) and retry; sequenced frames make it idempotent
+                time.sleep(self.retry_backoff * min(attempts, 8))
+            elif attempts < self.retries:
                 time.sleep(self.retry_backoff * attempts)
+            else:
+                break
         self.frames += 1
         if ok:
             self.shipped += len(frame)
@@ -419,6 +471,12 @@ class CollectionSink(Sink):
             self._wake.notify_all()
         if thread is not None:
             thread.join(timeout=timeout)
+        if self._client is not None:
+            try:
+                self._client.close()
+            except (OSError, ConnectionError):
+                pass
+            self._client = None
         summary = {
             "shipped": self.shipped,
             "dropped": self.failed,

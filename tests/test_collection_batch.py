@@ -162,3 +162,96 @@ class TestConcurrentShipping:
         for thread in workers:
             thread.join()
         assert len(store) == 12  # three good batches, bad one fully absent
+
+
+class TestBatchCountBoundaries:
+    """Boundary behaviour of the HBAT count field: 0, 1, MAX, MAX+1."""
+
+    def _send_count(self, address, count: int) -> bytes:
+        with socket.create_connection(address, timeout=2) as conn:
+            conn.sendall(BATCH_MAGIC + struct.pack(">I", count))
+            return conn.recv(64)
+
+    @staticmethod
+    def _await_error(server, needle, deadline=2.0):
+        import time
+
+        end = time.time() + deadline
+        while time.time() < end:
+            if any(needle in error for error in server.errors):
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_count_zero_is_rejected_explicitly(self, server):
+        # a zero-count frame is a client bug: OK 0 would let a broken
+        # batcher believe it shipped
+        assert self._send_count(server.address, 0) == b"ERR empty batch\n"
+        assert len(server.store) == 0
+        assert self._await_error(server, "empty batch")
+
+    def test_count_one_is_accepted(self, server):
+        assert submit_documents(server.address, [_document_xml("one")])
+        assert server.store.applications() == ["one"]
+
+    def test_count_at_protocol_cap_is_not_bad(self, server):
+        from repro.collection import MAX_BATCH_DOCUMENTS
+
+        # MAX_BATCH_DOCUMENTS is within the protocol: the server starts
+        # reading documents (and times nothing out here — we just check
+        # it did NOT answer an immediate count error)
+        with socket.create_connection(server.address, timeout=2) as conn:
+            conn.sendall(BATCH_MAGIC
+                         + struct.pack(">I", MAX_BATCH_DOCUMENTS))
+            conn.settimeout(0.2)
+            with pytest.raises(socket.timeout):
+                conn.recv(64)  # waiting for documents, not erroring
+
+    def test_count_past_protocol_cap_is_bad_count(self, server):
+        from repro.collection import MAX_BATCH_DOCUMENTS
+
+        reply = self._send_count(server.address, MAX_BATCH_DOCUMENTS + 1)
+        assert reply == b"ERR bad count\n"
+        assert len(server.store) == 0
+        assert self._await_error(server, "malformed batch count")
+
+    def test_configured_cap_still_batch_too_large(self, small_server):
+        # between the configured max and the protocol cap the frame is
+        # well-formed but refused: the distinct error is kept
+        reply = self._send_count(small_server.address, 9)
+        assert reply == b"ERR batch too large\n"
+
+
+class TestStoreIndexes:
+    """The incremental indexes agree with the rescan reference paths."""
+
+    def _populated_store(self):
+        store = CollectionStore()
+        for i in range(12):
+            store.submit(_document_xml(f"app{i % 4}", calls=i + 1))
+        return store
+
+    def test_by_application_matches_rescan(self):
+        store = self._populated_store()
+        for application in store.applications():
+            assert (store.by_application(application)
+                    == store._rescan_by_application(application))
+
+    def test_aggregate_calls_matches_rescan(self):
+        store = self._populated_store()
+        assert store.aggregate_calls() == store._rescan_aggregate_calls()
+        assert store.aggregate_calls()["strlen"] == sum(range(1, 13))
+
+    def test_indexes_track_submit_many(self):
+        store = CollectionStore()
+        store.submit_many([_document_xml("a", calls=2),
+                           _document_xml("b", calls=3),
+                           _document_xml("a", calls=5)])
+        assert [d.document.application
+                for d in store.by_application("a")] == ["a", "a"]
+        assert store.aggregate_calls() == store._rescan_aggregate_calls()
+
+    def test_unknown_application_is_empty(self):
+        store = self._populated_store()
+        assert store.by_application("nope") == []
+        assert store._rescan_by_application("nope") == []

@@ -1,0 +1,223 @@
+"""Write-ahead spool: format, group commit, and crash recovery."""
+
+import os
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection import ReplayResult, SpoolWriter, replay
+from repro.collection.fabric import (
+    decode_spool_record,
+    encode_spool_record,
+    replay_documents,
+)
+from repro.collection.spool import list_segments
+
+
+def _write(directory, payloads, name="spool", **kwargs):
+    writer = SpoolWriter(directory, name=name, fsync=False, **kwargs)
+    for payload in payloads:
+        writer.append(payload)
+    writer.commit()
+    writer.close()
+    return writer
+
+
+class TestSpoolRoundTrip:
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        payloads, result = replay(str(tmp_path))
+        assert payloads == []
+        assert result == ReplayResult()
+
+    def test_round_trip_preserves_order_and_content(self, tmp_path):
+        written = [b"alpha", b"", b"\x00\xff" * 100, b"omega"]
+        _write(str(tmp_path), written)
+        payloads, result = replay(str(tmp_path))
+        assert payloads == written
+        assert result.records == 4
+        assert result.truncated == []
+
+    def test_append_without_commit_is_not_durable_yet(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), fsync=False)
+        writer.append(b"staged")
+        assert writer.uncommitted == 1
+        assert writer.committed == 0
+        assert writer.commit() == 1
+        assert writer.committed == 1
+        writer.close()
+
+    def test_group_commit_batches_syncs(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), fsync=False)
+        for i in range(50):
+            writer.append(b"doc%d" % i)
+        writer.commit()
+        writer.close()
+        # one commit (plus the close) for 50 records, not one per record
+        assert writer.syncs <= 2
+        payloads, _ = replay(str(tmp_path))
+        assert len(payloads) == 50
+
+    def test_segment_rotation(self, tmp_path):
+        _write(str(tmp_path), [b"x" * 100] * 10, segment_bytes=300)
+        segments = list_segments(str(tmp_path), "spool")
+        assert len(segments) > 1
+        payloads, result = replay(str(tmp_path))
+        assert payloads == [b"x" * 100] * 10
+        assert result.segments == len(segments)
+
+    def test_restart_appends_fresh_segment(self, tmp_path):
+        _write(str(tmp_path), [b"first"])
+        _write(str(tmp_path), [b"second"])
+        assert len(list_segments(str(tmp_path), "spool")) == 2
+        payloads, _ = replay(str(tmp_path))
+        assert payloads == [b"first", b"second"]
+
+    def test_spools_are_namespaced(self, tmp_path):
+        _write(str(tmp_path), [b"a"], name="shard-0")
+        _write(str(tmp_path), [b"b"], name="shard-1")
+        assert replay(str(tmp_path), name="shard-0")[0] == [b"a"]
+        assert replay(str(tmp_path), name="shard-1")[0] == [b"b"]
+
+
+class TestTornTail:
+    def test_truncated_payload_is_dropped_and_truncated(self, tmp_path):
+        _write(str(tmp_path), [b"keep-me", b"torn-record"])
+        (path,) = list_segments(str(tmp_path), "spool")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        payloads, result = replay(str(tmp_path))
+        assert payloads == [b"keep-me"]
+        assert len(result.truncated) == 1
+        # the torn bytes are gone: a second replay is clean
+        payloads, result = replay(str(tmp_path))
+        assert payloads == [b"keep-me"]
+        assert result.truncated == []
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        _write(str(tmp_path), [b"good", b"evil", b"after"])
+        (path,) = list_segments(str(tmp_path), "spool")
+        with open(path, "r+b") as handle:
+            # flip a byte inside the second record's payload
+            handle.seek(8 + 4 + 8 + 1)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        payloads, result = replay(str(tmp_path))
+        assert payloads == [b"good"]
+        assert len(result.truncated) == 1
+
+    def test_truncate_false_leaves_file_alone(self, tmp_path):
+        _write(str(tmp_path), [b"keep", b"torn"])
+        (path,) = list_segments(str(tmp_path), "spool")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 1)
+        replay(str(tmp_path), truncate=False)
+        assert os.path.getsize(path) == size - 1
+
+
+class TestCrashRecoveryProperty:
+    """Kill the spool at a random byte offset; replay must recover
+    exactly the committed prefix and truncate the torn tail."""
+
+    @given(
+        payloads=st.lists(st.binary(min_size=0, max_size=64),
+                          min_size=1, max_size=20),
+        cut=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kill_at_random_offset(self, tmp_path_factory, payloads, cut):
+        directory = str(tmp_path_factory.mktemp("spool"))
+        _write(directory, payloads)
+        (path,) = list_segments(directory, "spool")
+        size = os.path.getsize(path)
+        cut = min(cut, size)
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)  # the crash: everything past cut lost
+
+        recovered, result = replay(directory)
+
+        # the recovered payloads are exactly a prefix of what was acked
+        assert recovered == payloads[: len(recovered)]
+        # whole-file survival iff the cut spared every byte
+        if cut == size:
+            assert recovered == payloads
+            assert result.truncated == []
+        else:
+            assert len(recovered) < len(payloads)
+        # the tail was truncated: the segment now ends on a record
+        # boundary and a fresh writer + replay sees a clean spool
+        recovered2, result2 = replay(directory)
+        assert recovered2 == recovered
+        assert result2.truncated == []
+
+    @given(
+        frames=st.lists(
+            st.tuples(st.text(min_size=1, max_size=8),
+                      st.integers(min_value=1, max_value=1 << 32),
+                      st.lists(st.binary(min_size=1, max_size=32),
+                               min_size=1, max_size=4)),
+            min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_round_trip(self, frames, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("spool"))
+        writer = SpoolWriter(directory, name="shard-0", fsync=False)
+        expected = []
+        for shipper, seq, docs in frames:
+            for index, doc in enumerate(docs):
+                writer.append(encode_spool_record(
+                    shipper, seq, index, len(docs), doc))
+                expected.append((shipper, seq, index, len(docs), doc))
+        writer.commit()
+        writer.close()
+        payloads, _ = replay(directory, name="shard-0")
+        assert [decode_spool_record(p) for p in payloads] == expected
+
+
+class TestReplayDocuments:
+    """Fabric-level replay semantics over the spool envelopes."""
+
+    def _spool_frame(self, writer, shipper, seq, docs,
+                     skip_indexes=()):
+        for index, doc in enumerate(docs):
+            if index in skip_indexes:
+                continue
+            writer.append(encode_spool_record(
+                shipper, seq, index, len(docs), doc))
+
+    def test_partial_frame_is_dropped_and_seq_forgotten(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), name="shard-0", fsync=False)
+        self._spool_frame(writer, "s1", 1, [b"a", b"b"])
+        # frame 2 lost one document to a crash between shard fsyncs:
+        # it was never acked, so replay must forget it entirely
+        self._spool_frame(writer, "s1", 2, [b"c", b"d"], skip_indexes=(1,))
+        writer.commit()
+        writer.close()
+        documents, last_seq, _ = replay_documents(str(tmp_path), 1)
+        assert [xml for _, _, xml in documents] == [b"a", b"b"]
+        assert last_seq == {"s1": 1}  # a resend of seq 2 will store
+
+    def test_resent_partial_dedups_by_index(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), name="shard-0", fsync=False)
+        self._spool_frame(writer, "s1", 5, [b"x", b"y"], skip_indexes=(1,))
+        self._spool_frame(writer, "s1", 5, [b"x", b"y"])  # the resend
+        writer.commit()
+        writer.close()
+        documents, last_seq, _ = replay_documents(str(tmp_path), 1)
+        assert sorted(xml for _, _, xml in documents) == [b"x", b"y"]
+        assert last_seq == {"s1": 5}
+
+    def test_unsequenced_records_always_survive(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), name="shard-0", fsync=False)
+        self._spool_frame(writer, "", 0, [b"legacy-1"])
+        self._spool_frame(writer, "", 0, [b"legacy-2"])
+        writer.commit()
+        writer.close()
+        documents, last_seq, _ = replay_documents(str(tmp_path), 1)
+        assert [xml for _, _, xml in documents] == [b"legacy-1",
+                                                    b"legacy-2"]
+        assert last_seq == {}

@@ -246,3 +246,120 @@ class TestCLI:
             "--requests", "10", "--rps", "999999999")
         assert code == 1
         assert "below the --rps" in out
+
+
+class TestCollectCLI:
+    """Smoke tests for healers collect serve/stats/replay."""
+
+    def run_cli(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def _document(self, application="cli-app", calls=3):
+        from repro.profiling import ProfileDocument
+        from repro.wrappers.state import WrapperState
+
+        state = WrapperState()
+        state.calls["strlen"] = calls
+        state.exectime_ns["strlen"] = 100 * calls
+        return ProfileDocument.from_state(
+            state, application, "profiling").to_xml()
+
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_collect_serve_expect_mode(self, capsys, tmp_path):
+        import threading
+        import time
+
+        from repro.collection import FabricClient
+
+        port = self._free_port()
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                ["collect", "serve", "--port", str(port), "--expect", "2",
+                 "--spool-dir", str(tmp_path / "spool")])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        shipped = False
+        while not shipped and time.time() < deadline:
+            try:
+                client = FabricClient(("127.0.0.1", port),
+                                      shipper="cli-test", timeout=1)
+                client.ship([self._document("a"), self._document("b")])
+                client.close()
+                shipped = True
+            except OSError:
+                time.sleep(0.05)
+        thread.join(timeout=10)
+        out = capsys.readouterr().out
+        assert shipped
+        assert result.get("code") == 0
+        assert "collection fabric (fabric" in out
+        assert "received 2 documents" in out
+        assert "[fleet]" in out
+
+    def test_collect_stats_against_live_server(self, capsys):
+        import threading
+        import time
+
+        from repro.collection import FabricClient
+
+        port = self._free_port()
+
+        def serve():
+            main(["collect", "serve", "--port", str(port),
+                  "--expect", "3"])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        client = None
+        while client is None and time.time() < deadline:
+            try:
+                client = FabricClient(("127.0.0.1", port),
+                                      shipper="stats-test", timeout=1)
+                client.ship([self._document("x", calls=2),
+                             self._document("y", calls=5)])
+            except OSError:
+                client = None
+                time.sleep(0.05)
+        capsys.readouterr()  # drop the serve banner
+        code, out = self.run_cli(capsys, "collect", "stats",
+                                 "--port", str(port))
+        assert code == 0
+        assert "[fleet] server: 2 documents" in out
+        assert "strlen" in out
+        code, out = self.run_cli(capsys, "collect", "stats",
+                                 "--port", str(port), "--json")
+        assert code == 0
+        assert '"documents": 2' in out
+        client.ship([self._document("z")])  # releases --expect 3
+        client.close()
+        thread.join(timeout=10)
+
+    def test_collect_replay_reports_spool(self, capsys, tmp_path):
+        from repro.collection import IngestServer, FabricClient
+
+        spool = str(tmp_path / "spool")
+        with IngestServer(shards=2, spool_dir=spool) as server:
+            client = FabricClient(server.address, shipper="replayer")
+            client.ship([self._document("a"), self._document("b")])
+            client.close()
+        code, out = self.run_cli(capsys, "collect", "replay",
+                                 "--spool-dir", spool, "--shards", "2")
+        assert code == 0
+        assert "2 document(s) recoverable" in out
+        assert "shipper replayer: last committed seq 1" in out
+
+    def test_collect_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["collect"])
