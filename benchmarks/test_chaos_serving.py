@@ -1,0 +1,184 @@
+"""P10 — chaos under load: availability with the graceful-degradation ladder.
+
+A rate-ramped fault storm (calm → ramp → peak → cooldown) is armed
+against live kvd serving traffic on the mutation-dominated ``storm``
+mix.  The supervised lane runs a :class:`ResilientSession` — per-request
+fuel deadlines, degrade-action containment feeding a circuit breaker
+that steps fused → table → interpreted → shed, and request-boundary
+healing.  The baseline lane runs the identical storm against a bare
+session with none of that: the first uncontained fault is terminal.
+
+The claims this benchmark gates:
+
+* supervised availability ≥ ``HEALERS_STORM_GATE`` (default 0.95) while
+  the same storm drives the unsupervised baseline below 50%;
+* p99 answered-request cost stays bounded by the fuel deadline;
+* every shed/degrade/timeout/crash decision replays from its
+  ``(seed, trial, request_index)`` witness alone;
+* zero cross-request wrapper-state corruption: after the storm the heap
+  verifies clean, and a quiesced probe stream is byte-identical between
+  the stormed session and a never-stormed twin.
+
+Writes ``benchmarks/out/BENCH_chaos_serving.json`` and the
+``p10_chaos_serving`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.apps import SERVER_APPS
+from repro.chaos import StormSchedule
+from repro.serving import (
+    LoadGenerator,
+    ResilientSession,
+    run_unsupervised,
+)
+from repro.serving.session import Request
+from repro.wrappers.presets import full_coverage_api
+
+#: availability floor for the supervised lane
+STORM_GATE = float(os.environ.get("HEALERS_STORM_GATE", "0.95"))
+#: the baseline must do *worse* than this, or the storm proves nothing
+BASELINE_CEILING = 0.50
+REQUESTS = int(os.environ.get("HEALERS_STORM_REQUESTS", "400"))
+SEED = 42
+LOAD_SEED = 11
+PRESET = "security"
+
+APPS = {app.name: app for app in SERVER_APPS}
+OUT = pathlib.Path(__file__).parent / "out"
+
+#: drains every key kvd traffic can ever create (4 named + 4 churn),
+#: so stormed and fresh sessions converge to the same empty store
+QUIESCE = [Request(line=b"DEL " + key) for key in
+           (b"alpha", b"beta", b"gamma", b"delta",
+            b"churn0", b"churn1", b"churn2", b"churn3")]
+
+#: fresh-key probe stream served identically on both sessions
+PROBES = [Request(line=line) for line in (
+    b"SET probe one", b"GET probe", b"SET probe two", b"GET probe",
+    b"DEL probe", b"GET probe", b"SET probe2 deep", b"GET probe2",
+)]
+
+
+@pytest.fixture(scope="module")
+def serving_api(registry, manpages):
+    return full_coverage_api(registry, manpages)
+
+
+def _supervised(registry, serving_api):
+    gen = LoadGenerator("kvd", mix="storm", seed=LOAD_SEED)
+    schedule = StormSchedule(seed=SEED, requests=REQUESTS)
+    session = ResilientSession(APPS["kvd"], preset=PRESET,
+                               registry=registry, api=serving_api)
+    session.prepare(gen)
+    report = session.serve_storm(schedule, gen.stream(REQUESTS))
+    return session, report
+
+
+def _probe_window(session) -> bytes:
+    """Serve quiesce + probes; returns the probe-only stdout bytes."""
+    for request in QUIESCE:
+        session.serve_one(request)
+    start = len(session.process.fs.stdout)
+    for request in PROBES:
+        session.serve_one(request)
+    return session.process.fs.stdout[start:]
+
+
+def test_p10_chaos_under_load(registry, serving_api, artifact):
+    # -- supervised lane (twice: the whole run must be deterministic) --
+    session, report = _supervised(registry, serving_api)
+    _, report_again = _supervised(registry, serving_api)
+    assert report.to_dict() == report_again.to_dict()
+
+    # -- unsupervised baseline: same storm, no ladder ------------------
+    schedule = StormSchedule(seed=SEED, requests=REQUESTS)
+    baseline = run_unsupervised(
+        APPS["kvd"], schedule,
+        LoadGenerator("kvd", mix="storm", seed=LOAD_SEED).stream(REQUESTS),
+        preset=PRESET, registry=registry, api=serving_api,
+        gen=LoadGenerator("kvd", mix="storm", seed=LOAD_SEED),
+    )
+
+    # -- the availability claim ----------------------------------------
+    assert report.availability >= STORM_GATE, (
+        f"supervised availability {report.availability:.3f} under the "
+        f"gate {STORM_GATE}")
+    assert baseline.availability < BASELINE_CEILING, (
+        f"baseline availability {baseline.availability:.3f} not low "
+        f"enough for the storm to prove anything")
+
+    # -- bounded tail: answered requests never exceed the deadline -----
+    p99 = report.fuel_quantile(0.99)
+    assert p99 <= session.slo.deadline_fuel
+
+    # -- witness replay: every non-ok decision from three integers -----
+    witnesses = report.witnesses()
+    assert witnesses, "a storm with no incidents gates nothing"
+    for witness in witnesses:
+        replayed = StormSchedule.replay_witness(witness)
+        plan = report.schedule.plan_for(witness["request_index"])
+        if plan is None:
+            assert replayed is None
+        else:
+            assert replayed.to_dict() == plan.to_dict()
+
+    # -- zero cross-request corruption ---------------------------------
+    stormed = session.session
+    assert stormed.process.heap.check_integrity() == []
+    twin = ResilientSession(APPS["kvd"], preset=PRESET,
+                            registry=registry, api=serving_api)
+    twin.prepare(LoadGenerator("kvd", mix="storm", seed=LOAD_SEED))
+    stormed_window = _probe_window(stormed)
+    fresh_window = _probe_window(twin.session)
+    assert stormed_window == fresh_window, (
+        "stormed session diverged from a never-stormed twin on a "
+        "quiesced probe stream: cross-request state corruption")
+
+    # -- artifact ------------------------------------------------------
+    payload = {
+        "app": "kvd",
+        "preset": PRESET,
+        "gate": STORM_GATE,
+        "baseline_ceiling": BASELINE_CEILING,
+        "supervised": report.to_dict(),
+        "baseline": baseline.to_dict(),
+        "ladder": session.breaker.snapshot(),
+        "witnesses_checked": len(witnesses),
+        "deadline_fuel": session.slo.deadline_fuel,
+        "differential": {
+            "heap_defects": 0,
+            "probe_bytes": len(stormed_window),
+            "identical": True,
+        },
+    }
+    OUT.mkdir(exist_ok=True)
+    (OUT / "BENCH_chaos_serving.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True))
+
+    counts = report.counts()
+    lines = [
+        "P10  chaos under load: fault storm vs the degradation ladder",
+        f"     storm: seed {SEED}, {REQUESTS} requests, "
+        f"{report.schedule.total_faults()} faults scheduled",
+        f"     supervised  availability {report.availability:6.1%}  "
+        f"(ok {counts['ok']}, degraded {counts['degraded']}, "
+        f"timeout {counts['timeout']}, crashed {counts['crashed']}, "
+        f"shed {counts['shed']})",
+        f"     baseline    availability {baseline.availability:6.1%}  "
+        f"(dead {baseline.counts()['dead']})",
+        f"     p50/p99 fuel {report.fuel_quantile(0.5)}/"
+        f"{p99} (deadline {session.slo.deadline_fuel})",
+        f"     ladder moves: " + (", ".join(
+            f"{t['from']}->{t['to']}@{t['request_index']}"
+            for t in session.breaker.snapshot()["transitions"]) or "none"),
+        f"     witnesses replayed: {len(witnesses)}; "
+        f"post-storm differential: clean",
+    ]
+    artifact("p10_chaos_serving", "\n".join(lines))

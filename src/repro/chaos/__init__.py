@@ -33,6 +33,14 @@ from repro.chaos.multifault import (
     site_indices,
 )
 from repro.chaos.plan import SITES, ChaosPlan, trial_seed
+from repro.chaos.storm import (
+    DEFAULT_PHASES,
+    REQUEST_HORIZON,
+    SERVING_SITES,
+    StormPhase,
+    StormSchedule,
+    flat_storm,
+)
 
 __all__ = [
     "AdversarialRecord",
@@ -46,15 +54,21 @@ __all__ = [
     "ChaosPlan",
     "ChaosReport",
     "ChaosScenario",
+    "DEFAULT_PHASES",
     "DEFAULT_PRESETS",
     "KFaultPlan",
     "PruneStats",
+    "REQUEST_HORIZON",
+    "SERVING_SITES",
     "SITES",
     "SpacePruner",
+    "StormPhase",
+    "StormSchedule",
     "TrialCache",
     "TrialKey",
     "TrialOutcome",
     "enumerate_ksets",
+    "flat_storm",
     "naive_space_size",
     "site_indices",
     "standard_scenarios",

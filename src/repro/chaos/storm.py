@@ -1,0 +1,201 @@
+"""Rate-ramped fault storms against live serving traffic.
+
+A storm is a *request-indexed* chaos schedule: where the batch chaos
+harness derives one :class:`~repro.chaos.plan.ChaosPlan` per trial, a
+:class:`StormSchedule` derives one plan per **request** of a serving
+stream, with the per-call fault rate swept through named phases (calm,
+ramp, peak, cooldown).  Every per-request plan is a pure function of
+``(seed, trial, request_index)`` through the same
+:func:`~repro.chaos.plan.trial_seed` arithmetic the k-fault campaigns
+use — so any single request's faults replay from a three-integer
+witness, independently of the rest of the storm.
+
+Serving storms default to the heap sites only: the simulated
+filesystem's fault hook deliberately exempts the standard streams
+(indices 0–2), and a request-per-line server app touches nothing else,
+so ``fs-read``/``fs-write`` faults would tick counters without ever
+landing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.chaos.plan import ChaosPlan, trial_seed
+
+#: sites a serving storm arms by default — the heap is the only
+#: substrate a request-per-line app exercises that can actually fault
+#: (std streams are exempt from the filesystem fault hook)
+SERVING_SITES = ("alloc-oom", "heap-clobber")
+
+#: call-index horizon per request; server handlers make a handful of
+#: allocator calls per request, so a short horizon loses nothing
+REQUEST_HORIZON = 8
+
+
+@dataclass(frozen=True)
+class StormPhase:
+    """One contiguous slice of the stream at a constant fault rate.
+
+    ``start``/``end`` are fractions of the stream length, half-open
+    ``[start, end)``; ``rate`` is the per-call-index fault probability
+    fed to :meth:`ChaosPlan.generate` for requests inside the phase.
+    """
+
+    name: str
+    start: float
+    end: float
+    rate: float
+
+    def covers(self, fraction: float) -> bool:
+        return self.start <= fraction < self.end
+
+
+#: the default storm shape: a calm lead-in, a ramp, a hot peak, and a
+#: cooldown tail — fault effects must not outlive the peak
+DEFAULT_PHASES: Tuple[StormPhase, ...] = (
+    StormPhase("calm", 0.0, 0.2, 0.0),
+    StormPhase("ramp", 0.2, 0.4, 0.08),
+    StormPhase("peak", 0.4, 0.7, 0.25),
+    StormPhase("cooldown", 0.7, 1.0, 0.03),
+)
+
+
+@dataclass
+class StormSchedule:
+    """A seed-deterministic, request-indexed fault storm.
+
+    The schedule never materializes every plan up front —
+    :meth:`plan_for` derives request ``i``'s plan on demand, and
+    :meth:`witness` packages the three integers (plus generation
+    parameters) that reproduce it anywhere.
+    """
+
+    seed: int
+    trial: int = 0
+    requests: int = 400
+    phases: Tuple[StormPhase, ...] = DEFAULT_PHASES
+    sites: Tuple[str, ...] = SERVING_SITES
+    horizon: int = REQUEST_HORIZON
+    _plan_cache: Dict[int, Optional[ChaosPlan]] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("a storm needs at least one request")
+        self.phases = tuple(self.phases)
+        self.sites = tuple(self.sites)
+
+    # ------------------------------------------------------------------
+    # per-request derivation
+    # ------------------------------------------------------------------
+
+    def phase_at(self, index: int) -> StormPhase:
+        """The phase covering request ``index`` (last phase as catch-all)."""
+        fraction = index / self.requests
+        for phase in self.phases:
+            if phase.covers(fraction):
+                return phase
+        return self.phases[-1]
+
+    def rate_at(self, index: int) -> float:
+        return self.phase_at(index).rate
+
+    def request_seed(self, index: int) -> int:
+        """The derived seed for request ``index`` — the witness core."""
+        return trial_seed(self.seed, self.trial, k=index)
+
+    def plan_for(self, index: int) -> Optional[ChaosPlan]:
+        """Request ``index``'s fault plan; None inside a zero-rate phase."""
+        if index in self._plan_cache:
+            return self._plan_cache[index]
+        rate = self.rate_at(index)
+        plan = None
+        if rate > 0.0:
+            plan = ChaosPlan.generate(
+                self.request_seed(index), sites=self.sites,
+                horizon=self.horizon, rate=rate,
+            )
+        self._plan_cache[index] = plan
+        return plan
+
+    def total_faults(self) -> int:
+        """Scheduled fault count across the whole storm (for reports)."""
+        return sum(
+            plan.total_faults()
+            for index in range(self.requests)
+            if (plan := self.plan_for(index)) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # witnesses: one request's faults from three integers
+    # ------------------------------------------------------------------
+
+    def witness(self, index: int) -> dict:
+        """Everything needed to replay request ``index``'s plan."""
+        return {
+            "seed": self.seed,
+            "trial": self.trial,
+            "request_index": index,
+            "rate": self.rate_at(index),
+            "sites": list(self.sites),
+            "horizon": self.horizon,
+        }
+
+    @staticmethod
+    def replay_witness(witness: dict) -> Optional[ChaosPlan]:
+        """Reconstruct a per-request plan from its witness dict."""
+        rate = float(witness["rate"])
+        if rate <= 0.0:
+            return None
+        derived = trial_seed(int(witness["seed"]), int(witness["trial"]),
+                             k=int(witness["request_index"]))
+        return ChaosPlan.generate(
+            derived, sites=tuple(witness["sites"]),
+            horizon=int(witness["horizon"]), rate=rate,
+        )
+
+    # ------------------------------------------------------------------
+    # round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "trial": self.trial,
+            "requests": self.requests,
+            "sites": list(self.sites),
+            "horizon": self.horizon,
+            "phases": [
+                {"name": p.name, "start": p.start, "end": p.end,
+                 "rate": p.rate}
+                for p in self.phases
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StormSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            trial=int(data.get("trial", 0)),
+            requests=int(data.get("requests", 400)),
+            phases=tuple(
+                StormPhase(name=str(p["name"]), start=float(p["start"]),
+                           end=float(p["end"]), rate=float(p["rate"]))
+                for p in data.get("phases", [])
+            ) or DEFAULT_PHASES,
+            sites=tuple(data.get("sites", SERVING_SITES)),
+            horizon=int(data.get("horizon", REQUEST_HORIZON)),
+        )
+
+
+def flat_storm(seed: int, requests: int, rate: float,
+               trial: int = 0, sites: Sequence[str] = SERVING_SITES,
+               horizon: int = REQUEST_HORIZON) -> StormSchedule:
+    """A single-phase storm at one constant rate (tests, probes)."""
+    return StormSchedule(
+        seed=seed, trial=trial, requests=requests,
+        phases=(StormPhase("flat", 0.0, 1.0, rate),),
+        sites=tuple(sites), horizon=horizon,
+    )

@@ -221,6 +221,41 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["compiled", "interpreted"],
                        help="wrapper execution backend")
 
+    storm = sub.add_parser(
+        "storm",
+        help="drive a fault storm against a live serving session and "
+             "report availability under the graceful-degradation ladder",
+    )
+    storm.add_argument("--app", default="kvd",
+                       help="server app name (kvd, httpd, tmpld)")
+    storm.add_argument("--preset", default="security",
+                       choices=sorted(SERVING_PRESETS),
+                       help="wrapper preset for the supervised session")
+    storm.add_argument("--mix", default="storm", choices=sorted(MIXES),
+                       help="load-generator request mix (default storm)")
+    storm.add_argument("--requests", type=int, default=400,
+                       help="storm length in requests (default 400)")
+    storm.add_argument("--seed", type=int, default=42,
+                       help="storm schedule seed (default 42)")
+    storm.add_argument("--load-seed", type=int, default=11,
+                       help="load-generator seed (default 11)")
+    storm.add_argument("--trial", type=int, default=0,
+                       help="storm trial index (default 0)")
+    storm.add_argument("--deadline-fuel", type=int, default=0,
+                       help="per-request fuel deadline "
+                            "(0 = the built-in default)")
+    storm.add_argument("--baseline", action="store_true",
+                       help="also run the unsupervised no-ladder "
+                            "baseline over the same storm")
+    storm.add_argument("--gate", type=float, default=0.0,
+                       help="availability floor to accept "
+                            "(0 = report only; below the floor exits 1)")
+    storm.add_argument("--json", action="store_true",
+                       help="print the full storm report as JSON")
+    storm.add_argument("--wrapper-backend", default="compiled",
+                       choices=["compiled", "interpreted"],
+                       help="wrapper execution backend")
+
     collector = sub.add_parser(
         "serve-collector",
         help="run the central collection server for profile documents",
@@ -253,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     collect_serve.add_argument("--no-fsync", action="store_true",
                                help="skip fsync on spool commits "
                                     "(faster, loses the crash guarantee)")
+    collect_serve.add_argument("--spool-key", default="",
+                               help="deployment key HMAC-chaining spool "
+                                    "records (empty = CRC-only legacy "
+                                    "spool)")
     collect_serve.add_argument("--backend", default="fabric",
                                choices=["fabric", "legacy"],
                                help="ingest backend (default fabric)")
@@ -277,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     collect_replay.add_argument("--shards", type=int, default=4,
                                 help="shard count the spool was written "
                                      "with (default 4)")
+    collect_replay.add_argument("--key", default="",
+                                help="deployment key the spool was "
+                                     "HMAC-chained under (empty = "
+                                     "CRC-only legacy spool)")
     return parser
 
 
@@ -714,6 +757,78 @@ def _cmd_serve(toolkit: Healers, args) -> int:
     return 0
 
 
+def _cmd_storm(toolkit: Healers, args) -> int:
+    import json
+
+    from repro.apps import SERVER_APPS
+    from repro.chaos import StormSchedule
+    from repro.serving import (
+        LoadGenerator,
+        ResilientSession,
+        ServingSLO,
+        run_unsupervised,
+    )
+    from repro.wrappers.presets import full_coverage_api
+
+    apps = {app.name: app for app in SERVER_APPS}
+    app = apps.get(args.app)
+    if app is None:
+        print(f"unknown server app {args.app!r}; "
+              f"known: {', '.join(sorted(apps))}")
+        return 2
+    api = full_coverage_api(toolkit.registry, toolkit.manpages)
+    gen = LoadGenerator(app.name, mix=args.mix, seed=args.load_seed)
+    schedule = StormSchedule(seed=args.seed, trial=args.trial,
+                             requests=args.requests)
+    requests = gen.stream(schedule.requests)
+    slo = ServingSLO(deadline_fuel=args.deadline_fuel) \
+        if args.deadline_fuel else None
+    session = ResilientSession(
+        app, preset=args.preset, backend=args.wrapper_backend,
+        registry=toolkit.registry, api=api, slo=slo,
+    )
+    session.prepare(gen)
+    report = session.serve_storm(schedule, requests)
+    base = None
+    if args.baseline:
+        base = run_unsupervised(
+            app, schedule, requests, preset=args.preset,
+            backend=args.wrapper_backend, registry=toolkit.registry,
+            api=api, gen=gen,
+        )
+    if args.json:
+        payload = {"supervised": report.to_dict()}
+        payload["supervised"]["witnesses"] = report.witnesses()
+        if base is not None:
+            payload["baseline"] = base.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        counts = report.counts()
+        print(f"{app.name} [{args.preset}/{args.wrapper_backend}] "
+              f"storm seed={args.seed} trial={args.trial} "
+              f"({schedule.total_faults()} scheduled faults)")
+        print(f"  availability {report.availability:.1%} "
+              f"({report.answered}/{len(report.outcomes)} answered): "
+              f"{counts['ok']} ok, {counts['degraded']} degraded, "
+              f"{counts['timeout']} timeout, {counts['crashed']} crashed, "
+              f"{counts['shed']} shed")
+        print(f"  fuel p50 {report.fuel_quantile(0.5)}, "
+              f"p99 {report.fuel_quantile(0.99)} "
+              f"(deadline {session.slo.deadline_fuel})")
+        for t in session.breaker.transitions:
+            print(f"  ladder: request {t.request_index} "
+                  f"{t.rung_from} -> {t.rung_to} ({t.reason})")
+        if base is not None:
+            print(f"  baseline (no ladder): availability "
+                  f"{base.availability:.1%} "
+                  f"({base.answered}/{len(base.outcomes)} answered)")
+    if args.gate and report.availability < args.gate:
+        print(f"FAIL: availability {report.availability:.1%} is below "
+              f"the --gate {args.gate:.1%} floor")
+        return 1
+    return 0
+
+
 def _cmd_serve_collector(toolkit: Healers, args) -> int:
     import time
 
@@ -751,7 +866,7 @@ def _cmd_collect_serve(toolkit: Healers, args) -> int:
     settings = CollectionSettings(
         port=args.port, backend=args.backend, shards=args.shards,
         credit_limit=args.credit_limit, spool_dir=args.spool_dir,
-        fsync=not args.no_fsync,
+        fsync=not args.no_fsync, spool_key=args.spool_key,
     )
     settings.validate()
     with settings.build_server() as server:
@@ -809,10 +924,15 @@ def _cmd_collect_stats(toolkit: Healers, args) -> int:
 
 
 def _cmd_collect_replay(toolkit: Healers, args) -> int:
-    from repro.collection import replay_documents
+    from repro.collection import SpoolAuthenticationError, replay_documents
 
-    documents, last_seq, results = replay_documents(
-        args.spool_dir, args.shards)
+    try:
+        documents, last_seq, results = replay_documents(
+            args.spool_dir, args.shards,
+            key=args.key.encode() if args.key else None)
+    except SpoolAuthenticationError as exc:
+        print(f"[spool] authentication failure: {exc}")
+        return 1
     segments = sum(result.segments for result in results)
     torn = [entry for result in results for entry in result.truncated]
     print(f"[spool] {args.spool_dir}: {len(documents)} document(s) "
@@ -849,6 +969,7 @@ _HANDLERS = {
     "attack-demo": _cmd_attack_demo,
     "adversarial": _cmd_adversarial,
     "serve": _cmd_serve,
+    "storm": _cmd_storm,
     "serve-collector": _cmd_serve_collector,
     "collect": _cmd_collect,
 }

@@ -29,7 +29,12 @@ from repro.collection.server import (
     submit_document,
     submit_documents,
 )
-from repro.collection.spool import ReplayResult, SpoolWriter, replay
+from repro.collection.spool import (
+    ReplayResult,
+    SpoolAuthenticationError,
+    SpoolWriter,
+    replay,
+)
 
 __all__ = [
     "BATCH_MAGIC",
@@ -47,6 +52,7 @@ __all__ = [
     "ReplayResult",
     "STATS_MAGIC",
     "ShardedStore",
+    "SpoolAuthenticationError",
     "SpoolWriter",
     "StoredDocument",
     "fetch_fleet_stats",

@@ -121,7 +121,8 @@ def decode_spool_record(payload: bytes) -> Tuple[str, int, int, int, bytes]:
     return shipper, seq, index, count, payload[offset + _SEQ.size:]
 
 
-def replay_documents(spool_dir: str, shards: int):
+def replay_documents(spool_dir: str, shards: int,
+                     key: Optional[bytes] = None):
     """Recover committed documents + dedup state from a spool directory.
 
     Returns ``(documents, last_seq, result_by_shard)`` where
@@ -132,6 +133,11 @@ def replay_documents(spool_dir: str, shards: int):
     fsyncs leaves a partial frame, which was never acked — its records
     are dropped and its sequence forgotten, so the shipper's resend
     stores the whole frame exactly once.
+
+    With ``key`` the spool must verify against its HMAC chain: forged,
+    spliced or reordered records raise
+    :class:`~repro.collection.spool.SpoolAuthenticationError` instead
+    of silently entering the store.
     """
     unsequenced: List[Tuple[str, int, bytes]] = []
     frames: Dict[Tuple[str, int], Dict[int, bytes]] = {}
@@ -151,25 +157,26 @@ def replay_documents(spool_dir: str, shards: int):
         and name.split("-")[1].isdigit()
     }
     for shard in sorted(present | set(range(shards))):
-        payloads, result = spool_replay(spool_dir, name=f"shard-{shard}")
+        payloads, result = spool_replay(spool_dir, name=f"shard-{shard}",
+                                        key=key)
         results.append(result)
         for payload in payloads:
             shipper, seq, index, count, xml = decode_spool_record(payload)
             if not shipper and seq == 0:
                 unsequenced.append(("", 0, xml))
                 continue
-            key = (shipper, seq)
-            if key not in frames:
-                frames[key] = {}
-                counts[key] = count
-                order.append(key)
-            frames[key][index] = xml
+            frame_key = (shipper, seq)
+            if frame_key not in frames:
+                frames[frame_key] = {}
+                counts[frame_key] = count
+                order.append(frame_key)
+            frames[frame_key][index] = xml
     documents = list(unsequenced)
     last_seq: Dict[str, int] = {}
-    for key in order:
-        shipper, seq = key
-        docs = frames[key]
-        if len(docs) != counts[key]:
+    for frame_key in order:
+        shipper, seq = frame_key
+        docs = frames[frame_key]
+        if len(docs) != counts[frame_key]:
             continue  # partial (never acked) — the shipper will resend
         last_seq[shipper] = max(last_seq.get(shipper, 0), seq)
         for index in sorted(docs):
@@ -342,7 +349,8 @@ class IngestServer:
                  max_document_bytes: int = MAX_DOCUMENT_BYTES,
                  max_batch_documents: int = MAX_BATCH_DOCUMENTS,
                  fsync: bool = True,
-                 backlog: int = 512):
+                 backlog: int = 512,
+                 spool_key: Optional[bytes] = None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if credit_limit < 1:
@@ -354,6 +362,7 @@ class IngestServer:
         self.max_document_bytes = max_document_bytes
         self.max_batch_documents = max_batch_documents
         self.fsync = fsync
+        self.spool_key = spool_key
         self.partitions = [CollectionStore() for _ in range(shards)]
         self.fleets = [FleetAggregator() for _ in range(shards)]
         self.store = ShardedStore(self)
@@ -391,7 +400,7 @@ class IngestServer:
             for shard in range(self.shards):
                 self._spools[shard] = SpoolWriter(
                     self.spool_dir, name=f"shard-{shard}",
-                    fsync=self.fsync)
+                    fsync=self.fsync, key=self.spool_key)
         for shard in range(self.shards):
             thread = threading.Thread(
                 target=self._shard_loop, args=(shard,),
@@ -409,7 +418,8 @@ class IngestServer:
 
     def _replay_spool(self) -> None:
         documents, last_seq, _ = replay_documents(self.spool_dir,
-                                                  self.shards)
+                                                  self.shards,
+                                                  key=self.spool_key)
         self._last_seq = last_seq
         for _shipper, _seq, xml in documents:
             try:

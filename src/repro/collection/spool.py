@@ -26,10 +26,25 @@ Writes are buffered and group-committed: :meth:`SpoolWriter.append`
 stages records in the file's userspace buffer and :meth:`commit`
 flushes + fsyncs once for the whole group — the shard workers batch one
 fsync per queue drain, not one per document.
+
+Tamper evidence (optional): a writer given a deployment ``key``
+HMAC-chains every record.  Each keyed segment opens with a marker
+record (payload :data:`_MAGIC`), seeds its chain with
+``HMAC(key, segment_basename)``, and stores each document as
+``mac || body`` where ``mac = HMAC(key, previous_mac || body)`` — so a
+forged body, a record spliced in from elsewhere, a reordering, or a
+whole segment renamed into another spool all break the chain and
+replay refuses with :class:`SpoolAuthenticationError`.  The CRC layer
+underneath is unchanged: a torn tail (short or CRC-bad record) is
+still the crash signature and still truncates silently, because a torn
+record is by construction un-acked.  Spools written without a key stay
+byte-identical to the legacy format and replay exactly as before.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import os
 import struct
 import zlib
@@ -40,6 +55,27 @@ _RECORD = struct.Struct(">II")  # payload length, crc32
 
 #: default bytes per segment before the writer rotates to a fresh file
 SEGMENT_BYTES = 8 * 1024 * 1024
+
+#: first-record payload marking a segment as HMAC-chained
+_MAGIC = b"healers-spool-hmac-v1"
+
+#: bytes of HMAC-SHA256 digest prefixed to each keyed record's payload
+_MAC_SIZE = 32
+
+
+class SpoolAuthenticationError(RuntimeError):
+    """A spool record failed (or demanded) HMAC verification."""
+
+
+def _chain_seed(key: bytes, path: str) -> bytes:
+    """The segment's chain seed: its basename keyed under ``key``, so a
+    segment moved into another spool (or renumbered) cannot verify."""
+    return hmac.new(key, os.path.basename(path).encode(),
+                    hashlib.sha256).digest()
+
+
+def _chain_next(key: bytes, previous: bytes, body: bytes) -> bytes:
+    return hmac.new(key, previous + body, hashlib.sha256).digest()
 
 
 def _segment_name(name: str, sequence: int) -> str:
@@ -87,11 +123,14 @@ class SpoolWriter:
     """Append-only, group-committed segment writer for one spool."""
 
     def __init__(self, directory: str, name: str = "spool",
-                 segment_bytes: int = SEGMENT_BYTES, fsync: bool = True):
+                 segment_bytes: int = SEGMENT_BYTES, fsync: bool = True,
+                 key: Optional[bytes] = None):
         self.directory = directory
         self.name = name
         self.segment_bytes = segment_bytes
         self.fsync = fsync
+        self.key = key
+        self._mac = b""
         os.makedirs(directory, exist_ok=True)
         existing = list_segments(directory, name)
         if existing:
@@ -116,7 +155,16 @@ class SpoolWriter:
                             _segment_name(self.name, self._sequence))
         self._sequence += 1
         self._written = 0
-        return open(path, "ab")
+        handle = open(path, "ab")
+        if self.key is not None:
+            # keyed segments open with the marker record and seed the
+            # chain from the segment's own name; the marker is not a
+            # document, so it never counts toward uncommitted/committed
+            self._mac = _chain_seed(self.key, path)
+            record = _frame(_MAGIC)
+            handle.write(record)
+            self._written += len(record)
+        return handle
 
     def append(self, payload: bytes) -> None:
         """Stage one record (durable only after :meth:`commit`)."""
@@ -125,7 +173,10 @@ class SpoolWriter:
                 self._commit_handle()
                 self._handle.close()
             self._handle = self._open_segment()
-        record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+        if self.key is not None:
+            self._mac = _chain_next(self.key, self._mac, payload)
+            payload = self._mac + payload
+        record = _frame(payload)
         self._handle.write(record)
         self._written += len(record)
         self.uncommitted += 1
@@ -152,10 +203,16 @@ class SpoolWriter:
             self._handle = None
 
 
-def _replay_segment(path: str, result: ReplayResult,
-                    truncate: bool) -> Iterator[bytes]:
+def _frame(payload: bytes) -> bytes:
+    return _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _replay_segment(path: str, result: ReplayResult, truncate: bool,
+                    key: Optional[bytes] = None) -> Iterator[bytes]:
     size = os.path.getsize(path)
     valid_end = 0
+    index = 0
+    mac = b""
     with open(path, "rb") as handle:
         while True:
             header = handle.read(_RECORD.size)
@@ -164,10 +221,45 @@ def _replay_segment(path: str, result: ReplayResult,
             length, crc = _RECORD.unpack(header)
             payload = handle.read(length)
             if len(payload) < length or zlib.crc32(payload) != crc:
+                # the torn tail: a crash mid-write, by construction
+                # un-acked — CRC handles corruption-by-accident, the
+                # MAC layer below handles corruption-by-intent
                 break
             valid_end += _RECORD.size + length
+            if index == 0:
+                if key is None:
+                    if payload == _MAGIC:
+                        raise SpoolAuthenticationError(
+                            f"{path} is HMAC-chained; pass the "
+                            f"deployment key to replay it"
+                        )
+                elif payload != _MAGIC:
+                    raise SpoolAuthenticationError(
+                        f"{path}: a deployment key was given but the "
+                        f"segment carries no authentication marker "
+                        f"(legacy CRC-only spool?)"
+                    )
+                else:
+                    mac = _chain_seed(key, path)
+                    index += 1
+                    continue
+            if key is not None:
+                if len(payload) < _MAC_SIZE + 1:
+                    raise SpoolAuthenticationError(
+                        f"{path}: record {index} is too short to carry "
+                        f"an authentication tag"
+                    )
+                body = payload[_MAC_SIZE:]
+                mac = _chain_next(key, mac, body)
+                if not hmac.compare_digest(payload[:_MAC_SIZE], mac):
+                    raise SpoolAuthenticationError(
+                        f"{path}: record {index} failed HMAC chain "
+                        f"verification (forged, spliced or reordered)"
+                    )
+                payload = body
+            index += 1
             result.records += 1
-            result.bytes_recovered += length
+            result.bytes_recovered += len(payload)
             yield payload
     if valid_end < size:
         result.truncated.append((path, valid_end, size))
@@ -176,16 +268,20 @@ def _replay_segment(path: str, result: ReplayResult,
                 handle.truncate(valid_end)
 
 
-def replay(directory: str, name: str = "spool",
-           truncate: bool = True) -> Tuple[List[bytes], ReplayResult]:
+def replay(directory: str, name: str = "spool", truncate: bool = True,
+           key: Optional[bytes] = None
+           ) -> Tuple[List[bytes], ReplayResult]:
     """Recover every committed payload of one spool, oldest first.
 
     Torn tails are truncated in place (unless ``truncate=False``), so a
-    writer opened afterwards appends to a clean spool.
+    writer opened afterwards appends to a clean spool.  With ``key``,
+    every record must verify against the segment's HMAC chain;
+    without, an authenticated spool is refused rather than silently
+    replayed unverified.
     """
     result = ReplayResult()
     payloads: List[bytes] = []
     for path in list_segments(directory, name):
         result.segments += 1
-        payloads.extend(_replay_segment(path, result, truncate))
+        payloads.extend(_replay_segment(path, result, truncate, key))
     return payloads, result

@@ -258,6 +258,9 @@ class CollectionSettings:
     spool_dir: str = ""
     #: fsync spool segments before acking (the zero-loss guarantee)
     fsync: bool = True
+    #: deployment key HMAC-chaining spool records (empty = CRC only);
+    #: replay then refuses forged or spliced records
+    spool_key: str = ""
 
     def validate(self) -> None:
         if self.backend not in COLLECTION_BACKENDS:
@@ -289,6 +292,7 @@ class CollectionSettings:
             host=self.host, port=self.port, shards=self.shards,
             spool_dir=self.spool_dir or None,
             credit_limit=self.credit_limit, fsync=self.fsync,
+            spool_key=self.spool_key.encode() if self.spool_key else None,
         )
 
     # ------------------------------------------------------------------
@@ -305,6 +309,7 @@ class CollectionSettings:
             credit_limit=int(node.get("credit-limit", "64")),
             spool_dir=node.get("spool-dir", ""),
             fsync=node.get("fsync", "true").lower() != "false",
+            spool_key=node.get("spool-key", ""),
         )
         settings.validate()
         return settings
@@ -318,6 +323,8 @@ class CollectionSettings:
              "fsync": "true" if self.fsync else "false"})
         if self.spool_dir:
             node.set("spool-dir", self.spool_dir)
+        if self.spool_key:
+            node.set("spool-key", self.spool_key)
         return node
 
 

@@ -10,6 +10,13 @@ deployment-file element; every decision emits a
 :class:`~repro.telemetry.RecoveryEvent`.
 """
 
+from repro.recovery.breaker import (
+    DEOPT_LEVELS,
+    RUNGS,
+    BreakerConfig,
+    CircuitBreaker,
+    RungTransition,
+)
 from repro.recovery.policy import (
     ACTIONS,
     DEFAULT_TRANSIENT_ERRNOS,
@@ -17,6 +24,7 @@ from repro.recovery.policy import (
     REPAIRABLE_KINDS,
     RETRYABLE_KINDS,
     RecoveryPolicy,
+    degrading_policy,
     escalating_policy,
     self_healing_policy,
 )
@@ -24,12 +32,18 @@ from repro.recovery.retry import RetryGen
 
 __all__ = [
     "ACTIONS",
+    "BreakerConfig",
+    "CircuitBreaker",
     "DEFAULT_TRANSIENT_ERRNOS",
+    "DEOPT_LEVELS",
     "KINDS",
     "REPAIRABLE_KINDS",
     "RETRYABLE_KINDS",
+    "RUNGS",
     "RecoveryPolicy",
     "RetryGen",
+    "RungTransition",
+    "degrading_policy",
     "escalating_policy",
     "self_healing_policy",
 ]

@@ -15,6 +15,11 @@ function:
 * ``retry``    — re-execute the intercepted call with bounded attempts
   and deterministic fuel backoff when it failed with a transient errno
   (ENOMEM, EINTR);
+* ``degrade``  — contain the call *and* signal the serving layer's
+  graceful-degradation ladder (:class:`~repro.recovery.breaker
+  .CircuitBreaker`) through the process's ``degrade_hook``, so repeated
+  violations step the service onto a more conservative rung instead of
+  either crashing or silently absorbing an active attack;
 * ``escalate`` — terminate the protected program (the security wrapper's
   paper behaviour, :class:`~repro.errors.SecurityViolation`).
 
@@ -34,8 +39,9 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-#: the recovery actions, least to most drastic
-ACTIONS = ("contain", "repair", "retry", "escalate")
+#: the recovery actions, least to most drastic (degrade contains the
+#: call like contain, then signals the serving ladder)
+ACTIONS = ("contain", "repair", "retry", "degrade", "escalate")
 
 #: the violation taxonomy the wrappers report
 KINDS = (
@@ -218,6 +224,18 @@ def self_healing_policy() -> RecoveryPolicy:
     """The canonical keep-alive policy: repair the heap, retry transient
     failures, contain everything else."""
     return RecoveryPolicy(actions={
+        "heap_corruption": "repair",
+        "canary": "repair",
+        "transient_errno": "retry",
+    })
+
+
+def degrading_policy() -> RecoveryPolicy:
+    """The serving ladder's storm policy: repair what has heap metadata,
+    retry transient failures, and *degrade* (contain + signal the
+    circuit breaker) every other violation, so a service under active
+    attack answers with error returns while stepping down the ladder."""
+    return RecoveryPolicy(default_action="degrade", actions={
         "heap_corruption": "repair",
         "canary": "repair",
         "transient_errno": "retry",

@@ -193,6 +193,17 @@ class SimFileSystem:
         """Append bytes that subsequent stdin reads will return."""
         self.stdin.extend(data)
 
+    def drain_stdin(self) -> int:
+        """Discard un-consumed stdin; returns the bytes dropped.
+
+        The serving supervisor calls this after a request dies
+        mid-read, so a half-consumed line cannot bleed into the next
+        request's input.
+        """
+        dropped = len(self.stdin) - self._stdin_pos
+        self._stdin_pos = len(self.stdin)
+        return dropped
+
     def stdout_text(self) -> str:
         """Captured stdout decoded for assertions/demos."""
         return self.stdout.decode(errors="replace")

@@ -100,6 +100,10 @@ class SimProcess:
         #: wrapper check primitives; installed by the fused serving image,
         #: None everywhere else (the primitives then run unmemoized)
         self.check_memo = None
+        #: optional ``(function, violation_kind)`` callback fired by the
+        #: recovery ``degrade`` action; the serving layer's circuit
+        #: breaker listens here, None everywhere else
+        self.degrade_hook: Optional[Callable[[str, str], None]] = None
         self.environ: Dict[str, str] = dict(environ or {})
         self._environ_ptrs: Dict[str, int] = {}
         #: in-memory filesystem + FILE stream table (stdio family)

@@ -107,6 +107,22 @@ def _build_violation_handler(policy: SecurityPolicy, name: str, state,
             emit(SecurityEvent(function=name, reason=reason,
                                terminated=True))
             raise SecurityViolation(name, reason)
+        if action == "degrade":
+            # contain the call, then signal the serving ladder: the
+            # process-level hook feeds the circuit breaker without the
+            # wrapper knowing whether anyone is listening
+            emit(RecoveryEvent(function=name, violation=kind,
+                               action="degrade", recovered=True,
+                               detail=reason))
+            emit(SecurityEvent(function=name, reason=reason,
+                               terminated=False))
+            frame.skip_call = True
+            frame.ret = error_value
+            frame.process.errno = Errno.EFAULT
+            hook = frame.process.degrade_hook
+            if hook is not None:
+                hook(name, kind)
+            return True
         # contain
         emit(RecoveryEvent(function=name, violation=kind,
                            action="contain", recovered=True,

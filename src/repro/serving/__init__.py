@@ -8,6 +8,15 @@ produce ``BENCH_serving.json``, the trajectory's headline number.
 """
 
 from repro.serving.loadgen import MIXES, LoadGenerator
+from repro.serving.resilience import (
+    DEADLINE_FUEL,
+    OUTCOMES,
+    RequestOutcome,
+    ResilientSession,
+    ServingSLO,
+    StormReport,
+    run_unsupervised,
+)
 from repro.serving.session import (
     SERVING_PRESETS,
     Request,
@@ -16,10 +25,17 @@ from repro.serving.session import (
 )
 
 __all__ = [
+    "DEADLINE_FUEL",
     "LoadGenerator",
     "MIXES",
+    "OUTCOMES",
     "Request",
+    "RequestOutcome",
+    "ResilientSession",
     "SERVING_PRESETS",
+    "ServingSLO",
     "ServingSession",
     "ServingStats",
+    "StormReport",
+    "run_unsupervised",
 ]

@@ -15,6 +15,10 @@ Mixes:
 * ``mixed`` — hot kinds plus mutating/irregular traffic (kvd SET/DEL
   churn, httpd 404s, tmpld errors) that exercises trace deopt and the
   table lane.
+* ``storm`` — the chaos-under-load shape: mutation-heavy (kvd SET/DEL
+  dominates) so the allocator — the substrate a serving storm faults —
+  is on the path of most requests.  httpd/tmpld storms reuse the mixed
+  shape (their handlers allocate little either way).
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from typing import Dict, List, Tuple
 
 from repro.serving.session import Request
 
-MIXES = ("hot", "mixed")
+MIXES = ("hot", "mixed", "storm")
 
 #: kvd working set: fixed keys with benign-length values
 _KVD_KEYS = [b"alpha", b"beta", b"gamma", b"delta"]
@@ -112,6 +116,12 @@ def _kvd_profile(mix: str) -> _Profile:
         samples["set:beta"] = b"SET beta twenty-two"
         weighted.append(("set:beta", 10))
         weighted.append(("churn", 10))
+    elif mix == "storm":
+        # mutation-dominated: every SET walks calloc/malloc/free, the
+        # exact sites a serving storm schedules faults on
+        samples["set:beta"] = b"SET beta twenty-two"
+        weighted.append(("set:beta", 25))
+        weighted.append(("churn", 45))
     return warmup, samples, weighted
 
 
@@ -128,7 +138,7 @@ def _httpd_profile(mix: str) -> _Profile:
         samples[f"echo:{word.decode()}"] = b"GET /echo/%s HTTP/1.0" % word
     weighted = [("index", 30)]
     weighted.extend((f"echo:{word.decode()}", 15) for word in _ECHO_WORDS)
-    if mix == "mixed":
+    if mix in ("mixed", "storm"):
         samples["notfound"] = b"GET /missing HTTP/1.0"
         weighted.append(("notfound", 10))
         weighted.append(("scatter", 10))
@@ -147,7 +157,7 @@ def _tmpld_profile(mix: str) -> _Profile:
         for index, arg in enumerate(_TMPLD_ARGS[:3])
     }
     weighted = [(kind, 20) for kind in samples]
-    if mix == "mixed":
+    if mix in ("mixed", "storm"):
         samples["badid"] = b"RENDER 9 oops"
         weighted.append(("badid", 10))
         weighted.append(("scatter", 10))

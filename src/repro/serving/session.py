@@ -63,6 +63,8 @@ class ServingStats:
     deopts: int = 0
     table_calls: int = 0
     fallback_calls: int = 0
+    #: requests rejected by admission control before any wrapped call
+    shed: int = 0
 
     @property
     def rps(self) -> float:
@@ -77,6 +79,7 @@ class ServingStats:
             "deopts": self.deopts,
             "table_calls": self.table_calls,
             "fallback_calls": self.fallback_calls,
+            "shed": self.shed,
         }
 
 
@@ -105,6 +108,7 @@ class ServingSession:
         api: Optional[RobustAPIDocument] = None,
         fuel: Optional[int] = None,
         process: Optional[SimProcess] = None,
+        policy=None,
     ):
         if app.setup is None or app.handle is None:
             raise ValueError(f"{app.name} has no per-request server hooks")
@@ -125,13 +129,17 @@ class ServingSession:
         self.registry = registry or standard_registry()
         self.api = api
         self.process = process if process is not None else SimProcess(fuel=fuel)
+        #: optional SecurityPolicy overriding the preset's own (the
+        #: resilience supervisor swaps in a degrade-action policy)
+        self.policy = policy
         self.linker = DynamicLinker()
         self.linker.add_library(SharedLibrary.from_registry(self.registry))
         self.built = None
         if config.spec is not None:
             factory = WrapperFactory(
                 self.registry, self.api,
-                generators=default_generator_registry(config.policy()),
+                generators=default_generator_registry(
+                    policy if policy is not None else config.policy()),
             )
             self.built = factory.preload(
                 self.linker, config.spec, backend=backend,
@@ -185,15 +193,33 @@ class ServingSession:
         return count
 
     def drive(self, requests: Sequence[Request],
-              time_fn=time.perf_counter) -> ServingStats:
-        """Serve a pre-materialized stream under a timer."""
+              time_fn=time.perf_counter, admission=None) -> ServingStats:
+        """Serve a pre-materialized stream under a timer.
+
+        ``admission`` is an optional ``(index, request) -> bool``
+        load-shedding gate: a request it rejects is counted in
+        :attr:`ServingStats.shed` and skipped *before* any wrapped call
+        runs — refusing work cheaply is the ladder's last rung, and it
+        must cost no allocator or stdin traffic.
+        """
         image = self.image
         before = (
             (image.trace_hits, image.deopts, image.table_calls,
              image.fallback_calls) if self.fused else (0, 0, 0, 0)
         )
+        shed = 0
         start = time_fn()
-        served = self.serve_all(requests)
+        if admission is None:
+            served = self.serve_all(requests)
+        else:
+            served = 0
+            for index, request in enumerate(requests):
+                if not admission(index, request):
+                    shed += 1
+                    continue
+                served += 1
+                if not self.serve_one(request):
+                    break
         elapsed = time_fn() - start
         after = (
             (image.trace_hits, image.deopts, image.table_calls,
@@ -206,6 +232,7 @@ class ServingSession:
             deopts=after[1] - before[1],
             table_calls=after[2] - before[2],
             fallback_calls=after[3] - before[3],
+            shed=shed,
         )
 
     def stdout_text(self) -> str:
@@ -222,6 +249,7 @@ class ServingSession:
             telemetry=self.telemetry, fused=fused,
             fuel_batching=self.fuel_batching, check_memo=self.check_memo,
             resolver=self.resolver, registry=self.registry, api=self.api,
+            policy=self.policy,
         )
 
     def record_traces(self, warmup: Sequence[Request],

@@ -20,14 +20,17 @@ from repro.telemetry.events import (
     ErrnoEvent,
     ExectimeEvent,
     EscapeEvent,
+    HealthEvent,
     ProbeEvent,
     RecoveryEvent,
     SecurityEvent,
+    ShedEvent,
     TelemetryEvent,
     ViolationEvent,
 )
 from repro.telemetry.sinks import (
     CollectionSink,
+    CollectionSinkClosed,
     JsonlSink,
     MetricsSink,
     StateSink,
@@ -38,17 +41,20 @@ __all__ = [
     "CallEvent",
     "CallLogEvent",
     "CollectionSink",
+    "CollectionSinkClosed",
     "DocumentReady",
     "DocumentShipped",
     "ErrnoEvent",
     "EscapeEvent",
     "EventBus",
     "ExectimeEvent",
+    "HealthEvent",
     "JsonlSink",
     "MetricsSink",
     "ProbeEvent",
     "RecoveryEvent",
     "SecurityEvent",
+    "ShedEvent",
     "Sink",
     "StateSink",
     "TelemetryEvent",

@@ -199,6 +199,44 @@ class EscapeEvent(TelemetryEvent):
         self.faults = faults
 
 
+class HealthEvent(TelemetryEvent):
+    """One circuit-breaker rung transition on the degradation ladder.
+
+    ``rung_from``/``rung_to`` are names from
+    :data:`~repro.recovery.breaker.RUNGS`; ``request_index`` is the
+    admitted request whose outcome caused the move, which together with
+    the storm's (seed, trial) witness replays the decision.
+    """
+
+    __slots__ = ("app", "preset", "rung_from", "rung_to", "reason",
+                 "request_index")
+    kind = "health"
+
+    def __init__(self, app: str, preset: str, rung_from: str,
+                 rung_to: str, reason: str, request_index: int):
+        self.app = app
+        self.preset = preset
+        self.rung_from = rung_from
+        self.rung_to = rung_to
+        self.reason = reason
+        self.request_index = request_index
+
+
+class ShedEvent(TelemetryEvent):
+    """One request rejected by load-shedding admission control."""
+
+    __slots__ = ("app", "preset", "request_index", "rung", "reason")
+    kind = "shed"
+
+    def __init__(self, app: str, preset: str, request_index: int,
+                 rung: str, reason: str = "admission"):
+        self.app = app
+        self.preset = preset
+        self.request_index = request_index
+        self.rung = rung
+        self.reason = reason
+
+
 class DocumentReady(TelemetryEvent):
     """A rendered profile document awaiting shipment to the collector."""
 

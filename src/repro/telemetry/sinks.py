@@ -144,6 +144,8 @@ class MetricsSink(Sink):
         self.violations: Counter = Counter()       # by check
         self.security_events: Counter = Counter()  # by function
         self.recoveries: Counter = Counter()       # by action
+        self.health_transitions: Counter = Counter()  # by (from, to) rung
+        self.sheds: Counter = Counter()            # by ladder rung
         self.attacks: Counter = Counter()          # by verdict
         self.escapes = 0
         self.probes = 0
@@ -176,6 +178,11 @@ class MetricsSink(Sink):
                     self.security_events[event.function] += 1
                 elif kind == "recovery":
                     self.recoveries[event.action] += 1
+                elif kind == "health":
+                    key = f"{event.rung_from}->{event.rung_to}"
+                    self.health_transitions[key] += 1
+                elif kind == "shed":
+                    self.sheds[event.rung] += 1
                 elif kind == "attack":
                     self.attacks[event.verdict] += 1
                 elif kind == "escape":
@@ -229,6 +236,8 @@ class MetricsSink(Sink):
                 "violations": dict(self.violations),
                 "security_events": dict(self.security_events),
                 "recoveries": dict(self.recoveries),
+                "health_transitions": dict(self.health_transitions),
+                "sheds": dict(self.sheds),
                 "attacks": dict(self.attacks),
                 "escapes": self.escapes,
                 "probes": self.probes,
@@ -268,6 +277,15 @@ class MetricsSink(Sink):
         return "\n".join(lines)
 
 
+class CollectionSinkClosed(RuntimeError):
+    """``ship()`` on a paced sink during or after ``close()``.
+
+    A paced producer blocked at the watermark is released by
+    :meth:`CollectionSink.close` with this error rather than left to
+    queue documents into a worker that will never drain them.
+    """
+
+
 class CollectionSink(Sink):
     """Batched, non-blocking, retrying shipper to the collection server.
 
@@ -293,6 +311,12 @@ class CollectionSink(Sink):
     queue grow without bound.  Backpressure propagates — server to
     connection to queue to producer — so :attr:`dropped` is structurally
     zero: only a server-rejected (``ERR``) frame can ever be dropped.
+
+    Shutdown in pace mode is deterministic: :meth:`close` releases any
+    producer blocked at the watermark with :class:`CollectionSinkClosed`
+    (never a deadlock, never a silently stranded document), and a paced
+    sink stays closed — later ``ship()`` calls raise the same error
+    instead of resurrecting the worker.
     """
 
     def __init__(
@@ -357,6 +381,13 @@ class CollectionSink(Sink):
 
     def _enqueue(self, documents: List[str]) -> None:
         with self._wake:
+            if self.pace and self._stop:
+                # a paced sink stays closed: resurrecting the worker
+                # here would let documents race a close() that already
+                # reported its final tallies
+                raise CollectionSinkClosed(
+                    f"collection sink to {self.address} is closed"
+                )
             self._ensure_thread_locked()
             if self.pace:
                 # producer-side backpressure: block at the watermark
@@ -364,6 +395,14 @@ class CollectionSink(Sink):
                 while (len(self._pending) >= self.max_pending
                        and not self._stop):
                     self._wake.wait(timeout=self.flush_interval)
+                if self._stop:
+                    # close() released the watermark wait; the worker is
+                    # shutting down and would never drain these, so the
+                    # producer gets an error rather than silent loss
+                    raise CollectionSinkClosed(
+                        f"collection sink to {self.address} closed while "
+                        f"producer was blocked at the watermark"
+                    )
             self._pending.extend(documents)
             self._wake.notify_all()
 

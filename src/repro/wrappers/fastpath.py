@@ -494,6 +494,10 @@ class FusedRuntime:
         return steps
 
 
+#: shared disarmed table for deopt level >= 2 — never written to
+_EMPTY_TABLE: dict = {}
+
+
 class FusedImage:
     """Drop-in ``LinkedImage`` facade executing through fused entries.
 
@@ -519,7 +523,7 @@ class FusedImage:
 
     __slots__ = ("image", "process", "runtime", "fuel_batching", "memo",
                  "_steps", "_pos", "trace_hits", "deopts", "table_calls",
-                 "fallback_calls")
+                 "fallback_calls", "deopt_level", "_table")
 
     def __init__(self, image, runtime: FusedRuntime,
                  fuel_batching: bool = True, check_memo: bool = True):
@@ -539,6 +543,12 @@ class FusedImage:
             self.memo = None
         self._steps: Tuple[Tuple[str, Callable, list], ...] = ()
         self._pos = 0
+        #: graceful-degradation rung: 0 = all lanes, 1 = table lane only
+        #: (no trace replay, no verdict slots, no fuel batch), 2 = fused
+        #: lanes bypassed entirely (per-call dispatch through the
+        #: wrapped PLT).  Takes effect at the next ``begin_request``.
+        self.deopt_level = 0
+        self._table = runtime.table
         self.trace_hits = 0
         self.deopts = 0
         self.table_calls = 0
@@ -581,7 +591,7 @@ class FusedImage:
             # request (the program re-arms at the next begin_request)
             self._steps = ()
             self.deopts += 1
-        entry = self.runtime.table.get(name)
+        entry = self._table.get(name)
         if entry is not None:
             self.table_calls += 1
             return entry(self.process, *args)
@@ -593,7 +603,12 @@ class FusedImage:
         runtime = self.runtime
         runtime.refresh()
         self._pos = 0
-        if kind is None:
+        level = self.deopt_level
+        # refresh() may have swapped the epoch's table; at level >= 2
+        # the table lane is disarmed too, so every call takes the
+        # fallback (per-call dispatch through the wrapped PLT)
+        self._table = runtime.table if level < 2 else _EMPTY_TABLE
+        if kind is None or level >= 1:
             self._steps = ()
             return
         self._steps = runtime.program(kind)

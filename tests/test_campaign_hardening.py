@@ -11,7 +11,8 @@ observer.
 """
 
 import io
-import time
+import os
+import threading
 
 import pytest
 
@@ -23,21 +24,60 @@ from repro.reporting.progress import CampaignProgress
 
 FUNCTIONS = ["strlen", "atoi", "strdup"]
 
+#: watchdog seconds for the hang scenarios; a loaded CI machine can
+#: widen the margin without editing the tests
+WATCHDOG = float(os.environ.get("HEALERS_TEST_WATCHDOG", "0.3"))
 
-@pytest.fixture(scope="module")
-def registry():
-    return standard_registry()
+#: fallback for the event-driven hang release — generous, because it
+#: only matters if a watchdog incident never arrives (a real failure)
+HANG_RELEASE_FALLBACK = 30.0
+
+
+class _ChaosScript(dict):
+    """Per-test chaos script plus the event that ends a hung unit.
+
+    A "hung" unit does not sleep for a fixed multiple of the watchdog
+    (timer races flake on slow machines); it blocks on :attr:`release`,
+    which is set the moment the watchdog files its incident — so the
+    unit is guaranteed to still be hanging when it is classified, and
+    returns immediately afterwards.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+
+
+class _ReleaseObserver:
+    """Observer shim: forwards callbacks, releases hangs on incident."""
+
+    def __init__(self, release: threading.Event, inner=None):
+        self._release = release
+        self._inner = inner
+
+    def __call__(self, probe, result):
+        if self._inner is not None:
+            self._inner(probe, result)
+
+    def incident(self, message: str) -> None:
+        # only a watchdog classification may end the hang — a requeue
+        # incident from an unrelated dead worker must not release it
+        if "watchdog" in message:
+            self._release.set()
+        if self._inner is not None and hasattr(self._inner, "incident"):
+            self._inner.incident(message)
 
 
 @pytest.fixture()
 def chaotic_units(monkeypatch):
     """Patch unit execution to hang/raise per a per-test script.
 
-    The script maps a function name to ``"hang"`` (sleep well past any
-    test watchdog) or ``"die"`` (raise, as a crashed worker surfaces);
-    each trigger fires once unless marked sticky with ``"die!"``.
+    The script maps a function name to ``"hang"`` (block until the
+    watchdog classifies the unit) or ``"die"`` (raise, as a crashed
+    worker surfaces); each trigger fires once unless marked sticky
+    with ``"die!"``.
     """
-    script = {}
+    script = _ChaosScript()
     original = executor_module._execute_unit
 
     def chaotic(campaign, unit):
@@ -45,7 +85,7 @@ def chaotic_units(monkeypatch):
         mode = script.get(name)
         if mode == "hang":
             script.pop(name)
-            time.sleep(1.2)
+            script.release.wait(timeout=HANG_RELEASE_FALLBACK)
         elif mode == "die":
             script.pop(name)
             raise RuntimeError("simulated worker crash")
@@ -54,11 +94,20 @@ def chaotic_units(monkeypatch):
         return original(campaign, unit)
 
     monkeypatch.setattr(executor_module, "_execute_unit", chaotic)
-    return script
+    yield script
+    script.release.set()  # never leave a unit wedged past the test
 
 
-def run_hardened(registry, script, watchdog=0.3, unit_retries=2,
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+def run_hardened(registry, script, watchdog=WATCHDOG, unit_retries=2,
                  observer=None, cache=None):
+    release = getattr(script, "release", None)
+    if release is not None:
+        observer = _ReleaseObserver(release, observer)
     campaign = Campaign(registry, observer=observer)
     runner = ProbeExecutor(campaign, jobs=2, backend="thread",
                            watchdog=watchdog, unit_retries=unit_retries,
@@ -157,12 +206,17 @@ class TestAdversarialCampaignHardening:
         from repro.chaos import ChaosCampaign
         from repro.security.corpus import attack_by_name
 
+        # the hung cell blocks until the pool's watchdog incident
+        # arrives (event-driven, not a timer race)
+        release = threading.Event()
         campaign = ChaosCampaign(
             registry, api,
             attacks=[attack_by_name("heap-smash")],
             presets=("security",), seeds=(2003,), trials=1, kmax=1,
-            exec_backend="thread", jobs=2, watchdog=0.3,
+            exec_backend="thread", jobs=2, watchdog=WATCHDOG,
             cache=cache,
+            on_incident=lambda message: ("watchdog" in message
+                                         and release.set()),
         )
         if hang_once is not None:
             original = campaign.execute_unit
@@ -171,7 +225,7 @@ class TestAdversarialCampaignHardening:
             def chaotic(unit):
                 if unit.kset == (armed["site"],):
                     armed["site"] = None
-                    time.sleep(1.2)
+                    release.wait(timeout=HANG_RELEASE_FALLBACK)
                 return original(unit)
 
             campaign.execute_unit = chaotic

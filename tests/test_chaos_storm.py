@@ -1,0 +1,403 @@
+"""Chaos under load: storm schedules, the breaker ladder, witnesses.
+
+Three contracts pin the tentpole story:
+
+* a :class:`StormSchedule` is a pure function of ``(seed, trial,
+  request_index)`` — byte-identical across constructions and replayable
+  per-request from a three-integer witness;
+* the :class:`CircuitBreaker` steps the ladder deterministically from
+  request counts alone (trip down on a bad window, climb back on a
+  clean streak, probe while shedding);
+* a :class:`ResilientSession` storm run is deterministic end to end,
+  keeps availability while the unsupervised baseline dies, and leaves
+  the heap with zero cross-request corruption.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import SERVER_APPS
+from repro.chaos import (
+    DEFAULT_PHASES,
+    SERVING_SITES,
+    StormSchedule,
+    flat_storm,
+)
+from repro.libc import standard_registry
+from repro.manpages import load_corpus
+from repro.recovery import (
+    DEOPT_LEVELS,
+    RUNGS,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.serving import (
+    LoadGenerator,
+    ResilientSession,
+    ServingSLO,
+    run_unsupervised,
+)
+from repro.serving.loadgen import MIXES
+from repro.wrappers.presets import full_coverage_api
+
+APPS = {app.name: app for app in SERVER_APPS}
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def api(registry):
+    return full_coverage_api(registry, load_corpus())
+
+
+# ----------------------------------------------------------------------
+# the schedule: phases, determinism, witnesses
+# ----------------------------------------------------------------------
+
+class TestStormSchedule:
+    def test_default_phases_shape_the_storm(self):
+        storm = StormSchedule(seed=7, requests=400)
+        assert storm.phase_at(0).name == "calm"
+        assert storm.rate_at(0) == 0.0
+        assert storm.plan_for(0) is None
+        assert storm.phase_at(100).name == "ramp"
+        assert storm.phase_at(200).name == "peak"
+        assert storm.rate_at(200) == 0.25
+        assert storm.phase_at(399).name == "cooldown"
+        # the catch-all: an index at/past the end uses the last phase
+        assert storm.phase_at(400).name == "cooldown"
+
+    def test_same_seed_same_storm(self):
+        one = StormSchedule(seed=42, trial=3, requests=120)
+        two = StormSchedule(seed=42, trial=3, requests=120)
+        assert one.to_dict() == two.to_dict()
+        for index in range(120):
+            a, b = one.plan_for(index), two.plan_for(index)
+            if a is None:
+                assert b is None
+            else:
+                assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_or_trial_diverges(self):
+        base = StormSchedule(seed=42, requests=100)
+        for other in (StormSchedule(seed=43, requests=100),
+                      StormSchedule(seed=42, trial=1, requests=100)):
+            assert any(
+                (p := base.plan_for(i)) is not None
+                and (q := other.plan_for(i)) is not None
+                and p.to_dict() != q.to_dict()
+                for i in range(40, 70)  # the peak: plans exist
+            )
+
+    def test_witness_replays_exactly_the_request_plan(self):
+        storm = StormSchedule(seed=2003, requests=200)
+        checked = 0
+        for index in range(200):
+            plan = storm.plan_for(index)
+            replayed = StormSchedule.replay_witness(storm.witness(index))
+            if plan is None:
+                assert replayed is None
+            else:
+                assert replayed.to_dict() == plan.to_dict()
+                checked += 1
+        assert checked > 0
+
+    def test_witness_survives_json(self):
+        storm = flat_storm(seed=9, requests=10, rate=0.5)
+        witness = json.loads(json.dumps(storm.witness(4)))
+        assert (StormSchedule.replay_witness(witness).to_dict()
+                == storm.plan_for(4).to_dict())
+
+    def test_dict_round_trip(self):
+        storm = StormSchedule(seed=5, trial=2, requests=64,
+                              sites=("alloc-oom",), horizon=4)
+        again = StormSchedule.from_dict(
+            json.loads(json.dumps(storm.to_dict())))
+        assert again.to_dict() == storm.to_dict()
+        for index in (0, 20, 40, 63):
+            a, b = storm.plan_for(index), again.plan_for(index)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.to_dict() == b.to_dict()
+
+    def test_flat_storm_has_one_phase(self):
+        storm = flat_storm(seed=1, requests=50, rate=1.0)
+        assert all(storm.rate_at(i) == 1.0 for i in range(50))
+        assert storm.total_faults() > 0
+
+    def test_serving_sites_default(self):
+        assert StormSchedule(seed=1).sites == SERVING_SITES
+        assert len(DEFAULT_PHASES) == 4
+
+
+# ----------------------------------------------------------------------
+# the breaker: ladder mechanics, all request-count driven
+# ----------------------------------------------------------------------
+
+def _breaker(**kwargs):
+    defaults = dict(window=4, trip_threshold=2, recovery_streak=3,
+                    probe_interval=3)
+    defaults.update(kwargs)
+    return CircuitBreaker("kvd", "security",
+                          config=BreakerConfig(**defaults))
+
+
+class TestCircuitBreaker:
+    def test_starts_fused_and_admitting(self):
+        breaker = _breaker()
+        assert breaker.rung == "fused"
+        assert breaker.deopt_level == 0
+        assert breaker.admit()
+
+    def test_trips_one_rung_per_bad_window(self):
+        breaker = _breaker()
+        assert breaker.observe(0, bad=True) is None
+        move = breaker.observe(1, bad=True)
+        assert (move.rung_from, move.rung_to) == ("fused", "table")
+        assert breaker.deopt_level == DEOPT_LEVELS["table"]
+        # the window cleared on the step: one more bad is not enough
+        assert breaker.observe(2, bad=True) is None
+        assert breaker.observe(3, bad=True).rung_to == "interpreted"
+
+    def test_descends_to_shed_and_probes(self):
+        breaker = _breaker()
+        index = 0
+        while not breaker.shedding:
+            breaker.observe(index, bad=True)
+            index += 1
+        assert breaker.rung == "shed"
+        # one probe per probe_interval arrivals, starting immediately
+        admissions = [breaker.admit() for _ in range(9)]
+        assert admissions == [True, False, False] * 3
+
+    def test_bad_probe_restarts_the_cadence(self):
+        breaker = _breaker()
+        index = 0
+        while not breaker.shedding:
+            breaker.observe(index, bad=True)
+            index += 1
+        assert breaker.admit()            # the probe goes through...
+        breaker.observe(100, bad=True)    # ...and fails
+        assert breaker.shedding           # still shedding (no shed->shed)
+        admissions = [breaker.admit() for _ in range(4)]
+        assert admissions == [False, False, True, False]
+
+    def test_clean_streak_climbs_back_rung_by_rung(self):
+        breaker = _breaker()
+        for index in range(4):
+            breaker.observe(index, bad=True)
+        assert breaker.rung == "interpreted"
+        moves = []
+        for index in range(10, 30):
+            move = breaker.observe(index, bad=False)
+            if move is not None:
+                moves.append((move.rung_from, move.rung_to))
+            if breaker.rung == "fused":
+                break
+        assert moves == [("interpreted", "table"), ("table", "fused")]
+
+    def test_trace_is_deterministic(self):
+        pattern = [True, True, False, True, True, True, False, False,
+                   False, False, False, False, True]
+        one, two = _breaker(), _breaker()
+        for breaker in (one, two):
+            for index, bad in enumerate(pattern):
+                breaker.observe(index, bad)
+        assert one.snapshot() == two.snapshot()
+        assert one.transitions == two.transitions
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(window=2, trip_threshold=3)
+        with pytest.raises(ValueError):
+            BreakerConfig(window=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(probe_interval=0)
+
+
+# ----------------------------------------------------------------------
+# the supervisor: deterministic storms, witnesses, shed behavior
+# ----------------------------------------------------------------------
+
+def _storm_run(registry, api, *, seed=42, load_seed=11, requests=150,
+               schedule=None, breaker_config=None):
+    app = APPS["kvd"]
+    gen = LoadGenerator("kvd", mix="storm", seed=load_seed)
+    schedule = schedule or StormSchedule(seed=seed, requests=requests)
+    session = ResilientSession(app, preset="security",
+                               registry=registry, api=api,
+                               breaker_config=breaker_config)
+    session.prepare(gen)
+    return session, session.serve_storm(schedule, gen.stream(requests))
+
+
+class TestResilientStorm:
+    def test_storm_run_is_deterministic(self, registry, api):
+        _, one = _storm_run(registry, api)
+        _, two = _storm_run(registry, api)
+        assert ([o.to_dict() for o in one.outcomes]
+                == [o.to_dict() for o in two.outcomes])
+        assert one.to_dict() == two.to_dict()
+
+    def test_supervised_beats_unsupervised(self, registry, api):
+        _, supervised = _storm_run(registry, api)
+        gen = LoadGenerator("kvd", mix="storm", seed=11)
+        schedule = StormSchedule(seed=42, requests=150)
+        baseline = run_unsupervised(APPS["kvd"], schedule,
+                                    gen.stream(150), preset="security",
+                                    registry=registry, api=api,
+                                    gen=LoadGenerator("kvd", mix="storm",
+                                                      seed=11))
+        assert supervised.availability > baseline.availability
+        assert baseline.counts()["dead"] > 0
+
+    def test_brutal_storm_sheds_with_replayable_witnesses(self, registry,
+                                                          api):
+        # every request carries faults; a tight breaker must reach shed
+        schedule = flat_storm(seed=7, requests=80, rate=1.0)
+        config = BreakerConfig(window=4, trip_threshold=2,
+                               recovery_streak=16, probe_interval=4)
+        session, report = _storm_run(registry, api, schedule=schedule,
+                                     requests=80, breaker_config=config)
+        counts = report.counts()
+        assert counts["shed"] > 0
+        assert session.breaker.transitions  # the ladder actually moved
+        for witness in report.witnesses(statuses=("shed",)):
+            assert witness["status"] == "shed"
+            plan = StormSchedule.replay_witness(witness)
+            assert plan is not None and plan.total_faults() > 0
+
+    def test_post_storm_heap_is_clean(self, registry, api):
+        session, _ = _storm_run(registry, api)
+        assert session.session.process.heap.check_integrity() == []
+
+    def test_shed_events_mirrored(self, registry, api):
+        schedule = flat_storm(seed=7, requests=60, rate=1.0)
+        config = BreakerConfig(window=4, trip_threshold=2,
+                               recovery_streak=16, probe_interval=4)
+        session, report = _storm_run(registry, api, schedule=schedule,
+                                     requests=60, breaker_config=config)
+        sheds = [e for e in session.events if e.kind == "shed"]
+        healths = [e for e in session.events if e.kind == "health"]
+        assert len(sheds) == report.counts()["shed"]
+        assert len(healths) == len(session.breaker.transitions)
+
+
+# ----------------------------------------------------------------------
+# loadgen determinism: in-process property + cross-process check
+# ----------------------------------------------------------------------
+
+def _stream_fingerprint(app_name, mix, seed, count):
+    gen = LoadGenerator(app_name, mix=mix, seed=seed)
+    return json.dumps({
+        "warmup": [[r.line.decode("latin1"), r.kind]
+                   for r in gen.warmup],
+        "samples": {k: v.decode("latin1")
+                    for k, v in gen.samples.items()},
+        "stream": [[r.line.decode("latin1"), r.kind]
+                   for r in gen.stream(count)],
+    }, sort_keys=True)
+
+
+class TestLoadGeneratorDeterminism:
+    @given(app_name=st.sampled_from(sorted(APPS)),
+           mix=st.sampled_from(MIXES),
+           seed=st.integers(0, 2**31 - 1),
+           count=st.integers(1, 60))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mix_is_a_pure_function_of_its_inputs(self, app_name, mix,
+                                                  seed, count):
+        assert (_stream_fingerprint(app_name, mix, seed, count)
+                == _stream_fingerprint(app_name, mix, seed, count))
+
+    def test_storm_mix_exists_for_every_app(self):
+        for app_name in APPS:
+            gen = LoadGenerator(app_name, mix="storm", seed=3)
+            assert gen.stream(10)
+
+
+class TestLoadGeneratorCrossProcess:
+    """Same (app, mix, seed) ⇒ byte-identical requests in a fresh
+    interpreter — the property that makes storm reports comparable
+    across machines."""
+
+    MATRIX = [("kvd", "storm", 11, 40), ("kvd", "hot", 3, 25),
+              ("httpd", "storm", 7, 25), ("tmpld", "mixed", 5, 25)]
+
+    SNIPPET = (
+        "import json\n"
+        "from repro.serving import LoadGenerator\n"
+        "matrix = %s\n"
+        "out = {}\n"
+        "for app, mix, seed, count in matrix:\n"
+        "    gen = LoadGenerator(app, mix=mix, seed=seed)\n"
+        "    out['/'.join((app, mix, str(seed)))] = {\n"
+        "        'warmup': [[r.line.decode('latin1'), r.kind]\n"
+        "                   for r in gen.warmup],\n"
+        "        'stream': [[r.line.decode('latin1'), r.kind]\n"
+        "                   for r in gen.stream(count)],\n"
+        "    }\n"
+        "print(json.dumps(out, sort_keys=True))\n"
+    )
+
+    def _spawn(self) -> str:
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.run(
+            [sys.executable, "-c", self.SNIPPET % repr(self.MATRIX)],
+            env=env, check=True, capture_output=True, text=True,
+            timeout=60,
+        ).stdout
+
+    def test_streams_identical_across_processes(self):
+        here = {}
+        for app, mix, seed, count in self.MATRIX:
+            gen = LoadGenerator(app, mix=mix, seed=seed)
+            here["/".join((app, mix, str(seed)))] = {
+                "warmup": [[r.line.decode("latin1"), r.kind]
+                           for r in gen.warmup],
+                "stream": [[r.line.decode("latin1"), r.kind]
+                           for r in gen.stream(count)],
+            }
+        expected = json.dumps(here, sort_keys=True) + "\n"
+        assert self._spawn() == expected
+        assert self._spawn() == expected
+
+
+# ----------------------------------------------------------------------
+# the SLO: deadline classification
+# ----------------------------------------------------------------------
+
+class TestServingSLO:
+    def test_defaults(self):
+        slo = ServingSLO()
+        assert slo.deadline_fuel == 20_000
+        assert slo.availability_target == 0.95
+
+    def test_tiny_deadline_times_out_instead_of_crashing(self, registry,
+                                                         api):
+        # a deadline below even a hot request's cost: everything not
+        # shed must classify as timeout, and the session must survive
+        app = APPS["kvd"]
+        gen = LoadGenerator("kvd", mix="hot", seed=3)
+        session = ResilientSession(app, preset="security",
+                                   registry=registry, api=api,
+                                   slo=ServingSLO(deadline_fuel=5))
+        session.prepare(gen)
+        schedule = flat_storm(seed=1, requests=20, rate=0.0)
+        report = session.serve_storm(schedule, gen.stream(20))
+        counts = report.counts()
+        assert counts["crashed"] == 0
+        assert counts["timeout"] > 0
+        assert session.session.alive

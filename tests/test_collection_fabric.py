@@ -4,6 +4,7 @@ import random
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -15,12 +16,13 @@ from repro.collection import (
     FabricClient,
     FleetAggregator,
     IngestServer,
+    SpoolAuthenticationError,
     fetch_fleet_stats,
     submit_document,
     submit_documents,
 )
 from repro.profiling import ProfileDocument
-from repro.telemetry import CollectionSink
+from repro.telemetry import CollectionSink, CollectionSinkClosed
 from repro.wrappers.state import WrapperState
 
 
@@ -235,6 +237,81 @@ class TestCredits:
 
 
 # ----------------------------------------------------------------------
+# pace-mode shutdown: close() must release a blocked producer
+# ----------------------------------------------------------------------
+
+class TestPaceShutdown:
+    def test_close_releases_producer_blocked_at_watermark(self):
+        # a transport that wedges: the worker grabs one frame and stalls
+        # inside it, so the queue backs up to the watermark and the
+        # producer blocks — the historical deadlock shape
+        stall = threading.Event()
+
+        def stalled_transport(address, documents, timeout):
+            stall.wait(timeout=10)
+            return True
+
+        sink = CollectionSink(("127.0.0.1", 1), batch_size=4,
+                              flush_interval=0.01, pace=True,
+                              max_pending=8, transport=stalled_transport)
+        errors = []
+
+        def produce():
+            try:
+                for i in range(20):
+                    sink.ship(_document_xml(f"p{i}"))
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        deadline = time.time() + 5
+        while time.time() < deadline and sink.pending() < sink.max_pending:
+            time.sleep(0.005)
+        assert sink.pending() >= sink.max_pending
+
+        # close() while the producer is wedged: it must come back with
+        # a clear error, never hang and never silently strand documents
+        sink.close(timeout=0.2)
+        producer.join(timeout=5)
+        assert not producer.is_alive()
+        assert errors, "blocked producer was not released by close()"
+        assert isinstance(errors[0], CollectionSinkClosed)
+
+        # a paced sink stays closed: no silent worker resurrection
+        with pytest.raises(CollectionSinkClosed):
+            sink.ship(_document_xml("late"))
+
+        stall.set()  # unwedge the worker so its daemon thread can exit
+        if sink._thread is not None:
+            sink._thread.join(timeout=5)
+
+    def test_close_after_clean_drain_still_refuses_late_ship(self):
+        shipped = []
+
+        def transport(address, documents, timeout):
+            shipped.extend(documents)
+            return True
+
+        sink = CollectionSink(("127.0.0.1", 1), batch_size=4,
+                              flush_interval=0.01, pace=True,
+                              max_pending=8, transport=transport)
+        for i in range(6):
+            sink.ship(_document_xml(f"c{i}"))
+        summary = sink.close()
+        assert summary["shipped"] == 6
+        assert summary["pending"] == 0
+        with pytest.raises(CollectionSinkClosed):
+            sink.ship(_document_xml("late"))
+        # non-pace sinks keep the legacy lenient behavior
+        lenient = CollectionSink(("127.0.0.1", 1), batch_size=4,
+                                 transport=transport)
+        lenient.close()
+        lenient.ship(_document_xml("ok"))  # restarts the worker quietly
+        lenient.close()
+
+
+# ----------------------------------------------------------------------
 # sequencing: dedup, resend, exactly-once
 # ----------------------------------------------------------------------
 
@@ -313,6 +390,23 @@ class TestRestartReplay:
             client.close()
             assert reborn.duplicates == 0  # seq 10 is fresh
             assert len(reborn.store) == 10
+
+    def test_keyed_spool_survives_restart_and_refuses_unkeyed(
+            self, tmp_path):
+        spool = str(tmp_path / "spool")
+        key = b"fleet-deployment-key"
+        with IngestServer(shards=2, spool_dir=spool,
+                          spool_key=key) as server:
+            assert submit_documents(
+                server.address,
+                [_document_xml(f"app{i}") for i in range(6)])
+        with IngestServer(shards=2, spool_dir=spool,
+                          spool_key=key) as reborn:
+            assert len(reborn.store) == 6
+        # a restart without the deployment key must refuse the spool
+        # rather than ingest records it cannot authenticate
+        with pytest.raises(SpoolAuthenticationError):
+            IngestServer(shards=2, spool_dir=spool).start()
 
     def test_restart_with_different_shard_count(self, tmp_path):
         spool = str(tmp_path / "spool")

@@ -2,18 +2,24 @@
 
 import os
 import struct
+import zlib
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.collection import ReplayResult, SpoolWriter, replay
+from repro.collection import (
+    ReplayResult,
+    SpoolAuthenticationError,
+    SpoolWriter,
+    replay,
+)
 from repro.collection.fabric import (
     decode_spool_record,
     encode_spool_record,
     replay_documents,
 )
-from repro.collection.spool import list_segments
+from repro.collection.spool import _MAC_SIZE, list_segments
 
 
 def _write(directory, payloads, name="spool", **kwargs):
@@ -176,6 +182,129 @@ class TestCrashRecoveryProperty:
         writer.close()
         payloads, _ = replay(directory, name="shard-0")
         assert [decode_spool_record(p) for p in payloads] == expected
+
+
+KEY = b"deployment-key"
+
+
+def _read_records(path):
+    """Every framed payload of one segment, in order."""
+    payloads = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    while offset + 8 <= len(data):
+        length, _ = struct.unpack(">II", data[offset:offset + 8])
+        payloads.append(data[offset + 8:offset + 8 + length])
+        offset += 8 + length
+    return payloads
+
+
+def _rewrite_records(path, payloads):
+    """Re-frame payloads with *valid* CRCs — the attacker's move."""
+    with open(path, "wb") as handle:
+        for payload in payloads:
+            handle.write(struct.pack(">II", len(payload),
+                                     zlib.crc32(payload)) + payload)
+
+
+class TestTamperEvidence:
+    """HMAC-chained spools: forged or spliced records must not replay."""
+
+    def test_keyed_round_trip_with_rotation(self, tmp_path):
+        written = [b"doc-%d" % i for i in range(10)]
+        _write(str(tmp_path), written, key=KEY, segment_bytes=64)
+        assert len(list_segments(str(tmp_path), "spool")) > 1
+        payloads, result = replay(str(tmp_path), key=KEY)
+        assert payloads == written
+        assert result.records == 10  # marker records are not documents
+
+    def test_forged_body_with_valid_crc_is_rejected(self, tmp_path):
+        _write(str(tmp_path), [b"alpha", b"bravo", b"charlie"], key=KEY)
+        (path,) = list_segments(str(tmp_path), "spool")
+        records = _read_records(path)  # [marker, alpha, bravo, charlie]
+        records[2] = records[2][:_MAC_SIZE] + b"BRAVO"
+        _rewrite_records(path, records)
+        with pytest.raises(SpoolAuthenticationError,
+                           match="record 2.*HMAC"):
+            replay(str(tmp_path), key=KEY)
+
+    def test_spliced_reordered_records_are_rejected(self, tmp_path):
+        _write(str(tmp_path), [b"alpha", b"bravo", b"charlie"], key=KEY)
+        (path,) = list_segments(str(tmp_path), "spool")
+        records = _read_records(path)
+        records[1], records[2] = records[2], records[1]
+        _rewrite_records(path, records)
+        with pytest.raises(SpoolAuthenticationError, match="HMAC"):
+            replay(str(tmp_path), key=KEY)
+
+    def test_segment_renamed_into_another_spool_is_rejected(self, tmp_path):
+        # the chain is seeded from the segment's own basename, so a
+        # record set lifted wholesale from another spool cannot verify
+        _write(str(tmp_path), [b"stolen"], key=KEY)
+        (path,) = list_segments(str(tmp_path), "spool")
+        renamed = os.path.join(str(tmp_path), "other-00000000.wal")
+        os.rename(path, renamed)
+        with pytest.raises(SpoolAuthenticationError, match="HMAC"):
+            replay(str(tmp_path), name="other", key=KEY)
+
+    def test_keyed_spool_refuses_unkeyed_replay(self, tmp_path):
+        _write(str(tmp_path), [b"secret"], key=KEY)
+        with pytest.raises(SpoolAuthenticationError,
+                           match="pass the.*deployment key"):
+            replay(str(tmp_path))
+
+    def test_legacy_spool_refuses_keyed_replay(self, tmp_path):
+        _write(str(tmp_path), [b"legacy"])
+        with pytest.raises(SpoolAuthenticationError, match="no.*marker"):
+            replay(str(tmp_path), key=KEY)
+
+    def test_legacy_spool_replays_without_key(self, tmp_path):
+        written = [b"one", b"two"]
+        _write(str(tmp_path), written)
+        payloads, result = replay(str(tmp_path))
+        assert payloads == written
+        assert result.records == 2
+
+    def test_wrong_key_is_rejected(self, tmp_path):
+        _write(str(tmp_path), [b"doc"], key=KEY)
+        with pytest.raises(SpoolAuthenticationError, match="HMAC"):
+            replay(str(tmp_path), key=b"not-the-key")
+
+    def test_torn_keyed_tail_still_truncates(self, tmp_path):
+        # a crash mid-write is not an attack: CRC-invalid tails keep
+        # the legacy truncate semantics even under a key
+        _write(str(tmp_path), [b"keep-a", b"keep-b", b"torn"], key=KEY)
+        (path,) = list_segments(str(tmp_path), "spool")
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        payloads, result = replay(str(tmp_path), key=KEY)
+        assert payloads == [b"keep-a", b"keep-b"]
+        assert len(result.truncated) == 1
+        # the spool is clean afterwards: append + replay keeps verifying
+        writer = SpoolWriter(str(tmp_path), fsync=False, key=KEY)
+        writer.append(b"after-crash")
+        writer.commit()
+        writer.close()
+        payloads, _ = replay(str(tmp_path), key=KEY)
+        assert payloads[-1] == b"after-crash"
+
+    def test_replay_documents_threads_the_key(self, tmp_path):
+        writer = SpoolWriter(str(tmp_path), name="shard-0", fsync=False,
+                             key=KEY)
+        for seq in range(1, 4):
+            writer.append(encode_spool_record("s", seq, 0, 1,
+                                              b"<doc %d/>" % seq))
+        writer.commit()
+        writer.close()
+        documents, last_seq, _ = replay_documents(str(tmp_path), 1, key=KEY)
+        assert [xml for _, _, xml in documents] == [b"<doc 1/>",
+                                                    b"<doc 2/>",
+                                                    b"<doc 3/>"]
+        assert last_seq == {"s": 3}
+        with pytest.raises(SpoolAuthenticationError):
+            replay_documents(str(tmp_path), 1)
 
 
 class TestReplayDocuments:
